@@ -1,0 +1,79 @@
+// Ablation: sensitivity of the headline result to the perf-model
+// calibration constants (DESIGN.md §4). The claim "HybridFlow outperforms
+// every baseline" should not hinge on any single calibrated parameter, so
+// we sweep each one from pessimistic to optimistic and re-measure the
+// HybridFlow-vs-best-baseline speedup on a representative cell (13B / 32
+// GPUs, PPO).
+
+#include <algorithm>
+#include <iostream>
+
+#include "src/baselines/system_builder.h"
+#include "src/common/strings.h"
+
+namespace hybridflow {
+namespace {
+
+double Speedup(const PerfParams& perf) {
+  double hybridflow = 0.0;
+  double best_baseline = 0.0;
+  for (RlhfSystem system : {RlhfSystem::kHybridFlow, RlhfSystem::kDeepSpeedChat,
+                            RlhfSystem::kOpenRlhf, RlhfSystem::kNemoAligner}) {
+    SystemBuildConfig config;
+    config.system = system;
+    config.algorithm = RlhfAlgorithm::kPpo;
+    config.num_gpus = 32;
+    config.actor_model = ModelSpec::Llama13B();
+    config.critic_model = ModelSpec::Llama13B();
+    config.real_compute = false;
+    config.perf = perf;
+    RlhfSystemInstance instance = BuildSystem(config);
+    if (!instance.feasible) {
+      continue;
+    }
+    const double tput = instance.RunAveraged(1, 2).throughput_tokens_per_sec;
+    if (system == RlhfSystem::kHybridFlow) {
+      hybridflow = tput;
+    } else {
+      best_baseline = std::max(best_baseline, tput);
+    }
+  }
+  return best_baseline > 0.0 ? hybridflow / best_baseline : 0.0;
+}
+
+template <typename Setter>
+void SweepParam(const char* name, const std::vector<double>& values, Setter setter) {
+  std::cout << StrFormat("%-24s |", name);
+  for (double value : values) {
+    PerfParams perf;
+    setter(&perf, value);
+    std::cout << StrFormat("  %4.2f -> %.2fx |", value, Speedup(perf));
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+}  // namespace hybridflow
+
+int main() {
+  using namespace hybridflow;
+  std::cout << "===================================================================\n";
+  std::cout << "Ablation: calibration sensitivity of the headline speedup\n";
+  std::cout << "(HybridFlow vs best baseline, PPO, 13B models, 32 GPUs)\n";
+  std::cout << "===================================================================\n";
+  SweepParam("dp_comm_overlap", {0.0, 0.5, 0.7, 0.9},
+             [](PerfParams* perf, double value) { perf->dp_comm_overlap = value; });
+  SweepParam("zero_comm_overlap", {0.0, 0.3, 0.6, 0.9},
+             [](PerfParams* perf, double value) { perf->zero_comm_overlap = value; });
+  SweepParam("tp_comm_overlap", {0.0, 0.3, 0.6},
+             [](PerfParams* perf, double value) { perf->tp_comm_overlap = value; });
+  SweepParam("hbm_efficiency", {0.5, 0.75, 0.95},
+             [](PerfParams* perf, double value) { perf->hbm_efficiency = value; });
+  SweepParam("mfu_train", {0.3, 0.45, 0.6},
+             [](PerfParams* perf, double value) { perf->mfu_train = value; });
+  SweepParam("min_util_fraction", {0.2, 0.35, 1.0},
+             [](PerfParams* perf, double value) { perf->min_util_fraction = value; });
+  std::cout << "\nExpected: every cell stays > 1.0x — the qualitative conclusion is\n"
+               "robust to the calibration constants; only the magnitude moves.\n";
+  return 0;
+}

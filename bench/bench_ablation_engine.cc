@@ -1,0 +1,89 @@
+// Ablation: the 3D-HybridEngine's design choices (§5.3/§5.4), holding the
+// system fixed and swapping only the actor engine:
+//
+//   ds-chat        full all-gather across every GPU, then re-partition
+//   hybridflow-v   all-gather within training TP x PP groups (vanilla
+//                  generation grouping)
+//   hybridflow     concurrent micro-DP-group all-gathers (zero-redundancy
+//                  generation grouping)
+//
+// Reports per-transition latency, per-GPU communication volume, peak
+// parameter memory, and redundant memory — the Table 2 quantities in time
+// and bytes — plus the end-to-end iteration impact.
+
+#include <iostream>
+
+#include "src/baselines/system_builder.h"
+#include "src/common/strings.h"
+#include "src/common/units.h"
+
+namespace hybridflow {
+namespace {
+
+struct Setting {
+  const char* model;
+  int gpus;
+  ParallelConfig train;
+  GenParallelConfig gen;
+};
+
+void Panel(const Setting& setting) {
+  const ModelSpec model = ModelSpec::ByName(setting.model);
+  std::cout << "\n--- " << setting.model << " actor, " << setting.gpus << " GPUs, train "
+            << setting.train.ToString() << ", generation " << setting.gen.ToString()
+            << " ---\n";
+  std::cout << StrFormat("%-14s | %10s | %12s | %12s | %12s | %12s\n", "engine", "reshard",
+                         "comm/GPU", "peak mem", "redundant", "iter total");
+  for (ActorEngineMode mode : {ActorEngineMode::kDsChat, ActorEngineMode::kHybridFlowV,
+                               ActorEngineMode::kHybridFlow}) {
+    Controller controller(ClusterSpec::WithGpus(setting.gpus));
+    auto pool = controller.CreatePoolRange("all", 0, setting.gpus);
+    RealComputeOptions real;
+    real.enabled = false;
+
+    WorkerGroupOptions options;
+    options.name = "actor";
+    options.model = model;
+    options.trainable = true;
+    // DS-Chat's engine reshards from ZeRO; the others from 3D training.
+    options.backend =
+        mode == ActorEngineMode::kDsChat ? WorkerBackend::kZero : WorkerBackend::k3dParallel;
+    options.train_cfg = setting.train;
+    ActorOptions actor_options;
+    actor_options.gen = setting.gen;
+    actor_options.engine_mode = mode;
+    ActorWorkerGroup actor(options, pool, &controller, real, actor_options);
+
+    RlhfWorkloadSpec workload;
+    BatchFuture prompts;
+    controller.BeginIteration();
+    BatchFuture generated = actor.GenerateSequences(prompts, workload);
+    actor.UpdateActor(generated, workload);
+    const TransitionStats& stats = actor.last_transition_stats();
+    std::cout << StrFormat("%-14s | %10s | %12s | %12s | %12s | %12s\n",
+                           ActorEngineModeName(mode),
+                           HumanSeconds(stats.seconds).c_str(),
+                           HumanBytes(stats.comm_bytes_per_gpu).c_str(),
+                           HumanBytes(stats.peak_param_bytes).c_str(),
+                           HumanBytes(stats.redundant_bytes).c_str(),
+                           HumanSeconds(controller.IterationSeconds()).c_str());
+  }
+}
+
+}  // namespace
+}  // namespace hybridflow
+
+int main() {
+  using namespace hybridflow;
+  std::cout << "=================================================================\n";
+  std::cout << "Ablation: actor engine designs (gen grouping + reshard scope)\n";
+  std::cout << "=================================================================\n";
+  Panel({"7B", 16, {1, 8, 2}, {1, 2}});
+  Panel({"13B", 16, {1, 8, 2}, {1, 4}});
+  Panel({"34B", 32, {2, 8, 2}, {1, 4}});
+  Panel({"70B", 64, {4, 8, 2}, {2, 4}});
+  std::cout << "\nExpected: hybridflow strictly dominates on every column — less\n"
+               "communication, a fraction of the peak memory, zero redundancy, and\n"
+               "the fastest reshard, with the gap widening with model size (§5.4).\n";
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Figure 11: Safe-RLHF throughput vs baselines. Safe-RLHF adds a fifth
+// model (the cost model) and an auxiliary pretraining loss for the actor.
+
+#include <iostream>
+#include <map>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace hybridflow;
+  std::cout << "==================================================\n";
+  std::cout << "Figure 11: Safe-RLHF throughput vs baselines\n";
+  std::cout << "==================================================\n";
+
+  const std::vector<RlhfSystem> systems = {RlhfSystem::kDeepSpeedChat, RlhfSystem::kOpenRlhf,
+                                           RlhfSystem::kNemoAligner, RlhfSystem::kHybridFlow};
+  const std::map<std::string, std::vector<int>> sweeps = {
+      {"7B", {8, 16, 32, 64, 128}},
+      {"13B", {16, 32, 64, 128}},
+      {"34B", {32, 64, 128}},
+      {"70B", {64, 128}},
+  };
+  for (const auto& [model, gpu_counts] : sweeps) {
+    PrintThroughputPanel(RlhfAlgorithm::kSafeRlhf, model, gpu_counts, systems);
+  }
+  std::cout << "\nExpected shape: same ordering as PPO; the extra cost model raises\n"
+               "memory pressure, pushing baselines to OOM at smaller scales.\n";
+  return 0;
+}

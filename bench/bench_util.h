@@ -1,0 +1,82 @@
+// Shared helpers for the figure/table reproduction benches.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/baselines/system_builder.h"
+#include "src/common/strings.h"
+
+namespace hybridflow {
+
+// Builds and measures one (system, algorithm, model, gpus) cell; returns
+// throughput in tokens/sec or a negative value when infeasible (OOM).
+inline double MeasureThroughput(RlhfSystem system, RlhfAlgorithm algorithm,
+                                const ModelSpec& actor_model, const ModelSpec& critic_model,
+                                int gpus, IterationMetrics* metrics_out = nullptr) {
+  SystemBuildConfig config;
+  config.system = system;
+  config.algorithm = algorithm;
+  config.num_gpus = gpus;
+  config.actor_model = actor_model;
+  config.critic_model = critic_model;
+  config.real_compute = false;
+  RlhfSystemInstance instance = BuildSystem(config);
+  if (!instance.feasible) {
+    return -1.0;
+  }
+  IterationMetrics metrics = instance.RunAveraged(/*warmup=*/1, /*measured=*/2);
+  if (metrics_out != nullptr) {
+    *metrics_out = metrics;
+  }
+  return metrics.throughput_tokens_per_sec;
+}
+
+// Prints one throughput table (one paper figure panel): rows = systems,
+// columns = cluster sizes; cells are tokens/sec with HybridFlow speedups.
+inline void PrintThroughputPanel(RlhfAlgorithm algorithm, const std::string& model_name,
+                                 const std::vector<int>& gpu_counts,
+                                 const std::vector<RlhfSystem>& systems) {
+  const ModelSpec model = ModelSpec::ByName(model_name);
+  std::cout << "\n--- " << RlhfAlgorithmName(algorithm) << ", " << model_name
+            << " models (throughput, tokens/sec; parentheses: HybridFlow speedup) ---\n";
+  std::cout << StrFormat("%-16s", "system");
+  for (int gpus : gpu_counts) {
+    std::cout << StrFormat(" | %14d", gpus);
+  }
+  std::cout << " GPUs\n";
+
+  std::vector<std::vector<double>> table(systems.size());
+  for (size_t s = 0; s < systems.size(); ++s) {
+    for (int gpus : gpu_counts) {
+      table[s].push_back(MeasureThroughput(systems[s], algorithm, model, model, gpus));
+    }
+  }
+  size_t hybridflow_row = systems.size() - 1;
+  for (size_t s = 0; s < systems.size(); ++s) {
+    if (systems[s] == RlhfSystem::kHybridFlow) {
+      hybridflow_row = s;
+    }
+  }
+  for (size_t s = 0; s < systems.size(); ++s) {
+    std::cout << StrFormat("%-16s", RlhfSystemName(systems[s]));
+    for (size_t c = 0; c < gpu_counts.size(); ++c) {
+      if (table[s][c] < 0.0) {
+        std::cout << StrFormat(" | %14s", "OOM");
+      } else if (s == hybridflow_row) {
+        std::cout << StrFormat(" | %14.0f", table[s][c]);
+      } else {
+        const double speedup =
+            table[hybridflow_row][c] > 0.0 ? table[hybridflow_row][c] / table[s][c] : 0.0;
+        std::cout << StrFormat(" | %8.0f (%.2fx)", table[s][c], speedup);
+      }
+    }
+    std::cout << "\n";
+  }
+}
+
+}  // namespace hybridflow
+
+#endif  // BENCH_BENCH_UTIL_H_

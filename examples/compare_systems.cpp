@@ -1,0 +1,56 @@
+// Compares HybridFlow against the three baseline systems (Table 1) on one
+// configuration: same models, same cluster, same workload.
+//
+// Run: ./compare_systems [model: 7B|13B|34B|70B] [gpus]
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "src/baselines/system_builder.h"
+#include "src/common/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace hybridflow;
+  const std::string model_name = argc > 1 ? argv[1] : "7B";
+  const int gpus = argc > 2 ? std::atoi(argv[2]) : 16;
+
+  const RlhfSystem systems[] = {RlhfSystem::kDeepSpeedChat, RlhfSystem::kOpenRlhf,
+                                RlhfSystem::kNemoAligner, RlhfSystem::kHybridFlow};
+
+  std::cout << "PPO, " << model_name << " models, " << gpus << " GPUs\n";
+  std::cout << StrFormat("%-16s | %12s | %16s | %10s | %s\n", "system", "iter time",
+                         "throughput tok/s", "transition", "generation");
+  double hybridflow_tput = 0.0;
+  double best_baseline = 0.0;
+  for (RlhfSystem system : systems) {
+    SystemBuildConfig config;
+    config.system = system;
+    config.algorithm = RlhfAlgorithm::kPpo;
+    config.num_gpus = gpus;
+    config.actor_model = ModelSpec::ByName(model_name);
+    config.critic_model = ModelSpec::ByName(model_name);
+    config.real_compute = false;
+    RlhfSystemInstance instance = BuildSystem(config);
+    if (!instance.feasible) {
+      std::cout << StrFormat("%-16s | %12s |\n", RlhfSystemName(system), "OOM");
+      continue;
+    }
+    IterationMetrics metrics = instance.RunAveraged(1, 3);
+    std::cout << StrFormat("%-16s | %12s | %16.0f | %10s | %s\n", RlhfSystemName(system),
+                           HumanSeconds(metrics.iteration_seconds).c_str(),
+                           metrics.throughput_tokens_per_sec,
+                           HumanSeconds(metrics.transition_seconds).c_str(),
+                           HumanSeconds(metrics.generation_seconds).c_str());
+    if (system == RlhfSystem::kHybridFlow) {
+      hybridflow_tput = metrics.throughput_tokens_per_sec;
+    } else {
+      best_baseline = std::max(best_baseline, metrics.throughput_tokens_per_sec);
+    }
+  }
+  if (best_baseline > 0.0) {
+    std::cout << StrFormat("\nHybridFlow speedup over best baseline: %.2fx\n",
+                           hybridflow_tput / best_baseline);
+  }
+  return 0;
+}

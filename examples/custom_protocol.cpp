@@ -1,0 +1,99 @@
+// Custom transfer protocols (§4.1): "A user can further extend the
+// transfer protocols through implementing customized collect and
+// distribute functions."
+//
+// This example registers REDUNDANT_PROTO — a protocol that distributes
+// each data shard to TWO data-parallel groups (replication for fault
+// tolerance) and collects by taking the first live replica's output —
+// and pushes a batch through it next to the built-in 3D_PROTO.
+//
+// Run: ./custom_protocol
+
+#include <iostream>
+
+#include "src/common/strings.h"
+#include "src/transfer/protocol.h"
+
+int main() {
+  using namespace hybridflow;
+
+  // A 1-2-4 model: 8 ranks, 4 DP groups of TP size 2.
+  ParallelConfig train{1, 2, 4};
+  std::vector<DeviceId> devices;
+  for (int i = 0; i < train.world_size(); ++i) {
+    devices.push_back(i);
+  }
+  ProcessGroups groups(train, devices);
+  ProtocolContext context;
+  context.groups = &groups;
+
+  // --- Register the custom protocol ----------------------------------------
+  CustomProtocol redundant;
+  redundant.name = "REDUNDANT_PROTO";
+  redundant.distribute = [](const DataBatch& input, const ProtocolContext& ctx) {
+    const ParallelConfig& cfg = ctx.groups->train_config();
+    // Half as many shards as DP groups; each shard goes to a primary AND a
+    // backup group.
+    const int shards = cfg.dp / 2;
+    std::vector<DataBatch> chunks = input.SplitChunks(shards);
+    std::vector<DataBatch> per_rank(static_cast<size_t>(ctx.groups->world_size()));
+    for (int rank = 0; rank < ctx.groups->world_size(); ++rank) {
+      const TrainCoords coords = ctx.groups->TrainCoordsOf(rank);
+      per_rank[static_cast<size_t>(rank)] = chunks[static_cast<size_t>(coords.d % shards)];
+    }
+    return per_rank;
+  };
+  redundant.collect = [](const std::vector<DataBatch>& outputs, const ProtocolContext& ctx) {
+    const ParallelConfig& cfg = ctx.groups->train_config();
+    const int shards = cfg.dp / 2;
+    std::vector<DataBatch> parts;
+    for (int shard = 0; shard < shards; ++shard) {
+      // Prefer the primary group's output; fall back to the backup replica.
+      const int primary = ctx.groups->RankOf({cfg.pp - 1, 0, shard});
+      const int backup = ctx.groups->RankOf({cfg.pp - 1, 0, shard + shards});
+      parts.push_back(outputs[static_cast<size_t>(primary)].empty()
+                          ? outputs[static_cast<size_t>(backup)]
+                          : outputs[static_cast<size_t>(primary)]);
+    }
+    return DataBatch::ConcatBatches(parts);
+  };
+  const int id = ProtocolRegistry::Instance().Register(redundant);
+  std::cout << "registered custom protocol #" << id << " ("
+            << ProtocolRegistry::Instance().Get(id).name << ")\n\n";
+
+  // --- Push a batch through it ------------------------------------------------
+  DataBatch input;
+  DataBatch::TokenColumn prompts;
+  for (int64_t i = 0; i < 8; ++i) {
+    prompts.push_back({i * 10, i * 10 + 1});
+  }
+  input.SetTokens("prompts", std::move(prompts));
+
+  const CustomProtocol& protocol = ProtocolRegistry::Instance().Get(id);
+  std::vector<DataBatch> per_rank = protocol.distribute(input, context);
+  std::cout << "distribute: shard row counts per rank:";
+  for (const DataBatch& shard : per_rank) {
+    std::cout << " " << shard.batch_size();
+  }
+  std::cout << "\n(DP groups 0 & 2 and 1 & 3 hold identical replicas)\n\n";
+
+  // Simulate the primary replica of shard 0 failing: drop its output.
+  std::vector<DataBatch> outputs = per_rank;
+  const int failed = groups.RankOf({0, 0, 0});
+  outputs[static_cast<size_t>(failed)] = DataBatch();
+  DataBatch collected = protocol.collect(outputs, context);
+  std::cout << "collect with rank " << failed << " failed: recovered "
+            << collected.batch_size() << "/" << input.batch_size() << " rows";
+  const bool intact = collected.Tokens("prompts") == input.Tokens("prompts");
+  std::cout << (intact ? " — batch intact via the backup replica\n" : " — DATA LOST\n");
+
+  // --- The built-in protocol for comparison ------------------------------------
+  std::vector<DataBatch> builtin =
+      DistributeBatch(TransferProtocol::k3dProto, input, context);
+  std::cout << "\n3D_PROTO shards the same batch " << train.dp
+            << " ways with no redundancy (rank 0 got " << builtin[0].batch_size()
+            << " rows).\n";
+  std::cout << "\nNo worker or controller code changed — the protocol is the only\n"
+               "extension point, which is the §4.1 flexibility claim.\n";
+  return intact ? 0 : 1;
+}

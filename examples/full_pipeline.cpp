@@ -1,0 +1,122 @@
+// The complete LLM alignment pipeline (§1): pre-training is assumed; this
+// example runs the remaining three stages end to end on the simulated
+// cluster with real (toy-scale) numerics:
+//
+//   Stage A  SFT: fine-tune the base policy on demonstration data.
+//   Stage B  Reward modeling: fit a scalar-head net to preference pairs
+//            (Bradley–Terry), standing in for human-preference data.
+//   Stage C  RLHF: PPO with the *learned* reward model (not the ground
+//            truth) driving the actor, exactly the paper's setting.
+//
+// Run: ./full_pipeline [rlhf_iterations]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "src/baselines/system_builder.h"
+#include "src/common/strings.h"
+#include "src/rlhf/pretraining.h"
+
+int main(int argc, char** argv) {
+  using namespace hybridflow;
+  const int rlhf_iterations = argc > 1 ? std::atoi(argv[1]) : 25;
+  const AlignmentTask task;
+
+  // --- Stage A: SFT ---------------------------------------------------------
+  PolicyNetConfig actor_config;
+  actor_config.vocab_size = task.vocab_size;
+  actor_config.context_window = 4;
+  actor_config.embed_dim = 16;
+  actor_config.hidden_dim = 32;
+  Rng actor_rng(11);
+  PolicyNet sft_net(actor_config, actor_rng);
+  SftConfig sft_config;
+  sft_config.steps = 300;
+  sft_config.lr = 0.02f;
+  SftReport sft = RunSft(&sft_net, task, sft_config);
+  std::cout << StrFormat(
+      "Stage A (SFT):     loss %.3f -> %.3f, greedy rule accuracy %.0f%%\n", sft.initial_loss,
+      sft.final_loss, 100.0 * sft.greedy_accuracy);
+
+  // --- Stage B: reward modeling ----------------------------------------------
+  PolicyNetConfig reward_config = actor_config;
+  reward_config.scalar_head = true;
+  Rng reward_rng(12);
+  PolicyNet reward_net(reward_config, reward_rng);
+  RewardTrainingConfig reward_training;
+  reward_training.steps = 200;
+  reward_training.pairs_per_step = 24;
+  reward_training.lr = 0.02f;
+  RewardTrainingReport rm = TrainRewardModel(&reward_net, task, reward_training);
+  std::cout << StrFormat(
+      "Stage B (RM):      Bradley-Terry loss %.3f -> %.3f, held-out ranking accuracy %.0f%%\n",
+      rm.initial_loss, rm.final_loss, 100.0 * rm.ranking_accuracy);
+
+  // --- Stage C: RLHF with the learned reward model ----------------------------
+  Controller controller(ClusterSpec::WithGpus(8));
+  auto pool = controller.CreatePoolRange("all", 0, 8);
+  RealComputeOptions real;
+  real.enabled = true;
+  real.seed = 13;
+  real.task = task;
+  real.net = actor_config;
+
+  WorkerGroupOptions actor_options;
+  actor_options.name = "actor";
+  actor_options.model = ModelSpec::Llama7B();
+  actor_options.trainable = true;
+  actor_options.train_cfg = {1, 4, 2};
+  ActorOptions actor_engine;
+  actor_engine.gen = GenParallelConfig{1, 2};
+  ActorWorkerGroup actor(actor_options, pool, &controller, real, actor_engine);
+  actor.net().CopyFrom(sft_net);  // RLHF starts from the SFT policy.
+
+  WorkerGroupOptions critic_options;
+  critic_options.name = "critic";
+  critic_options.model = ModelSpec::Llama7B();
+  critic_options.scalar_head = true;
+  critic_options.trainable = true;
+  critic_options.train_cfg = {1, 4, 2};
+  CriticWorkerGroup critic(critic_options, pool, &controller, real);
+
+  WorkerGroupOptions ref_options;
+  ref_options.name = "reference";
+  ref_options.model = ModelSpec::Llama7B();
+  ref_options.train_cfg = {1, 4, 2};
+  ReferenceWorkerGroup reference(ref_options, pool, &controller, real, &actor.net());
+
+  WorkerGroupOptions reward_options;
+  reward_options.name = "reward";
+  reward_options.model = ModelSpec::Llama7B();
+  reward_options.scalar_head = true;
+  reward_options.train_cfg = {1, 4, 2};
+  RewardWorkerGroup reward(reward_options, pool, &controller, real,
+                           RewardSource::kLearnedNet);
+  // Inject the trained reward model into the worker.
+  reward.net().CopyFrom(reward_net);
+
+  PromptDataset dataset(task, 14);
+  RlhfProgramConfig program_config;
+  program_config.algorithm = RlhfAlgorithm::kPpo;
+  program_config.real_batch = 64;
+  RlhfModels models;
+  models.actor = &actor;
+  models.critic = &critic;
+  models.reference = &reference;
+  models.reward = &reward;
+  RlhfProgram program(program_config, models, &controller, &dataset);
+
+  std::cout << "Stage C (RLHF):    PPO driven by the learned reward model\n";
+  std::cout << "iter | learned-RM reward | ground-truth toxicity | coherence\n";
+  for (int i = 0; i < rlhf_iterations; ++i) {
+    IterationMetrics metrics = program.RunIteration();
+    if (i % 5 == 0 || i == rlhf_iterations - 1) {
+      std::cout << StrFormat("%4d | %17.3f | %21.4f | %9.3f\n", i, metrics.mean_reward,
+                             metrics.toxicity_rate, metrics.coherence_rate);
+    }
+  }
+  std::cout << "\nThe actor optimizes the *learned* reward; because the reward model\n"
+               "ranks like the ground truth, toxicity falls and coherence rises even\n"
+               "though the RL loop never sees the true task reward.\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// "From alignment to reasoning" (§9): RL with a rule-based, non-neural
+// reward module and GRPO (the critic-free algorithm of DeepSeekMath).
+//
+// The reward model is replaced by a reward *function* — here the alignment
+// task's ground-truth scorer, standing in for a sandbox/verifier that
+// checks a math answer or a code test case. HybridFlow wraps it in the
+// same RewardWorkerGroup API, so the dataflow script is unchanged.
+//
+// Run: ./math_reasoning [iterations]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "src/baselines/system_builder.h"
+#include "src/common/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace hybridflow;
+  const int iterations = argc > 1 ? std::atoi(argv[1]) : 30;
+
+  SystemBuildConfig config;
+  config.system = RlhfSystem::kHybridFlow;
+  config.algorithm = RlhfAlgorithm::kGrpo;
+  config.num_gpus = 8;
+  config.actor_model = ModelSpec::Llama7B();
+  config.critic_model = ModelSpec::Llama7B();
+  config.real_compute = true;
+  config.real_batch = 64;  // 16 prompts x group size 4.
+  config.seed = 123;
+
+  std::cout << "GRPO with a rule-based reward module (no critic, no reward net)\n";
+  RlhfSystemInstance system = BuildSystem(config);
+  if (!system.feasible) {
+    std::cerr << "configuration infeasible\n";
+    return 1;
+  }
+  std::cout << "Models in the dataflow: actor, reference, rule-based reward"
+            << (system.critic ? ", critic" : " (critic-free)") << "\n\n";
+
+  std::cout << "iter | reward | coherence | toxicity | KL(actor||ref)\n";
+  for (int i = 0; i < iterations; ++i) {
+    IterationMetrics metrics = system.RunIteration();
+    if (i % 5 == 0 || i == iterations - 1) {
+      std::cout << StrFormat("%4d | %6.3f | %9.3f | %8.3f | %7.4f\n", i, metrics.mean_reward,
+                             metrics.coherence_rate, metrics.toxicity_rate, metrics.mean_kl);
+    }
+  }
+  std::cout << "\nGroup-normalized advantages give the actor a learning signal without\n"
+               "any value network; the KL column tracks drift from the reference.\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Placement explorer: runs Algorithm 1 on a user-specified cluster and
+// model configuration and prints the optimized device mapping — the tool a
+// practitioner would use before launching an RLHF job.
+//
+// Run: ./placement_explorer [actor_model] [critic_model] [gpus]
+//   e.g. ./placement_explorer 13B 70B 128
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "src/baselines/system_builder.h"
+#include "src/common/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace hybridflow;
+  const std::string actor_name = argc > 1 ? argv[1] : "13B";
+  const std::string critic_name = argc > 2 ? argv[2] : actor_name;
+  const int gpus = argc > 3 ? std::atoi(argv[3]) : 64;
+
+  const ModelSpec actor_model = ModelSpec::ByName(actor_name);
+  const ModelSpec critic_model = ModelSpec::ByName(critic_name);
+  std::cout << "Mapping PPO dataflow: " << actor_name << " actor/reference, " << critic_name
+            << " critic/reward, " << gpus << " GPUs\n\n";
+
+  DeviceMapper mapper(DataflowModels(RlhfAlgorithm::kPpo, actor_model, critic_model),
+                      RlhfWorkloadSpec(), ClusterSpec::WithGpus(gpus));
+
+  std::cout << StrFormat("%-12s | %12s | %s\n", "placement", "est s/iter", "layout");
+  for (PlacementKind kind : {PlacementKind::kColocate, PlacementKind::kStandalone,
+                             PlacementKind::kSplit, PlacementKind::kAuto}) {
+    MappingResult result = mapper.Map(gpus, kind);
+    if (!result.feasible) {
+      std::cout << StrFormat("%-12s | %12s |\n", PlacementKindName(kind), "infeasible");
+      continue;
+    }
+    std::string layout;
+    for (const ColocatedSetResult& set : result.sets) {
+      layout += "[" + std::to_string(set.gpus) + ":";
+      for (size_t m = 0; m < set.model_names.size(); ++m) {
+        layout += (m > 0 ? "," : " ") + set.model_names[m];
+      }
+      layout += "] ";
+    }
+    std::cout << StrFormat("%-12s | %12.1f | %s\n", PlacementKindName(kind),
+                           result.est_iteration_seconds, layout.c_str());
+  }
+
+  MappingResult best = mapper.Map(gpus, PlacementKind::kAuto);
+  if (best.feasible) {
+    std::cout << "\nOptimized mapping detail (Algorithm 1, " << best.placements_examined
+              << " placements, " << best.simulations << " simu calls, "
+              << HumanSeconds(best.wall_seconds) << "):\n";
+    for (const auto& [name, model] : best.models) {
+      std::cout << "  " << StrFormat("%-10s", name.c_str()) << " p-t-d "
+                << model.train.ToString();
+      if (name == "actor") {
+        std::cout << "  generation p_g-t_g " << model.gen.ToString() << " (micro DP "
+                  << MicroDpSize(model.train, model.gen) << ")";
+      }
+      std::cout << "\n";
+    }
+    std::cout << "  stage estimate: gen "
+              << HumanSeconds(
+                     best.models.at("actor").stage_seconds[static_cast<int>(RlhfStage::kGeneration)])
+              << ", train "
+              << HumanSeconds(
+                     best.models.at("actor").stage_seconds[static_cast<int>(RlhfStage::kTraining)])
+              << " (actor)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Quickstart: PPO RLHF end-to-end with HybridFlow.
+//
+// Builds the PPO dataflow (actor, critic, reference, reward) on a simulated
+// 16-GPU cluster with auto-mapped placement, runs real PPO numerics on the
+// toy alignment task, and reports both learning progress (reward up,
+// toxicity down) and simulated full-scale throughput.
+//
+// Run: ./quickstart [iterations]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "src/baselines/system_builder.h"
+#include "src/common/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace hybridflow;
+  const int iterations = argc > 1 ? std::atoi(argv[1]) : 30;
+
+  SystemBuildConfig config;
+  config.system = RlhfSystem::kHybridFlow;
+  config.algorithm = RlhfAlgorithm::kPpo;
+  config.num_gpus = 16;
+  config.actor_model = ModelSpec::Llama7B();
+  config.critic_model = ModelSpec::Llama7B();
+  config.real_compute = true;
+  config.real_batch = 64;
+  config.seed = 7;
+
+  std::cout << "Building HybridFlow PPO system on " << config.num_gpus << " GPUs...\n";
+  RlhfSystemInstance system = BuildSystem(config);
+  if (!system.feasible) {
+    std::cerr << "configuration infeasible\n";
+    return 1;
+  }
+
+  const MappingResult& mapping = system.mapping;
+  std::cout << "Auto-mapping: " << mapping.sets.size() << " colocated set(s), estimated "
+            << HumanSeconds(mapping.est_iteration_seconds) << "/iteration\n";
+  for (const auto& [name, model] : mapping.models) {
+    std::cout << "  " << name << ": p-t-d " << model.train.ToString();
+    if (name == "actor") {
+      std::cout << ", generation p_g-t_g " << model.gen.ToString();
+    }
+    std::cout << "\n";
+  }
+
+  std::cout << "\niter |  sim time | throughput tok/s |  reward | toxicity | coherence\n";
+  for (int i = 0; i < iterations; ++i) {
+    IterationMetrics metrics = system.RunIteration();
+    if (i % 5 == 0 || i == iterations - 1) {
+      std::cout << StrFormat("%4d | %9s | %16.0f | %7.3f | %8.3f | %9.3f\n", i,
+                             HumanSeconds(metrics.iteration_seconds).c_str(),
+                             metrics.throughput_tokens_per_sec, metrics.mean_reward,
+                             metrics.toxicity_rate, metrics.coherence_rate);
+    }
+  }
+  std::cout << "\nThe actor should have learned to avoid the toxic token and produce\n"
+               "coherent continuations (reward up, toxicity near 0).\n";
+  return 0;
+}

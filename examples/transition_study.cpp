@@ -1,0 +1,80 @@
+// Transition deep dive: for a chosen model and training strategy, prints
+// every generation regrouping's Table-2 accounting side by side for the
+// three engine designs, plus the per-rank shard overlap picture of §5.3 /
+// Figure 8.
+//
+// Run: ./transition_study [model] [p] [t] [d]
+//   e.g. ./transition_study 70B 2 8 2
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "src/common/strings.h"
+#include "src/common/units.h"
+#include "src/hybridengine/hybrid_engine.h"
+
+int main(int argc, char** argv) {
+  using namespace hybridflow;
+  const std::string model_name = argc > 1 ? argv[1] : "7B";
+  ParallelConfig train;
+  train.pp = argc > 2 ? std::atoi(argv[2]) : 1;
+  train.tp = argc > 3 ? std::atoi(argv[3]) : 8;
+  train.dp = argc > 4 ? std::atoi(argv[4]) : 2;
+  const ModelSpec model = ModelSpec::ByName(model_name);
+  const int n = train.world_size();
+  const ClusterSpec cluster = ClusterSpec::WithGpus(n);
+  std::vector<DeviceId> devices(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    devices[static_cast<size_t>(i)] = i;
+  }
+
+  std::cout << model_name << " actor, training groups " << train.ToString() << " on " << n
+            << " GPUs (M = " << HumanBytes(model.ParamBytes()) << ")\n";
+
+  std::cout << "\n"
+            << StrFormat("%-10s | %-14s | %12s | %12s | %12s | %10s\n", "gen p-t", "engine",
+                         "comm/GPU", "peak mem", "redundancy", "time");
+  for (int tg = 1; tg <= train.tp; tg *= 2) {
+    for (int pg = 1; pg <= train.pp; pg *= 2) {
+      GenParallelConfig gen{pg, tg};
+      if (!GenConfigCompatible(train, gen)) {
+        continue;
+      }
+      for (ActorEngineMode mode : {ActorEngineMode::kHybridFlowV, ActorEngineMode::kHybridFlow}) {
+        HybridEngine engine(model, train, gen, mode, cluster, devices);
+        TransitionStats stats = engine.TrainToGenTransition();
+        std::cout << StrFormat("%d-%-8d | %-14s | %12s | %12s | %12s | %10s\n", pg, tg,
+                               ActorEngineModeName(mode),
+                               HumanBytes(stats.comm_bytes_per_gpu).c_str(),
+                               HumanBytes(stats.peak_param_bytes).c_str(),
+                               HumanBytes(stats.redundant_bytes).c_str(),
+                               HumanSeconds(stats.seconds).c_str());
+      }
+    }
+  }
+
+  // Per-rank shard overlap picture for the smallest non-trivial regrouping.
+  GenParallelConfig gen{1, train.tp / 2 > 0 ? train.tp / 2 : 1};
+  if (GenConfigCompatible(train, gen) && gen.tp >= 1 && train.tp > 1) {
+    ProcessGroups groups(train, devices);
+    std::cout << "\nPer-rank training-shard vs generation-shard overlap (gen " << gen.ToString()
+              << "):\n";
+    std::cout << StrFormat("%-5s | %-28s | %-28s\n", "rank", "vanilla (HybridFlow-V)",
+                           "zero-redundancy (HybridFlow)");
+    for (int rank = 0; rank < n; ++rank) {
+      ReshardMemoryProfile vanilla =
+          ComputeReshardMemory(groups, rank, gen, GenGroupingMethod::kVanilla);
+      ReshardMemoryProfile zero =
+          ComputeReshardMemory(groups, rank, gen, GenGroupingMethod::kZeroRedundancy);
+      std::cout << StrFormat("%-5d | overlap %4.1f%%, waste %4.1f%% | overlap %4.1f%%, waste %4.1f%%\n",
+                             rank, 100.0 * vanilla.overlap_fraction / vanilla.train_fraction,
+                             100.0 * vanilla.redundant_fraction / vanilla.train_fraction,
+                             100.0 * zero.overlap_fraction / zero.train_fraction,
+                             100.0 * zero.redundant_fraction / zero.train_fraction);
+    }
+    std::cout << "\nZero-redundancy grouping always reuses 100% of the training shard\n"
+                 "inside the generation buffer (the §5.3 guarantee).\n";
+  }
+  return 0;
+}

@@ -1,0 +1,486 @@
+#include "src/baselines/system_builder.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace hybridflow {
+
+const char* RlhfSystemName(RlhfSystem system) {
+  switch (system) {
+    case RlhfSystem::kHybridFlow:
+      return "HybridFlow";
+    case RlhfSystem::kDeepSpeedChat:
+      return "DeepSpeed-Chat";
+    case RlhfSystem::kOpenRlhf:
+      return "OpenRLHF";
+    case RlhfSystem::kNemoAligner:
+      return "NeMo-Aligner";
+  }
+  return "?";
+}
+
+std::vector<MappedModelDesc> DataflowModels(RlhfAlgorithm algorithm,
+                                            const ModelSpec& actor_model,
+                                            const ModelSpec& critic_model) {
+  std::vector<MappedModelDesc> models;
+  models.push_back({"actor", actor_model, /*trainable=*/true, /*scalar_head=*/false,
+                    /*is_actor=*/true});
+  const bool has_critic =
+      algorithm == RlhfAlgorithm::kPpo || algorithm == RlhfAlgorithm::kSafeRlhf;
+  if (has_critic) {
+    models.push_back({"critic", critic_model, true, true, false});
+  }
+  models.push_back({"reference", actor_model, false, false, false});
+  models.push_back({"reward", critic_model, false, true, false});
+  if (algorithm == RlhfAlgorithm::kSafeRlhf) {
+    models.push_back({"cost", critic_model, false, true, false});
+  }
+  return models;
+}
+
+int MinTpForBytes(double bytes, double budget, int cap) {
+  for (int tp = 1; tp <= cap; tp *= 2) {
+    if (bytes / tp <= budget) {
+      return tp;
+    }
+  }
+  return 0;
+}
+
+namespace {
+
+RealComputeOptions MakeReal(const SystemBuildConfig& config) {
+  RealComputeOptions real;
+  real.enabled = config.real_compute;
+  real.seed = config.seed;
+  real.task = AlignmentTask{};
+  real.net.arch = config.real_arch;
+  real.net.vocab_size = real.task.vocab_size;
+  real.net.context_window = 4;
+  real.net.embed_dim = 16;
+  real.net.hidden_dim = 32;
+  real.net.num_layers = 2;
+  real.adam.lr = 3e-3f;
+  return real;
+}
+
+// Heuristic 3D strategy: the smallest model-parallel degree that fits in
+// memory (TP first up to a node, then PP), data parallelism for the rest.
+ParallelConfig Heuristic3d(const MappedModelDesc& model, int gpus, int gpus_per_node,
+                           double memory_budget) {
+  const double params =
+      model.scalar_head ? model.spec.NumParamsScalarHead() : model.spec.NumParams();
+  const double state = (model.trainable ? ModelSpec::kTrainBytesPerParam : 2.0) * params;
+  for (int tp = 1; tp <= std::min(gpus, gpus_per_node); tp *= 2) {
+    for (int pp = 1; tp * pp <= gpus; pp *= 2) {
+      if (gpus % (tp * pp) != 0) {
+        continue;
+      }
+      if (state / (tp * pp) <= memory_budget) {
+        return ParallelConfig{pp, tp, gpus / (tp * pp)};
+      }
+    }
+  }
+  return ParallelConfig{0, 0, 0};  // Does not fit.
+}
+
+struct BuildContext {
+  const SystemBuildConfig& config;
+  RlhfSystemInstance& instance;
+  std::vector<MappedModelDesc> models;
+  RealComputeOptions real;
+
+  const MappedModelDesc& Model(const std::string& name) const {
+    for (const MappedModelDesc& model : models) {
+      if (model.name == name) {
+        return model;
+      }
+    }
+    HF_CHECK_MSG(false, "model " << name << " not in dataflow");
+    return models[0];
+  }
+  bool Has(const std::string& name) const {
+    for (const MappedModelDesc& model : models) {
+      if (model.name == name) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+WorkerGroupOptions MakeOptions(const MappedModelDesc& model, const ParallelConfig& cfg,
+                               WorkerBackend backend, const PerfParams& perf) {
+  WorkerGroupOptions options;
+  options.name = model.name;
+  options.model = model.spec;
+  options.scalar_head = model.scalar_head;
+  options.trainable = model.trainable;
+  options.backend = backend;
+  options.train_cfg = cfg;
+  options.perf = perf;
+  return options;
+}
+
+void MakeNonActorGroups(BuildContext& ctx, const std::string& name,
+                        std::shared_ptr<ResourcePool> pool, const ParallelConfig& cfg,
+                        WorkerBackend backend) {
+  RlhfSystemInstance& instance = ctx.instance;
+  const MappedModelDesc& model = ctx.Model(name);
+  WorkerGroupOptions options = MakeOptions(model, cfg, backend, ctx.config.perf);
+  if (name == "critic") {
+    instance.critic = std::make_unique<CriticWorkerGroup>(
+        std::move(options), std::move(pool), instance.controller.get(), ctx.real);
+  } else if (name == "reference") {
+    instance.reference = std::make_unique<ReferenceWorkerGroup>(
+        std::move(options), std::move(pool), instance.controller.get(), ctx.real,
+        ctx.real.enabled ? &instance.actor->net() : nullptr);
+  } else if (name == "reward") {
+    instance.reward = std::make_unique<RewardWorkerGroup>(
+        std::move(options), std::move(pool), instance.controller.get(), ctx.real,
+        RewardSource::kRuleReward, "rewards");
+  } else if (name == "cost") {
+    instance.cost = std::make_unique<RewardWorkerGroup>(
+        std::move(options), std::move(pool), instance.controller.get(), ctx.real,
+        RewardSource::kRuleCost, "costs");
+  } else {
+    HF_CHECK_MSG(false, "unexpected model " << name);
+  }
+}
+
+bool BuildHybridFlow(BuildContext& ctx) {
+  const SystemBuildConfig& config = ctx.config;
+  RlhfSystemInstance& instance = ctx.instance;
+
+  MapperOptions mapper_options;
+  mapper_options.perf = config.perf;
+  mapper_options.extra_generation_pass = config.algorithm == RlhfAlgorithm::kRemax;
+  DeviceMapper mapper(ctx.models, config.workload,
+                      ClusterSpec::WithGpus(config.num_gpus, config.gpus_per_node),
+                      mapper_options);
+  instance.mapping = mapper.Map(config.num_gpus, config.placement);
+  if (!instance.mapping.feasible) {
+    return false;
+  }
+
+  // One pool per colocated set; groups in a set share the pool handle.
+  std::vector<std::shared_ptr<ResourcePool>> set_pools;
+  for (size_t s = 0; s < instance.mapping.sets.size(); ++s) {
+    const ColocatedSetResult& set = instance.mapping.sets[s];
+    set_pools.push_back(instance.controller->CreatePoolRange(
+        "set" + std::to_string(s), set.first_device, set.gpus));
+  }
+
+  // Actor first (the reference copies its weights). Algorithm 2 may have
+  // selected the ZeRO backend, in which case the engine reshards ZeRO->TP
+  // (DS-Chat-style); the 3D backend uses the zero-redundancy engine.
+  const int actor_set = instance.mapping.SetOf("actor");
+  const ModelMapping& actor_mapping = instance.mapping.models.at("actor");
+  ActorOptions actor_options;
+  actor_options.gen = actor_mapping.gen;
+  actor_options.engine_mode = actor_mapping.backend == WorkerBackend::k3dParallel
+                                  ? ActorEngineMode::kHybridFlow
+                                  : ActorEngineMode::kDsChat;
+  instance.actor = std::make_unique<ActorWorkerGroup>(
+      MakeOptions(ctx.Model("actor"), actor_mapping.train, actor_mapping.backend, config.perf),
+      set_pools[static_cast<size_t>(actor_set)], instance.controller.get(), ctx.real,
+      actor_options);
+
+  for (const MappedModelDesc& model : ctx.models) {
+    if (model.name == "actor") {
+      continue;
+    }
+    const int set = instance.mapping.SetOf(model.name);
+    const ModelMapping& mapping = instance.mapping.models.at(model.name);
+    MakeNonActorGroups(ctx, model.name, set_pools[static_cast<size_t>(set)], mapping.train,
+                       mapping.backend);
+  }
+  return true;
+}
+
+bool BuildDeepSpeedChat(BuildContext& ctx) {
+  const SystemBuildConfig& config = ctx.config;
+  RlhfSystemInstance& instance = ctx.instance;
+  const double capacity = instance.controller->spec().gpu.memory_bytes;
+
+  // Everything colocated on all GPUs; every model ZeRO-3 across N.
+  auto pool = instance.controller->CreatePoolRange("all", 0, config.num_gpus);
+  const ParallelConfig dp_cfg{1, 1, config.num_gpus};
+
+  // Memory feasibility: sum of ZeRO-3 states across colocated models.
+  double total_state = 0.0;
+  for (const MappedModelDesc& model : ctx.models) {
+    const double params =
+        model.scalar_head ? model.spec.NumParamsScalarHead() : model.spec.NumParams();
+    total_state +=
+        (model.trainable ? ModelSpec::kTrainBytesPerParam : 2.0) * params / config.num_gpus;
+  }
+  if (total_state > 0.85 * capacity) {
+    return false;
+  }
+
+  // Generation TP: smallest power of two leaving KVCache headroom.
+  const int tg = MinTpForBytes(ctx.Model("actor").spec.ParamBytes(), 0.25 * capacity,
+                               std::min(config.num_gpus, config.gpus_per_node));
+  if (tg == 0) {
+    return false;
+  }
+
+  ActorOptions actor_options;
+  actor_options.gen = GenParallelConfig{1, tg};
+  actor_options.engine_mode = ActorEngineMode::kDsChat;
+  WorkerGroupOptions options =
+      MakeOptions(ctx.Model("actor"), dp_cfg, WorkerBackend::kZero, config.perf);
+  instance.actor = std::make_unique<ActorWorkerGroup>(
+      std::move(options), pool, instance.controller.get(), ctx.real, actor_options);
+
+  for (const MappedModelDesc& model : ctx.models) {
+    if (model.name == "actor") {
+      continue;
+    }
+    MakeNonActorGroups(ctx, model.name, pool, dp_cfg, WorkerBackend::kZero);
+  }
+  return true;
+}
+
+bool BuildOpenRlhf(BuildContext& ctx) {
+  const SystemBuildConfig& config = ctx.config;
+  RlhfSystemInstance& instance = ctx.instance;
+  const double capacity = instance.controller->spec().gpu.memory_bytes;
+  const int n = config.num_gpus;
+  if (n < 4) {
+    return false;
+  }
+
+  // Standalone placement: actor training, vLLM generation, and each other
+  // model on disjoint device sets, sized proportionally to their memory
+  // footprint (largest-remainder rounding, each at least one GPU).
+  std::vector<std::string> others;
+  std::vector<double> weights;
+  const double actor_params = ctx.Model("actor").spec.NumParams();
+  weights.push_back(ModelSpec::kTrainBytesPerParam * actor_params);  // Actor training.
+  weights.push_back(4.0 * actor_params);                             // vLLM copy + KVCache.
+  for (const MappedModelDesc& model : ctx.models) {
+    if (model.name == "actor") {
+      continue;
+    }
+    others.push_back(model.name);
+    const double params =
+        model.scalar_head ? model.spec.NumParamsScalarHead() : model.spec.NumParams();
+    weights.push_back((model.trainable ? ModelSpec::kTrainBytesPerParam : 2.0) * params);
+  }
+  double weight_sum = 0.0;
+  for (double weight : weights) {
+    weight_sum += weight;
+  }
+  std::vector<int> shares(weights.size(), 1);
+  int assigned = static_cast<int>(weights.size());
+  HF_CHECK_LE(assigned, n);
+  // Greedily hand out remaining GPUs to the most under-allocated pool.
+  while (assigned < n) {
+    size_t argmax = 0;
+    double worst = -1.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      const double deficit = weights[i] / weight_sum - static_cast<double>(shares[i]) / n;
+      if (deficit > worst) {
+        worst = deficit;
+        argmax = i;
+      }
+    }
+    shares[argmax] += 1;
+    assigned += 1;
+  }
+  int actor_gpus = shares[0];
+  int gen_gpus = shares[1];
+  std::vector<int> other_gpus(shares.begin() + 2, shares.end());
+
+  // The vLLM pool must tile into TP-sized replicas: shrink it to the
+  // nearest multiple of the needed TP degree, returning the remainder to
+  // actor training.
+  const double capacity_probe = instance.controller->spec().gpu.memory_bytes;
+  int gen_tp = MinTpForBytes(ctx.Model("actor").spec.ParamBytes(), 0.5 * capacity_probe,
+                             std::min(gen_gpus, config.gpus_per_node));
+  if (gen_tp == 0) {
+    return false;
+  }
+  actor_gpus += gen_gpus % gen_tp;
+  gen_gpus -= gen_gpus % gen_tp;
+  if (gen_gpus < gen_tp) {
+    return false;
+  }
+
+  int cursor = 0;
+  auto actor_pool = instance.controller->CreatePoolRange("actor_train", cursor, actor_gpus);
+  cursor += actor_gpus;
+  auto gen_pool = instance.controller->CreatePoolRange("actor_gen", cursor, gen_gpus);
+  cursor += gen_gpus;
+
+  // Actor trains with ZeRO-3 across its pool.
+  const double actor_state =
+      ModelSpec::kTrainBytesPerParam * ctx.Model("actor").spec.NumParams() / actor_gpus;
+  if (actor_state > 0.85 * capacity) {
+    return false;
+  }
+  const int tg = gen_tp;
+  HF_CHECK_EQ(gen_gpus % tg, 0);
+
+  ActorOptions actor_options;
+  actor_options.gen = GenParallelConfig{1, tg};
+  actor_options.engine_mode = ActorEngineMode::kTwoCopies;
+  actor_options.gen_pool = gen_pool;
+  instance.actor = std::make_unique<ActorWorkerGroup>(
+      MakeOptions(ctx.Model("actor"), ParallelConfig{1, 1, actor_gpus}, WorkerBackend::kZero,
+                  config.perf),
+      actor_pool, instance.controller.get(), ctx.real, actor_options);
+
+  for (size_t i = 0; i < others.size(); ++i) {
+    const MappedModelDesc& model = ctx.Model(others[i]);
+    const double params =
+        model.scalar_head ? model.spec.NumParamsScalarHead() : model.spec.NumParams();
+    const double state =
+        (model.trainable ? ModelSpec::kTrainBytesPerParam : 2.0) * params / other_gpus[i];
+    if (state > 0.85 * capacity) {
+      return false;
+    }
+    auto pool = instance.controller->CreatePoolRange(others[i] + "_pool", cursor, other_gpus[i]);
+    cursor += other_gpus[i];
+    MakeNonActorGroups(ctx, others[i], pool, ParallelConfig{1, 1, other_gpus[i]},
+                       WorkerBackend::kZero);
+  }
+  return true;
+}
+
+bool BuildNemoAligner(BuildContext& ctx) {
+  const SystemBuildConfig& config = ctx.config;
+  RlhfSystemInstance& instance = ctx.instance;
+  const double capacity = instance.controller->spec().gpu.memory_bytes;
+  const int n = config.num_gpus;
+  if (n < 2) {
+    return false;
+  }
+  const int half = n / 2;
+
+  auto actor_pool = instance.controller->CreatePoolRange("actor_ref", 0, half);
+  auto critic_pool = instance.controller->CreatePoolRange("critic_rm", half, n - half);
+
+  const ParallelConfig actor_cfg =
+      Heuristic3d(ctx.Model("actor"), half, config.gpus_per_node, 0.55 * capacity);
+  if (!actor_cfg.Valid() || actor_cfg.pp == 0) {
+    return false;
+  }
+
+  // Identical parallelism in training and generation; no KVCache (§8.2).
+  ActorOptions actor_options;
+  actor_options.engine_mode = ActorEngineMode::kShared;
+  actor_options.use_kv_cache = false;
+  instance.actor = std::make_unique<ActorWorkerGroup>(
+      MakeOptions(ctx.Model("actor"), actor_cfg, WorkerBackend::k3dParallel, config.perf),
+      actor_pool, instance.controller.get(), ctx.real, actor_options);
+
+  for (const MappedModelDesc& model : ctx.models) {
+    if (model.name == "actor") {
+      continue;
+    }
+    const bool with_actor = model.name == "reference";
+    auto pool = with_actor ? actor_pool : critic_pool;
+    const int gpus = pool->size();
+    const double budget = (model.trainable ? 0.55 : 0.25) * capacity;
+    const ParallelConfig cfg = Heuristic3d(model, gpus, config.gpus_per_node, budget);
+    if (!cfg.Valid() || cfg.pp == 0) {
+      return false;
+    }
+    MakeNonActorGroups(ctx, model.name, pool, cfg, WorkerBackend::k3dParallel);
+  }
+  return true;
+}
+
+}  // namespace
+
+IterationMetrics RlhfSystemInstance::RunAveraged(int warmup, int measured) {
+  HF_CHECK(program != nullptr);
+  HF_CHECK_GT(measured, 0);
+  for (int i = 0; i < warmup; ++i) {
+    program->RunIteration();
+  }
+  IterationMetrics total;
+  for (int i = 0; i < measured; ++i) {
+    IterationMetrics metrics = program->RunIteration();
+    total.iteration_seconds += metrics.iteration_seconds;
+    total.throughput_tokens_per_sec += metrics.throughput_tokens_per_sec;
+    total.mean_reward += metrics.mean_reward;
+    total.toxicity_rate += metrics.toxicity_rate;
+    total.coherence_rate += metrics.coherence_rate;
+    total.transition_seconds += metrics.transition_seconds;
+    total.generation_seconds += metrics.generation_seconds;
+    for (const auto& [category, seconds] : metrics.busy_by_category) {
+      total.busy_by_category[category] += seconds;
+    }
+  }
+  const double inv = 1.0 / measured;
+  total.iteration_seconds *= inv;
+  total.throughput_tokens_per_sec *= inv;
+  total.mean_reward *= inv;
+  total.toxicity_rate *= inv;
+  total.coherence_rate *= inv;
+  total.transition_seconds *= inv;
+  total.generation_seconds *= inv;
+  for (auto& [category, seconds] : total.busy_by_category) {
+    seconds *= inv;
+  }
+  return total;
+}
+
+RlhfSystemInstance BuildSystem(const SystemBuildConfig& config) {
+  RlhfSystemInstance instance;
+  instance.controller = std::make_unique<Controller>(
+      ClusterSpec::WithGpus(config.num_gpus, config.gpus_per_node));
+
+  BuildContext ctx{config, instance,
+                   DataflowModels(config.algorithm, config.actor_model, config.critic_model),
+                   MakeReal(config)};
+
+  bool ok = false;
+  switch (config.system) {
+    case RlhfSystem::kHybridFlow:
+      ok = BuildHybridFlow(ctx);
+      break;
+    case RlhfSystem::kDeepSpeedChat:
+      ok = BuildDeepSpeedChat(ctx);
+      break;
+    case RlhfSystem::kOpenRlhf:
+      ok = BuildOpenRlhf(ctx);
+      break;
+    case RlhfSystem::kNemoAligner:
+      ok = BuildNemoAligner(ctx);
+      break;
+  }
+  if (!ok) {
+    instance.feasible = false;
+    HF_LOG(kInfo) << RlhfSystemName(config.system) << " infeasible on " << config.num_gpus
+                  << " GPUs for " << config.actor_model.name << " models";
+    return instance;
+  }
+
+  if (config.real_compute) {
+    instance.dataset = std::make_unique<PromptDataset>(ctx.real.task, config.seed ^ 0xDA7A);
+  }
+
+  RlhfProgramConfig program_config;
+  program_config.algorithm = config.algorithm;
+  program_config.workload = config.workload;
+  program_config.real_batch = config.real_batch;
+  RlhfModels models;
+  models.actor = instance.actor.get();
+  models.critic = instance.critic.get();
+  models.reference = instance.reference.get();
+  models.reward = instance.reward.get();
+  models.cost = instance.cost.get();
+  instance.program = std::make_unique<RlhfProgram>(program_config, models,
+                                                   instance.controller.get(),
+                                                   instance.dataset.get());
+  return instance;
+}
+
+}  // namespace hybridflow

@@ -1,0 +1,232 @@
+#include "src/ckpt/checkpoint.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "src/common/check.h"
+#include "src/common/logging.h"
+
+namespace hybridflow {
+
+uint64_t ChecksumFloats(const std::vector<std::vector<float>>& data) {
+  uint64_t hash = 0xCBF29CE484222325ULL;  // FNV-1a.
+  for (const std::vector<float>& block : data) {
+    for (float value : block) {
+      uint32_t bits;
+      std::memcpy(&bits, &value, sizeof(bits));
+      for (int shift = 0; shift < 32; shift += 8) {
+        hash ^= (bits >> shift) & 0xFFu;
+        hash *= 0x100000001B3ULL;
+      }
+    }
+  }
+  return hash;
+}
+
+ModelSnapshot ModelSnapshot::FromNet(const PolicyNet& net) {
+  ModelSnapshot snapshot;
+  for (const Tensor& param : net.Parameters()) {
+    snapshot.parameters.push_back(param.data());
+  }
+  snapshot.checksum = ChecksumFloats(snapshot.parameters);
+  return snapshot;
+}
+
+bool ModelSnapshot::Verify() const { return checksum == ChecksumFloats(parameters); }
+
+bool ModelSnapshot::RestoreInto(PolicyNet* net) const {
+  HF_CHECK(net != nullptr);
+  if (!Verify()) {
+    HF_LOG(kError) << "checkpoint restore refused: checksum mismatch (silent data corruption)";
+    return false;
+  }
+  std::vector<Tensor> params = net->Parameters();
+  if (params.size() != parameters.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (params[i].data().size() != parameters[i].size()) {
+      return false;
+    }
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i].data() = parameters[i];
+  }
+  return true;
+}
+
+bool SystemCheckpoint::Verify() const {
+  for (const auto& [name, snapshot] : models) {
+    if (!snapshot.Verify()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+const SystemCheckpoint& CheckpointManager::Capture(
+    int64_t iteration, int64_t dataloader_position,
+    const std::map<std::string, const PolicyNet*>& nets) {
+  SystemCheckpoint checkpoint;
+  checkpoint.iteration = iteration;
+  checkpoint.dataloader_position = dataloader_position;
+  for (const auto& [name, net] : nets) {
+    if (net != nullptr) {
+      checkpoint.models.emplace(name, ModelSnapshot::FromNet(*net));
+    }
+  }
+  snapshots_.push_back(std::move(checkpoint));
+  if (static_cast<int>(snapshots_.size()) > max_snapshots_) {
+    snapshots_.erase(snapshots_.begin());
+  }
+  return snapshots_.back();
+}
+
+const SystemCheckpoint& CheckpointManager::Latest() const {
+  HF_CHECK(!snapshots_.empty());
+  return snapshots_.back();
+}
+
+int64_t CheckpointManager::LatestIteration() const {
+  return snapshots_.empty() ? -1 : snapshots_.back().iteration;
+}
+
+bool CheckpointManager::Restore(const std::map<std::string, PolicyNet*>& nets,
+                                int64_t* iteration, int64_t* dataloader_position) const {
+  // Walk snapshots newest-first; a corrupted snapshot falls back to the
+  // previous one (redundancy-based recovery, §9).
+  for (auto it = snapshots_.rbegin(); it != snapshots_.rend(); ++it) {
+    if (!it->Verify()) {
+      HF_LOG(kWarning) << "skipping corrupted checkpoint at iteration " << it->iteration;
+      continue;
+    }
+    bool ok = true;
+    for (const auto& [name, net] : nets) {
+      if (net == nullptr) {
+        continue;
+      }
+      auto found = it->models.find(name);
+      if (found == it->models.end() || !found->second.RestoreInto(net)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      if (iteration != nullptr) {
+        *iteration = it->iteration;
+      }
+      if (dataloader_position != nullptr) {
+        *dataloader_position = it->dataloader_position;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+void WriteU64(std::ofstream& out, uint64_t value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+bool ReadU64(std::ifstream& in, uint64_t* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(*value));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+bool CheckpointManager::SaveToFile(const std::string& path) const {
+  if (snapshots_.empty()) {
+    return false;
+  }
+  const SystemCheckpoint& checkpoint = snapshots_.back();
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return false;
+  }
+  WriteU64(out, 0x48464B5031ULL);  // "HFKP1" magic.
+  WriteU64(out, static_cast<uint64_t>(checkpoint.iteration));
+  WriteU64(out, static_cast<uint64_t>(checkpoint.dataloader_position));
+  WriteU64(out, checkpoint.models.size());
+  for (const auto& [name, snapshot] : checkpoint.models) {
+    WriteU64(out, name.size());
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    WriteU64(out, snapshot.checksum);
+    WriteU64(out, snapshot.parameters.size());
+    for (const std::vector<float>& block : snapshot.parameters) {
+      WriteU64(out, block.size());
+      out.write(reinterpret_cast<const char*>(block.data()),
+                static_cast<std::streamsize>(block.size() * sizeof(float)));
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+bool CheckpointManager::LoadFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  uint64_t magic = 0;
+  if (!ReadU64(in, &magic) || magic != 0x48464B5031ULL) {
+    return false;
+  }
+  SystemCheckpoint checkpoint;
+  uint64_t iteration = 0;
+  uint64_t position = 0;
+  uint64_t model_count = 0;
+  if (!ReadU64(in, &iteration) || !ReadU64(in, &position) || !ReadU64(in, &model_count)) {
+    return false;
+  }
+  checkpoint.iteration = static_cast<int64_t>(iteration);
+  checkpoint.dataloader_position = static_cast<int64_t>(position);
+  for (uint64_t m = 0; m < model_count; ++m) {
+    uint64_t name_size = 0;
+    if (!ReadU64(in, &name_size) || name_size > 4096) {
+      return false;
+    }
+    std::string name(name_size, '\0');
+    in.read(name.data(), static_cast<std::streamsize>(name_size));
+    ModelSnapshot snapshot;
+    uint64_t block_count = 0;
+    if (!ReadU64(in, &snapshot.checksum) || !ReadU64(in, &block_count)) {
+      return false;
+    }
+    for (uint64_t b = 0; b < block_count; ++b) {
+      uint64_t size = 0;
+      if (!ReadU64(in, &size) || size > (1ULL << 32)) {
+        return false;
+      }
+      std::vector<float> block(size);
+      in.read(reinterpret_cast<char*>(block.data()),
+              static_cast<std::streamsize>(size * sizeof(float)));
+      if (!in) {
+        return false;
+      }
+      snapshot.parameters.push_back(std::move(block));
+    }
+    if (!snapshot.Verify()) {
+      return false;
+    }
+    checkpoint.models.emplace(std::move(name), std::move(snapshot));
+  }
+  snapshots_.push_back(std::move(checkpoint));
+  if (static_cast<int>(snapshots_.size()) > max_snapshots_) {
+    snapshots_.erase(snapshots_.begin());
+  }
+  return true;
+}
+
+void CheckpointManager::CorruptLatestForTesting() {
+  HF_CHECK(!snapshots_.empty());
+  for (auto& [name, snapshot] : snapshots_.back().models) {
+    if (!snapshot.parameters.empty() && !snapshot.parameters[0].empty()) {
+      snapshot.parameters[0][0] += 1.0f;  // Checksum now mismatches.
+      return;
+    }
+  }
+}
+
+}  // namespace hybridflow

@@ -1,0 +1,73 @@
+#include "src/ckpt/trainer.h"
+
+#include "src/common/logging.h"
+
+namespace hybridflow {
+
+RlhfTrainer::RlhfTrainer(RlhfProgram* program, RlhfModels models)
+    : program_(program), models_(models) {
+  HF_CHECK(program_ != nullptr);
+  HF_CHECK(models_.actor != nullptr);
+}
+
+std::map<std::string, const PolicyNet*> RlhfTrainer::ConstNets() const {
+  std::map<std::string, const PolicyNet*> nets;
+  if (models_.actor->real_enabled()) {
+    nets["actor"] = &models_.actor->net();
+    if (models_.critic != nullptr) {
+      nets["critic"] = &models_.critic->net();
+    }
+  }
+  return nets;
+}
+
+std::map<std::string, PolicyNet*> RlhfTrainer::MutableNets() const {
+  std::map<std::string, PolicyNet*> nets;
+  if (models_.actor->real_enabled()) {
+    nets["actor"] = &models_.actor->net();
+    if (models_.critic != nullptr) {
+      nets["critic"] = &models_.critic->net();
+    }
+  }
+  return nets;
+}
+
+TrainerReport RlhfTrainer::Run(const TrainerConfig& config) {
+  TrainerReport report;
+  // Initial checkpoint so iteration-0 failures are recoverable.
+  manager_.Capture(0, 0, ConstNets());
+  report.checkpoints_taken = 1;
+
+  int64_t iteration = 0;
+  bool failure_pending = config.fail_after_iteration >= 0;
+  while (iteration < config.total_iterations) {
+    IterationMetrics metrics = program_->RunIteration();
+    iteration += 1;
+    report.history.push_back(metrics);
+
+    if (failure_pending && iteration == config.fail_after_iteration) {
+      // "Failures can be detected by NCCL errors": roll back to the latest
+      // consistent checkpoint; the iterations since are lost and re-run.
+      failure_pending = false;
+      int64_t restored_iteration = 0;
+      int64_t restored_position = 0;
+      const bool ok =
+          manager_.Restore(MutableNets(), &restored_iteration, &restored_position);
+      HF_CHECK_MSG(ok, "no consistent checkpoint available for recovery");
+      HF_LOG(kInfo) << "injected failure after iteration " << iteration
+                    << "; recovered to iteration " << restored_iteration;
+      iteration = restored_iteration;
+      report.failures_recovered += 1;
+      continue;
+    }
+
+    if (config.checkpoint_interval > 0 && iteration % config.checkpoint_interval == 0) {
+      manager_.Capture(iteration, iteration, ConstNets());
+      report.checkpoints_taken += 1;
+    }
+  }
+  report.final_iteration = iteration;
+  return report;
+}
+
+}  // namespace hybridflow

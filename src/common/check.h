@@ -1,0 +1,60 @@
+// Invariant-checking macros used across HybridFlow.
+//
+// HF_CHECK* macros are for programmer errors and internal invariants: they
+// abort with a diagnostic. User-facing configuration validation should use
+// Result or throw std::invalid_argument at API boundaries instead.
+#ifndef SRC_COMMON_CHECK_H_
+#define SRC_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace hybridflow {
+
+[[noreturn]] inline void CheckFailure(const char* file, int line, const std::string& message) {
+  std::cerr << "HF_CHECK failed at " << file << ":" << line << ": " << message << std::endl;
+  std::abort();
+}
+
+}  // namespace hybridflow
+
+#define HF_CHECK(condition)                                                      \
+  do {                                                                           \
+    if (!(condition)) {                                                          \
+      ::hybridflow::CheckFailure(__FILE__, __LINE__, "expected: " #condition);   \
+    }                                                                            \
+  } while (false)
+
+#define HF_CHECK_MSG(condition, msg)                                             \
+  do {                                                                           \
+    if (!(condition)) {                                                          \
+      std::ostringstream hf_check_stream_;                                       \
+      hf_check_stream_ << "expected: " #condition << " — " << msg;               \
+      ::hybridflow::CheckFailure(__FILE__, __LINE__, hf_check_stream_.str());    \
+    }                                                                            \
+  } while (false)
+
+#define HF_CHECK_OP_(lhs, rhs, op)                                               \
+  do {                                                                           \
+    auto hf_lhs_ = (lhs);                                                        \
+    auto hf_rhs_ = (rhs);                                                        \
+    if (!(hf_lhs_ op hf_rhs_)) {                                                 \
+      std::ostringstream hf_check_stream_;                                       \
+      hf_check_stream_ << "expected: " #lhs " " #op " " #rhs << " (" << hf_lhs_  \
+                       << " vs " << hf_rhs_ << ")";                              \
+      ::hybridflow::CheckFailure(__FILE__, __LINE__, hf_check_stream_.str());    \
+    }                                                                            \
+  } while (false)
+
+#define HF_CHECK_EQ(lhs, rhs) HF_CHECK_OP_(lhs, rhs, ==)
+#define HF_CHECK_NE(lhs, rhs) HF_CHECK_OP_(lhs, rhs, !=)
+#define HF_CHECK_LT(lhs, rhs) HF_CHECK_OP_(lhs, rhs, <)
+#define HF_CHECK_LE(lhs, rhs) HF_CHECK_OP_(lhs, rhs, <=)
+#define HF_CHECK_GT(lhs, rhs) HF_CHECK_OP_(lhs, rhs, >)
+#define HF_CHECK_GE(lhs, rhs) HF_CHECK_OP_(lhs, rhs, >=)
+
+#define HF_UNREACHABLE() ::hybridflow::CheckFailure(__FILE__, __LINE__, "unreachable code reached")
+
+#endif  // SRC_COMMON_CHECK_H_

@@ -1,0 +1,57 @@
+#include "src/common/logging.h"
+
+#include <atomic>
+#include <cstring>
+#include <iostream>
+
+namespace hybridflow {
+
+namespace {
+
+std::atomic<LogLevel> g_min_level{LogLevel::kWarning};
+
+std::mutex& OutputMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+LogLevel GetLogLevel() { return g_min_level.load(std::memory_order_relaxed); }
+
+void SetLogLevel(LogLevel level) { g_min_level.store(level, std::memory_order_relaxed); }
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(level >= GetLogLevel()), level_(level) {
+  if (enabled_) {
+    stream_ << "[" << LogLevelName(level_) << " " << Basename(file) << ":" << line << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) {
+    std::lock_guard<std::mutex> lock(OutputMutex());
+    std::cerr << stream_.str() << std::endl;
+  }
+}
+
+}  // namespace hybridflow

@@ -1,0 +1,57 @@
+// Minimal leveled logger. Thread-safe line-at-a-time output.
+//
+// Usage: HF_LOG(kInfo) << "iteration " << i << " done";
+// The global minimum level defaults to kWarning so that library code stays
+// quiet under tests and benches; examples raise it to kInfo.
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace hybridflow {
+
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+// Returns the human-readable tag for a level ("DEBUG", "INFO", ...).
+const char* LogLevelName(LogLevel level);
+
+// Process-wide minimum level; messages below it are discarded.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+// Accumulates one log line and flushes it (with locking) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) {
+      stream_ << value;
+    }
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace hybridflow
+
+#define HF_LOG(severity) \
+  ::hybridflow::LogMessage(::hybridflow::LogLevel::severity, __FILE__, __LINE__)
+
+#endif  // SRC_COMMON_LOGGING_H_

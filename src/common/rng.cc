@@ -1,0 +1,28 @@
+#include "src/common/rng.h"
+
+#include "src/common/check.h"
+
+namespace hybridflow {
+
+int64_t Rng::Categorical(const std::vector<double>& weights) {
+  HF_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    HF_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  if (total <= 0.0) {
+    return UniformInt(0, static_cast<int64_t>(weights.size()) - 1);
+  }
+  double point = Uniform(0.0, total);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    cumulative += weights[i];
+    if (point < cumulative) {
+      return static_cast<int64_t>(i);
+    }
+  }
+  return static_cast<int64_t>(weights.size()) - 1;
+}
+
+}  // namespace hybridflow

@@ -1,0 +1,54 @@
+// Deterministic random number generation for reproducible experiments.
+//
+// All stochastic components (dataset synthesis, network init, sampling)
+// take an explicit Rng so that every test and bench is seed-reproducible.
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace hybridflow {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  // Uniform real in [lo, hi).
+  double Uniform(double lo, double hi) {
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  double Normal(double mean, double stddev) {
+    std::normal_distribution<double> dist(mean, stddev);
+    return dist(engine_);
+  }
+
+  // Samples an index from an unnormalized non-negative weight vector.
+  // Falls back to uniform if all weights are zero.
+  int64_t Categorical(const std::vector<double>& weights);
+
+  // Derives an independent child stream; stable for a given
+  // (seed, stream_id) pair because it reseeds a fresh engine.
+  Rng Fork(uint64_t stream_id) const {
+    return Rng(seed_ ^ (0x9E3779B97F4A7C15ULL * (stream_id + 1)));
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  uint64_t seed_;
+};
+
+}  // namespace hybridflow
+
+#endif  // SRC_COMMON_RNG_H_

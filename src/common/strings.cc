@@ -1,0 +1,65 @@
+#include "src/common/strings.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <sstream>
+
+#include "src/common/units.h"
+
+namespace hybridflow {
+
+std::string StrFormat(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int size = std::vsnprintf(nullptr, 0, format, args);
+  va_end(args);
+  if (size < 0) {
+    va_end(args_copy);
+    return "";
+  }
+  std::string result(static_cast<size_t>(size), '\0');
+  std::vsnprintf(result.data(), result.size() + 1, format, args_copy);
+  va_end(args_copy);
+  return result;
+}
+
+std::string JoinInts(const std::vector<int>& values, const std::string& separator) {
+  std::ostringstream out;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) {
+      out << separator;
+    }
+    out << values[i];
+  }
+  return out.str();
+}
+
+std::string HumanBytes(double bytes) {
+  if (bytes >= kGiB) {
+    return StrFormat("%.2f GiB", bytes / kGiB);
+  }
+  if (bytes >= kMiB) {
+    return StrFormat("%.2f MiB", bytes / kMiB);
+  }
+  if (bytes >= kKiB) {
+    return StrFormat("%.2f KiB", bytes / kKiB);
+  }
+  return StrFormat("%.0f B", bytes);
+}
+
+std::string HumanSeconds(double seconds) {
+  if (seconds >= 60.0) {
+    return StrFormat("%.1f min", seconds / 60.0);
+  }
+  if (seconds >= 1.0) {
+    return StrFormat("%.2f s", seconds);
+  }
+  if (seconds >= 1e-3) {
+    return StrFormat("%.2f ms", seconds * 1e3);
+  }
+  return StrFormat("%.2f us", seconds * 1e6);
+}
+
+}  // namespace hybridflow

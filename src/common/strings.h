@@ -1,0 +1,25 @@
+// Small string-formatting helpers shared by reports and benches.
+#ifndef SRC_COMMON_STRINGS_H_
+#define SRC_COMMON_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hybridflow {
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* format, ...) __attribute__((format(printf, 1, 2)));
+
+// Joins elements with a separator: JoinInts({1,2,3}, ",") == "1,2,3".
+std::string JoinInts(const std::vector<int>& values, const std::string& separator);
+
+// Human-readable byte count, e.g. "14.0 GiB".
+std::string HumanBytes(double bytes);
+
+// Human-readable duration, e.g. "1.25 s" or "830 ms".
+std::string HumanSeconds(double seconds);
+
+}  // namespace hybridflow
+
+#endif  // SRC_COMMON_STRINGS_H_

@@ -1,0 +1,80 @@
+#include "src/common/thread_pool.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace hybridflow {
+
+ThreadPool::ThreadPool(int num_threads) {
+  HF_CHECK_GT(num_threads, 0);
+  threads_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& thread : threads_) {
+    thread.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping_ with a drained queue.
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    HF_CHECK(!stopping_);
+    queue_.push_back(std::move(packaged));
+  }
+  wake_.notify_one();
+  return future;
+}
+
+void ThreadPool::ParallelFor(int count, const std::function<void(int)>& fn) {
+  if (count <= 0) {
+    return;
+  }
+  if (count == 1) {
+    fn(0);
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    futures.push_back(Submit([&fn, i] { fn(i); }));
+  }
+  for (std::future<void>& future : futures) {
+    future.get();  // Propagates the first exception encountered.
+  }
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = new ThreadPool(
+      std::max(2, static_cast<int>(std::thread::hardware_concurrency())));
+  return *pool;
+}
+
+}  // namespace hybridflow

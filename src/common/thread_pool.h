@@ -1,0 +1,53 @@
+// Fixed-size worker thread pool for the multi-controller compute plane.
+//
+// Forward-only per-rank computations (generation, inference, reward
+// scoring) are independent across data shards and run concurrently here;
+// update computations stay sequential because their backward passes
+// accumulate into shared parameter gradients.
+#ifndef SRC_COMMON_THREAD_POOL_H_
+#define SRC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hybridflow {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(threads_.size()); }
+
+  // Enqueues a task; the future resolves when it finishes (exceptions are
+  // propagated through the future).
+  std::future<void> Submit(std::function<void()> task);
+
+  // Runs fn(i) for i in [0, count) across the pool and blocks until all
+  // complete. Rethrows the first task exception, if any.
+  void ParallelFor(int count, const std::function<void(int)>& fn);
+
+  // Process-wide pool sized to the hardware concurrency (at least 2).
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+};
+
+}  // namespace hybridflow
+
+#endif  // SRC_COMMON_THREAD_POOL_H_

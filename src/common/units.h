@@ -1,0 +1,35 @@
+// Unit helpers for bytes, bandwidth, FLOPs, and simulated time.
+//
+// Conventions used throughout HybridFlow:
+//   * bytes and FLOPs are double (values routinely exceed 2^53 only in
+//     aggregate FLOPs, where double precision is ample for timing math)
+//   * bandwidth is bytes per second
+//   * simulated time is seconds (double)
+#ifndef SRC_COMMON_UNITS_H_
+#define SRC_COMMON_UNITS_H_
+
+namespace hybridflow {
+
+inline constexpr double kKiB = 1024.0;
+inline constexpr double kMiB = 1024.0 * kKiB;
+inline constexpr double kGiB = 1024.0 * kMiB;
+
+inline constexpr double kKB = 1e3;
+inline constexpr double kMB = 1e6;
+inline constexpr double kGB = 1e9;
+
+inline constexpr double kTeraflop = 1e12;
+inline constexpr double kGigaflop = 1e9;
+
+// Converts a link rate quoted in Gbit/s (network convention) to bytes/s.
+constexpr double GbpsToBytesPerSec(double gbps) { return gbps * 1e9 / 8.0; }
+
+// Converts a link rate quoted in GB/s (NVLink convention) to bytes/s.
+constexpr double GBpsToBytesPerSec(double gbs) { return gbs * 1e9; }
+
+constexpr double BytesToGiB(double bytes) { return bytes / kGiB; }
+constexpr double BytesToGB(double bytes) { return bytes / kGB; }
+
+}  // namespace hybridflow
+
+#endif  // SRC_COMMON_UNITS_H_

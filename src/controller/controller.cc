@@ -1,0 +1,50 @@
+#include "src/controller/controller.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace hybridflow {
+
+Controller::Controller(const ClusterSpec& spec) : cluster_(spec) {}
+
+std::shared_ptr<ResourcePool> Controller::CreatePool(const std::string& name,
+                                                     std::vector<DeviceId> devices) {
+  for (DeviceId device : devices) {
+    HF_CHECK_GE(device, 0);
+    HF_CHECK_LT(device, cluster_.world_size());
+  }
+  auto pool = std::make_shared<ResourcePool>(name, std::move(devices));
+  for (const std::shared_ptr<ResourcePool>& existing : pools_) {
+    // Identical device sets are allowed (colocated models each construct a
+    // pool handle over the same GPUs); partial overlap is a config error.
+    if (existing->Overlaps(*pool)) {
+      HF_CHECK_MSG(existing->SameDevices(*pool),
+                   "pool " << pool->name() << " partially overlaps pool " << existing->name());
+    }
+  }
+  pools_.push_back(pool);
+  return pool;
+}
+
+std::shared_ptr<ResourcePool> Controller::CreatePoolRange(const std::string& name, DeviceId first,
+                                                          int count) {
+  HF_CHECK_GT(count, 0);
+  std::vector<DeviceId> devices;
+  devices.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    devices.push_back(first + i);
+  }
+  return CreatePool(name, std::move(devices));
+}
+
+SimTime Controller::BeginIteration() {
+  iteration_start_ = cluster_.Makespan();
+  return iteration_start_;
+}
+
+SimTime Controller::IterationSeconds() const {
+  return cluster_.Makespan() - iteration_start_;
+}
+
+}  // namespace hybridflow

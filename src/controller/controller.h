@@ -1,0 +1,52 @@
+// The single controller (§2.2, §4): owns the simulated cluster, validates
+// resource pools, and exposes iteration-level timing. RLHF dataflows are
+// ordinary single-threaded C++ programs that call worker-group methods;
+// asynchronous dataflow execution (§4.1) is realized through simulated-time
+// futures and per-device timelines, so models on disjoint pools overlap
+// exactly when data dependencies allow.
+#ifndef SRC_CONTROLLER_CONTROLLER_H_
+#define SRC_CONTROLLER_CONTROLLER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/controller/future.h"
+#include "src/controller/resource_pool.h"
+#include "src/sim/timeline.h"
+
+namespace hybridflow {
+
+class Controller {
+ public:
+  explicit Controller(const ClusterSpec& spec);
+
+  ClusterState& cluster() { return cluster_; }
+  const ClusterState& cluster() const { return cluster_; }
+  const ClusterSpec& spec() const { return cluster_.spec(); }
+
+  // Creates a pool over explicit devices; devices must be in range and must
+  // not overlap any existing pool (the §4.1 no-overlap assumption).
+  std::shared_ptr<ResourcePool> CreatePool(const std::string& name,
+                                           std::vector<DeviceId> devices);
+  // Convenience: `count` consecutive devices starting at `first`.
+  std::shared_ptr<ResourcePool> CreatePoolRange(const std::string& name, DeviceId first,
+                                                int count);
+
+  const std::vector<std::shared_ptr<ResourcePool>>& pools() const { return pools_; }
+
+  // Marks the start of a measured iteration and returns its start time.
+  SimTime BeginIteration();
+  // Time elapsed since the last BeginIteration(), measured as the cluster
+  // makespan delta (the end-to-end latency of the dataflow segment).
+  SimTime IterationSeconds() const;
+
+ private:
+  ClusterState cluster_;
+  std::vector<std::shared_ptr<ResourcePool>> pools_;
+  SimTime iteration_start_ = 0.0;
+};
+
+}  // namespace hybridflow
+
+#endif  // SRC_CONTROLLER_CONTROLLER_H_

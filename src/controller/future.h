@@ -1,0 +1,33 @@
+// Batch futures: the handles the single controller passes between models.
+//
+// Following §4.1 / Figure 5(b), the controller never moves payloads itself:
+// a call on a worker group returns immediately with a future carrying the
+// collected controller-visible data plus the simulated time at which the
+// output becomes available on the producing devices. The consuming group's
+// distribute function turns the future back into per-rank inputs; actual
+// payload movement is GPU-to-GPU and is charged as transfer latency when
+// the consumer schedules against `ready_time`.
+#ifndef SRC_CONTROLLER_FUTURE_H_
+#define SRC_CONTROLLER_FUTURE_H_
+
+#include "src/data/data_batch.h"
+#include "src/sim/event_queue.h"
+
+namespace hybridflow {
+
+struct BatchFuture {
+  DataBatch data;
+  SimTime ready_time = 0.0;
+  // Nominal payload size of the full-scale workload this batch stands for
+  // (bytes); used for inter-model transfer timing. The toy data-plane batch
+  // in `data` is not representative of LLM-scale payloads.
+  double nominal_bytes = 0.0;
+
+  static BatchFuture Immediate(DataBatch batch) {
+    return BatchFuture{std::move(batch), 0.0, 0.0};
+  }
+};
+
+}  // namespace hybridflow
+
+#endif  // SRC_CONTROLLER_FUTURE_H_

@@ -1,0 +1,35 @@
+#include "src/controller/resource_pool.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace hybridflow {
+
+ResourcePool::ResourcePool(std::string name, std::vector<DeviceId> devices)
+    : name_(std::move(name)), devices_(std::move(devices)) {
+  HF_CHECK_MSG(!devices_.empty(), "resource pool " << name_ << " has no devices");
+  std::set<DeviceId> unique(devices_.begin(), devices_.end());
+  HF_CHECK_MSG(unique.size() == devices_.size(),
+               "resource pool " << name_ << " has duplicate devices");
+}
+
+bool ResourcePool::Overlaps(const ResourcePool& other) const {
+  std::set<DeviceId> mine(devices_.begin(), devices_.end());
+  for (DeviceId device : other.devices_) {
+    if (mine.count(device) > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ResourcePool::SameDevices(const ResourcePool& other) const {
+  std::set<DeviceId> mine(devices_.begin(), devices_.end());
+  std::set<DeviceId> theirs(other.devices_.begin(), other.devices_.end());
+  return mine == theirs;
+}
+
+}  // namespace hybridflow

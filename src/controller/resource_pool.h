@@ -1,0 +1,36 @@
+// ResourcePool: virtualization of a set of GPU devices (§4.1).
+//
+// Applying a pool to a model worker group maps that model's distributed
+// computation onto the pool's devices. Groups sharing one pool are
+// colocated (time-sharing, sequential execution); groups on disjoint pools
+// execute concurrently whenever data dependencies allow. Pools never
+// overlap partially — the controller validates this at creation.
+#ifndef SRC_CONTROLLER_RESOURCE_POOL_H_
+#define SRC_CONTROLLER_RESOURCE_POOL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sim/topology.h"
+
+namespace hybridflow {
+
+class ResourcePool {
+ public:
+  ResourcePool(std::string name, std::vector<DeviceId> devices);
+
+  const std::string& name() const { return name_; }
+  const std::vector<DeviceId>& devices() const { return devices_; }
+  int size() const { return static_cast<int>(devices_.size()); }
+
+  bool Overlaps(const ResourcePool& other) const;
+  bool SameDevices(const ResourcePool& other) const;
+
+ private:
+  std::string name_;
+  std::vector<DeviceId> devices_;
+};
+
+}  // namespace hybridflow
+
+#endif  // SRC_CONTROLLER_RESOURCE_POOL_H_

@@ -1,0 +1,112 @@
+#include "src/data/alignment_task.h"
+
+#include "src/common/check.h"
+
+namespace hybridflow {
+
+float AlignmentTask::TokenReward(int64_t prev, int64_t token) const {
+  if (token == toxic_token()) {
+    return -2.0f;
+  }
+  if (use_eos && token == eos_token()) {
+    return 0.0f;  // Stopping is neither rewarded nor punished.
+  }
+  // Coherent continuation cycles through the non-toxic (and, with EOS
+  // enabled, non-EOS) vocabulary.
+  const int64_t cycle = vocab_size - (use_eos ? 2 : 1);
+  const int64_t expected = (prev + 1) % cycle;
+  return token == expected ? 1.0f : -0.1f;
+}
+
+std::vector<float> AlignmentTask::ResponseRewards(const std::vector<int64_t>& prompt,
+                                                  const std::vector<int64_t>& response) const {
+  HF_CHECK(!prompt.empty());
+  std::vector<float> rewards;
+  rewards.reserve(response.size());
+  int64_t prev = prompt.back();
+  for (int64_t token : response) {
+    rewards.push_back(TokenReward(prev, token));
+    prev = token;
+  }
+  return rewards;
+}
+
+float AlignmentTask::SampleReward(const std::vector<int64_t>& prompt,
+                                  const std::vector<int64_t>& response) const {
+  if (response.empty()) {
+    return 0.0f;
+  }
+  std::vector<float> rewards = ResponseRewards(prompt, response);
+  float total = 0.0f;
+  for (float r : rewards) {
+    total += r;
+  }
+  return total / static_cast<float>(rewards.size());
+}
+
+float AlignmentTask::SampleCost(const std::vector<int64_t>& response) const {
+  if (response.empty()) {
+    return 0.0f;
+  }
+  int64_t toxic = 0;
+  for (int64_t token : response) {
+    if (token == toxic_token()) {
+      toxic += 1;
+    }
+  }
+  return static_cast<float>(toxic) / static_cast<float>(response.size());
+}
+
+double AlignmentTask::ToxicityRate(const DataBatch::TokenColumn& responses,
+                                   int64_t toxic_token) {
+  int64_t total = 0;
+  int64_t toxic = 0;
+  for (const std::vector<int64_t>& response : responses) {
+    for (int64_t token : response) {
+      total += 1;
+      if (token == toxic_token) {
+        toxic += 1;
+      }
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(toxic) / static_cast<double>(total);
+}
+
+double AlignmentTask::CoherenceRate(const DataBatch::TokenColumn& prompts,
+                                    const DataBatch::TokenColumn& responses) const {
+  HF_CHECK_EQ(prompts.size(), responses.size());
+  int64_t total = 0;
+  int64_t coherent = 0;
+  for (size_t i = 0; i < prompts.size(); ++i) {
+    int64_t prev = prompts[i].back();
+    for (int64_t token : responses[i]) {
+      total += 1;
+      if (token == (prev + 1) % (vocab_size - 1)) {
+        coherent += 1;
+      }
+      prev = token;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(coherent) / static_cast<double>(total);
+}
+
+DataBatch PromptDataset::NextBatch(int64_t batch_size) {
+  HF_CHECK_GT(batch_size, 0);
+  DataBatch::TokenColumn prompts;
+  prompts.reserve(static_cast<size_t>(batch_size));
+  for (int64_t i = 0; i < batch_size; ++i) {
+    std::vector<int64_t> prompt;
+    prompt.reserve(static_cast<size_t>(task_.prompt_len));
+    const int64_t max_token = task_.vocab_size - (task_.use_eos ? 3 : 2);
+    for (int64_t j = 0; j < task_.prompt_len; ++j) {
+      // Prompts never contain the toxic (or EOS) token.
+      prompt.push_back(rng_.UniformInt(0, max_token));
+    }
+    prompts.push_back(std::move(prompt));
+  }
+  DataBatch batch;
+  batch.SetTokens("prompts", std::move(prompts));
+  return batch;
+}
+
+}  // namespace hybridflow

@@ -1,0 +1,75 @@
+// The synthetic alignment task that replaces the human-preference dataset.
+//
+// Vocabulary of V tokens; the last token id is "toxic". Ground-truth human
+// preference rewards coherent continuations (next token == previous + 1
+// mod V-1, never the toxic token) and penalizes toxicity. This plays the
+// role of "Dahoas/full-hh-rlhf" (§8.1): it gives the actor a real gradient
+// signal with an unambiguous, measurable alignment metric (toxicity rate,
+// coherence rate), so examples and tests can assert actual learning.
+//
+// The rule-based variant also demonstrates §9's "from alignment to
+// reasoning": a reward module that is a function, not a neural network.
+#ifndef SRC_DATA_ALIGNMENT_TASK_H_
+#define SRC_DATA_ALIGNMENT_TASK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/data/data_batch.h"
+
+namespace hybridflow {
+
+struct AlignmentTask {
+  int64_t vocab_size = 16;
+  int64_t prompt_len = 8;
+  int64_t response_len = 8;   // Maximum length when use_eos is set.
+  // Variable-length responses: generation stops at eos_token() (or at
+  // response_len). Off by default — the paper's evaluation enforces fixed
+  // lengths for fair system comparison (§8.1).
+  bool use_eos = false;
+
+  int64_t toxic_token() const { return vocab_size - 1; }
+  int64_t eos_token() const { return vocab_size - 2; }
+
+  // Per-token ground-truth reward for `token` following `prev`.
+  float TokenReward(int64_t prev, int64_t token) const;
+
+  // Per-token rewards for a full (prompt, response) pair: [response_len].
+  std::vector<float> ResponseRewards(const std::vector<int64_t>& prompt,
+                                     const std::vector<int64_t>& response) const;
+
+  // Sample-level reward: mean of per-token rewards.
+  float SampleReward(const std::vector<int64_t>& prompt,
+                     const std::vector<int64_t>& response) const;
+
+  // Safety cost for Safe-RLHF's cost model: fraction of toxic tokens.
+  float SampleCost(const std::vector<int64_t>& response) const;
+
+  // --- Metrics -------------------------------------------------------------
+  // Fraction of response tokens that are the toxic token.
+  static double ToxicityRate(const DataBatch::TokenColumn& responses, int64_t toxic_token);
+  // Fraction of response tokens that are coherent continuations.
+  double CoherenceRate(const DataBatch::TokenColumn& prompts,
+                       const DataBatch::TokenColumn& responses) const;
+};
+
+// Generates batches of random prompts for the task.
+class PromptDataset {
+ public:
+  PromptDataset(const AlignmentTask& task, uint64_t seed)
+      : task_(task), rng_(seed) {}
+
+  const AlignmentTask& task() const { return task_; }
+
+  // Returns a batch with a "prompts" token column of `batch_size` rows.
+  DataBatch NextBatch(int64_t batch_size);
+
+ private:
+  AlignmentTask task_;
+  Rng rng_;
+};
+
+}  // namespace hybridflow
+
+#endif  // SRC_DATA_ALIGNMENT_TASK_H_

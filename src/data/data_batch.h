@@ -1,0 +1,73 @@
+// DataBatch: the unit of data exchanged between models in the RLHF
+// dataflow — HybridFlow's equivalent of the TensorDict the paper stores
+// intermediate data in (§7).
+//
+// A batch is a set of named columns over the same rows (sequences):
+//   * token columns: [batch][len] int64 (prompts, responses)
+//   * float columns: [batch][width] float (log-probs, values, rewards,
+//     advantages, returns; width is per-token or 1 for per-sample scalars)
+//
+// Transfer protocols (src/transfer) manipulate batches only through the
+// split/concat/merge operations here, which is what makes resharding
+// generic across models.
+#ifndef SRC_DATA_DATA_BATCH_H_
+#define SRC_DATA_DATA_BATCH_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hybridflow {
+
+class DataBatch {
+ public:
+  using FloatColumn = std::vector<std::vector<float>>;
+  using TokenColumn = std::vector<std::vector<int64_t>>;
+
+  DataBatch() = default;
+
+  // Number of rows; 0 for an empty batch. All columns must agree.
+  int64_t batch_size() const { return batch_size_; }
+  bool empty() const { return batch_size_ == 0; }
+
+  void SetFloat(const std::string& name, FloatColumn column);
+  void SetTokens(const std::string& name, TokenColumn column);
+
+  bool HasFloat(const std::string& name) const { return floats_.count(name) > 0; }
+  bool HasTokens(const std::string& name) const { return tokens_.count(name) > 0; }
+
+  const FloatColumn& Float(const std::string& name) const;
+  const TokenColumn& Tokens(const std::string& name) const;
+
+  std::vector<std::string> FloatNames() const;
+  std::vector<std::string> TokenNames() const;
+
+  // Rows [begin, end) of every column.
+  DataBatch Slice(int64_t begin, int64_t end) const;
+
+  // Splits into `chunks` near-equal row ranges (first chunks get the
+  // remainder). Used by distribute functions to scatter across DP groups.
+  std::vector<DataBatch> SplitChunks(int chunks) const;
+
+  // Row-wise concatenation; all parts must have identical column sets.
+  static DataBatch ConcatBatches(const std::vector<DataBatch>& parts);
+
+  // Adds the columns of `other` (same batch size) to this batch;
+  // overwrites columns with matching names.
+  void MergeColumns(const DataBatch& other);
+
+  // Approximate payload size, for transfer-time accounting.
+  double ApproxBytes() const;
+
+ private:
+  void CheckRowCount(int64_t rows);
+
+  int64_t batch_size_ = 0;
+  std::map<std::string, FloatColumn> floats_;
+  std::map<std::string, TokenColumn> tokens_;
+};
+
+}  // namespace hybridflow
+
+#endif  // SRC_DATA_DATA_BATCH_H_

@@ -1,0 +1,237 @@
+#include "src/hybridengine/hybrid_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/sim/collective.h"
+
+namespace hybridflow {
+
+const char* ActorEngineModeName(ActorEngineMode mode) {
+  switch (mode) {
+    case ActorEngineMode::kDsChat:
+      return "ds-chat";
+    case ActorEngineMode::kHybridFlowV:
+      return "hybridflow-v";
+    case ActorEngineMode::kHybridFlow:
+      return "hybridflow";
+    case ActorEngineMode::kShared:
+      return "shared";
+    case ActorEngineMode::kTwoCopies:
+      return "two-copies";
+  }
+  return "?";
+}
+
+HybridEngine::HybridEngine(const ModelSpec& model, const ParallelConfig& train,
+                           const GenParallelConfig& gen, ActorEngineMode mode,
+                           const ClusterSpec& cluster, std::vector<DeviceId> devices,
+                           std::vector<DeviceId> gen_devices)
+    : model_(model),
+      train_(train),
+      gen_(gen),
+      mode_(mode),
+      cluster_(cluster),
+      groups_(train, std::move(devices)),
+      gen_devices_(std::move(gen_devices)),
+      model_bytes_(model.ParamBytes()) {
+  if (mode_ == ActorEngineMode::kShared) {
+    HF_CHECK_MSG(gen_.pp == train_.pp && gen_.tp == train_.tp,
+                 "kShared requires identical training and generation parallelism");
+  } else if (mode_ == ActorEngineMode::kDsChat || mode_ == ActorEngineMode::kTwoCopies) {
+    // ZeRO-trained engines re-partition across the whole allocation (or a
+    // separate one); the only requirement is that generation replicas tile
+    // their device set.
+    const int span = gen_.pp * gen_.tp;
+    const int total = mode_ == ActorEngineMode::kTwoCopies
+                          ? static_cast<int>(gen_devices_.size())
+                          : groups_.world_size();
+    HF_CHECK_MSG(total % span == 0, "generation strategy " << gen_.ToString()
+                                                           << " does not tile " << total
+                                                           << " GPUs");
+  } else {
+    HF_CHECK(GenConfigCompatible(train_, gen_));
+  }
+  if (mode_ == ActorEngineMode::kTwoCopies) {
+    HF_CHECK_MSG(!gen_devices_.empty(), "kTwoCopies requires separate generation devices");
+    HF_CHECK_EQ(static_cast<int>(gen_devices_.size()) % (gen_.pp * gen_.tp), 0);
+  }
+}
+
+GenGroupingMethod HybridEngine::grouping() const {
+  return mode_ == ActorEngineMode::kHybridFlow ? GenGroupingMethod::kZeroRedundancy
+                                               : GenGroupingMethod::kVanilla;
+}
+
+int HybridEngine::NumGenReplicas() const {
+  switch (mode_) {
+    case ActorEngineMode::kShared:
+      return train_.dp;
+    case ActorEngineMode::kTwoCopies:
+      return static_cast<int>(gen_devices_.size()) / (gen_.pp * gen_.tp);
+    case ActorEngineMode::kDsChat:
+      // ZeRO -> TP regrouping tiles the whole allocation.
+      return groups_.world_size() / (gen_.pp * gen_.tp);
+    default:
+      return train_.dp * MicroDpSize(train_, gen_);
+  }
+}
+
+std::vector<DeviceId> HybridEngine::GenReplicaDevices(int replica) const {
+  HF_CHECK_GE(replica, 0);
+  HF_CHECK_LT(replica, NumGenReplicas());
+  switch (mode_) {
+    case ActorEngineMode::kShared: {
+      return groups_.DevicesOf(groups_.ModelParallelBlock(groups_.RankOf({0, 0, replica})));
+    }
+    case ActorEngineMode::kTwoCopies: {
+      const int span = gen_.pp * gen_.tp;
+      std::vector<DeviceId> devices(
+          gen_devices_.begin() + static_cast<size_t>(replica) * span,
+          gen_devices_.begin() + static_cast<size_t>(replica + 1) * span);
+      return devices;
+    }
+    case ActorEngineMode::kDsChat: {
+      const int span = gen_.pp * gen_.tp;
+      std::vector<int> ranks;
+      ranks.reserve(static_cast<size_t>(span));
+      for (int i = 0; i < span; ++i) {
+        ranks.push_back(replica * span + i);
+      }
+      return groups_.DevicesOf(ranks);
+    }
+    default: {
+      const int micro_dp = MicroDpSize(train_, gen_);
+      const int d = replica / micro_dp;
+      const int m = replica % micro_dp;
+      std::vector<int> ranks;
+      ranks.reserve(static_cast<size_t>(gen_.pp * gen_.tp));
+      for (int pg = 0; pg < gen_.pp; ++pg) {
+        for (int tg = 0; tg < gen_.tp; ++tg) {
+          ranks.push_back(groups_.RankOfGen({pg, tg, m, d}, gen_, grouping()));
+        }
+      }
+      return groups_.DevicesOf(ranks);
+    }
+  }
+}
+
+TransitionStats HybridEngine::TrainToGenTransition() const {
+  TransitionStats stats;
+  switch (mode_) {
+    case ActorEngineMode::kShared: {
+      return stats;  // Same weights, no resharding.
+    }
+    case ActorEngineMode::kDsChat: {
+      // ZeRO-3 engine: all-gather the full model across all N GPUs, then
+      // re-partition for generation (§5.4).
+      const int n = groups_.world_size();
+      stats.comm_bytes_per_gpu = AllGatherWireBytesPerRank(n, model_bytes_);
+      stats.peak_param_bytes = model_bytes_;
+      stats.redundant_bytes = model_bytes_ / static_cast<double>(n);
+      std::vector<int> all_ranks(static_cast<size_t>(n));
+      for (int rank = 0; rank < n; ++rank) {
+        all_ranks[static_cast<size_t>(rank)] = rank;
+      }
+      stats.seconds = AllGatherTime(cluster_, groups_.DevicesOf(all_ranks), model_bytes_);
+      return stats;
+    }
+    case ActorEngineMode::kHybridFlowV: {
+      // All-gather within the training TP x PP groups; vanilla generation
+      // grouping retains no guaranteed overlap with training shards.
+      if (MicroDpSize(train_, gen_) == 1) {
+        return stats;  // Identical partition in both stages: nothing to move.
+      }
+      const int mp = train_.model_parallel_size();
+      stats.comm_bytes_per_gpu = AllGatherWireBytesPerRank(mp, model_bytes_);
+      stats.peak_param_bytes = model_bytes_;
+      double worst_redundant = 0.0;
+      for (int rank = 0; rank < groups_.world_size(); ++rank) {
+        const ReshardMemoryProfile profile =
+            ComputeReshardMemory(groups_, rank, gen_, GenGroupingMethod::kVanilla);
+        worst_redundant = std::max(worst_redundant, profile.redundant_fraction);
+      }
+      stats.redundant_bytes = worst_redundant * model_bytes_;
+      stats.seconds = AllGatherTime(
+          cluster_, groups_.DevicesOf(groups_.ModelParallelBlock(0)), model_bytes_);
+      return stats;
+    }
+    case ActorEngineMode::kHybridFlow: {
+      // Concurrent all-gathers, one per micro DP group, of the generation
+      // shard (§5.3). Zero redundancy by construction — verified here.
+      const int micro_dp = MicroDpSize(train_, gen_);
+      const double gen_shard_bytes =
+          model_bytes_ / static_cast<double>(gen_.pp * gen_.tp);
+      stats.comm_bytes_per_gpu = AllGatherWireBytesPerRank(micro_dp, gen_shard_bytes);
+      stats.peak_param_bytes = gen_shard_bytes;
+      for (int rank = 0; rank < groups_.world_size(); ++rank) {
+        const ReshardMemoryProfile profile =
+            ComputeReshardMemory(groups_, rank, gen_, GenGroupingMethod::kZeroRedundancy);
+        HF_CHECK_MSG(profile.redundant_fraction < 1e-9,
+                     "zero-redundancy grouping produced redundancy at rank " << rank);
+      }
+      stats.redundant_bytes = 0.0;
+      double worst_seconds = 0.0;
+      for (int rank = 0; rank < groups_.world_size(); ++rank) {
+        const std::vector<int> group =
+            groups_.MicroDpGroup(rank, gen_, GenGroupingMethod::kZeroRedundancy);
+        worst_seconds = std::max(
+            worst_seconds, AllGatherTime(cluster_, groups_.DevicesOf(group), gen_shard_bytes));
+      }
+      stats.seconds = worst_seconds;
+      return stats;
+    }
+    case ActorEngineMode::kTwoCopies: {
+      // OpenRLHF: broadcast updated training weights to the standalone
+      // generation copy each iteration.
+      stats.comm_bytes_per_gpu = model_bytes_;
+      stats.peak_param_bytes =
+          model_bytes_ / static_cast<double>(gen_.pp * gen_.tp);
+      stats.redundant_bytes = stats.peak_param_bytes;  // The full second copy.
+      std::vector<DeviceId> participants;
+      participants.push_back(groups_.DeviceOf(0));
+      participants.insert(participants.end(), gen_devices_.begin(), gen_devices_.end());
+      stats.seconds = BroadcastTime(cluster_, participants, model_bytes_);
+      return stats;
+    }
+  }
+  return stats;
+}
+
+TransitionStats HybridEngine::GenToTrainTransition() const {
+  // Re-partitioning for training (step 4 of Fig. 7) is local: each GPU
+  // frees the gathered generation weights and keeps its training shard. No
+  // communication is required for any engine design.
+  return TransitionStats{};
+}
+
+double HybridEngine::DsChatCommFraction(const ParallelConfig& train) {
+  const double n = static_cast<double>(train.world_size());
+  return (n - 1.0) / n;
+}
+
+double HybridEngine::HybridFlowVCommFraction(const ParallelConfig& train) {
+  const double mp = static_cast<double>(train.model_parallel_size());
+  return (mp - 1.0) / mp;
+}
+
+double HybridEngine::HybridFlowCommFraction(const ParallelConfig& train,
+                                            const GenParallelConfig& gen) {
+  const double tp = static_cast<double>(train.model_parallel_size());
+  const double gp = static_cast<double>(gen.pp * gen.tp);
+  return (tp - gp) / (gp * tp);
+}
+
+double HybridEngine::DsChatRedundancyFraction(const ParallelConfig& train) {
+  return 1.0 / static_cast<double>(train.world_size());
+}
+
+double HybridEngine::HybridFlowVRedundancyFraction(const ParallelConfig& train) {
+  return 1.0 / static_cast<double>(train.model_parallel_size());
+}
+
+double HybridEngine::HybridFlowPeakFraction(const GenParallelConfig& gen) {
+  return 1.0 / static_cast<double>(gen.pp * gen.tp);
+}
+
+}  // namespace hybridflow

@@ -1,0 +1,102 @@
+// 3D-HybridEngine (§5): efficient actor-model resharding between the
+// training and generation stages executed on the same devices.
+//
+// The engine owns the actor's training parallel groups (p-t-d) and its
+// generation regrouping (p_g-t_g-d_g-d). On each training->generation
+// transition it performs concurrent all-gathers, one per micro DP group,
+// and accounts per-GPU communication volume, peak parameter memory, and
+// weight redundancy. Three engine designs are supported for comparison:
+//
+//   kDsChat       full all-gather across all N GPUs (ZeRO-style engine)
+//   kHybridFlowV  all-gather within training TP x PP groups (vanilla
+//                 generation grouping)
+//   kHybridFlow   all-gather within micro DP groups (zero-redundancy
+//                 grouping, §5.3)
+//   kShared       identical parallelism in both stages (NeMo-Aligner):
+//                 no transition at all
+//   kTwoCopies    separate generation devices holding a second weight copy
+//                 synchronized each iteration (OpenRLHF)
+//
+// The accounting must match Table 2 exactly; property tests enforce this.
+#ifndef SRC_HYBRIDENGINE_HYBRID_ENGINE_H_
+#define SRC_HYBRIDENGINE_HYBRID_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/model/model_spec.h"
+#include "src/parallel/process_groups.h"
+#include "src/parallel/shard_range.h"
+#include "src/sim/timeline.h"
+
+namespace hybridflow {
+
+enum class ActorEngineMode {
+  kDsChat,
+  kHybridFlowV,
+  kHybridFlow,
+  kShared,
+  kTwoCopies,
+};
+
+const char* ActorEngineModeName(ActorEngineMode mode);
+
+struct TransitionStats {
+  // Per-GPU bytes moved over the wire during the transition (the Table 2
+  // "Comm. Vol" row; worst GPU).
+  double comm_bytes_per_gpu = 0.0;
+  // Peak per-GPU parameter memory during the transition ("Peak Mem.").
+  double peak_param_bytes = 0.0;
+  // Extra training-weight copy retained during generation ("Redundancy").
+  double redundant_bytes = 0.0;
+  // Wall-clock transition latency on the simulated cluster.
+  double seconds = 0.0;
+};
+
+class HybridEngine {
+ public:
+  // `devices` maps actor training rank -> device (rank-major). For
+  // kTwoCopies, `gen_devices` holds the separate generation devices.
+  HybridEngine(const ModelSpec& model, const ParallelConfig& train, const GenParallelConfig& gen,
+               ActorEngineMode mode, const ClusterSpec& cluster, std::vector<DeviceId> devices,
+               std::vector<DeviceId> gen_devices = {});
+
+  ActorEngineMode mode() const { return mode_; }
+  const ProcessGroups& groups() const { return groups_; }
+  const GenParallelConfig& gen_config() const { return gen_; }
+  GenGroupingMethod grouping() const;
+
+  // Number of generation model replicas (d * d_g for resharding engines,
+  // d for kShared, gen-device count / (pg*tg) for kTwoCopies).
+  int NumGenReplicas() const;
+  // Devices of one generation replica (the representative first replica).
+  std::vector<DeviceId> GenReplicaDevices(int replica) const;
+
+  // Accounting + latency for the training -> generation transition.
+  TransitionStats TrainToGenTransition() const;
+  // Generation -> training re-partition (step 4 of Fig. 7): frees gathered
+  // weights; for kTwoCopies this is a no-op (weights live apart).
+  TransitionStats GenToTrainTransition() const;
+
+  // --- Table 2 closed forms (fractions of model size M) ----------------------
+  static double DsChatCommFraction(const ParallelConfig& train);
+  static double HybridFlowVCommFraction(const ParallelConfig& train);
+  static double HybridFlowCommFraction(const ParallelConfig& train, const GenParallelConfig& gen);
+  static double DsChatRedundancyFraction(const ParallelConfig& train);
+  static double HybridFlowVRedundancyFraction(const ParallelConfig& train);
+  static double HybridFlowPeakFraction(const GenParallelConfig& gen);
+
+ private:
+  ModelSpec model_;
+  ParallelConfig train_;
+  GenParallelConfig gen_;
+  ActorEngineMode mode_;
+  ClusterSpec cluster_;
+  ProcessGroups groups_;
+  std::vector<DeviceId> gen_devices_;
+  double model_bytes_;
+};
+
+}  // namespace hybridflow
+
+#endif  // SRC_HYBRIDENGINE_HYBRID_ENGINE_H_

@@ -1,0 +1,172 @@
+#include "src/kvcache/block_manager.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace hybridflow {
+
+KvBlockManager::KvBlockManager(const KvBlockConfig& config) : config_(config) {
+  HF_CHECK_GT(config_.block_tokens, 0);
+  HF_CHECK_GE(config_.num_blocks, 0);
+  free_list_.reserve(static_cast<size_t>(config_.num_blocks));
+  // Blocks handed out from the back: highest ids first (order is an
+  // implementation detail; tests only rely on set semantics).
+  for (int64_t block = 0; block < config_.num_blocks; ++block) {
+    free_list_.push_back(block);
+  }
+}
+
+int64_t KvBlockManager::BlocksFor(int64_t tokens) const {
+  return (tokens + config_.block_tokens - 1) / config_.block_tokens;
+}
+
+bool KvBlockManager::AddSequence(int64_t sequence_id, int64_t prompt_tokens) {
+  HF_CHECK_GE(prompt_tokens, 0);
+  HF_CHECK_MSG(tables_.count(sequence_id) == 0, "sequence " << sequence_id << " already exists");
+  const int64_t needed = BlocksFor(prompt_tokens);
+  if (needed > free_blocks()) {
+    return false;
+  }
+  SequenceState state;
+  state.tokens = prompt_tokens;
+  state.blocks.reserve(static_cast<size_t>(needed));
+  for (int64_t i = 0; i < needed; ++i) {
+    state.blocks.push_back(free_list_.back());
+    free_list_.pop_back();
+  }
+  tables_.emplace(sequence_id, std::move(state));
+  return true;
+}
+
+bool KvBlockManager::AppendToken(int64_t sequence_id) {
+  auto it = tables_.find(sequence_id);
+  HF_CHECK_MSG(it != tables_.end(), "unknown sequence " << sequence_id);
+  SequenceState& state = it->second;
+  const bool needs_block = state.tokens % config_.block_tokens == 0 &&
+                           BlocksFor(state.tokens + 1) > static_cast<int64_t>(state.blocks.size());
+  if (needs_block) {
+    if (free_list_.empty()) {
+      return false;
+    }
+    state.blocks.push_back(free_list_.back());
+    free_list_.pop_back();
+  }
+  state.tokens += 1;
+  return true;
+}
+
+void KvBlockManager::FreeSequence(int64_t sequence_id) {
+  auto it = tables_.find(sequence_id);
+  HF_CHECK_MSG(it != tables_.end(), "unknown sequence " << sequence_id);
+  for (int64_t block : it->second.blocks) {
+    free_list_.push_back(block);
+  }
+  tables_.erase(it);
+}
+
+int64_t KvBlockManager::SequenceTokens(int64_t sequence_id) const {
+  auto it = tables_.find(sequence_id);
+  HF_CHECK_MSG(it != tables_.end(), "unknown sequence " << sequence_id);
+  return it->second.tokens;
+}
+
+const std::vector<int64_t>& KvBlockManager::BlockTable(int64_t sequence_id) const {
+  auto it = tables_.find(sequence_id);
+  HF_CHECK_MSG(it != tables_.end(), "unknown sequence " << sequence_id);
+  return it->second.blocks;
+}
+
+double KvBlockManager::used_bytes() const {
+  return static_cast<double>(used_blocks()) * static_cast<double>(config_.block_tokens) *
+         config_.bytes_per_token;
+}
+
+double KvBlockManager::Occupancy() const {
+  const int64_t allocated_tokens = used_blocks() * config_.block_tokens;
+  if (allocated_tokens == 0) {
+    return 1.0;
+  }
+  int64_t live_tokens = 0;
+  for (const auto& [id, state] : tables_) {
+    live_tokens += state.tokens;
+  }
+  return static_cast<double>(live_tokens) / static_cast<double>(allocated_tokens);
+}
+
+int64_t KvBlockManager::CapacitySequences(int64_t tokens_per_sequence) const {
+  HF_CHECK_GT(tokens_per_sequence, 0);
+  const int64_t blocks_each = BlocksFor(tokens_per_sequence);
+  return blocks_each == 0 ? 0 : free_blocks() / blocks_each;
+}
+
+DistributedKvManager::DistributedKvManager(int num_ranks, const KvBlockConfig& per_rank_config) {
+  HF_CHECK_GT(num_ranks, 0);
+  ranks_.reserve(static_cast<size_t>(num_ranks));
+  for (int rank = 0; rank < num_ranks; ++rank) {
+    ranks_.emplace_back(per_rank_config);
+  }
+}
+
+KvBlockManager& DistributedKvManager::rank(int index) {
+  HF_CHECK_GE(index, 0);
+  HF_CHECK_LT(static_cast<size_t>(index), ranks_.size());
+  return ranks_[static_cast<size_t>(index)];
+}
+
+bool DistributedKvManager::AddSequence(int64_t sequence_id, int64_t prompt_tokens) {
+  // All-or-nothing: probe rank 0's capacity first (ranks are symmetric).
+  for (KvBlockManager& manager : ranks_) {
+    if (manager.CapacitySequences(std::max<int64_t>(prompt_tokens, 1)) == 0 &&
+        prompt_tokens > 0) {
+      return false;
+    }
+  }
+  bool ok = true;
+  for (KvBlockManager& manager : ranks_) {
+    ok = manager.AddSequence(sequence_id, prompt_tokens) && ok;
+  }
+  HF_CHECK_MSG(ok, "symmetric ranks diverged while adding a sequence");
+  return true;
+}
+
+bool DistributedKvManager::AppendToken(int64_t sequence_id) {
+  // Symmetric geometry: either every rank can append or none can.
+  for (KvBlockManager& manager : ranks_) {
+    const bool at_boundary =
+        manager.SequenceTokens(sequence_id) % manager.config().block_tokens == 0;
+    if (at_boundary && manager.free_blocks() == 0) {
+      return false;
+    }
+  }
+  for (KvBlockManager& manager : ranks_) {
+    HF_CHECK(manager.AppendToken(sequence_id));
+  }
+  return true;
+}
+
+void DistributedKvManager::FreeSequence(int64_t sequence_id) {
+  for (KvBlockManager& manager : ranks_) {
+    manager.FreeSequence(sequence_id);
+  }
+}
+
+bool DistributedKvManager::TablesInLockstep() const {
+  for (size_t rank = 1; rank < ranks_.size(); ++rank) {
+    if (ranks_[rank].num_sequences() != ranks_[0].num_sequences() ||
+        ranks_[rank].used_blocks() != ranks_[0].used_blocks()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double DistributedKvManager::total_used_bytes() const {
+  double total = 0.0;
+  for (const KvBlockManager& manager : ranks_) {
+    total += manager.used_bytes();
+  }
+  return total;
+}
+
+}  // namespace hybridflow

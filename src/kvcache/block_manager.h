@@ -1,0 +1,103 @@
+// Paged KVCache block manager (§7).
+//
+// vLLM manages the KV cache as fixed-size blocks with per-sequence block
+// tables (PagedAttention); the paper replaces its *centralized* manager
+// with a *distributed* one so each worker manages its own shard under the
+// multi-controller paradigm. This module implements both pieces:
+//
+//   * KvBlockManager — one rank's allocator: a free list of fixed-size
+//     blocks, per-sequence block tables, append-token/free operations, and
+//     occupancy statistics. Capacity exhaustion is reported, not fatal —
+//     the generation loop reacts by scheduling sequences in waves.
+//   * DistributedKvManager — the per-TP-group view: one KvBlockManager per
+//     participating rank, kept in lockstep because KV tensors are sharded
+//     (every rank holds 1/t_g of each token's KV, so block tables are
+//     replicated while bytes are divided).
+#ifndef SRC_KVCACHE_BLOCK_MANAGER_H_
+#define SRC_KVCACHE_BLOCK_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace hybridflow {
+
+struct KvBlockConfig {
+  int64_t block_tokens = 16;       // Tokens per block (vLLM default 16).
+  int64_t num_blocks = 1024;       // Blocks available on this rank.
+  double bytes_per_token = 1024.0; // KV bytes per token on this rank's shard.
+};
+
+class KvBlockManager {
+ public:
+  explicit KvBlockManager(const KvBlockConfig& config);
+
+  const KvBlockConfig& config() const { return config_; }
+
+  // Registers a new sequence with `prompt_tokens` of initial context.
+  // Returns false (allocating nothing) if the blocks don't fit.
+  bool AddSequence(int64_t sequence_id, int64_t prompt_tokens);
+
+  // Appends one generated token; may allocate one block. Returns false on
+  // capacity exhaustion (sequence state unchanged).
+  bool AppendToken(int64_t sequence_id);
+
+  // Releases all blocks of a finished sequence.
+  void FreeSequence(int64_t sequence_id);
+
+  bool HasSequence(int64_t sequence_id) const { return tables_.count(sequence_id) > 0; }
+  int64_t SequenceTokens(int64_t sequence_id) const;
+  // The block table (physical block ids, in order) of a sequence.
+  const std::vector<int64_t>& BlockTable(int64_t sequence_id) const;
+
+  int64_t free_blocks() const { return static_cast<int64_t>(free_list_.size()); }
+  int64_t used_blocks() const { return config_.num_blocks - free_blocks(); }
+  int64_t num_sequences() const { return static_cast<int64_t>(tables_.size()); }
+  double used_bytes() const;
+  // Fraction of allocated block capacity actually holding tokens (1 -
+  // internal fragmentation).
+  double Occupancy() const;
+  // Sequences that fit if each needs `tokens_per_sequence` in total.
+  int64_t CapacitySequences(int64_t tokens_per_sequence) const;
+
+ private:
+  struct SequenceState {
+    std::vector<int64_t> blocks;
+    int64_t tokens = 0;
+  };
+
+  int64_t BlocksFor(int64_t tokens) const;
+
+  KvBlockConfig config_;
+  std::vector<int64_t> free_list_;
+  std::map<int64_t, SequenceState> tables_;
+};
+
+// The TP-group view: block tables replicated across ranks, bytes sharded.
+class DistributedKvManager {
+ public:
+  // `ranks` managers share one logical cache; all must have identical
+  // block geometry.
+  DistributedKvManager(int num_ranks, const KvBlockConfig& per_rank_config);
+
+  int num_ranks() const { return static_cast<int>(ranks_.size()); }
+  KvBlockManager& rank(int index);
+
+  // Group-level operations keep every rank's tables in lockstep; they
+  // succeed only if every rank can allocate (all-or-nothing).
+  bool AddSequence(int64_t sequence_id, int64_t prompt_tokens);
+  bool AppendToken(int64_t sequence_id);
+  void FreeSequence(int64_t sequence_id);
+
+  // Invariant check: every rank holds identical block tables.
+  bool TablesInLockstep() const;
+
+  double total_used_bytes() const;
+
+ private:
+  std::vector<KvBlockManager> ranks_;
+};
+
+}  // namespace hybridflow
+
+#endif  // SRC_KVCACHE_BLOCK_MANAGER_H_

@@ -1,0 +1,123 @@
+#include "src/model/model_spec.h"
+
+#include "src/common/check.h"
+
+namespace hybridflow {
+
+double ModelSpec::ParamsPerLayer() const {
+  const double h = static_cast<double>(hidden_size);
+  const double kv_ratio = static_cast<double>(num_kv_heads) / static_cast<double>(num_heads);
+  // Attention: Q (h*h), K and V (h*h*kv_ratio each), O (h*h).
+  const double attention = 2.0 * h * h + 2.0 * h * h * kv_ratio;
+  // Gated MLP: gate + up + down projections.
+  const double mlp = 3.0 * h * static_cast<double>(ffn_hidden);
+  // Two RMSNorm weights.
+  const double norms = 2.0 * h;
+  return attention + mlp + norms;
+}
+
+double ModelSpec::NumParams() const {
+  const double h = static_cast<double>(hidden_size);
+  const double v = static_cast<double>(vocab_size);
+  // Untied input embedding + output head, plus final norm.
+  return static_cast<double>(num_layers) * ParamsPerLayer() + 2.0 * v * h + h;
+}
+
+double ModelSpec::NumParamsScalarHead() const {
+  const double h = static_cast<double>(hidden_size);
+  const double v = static_cast<double>(vocab_size);
+  // LM head (v*h) replaced by a scalar head (h); embedding retained.
+  return static_cast<double>(num_layers) * ParamsPerLayer() + v * h + h + h;
+}
+
+double ModelSpec::KvCacheBytesPerToken() const {
+  const double head_dim = static_cast<double>(hidden_size) / static_cast<double>(num_heads);
+  const double kv_width = head_dim * static_cast<double>(num_kv_heads);
+  // K and V, BF16, every layer.
+  return 2.0 * 2.0 * kv_width * static_cast<double>(num_layers);
+}
+
+double ModelSpec::ActivationBytesPerToken() const {
+  // With selective activation recomputation, roughly 16 bytes * hidden per
+  // layer must be retained per token (Korthikanti et al. analysis, rounded).
+  return 16.0 * static_cast<double>(hidden_size) * static_cast<double>(num_layers);
+}
+
+double ModelSpec::FwdFlopsPerToken(int64_t context) const {
+  HF_CHECK_GE(context, 0);
+  // Matmul term: 2 FLOPs per parameter per token.
+  const double matmul = 2.0 * NumParams();
+  // Attention scores + weighted values: 2 * 2 * hidden * context per layer;
+  // causal masking halves the average effective context.
+  const double attention = 2.0 * static_cast<double>(hidden_size) *
+                           static_cast<double>(context) * static_cast<double>(num_layers);
+  return matmul + attention;
+}
+
+double ModelSpec::FwdFlopsPerSequence(int64_t seq_len) const {
+  HF_CHECK_GT(seq_len, 0);
+  // Average causal context is seq_len / 2.
+  return static_cast<double>(seq_len) * FwdFlopsPerToken(seq_len / 2);
+}
+
+double ModelSpec::TrainFlopsPerSequence(int64_t seq_len) const {
+  return 3.0 * FwdFlopsPerSequence(seq_len);
+}
+
+double ModelSpec::DecodeBytesPerToken(int64_t context, int64_t batch) const {
+  HF_CHECK_GE(context, 0);
+  HF_CHECK_GT(batch, 0);
+  // Each decode step streams all weights once (amortized over the batch)
+  // plus this sequence's KV cache.
+  return ParamBytes() / static_cast<double>(batch) +
+         KvCacheBytesPerToken() * static_cast<double>(context);
+}
+
+ModelSpec ModelSpec::Llama7B() {
+  return ModelSpec{"7B", 32, 4096, 32, 32, 11008, 32000};
+}
+
+ModelSpec ModelSpec::Llama13B() {
+  return ModelSpec{"13B", 40, 5120, 40, 40, 13824, 32000};
+}
+
+ModelSpec ModelSpec::Llama34B() {
+  return ModelSpec{"34B", 48, 8192, 64, 8, 22016, 32000};
+}
+
+ModelSpec ModelSpec::Llama70B() {
+  return ModelSpec{"70B", 80, 8192, 64, 8, 28672, 32000};
+}
+
+ModelSpec ModelSpec::FromBillions(double billions) {
+  HF_CHECK_GT(billions, 0.0);
+  if (billions <= 7.5) {
+    return Llama7B();
+  }
+  if (billions <= 14.0) {
+    return Llama13B();
+  }
+  if (billions <= 40.0) {
+    return Llama34B();
+  }
+  return Llama70B();
+}
+
+ModelSpec ModelSpec::ByName(const std::string& name) {
+  if (name == "7B") {
+    return Llama7B();
+  }
+  if (name == "13B") {
+    return Llama13B();
+  }
+  if (name == "34B") {
+    return Llama34B();
+  }
+  if (name == "70B") {
+    return Llama70B();
+  }
+  HF_CHECK_MSG(false, "unknown model preset: " << name);
+  return {};
+}
+
+}  // namespace hybridflow

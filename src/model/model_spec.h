@@ -1,0 +1,70 @@
+// Transformer architecture descriptions and first-principles accounting of
+// parameter counts, memory footprints, and FLOPs.
+//
+// These are the quantities the paper's analytical simulators (Appendix C,
+// following llm-analysis [42]) are built on. The built-in presets are the
+// Llama family sizes used throughout §8 (7B, 13B, 34B, 70B).
+#ifndef SRC_MODEL_MODEL_SPEC_H_
+#define SRC_MODEL_MODEL_SPEC_H_
+
+#include <cstdint>
+#include <string>
+
+namespace hybridflow {
+
+struct ModelSpec {
+  std::string name;
+  int64_t num_layers = 0;
+  int64_t hidden_size = 0;
+  int64_t num_heads = 0;
+  int64_t num_kv_heads = 0;  // < num_heads for grouped-query attention.
+  int64_t ffn_hidden = 0;
+  int64_t vocab_size = 32000;
+
+  // --- Parameter counts ---------------------------------------------------
+  // Parameters in one transformer layer (attention + gated MLP + norms).
+  double ParamsPerLayer() const;
+  // Total parameters including embeddings and LM head (untied, like Llama).
+  double NumParams() const;
+  // Parameters when the LM head is replaced by a scalar output head, as for
+  // the critic / reward / cost models (§2.1).
+  double NumParamsScalarHead() const;
+
+  // --- Memory -------------------------------------------------------------
+  // BF16 weights.
+  double ParamBytes() const { return 2.0 * NumParams(); }
+  // Mixed-precision training state per parameter (§8.1: BF16 params, FP32
+  // gradients and Adam optimizer states): 2 + 4 + 4 + 4 + 4 = 18 bytes.
+  static constexpr double kTrainBytesPerParam = 18.0;
+  double TrainStateBytes() const { return kTrainBytesPerParam * NumParams(); }
+  // KVCache for one token of one sequence (BF16 K and V per layer).
+  double KvCacheBytesPerToken() const;
+  // Training activation footprint per token (with selective recomputation).
+  double ActivationBytesPerToken() const;
+
+  // --- Compute ------------------------------------------------------------
+  // Forward FLOPs to process one token given `context` tokens of attention
+  // context (2*N matmul term + quadratic attention term).
+  double FwdFlopsPerToken(int64_t context) const;
+  // Forward FLOPs for a full sequence of `seq_len` tokens (prefill/infer).
+  double FwdFlopsPerSequence(int64_t seq_len) const;
+  // Training FLOPs (forward + backward ≈ 3x forward) for a full sequence.
+  double TrainFlopsPerSequence(int64_t seq_len) const;
+  // Bytes of weights + KV cache read from HBM to decode one token with
+  // `context` tokens already cached (the memory-bound decode cost, [40]).
+  double DecodeBytesPerToken(int64_t context, int64_t batch) const;
+
+  // --- Presets (Llama family, §8.1) ----------------------------------------
+  static ModelSpec Llama7B();
+  static ModelSpec Llama13B();
+  static ModelSpec Llama34B();
+  static ModelSpec Llama70B();
+  // Nearest preset at or above `billions` parameters; used for sweeps.
+  static ModelSpec FromBillions(double billions);
+  // Preset lookup by name ("7B", "13B", "34B", "70B").
+  static ModelSpec ByName(const std::string& name);
+};
+
+}  // namespace hybridflow
+
+#endif  // SRC_MODEL_MODEL_SPEC_H_

@@ -1,0 +1,52 @@
+#include "src/nn/adam.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace hybridflow {
+
+Adam::Adam(std::vector<Tensor> params, AdamConfig config)
+    : params_(std::move(params)), config_(config) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Tensor& param : params_) {
+    HF_CHECK(param.requires_grad());
+    m_.emplace_back(param.size(), 0.0f);
+    v_.emplace_back(param.size(), 0.0f);
+  }
+}
+
+void Adam::Step() {
+  steps_ += 1;
+  const float bias1 = 1.0f - std::pow(config_.beta1, static_cast<float>(steps_));
+  const float bias2 = 1.0f - std::pow(config_.beta2, static_cast<float>(steps_));
+  for (size_t p = 0; p < params_.size(); ++p) {
+    Tensor& param = params_[p];
+    TensorNode& node = *param.node();
+    node.EnsureGrad();
+    std::vector<float>& m = m_[p];
+    std::vector<float>& v = v_[p];
+    for (size_t i = 0; i < node.data.size(); ++i) {
+      float g = node.grad[i];
+      if (config_.grad_clip > 0.0f) {
+        g = std::clamp(g, -config_.grad_clip, config_.grad_clip);
+      }
+      m[i] = config_.beta1 * m[i] + (1.0f - config_.beta1) * g;
+      v[i] = config_.beta2 * v[i] + (1.0f - config_.beta2) * g * g;
+      const float m_hat = m[i] / bias1;
+      const float v_hat = v[i] / bias2;
+      node.data[i] -= config_.lr * m_hat / (std::sqrt(v_hat) + config_.epsilon);
+    }
+  }
+  ZeroGrad();
+}
+
+void Adam::ZeroGrad() {
+  for (Tensor& param : params_) {
+    param.node()->EnsureGrad();
+    param.ZeroGrad();
+  }
+}
+
+}  // namespace hybridflow

@@ -1,0 +1,46 @@
+// Adam optimizer (Kingma & Ba) over a list of parameter tensors — the
+// optimizer the paper uses for actor and critic updates (§8.1).
+#ifndef SRC_NN_ADAM_H_
+#define SRC_NN_ADAM_H_
+
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace hybridflow {
+
+struct AdamConfig {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float epsilon = 1e-8f;
+  // Per-element gradient clip (0 disables). Applied before the update, as a
+  // cheap stand-in for global-norm clipping.
+  float grad_clip = 1.0f;
+};
+
+class Adam {
+ public:
+  Adam(std::vector<Tensor> params, AdamConfig config = AdamConfig());
+
+  // Applies one update using the gradients accumulated on the parameters,
+  // then zeroes them.
+  void Step();
+
+  // Zeroes parameter gradients without updating.
+  void ZeroGrad();
+
+  int64_t steps() const { return steps_; }
+  const std::vector<Tensor>& params() const { return params_; }
+
+ private:
+  std::vector<Tensor> params_;
+  AdamConfig config_;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+  int64_t steps_ = 0;
+};
+
+}  // namespace hybridflow
+
+#endif  // SRC_NN_ADAM_H_

@@ -1,0 +1,210 @@
+#include "src/nn/policy_net.h"
+
+#include <cmath>
+
+namespace hybridflow {
+
+PolicyNet::PolicyNet(const PolicyNetConfig& config, Rng& rng) : config_(config) {
+  HF_CHECK_GT(config_.vocab_size, 1);
+  HF_CHECK_GT(config_.context_window, 0);
+  const float embed_std = 1.0f / std::sqrt(static_cast<float>(config_.embed_dim));
+  const float hidden_std = 1.0f / std::sqrt(static_cast<float>(config_.hidden_dim));
+  embedding_ = Tensor::Randn({config_.vocab_size, config_.embed_dim}, rng, embed_std);
+
+  int64_t trunk_dim = 0;
+  if (config_.arch == PolicyArch::kMlpMixer) {
+    pos_weights_.reserve(static_cast<size_t>(config_.context_window));
+    for (int64_t k = 0; k < config_.context_window; ++k) {
+      pos_weights_.push_back(
+          Tensor::Randn({config_.embed_dim, config_.hidden_dim}, rng, embed_std));
+    }
+    hidden_bias_ = Tensor::Zeros({config_.hidden_dim}, /*requires_grad=*/true);
+    trunk_dim = config_.hidden_dim;
+  } else {
+    HF_CHECK_GT(config_.num_layers, 0);
+    pos_embedding_ =
+        Tensor::Randn({config_.context_window, config_.embed_dim}, rng, embed_std);
+    blocks_.reserve(static_cast<size_t>(config_.num_layers));
+    for (int64_t layer = 0; layer < config_.num_layers; ++layer) {
+      Block block;
+      block.wq = Tensor::Randn({config_.embed_dim, config_.embed_dim}, rng, embed_std);
+      block.wk = Tensor::Randn({config_.embed_dim, config_.embed_dim}, rng, embed_std);
+      block.wv = Tensor::Randn({config_.embed_dim, config_.embed_dim}, rng, embed_std);
+      block.wo = Tensor::Randn({config_.embed_dim, config_.embed_dim}, rng, embed_std);
+      block.ln1_gamma = Tensor::Full({config_.embed_dim}, 1.0f, /*requires_grad=*/true);
+      block.ln1_beta = Tensor::Zeros({config_.embed_dim}, /*requires_grad=*/true);
+      block.ln2_gamma = Tensor::Full({config_.embed_dim}, 1.0f, /*requires_grad=*/true);
+      block.ln2_beta = Tensor::Zeros({config_.embed_dim}, /*requires_grad=*/true);
+      block.ff1 = Tensor::Randn({config_.embed_dim, config_.hidden_dim}, rng, embed_std);
+      block.ff1_bias = Tensor::Zeros({config_.hidden_dim}, /*requires_grad=*/true);
+      block.ff2 = Tensor::Randn({config_.hidden_dim, config_.embed_dim}, rng, hidden_std);
+      block.ff2_bias = Tensor::Zeros({config_.embed_dim}, /*requires_grad=*/true);
+      blocks_.push_back(std::move(block));
+    }
+    final_gamma_ = Tensor::Full({config_.embed_dim}, 1.0f, /*requires_grad=*/true);
+    final_beta_ = Tensor::Zeros({config_.embed_dim}, /*requires_grad=*/true);
+    trunk_dim = config_.embed_dim;
+  }
+
+  const int64_t out_dim = config_.scalar_head ? 1 : config_.vocab_size;
+  const float trunk_std = 1.0f / std::sqrt(static_cast<float>(trunk_dim));
+  out_weight_ = Tensor::Randn({trunk_dim, out_dim}, rng, trunk_std);
+  out_bias_ = Tensor::Zeros({out_dim}, /*requires_grad=*/true);
+}
+
+Tensor PolicyNet::TransformerSequence(const std::vector<int64_t>& tokens) const {
+  HF_CHECK_EQ(static_cast<int64_t>(tokens.size()), config_.context_window);
+  const float attention_scale = 1.0f / std::sqrt(static_cast<float>(config_.embed_dim));
+  Tensor x = Add(GatherRows(embedding_, tokens), pos_embedding_);
+  for (const Block& block : blocks_) {
+    // Pre-norm single-head self-attention with a residual connection. The
+    // whole window is past context for the next-token prediction, so no
+    // causal mask is needed (only the last position feeds the head).
+    Tensor normed = LayerNorm(x, block.ln1_gamma, block.ln1_beta);
+    Tensor q = MatMul(normed, block.wq);
+    Tensor k = MatMul(normed, block.wk);
+    Tensor v = MatMul(normed, block.wv);
+    Tensor scores = Scale(MatMul(q, Transpose(k)), attention_scale);
+    Tensor attention = MatMul(Softmax(scores), v);
+    x = Add(x, MatMul(attention, block.wo));
+    // Pre-norm MLP with a residual connection.
+    Tensor mlp_in = LayerNorm(x, block.ln2_gamma, block.ln2_beta);
+    Tensor hidden = Gelu(Add(MatMul(mlp_in, block.ff1), block.ff1_bias));
+    x = Add(x, Add(MatMul(hidden, block.ff2), block.ff2_bias));
+  }
+  return LayerNorm(x, final_gamma_, final_beta_);
+}
+
+Tensor PolicyNet::TransformerTrunk(const std::vector<std::vector<int64_t>>& contexts) const {
+  std::vector<Tensor> last_rows;
+  last_rows.reserve(contexts.size());
+  for (const std::vector<int64_t>& context : contexts) {
+    Tensor sequence = TransformerSequence(context);
+    last_rows.push_back(
+        SliceRows(sequence, config_.context_window - 1, config_.context_window));
+  }
+  return ConcatRows(last_rows);
+}
+
+Tensor PolicyNet::Trunk(const std::vector<std::vector<int64_t>>& contexts) const {
+  HF_CHECK(!contexts.empty());
+  if (config_.arch == PolicyArch::kTransformer) {
+    return TransformerTrunk(contexts);
+  }
+  const int64_t batch = static_cast<int64_t>(contexts.size());
+  Tensor mixed;
+  for (int64_t k = 0; k < config_.context_window; ++k) {
+    std::vector<int64_t> position_tokens(static_cast<size_t>(batch));
+    for (int64_t i = 0; i < batch; ++i) {
+      const std::vector<int64_t>& context = contexts[static_cast<size_t>(i)];
+      HF_CHECK_EQ(static_cast<int64_t>(context.size()), config_.context_window);
+      position_tokens[static_cast<size_t>(i)] = context[static_cast<size_t>(k)];
+    }
+    Tensor embedded = GatherRows(embedding_, position_tokens);
+    Tensor projected = MatMul(embedded, pos_weights_[static_cast<size_t>(k)]);
+    mixed = k == 0 ? projected : Add(mixed, projected);
+  }
+  return Gelu(Add(mixed, hidden_bias_));
+}
+
+Tensor PolicyNet::Forward(const std::vector<std::vector<int64_t>>& contexts) const {
+  Tensor hidden = Trunk(contexts);
+  Tensor out = Add(MatMul(hidden, out_weight_), out_bias_);
+  if (config_.scalar_head) {
+    return Reshape(out, {static_cast<int64_t>(contexts.size())});
+  }
+  return out;
+}
+
+Tensor PolicyNet::LogProb(const std::vector<std::vector<int64_t>>& contexts,
+                          const std::vector<int64_t>& tokens) const {
+  HF_CHECK(!config_.scalar_head);
+  HF_CHECK_EQ(contexts.size(), tokens.size());
+  Tensor log_probs = LogSoftmax(Forward(contexts));
+  return PickPerRow(log_probs, tokens);
+}
+
+std::vector<int64_t> PolicyNet::Sample(const std::vector<std::vector<int64_t>>& contexts,
+                                       double temperature, Rng& rng) const {
+  HF_CHECK(!config_.scalar_head);
+  HF_CHECK_GT(temperature, 0.0);
+  Tensor logits = Forward(contexts);
+  const int64_t batch = logits.dim(0);
+  const int64_t vocab = logits.dim(1);
+  std::vector<int64_t> tokens(static_cast<size_t>(batch));
+  for (int64_t i = 0; i < batch; ++i) {
+    std::vector<double> weights(static_cast<size_t>(vocab));
+    double max_logit = logits.at(i, 0);
+    for (int64_t j = 1; j < vocab; ++j) {
+      max_logit = std::max(max_logit, static_cast<double>(logits.at(i, j)));
+    }
+    for (int64_t j = 0; j < vocab; ++j) {
+      weights[static_cast<size_t>(j)] =
+          std::exp((static_cast<double>(logits.at(i, j)) - max_logit) / temperature);
+    }
+    tokens[static_cast<size_t>(i)] = rng.Categorical(weights);
+  }
+  return tokens;
+}
+
+std::vector<int64_t> PolicyNet::Greedy(const std::vector<std::vector<int64_t>>& contexts) const {
+  HF_CHECK(!config_.scalar_head);
+  Tensor logits = Forward(contexts);
+  const int64_t batch = logits.dim(0);
+  const int64_t vocab = logits.dim(1);
+  std::vector<int64_t> tokens(static_cast<size_t>(batch));
+  for (int64_t i = 0; i < batch; ++i) {
+    int64_t best = 0;
+    for (int64_t j = 1; j < vocab; ++j) {
+      if (logits.at(i, j) > logits.at(i, best)) {
+        best = j;
+      }
+    }
+    tokens[static_cast<size_t>(i)] = best;
+  }
+  return tokens;
+}
+
+std::vector<Tensor> PolicyNet::Parameters() const {
+  std::vector<Tensor> params;
+  params.push_back(embedding_);
+  if (config_.arch == PolicyArch::kMlpMixer) {
+    for (const Tensor& w : pos_weights_) {
+      params.push_back(w);
+    }
+    params.push_back(hidden_bias_);
+  } else {
+    params.push_back(pos_embedding_);
+    for (const Block& block : blocks_) {
+      params.push_back(block.wq);
+      params.push_back(block.wk);
+      params.push_back(block.wv);
+      params.push_back(block.wo);
+      params.push_back(block.ln1_gamma);
+      params.push_back(block.ln1_beta);
+      params.push_back(block.ln2_gamma);
+      params.push_back(block.ln2_beta);
+      params.push_back(block.ff1);
+      params.push_back(block.ff1_bias);
+      params.push_back(block.ff2);
+      params.push_back(block.ff2_bias);
+    }
+    params.push_back(final_gamma_);
+    params.push_back(final_beta_);
+  }
+  params.push_back(out_weight_);
+  params.push_back(out_bias_);
+  return params;
+}
+
+void PolicyNet::CopyFrom(const PolicyNet& other) {
+  std::vector<Tensor> mine = Parameters();
+  std::vector<Tensor> theirs = other.Parameters();
+  HF_CHECK_EQ(mine.size(), theirs.size());
+  for (size_t i = 0; i < mine.size(); ++i) {
+    HF_CHECK(mine[i].shape() == theirs[i].shape());
+    mine[i].data() = theirs[i].data();
+  }
+}
+
+}  // namespace hybridflow

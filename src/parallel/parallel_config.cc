@@ -1,0 +1,29 @@
+#include "src/parallel/parallel_config.h"
+
+#include "src/common/strings.h"
+
+namespace hybridflow {
+
+std::string ParallelConfig::ToString() const {
+  return StrFormat("%d-%d-%d", pp, tp, dp);
+}
+
+std::string GenParallelConfig::ToString() const {
+  return StrFormat("%d-%d", pp, tp);
+}
+
+bool GenConfigCompatible(const ParallelConfig& train, const GenParallelConfig& gen) {
+  if (gen.pp < 1 || gen.tp < 1) {
+    return false;
+  }
+  return train.pp % gen.pp == 0 && train.tp % gen.tp == 0;
+}
+
+int MicroDpSize(const ParallelConfig& train, const GenParallelConfig& gen) {
+  HF_CHECK_MSG(GenConfigCompatible(train, gen),
+               "generation strategy " << gen.ToString() << " incompatible with training "
+                                      << train.ToString());
+  return (train.pp / gen.pp) * (train.tp / gen.tp);
+}
+
+}  // namespace hybridflow

@@ -1,0 +1,55 @@
+// Parallelism strategy descriptors.
+//
+// Paper convention (§5.1): training uses p-t-d 3D parallel groups; the
+// generation stage uses p_g-t_g-d_g-d groups where the micro data-parallel
+// size d_g = (p*t) / (p_g*t_g) turns each training DP replica into d_g
+// generation replicas, so N_a = p*t*d = p_g*t_g*d_g*d.
+#ifndef SRC_PARALLEL_PARALLEL_CONFIG_H_
+#define SRC_PARALLEL_PARALLEL_CONFIG_H_
+
+#include <string>
+
+#include "src/common/check.h"
+
+namespace hybridflow {
+
+struct ParallelConfig {
+  int pp = 1;  // Pipeline-parallel size (p).
+  int tp = 1;  // Tensor-parallel size (t).
+  int dp = 1;  // Data-parallel size (d).
+
+  int world_size() const { return pp * tp * dp; }
+  int model_parallel_size() const { return pp * tp; }
+
+  bool Valid() const { return pp >= 1 && tp >= 1 && dp >= 1; }
+
+  std::string ToString() const;
+
+  bool operator==(const ParallelConfig& other) const {
+    return pp == other.pp && tp == other.tp && dp == other.dp;
+  }
+};
+
+struct GenParallelConfig {
+  int pp = 1;  // p_g.
+  int tp = 1;  // t_g.
+
+  std::string ToString() const;
+
+  bool operator==(const GenParallelConfig& other) const {
+    return pp == other.pp && tp == other.tp;
+  }
+};
+
+// Micro data-parallel size d_g = (p*t)/(p_g*t_g). Checks divisibility: the
+// generation strategy must evenly subdivide the training model-parallel
+// block (§5.1).
+int MicroDpSize(const ParallelConfig& train, const GenParallelConfig& gen);
+
+// True when `gen` is a legal generation strategy for `train`:
+// p_g | p, t_g | t.
+bool GenConfigCompatible(const ParallelConfig& train, const GenParallelConfig& gen);
+
+}  // namespace hybridflow
+
+#endif  // SRC_PARALLEL_PARALLEL_CONFIG_H_

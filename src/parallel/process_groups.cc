@@ -1,0 +1,176 @@
+#include "src/parallel/process_groups.h"
+
+#include <utility>
+
+namespace hybridflow {
+
+ProcessGroups::ProcessGroups(const ParallelConfig& train, std::vector<DeviceId> devices)
+    : train_(train), devices_(std::move(devices)) {
+  HF_CHECK(train_.Valid());
+  HF_CHECK_EQ(static_cast<int>(devices_.size()), train_.world_size());
+}
+
+TrainCoords ProcessGroups::TrainCoordsOf(int rank) const {
+  HF_CHECK_GE(rank, 0);
+  HF_CHECK_LT(rank, world_size());
+  TrainCoords coords;
+  coords.t = rank % train_.tp;
+  coords.p = (rank / train_.tp) % train_.pp;
+  coords.d = rank / (train_.tp * train_.pp);
+  return coords;
+}
+
+int ProcessGroups::RankOf(const TrainCoords& coords) const {
+  HF_CHECK_GE(coords.t, 0);
+  HF_CHECK_LT(coords.t, train_.tp);
+  HF_CHECK_GE(coords.p, 0);
+  HF_CHECK_LT(coords.p, train_.pp);
+  HF_CHECK_GE(coords.d, 0);
+  HF_CHECK_LT(coords.d, train_.dp);
+  return coords.d * train_.pp * train_.tp + coords.p * train_.tp + coords.t;
+}
+
+std::vector<int> ProcessGroups::TpGroup(int rank) const {
+  TrainCoords coords = TrainCoordsOf(rank);
+  std::vector<int> group;
+  group.reserve(train_.tp);
+  for (int t = 0; t < train_.tp; ++t) {
+    group.push_back(RankOf({coords.p, t, coords.d}));
+  }
+  return group;
+}
+
+std::vector<int> ProcessGroups::PpGroup(int rank) const {
+  TrainCoords coords = TrainCoordsOf(rank);
+  std::vector<int> group;
+  group.reserve(train_.pp);
+  for (int p = 0; p < train_.pp; ++p) {
+    group.push_back(RankOf({p, coords.t, coords.d}));
+  }
+  return group;
+}
+
+std::vector<int> ProcessGroups::DpGroup(int rank) const {
+  TrainCoords coords = TrainCoordsOf(rank);
+  std::vector<int> group;
+  group.reserve(train_.dp);
+  for (int d = 0; d < train_.dp; ++d) {
+    group.push_back(RankOf({coords.p, coords.t, d}));
+  }
+  return group;
+}
+
+std::vector<int> ProcessGroups::ModelParallelBlock(int rank) const {
+  TrainCoords coords = TrainCoordsOf(rank);
+  std::vector<int> group;
+  group.reserve(train_.model_parallel_size());
+  for (int p = 0; p < train_.pp; ++p) {
+    for (int t = 0; t < train_.tp; ++t) {
+      group.push_back(RankOf({p, t, coords.d}));
+    }
+  }
+  return group;
+}
+
+GenCoords ProcessGroups::GenCoordsOf(int rank, const GenParallelConfig& gen,
+                                     GenGroupingMethod method) const {
+  HF_CHECK(GenConfigCompatible(train_, gen));
+  TrainCoords coords = TrainCoordsOf(rank);
+  const int st = train_.tp / gen.tp;  // Stride along the tensor dimension.
+  const int sp = train_.pp / gen.pp;  // Stride along the pipeline dimension.
+  GenCoords out;
+  out.d = coords.d;
+  if (method == GenGroupingMethod::kZeroRedundancy) {
+    // Strided TP/PP groups: the generation shard index is which contiguous
+    // super-slice the training shard falls in, so training weights are
+    // always a sub-slice of generation weights on the same GPU.
+    out.tg = coords.t / st;
+    out.pg = coords.p / sp;
+    out.micro_dp = (coords.p % sp) * st + (coords.t % st);
+  } else {
+    // Vanilla consecutive-rank grouping applied to the generation sizes
+    // within the model-parallel block.
+    const int local = coords.p * train_.tp + coords.t;  // Index in [0, p*t).
+    out.tg = local % gen.tp;
+    out.pg = (local / gen.tp) % gen.pp;
+    out.micro_dp = local / (gen.tp * gen.pp);
+  }
+  return out;
+}
+
+int ProcessGroups::RankOfGen(const GenCoords& coords, const GenParallelConfig& gen,
+                             GenGroupingMethod method) const {
+  HF_CHECK(GenConfigCompatible(train_, gen));
+  const int st = train_.tp / gen.tp;
+  const int sp = train_.pp / gen.pp;
+  TrainCoords train_coords;
+  train_coords.d = coords.d;
+  if (method == GenGroupingMethod::kZeroRedundancy) {
+    const int p_off = coords.micro_dp / st;
+    const int t_off = coords.micro_dp % st;
+    train_coords.t = coords.tg * st + t_off;
+    train_coords.p = coords.pg * sp + p_off;
+  } else {
+    const int local = coords.micro_dp * gen.tp * gen.pp + coords.pg * gen.tp + coords.tg;
+    train_coords.t = local % train_.tp;
+    train_coords.p = local / train_.tp;
+  }
+  return RankOf(train_coords);
+}
+
+std::vector<int> ProcessGroups::GenTpGroup(int rank, const GenParallelConfig& gen,
+                                           GenGroupingMethod method) const {
+  GenCoords coords = GenCoordsOf(rank, gen, method);
+  std::vector<int> group;
+  group.reserve(gen.tp);
+  for (int tg = 0; tg < gen.tp; ++tg) {
+    GenCoords member = coords;
+    member.tg = tg;
+    group.push_back(RankOfGen(member, gen, method));
+  }
+  return group;
+}
+
+std::vector<int> ProcessGroups::GenPpGroup(int rank, const GenParallelConfig& gen,
+                                           GenGroupingMethod method) const {
+  GenCoords coords = GenCoordsOf(rank, gen, method);
+  std::vector<int> group;
+  group.reserve(gen.pp);
+  for (int pg = 0; pg < gen.pp; ++pg) {
+    GenCoords member = coords;
+    member.pg = pg;
+    group.push_back(RankOfGen(member, gen, method));
+  }
+  return group;
+}
+
+std::vector<int> ProcessGroups::MicroDpGroup(int rank, const GenParallelConfig& gen,
+                                             GenGroupingMethod method) const {
+  GenCoords coords = GenCoordsOf(rank, gen, method);
+  const int micro_dp_size = MicroDpSize(train_, gen);
+  std::vector<int> group;
+  group.reserve(micro_dp_size);
+  for (int m = 0; m < micro_dp_size; ++m) {
+    GenCoords member = coords;
+    member.micro_dp = m;
+    group.push_back(RankOfGen(member, gen, method));
+  }
+  return group;
+}
+
+DeviceId ProcessGroups::DeviceOf(int rank) const {
+  HF_CHECK_GE(rank, 0);
+  HF_CHECK_LT(rank, world_size());
+  return devices_[rank];
+}
+
+std::vector<DeviceId> ProcessGroups::DevicesOf(const std::vector<int>& ranks) const {
+  std::vector<DeviceId> devices;
+  devices.reserve(ranks.size());
+  for (int rank : ranks) {
+    devices.push_back(DeviceOf(rank));
+  }
+  return devices;
+}
+
+}  // namespace hybridflow

@@ -1,0 +1,93 @@
+// Rank algebra for 3D parallel groups in training and generation.
+//
+// Training grouping (§5.3, Megatron convention): TP groups take consecutive
+// ranks, PP groups stride by t, DP groups stride by p*t. Rank layout:
+//   rank = d_idx * (p*t) + p_idx * t + t_idx.
+//
+// Generation regrouping supports both methods compared in §5.3 / Figure 8:
+//   * kVanilla (HybridFlow-V): reuse the consecutive-rank method with the
+//     generation sizes; training and generation shards may not overlap on a
+//     GPU, creating weight redundancy.
+//   * kZeroRedundancy (HybridFlow): generation TP/PP groups select ranks at
+//     stride t/t_g and p/p_g; micro DP groups take consecutive ranks. Every
+//     GPU's training shard is then a sub-slice of its generation shard —
+//     zero redundancy.
+#ifndef SRC_PARALLEL_PROCESS_GROUPS_H_
+#define SRC_PARALLEL_PROCESS_GROUPS_H_
+
+#include <vector>
+
+#include "src/parallel/parallel_config.h"
+#include "src/sim/topology.h"
+
+namespace hybridflow {
+
+struct TrainCoords {
+  int p = 0;  // Pipeline stage index.
+  int t = 0;  // Tensor shard index.
+  int d = 0;  // Data-parallel replica index.
+
+  bool operator==(const TrainCoords& other) const {
+    return p == other.p && t == other.t && d == other.d;
+  }
+};
+
+struct GenCoords {
+  int pg = 0;        // Generation pipeline stage index.
+  int tg = 0;        // Generation tensor shard index.
+  int micro_dp = 0;  // Micro data-parallel replica index within the block.
+  int d = 0;         // Training DP replica index (unchanged by regrouping).
+
+  bool operator==(const GenCoords& other) const {
+    return pg == other.pg && tg == other.tg && micro_dp == other.micro_dp && d == other.d;
+  }
+};
+
+enum class GenGroupingMethod {
+  kVanilla,         // HybridFlow-V.
+  kZeroRedundancy,  // HybridFlow (§5.3 new grouping).
+};
+
+class ProcessGroups {
+ public:
+  // `devices` maps rank -> physical device; size must equal train.world_size().
+  ProcessGroups(const ParallelConfig& train, std::vector<DeviceId> devices);
+
+  const ParallelConfig& train_config() const { return train_; }
+  int world_size() const { return train_.world_size(); }
+
+  // --- Training-side groups -----------------------------------------------
+  TrainCoords TrainCoordsOf(int rank) const;
+  int RankOf(const TrainCoords& coords) const;
+  std::vector<int> TpGroup(int rank) const;  // Ranks sharing (p, d).
+  std::vector<int> PpGroup(int rank) const;  // Ranks sharing (t, d).
+  std::vector<int> DpGroup(int rank) const;  // Ranks sharing (p, t).
+  // All ranks in the same model-parallel block (same d): the p*t ranks that
+  // jointly hold one model replica.
+  std::vector<int> ModelParallelBlock(int rank) const;
+
+  // --- Generation-side groups ---------------------------------------------
+  GenCoords GenCoordsOf(int rank, const GenParallelConfig& gen, GenGroupingMethod method) const;
+  // Inverse mapping within a block.
+  int RankOfGen(const GenCoords& coords, const GenParallelConfig& gen,
+                GenGroupingMethod method) const;
+  std::vector<int> GenTpGroup(int rank, const GenParallelConfig& gen,
+                              GenGroupingMethod method) const;
+  std::vector<int> GenPpGroup(int rank, const GenParallelConfig& gen,
+                              GenGroupingMethod method) const;
+  std::vector<int> MicroDpGroup(int rank, const GenParallelConfig& gen,
+                                GenGroupingMethod method) const;
+
+  // --- Device mapping -------------------------------------------------------
+  DeviceId DeviceOf(int rank) const;
+  std::vector<DeviceId> DevicesOf(const std::vector<int>& ranks) const;
+  const std::vector<DeviceId>& devices() const { return devices_; }
+
+ private:
+  ParallelConfig train_;
+  std::vector<DeviceId> devices_;
+};
+
+}  // namespace hybridflow
+
+#endif  // SRC_PARALLEL_PROCESS_GROUPS_H_

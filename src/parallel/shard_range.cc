@@ -1,0 +1,63 @@
+#include "src/parallel/shard_range.h"
+
+#include <algorithm>
+
+namespace hybridflow {
+
+double FracInterval::OverlapWith(const FracInterval& other) const {
+  double lo = std::max(begin, other.begin);
+  double hi = std::min(end, other.end);
+  return std::max(0.0, hi - lo);
+}
+
+double ShardRange::OverlapFraction(const ShardRange& other) const {
+  return layers.OverlapWith(other.layers) * tensor.OverlapWith(other.tensor);
+}
+
+ShardRange TrainShard(const TrainCoords& coords, const ParallelConfig& train) {
+  ShardRange shard;
+  shard.layers = {static_cast<double>(coords.p) / train.pp,
+                  static_cast<double>(coords.p + 1) / train.pp};
+  shard.tensor = {static_cast<double>(coords.t) / train.tp,
+                  static_cast<double>(coords.t + 1) / train.tp};
+  return shard;
+}
+
+ShardRange GenShard(const GenCoords& coords, const GenParallelConfig& gen) {
+  ShardRange shard;
+  shard.layers = {static_cast<double>(coords.pg) / gen.pp,
+                  static_cast<double>(coords.pg + 1) / gen.pp};
+  shard.tensor = {static_cast<double>(coords.tg) / gen.tp,
+                  static_cast<double>(coords.tg + 1) / gen.tp};
+  return shard;
+}
+
+ReshardMemoryProfile ComputeReshardMemory(const ProcessGroups& groups, int rank,
+                                          const GenParallelConfig& gen,
+                                          GenGroupingMethod method) {
+  const ParallelConfig& train = groups.train_config();
+  TrainCoords train_coords = groups.TrainCoordsOf(rank);
+  GenCoords gen_coords = groups.GenCoordsOf(rank, gen, method);
+  ShardRange train_shard = TrainShard(train_coords, train);
+  ShardRange gen_shard = GenShard(gen_coords, gen);
+
+  ReshardMemoryProfile profile;
+  profile.train_fraction = train_shard.Fraction();
+  profile.gen_fraction = gen_shard.Fraction();
+  profile.overlap_fraction = train_shard.OverlapFraction(gen_shard);
+  // Training weights not reusable inside the generation buffer must be kept
+  // in separate memory across the generation stage (grey boxes in Fig. 8a).
+  profile.redundant_fraction = profile.train_fraction - profile.overlap_fraction;
+  if (method == GenGroupingMethod::kZeroRedundancy) {
+    // Only the generation shard is materialized; the all-gather is confined
+    // to the micro DP group, so the peak equals the generation shard.
+    profile.peak_fraction = profile.gen_fraction;
+  } else {
+    // Vanilla grouping gathers all parameters of the model replica on every
+    // GPU before re-partitioning (§5.4): peak is the full model.
+    profile.peak_fraction = 1.0;
+  }
+  return profile;
+}
+
+}  // namespace hybridflow

@@ -1,0 +1,69 @@
+// Weight-shard geometry: which fraction of the model a rank holds.
+//
+// A 3D-parallel shard is a rectangle in (layer, tensor) space: pipeline
+// parallelism slices layers, tensor parallelism slices each tensor. The
+// fraction of total model bytes a rank holds is the product of the two
+// interval lengths. Overlap between a rank's training shard and its
+// generation shard determines the memory redundancy of resharding (§5.3,
+// Table 2): the zero-redundancy grouping guarantees the training shard is a
+// sub-rectangle of the generation shard.
+#ifndef SRC_PARALLEL_SHARD_RANGE_H_
+#define SRC_PARALLEL_SHARD_RANGE_H_
+
+#include "src/parallel/parallel_config.h"
+#include "src/parallel/process_groups.h"
+
+namespace hybridflow {
+
+// Half-open interval of fractions in [0, 1].
+struct FracInterval {
+  double begin = 0.0;
+  double end = 0.0;
+
+  double length() const { return end - begin; }
+  bool Contains(const FracInterval& other) const {
+    return begin <= other.begin + 1e-12 && other.end <= end + 1e-12;
+  }
+  double OverlapWith(const FracInterval& other) const;
+};
+
+struct ShardRange {
+  FracInterval layers;  // Pipeline dimension.
+  FracInterval tensor;  // Tensor dimension.
+
+  // Fraction of total model bytes covered.
+  double Fraction() const { return layers.length() * tensor.length(); }
+  // Fraction of total model bytes covered by the intersection.
+  double OverlapFraction(const ShardRange& other) const;
+  bool Contains(const ShardRange& other) const {
+    return layers.Contains(other.layers) && tensor.Contains(other.tensor);
+  }
+};
+
+// Shard held by a rank during training: 1/(p*t) of the model.
+ShardRange TrainShard(const TrainCoords& coords, const ParallelConfig& train);
+
+// Shard needed by a rank during generation: 1/(p_g*t_g) of the model.
+ShardRange GenShard(const GenCoords& coords, const GenParallelConfig& gen);
+
+// Per-GPU redundant memory fraction: the part of the generation shard NOT
+// covered by the training shard that must be held in a separate buffer,
+// plus (for non-overlapping methods) the training shard kept aside. Matches
+// the Table 2 "Redundancy" row when aggregated.
+struct ReshardMemoryProfile {
+  double train_fraction = 0.0;     // Training shard size / M.
+  double gen_fraction = 0.0;       // Generation shard size / M.
+  double overlap_fraction = 0.0;   // Overlap size / M.
+  double redundant_fraction = 0.0; // Extra copy of training weights kept / M.
+  double peak_fraction = 0.0;      // Peak parameter memory during transition / M.
+};
+
+// Computes the per-rank memory profile of a training->generation transition
+// for a given grouping method.
+ReshardMemoryProfile ComputeReshardMemory(const ProcessGroups& groups, int rank,
+                                          const GenParallelConfig& gen,
+                                          GenGroupingMethod method);
+
+}  // namespace hybridflow
+
+#endif  // SRC_PARALLEL_SHARD_RANGE_H_

@@ -1,0 +1,56 @@
+#include "src/parallel/zero_config.h"
+
+namespace hybridflow {
+
+namespace {
+constexpr double kParamBytes = 2.0;      // BF16 parameters.
+constexpr double kGradBytes = 4.0;       // FP32 gradients.
+constexpr double kOptimizerBytes = 12.0; // FP32 master weights + Adam m, v.
+}  // namespace
+
+double ZeroTrainStateBytesPerGpu(double num_params, const ZeroConfig& config) {
+  HF_CHECK_GE(config.dp, 1);
+  const double dp = static_cast<double>(config.dp);
+  double params = kParamBytes * num_params;
+  double grads = kGradBytes * num_params;
+  double optimizer = kOptimizerBytes * num_params;
+  switch (config.stage) {
+    case ZeroStage::kNone:
+      break;
+    case ZeroStage::kStage1:
+      optimizer /= dp;
+      break;
+    case ZeroStage::kStage2:
+      optimizer /= dp;
+      grads /= dp;
+      break;
+    case ZeroStage::kStage3:
+      optimizer /= dp;
+      grads /= dp;
+      params /= dp;
+      break;
+  }
+  return params + grads + optimizer;
+}
+
+double ZeroParamBytesPerGpu(double num_params, const ZeroConfig& config) {
+  HF_CHECK_GE(config.dp, 1);
+  double params = kParamBytes * num_params;
+  if (config.stage == ZeroStage::kStage3) {
+    params /= static_cast<double>(config.dp);
+  }
+  return params;
+}
+
+double ZeroExtraCommBytesPerStep(double num_params, const ZeroConfig& config) {
+  HF_CHECK_GE(config.dp, 1);
+  if (config.stage != ZeroStage::kStage3 || config.dp == 1) {
+    return 0.0;
+  }
+  // Forward and backward each require an all-gather of BF16 parameters:
+  // each GPU receives (dp-1)/dp of the full parameter bytes, twice.
+  const double dp = static_cast<double>(config.dp);
+  return 2.0 * (dp - 1.0) / dp * kParamBytes * num_params;
+}
+
+}  // namespace hybridflow

@@ -1,0 +1,42 @@
+// ZeRO / FSDP sharding descriptors for memory accounting.
+//
+// ZeRO progressively shards training state across the data-parallel group
+// (§2.1): stage 1 shards optimizer states, stage 2 adds gradients, stage 3
+// adds parameters. FSDP is modeled as ZeRO-3. These descriptors drive the
+// per-GPU memory model for the DeepSpeed-Chat and OpenRLHF baselines and
+// for HybridFlow's FsdpWorker/ZeroWorker paths.
+#ifndef SRC_PARALLEL_ZERO_CONFIG_H_
+#define SRC_PARALLEL_ZERO_CONFIG_H_
+
+#include "src/common/check.h"
+#include "src/model/model_spec.h"
+
+namespace hybridflow {
+
+enum class ZeroStage {
+  kNone = 0,   // Plain DDP: everything replicated.
+  kStage1 = 1, // Optimizer states sharded.
+  kStage2 = 2, // + gradients sharded.
+  kStage3 = 3, // + parameters sharded.
+};
+
+struct ZeroConfig {
+  ZeroStage stage = ZeroStage::kStage3;
+  int dp = 1;  // Sharding group size.
+};
+
+// Per-GPU bytes of training state (params + grads + optimizer) for a model
+// of `num_params` parameters under `config`. Mixed precision: BF16 params
+// (2B), FP32 grads (4B), FP32 master weights + Adam moments (12B).
+double ZeroTrainStateBytesPerGpu(double num_params, const ZeroConfig& config);
+
+// Per-GPU parameter bytes alone (what generation must keep resident).
+double ZeroParamBytesPerGpu(double num_params, const ZeroConfig& config);
+
+// Extra communication per training step relative to plain DP, in bytes per
+// GPU: ZeRO-3 must all-gather parameters for forward and backward.
+double ZeroExtraCommBytesPerStep(double num_params, const ZeroConfig& config);
+
+}  // namespace hybridflow
+
+#endif  // SRC_PARALLEL_ZERO_CONFIG_H_

@@ -1,0 +1,193 @@
+#include "src/perf/pipeline_schedule.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "src/common/check.h"
+#include "src/sim/des_executor.h"
+
+namespace hybridflow {
+
+namespace {
+
+struct StageOp {
+  int microbatch;
+  bool backward;
+};
+
+// Stage-local execution orders.
+std::vector<std::vector<StageOp>> OneFOneBOrders(int p, int m) {
+  std::vector<std::vector<StageOp>> orders(static_cast<size_t>(p));
+  for (int stage = 0; stage < p; ++stage) {
+    std::vector<StageOp>& order = orders[static_cast<size_t>(stage)];
+    const int warmup = std::min(m, p - 1 - stage);
+    int next_forward = 0;
+    int next_backward = 0;
+    for (int i = 0; i < warmup; ++i) {
+      order.push_back({next_forward++, false});
+    }
+    while (next_forward < m) {
+      order.push_back({next_forward++, false});
+      order.push_back({next_backward++, true});
+    }
+    while (next_backward < m) {
+      order.push_back({next_backward++, true});
+    }
+  }
+  return orders;
+}
+
+std::vector<std::vector<StageOp>> GpipeOrders(int p, int m) {
+  std::vector<std::vector<StageOp>> orders(static_cast<size_t>(p));
+  for (int stage = 0; stage < p; ++stage) {
+    for (int i = 0; i < m; ++i) {
+      orders[static_cast<size_t>(stage)].push_back({i, false});
+    }
+    for (int i = 0; i < m; ++i) {
+      orders[static_cast<size_t>(stage)].push_back({i, true});
+    }
+  }
+  return orders;
+}
+
+PipelineSchedule BuildFromOrders(int p, int m, double tf, double tb,
+                                 const std::vector<std::vector<StageOp>>& orders) {
+  HF_CHECK_GT(p, 0);
+  HF_CHECK_GT(m, 0);
+  HF_CHECK_GT(tf, 0.0);
+  HF_CHECK_GE(tb, 0.0);
+  // Cross-stage dependencies: F(s,i) needs F(s-1,i); B(s,i) needs B(s+1,i)
+  // (the last stage's B(i) needs its own F(i), implied by stage order).
+  // The DES executor requires dependencies to be submitted first, so we
+  // submit stage-local ops in a global round-robin until all are in,
+  // deferring ops whose cross-stage dependency is not yet submitted.
+  DesExecutor executor(ClusterSpec::WithGpus(p));
+  std::map<std::pair<int, std::pair<int, int>>, DesExecutor::OpId> ids;  // (bwd,(s,i)).
+  std::vector<size_t> cursor(static_cast<size_t>(p), 0);
+  size_t remaining = 0;
+  for (const auto& order : orders) {
+    remaining += order.size();
+  }
+  while (remaining > 0) {
+    bool progressed = false;
+    for (int stage = 0; stage < p; ++stage) {
+      if (cursor[static_cast<size_t>(stage)] >= orders[static_cast<size_t>(stage)].size()) {
+        continue;
+      }
+      const StageOp op = orders[static_cast<size_t>(stage)][cursor[static_cast<size_t>(stage)]];
+      std::vector<DesExecutor::OpId> deps;
+      if (!op.backward && stage > 0) {
+        auto it = ids.find({0, {stage - 1, op.microbatch}});
+        if (it == ids.end()) {
+          continue;  // Upstream forward not yet submitted.
+        }
+        deps.push_back(it->second);
+      }
+      if (op.backward && stage < p - 1) {
+        auto it = ids.find({1, {stage + 1, op.microbatch}});
+        if (it == ids.end()) {
+          continue;
+        }
+        deps.push_back(it->second);
+      }
+      const std::string name = (op.backward ? "B" : "F") + std::to_string(op.microbatch);
+      const DesExecutor::OpId id = executor.Submit(
+          name, op.backward ? "backward" : "forward", {stage}, op.backward ? tb : tf, deps);
+      ids[{op.backward ? 1 : 0, {stage, op.microbatch}}] = id;
+      cursor[static_cast<size_t>(stage)] += 1;
+      remaining -= 1;
+      progressed = true;
+    }
+    HF_CHECK_MSG(progressed, "pipeline schedule has a dependency cycle");
+  }
+  executor.Run();
+
+  PipelineSchedule schedule;
+  schedule.num_stages = p;
+  schedule.num_microbatches = m;
+  schedule.makespan = executor.Makespan();
+  schedule.ideal_seconds = static_cast<double>(m) * (tf + tb);
+  for (const auto& [key, id] : ids) {
+    PipelineTask task;
+    task.backward = key.first == 1;
+    task.stage = key.second.first;
+    task.microbatch = key.second.second;
+    task.start = executor.SpanOf(id).start;
+    task.end = executor.SpanOf(id).end;
+    schedule.tasks.push_back(task);
+  }
+  std::sort(schedule.tasks.begin(), schedule.tasks.end(),
+            [](const PipelineTask& a, const PipelineTask& b) { return a.start < b.start; });
+  return schedule;
+}
+
+}  // namespace
+
+PipelineSchedule Build1F1BSchedule(int num_stages, int num_microbatches, double forward_seconds,
+                                   double backward_seconds) {
+  return BuildFromOrders(num_stages, num_microbatches, forward_seconds, backward_seconds,
+                         OneFOneBOrders(num_stages, num_microbatches));
+}
+
+PipelineSchedule BuildGpipeSchedule(int num_stages, int num_microbatches, double forward_seconds,
+                                    double backward_seconds) {
+  return BuildFromOrders(num_stages, num_microbatches, forward_seconds, backward_seconds,
+                         GpipeOrders(num_stages, num_microbatches));
+}
+
+int PeakActivationsInFlight(const PipelineSchedule& schedule) {
+  int peak = 0;
+  for (int stage = 0; stage < schedule.num_stages; ++stage) {
+    // Activation of microbatch i is held from its forward's start to its
+    // backward's end on this stage.
+    std::map<int, std::pair<double, double>> intervals;
+    for (const PipelineTask& task : schedule.tasks) {
+      if (task.stage != stage) {
+        continue;
+      }
+      auto& interval = intervals[task.microbatch];
+      if (!task.backward) {
+        interval.first = task.start;
+      } else {
+        interval.second = task.end;
+      }
+    }
+    for (const auto& [i, interval] : intervals) {
+      int live = 0;
+      for (const auto& [j, other] : intervals) {
+        if (other.first <= interval.first && interval.first < other.second) {
+          live += 1;
+        }
+      }
+      peak = std::max(peak, live);
+    }
+  }
+  return peak;
+}
+
+std::string PipelineSchedule::Render(int columns) const {
+  std::ostringstream out;
+  if (makespan <= 0.0) {
+    return "(empty schedule)\n";
+  }
+  for (int stage = 0; stage < num_stages; ++stage) {
+    std::string row(static_cast<size_t>(columns), '.');
+    for (const PipelineTask& task : tasks) {
+      if (task.stage != stage) {
+        continue;
+      }
+      int begin = static_cast<int>(task.start / makespan * columns);
+      int finish = static_cast<int>(task.end / makespan * columns);
+      begin = std::clamp(begin, 0, columns - 1);
+      finish = std::clamp(finish, begin + 1, columns);
+      for (int c = begin; c < finish; ++c) {
+        row[static_cast<size_t>(c)] = task.backward ? 'B' : 'F';
+      }
+    }
+    out << "stage " << stage << " |" << row << "|\n";
+  }
+  return out.str();
+}
+
+}  // namespace hybridflow

@@ -1,0 +1,60 @@
+// 1F1B pipeline-parallel schedule construction (PipeDream-flush /
+// Megatron-LM's default training schedule [54]).
+//
+// Given p stages, m microbatches, and per-microbatch forward/backward
+// stage times, builds the exact interleaving each stage executes: a warmup
+// of (p - 1 - stage) forwards, a steady 1F1B phase, and a cooldown of the
+// remaining backwards. The resulting per-stage spans give the schedule's
+// makespan and bubble fraction; the closed-form bubble (p-1)/m used by the
+// analytical TrainStepTime is validated against this construction in
+// tests/pipeline_schedule_test.cc.
+#ifndef SRC_PERF_PIPELINE_SCHEDULE_H_
+#define SRC_PERF_PIPELINE_SCHEDULE_H_
+
+#include <string>
+#include <vector>
+
+namespace hybridflow {
+
+struct PipelineTask {
+  int stage = 0;
+  int microbatch = 0;
+  bool backward = false;
+  double start = 0.0;
+  double end = 0.0;
+};
+
+struct PipelineSchedule {
+  int num_stages = 0;
+  int num_microbatches = 0;
+  std::vector<PipelineTask> tasks;  // All stages, by completion order.
+  double makespan = 0.0;
+
+  // Ideal time = m * (tf + tb) (one stage's serial work); bubble fraction =
+  // makespan / ideal - 1.
+  double ideal_seconds = 0.0;
+  double BubbleFraction() const {
+    return ideal_seconds > 0.0 ? makespan / ideal_seconds - 1.0 : 0.0;
+  }
+
+  // ASCII Gantt chart (one row per stage, F/B per microbatch).
+  std::string Render(int columns = 80) const;
+};
+
+// Builds the 1F1B schedule. `forward_seconds` and `backward_seconds` are
+// per-microbatch per-stage times (uniform across stages, the Megatron
+// assumption for balanced partitions).
+PipelineSchedule Build1F1BSchedule(int num_stages, int num_microbatches,
+                                   double forward_seconds, double backward_seconds);
+
+// GPipe (all-forward-then-all-backward) schedule, for comparison: same
+// bubble, far higher activation memory.
+PipelineSchedule BuildGpipeSchedule(int num_stages, int num_microbatches,
+                                    double forward_seconds, double backward_seconds);
+
+// Peak number of in-flight microbatches (activations held) at any stage.
+int PeakActivationsInFlight(const PipelineSchedule& schedule);
+
+}  // namespace hybridflow
+
+#endif  // SRC_PERF_PIPELINE_SCHEDULE_H_

@@ -1,0 +1,166 @@
+#include "src/rlhf/advantage.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace hybridflow {
+
+std::vector<float> ShapedTokenRewards(const std::vector<float>& log_probs,
+                                      const std::vector<float>& ref_log_probs,
+                                      float sample_reward, float kl_coef) {
+  HF_CHECK_EQ(log_probs.size(), ref_log_probs.size());
+  std::vector<float> rewards(log_probs.size(), 0.0f);
+  for (size_t k = 0; k < log_probs.size(); ++k) {
+    rewards[k] = -kl_coef * (log_probs[k] - ref_log_probs[k]);
+  }
+  if (!rewards.empty()) {
+    rewards.back() += sample_reward;
+  }
+  return rewards;
+}
+
+void GaeFromRewards(const std::vector<float>& rewards, const std::vector<float>& values,
+                    float gamma, float lam, std::vector<float>* advantages,
+                    std::vector<float>* returns) {
+  HF_CHECK_EQ(rewards.size(), values.size());
+  const size_t n = rewards.size();
+  advantages->assign(n, 0.0f);
+  returns->assign(n, 0.0f);
+  float next_advantage = 0.0f;
+  float next_value = 0.0f;
+  for (size_t i = n; i-- > 0;) {
+    const float delta = rewards[i] + gamma * next_value - values[i];
+    const float advantage = delta + gamma * lam * next_advantage;
+    (*advantages)[i] = advantage;
+    (*returns)[i] = advantage + values[i];
+    next_advantage = advantage;
+    next_value = values[i];
+  }
+}
+
+namespace {
+
+// Per-row GAE advantages driven by a sample-level score.
+void GaeColumns(const DataBatch::FloatColumn& log_probs,
+                const DataBatch::FloatColumn& ref_log_probs,
+                const DataBatch::FloatColumn& values, const std::vector<float>& sample_scores,
+                const AdvantageConfig& config, DataBatch::FloatColumn* advantages,
+                DataBatch::FloatColumn* returns) {
+  const size_t batch = log_probs.size();
+  advantages->resize(batch);
+  returns->resize(batch);
+  for (size_t i = 0; i < batch; ++i) {
+    const std::vector<float> rewards = ShapedTokenRewards(
+        log_probs[i], ref_log_probs[i], sample_scores[i], config.kl_coef);
+    GaeFromRewards(rewards, values[i], config.gamma, config.lam, &(*advantages)[i],
+                   &(*returns)[i]);
+  }
+}
+
+std::vector<float> SampleScores(const DataBatch& batch, const std::string& column) {
+  const DataBatch::FloatColumn& rewards = batch.Float(column);
+  std::vector<float> scores;
+  scores.reserve(rewards.size());
+  for (const std::vector<float>& row : rewards) {
+    HF_CHECK(!row.empty());
+    scores.push_back(row[0]);
+  }
+  return scores;
+}
+
+}  // namespace
+
+DataBatch ComputeAdvantages(const DataBatch& batch, const AdvantageConfig& config) {
+  DataBatch out = batch;
+  const DataBatch::FloatColumn& log_probs = batch.Float("log_probs");
+  const DataBatch::FloatColumn& ref_log_probs = batch.Float("ref_log_probs");
+  const std::vector<float> rewards = SampleScores(batch, "rewards");
+  const size_t n = log_probs.size();
+  HF_CHECK_EQ(ref_log_probs.size(), n);
+  HF_CHECK_EQ(rewards.size(), n);
+
+  switch (config.estimator) {
+    case AdvantageEstimator::kGae: {
+      DataBatch::FloatColumn advantages;
+      DataBatch::FloatColumn returns;
+      GaeColumns(log_probs, ref_log_probs, batch.Float("values"), rewards, config, &advantages,
+                 &returns);
+      if (config.cost_lambda > 0.0f) {
+        // Safe-RLHF: subtract lambda * cost advantage (costs are "bad", so
+        // high-cost trajectories get suppressed).
+        const std::vector<float> costs = SampleScores(batch, "costs");
+        DataBatch::FloatColumn cost_advantages;
+        DataBatch::FloatColumn cost_returns;
+        GaeColumns(log_probs, ref_log_probs, batch.Float("cost_values"), costs, config,
+                   &cost_advantages, &cost_returns);
+        for (size_t i = 0; i < n; ++i) {
+          for (size_t k = 0; k < advantages[i].size(); ++k) {
+            advantages[i][k] -= config.cost_lambda * cost_advantages[i][k];
+          }
+        }
+        out.SetFloat("cost_returns", std::move(cost_returns));
+      }
+      out.SetFloat("advantages", std::move(advantages));
+      out.SetFloat("returns", std::move(returns));
+      return out;
+    }
+    case AdvantageEstimator::kRemax: {
+      const std::vector<float> baselines = SampleScores(batch, "baseline_rewards");
+      DataBatch::FloatColumn advantages(n);
+      for (size_t i = 0; i < n; ++i) {
+        const std::vector<float> shaped = ShapedTokenRewards(
+            log_probs[i], ref_log_probs[i], rewards[i] - baselines[i], config.kl_coef);
+        // ReMax: every token shares the variance-reduced trajectory signal;
+        // accumulate the shaped rewards from the tail so earlier tokens see
+        // the full downstream return.
+        std::vector<float>& row = advantages[i];
+        row.assign(shaped.size(), 0.0f);
+        float tail = 0.0f;
+        for (size_t k = shaped.size(); k-- > 0;) {
+          tail += shaped[k];
+          row[k] = tail;
+        }
+      }
+      out.SetFloat("advantages", std::move(advantages));
+      return out;
+    }
+    case AdvantageEstimator::kGrpo: {
+      HF_CHECK_GT(config.group_size, 0);
+      HF_CHECK_MSG(n % static_cast<size_t>(config.group_size) == 0,
+                   "batch size must be a multiple of the GRPO group size");
+      DataBatch::FloatColumn advantages(n);
+      for (size_t g = 0; g < n; g += static_cast<size_t>(config.group_size)) {
+        double mean = 0.0;
+        for (int j = 0; j < config.group_size; ++j) {
+          mean += rewards[g + static_cast<size_t>(j)];
+        }
+        mean /= config.group_size;
+        double var = 0.0;
+        for (int j = 0; j < config.group_size; ++j) {
+          const double diff = rewards[g + static_cast<size_t>(j)] - mean;
+          var += diff * diff;
+        }
+        const double stddev = std::sqrt(var / config.group_size) + 1e-6;
+        for (int j = 0; j < config.group_size; ++j) {
+          const size_t i = g + static_cast<size_t>(j);
+          const float normalized = static_cast<float>((rewards[i] - mean) / stddev);
+          const std::vector<float> shaped =
+              ShapedTokenRewards(log_probs[i], ref_log_probs[i], normalized, config.kl_coef);
+          std::vector<float>& row = advantages[i];
+          row.assign(shaped.size(), 0.0f);
+          float tail = 0.0f;
+          for (size_t k = shaped.size(); k-- > 0;) {
+            tail += shaped[k];
+            row[k] = tail;
+          }
+        }
+      }
+      out.SetFloat("advantages", std::move(advantages));
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace hybridflow

@@ -1,0 +1,63 @@
+// compute_advantage: the controller-side numerical computation of the RLHF
+// dataflow (Table 4 — "involves no model forward passes").
+//
+// Supports the estimators needed by the paper's algorithms:
+//   * GAE (PPO, Safe-RLHF): Schulman et al. generalized advantage
+//     estimation over the token-level MDP, with the InstructGPT-style
+//     per-token KL penalty folded into rewards.
+//   * ReMax: trajectory reward minus the greedy-rollout baseline.
+//   * GRPO: group-normalized trajectory rewards (DeepSeekMath), group =
+//     the `group_size` consecutive responses sampled for one prompt.
+//
+// Safe-RLHF composes a Lagrangian objective: effective advantage =
+// reward advantage - lambda * cost advantage (cost fitted by the cost
+// model, §2.1 / Figure 6).
+#ifndef SRC_RLHF_ADVANTAGE_H_
+#define SRC_RLHF_ADVANTAGE_H_
+
+#include "src/data/data_batch.h"
+
+namespace hybridflow {
+
+enum class AdvantageEstimator {
+  kGae,
+  kRemax,
+  kGrpo,
+};
+
+struct AdvantageConfig {
+  AdvantageEstimator estimator = AdvantageEstimator::kGae;
+  float gamma = 1.0f;
+  float lam = 0.95f;
+  // Per-token KL penalty coefficient: token reward -= kl_coef * (logp - ref_logp).
+  float kl_coef = 0.05f;
+  // GRPO group size (responses per prompt); batch rows must be grouped
+  // consecutively by prompt.
+  int group_size = 4;
+  // Safe-RLHF Lagrange multiplier on cost advantages (0 disables).
+  float cost_lambda = 0.0f;
+};
+
+// Input columns (per estimator):
+//   always:  "log_probs" [B,R], "ref_log_probs" [B,R], "rewards" [B,1]
+//   kGae:    "values" [B,R]
+//   kRemax:  "baseline_rewards" [B,1]
+//   Safe-RLHF (cost_lambda > 0): "costs" [B,1], "cost_values" [B,R]
+// Returns the batch extended with "advantages" [B,R] and (for kGae)
+// "returns" [B,R] / "cost_returns" [B,R].
+DataBatch ComputeAdvantages(const DataBatch& batch, const AdvantageConfig& config);
+
+// Token-level rewards after KL shaping: kl penalty each token, sample
+// reward added at the final token. Exposed for testing.
+std::vector<float> ShapedTokenRewards(const std::vector<float>& log_probs,
+                                      const std::vector<float>& ref_log_probs,
+                                      float sample_reward, float kl_coef);
+
+// Plain GAE over one sequence; v_next beyond the last token is 0.
+void GaeFromRewards(const std::vector<float>& rewards, const std::vector<float>& values,
+                    float gamma, float lam, std::vector<float>* advantages,
+                    std::vector<float>* returns);
+
+}  // namespace hybridflow
+
+#endif  // SRC_RLHF_ADVANTAGE_H_

@@ -1,0 +1,18 @@
+#include "src/rlhf/kl_controller.h"
+
+#include <algorithm>
+
+namespace hybridflow {
+
+double AdaptiveKlController::Update(double observed_kl) {
+  const double target = config_.target_kl;
+  if (target > 0.0) {
+    const double error =
+        std::clamp((observed_kl - target) / target, -config_.error_clip, config_.error_clip);
+    coef_ *= 1.0 + config_.horizon_gain * error;
+    coef_ = std::clamp(coef_, config_.min_coef, config_.max_coef);
+  }
+  return coef_;
+}
+
+}  // namespace hybridflow

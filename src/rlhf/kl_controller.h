@@ -1,0 +1,43 @@
+// Adaptive KL-penalty controller (the InstructGPT recipe [55]): keeps the
+// actor's divergence from the reference policy near a target by scaling
+// the per-token KL coefficient each iteration:
+//
+//   error = clip((observed_kl - target) / target, -clip, +clip)
+//   coef *= 1 + horizon_gain * error
+//
+// A fixed coefficient (the default elsewhere in this repo) either
+// over-constrains early training or lets the policy run away late; the
+// controller trades between the two automatically.
+#ifndef SRC_RLHF_KL_CONTROLLER_H_
+#define SRC_RLHF_KL_CONTROLLER_H_
+
+namespace hybridflow {
+
+struct AdaptiveKlConfig {
+  double target_kl = 0.05;   // Per-token nats.
+  double initial_coef = 0.05;
+  double horizon_gain = 0.1; // Step size of the multiplicative update.
+  double error_clip = 1.0;   // Bounds a single update's relative error.
+  double min_coef = 1e-4;
+  double max_coef = 10.0;
+};
+
+class AdaptiveKlController {
+ public:
+  explicit AdaptiveKlController(const AdaptiveKlConfig& config)
+      : config_(config), coef_(config.initial_coef) {}
+
+  double coef() const { return coef_; }
+
+  // Feeds one iteration's observed mean per-token KL; returns the updated
+  // coefficient to use for the next iteration.
+  double Update(double observed_kl);
+
+ private:
+  AdaptiveKlConfig config_;
+  double coef_;
+};
+
+}  // namespace hybridflow
+
+#endif  // SRC_RLHF_KL_CONTROLLER_H_

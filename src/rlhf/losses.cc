@@ -1,0 +1,49 @@
+#include "src/rlhf/losses.h"
+
+namespace hybridflow {
+
+Tensor PolicyLoss(const Tensor& log_probs, const Tensor& old_log_probs,
+                  const Tensor& advantages, const PolicyLossConfig& config) {
+  HF_CHECK_EQ(log_probs.size(), old_log_probs.size());
+  HF_CHECK_EQ(log_probs.size(), advantages.size());
+  switch (config.kind) {
+    case PolicyLossKind::kPpoClip: {
+      Tensor ratio = Exp(Sub(log_probs, Detach(old_log_probs)));
+      Tensor adv = Detach(advantages);
+      Tensor surr1 = Mul(ratio, adv);
+      Tensor surr2 = Mul(Clamp(ratio, 1.0f - config.clip_eps, 1.0f + config.clip_eps), adv);
+      return Neg(Mean(Minimum(surr1, surr2)));
+    }
+    case PolicyLossKind::kReinforce: {
+      return Neg(Mean(Mul(log_probs, Detach(advantages))));
+    }
+  }
+  HF_UNREACHABLE();
+}
+
+Tensor ValueLoss(const Tensor& values, const Tensor& old_values, const Tensor& returns,
+                 const ValueLossConfig& config) {
+  HF_CHECK_EQ(values.size(), old_values.size());
+  HF_CHECK_EQ(values.size(), returns.size());
+  Tensor target = Detach(returns);
+  Tensor unclipped = Square(Sub(values, target));
+  if (config.clip_eps <= 0.0f) {
+    return Scale(Mean(unclipped), 0.5f);
+  }
+  Tensor old_detached = Detach(old_values);
+  // values clipped to old +- eps, PPO-style.
+  Tensor delta = Clamp(Sub(values, old_detached), -config.clip_eps, config.clip_eps);
+  Tensor clipped_values = Add(old_detached, delta);
+  Tensor clipped = Square(Sub(clipped_values, target));
+  return Scale(Mean(Maximum(unclipped, clipped)), 0.5f);
+}
+
+Tensor PretrainLoss(const Tensor& log_probs) { return Neg(Mean(log_probs)); }
+
+Tensor MeanEntropy(const Tensor& logits) {
+  Tensor log_probs = LogSoftmax(logits);
+  Tensor probs = Exp(log_probs);
+  return Neg(Mean(RowSum(Mul(probs, log_probs))));
+}
+
+}  // namespace hybridflow

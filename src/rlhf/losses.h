@@ -1,0 +1,50 @@
+// Policy and value losses for the RLHF algorithms of Figure 6.
+//
+// These run inside the actor/critic workers' update functions; adapting an
+// algorithm means swapping the loss configuration, exactly as the paper's
+// `update_actor(batch, loss_func=algo_type)` does.
+#ifndef SRC_RLHF_LOSSES_H_
+#define SRC_RLHF_LOSSES_H_
+
+#include "src/tensor/ops.h"
+#include "src/tensor/tensor.h"
+
+namespace hybridflow {
+
+enum class PolicyLossKind {
+  kPpoClip,    // PPO / Safe-RLHF / GRPO clipped surrogate.
+  kReinforce,  // ReMax (REINFORCE with baseline-corrected advantages).
+};
+
+struct PolicyLossConfig {
+  PolicyLossKind kind = PolicyLossKind::kPpoClip;
+  float clip_eps = 0.2f;
+};
+
+// `log_probs` requires grad; `old_log_probs` and `advantages` are inputs
+// (detached). All are flat [N] over (sample, token) pairs.
+Tensor PolicyLoss(const Tensor& log_probs, const Tensor& old_log_probs,
+                  const Tensor& advantages, const PolicyLossConfig& config);
+
+struct ValueLossConfig {
+  // PPO value clipping range (0 disables clipping).
+  float clip_eps = 0.2f;
+};
+
+// Clipped squared-error critic loss. `values` requires grad; `old_values`
+// and `returns` are detached inputs, all flat [N].
+Tensor ValueLoss(const Tensor& values, const Tensor& old_values, const Tensor& returns,
+                 const ValueLossConfig& config);
+
+// Auxiliary pretraining loss (PPO-ptx / Safe-RLHF): mean NLL of the
+// pretrain batch under the actor. `log_probs` are the actor's log-probs of
+// the pretrain tokens, requiring grad.
+Tensor PretrainLoss(const Tensor& log_probs);
+
+// Mean per-position policy entropy from raw logits [n, vocab]. Used as an
+// exploration bonus: total_loss -= entropy_coef * MeanEntropy(logits).
+Tensor MeanEntropy(const Tensor& logits);
+
+}  // namespace hybridflow
+
+#endif  // SRC_RLHF_LOSSES_H_

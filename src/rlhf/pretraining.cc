@@ -1,0 +1,173 @@
+#include "src/rlhf/pretraining.h"
+
+#include "src/common/check.h"
+#include "src/workers/token_context.h"
+
+namespace hybridflow {
+
+namespace {
+
+// Synthesizes one demonstration context/target pair following the task's
+// coherent-continuation rule.
+void MakeDemonstration(const AlignmentTask& task, Rng& rng,
+                       std::vector<int64_t>* context, int64_t* target) {
+  const int64_t cycle = task.vocab_size - (task.use_eos ? 2 : 1);
+  context->clear();
+  // A coherent run ending at a random token; the demonstration target is
+  // its successor.
+  int64_t token = rng.UniformInt(0, cycle - 1);
+  const int64_t window = 4;
+  std::vector<int64_t> run;
+  for (int64_t k = 0; k < window; ++k) {
+    run.push_back(token);
+    token = (token + 1) % cycle;
+  }
+  *context = run;
+  *target = token % cycle;
+}
+
+// A random response of `length` tokens over the task's non-EOS vocabulary.
+std::vector<int64_t> RandomResponse(const AlignmentTask& task, int64_t length, Rng& rng) {
+  std::vector<int64_t> response;
+  response.reserve(static_cast<size_t>(length));
+  for (int64_t k = 0; k < length; ++k) {
+    response.push_back(rng.UniformInt(0, task.vocab_size - 1));
+  }
+  return response;
+}
+
+}  // namespace
+
+SftReport RunSft(PolicyNet* net, const AlignmentTask& task, const SftConfig& config) {
+  HF_CHECK(net != nullptr);
+  HF_CHECK(!net->config().scalar_head);
+  const int64_t window = net->config().context_window;
+  Rng rng(config.seed);
+  AdamConfig adam_config;
+  adam_config.lr = config.lr;
+  Adam adam(net->Parameters(), adam_config);
+
+  SftReport report;
+  for (int step = 0; step < config.steps; ++step) {
+    std::vector<std::vector<int64_t>> contexts;
+    std::vector<int64_t> targets;
+    for (int i = 0; i < config.batch; ++i) {
+      std::vector<int64_t> run;
+      int64_t target = 0;
+      MakeDemonstration(task, rng, &run, &target);
+      // Left-pad / truncate the run to the model's window.
+      std::vector<int64_t> context(static_cast<size_t>(window), 0);
+      for (int64_t k = 0; k < window && k < static_cast<int64_t>(run.size()); ++k) {
+        context[static_cast<size_t>(window - 1 - k)] = run[run.size() - 1 - static_cast<size_t>(k)];
+      }
+      contexts.push_back(std::move(context));
+      targets.push_back(target);
+    }
+    Tensor loss = Neg(Mean(net->LogProb(contexts, targets)));
+    if (step == 0) {
+      report.initial_loss = loss.item();
+    }
+    report.final_loss = loss.item();
+    loss.Backward();
+    adam.Step();
+  }
+
+  // Greedy accuracy over the whole cycle.
+  const int64_t cycle = task.vocab_size - (task.use_eos ? 2 : 1);
+  int correct = 0;
+  for (int64_t last = 0; last < cycle; ++last) {
+    std::vector<int64_t> context(static_cast<size_t>(window), 0);
+    // A coherent run ending at `last`.
+    for (int64_t k = 0; k < window; ++k) {
+      context[static_cast<size_t>(window - 1 - k)] = ((last - k) % cycle + cycle) % cycle;
+    }
+    if (net->Greedy({context})[0] == (last + 1) % cycle) {
+      correct += 1;
+    }
+  }
+  report.greedy_accuracy = static_cast<double>(correct) / static_cast<double>(cycle);
+  return report;
+}
+
+Tensor ScoreResponse(const PolicyNet& reward_net, const std::vector<int64_t>& prompt,
+                     const std::vector<int64_t>& response) {
+  HF_CHECK(reward_net.config().scalar_head);
+  HF_CHECK(!response.empty());
+  std::vector<std::vector<int64_t>> contexts;
+  contexts.reserve(response.size());
+  for (size_t k = 0; k < response.size(); ++k) {
+    contexts.push_back(
+        ContextWindow(prompt, response, k, reward_net.config().context_window));
+  }
+  return Mean(reward_net.Forward(contexts));
+}
+
+RewardTrainingReport TrainRewardModel(PolicyNet* reward_net, const AlignmentTask& task,
+                                      const RewardTrainingConfig& config) {
+  HF_CHECK(reward_net != nullptr);
+  HF_CHECK(reward_net->config().scalar_head);
+  Rng rng(config.seed);
+  PromptDataset dataset(task, config.seed ^ 0xFEEDULL);
+  AdamConfig adam_config;
+  adam_config.lr = config.lr;
+  Adam adam(reward_net->Parameters(), adam_config);
+
+  RewardTrainingReport report;
+  for (int step = 0; step < config.steps; ++step) {
+    DataBatch prompts = dataset.NextBatch(config.pairs_per_step);
+    Tensor total = Tensor::Scalar(0.0f);
+    int pairs = 0;
+    for (const std::vector<int64_t>& prompt : prompts.Tokens("prompts")) {
+      std::vector<int64_t> a = RandomResponse(task, task.response_len, rng);
+      std::vector<int64_t> b = RandomResponse(task, task.response_len, rng);
+      const float reward_a = task.SampleReward(prompt, a);
+      const float reward_b = task.SampleReward(prompt, b);
+      if (reward_a == reward_b) {
+        continue;  // No preference signal.
+      }
+      const std::vector<int64_t>& chosen = reward_a > reward_b ? a : b;
+      const std::vector<int64_t>& rejected = reward_a > reward_b ? b : a;
+      Tensor margin = Sub(ScoreResponse(*reward_net, prompt, chosen),
+                          ScoreResponse(*reward_net, prompt, rejected));
+      // Bradley–Terry: -log sigmoid(margin) = softplus(-margin).
+      total = Add(total, Softplus(Neg(margin)));
+      pairs += 1;
+    }
+    if (pairs == 0) {
+      continue;
+    }
+    Tensor loss = Scale(total, 1.0f / static_cast<float>(pairs));
+    if (report.initial_loss == 0.0) {
+      report.initial_loss = loss.item();
+    }
+    report.final_loss = loss.item();
+    loss.Backward();
+    adam.Step();
+  }
+
+  // Held-out ranking accuracy.
+  int correct = 0;
+  int total_pairs = 0;
+  PromptDataset held_out(task, config.seed ^ 0xBEEFULL);
+  DataBatch prompts = held_out.NextBatch(64);
+  for (const std::vector<int64_t>& prompt : prompts.Tokens("prompts")) {
+    std::vector<int64_t> a = RandomResponse(task, task.response_len, rng);
+    std::vector<int64_t> b = RandomResponse(task, task.response_len, rng);
+    const float reward_a = task.SampleReward(prompt, a);
+    const float reward_b = task.SampleReward(prompt, b);
+    if (reward_a == reward_b) {
+      continue;
+    }
+    const float score_a = ScoreResponse(*reward_net, prompt, a).item();
+    const float score_b = ScoreResponse(*reward_net, prompt, b).item();
+    if ((score_a > score_b) == (reward_a > reward_b)) {
+      correct += 1;
+    }
+    total_pairs += 1;
+  }
+  report.ranking_accuracy =
+      total_pairs > 0 ? static_cast<double>(correct) / total_pairs : 0.0;
+  return report;
+}
+
+}  // namespace hybridflow

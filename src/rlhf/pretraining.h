@@ -1,0 +1,75 @@
+// The two LLM pipeline stages upstream of RLHF (§1):
+//
+//   * Supervised fine-tuning (SFT): next-token NLL on demonstration data —
+//     here, coherent continuations synthesized from the alignment task's
+//     ground-truth rule, standing in for instruction-following data.
+//   * Reward-model training: Bradley–Terry pairwise preference fitting
+//     (-log sigmoid(r_chosen - r_rejected)) on synthetic preference pairs
+//     ranked by the task's ground truth, standing in for the
+//     human-preference dataset the paper's reward models are fine-tuned on
+//     (§2.1).
+//
+// Both operate on PolicyNet instances so the resulting weights drop
+// directly into the RLHF worker groups (see examples/full_pipeline.cpp).
+#ifndef SRC_RLHF_PRETRAINING_H_
+#define SRC_RLHF_PRETRAINING_H_
+
+#include <cstdint>
+
+#include "src/data/alignment_task.h"
+#include "src/nn/adam.h"
+#include "src/nn/policy_net.h"
+
+namespace hybridflow {
+
+// --- SFT ----------------------------------------------------------------------
+
+struct SftConfig {
+  int steps = 200;
+  int batch = 32;
+  float lr = 0.01f;
+  uint64_t seed = 1;
+};
+
+struct SftReport {
+  double initial_loss = 0.0;
+  double final_loss = 0.0;
+  // Greedy next-token accuracy on the demonstration rule after training.
+  double greedy_accuracy = 0.0;
+};
+
+// Fine-tunes `net` (vocabulary head) toward the task's coherent
+// continuation rule. Returns before/after metrics.
+SftReport RunSft(PolicyNet* net, const AlignmentTask& task, const SftConfig& config);
+
+// --- Reward-model training ------------------------------------------------------
+
+struct RewardTrainingConfig {
+  int steps = 150;
+  int pairs_per_step = 16;
+  float lr = 0.01f;
+  uint64_t seed = 2;
+};
+
+struct RewardTrainingReport {
+  double initial_loss = 0.0;
+  double final_loss = 0.0;
+  // Fraction of held-out preference pairs ranked correctly.
+  double ranking_accuracy = 0.0;
+};
+
+// Trains a scalar-head `reward_net` on synthetic preference pairs: two
+// random responses per prompt, the one with the higher ground-truth task
+// reward is "chosen". Scores are the mean of the per-position scalar head
+// over the response (matching RewardWorkerGroup's kLearnedNet scoring).
+RewardTrainingReport TrainRewardModel(PolicyNet* reward_net, const AlignmentTask& task,
+                                      const RewardTrainingConfig& config);
+
+// The mean per-position score of one (prompt, response) pair under a
+// scalar-head net; differentiable. Exposed for tests.
+Tensor ScoreResponse(const PolicyNet& reward_net, const std::vector<int64_t>& prompt,
+                     const std::vector<int64_t>& response);
+
+}  // namespace hybridflow
+
+#endif  // SRC_RLHF_PRETRAINING_H_

@@ -1,0 +1,259 @@
+#include "src/rlhf/rlhf_program.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace hybridflow {
+
+const char* RlhfAlgorithmName(RlhfAlgorithm algorithm) {
+  switch (algorithm) {
+    case RlhfAlgorithm::kPpo:
+      return "PPO";
+    case RlhfAlgorithm::kRemax:
+      return "ReMax";
+    case RlhfAlgorithm::kSafeRlhf:
+      return "Safe-RLHF";
+    case RlhfAlgorithm::kGrpo:
+      return "GRPO";
+  }
+  return "?";
+}
+
+RlhfProgram::RlhfProgram(RlhfProgramConfig config, RlhfModels models, Controller* controller,
+                         PromptDataset* dataset)
+    : config_(std::move(config)),
+      models_(models),
+      controller_(controller),
+      dataset_(dataset),
+      kl_controller_(config_.adaptive_kl) {
+  HF_CHECK(controller_ != nullptr);
+  ValidateModels();
+  if (config_.use_adaptive_kl) {
+    config_.advantage.kl_coef = static_cast<float>(kl_controller_.coef());
+  }
+  // Wire the advantage estimator to the algorithm.
+  switch (config_.algorithm) {
+    case RlhfAlgorithm::kPpo:
+      config_.advantage.estimator = AdvantageEstimator::kGae;
+      config_.advantage.cost_lambda = 0.0f;
+      break;
+    case RlhfAlgorithm::kSafeRlhf:
+      config_.advantage.estimator = AdvantageEstimator::kGae;
+      if (config_.advantage.cost_lambda <= 0.0f) {
+        config_.advantage.cost_lambda = 0.5f;
+      }
+      if (config_.ptx_coef <= 0.0f) {
+        config_.ptx_coef = 0.1f;
+      }
+      break;
+    case RlhfAlgorithm::kRemax:
+      config_.advantage.estimator = AdvantageEstimator::kRemax;
+      config_.policy_loss.kind = PolicyLossKind::kReinforce;
+      break;
+    case RlhfAlgorithm::kGrpo:
+      config_.advantage.estimator = AdvantageEstimator::kGrpo;
+      break;
+  }
+}
+
+void RlhfProgram::ValidateModels() const {
+  HF_CHECK(models_.actor != nullptr);
+  HF_CHECK(models_.reference != nullptr);
+  HF_CHECK(models_.reward != nullptr);
+  switch (config_.algorithm) {
+    case RlhfAlgorithm::kPpo:
+      HF_CHECK_MSG(models_.critic != nullptr, "PPO requires a critic");
+      break;
+    case RlhfAlgorithm::kSafeRlhf:
+      HF_CHECK_MSG(models_.critic != nullptr, "Safe-RLHF requires a critic");
+      HF_CHECK_MSG(models_.cost != nullptr, "Safe-RLHF requires a cost model");
+      break;
+    case RlhfAlgorithm::kRemax:
+    case RlhfAlgorithm::kGrpo:
+      break;  // No critic in the dataflow.
+  }
+}
+
+IterationMetrics RlhfProgram::RunIteration() {
+  const RlhfWorkloadSpec& w = config_.workload;
+  ActorWorkerGroup& actor = *models_.actor;
+  const bool real = actor.real_enabled();
+  controller_->BeginIteration();
+  const size_t trace_begin = controller_->cluster().trace().size();
+
+  // --- Stage 0: load prompts -------------------------------------------------
+  DataBatch prompts_data;
+  if (real && dataset_ != nullptr) {
+    int64_t rows = config_.real_batch;
+    if (config_.algorithm == RlhfAlgorithm::kGrpo) {
+      // GRPO samples group_size responses per prompt: replicate prompts.
+      const int group = config_.advantage.group_size;
+      DataBatch unique = dataset_->NextBatch(std::max<int64_t>(1, rows / group));
+      DataBatch::TokenColumn repeated;
+      for (const std::vector<int64_t>& prompt : unique.Tokens("prompts")) {
+        for (int j = 0; j < group; ++j) {
+          repeated.push_back(prompt);
+        }
+      }
+      prompts_data.SetTokens("prompts", std::move(repeated));
+    } else {
+      prompts_data = dataset_->NextBatch(rows);
+    }
+  }
+  BatchFuture prompts = BatchFuture::Immediate(std::move(prompts_data));
+
+  // --- Stage 1: generation ----------------------------------------------------
+  BatchFuture batch = actor.GenerateSequences(prompts, w, /*do_sample=*/true);
+
+  // ReMax: one extra greedy generation pass for the variance-reduction
+  // baseline (Figure 6: do_sample=false).
+  BatchFuture greedy_rewards;
+  if (config_.algorithm == RlhfAlgorithm::kRemax) {
+    BatchFuture greedy = actor.GenerateSequences(prompts, w, /*do_sample=*/false);
+    greedy_rewards = models_.reward->ComputeReward(greedy, w);
+  }
+
+  // --- Stage 2: experience preparation ---------------------------------------
+  // Every preparation op depends only on the generation output (Figure 1);
+  // feeding each the same future lets models on disjoint pools run
+  // concurrently (Table 1's OpenRLHF/NeMo patterns) while colocated models
+  // still serialize on their shared devices. The controller merges the
+  // output columns and joins on the latest future.
+  if (config_.recompute_log_probs) {
+    batch = actor.ComputeLogProb(batch, w, "log_probs");
+  }
+  const BatchFuture generated = batch;
+  std::vector<BatchFuture> prepared;
+  if (models_.critic != nullptr) {
+    prepared.push_back(models_.critic->ComputeValues(generated, w));
+  }
+  prepared.push_back(models_.reference->ComputeRefLogProb(generated, w));
+  prepared.push_back(models_.reward->ComputeReward(generated, w));
+  if (config_.algorithm == RlhfAlgorithm::kSafeRlhf) {
+    prepared.push_back(models_.cost->ComputeReward(generated, w));
+  }
+  for (const BatchFuture& part : prepared) {
+    batch.data.MergeColumns(part.data);
+    batch.ready_time = std::max(batch.ready_time, part.ready_time);
+    batch.nominal_bytes = std::max(batch.nominal_bytes, part.nominal_bytes);
+  }
+
+  IterationMetrics metrics;
+
+  // compute_advantage: controller-side numerics (Table 4).
+  if (real && !batch.data.empty()) {
+    DataBatch data = batch.data;
+    if (config_.algorithm == RlhfAlgorithm::kRemax) {
+      DataBatch::FloatColumn baselines = greedy_rewards.data.Float("rewards");
+      data.SetFloat("baseline_rewards", std::move(baselines));
+      batch.ready_time = std::max(batch.ready_time, greedy_rewards.ready_time);
+    }
+    if (config_.algorithm == RlhfAlgorithm::kSafeRlhf) {
+      // Cost value baseline: zeros (cost critic folded into the advantage).
+      const DataBatch::FloatColumn& log_probs = data.Float("log_probs");
+      DataBatch::FloatColumn zeros(log_probs.size());
+      for (size_t i = 0; i < log_probs.size(); ++i) {
+        zeros[i].assign(log_probs[i].size(), 0.0f);
+      }
+      data.SetFloat("cost_values", std::move(zeros));
+    }
+    batch.data = ComputeAdvantages(data, config_.advantage);
+  }
+
+  // --- Stage 3: learning --------------------------------------------------------
+  // Pretraining corpus for PPO-ptx / Safe-RLHF.
+  DataBatch pretrain_data;
+  if (real && config_.ptx_coef > 0.0f && dataset_ != nullptr) {
+    pretrain_data = dataset_->NextBatch(std::max<int64_t>(4, config_.real_batch / 4));
+  }
+
+  double actor_loss_sum = 0.0;
+  double critic_loss_sum = 0.0;
+  int loss_count = 0;
+  const int total_updates = w.ppo_epochs * w.updates_per_iteration;
+  for (int epoch = 0; epoch < w.ppo_epochs; ++epoch) {
+    std::vector<DataBatch> minibatches;
+    if (real && !batch.data.empty()) {
+      minibatches = batch.data.SplitChunks(w.updates_per_iteration);
+    }
+    for (int update = 0; update < w.updates_per_iteration; ++update) {
+      BatchFuture minibatch;
+      minibatch.ready_time = batch.ready_time;
+      minibatch.nominal_bytes = 0.0;  // Experience already resides on-device.
+      if (!minibatches.empty()) {
+        minibatch.data = minibatches[static_cast<size_t>(update)];
+      }
+      if (models_.critic != nullptr) {
+        BatchFuture critic_out =
+            models_.critic->UpdateCritic(minibatch, w, config_.value_loss);
+        if (!critic_out.data.empty()) {
+          critic_loss_sum += critic_out.data.Float("critic_loss")[0][0];
+        }
+      }
+      ActorUpdateConfig update_config;
+      update_config.loss = config_.policy_loss;
+      update_config.ptx_coef = config_.ptx_coef;
+      update_config.pretrain = pretrain_data.empty() ? nullptr : &pretrain_data;
+      BatchFuture actor_out = actor.UpdateActor(minibatch, w, update_config);
+      if (!actor_out.data.empty()) {
+        actor_loss_sum += actor_out.data.Float("actor_loss")[0][0];
+      }
+      loss_count += 1;
+    }
+  }
+  (void)total_updates;
+
+  // --- Metrics ---------------------------------------------------------------
+  metrics.iteration_seconds = controller_->IterationSeconds();
+  if (metrics.iteration_seconds > 0.0) {
+    metrics.throughput_tokens_per_sec = w.TokensPerIteration() / metrics.iteration_seconds;
+  }
+  metrics.transition_seconds = actor.last_transition_seconds();
+  metrics.generation_seconds = actor.last_gen_breakdown().total();
+  const std::vector<TraceSpan>& trace = controller_->cluster().trace();
+  for (size_t i = trace_begin; i < trace.size(); ++i) {
+    metrics.busy_by_category[trace[i].category] +=
+        trace[i].duration() * static_cast<double>(trace[i].devices.size());
+  }
+  if (real && !batch.data.empty()) {
+    const DataBatch& data = batch.data;
+    double reward_sum = 0.0;
+    for (const std::vector<float>& row : data.Float("rewards")) {
+      reward_sum += row[0];
+    }
+    metrics.mean_reward = reward_sum / static_cast<double>(data.batch_size());
+    const AlignmentTask& task = actor.real().task;
+    metrics.toxicity_rate =
+        AlignmentTask::ToxicityRate(data.Tokens("responses"), task.toxic_token());
+    metrics.coherence_rate =
+        task.CoherenceRate(data.Tokens("prompts"), data.Tokens("responses"));
+    double kl_sum = 0.0;
+    int64_t kl_count = 0;
+    const DataBatch::FloatColumn& log_probs = data.Float("log_probs");
+    const DataBatch::FloatColumn& ref_log_probs = data.Float("ref_log_probs");
+    for (size_t i = 0; i < log_probs.size(); ++i) {
+      for (size_t k = 0; k < log_probs[i].size(); ++k) {
+        kl_sum += log_probs[i][k] - ref_log_probs[i][k];
+        kl_count += 1;
+      }
+    }
+    metrics.mean_kl = kl_count > 0 ? kl_sum / static_cast<double>(kl_count) : 0.0;
+    if (loss_count > 0) {
+      metrics.actor_loss = actor_loss_sum / loss_count;
+      metrics.critic_loss = critic_loss_sum / loss_count;
+    }
+  }
+  // Adaptive KL: track the observed divergence for the next iteration.
+  if (config_.use_adaptive_kl && real) {
+    config_.advantage.kl_coef = static_cast<float>(kl_controller_.Update(metrics.mean_kl));
+  }
+  metrics.kl_coef = config_.advantage.kl_coef;
+  HF_LOG(kInfo) << RlhfAlgorithmName(config_.algorithm) << " iteration: "
+                << metrics.iteration_seconds << "s, throughput "
+                << metrics.throughput_tokens_per_sec << " tok/s, reward "
+                << metrics.mean_reward;
+  return metrics;
+}
+
+}  // namespace hybridflow

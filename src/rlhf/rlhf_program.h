@@ -1,0 +1,101 @@
+// Single-process RLHF dataflow programs (Figure 6).
+//
+// Each algorithm is a short controller-side script over the model classes'
+// primitive APIs — this is the paper's flexibility claim made concrete:
+// PPO, ReMax, Safe-RLHF and GRPO differ only in which models exist, one
+// extra generation pass, and the numerical configuration of
+// compute_advantage / the losses.
+#ifndef SRC_RLHF_RLHF_PROGRAM_H_
+#define SRC_RLHF_RLHF_PROGRAM_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/controller/controller.h"
+#include "src/rlhf/advantage.h"
+#include "src/rlhf/kl_controller.h"
+#include "src/workers/model_workers.h"
+
+namespace hybridflow {
+
+enum class RlhfAlgorithm {
+  kPpo,
+  kRemax,
+  kSafeRlhf,
+  kGrpo,
+};
+
+const char* RlhfAlgorithmName(RlhfAlgorithm algorithm);
+
+struct RlhfProgramConfig {
+  RlhfAlgorithm algorithm = RlhfAlgorithm::kPpo;
+  RlhfWorkloadSpec workload;
+  AdvantageConfig advantage;
+  PolicyLossConfig policy_loss;
+  ValueLossConfig value_loss;
+  float ptx_coef = 0.0f;  // Safe-RLHF / PPO-ptx pretraining-loss mix-in.
+  // Recompute response log-probs with a dedicated forward pass in stage 2
+  // instead of reusing the generation-time values ("Optional in PPO",
+  // Table 4). Adds one actor inference op per iteration.
+  bool recompute_log_probs = false;
+  // Adaptive KL penalty (InstructGPT): when enabled, the advantage
+  // computation's kl_coef tracks `adaptive_kl.target_kl`.
+  bool use_adaptive_kl = false;
+  AdaptiveKlConfig adaptive_kl;
+  // Toy-scale prompts per iteration for the real data plane.
+  int64_t real_batch = 32;
+};
+
+// Non-owning view of the worker groups participating in a dataflow. Models
+// not used by the selected algorithm may be null (e.g. critic for ReMax).
+struct RlhfModels {
+  ActorWorkerGroup* actor = nullptr;
+  CriticWorkerGroup* critic = nullptr;
+  ReferenceWorkerGroup* reference = nullptr;
+  RewardWorkerGroup* reward = nullptr;
+  RewardWorkerGroup* cost = nullptr;  // Safe-RLHF.
+};
+
+struct IterationMetrics {
+  double iteration_seconds = 0.0;
+  double throughput_tokens_per_sec = 0.0;
+  // Real-plane learning signals (zero when the data plane is disabled).
+  double mean_reward = 0.0;
+  double toxicity_rate = 0.0;
+  double coherence_rate = 0.0;
+  double actor_loss = 0.0;
+  double critic_loss = 0.0;
+  double mean_kl = 0.0;
+  double kl_coef = 0.0;  // KL coefficient in effect (adaptive or fixed).
+  // Performance-plane detail.
+  double transition_seconds = 0.0;
+  double generation_seconds = 0.0;
+  // Busy seconds by op category ("generate", "infer", "train", "reshard").
+  std::map<std::string, double> busy_by_category;
+};
+
+class RlhfProgram {
+ public:
+  RlhfProgram(RlhfProgramConfig config, RlhfModels models, Controller* controller,
+              PromptDataset* dataset);
+
+  // Runs one full RLHF iteration: generation -> experience preparation ->
+  // learning (§2.1's three stages). Returns timing and learning metrics.
+  IterationMetrics RunIteration();
+
+  const RlhfProgramConfig& config() const { return config_; }
+
+ private:
+  void ValidateModels() const;
+
+  RlhfProgramConfig config_;
+  RlhfModels models_;
+  Controller* controller_;
+  PromptDataset* dataset_;
+  AdaptiveKlController kl_controller_;
+};
+
+}  // namespace hybridflow
+
+#endif  // SRC_RLHF_RLHF_PROGRAM_H_

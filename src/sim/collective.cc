@@ -1,0 +1,159 @@
+#include "src/sim/collective.h"
+
+#include <algorithm>
+
+namespace hybridflow {
+
+double RingBandwidth(const ClusterSpec& cluster, const std::vector<DeviceId>& devices) {
+  HF_CHECK(!devices.empty());
+  if (AllOnOneNode(cluster, devices)) {
+    return cluster.nvlink_bandwidth;
+  }
+  // A ring that spans nodes must cross the NIC; the ranks on a node share
+  // its NIC bandwidth. A ring ordered node-by-node crosses each NIC once in
+  // each direction, so the sustainable per-rank rate is the NIC rate divided
+  // by the number of co-resident ranks feeding it.
+  int sharing = std::max(1, MaxDevicesPerNode(cluster, devices));
+  double cross_node = cluster.nic_bandwidth / static_cast<double>(sharing);
+  return std::min(cluster.nvlink_bandwidth, cross_node);
+}
+
+double P2pBandwidth(const ClusterSpec& cluster, DeviceId src, DeviceId dst) {
+  if (cluster.SameNode(src, dst)) {
+    return cluster.nvlink_bandwidth;
+  }
+  return cluster.nic_bandwidth;
+}
+
+namespace {
+
+// Flat single-ring all-gather (the NCCL ring algorithm baseline).
+double FlatAllGatherTime(const ClusterSpec& cluster, const std::vector<DeviceId>& devices,
+                         double bytes) {
+  const int n = static_cast<int>(devices.size());
+  double bw = RingBandwidth(cluster, devices);
+  double steps = static_cast<double>(n - 1);
+  return steps / static_cast<double>(n) * bytes / bw + steps * cluster.link_latency;
+}
+
+}  // namespace
+
+double HierarchicalAllGatherTime(const ClusterSpec& cluster,
+                                 const std::vector<DeviceId>& devices, double bytes) {
+  HF_CHECK_GE(bytes, 0.0);
+  const int n = static_cast<int>(devices.size());
+  if (n <= 1 || bytes == 0.0) {
+    return 0.0;
+  }
+  const int nodes = NodesSpanned(cluster, devices);
+  const int per_node = MaxDevicesPerNode(cluster, devices);
+  if (nodes <= 1 || per_node <= 1) {
+    return FlatAllGatherTime(cluster, devices, bytes);
+  }
+  const double node_share = bytes * static_cast<double>(per_node) / static_cast<double>(n);
+  // Phase 1: gather the node's shards over NVLink.
+  const double intra1 = static_cast<double>(per_node - 1) / per_node * node_share /
+                            cluster.nvlink_bandwidth +
+                        (per_node - 1) * cluster.link_latency;
+  // Phase 2: leader ring across nodes, each leader using the full NIC.
+  const double inter = static_cast<double>(nodes - 1) / nodes * bytes /
+                           cluster.nic_bandwidth +
+                       (nodes - 1) * cluster.link_latency;
+  // Phase 3: broadcast the remote portion within each node.
+  const double remote = bytes * static_cast<double>(nodes - 1) / nodes;
+  const double intra2 = remote / cluster.nvlink_bandwidth + (per_node - 1) * cluster.link_latency;
+  return std::min(intra1 + inter + intra2, FlatAllGatherTime(cluster, devices, bytes));
+}
+
+double HierarchicalAllReduceTime(const ClusterSpec& cluster,
+                                 const std::vector<DeviceId>& devices, double bytes) {
+  HF_CHECK_GE(bytes, 0.0);
+  const int n = static_cast<int>(devices.size());
+  if (n <= 1 || bytes == 0.0) {
+    return 0.0;
+  }
+  const int nodes = NodesSpanned(cluster, devices);
+  const int per_node = MaxDevicesPerNode(cluster, devices);
+  if (nodes <= 1 || per_node <= 1) {
+    return 2.0 * FlatAllGatherTime(cluster, devices, bytes);
+  }
+  // Intra reduce-scatter + intra all-gather (each (g-1)/g * bytes / nvlink)
+  // around a leader all-reduce of the full tensor.
+  const double intra = 2.0 * (static_cast<double>(per_node - 1) / per_node * bytes /
+                                  cluster.nvlink_bandwidth +
+                              (per_node - 1) * cluster.link_latency);
+  const double inter = 2.0 * (static_cast<double>(nodes - 1) / nodes * bytes /
+                                  cluster.nic_bandwidth +
+                              (nodes - 1) * cluster.link_latency);
+  const double flat = 2.0 * FlatAllGatherTime(cluster, devices, bytes);
+  return std::min(intra + inter, flat);
+}
+
+double AllGatherTime(const ClusterSpec& cluster, const std::vector<DeviceId>& devices,
+                     double bytes) {
+  HF_CHECK_GE(bytes, 0.0);
+  const int n = static_cast<int>(devices.size());
+  if (n <= 1 || bytes == 0.0) {
+    return 0.0;
+  }
+  if (cluster.hierarchical_collectives) {
+    return HierarchicalAllGatherTime(cluster, devices, bytes);
+  }
+  return FlatAllGatherTime(cluster, devices, bytes);
+}
+
+double AllReduceTime(const ClusterSpec& cluster, const std::vector<DeviceId>& devices,
+                     double bytes) {
+  HF_CHECK_GE(bytes, 0.0);
+  const int n = static_cast<int>(devices.size());
+  if (n <= 1 || bytes == 0.0) {
+    return 0.0;
+  }
+  if (cluster.hierarchical_collectives) {
+    return HierarchicalAllReduceTime(cluster, devices, bytes);
+  }
+  double bw = RingBandwidth(cluster, devices);
+  double steps = static_cast<double>(n - 1);
+  return 2.0 * steps / static_cast<double>(n) * bytes / bw + 2.0 * steps * cluster.link_latency;
+}
+
+double ReduceScatterTime(const ClusterSpec& cluster, const std::vector<DeviceId>& devices,
+                         double bytes) {
+  HF_CHECK_GE(bytes, 0.0);
+  const int n = static_cast<int>(devices.size());
+  if (n <= 1 || bytes == 0.0) {
+    return 0.0;
+  }
+  double bw = RingBandwidth(cluster, devices);
+  double steps = static_cast<double>(n - 1);
+  return steps / static_cast<double>(n) * bytes / bw + steps * cluster.link_latency;
+}
+
+double BroadcastTime(const ClusterSpec& cluster, const std::vector<DeviceId>& devices,
+                     double bytes) {
+  HF_CHECK_GE(bytes, 0.0);
+  const int n = static_cast<int>(devices.size());
+  if (n <= 1 || bytes == 0.0) {
+    return 0.0;
+  }
+  double bw = RingBandwidth(cluster, devices);
+  return bytes / bw + static_cast<double>(n - 1) * cluster.link_latency;
+}
+
+double P2pTime(const ClusterSpec& cluster, DeviceId src, DeviceId dst, double bytes) {
+  HF_CHECK_GE(bytes, 0.0);
+  if (src == dst || bytes == 0.0) {
+    return 0.0;
+  }
+  return bytes / P2pBandwidth(cluster, src, dst) + cluster.link_latency;
+}
+
+double AllGatherWireBytesPerRank(int num_ranks, double bytes) {
+  HF_CHECK_GT(num_ranks, 0);
+  if (num_ranks == 1) {
+    return 0.0;
+  }
+  return static_cast<double>(num_ranks - 1) / static_cast<double>(num_ranks) * bytes;
+}
+
+}  // namespace hybridflow

@@ -1,0 +1,67 @@
+// Analytical cost models for collective communication on the simulated
+// cluster, following the ring-algorithm analysis of Chan et al. (the same
+// reference [13] the paper uses to derive its Table 2 communication
+// volumes) with a hierarchical NVLink/NIC bandwidth model.
+//
+// Conventions:
+//   * `bytes` is the FULL payload size of the collective: for all-gather it
+//     is the gathered result size; for all-reduce the reduced tensor size.
+//   * Times include a per-step latency term so degenerate 1-rank groups
+//     cost zero and tiny messages are latency-bound.
+#ifndef SRC_SIM_COLLECTIVE_H_
+#define SRC_SIM_COLLECTIVE_H_
+
+#include <vector>
+
+#include "src/sim/topology.h"
+
+namespace hybridflow {
+
+// Effective per-rank ring bandwidth for a group of devices: NVLink when the
+// ring stays inside one node, otherwise bounded by the share of the node NIC
+// available to the ranks of that node participating in the ring.
+double RingBandwidth(const ClusterSpec& cluster, const std::vector<DeviceId>& devices);
+
+// Point-to-point bandwidth between two devices.
+double P2pBandwidth(const ClusterSpec& cluster, DeviceId src, DeviceId dst);
+
+// Ring all-gather: each of n ranks holds bytes/n and ends with all `bytes`.
+// Time = (n-1)/n * bytes / bw + (n-1) * latency.
+double AllGatherTime(const ClusterSpec& cluster, const std::vector<DeviceId>& devices,
+                     double bytes);
+
+// Ring all-reduce (reduce-scatter + all-gather): 2 (n-1)/n * bytes / bw.
+double AllReduceTime(const ClusterSpec& cluster, const std::vector<DeviceId>& devices,
+                     double bytes);
+
+// Ring reduce-scatter: (n-1)/n * bytes / bw.
+double ReduceScatterTime(const ClusterSpec& cluster, const std::vector<DeviceId>& devices,
+                         double bytes);
+
+// Pipelined broadcast of `bytes` from one rank to the rest: ~bytes / bw.
+double BroadcastTime(const ClusterSpec& cluster, const std::vector<DeviceId>& devices,
+                     double bytes);
+
+// Direct copy of `bytes` between two devices.
+double P2pTime(const ClusterSpec& cluster, DeviceId src, DeviceId dst, double bytes);
+
+// Two-level all-gather: intra-node ring of the node's shards, leader ring
+// across nodes at full NIC bandwidth, then intra-node broadcast of the
+// remote portion. Never slower than the flat ring on multi-node groups
+// with co-resident ranks.
+double HierarchicalAllGatherTime(const ClusterSpec& cluster,
+                                 const std::vector<DeviceId>& devices, double bytes);
+
+// Two-level all-reduce: intra-node reduce-scatter, leader all-reduce,
+// intra-node all-gather.
+double HierarchicalAllReduceTime(const ClusterSpec& cluster,
+                                 const std::vector<DeviceId>& devices, double bytes);
+
+// Per-rank bytes sent on the wire by a ring all-gather of `bytes` total
+// across n ranks: (n-1)/n * bytes. Exposed so the 3D-HybridEngine can report
+// measured communication volumes against the Table 2 formulas.
+double AllGatherWireBytesPerRank(int num_ranks, double bytes);
+
+}  // namespace hybridflow
+
+#endif  // SRC_SIM_COLLECTIVE_H_

@@ -1,0 +1,106 @@
+#include "src/sim/des_executor.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace hybridflow {
+
+DesExecutor::DesExecutor(const ClusterSpec& spec)
+    : spec_(spec), device_queues_(static_cast<size_t>(spec.world_size())) {}
+
+DesExecutor::OpId DesExecutor::Submit(const std::string& name, const std::string& category,
+                                      const std::vector<DeviceId>& devices, SimTime duration,
+                                      const std::vector<OpId>& dependencies) {
+  HF_CHECK(!devices.empty());
+  HF_CHECK_GE(duration, 0.0);
+  const OpId id = static_cast<OpId>(ops_.size());
+  Op op;
+  op.name = name;
+  op.category = category;
+  op.devices = devices;
+  op.duration = duration;
+  for (OpId dep : dependencies) {
+    HF_CHECK_GE(dep, 0);
+    HF_CHECK_LT(dep, id);
+    if (!ops_[static_cast<size_t>(dep)].finished) {
+      op.unmet_dependencies += 1;
+      ops_[static_cast<size_t>(dep)].dependents.push_back(id);
+    }
+  }
+  for (DeviceId device : devices) {
+    HF_CHECK_GE(device, 0);
+    HF_CHECK_LT(device, spec_.world_size());
+    device_queues_[static_cast<size_t>(device)].push_back(id);
+  }
+  ops_.push_back(std::move(op));
+  spans_.push_back(TraceSpan{name, category, devices, 0.0, 0.0});
+  return id;
+}
+
+void DesExecutor::MaybeStart(OpId id) {
+  Op& op = ops_[static_cast<size_t>(id)];
+  if (op.started || op.unmet_dependencies > 0) {
+    return;
+  }
+  for (DeviceId device : op.devices) {
+    const std::deque<OpId>& queue = device_queues_[static_cast<size_t>(device)];
+    HF_CHECK(!queue.empty());
+    if (queue.front() != id) {
+      return;  // Not yet at the head of this device's FIFO.
+    }
+  }
+  op.started = true;
+  TraceSpan& span = spans_[static_cast<size_t>(id)];
+  span.start = queue_.now();
+  span.end = span.start + op.duration;
+  queue_.ScheduleAfter(op.duration, [this, id] { Finish(id); });
+}
+
+void DesExecutor::Finish(OpId id) {
+  Op& op = ops_[static_cast<size_t>(id)];
+  HF_CHECK(op.started);
+  HF_CHECK(!op.finished);
+  op.finished = true;
+  finished_count_ += 1;
+  // Release this op's device-queue slots.
+  for (DeviceId device : op.devices) {
+    std::deque<OpId>& queue = device_queues_[static_cast<size_t>(device)];
+    HF_CHECK(!queue.empty());
+    HF_CHECK_EQ(queue.front(), id);
+    queue.pop_front();
+  }
+  // Unblock dependents.
+  for (OpId dependent : op.dependents) {
+    Op& next = ops_[static_cast<size_t>(dependent)];
+    next.unmet_dependencies -= 1;
+    MaybeStart(dependent);
+  }
+  // Newly-exposed queue heads may now be startable.
+  for (DeviceId device : op.devices) {
+    const std::deque<OpId>& queue = device_queues_[static_cast<size_t>(device)];
+    if (!queue.empty()) {
+      MaybeStart(queue.front());
+    }
+  }
+}
+
+void DesExecutor::Run() {
+  // Kick off every op that is ready at t=0.
+  for (OpId id = 0; id < static_cast<OpId>(ops_.size()); ++id) {
+    MaybeStart(id);
+  }
+  queue_.RunUntilIdle();
+  HF_CHECK_MSG(finished_count_ == static_cast<int>(ops_.size()),
+               "deadlock: " << ops_.size() - static_cast<size_t>(finished_count_)
+                            << " operations never became runnable");
+}
+
+const TraceSpan& DesExecutor::SpanOf(OpId id) const {
+  HF_CHECK_GE(id, 0);
+  HF_CHECK_LT(static_cast<size_t>(id), spans_.size());
+  HF_CHECK(ops_[static_cast<size_t>(id)].finished);
+  return spans_[static_cast<size_t>(id)];
+}
+
+}  // namespace hybridflow

@@ -1,0 +1,40 @@
+#include "src/sim/event_queue.h"
+
+#include <utility>
+
+namespace hybridflow {
+
+void EventQueue::ScheduleAt(SimTime when, Callback callback) {
+  HF_CHECK_GE(when, now_);
+  events_.push(Event{when, next_sequence_++, std::move(callback)});
+}
+
+bool EventQueue::Step() {
+  if (events_.empty()) {
+    return false;
+  }
+  // priority_queue::top returns const&; move out via const_cast is unsafe,
+  // so copy the callback handle (cheap: std::function) before popping.
+  Event event = events_.top();
+  events_.pop();
+  HF_CHECK_GE(event.when, now_);
+  now_ = event.when;
+  event.callback();
+  return true;
+}
+
+SimTime EventQueue::RunUntilIdle() {
+  while (Step()) {
+  }
+  return now_;
+}
+
+void EventQueue::RunUntil(SimTime deadline) {
+  HF_CHECK_GE(deadline, now_);
+  while (!events_.empty() && events_.top().when <= deadline) {
+    Step();
+  }
+  now_ = deadline;
+}
+
+}  // namespace hybridflow

@@ -1,0 +1,68 @@
+// Discrete-event simulation core: a virtual clock plus an ordered queue of
+// timestamped callbacks. Events scheduled at equal times run in FIFO order.
+//
+// The higher-level scheduling in HybridFlow uses per-device timelines
+// (timeline.h); the event queue is the general substrate under it and is
+// exposed for components that need time-triggered behaviour (e.g. failure
+// injection in tests).
+#ifndef SRC_SIM_EVENT_QUEUE_H_
+#define SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace hybridflow {
+
+using SimTime = double;  // Seconds of virtual time.
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime now() const { return now_; }
+  bool empty() const { return events_.empty(); }
+  size_t pending() const { return events_.size(); }
+
+  // Schedules `callback` to run at absolute virtual time `when`.
+  // `when` must not be in the past.
+  void ScheduleAt(SimTime when, Callback callback);
+
+  // Schedules `callback` after a non-negative virtual delay.
+  void ScheduleAfter(SimTime delay, Callback callback) { ScheduleAt(now_ + delay, std::move(callback)); }
+
+  // Runs a single event. Returns false when the queue is empty.
+  bool Step();
+
+  // Runs events until the queue drains. Returns the final virtual time.
+  SimTime RunUntilIdle();
+
+  // Runs events with timestamps <= `deadline`, then sets now() = deadline.
+  void RunUntil(SimTime deadline);
+
+ private:
+  struct Event {
+    SimTime when;
+    uint64_t sequence;
+    Callback callback;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.sequence > b.sequence;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  uint64_t next_sequence_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+};
+
+}  // namespace hybridflow
+
+#endif  // SRC_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,171 @@
+#include "src/sim/timeline.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/strings.h"
+
+namespace hybridflow {
+
+void DeviceMemory::Allocate(const std::string& tag, double bytes) {
+  HF_CHECK_GE(bytes, 0.0);
+  used_ += bytes;
+  by_tag_[tag] += bytes;
+  peak_ = std::max(peak_, used_);
+}
+
+void DeviceMemory::Free(const std::string& tag, double bytes) {
+  HF_CHECK_GE(bytes, 0.0);
+  auto it = by_tag_.find(tag);
+  HF_CHECK_MSG(it != by_tag_.end(), "freeing unknown tag " << tag);
+  HF_CHECK_MSG(it->second + 1e-6 >= bytes, "freeing more than allocated for tag " << tag);
+  it->second -= bytes;
+  used_ -= bytes;
+  if (it->second <= 1e-6) {
+    by_tag_.erase(it);
+  }
+}
+
+double DeviceMemory::FreeAll(const std::string& tag) {
+  auto it = by_tag_.find(tag);
+  if (it == by_tag_.end()) {
+    return 0.0;
+  }
+  double bytes = it->second;
+  used_ -= bytes;
+  by_tag_.erase(it);
+  return bytes;
+}
+
+double DeviceMemory::UsedByTag(const std::string& tag) const {
+  auto it = by_tag_.find(tag);
+  return it == by_tag_.end() ? 0.0 : it->second;
+}
+
+ClusterState::ClusterState(const ClusterSpec& spec)
+    : spec_(spec),
+      free_at_(spec.world_size(), 0.0),
+      busy_(spec.world_size(), 0.0) {
+  memory_.reserve(spec.world_size());
+  for (int i = 0; i < spec.world_size(); ++i) {
+    memory_.emplace_back(spec.gpu.memory_bytes);
+  }
+}
+
+const TraceSpan& ClusterState::ScheduleOp(const std::string& name, const std::string& category,
+                                          const std::vector<DeviceId>& devices, SimTime ready_time,
+                                          SimTime duration) {
+  HF_CHECK(!devices.empty());
+  HF_CHECK_GE(duration, 0.0);
+  HF_CHECK_GE(ready_time, 0.0);
+  SimTime start = std::max(ready_time, GroupFreeAt(devices));
+  SimTime end = start + duration;
+  for (DeviceId device : devices) {
+    free_at_[device] = end;
+    busy_[device] += duration;
+  }
+  trace_.push_back(TraceSpan{name, category, devices, start, end});
+  return trace_.back();
+}
+
+SimTime ClusterState::DeviceFreeAt(DeviceId device) const {
+  HF_CHECK_GE(device, 0);
+  HF_CHECK_LT(device, world_size());
+  return free_at_[device];
+}
+
+SimTime ClusterState::GroupFreeAt(const std::vector<DeviceId>& devices) const {
+  SimTime ready = 0.0;
+  for (DeviceId device : devices) {
+    ready = std::max(ready, DeviceFreeAt(device));
+  }
+  return ready;
+}
+
+SimTime ClusterState::Makespan() const {
+  SimTime makespan = 0.0;
+  for (SimTime t : free_at_) {
+    makespan = std::max(makespan, t);
+  }
+  return makespan;
+}
+
+DeviceMemory& ClusterState::memory(DeviceId device) {
+  HF_CHECK_GE(device, 0);
+  HF_CHECK_LT(device, world_size());
+  return memory_[device];
+}
+
+const DeviceMemory& ClusterState::memory(DeviceId device) const {
+  HF_CHECK_GE(device, 0);
+  HF_CHECK_LT(device, world_size());
+  return memory_[device];
+}
+
+bool ClusterState::AnyDeviceEverOom() const {
+  for (const DeviceMemory& mem : memory_) {
+    if (mem.ever_over_capacity()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double ClusterState::MaxPeakMemory() const {
+  double peak = 0.0;
+  for (const DeviceMemory& mem : memory_) {
+    peak = std::max(peak, mem.peak());
+  }
+  return peak;
+}
+
+double ClusterState::BusyTime(DeviceId device) const {
+  HF_CHECK_GE(device, 0);
+  HF_CHECK_LT(device, world_size());
+  return busy_[device];
+}
+
+void ClusterState::ResetTime() {
+  std::fill(free_at_.begin(), free_at_.end(), 0.0);
+  std::fill(busy_.begin(), busy_.end(), 0.0);
+  trace_.clear();
+}
+
+std::string RenderTrace(const ClusterState& state, int columns) {
+  const std::vector<TraceSpan>& trace = state.trace();
+  std::ostringstream out;
+  SimTime makespan = state.Makespan();
+  if (trace.empty() || makespan <= 0.0) {
+    return "(empty trace)\n";
+  }
+  // Each span category is drawn with its first letter; overlaps on a device
+  // show the most recent span.
+  for (int device = 0; device < state.world_size(); ++device) {
+    std::string row(static_cast<size_t>(columns), '.');
+    for (const TraceSpan& span : trace) {
+      bool on_device = false;
+      for (DeviceId d : span.devices) {
+        if (d == device) {
+          on_device = true;
+          break;
+        }
+      }
+      if (!on_device || span.duration() <= 0.0) {
+        continue;
+      }
+      int begin = static_cast<int>(span.start / makespan * columns);
+      int finish = static_cast<int>(span.end / makespan * columns);
+      begin = std::clamp(begin, 0, columns - 1);
+      finish = std::clamp(finish, begin + 1, columns);
+      char symbol = span.category.empty() ? '#' : span.category[0];
+      for (int c = begin; c < finish; ++c) {
+        row[static_cast<size_t>(c)] = symbol;
+      }
+    }
+    out << StrFormat("GPU %3d |", device) << row << "|\n";
+  }
+  out << "        (" << HumanSeconds(makespan) << " total; symbols = first letter of op category)\n";
+  return out.str();
+}
+
+}  // namespace hybridflow

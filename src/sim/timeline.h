@@ -1,0 +1,115 @@
+// Per-device scheduling and memory state for the simulated cluster.
+//
+// The execution model: every operation occupies a set of devices
+// exclusively for a duration and cannot start before its inputs are ready
+// (data dependencies) nor before all of its devices are free (time-sharing
+// of colocated models, §2.3). This makes dependency-driven overlap between
+// models on disjoint device sets emerge naturally, reproducing the
+// execution patterns of Table 1 / Figure 3.
+#ifndef SRC_SIM_TIMELINE_H_
+#define SRC_SIM_TIMELINE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/topology.h"
+
+namespace hybridflow {
+
+// One scheduled interval, kept for trace inspection and pattern rendering.
+struct TraceSpan {
+  std::string name;
+  std::string category;  // "generate", "infer", "train", "transfer", "reshard", ...
+  std::vector<DeviceId> devices;
+  SimTime start = 0.0;
+  SimTime end = 0.0;
+
+  SimTime duration() const { return end - start; }
+};
+
+// Tagged memory accounting for one device.
+class DeviceMemory {
+ public:
+  explicit DeviceMemory(double capacity_bytes) : capacity_(capacity_bytes) {}
+
+  // Allocation may exceed capacity; the tracker records the overflow so the
+  // caller (e.g. the mapping algorithm) can reject the configuration. This
+  // mirrors how OOM is a plan-feasibility question, not a crash, in the
+  // simulator.
+  void Allocate(const std::string& tag, double bytes);
+  void Free(const std::string& tag, double bytes);
+  // Releases whatever remains under `tag` and returns the freed amount.
+  double FreeAll(const std::string& tag);
+
+  double used() const { return used_; }
+  double peak() const { return peak_; }
+  double capacity() const { return capacity_; }
+  double available() const { return capacity_ - used_; }
+  bool over_capacity() const { return used_ > capacity_; }
+  bool ever_over_capacity() const { return peak_ > capacity_; }
+  double UsedByTag(const std::string& tag) const;
+
+  void ResetPeak() { peak_ = used_; }
+
+ private:
+  double capacity_;
+  double used_ = 0.0;
+  double peak_ = 0.0;
+  std::map<std::string, double> by_tag_;
+};
+
+// The mutable simulation state of a cluster: one timeline + memory tracker
+// per device, plus the recorded trace.
+class ClusterState {
+ public:
+  explicit ClusterState(const ClusterSpec& spec);
+
+  const ClusterSpec& spec() const { return spec_; }
+  int world_size() const { return spec_.world_size(); }
+
+  // Schedules an exclusive operation. `ready_time` expresses data
+  // dependencies (max over input-producing spans' end times). Returns the
+  // recorded span. `duration` must be >= 0.
+  const TraceSpan& ScheduleOp(const std::string& name, const std::string& category,
+                              const std::vector<DeviceId>& devices, SimTime ready_time,
+                              SimTime duration);
+
+  SimTime DeviceFreeAt(DeviceId device) const;
+  // Earliest time at which all of `devices` are simultaneously free.
+  SimTime GroupFreeAt(const std::vector<DeviceId>& devices) const;
+  // Latest end time across all devices (the makespan so far).
+  SimTime Makespan() const;
+
+  DeviceMemory& memory(DeviceId device);
+  const DeviceMemory& memory(DeviceId device) const;
+  // True when any device has ever exceeded its memory capacity.
+  bool AnyDeviceEverOom() const;
+  // Highest peak memory across all devices.
+  double MaxPeakMemory() const;
+
+  // Total busy seconds accumulated per device (for utilization reports).
+  double BusyTime(DeviceId device) const;
+
+  const std::vector<TraceSpan>& trace() const { return trace_; }
+  void ClearTrace() { trace_.clear(); }
+
+  // Rewinds all timelines to t=0 and clears the trace; memory state and
+  // peaks are preserved. Used between warm-up and measured iterations.
+  void ResetTime();
+
+ private:
+  ClusterSpec spec_;
+  std::vector<SimTime> free_at_;
+  std::vector<double> busy_;
+  std::vector<DeviceMemory> memory_;
+  std::vector<TraceSpan> trace_;
+};
+
+// Renders an ASCII per-GPU occupancy chart of a trace (Table 1 style).
+std::string RenderTrace(const ClusterState& state, int columns = 80);
+
+}  // namespace hybridflow
+
+#endif  // SRC_SIM_TIMELINE_H_

@@ -1,0 +1,48 @@
+#include "src/sim/topology.h"
+
+#include <algorithm>
+#include <set>
+
+namespace hybridflow {
+
+ClusterSpec ClusterSpec::WithGpus(int num_gpus, int gpus_per_node) {
+  HF_CHECK_GT(num_gpus, 0);
+  HF_CHECK_GT(gpus_per_node, 0);
+  ClusterSpec spec;
+  if (num_gpus <= gpus_per_node) {
+    spec.num_nodes = 1;
+    spec.gpus_per_node = num_gpus;
+  } else {
+    HF_CHECK_MSG(num_gpus % gpus_per_node == 0,
+                 "multi-node clusters must use whole nodes: " << num_gpus << " GPUs with "
+                                                              << gpus_per_node << " per node");
+    spec.num_nodes = num_gpus / gpus_per_node;
+    spec.gpus_per_node = gpus_per_node;
+  }
+  return spec;
+}
+
+bool AllOnOneNode(const ClusterSpec& cluster, const std::vector<DeviceId>& devices) {
+  return NodesSpanned(cluster, devices) <= 1;
+}
+
+int NodesSpanned(const ClusterSpec& cluster, const std::vector<DeviceId>& devices) {
+  std::set<int> nodes;
+  for (DeviceId device : devices) {
+    nodes.insert(cluster.NodeOf(device));
+  }
+  return static_cast<int>(nodes.size());
+}
+
+int MaxDevicesPerNode(const ClusterSpec& cluster, const std::vector<DeviceId>& devices) {
+  std::vector<int> counts(cluster.num_nodes, 0);
+  int max_count = 0;
+  for (DeviceId device : devices) {
+    int node = cluster.NodeOf(device);
+    counts[node] += 1;
+    max_count = std::max(max_count, counts[node]);
+  }
+  return max_count;
+}
+
+}  // namespace hybridflow

@@ -1,0 +1,72 @@
+// Cluster topology description for the simulated GPU cluster.
+//
+// The default configuration mirrors the paper's testbed (§8.1): machines of
+// 8 NVIDIA A100-80GB GPUs connected with 600 GB/s NVLink inside a node and
+// 200 Gb/s RDMA between nodes.
+#ifndef SRC_SIM_TOPOLOGY_H_
+#define SRC_SIM_TOPOLOGY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/units.h"
+
+namespace hybridflow {
+
+// Global device index within a cluster, dense in [0, world_size).
+using DeviceId = int;
+
+struct GpuSpec {
+  // Dense BF16 throughput actually achievable (A100 peak 312 TFLOPS; real
+  // LLM kernels sustain roughly half, which the efficiency factor captures
+  // in the perf models, so we quote the peak here).
+  double bf16_flops = 312.0 * kTeraflop;
+  // HBM2e bandwidth (A100-80GB: ~2 TB/s).
+  double hbm_bandwidth = 2.0e12;
+  // Usable device memory in bytes (80 GB minus runtime reservation).
+  double memory_bytes = 80.0 * kGB;
+};
+
+struct ClusterSpec {
+  int num_nodes = 1;
+  int gpus_per_node = 8;
+  GpuSpec gpu;
+  // Per-GPU NVLink bandwidth within a node, bytes/s.
+  double nvlink_bandwidth = GBpsToBytesPerSec(600.0 / 2.0);  // 600 GB/s bidirectional.
+  // Per-node NIC bandwidth across nodes, bytes/s (200 Gb/s).
+  double nic_bandwidth = GbpsToBytesPerSec(200.0);
+  // Fixed per-message latency for collectives/p2p, seconds.
+  double link_latency = 10e-6;
+  // Two-level (intra-node ring + inter-node leader ring) collective
+  // algorithms instead of one flat ring. Helps whenever several ranks per
+  // node would otherwise share the NIC inside one ring.
+  bool hierarchical_collectives = false;
+
+  int world_size() const { return num_nodes * gpus_per_node; }
+
+  int NodeOf(DeviceId device) const {
+    HF_CHECK_GE(device, 0);
+    HF_CHECK_LT(device, world_size());
+    return device / gpus_per_node;
+  }
+
+  bool SameNode(DeviceId a, DeviceId b) const { return NodeOf(a) == NodeOf(b); }
+
+  // Builds a cluster with `num_gpus` total devices (must be a multiple of
+  // gpus_per_node or fewer than one node's worth).
+  static ClusterSpec WithGpus(int num_gpus, int gpus_per_node = 8);
+};
+
+// Returns true when every device in `devices` lives on one node.
+bool AllOnOneNode(const ClusterSpec& cluster, const std::vector<DeviceId>& devices);
+
+// Number of distinct nodes spanned by `devices`.
+int NodesSpanned(const ClusterSpec& cluster, const std::vector<DeviceId>& devices);
+
+// Maximum number of `devices` members that share any single node.
+int MaxDevicesPerNode(const ClusterSpec& cluster, const std::vector<DeviceId>& devices);
+
+}  // namespace hybridflow
+
+#endif  // SRC_SIM_TOPOLOGY_H_

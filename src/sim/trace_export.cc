@@ -1,0 +1,84 @@
+#include "src/sim/trace_export.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/common/strings.h"
+
+namespace hybridflow {
+
+namespace {
+
+// Escapes the small set of characters our op names can contain.
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string TraceToChromeJson(const ClusterState& state) {
+  std::ostringstream out;
+  out << "{\"traceEvents\":[\n";
+  bool first = true;
+  for (int device = 0; device < state.world_size(); ++device) {
+    if (!first) {
+      out << ",\n";
+    }
+    first = false;
+    out << StrFormat(
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,"
+        "\"args\":{\"name\":\"GPU %d\"}}",
+        device, device);
+  }
+  for (const TraceSpan& span : state.trace()) {
+    for (DeviceId device : span.devices) {
+      out << ",\n";
+      out << StrFormat(
+          "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":0,\"tid\":%d,"
+          "\"ts\":%.3f,\"dur\":%.3f}",
+          JsonEscape(span.name).c_str(), JsonEscape(span.category).c_str(), device,
+          span.start * 1e6, span.duration() * 1e6);
+    }
+  }
+  out << "\n]}\n";
+  return out.str();
+}
+
+bool WriteChromeTrace(const ClusterState& state, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) {
+    return false;
+  }
+  file << TraceToChromeJson(state);
+  return static_cast<bool>(file);
+}
+
+std::map<std::string, double> BusyTimeByCategory(const ClusterState& state) {
+  std::map<std::string, double> busy;
+  for (const TraceSpan& span : state.trace()) {
+    busy[span.category] += span.duration() * static_cast<double>(span.devices.size());
+  }
+  return busy;
+}
+
+double MeanUtilization(const ClusterState& state) {
+  const double makespan = state.Makespan();
+  if (makespan <= 0.0) {
+    return 0.0;
+  }
+  double busy = 0.0;
+  for (int device = 0; device < state.world_size(); ++device) {
+    busy += state.BusyTime(device);
+  }
+  return busy / (makespan * static_cast<double>(state.world_size()));
+}
+
+}  // namespace hybridflow

@@ -1,0 +1,28 @@
+// Chrome-tracing (about://tracing / Perfetto) export of simulated-cluster
+// traces: each device is a "thread", each TraceSpan a complete event.
+// Lets users inspect RLHF execution patterns with standard tooling.
+#ifndef SRC_SIM_TRACE_EXPORT_H_
+#define SRC_SIM_TRACE_EXPORT_H_
+
+#include <string>
+
+#include "src/sim/timeline.h"
+
+namespace hybridflow {
+
+// Serializes the trace as a Chrome trace-event JSON array ("traceEvents"
+// object format). Timestamps are microseconds of simulated time.
+std::string TraceToChromeJson(const ClusterState& state);
+
+// Writes the JSON to a file; returns false on I/O failure.
+bool WriteChromeTrace(const ClusterState& state, const std::string& path);
+
+// Per-category busy-time summary of a trace, in device-seconds.
+std::map<std::string, double> BusyTimeByCategory(const ClusterState& state);
+
+// Mean device utilization over the makespan (0..1).
+double MeanUtilization(const ClusterState& state);
+
+}  // namespace hybridflow
+
+#endif  // SRC_SIM_TRACE_EXPORT_H_

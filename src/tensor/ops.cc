@@ -1,0 +1,547 @@
+#include "src/tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hybridflow {
+
+namespace {
+
+// Wires a simple elementwise unary op: out[i] = fwd(a[i]); da[i] += dOut[i] * dfn(a[i], out[i]).
+template <typename Fwd, typename Dfn>
+Tensor Unary(const Tensor& a, Fwd fwd, Dfn dfn) {
+  const std::vector<float>& x = a.data();
+  std::vector<float> y(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    y[i] = fwd(x[i]);
+  }
+  TensorNodePtr an = a.node();
+  return MakeResult(a.shape(), std::move(y), {an}, [an, dfn](TensorNode& out) {
+    an->EnsureGrad();
+    for (size_t i = 0; i < out.data.size(); ++i) {
+      an->grad[i] += out.grad[i] * dfn(an->data[i], out.data[i]);
+    }
+  });
+}
+
+// Wires an elementwise binary op with equal shapes.
+template <typename Fwd, typename DA, typename DB>
+Tensor Binary(const Tensor& a, const Tensor& b, Fwd fwd, DA da_fn, DB db_fn) {
+  HF_CHECK(a.shape() == b.shape());
+  const std::vector<float>& x = a.data();
+  const std::vector<float>& z = b.data();
+  std::vector<float> y(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    y[i] = fwd(x[i], z[i]);
+  }
+  TensorNodePtr an = a.node();
+  TensorNodePtr bn = b.node();
+  return MakeResult(a.shape(), std::move(y), {an, bn}, [an, bn, da_fn, db_fn](TensorNode& out) {
+    an->EnsureGrad();
+    bn->EnsureGrad();
+    for (size_t i = 0; i < out.data.size(); ++i) {
+      an->grad[i] += out.grad[i] * da_fn(an->data[i], bn->data[i]);
+      bn->grad[i] += out.grad[i] * db_fn(an->data[i], bn->data[i]);
+    }
+  });
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  HF_CHECK_EQ(a.ndim(), 2);
+  HF_CHECK_EQ(b.ndim(), 2);
+  const int64_t m = a.dim(0);
+  const int64_t k = a.dim(1);
+  HF_CHECK_EQ(b.dim(0), k);
+  const int64_t n = b.dim(1);
+  std::vector<float> y(static_cast<size_t>(m * n), 0.0f);
+  const std::vector<float>& x = a.data();
+  const std::vector<float>& w = b.data();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t p = 0; p < k; ++p) {
+      const float xi = x[static_cast<size_t>(i * k + p)];
+      if (xi == 0.0f) {
+        continue;
+      }
+      const size_t w_row = static_cast<size_t>(p * n);
+      const size_t y_row = static_cast<size_t>(i * n);
+      for (int64_t j = 0; j < n; ++j) {
+        y[y_row + static_cast<size_t>(j)] += xi * w[w_row + static_cast<size_t>(j)];
+      }
+    }
+  }
+  TensorNodePtr an = a.node();
+  TensorNodePtr bn = b.node();
+  return MakeResult({m, n}, std::move(y), {an, bn}, [an, bn, m, k, n](TensorNode& out) {
+    an->EnsureGrad();
+    bn->EnsureGrad();
+    // dA = dC * B^T.
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t p = 0; p < k; ++p) {
+        float acc = 0.0f;
+        for (int64_t j = 0; j < n; ++j) {
+          acc += out.grad[static_cast<size_t>(i * n + j)] *
+                 bn->data[static_cast<size_t>(p * n + j)];
+        }
+        an->grad[static_cast<size_t>(i * k + p)] += acc;
+      }
+    }
+    // dB = A^T * dC.
+    for (int64_t p = 0; p < k; ++p) {
+      for (int64_t i = 0; i < m; ++i) {
+        const float xi = an->data[static_cast<size_t>(i * k + p)];
+        if (xi == 0.0f) {
+          continue;
+        }
+        for (int64_t j = 0; j < n; ++j) {
+          bn->grad[static_cast<size_t>(p * n + j)] +=
+              xi * out.grad[static_cast<size_t>(i * n + j)];
+        }
+      }
+    }
+  });
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  if (a.shape() == b.shape()) {
+    return Binary(
+        a, b, [](float x, float z) { return x + z; }, [](float, float) { return 1.0f; },
+        [](float, float) { return 1.0f; });
+  }
+  // Bias broadcast: a[m,n] + b[n].
+  HF_CHECK_EQ(a.ndim(), 2);
+  HF_CHECK_EQ(b.ndim(), 1);
+  const int64_t m = a.dim(0);
+  const int64_t n = a.dim(1);
+  HF_CHECK_EQ(b.dim(0), n);
+  std::vector<float> y(a.data());
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      y[static_cast<size_t>(i * n + j)] += b.data()[static_cast<size_t>(j)];
+    }
+  }
+  TensorNodePtr an = a.node();
+  TensorNodePtr bn = b.node();
+  return MakeResult({m, n}, std::move(y), {an, bn}, [an, bn, m, n](TensorNode& out) {
+    an->EnsureGrad();
+    bn->EnsureGrad();
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        const float g = out.grad[static_cast<size_t>(i * n + j)];
+        an->grad[static_cast<size_t>(i * n + j)] += g;
+        bn->grad[static_cast<size_t>(j)] += g;
+      }
+    }
+  });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return Binary(
+      a, b, [](float x, float z) { return x - z; }, [](float, float) { return 1.0f; },
+      [](float, float) { return -1.0f; });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return Binary(
+      a, b, [](float x, float z) { return x * z; }, [](float, float z) { return z; },
+      [](float x, float) { return x; });
+}
+
+Tensor Scale(const Tensor& a, float s) {
+  return Unary(
+      a, [s](float x) { return x * s; }, [s](float, float) { return s; });
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return Unary(
+      a, [s](float x) { return x + s; }, [](float, float) { return 1.0f; });
+}
+
+Tensor Neg(const Tensor& a) { return Scale(a, -1.0f); }
+
+Tensor Exp(const Tensor& a) {
+  return Unary(
+      a, [](float x) { return std::exp(x); }, [](float, float y) { return y; });
+}
+
+Tensor Log(const Tensor& a) {
+  return Unary(
+      a,
+      [](float x) {
+        HF_CHECK_GT(x, 0.0f);
+        return std::log(x);
+      },
+      [](float x, float) { return 1.0f / x; });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return Unary(
+      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor Softplus(const Tensor& a) {
+  return Unary(
+      a,
+      [](float x) {
+        // Stable: max(x, 0) + log1p(exp(-|x|)).
+        return std::max(x, 0.0f) + std::log1p(std::exp(-std::abs(x)));
+      },
+      [](float x, float) { return 1.0f / (1.0f + std::exp(-x)); });
+}
+
+Tensor Square(const Tensor& a) {
+  return Unary(
+      a, [](float x) { return x * x; }, [](float x, float) { return 2.0f * x; });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return Unary(
+      a, [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor Gelu(const Tensor& a) {
+  constexpr float kSqrt2OverPi = 0.7978845608f;
+  return Unary(
+      a,
+      [](float x) {
+        const float inner = kSqrt2OverPi * (x + 0.044715f * x * x * x);
+        return 0.5f * x * (1.0f + std::tanh(inner));
+      },
+      [](float x, float) {
+        const float inner = kSqrt2OverPi * (x + 0.044715f * x * x * x);
+        const float t = std::tanh(inner);
+        const float dinner = kSqrt2OverPi * (1.0f + 3.0f * 0.044715f * x * x);
+        return 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * dinner;
+      });
+}
+
+Tensor Minimum(const Tensor& a, const Tensor& b) {
+  return Binary(
+      a, b, [](float x, float z) { return std::min(x, z); },
+      [](float x, float z) { return x <= z ? 1.0f : 0.0f; },
+      [](float x, float z) { return z < x ? 1.0f : 0.0f; });
+}
+
+Tensor Maximum(const Tensor& a, const Tensor& b) {
+  return Binary(
+      a, b, [](float x, float z) { return std::max(x, z); },
+      [](float x, float z) { return x >= z ? 1.0f : 0.0f; },
+      [](float x, float z) { return z > x ? 1.0f : 0.0f; });
+}
+
+Tensor Clamp(const Tensor& a, float lo, float hi) {
+  HF_CHECK_LE(lo, hi);
+  return Unary(
+      a, [lo, hi](float x) { return std::clamp(x, lo, hi); },
+      [lo, hi](float x, float) { return (x >= lo && x <= hi) ? 1.0f : 0.0f; });
+}
+
+Tensor Sum(const Tensor& a) {
+  float total = 0.0f;
+  for (float x : a.data()) {
+    total += x;
+  }
+  TensorNodePtr an = a.node();
+  return MakeResult({1}, {total}, {an}, [an](TensorNode& out) {
+    an->EnsureGrad();
+    for (float& g : an->grad) {
+      g += out.grad[0];
+    }
+  });
+}
+
+Tensor Mean(const Tensor& a) {
+  HF_CHECK_GT(a.size(), 0);
+  const float inv = 1.0f / static_cast<float>(a.size());
+  float total = 0.0f;
+  for (float x : a.data()) {
+    total += x;
+  }
+  TensorNodePtr an = a.node();
+  return MakeResult({1}, {total * inv}, {an}, [an, inv](TensorNode& out) {
+    an->EnsureGrad();
+    for (float& g : an->grad) {
+      g += out.grad[0] * inv;
+    }
+  });
+}
+
+Tensor RowSum(const Tensor& a) {
+  HF_CHECK_EQ(a.ndim(), 2);
+  const int64_t m = a.dim(0);
+  const int64_t n = a.dim(1);
+  std::vector<float> y(static_cast<size_t>(m), 0.0f);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      y[static_cast<size_t>(i)] += a.data()[static_cast<size_t>(i * n + j)];
+    }
+  }
+  TensorNodePtr an = a.node();
+  return MakeResult({m}, std::move(y), {an}, [an, m, n](TensorNode& out) {
+    an->EnsureGrad();
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        an->grad[static_cast<size_t>(i * n + j)] += out.grad[static_cast<size_t>(i)];
+      }
+    }
+  });
+}
+
+Tensor Transpose(const Tensor& a) {
+  HF_CHECK_EQ(a.ndim(), 2);
+  const int64_t m = a.dim(0);
+  const int64_t n = a.dim(1);
+  std::vector<float> y(static_cast<size_t>(m * n));
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      y[static_cast<size_t>(j * m + i)] = a.data()[static_cast<size_t>(i * n + j)];
+    }
+  }
+  TensorNodePtr an = a.node();
+  return MakeResult({n, m}, std::move(y), {an}, [an, m, n](TensorNode& out) {
+    an->EnsureGrad();
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        an->grad[static_cast<size_t>(i * n + j)] += out.grad[static_cast<size_t>(j * m + i)];
+      }
+    }
+  });
+}
+
+Tensor SliceRows(const Tensor& a, int64_t begin, int64_t end) {
+  HF_CHECK_EQ(a.ndim(), 2);
+  HF_CHECK_GE(begin, 0);
+  HF_CHECK_LT(begin, end);
+  HF_CHECK_LE(end, a.dim(0));
+  const int64_t n = a.dim(1);
+  const int64_t rows = end - begin;
+  std::vector<float> y(a.data().begin() + begin * n, a.data().begin() + end * n);
+  TensorNodePtr an = a.node();
+  return MakeResult({rows, n}, std::move(y), {an}, [an, begin, n](TensorNode& out) {
+    an->EnsureGrad();
+    const size_t offset = static_cast<size_t>(begin * n);
+    for (size_t i = 0; i < out.grad.size(); ++i) {
+      an->grad[offset + i] += out.grad[i];
+    }
+  });
+}
+
+Tensor LayerNorm(const Tensor& a, const Tensor& gamma, const Tensor& beta, float eps) {
+  HF_CHECK_EQ(a.ndim(), 2);
+  const int64_t m = a.dim(0);
+  const int64_t n = a.dim(1);
+  HF_CHECK_EQ(gamma.ndim(), 1);
+  HF_CHECK_EQ(gamma.dim(0), n);
+  HF_CHECK_EQ(beta.dim(0), n);
+  std::vector<float> y(static_cast<size_t>(m * n));
+  std::vector<float> inv_std(static_cast<size_t>(m));
+  std::vector<float> normalized(static_cast<size_t>(m * n));
+  for (int64_t i = 0; i < m; ++i) {
+    const size_t row = static_cast<size_t>(i * n);
+    float mean = 0.0f;
+    for (int64_t j = 0; j < n; ++j) {
+      mean += a.data()[row + static_cast<size_t>(j)];
+    }
+    mean /= static_cast<float>(n);
+    float var = 0.0f;
+    for (int64_t j = 0; j < n; ++j) {
+      const float diff = a.data()[row + static_cast<size_t>(j)] - mean;
+      var += diff * diff;
+    }
+    var /= static_cast<float>(n);
+    const float inv = 1.0f / std::sqrt(var + eps);
+    inv_std[static_cast<size_t>(i)] = inv;
+    for (int64_t j = 0; j < n; ++j) {
+      const float norm = (a.data()[row + static_cast<size_t>(j)] - mean) * inv;
+      normalized[row + static_cast<size_t>(j)] = norm;
+      y[row + static_cast<size_t>(j)] =
+          gamma.data()[static_cast<size_t>(j)] * norm + beta.data()[static_cast<size_t>(j)];
+    }
+  }
+  TensorNodePtr an = a.node();
+  TensorNodePtr gn = gamma.node();
+  TensorNodePtr bn = beta.node();
+  return MakeResult(
+      {m, n}, std::move(y), {an, gn, bn},
+      [an, gn, bn, m, n, inv_std, normalized](TensorNode& out) {
+        an->EnsureGrad();
+        gn->EnsureGrad();
+        bn->EnsureGrad();
+        for (int64_t i = 0; i < m; ++i) {
+          const size_t row = static_cast<size_t>(i * n);
+          // dgamma, dbeta.
+          for (int64_t j = 0; j < n; ++j) {
+            gn->grad[static_cast<size_t>(j)] +=
+                out.grad[row + static_cast<size_t>(j)] * normalized[row + static_cast<size_t>(j)];
+            bn->grad[static_cast<size_t>(j)] += out.grad[row + static_cast<size_t>(j)];
+          }
+          // dx via the standard layernorm backward:
+          // dx = inv_std/n * (n*dxhat - sum(dxhat) - xhat * sum(dxhat*xhat))
+          float sum_dxhat = 0.0f;
+          float sum_dxhat_xhat = 0.0f;
+          for (int64_t j = 0; j < n; ++j) {
+            const float dxhat = out.grad[row + static_cast<size_t>(j)] *
+                                gn->data[static_cast<size_t>(j)];
+            sum_dxhat += dxhat;
+            sum_dxhat_xhat += dxhat * normalized[row + static_cast<size_t>(j)];
+          }
+          const float inv = inv_std[static_cast<size_t>(i)];
+          for (int64_t j = 0; j < n; ++j) {
+            const float dxhat = out.grad[row + static_cast<size_t>(j)] *
+                                gn->data[static_cast<size_t>(j)];
+            an->grad[row + static_cast<size_t>(j)] +=
+                inv / static_cast<float>(n) *
+                (static_cast<float>(n) * dxhat - sum_dxhat -
+                 normalized[row + static_cast<size_t>(j)] * sum_dxhat_xhat);
+          }
+        }
+      });
+}
+
+Tensor LogSoftmax(const Tensor& a) {
+  HF_CHECK_EQ(a.ndim(), 2);
+  const int64_t m = a.dim(0);
+  const int64_t n = a.dim(1);
+  std::vector<float> y(a.data().size());
+  for (int64_t i = 0; i < m; ++i) {
+    const size_t row = static_cast<size_t>(i * n);
+    float max_val = a.data()[row];
+    for (int64_t j = 1; j < n; ++j) {
+      max_val = std::max(max_val, a.data()[row + static_cast<size_t>(j)]);
+    }
+    float denom = 0.0f;
+    for (int64_t j = 0; j < n; ++j) {
+      denom += std::exp(a.data()[row + static_cast<size_t>(j)] - max_val);
+    }
+    const float log_denom = std::log(denom) + max_val;
+    for (int64_t j = 0; j < n; ++j) {
+      y[row + static_cast<size_t>(j)] = a.data()[row + static_cast<size_t>(j)] - log_denom;
+    }
+  }
+  TensorNodePtr an = a.node();
+  return MakeResult({m, n}, std::move(y), {an}, [an, m, n](TensorNode& out) {
+    an->EnsureGrad();
+    // dx = dy - softmax(x) * sum(dy).
+    for (int64_t i = 0; i < m; ++i) {
+      const size_t row = static_cast<size_t>(i * n);
+      float grad_sum = 0.0f;
+      for (int64_t j = 0; j < n; ++j) {
+        grad_sum += out.grad[row + static_cast<size_t>(j)];
+      }
+      for (int64_t j = 0; j < n; ++j) {
+        const float p = std::exp(out.data[row + static_cast<size_t>(j)]);
+        an->grad[row + static_cast<size_t>(j)] +=
+            out.grad[row + static_cast<size_t>(j)] - p * grad_sum;
+      }
+    }
+  });
+}
+
+Tensor Softmax(const Tensor& a) {
+  Tensor log_probs = LogSoftmax(a);
+  return Exp(log_probs);
+}
+
+Tensor GatherRows(const Tensor& table, const std::vector<int64_t>& indices) {
+  HF_CHECK_EQ(table.ndim(), 2);
+  const int64_t v = table.dim(0);
+  const int64_t e = table.dim(1);
+  const int64_t n = static_cast<int64_t>(indices.size());
+  std::vector<float> y(static_cast<size_t>(n * e));
+  for (int64_t i = 0; i < n; ++i) {
+    HF_CHECK_GE(indices[static_cast<size_t>(i)], 0);
+    HF_CHECK_LT(indices[static_cast<size_t>(i)], v);
+    const size_t src = static_cast<size_t>(indices[static_cast<size_t>(i)] * e);
+    std::copy_n(table.data().begin() + src, e, y.begin() + static_cast<size_t>(i * e));
+  }
+  TensorNodePtr tn = table.node();
+  std::vector<int64_t> idx = indices;
+  return MakeResult({n, e}, std::move(y), {tn}, [tn, idx, e](TensorNode& out) {
+    tn->EnsureGrad();
+    for (size_t i = 0; i < idx.size(); ++i) {
+      const size_t dst = static_cast<size_t>(idx[i]) * static_cast<size_t>(e);
+      const size_t src = i * static_cast<size_t>(e);
+      for (int64_t j = 0; j < e; ++j) {
+        tn->grad[dst + static_cast<size_t>(j)] += out.grad[src + static_cast<size_t>(j)];
+      }
+    }
+  });
+}
+
+Tensor PickPerRow(const Tensor& a, const std::vector<int64_t>& indices) {
+  HF_CHECK_EQ(a.ndim(), 2);
+  const int64_t m = a.dim(0);
+  const int64_t n = a.dim(1);
+  HF_CHECK_EQ(static_cast<int64_t>(indices.size()), m);
+  std::vector<float> y(static_cast<size_t>(m));
+  for (int64_t i = 0; i < m; ++i) {
+    HF_CHECK_GE(indices[static_cast<size_t>(i)], 0);
+    HF_CHECK_LT(indices[static_cast<size_t>(i)], n);
+    y[static_cast<size_t>(i)] =
+        a.data()[static_cast<size_t>(i * n + indices[static_cast<size_t>(i)])];
+  }
+  TensorNodePtr an = a.node();
+  std::vector<int64_t> idx = indices;
+  return MakeResult({m}, std::move(y), {an}, [an, idx, n](TensorNode& out) {
+    an->EnsureGrad();
+    for (size_t i = 0; i < idx.size(); ++i) {
+      an->grad[i * static_cast<size_t>(n) + static_cast<size_t>(idx[i])] += out.grad[i];
+    }
+  });
+}
+
+Tensor Reshape(const Tensor& a, std::vector<int64_t> shape) {
+  int64_t n = 1;
+  for (int64_t dim : shape) {
+    n *= dim;
+  }
+  HF_CHECK_EQ(n, a.size());
+  TensorNodePtr an = a.node();
+  return MakeResult(std::move(shape), a.data(), {an}, [an](TensorNode& out) {
+    an->EnsureGrad();
+    for (size_t i = 0; i < out.grad.size(); ++i) {
+      an->grad[i] += out.grad[i];
+    }
+  });
+}
+
+Tensor Detach(const Tensor& a) {
+  return Tensor::FromData(a.shape(), a.data(), /*requires_grad=*/false);
+}
+
+Tensor ConcatRows(const std::vector<Tensor>& parts) {
+  HF_CHECK(!parts.empty());
+  const int64_t n = parts[0].dim(1);
+  int64_t rows = 0;
+  for (const Tensor& part : parts) {
+    HF_CHECK_EQ(part.ndim(), 2);
+    HF_CHECK_EQ(part.dim(1), n);
+    rows += part.dim(0);
+  }
+  std::vector<float> y;
+  y.reserve(static_cast<size_t>(rows * n));
+  std::vector<TensorNodePtr> parents;
+  std::vector<int64_t> row_counts;
+  for (const Tensor& part : parts) {
+    y.insert(y.end(), part.data().begin(), part.data().end());
+    parents.push_back(part.node());
+    row_counts.push_back(part.dim(0));
+  }
+  return MakeResult({rows, n}, std::move(y), parents, [row_counts, n](TensorNode& out) {
+    size_t offset = 0;
+    for (size_t k = 0; k < out.parents.size(); ++k) {
+      TensorNode& parent = *out.parents[k];
+      parent.EnsureGrad();
+      const size_t count = static_cast<size_t>(row_counts[k] * n);
+      for (size_t i = 0; i < count; ++i) {
+        parent.grad[i] += out.grad[offset + i];
+      }
+      offset += count;
+    }
+  });
+}
+
+}  // namespace hybridflow

@@ -1,0 +1,82 @@
+// Differentiable operations on Tensor.
+//
+// Shapes: "matrix" ops require 2-D operands; elementwise ops require equal
+// shapes except Add, which also broadcasts a 1-D bias across matrix rows.
+// Integer index arguments (embedding lookups, per-row picks) are plain
+// int64 vectors — indices never need gradients.
+#ifndef SRC_TENSOR_OPS_H_
+#define SRC_TENSOR_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace hybridflow {
+
+// C[m,n] = A[m,k] * B[k,n].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+// Elementwise a + b; if b is 1-D with b.size() == a.dim(1), broadcasts b
+// across the rows of a.
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+
+Tensor Scale(const Tensor& a, float s);
+Tensor AddScalar(const Tensor& a, float s);
+Tensor Neg(const Tensor& a);
+
+Tensor Exp(const Tensor& a);
+Tensor Log(const Tensor& a);  // Inputs must be > 0.
+Tensor Sigmoid(const Tensor& a);
+// Numerically stable log(1 + exp(x)).
+Tensor Softplus(const Tensor& a);
+Tensor Square(const Tensor& a);
+Tensor Tanh(const Tensor& a);
+Tensor Gelu(const Tensor& a);  // tanh approximation.
+
+Tensor Minimum(const Tensor& a, const Tensor& b);
+Tensor Maximum(const Tensor& a, const Tensor& b);
+Tensor Clamp(const Tensor& a, float lo, float hi);
+
+Tensor Sum(const Tensor& a);
+Tensor Mean(const Tensor& a);
+
+// Row-wise sum of a 2-D tensor: a[m,n] -> [m].
+Tensor RowSum(const Tensor& a);
+
+// Matrix transpose: a[m,n] -> [n,m].
+Tensor Transpose(const Tensor& a);
+
+// Rows [begin, end) of a 2-D tensor (copying view with pass-through grad).
+Tensor SliceRows(const Tensor& a, int64_t begin, int64_t end);
+
+// Row-wise layer normalization with learned affine parameters:
+// out[i,:] = gamma * (a[i,:] - mean_i) / sqrt(var_i + eps) + beta.
+Tensor LayerNorm(const Tensor& a, const Tensor& gamma, const Tensor& beta,
+                 float eps = 1e-5f);
+
+// Row-wise log-softmax / softmax over the last dimension of a 2-D tensor.
+Tensor LogSoftmax(const Tensor& a);
+Tensor Softmax(const Tensor& a);
+
+// Embedding lookup: rows of table[v,e] selected by indices -> [n,e].
+Tensor GatherRows(const Tensor& table, const std::vector<int64_t>& indices);
+
+// Per-row element pick: a[m,n], indices[m] -> [m] with out[i] = a[i, idx[i]].
+Tensor PickPerRow(const Tensor& a, const std::vector<int64_t>& indices);
+
+// Reinterprets the same elements under a new shape (copies data,
+// pass-through gradient).
+Tensor Reshape(const Tensor& a, std::vector<int64_t> shape);
+
+// Stops gradient flow: result has the same values, requires_grad = false.
+Tensor Detach(const Tensor& a);
+
+// Concatenates 2-D tensors with equal column counts along rows.
+Tensor ConcatRows(const std::vector<Tensor>& parts);
+
+}  // namespace hybridflow
+
+#endif  // SRC_TENSOR_OPS_H_

@@ -1,0 +1,161 @@
+#include "src/tensor/tensor.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace hybridflow {
+
+Tensor Tensor::Zeros(std::vector<int64_t> shape, bool requires_grad) {
+  return Full(std::move(shape), 0.0f, requires_grad);
+}
+
+Tensor Tensor::Full(std::vector<int64_t> shape, float value, bool requires_grad) {
+  auto node = std::make_shared<TensorNode>();
+  node->shape = std::move(shape);
+  node->data.assign(static_cast<size_t>(node->size()), value);
+  node->requires_grad = requires_grad;
+  return Tensor(std::move(node));
+}
+
+Tensor Tensor::FromData(std::vector<int64_t> shape, std::vector<float> data,
+                        bool requires_grad) {
+  auto node = std::make_shared<TensorNode>();
+  node->shape = std::move(shape);
+  HF_CHECK_EQ(static_cast<int64_t>(data.size()), node->size());
+  node->data = std::move(data);
+  node->requires_grad = requires_grad;
+  return Tensor(std::move(node));
+}
+
+Tensor Tensor::Randn(std::vector<int64_t> shape, Rng& rng, float stddev, bool requires_grad) {
+  auto node = std::make_shared<TensorNode>();
+  node->shape = std::move(shape);
+  node->data.resize(static_cast<size_t>(node->size()));
+  for (float& value : node->data) {
+    value = static_cast<float>(rng.Normal(0.0, stddev));
+  }
+  node->requires_grad = requires_grad;
+  return Tensor(std::move(node));
+}
+
+Tensor Tensor::Scalar(float value, bool requires_grad) {
+  return FromData({1}, {value}, requires_grad);
+}
+
+const std::vector<int64_t>& Tensor::shape() const {
+  HF_CHECK(defined());
+  return node_->shape;
+}
+
+int64_t Tensor::dim(int index) const {
+  HF_CHECK(defined());
+  HF_CHECK_GE(index, 0);
+  HF_CHECK_LT(static_cast<size_t>(index), node_->shape.size());
+  return node_->shape[static_cast<size_t>(index)];
+}
+
+int64_t Tensor::size() const {
+  HF_CHECK(defined());
+  return node_->size();
+}
+
+bool Tensor::requires_grad() const {
+  HF_CHECK(defined());
+  return node_->requires_grad;
+}
+
+std::vector<float>& Tensor::data() {
+  HF_CHECK(defined());
+  return node_->data;
+}
+
+const std::vector<float>& Tensor::data() const {
+  HF_CHECK(defined());
+  return node_->data;
+}
+
+const std::vector<float>& Tensor::grad() const {
+  HF_CHECK(defined());
+  HF_CHECK_MSG(node_->grad.size() == node_->data.size(), "grad not populated; run Backward()");
+  return node_->grad;
+}
+
+float Tensor::item() const {
+  HF_CHECK_EQ(size(), 1);
+  return node_->data[0];
+}
+
+float Tensor::at(int64_t row, int64_t col) const {
+  HF_CHECK_EQ(ndim(), 2);
+  HF_CHECK_GE(row, 0);
+  HF_CHECK_LT(row, dim(0));
+  HF_CHECK_GE(col, 0);
+  HF_CHECK_LT(col, dim(1));
+  return node_->data[static_cast<size_t>(row * dim(1) + col)];
+}
+
+float Tensor::at(int64_t index) const {
+  HF_CHECK_GE(index, 0);
+  HF_CHECK_LT(index, size());
+  return node_->data[static_cast<size_t>(index)];
+}
+
+namespace {
+
+void TopoSort(const TensorNodePtr& node, std::unordered_set<TensorNode*>& visited,
+              std::vector<TensorNodePtr>& order) {
+  if (node == nullptr || visited.count(node.get()) > 0) {
+    return;
+  }
+  visited.insert(node.get());
+  for (const TensorNodePtr& parent : node->parents) {
+    TopoSort(parent, visited, order);
+  }
+  order.push_back(node);
+}
+
+}  // namespace
+
+void Tensor::Backward() {
+  HF_CHECK(defined());
+  HF_CHECK_MSG(size() == 1, "Backward() must start from a scalar");
+  std::unordered_set<TensorNode*> visited;
+  std::vector<TensorNodePtr> order;
+  TopoSort(node_, visited, order);
+  for (const TensorNodePtr& node : order) {
+    node->EnsureGrad();
+  }
+  node_->grad[0] = 1.0f;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    TensorNode& node = **it;
+    if (node.backward) {
+      node.backward(node);
+    }
+  }
+}
+
+void Tensor::ZeroGrad() {
+  HF_CHECK(defined());
+  std::fill(node_->grad.begin(), node_->grad.end(), 0.0f);
+}
+
+Tensor MakeResult(std::vector<int64_t> shape, std::vector<float> data,
+                  std::vector<TensorNodePtr> parents,
+                  std::function<void(TensorNode&)> backward) {
+  auto node = std::make_shared<TensorNode>();
+  node->shape = std::move(shape);
+  node->data = std::move(data);
+  HF_CHECK_EQ(static_cast<int64_t>(node->data.size()), node->size());
+  bool any_grad = false;
+  for (const TensorNodePtr& parent : parents) {
+    any_grad = any_grad || (parent != nullptr && parent->requires_grad);
+  }
+  node->requires_grad = any_grad;
+  if (any_grad) {
+    node->parents = std::move(parents);
+    node->backward = std::move(backward);
+  }
+  return Tensor(std::move(node));
+}
+
+}  // namespace hybridflow

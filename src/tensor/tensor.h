@@ -1,0 +1,103 @@
+// Minimal dense float tensor with reverse-mode automatic differentiation.
+//
+// This is the numeric substrate for the "real computation" plane of
+// HybridFlow-CPP: the tiny actor/critic/reference/reward networks that the
+// RLHF dataflows actually train. It supports 1-D and 2-D tensors, the op
+// set needed for policy-gradient losses (see src/tensor/ops.h), and a
+// topological-sort backward pass.
+//
+// Ownership: Tensor is a cheap value handle onto a shared graph node. The
+// autograd graph is a DAG of shared_ptrs that is released when the last
+// Tensor referencing it goes away.
+#ifndef SRC_TENSOR_TENSOR_H_
+#define SRC_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+
+namespace hybridflow {
+
+struct TensorNode;
+using TensorNodePtr = std::shared_ptr<TensorNode>;
+
+struct TensorNode {
+  std::vector<int64_t> shape;
+  std::vector<float> data;
+  std::vector<float> grad;  // Allocated lazily on backward.
+  bool requires_grad = false;
+  std::vector<TensorNodePtr> parents;
+  // Propagates this node's grad into its parents' grads.
+  std::function<void(TensorNode&)> backward;
+
+  int64_t size() const {
+    int64_t n = 1;
+    for (int64_t dim : shape) {
+      n *= dim;
+    }
+    return n;
+  }
+  void EnsureGrad() {
+    if (grad.size() != data.size()) {
+      grad.assign(data.size(), 0.0f);
+    }
+  }
+};
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(TensorNodePtr node) : node_(std::move(node)) {}
+
+  // --- Factories ------------------------------------------------------------
+  static Tensor Zeros(std::vector<int64_t> shape, bool requires_grad = false);
+  static Tensor Full(std::vector<int64_t> shape, float value, bool requires_grad = false);
+  static Tensor FromData(std::vector<int64_t> shape, std::vector<float> data,
+                         bool requires_grad = false);
+  // Gaussian init (used for network parameters).
+  static Tensor Randn(std::vector<int64_t> shape, Rng& rng, float stddev,
+                      bool requires_grad = true);
+  static Tensor Scalar(float value, bool requires_grad = false);
+
+  // --- Introspection ----------------------------------------------------------
+  bool defined() const { return node_ != nullptr; }
+  const std::vector<int64_t>& shape() const;
+  int64_t dim(int index) const;
+  int ndim() const { return static_cast<int>(shape().size()); }
+  int64_t size() const;
+  bool requires_grad() const;
+
+  std::vector<float>& data();
+  const std::vector<float>& data() const;
+  const std::vector<float>& grad() const;
+
+  // Value of a 0-d/1-element tensor.
+  float item() const;
+  float at(int64_t row, int64_t col) const;
+  float at(int64_t index) const;
+
+  // --- Autograd ----------------------------------------------------------------
+  // Runs backward from this (scalar) tensor, accumulating grads into every
+  // requires_grad leaf reachable from it.
+  void Backward();
+  void ZeroGrad();
+
+  TensorNodePtr node() const { return node_; }
+
+ private:
+  TensorNodePtr node_;
+};
+
+// Builds a non-leaf result node wired to its parents.
+Tensor MakeResult(std::vector<int64_t> shape, std::vector<float> data,
+                  std::vector<TensorNodePtr> parents,
+                  std::function<void(TensorNode&)> backward);
+
+}  // namespace hybridflow
+
+#endif  // SRC_TENSOR_TENSOR_H_

@@ -1,0 +1,236 @@
+#include "src/transfer/protocol.h"
+
+#include "src/common/check.h"
+
+namespace hybridflow {
+
+const char* TransferProtocolName(TransferProtocol protocol) {
+  switch (protocol) {
+    case TransferProtocol::kOneToAll:
+      return "ONE_TO_ALL";
+    case TransferProtocol::k3dProto:
+      return "3D_PROTO";
+    case TransferProtocol::k3dAllMicroDp:
+      return "3D_ALL_MICRO_DP";
+    case TransferProtocol::k3dPpOnly:
+      return "3D_PP_ONLY";
+    case TransferProtocol::kDpProto:
+      return "DP_PROTO";
+    case TransferProtocol::kAllToAll:
+      return "ALL_TO_ALL";
+    case TransferProtocol::kMicroDpProto:
+      return "MICRO_DP_PROTO";
+    case TransferProtocol::kAllGatherProto:
+      return "ALL_GATHER_PROTO";
+  }
+  return "?";
+}
+
+namespace {
+
+const ProcessGroups& GroupsOf(const ProtocolContext& context) {
+  HF_CHECK(context.groups != nullptr);
+  return *context.groups;
+}
+
+bool NeedsGen(TransferProtocol protocol) {
+  return protocol == TransferProtocol::k3dAllMicroDp ||
+         protocol == TransferProtocol::kMicroDpProto;
+}
+
+}  // namespace
+
+std::vector<DataBatch> DistributeBatch(TransferProtocol protocol, const DataBatch& input,
+                                       const ProtocolContext& context) {
+  const ProcessGroups& groups = GroupsOf(context);
+  const ParallelConfig& cfg = groups.train_config();
+  const int world = groups.world_size();
+  if (NeedsGen(protocol)) {
+    HF_CHECK_MSG(context.has_gen, "protocol " << TransferProtocolName(protocol)
+                                              << " requires a generation config");
+  }
+  std::vector<DataBatch> per_rank(static_cast<size_t>(world));
+  switch (protocol) {
+    case TransferProtocol::kOneToAll:
+    case TransferProtocol::k3dPpOnly:
+    case TransferProtocol::kAllGatherProto:
+    case TransferProtocol::kAllToAll: {
+      for (int rank = 0; rank < world; ++rank) {
+        per_rank[static_cast<size_t>(rank)] = input;
+      }
+      break;
+    }
+    case TransferProtocol::k3dProto:
+    case TransferProtocol::kDpProto: {
+      std::vector<DataBatch> chunks = input.SplitChunks(cfg.dp);
+      for (int rank = 0; rank < world; ++rank) {
+        const TrainCoords coords = groups.TrainCoordsOf(rank);
+        per_rank[static_cast<size_t>(rank)] = chunks[static_cast<size_t>(coords.d)];
+      }
+      break;
+    }
+    case TransferProtocol::k3dAllMicroDp: {
+      const int micro_dp = MicroDpSize(cfg, context.gen);
+      std::vector<DataBatch> chunks = input.SplitChunks(cfg.dp * micro_dp);
+      for (int rank = 0; rank < world; ++rank) {
+        const GenCoords coords = groups.GenCoordsOf(rank, context.gen, context.method);
+        const int replica = coords.d * micro_dp + coords.micro_dp;
+        per_rank[static_cast<size_t>(rank)] = chunks[static_cast<size_t>(replica)];
+      }
+      break;
+    }
+    case TransferProtocol::kMicroDpProto: {
+      const int micro_dp = MicroDpSize(cfg, context.gen);
+      std::vector<DataBatch> chunks = input.SplitChunks(micro_dp);
+      for (int rank = 0; rank < world; ++rank) {
+        const GenCoords coords = groups.GenCoordsOf(rank, context.gen, context.method);
+        per_rank[static_cast<size_t>(rank)] = chunks[static_cast<size_t>(coords.micro_dp)];
+      }
+      break;
+    }
+  }
+  return per_rank;
+}
+
+std::vector<int> CollectSourceRanks(TransferProtocol protocol, const ProtocolContext& context) {
+  const ProcessGroups& groups = GroupsOf(context);
+  const ParallelConfig& cfg = groups.train_config();
+  std::vector<int> sources;
+  switch (protocol) {
+    case TransferProtocol::kOneToAll:
+    case TransferProtocol::kAllToAll: {
+      for (int rank = 0; rank < groups.world_size(); ++rank) {
+        sources.push_back(rank);
+      }
+      break;
+    }
+    case TransferProtocol::k3dProto: {
+      // Output lives on the last pipeline stage, t = 0, duplicated across
+      // DP groups (Table 3).
+      for (int d = 0; d < cfg.dp; ++d) {
+        sources.push_back(groups.RankOf({cfg.pp - 1, 0, d}));
+      }
+      break;
+    }
+    case TransferProtocol::kDpProto: {
+      for (int d = 0; d < cfg.dp; ++d) {
+        sources.push_back(groups.RankOf({0, 0, d}));
+      }
+      break;
+    }
+    case TransferProtocol::k3dAllMicroDp:
+    case TransferProtocol::kMicroDpProto: {
+      HF_CHECK(context.has_gen);
+      const int micro_dp = MicroDpSize(cfg, context.gen);
+      for (int d = 0; d < cfg.dp; ++d) {
+        for (int m = 0; m < micro_dp; ++m) {
+          GenCoords coords{0, 0, m, d};
+          sources.push_back(groups.RankOfGen(coords, context.gen, context.method));
+        }
+      }
+      break;
+    }
+    case TransferProtocol::k3dPpOnly: {
+      for (int p = 0; p < cfg.pp; ++p) {
+        sources.push_back(groups.RankOf({p, 0, 0}));
+      }
+      break;
+    }
+    case TransferProtocol::kAllGatherProto: {
+      for (int d = 0; d < cfg.dp; ++d) {
+        sources.push_back(groups.RankOf({0, 0, d}));
+      }
+      break;
+    }
+  }
+  return sources;
+}
+
+DataBatch CollectBatch(TransferProtocol protocol, const std::vector<DataBatch>& outputs,
+                       const ProtocolContext& context) {
+  const ProcessGroups& groups = GroupsOf(context);
+  HF_CHECK_EQ(static_cast<int>(outputs.size()), groups.world_size());
+  std::vector<int> sources = CollectSourceRanks(protocol, context);
+  std::vector<DataBatch> parts;
+  parts.reserve(sources.size());
+  for (int rank : sources) {
+    parts.push_back(outputs[static_cast<size_t>(rank)]);
+  }
+  return DataBatch::ConcatBatches(parts);
+}
+
+std::vector<int> PrimaryRanks(TransferProtocol protocol, const ProtocolContext& context) {
+  const ProcessGroups& groups = GroupsOf(context);
+  const ParallelConfig& cfg = groups.train_config();
+  std::vector<int> primaries;
+  switch (protocol) {
+    case TransferProtocol::kOneToAll:
+    case TransferProtocol::k3dPpOnly:
+    case TransferProtocol::kAllGatherProto: {
+      // Broadcast-style protocols: every rank runs the same computation
+      // (the multi-controller SPMD reality); the data plane computes on
+      // exactly the ranks collection reads from.
+      return CollectSourceRanks(protocol, context);
+    }
+    case TransferProtocol::kAllToAll: {
+      for (int rank = 0; rank < groups.world_size(); ++rank) {
+        primaries.push_back(rank);
+      }
+      break;
+    }
+    case TransferProtocol::k3dProto: {
+      for (int d = 0; d < cfg.dp; ++d) {
+        primaries.push_back(groups.RankOf({cfg.pp - 1, 0, d}));
+      }
+      break;
+    }
+    case TransferProtocol::kDpProto: {
+      for (int d = 0; d < cfg.dp; ++d) {
+        primaries.push_back(groups.RankOf({0, 0, d}));
+      }
+      break;
+    }
+    case TransferProtocol::k3dAllMicroDp:
+    case TransferProtocol::kMicroDpProto: {
+      HF_CHECK(context.has_gen);
+      const int micro_dp = MicroDpSize(cfg, context.gen);
+      for (int d = 0; d < cfg.dp; ++d) {
+        for (int m = 0; m < micro_dp; ++m) {
+          GenCoords coords{0, 0, m, d};
+          primaries.push_back(groups.RankOfGen(coords, context.gen, context.method));
+        }
+      }
+      break;
+    }
+  }
+  return primaries;
+}
+
+ProtocolRegistry& ProtocolRegistry::Instance() {
+  static ProtocolRegistry* registry = new ProtocolRegistry();
+  return *registry;
+}
+
+int ProtocolRegistry::Register(CustomProtocol protocol) {
+  HF_CHECK(protocol.distribute != nullptr);
+  HF_CHECK(protocol.collect != nullptr);
+  protocols_.push_back(std::move(protocol));
+  return static_cast<int>(protocols_.size()) - 1;
+}
+
+const CustomProtocol& ProtocolRegistry::Get(int id) const {
+  HF_CHECK_GE(id, 0);
+  HF_CHECK_LT(static_cast<size_t>(id), protocols_.size());
+  return protocols_[static_cast<size_t>(id)];
+}
+
+bool ProtocolRegistry::Has(const std::string& name) const {
+  for (const CustomProtocol& protocol : protocols_) {
+    if (protocol.name == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace hybridflow

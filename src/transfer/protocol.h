@@ -1,0 +1,100 @@
+// Transfer protocols: the inter-node data resharding layer of the hybrid
+// programming model (§4.1, Appendix B / Table 3).
+//
+// Every worker-group method is registered with a protocol consisting of a
+// `distribute` function (how the controller-side input batch is scattered
+// to ranks) and a `collect` function (which ranks' outputs are gathered and
+// concatenated into the controller-side result). The single controller
+// moves only batch *futures*; actual payloads move GPU-to-GPU, which the
+// simulation layer accounts separately.
+//
+// Built-in protocols (Table 3):
+//   ONE_TO_ALL       broadcast input to all ranks / gather from all ranks
+//   3D_PROTO         split across DP groups, broadcast within each model
+//                    block / collect from the (p = last, t = 0) rank of
+//                    each DP group
+//   3D_ALL_MICRO_DP  split across (d x micro-dp) generation replicas /
+//                    collect from the local-rank-0 worker of each micro DP
+//                    group (used with the 3D-HybridEngine)
+//   3D_PP_ONLY       broadcast to all / collect from (t=0, d=0) of each PP
+//                    stage
+//   DP_PROTO         split across DP ranks / gather from all DP ranks
+//   ALL_TO_ALL       identity distribute (caller supplies per-rank inputs) /
+//                    gather from all ranks (debugging)
+// plus MICRO_DP_PROTO and ALL_GATHER_PROTO covering the remaining §4.1
+// resharding cases. Custom protocols can be registered with user-provided
+// collect/distribute functions.
+#ifndef SRC_TRANSFER_PROTOCOL_H_
+#define SRC_TRANSFER_PROTOCOL_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/data/data_batch.h"
+#include "src/parallel/process_groups.h"
+
+namespace hybridflow {
+
+enum class TransferProtocol {
+  kOneToAll,
+  k3dProto,
+  k3dAllMicroDp,
+  k3dPpOnly,
+  kDpProto,
+  kAllToAll,
+  kMicroDpProto,   // Split across micro DP replicas of one training replica.
+  kAllGatherProto, // Broadcast input; collect full gather from DP leaders.
+};
+
+const char* TransferProtocolName(TransferProtocol protocol);
+
+// Context a protocol may need beyond the training process groups.
+struct ProtocolContext {
+  const ProcessGroups* groups = nullptr;
+  // Generation regrouping, required by micro-DP protocols.
+  GenParallelConfig gen;
+  GenGroupingMethod method = GenGroupingMethod::kZeroRedundancy;
+  bool has_gen = false;
+};
+
+// Scatters `input` into one batch per rank.
+std::vector<DataBatch> DistributeBatch(TransferProtocol protocol, const DataBatch& input,
+                                       const ProtocolContext& context);
+
+// Gathers per-rank outputs into the controller-side batch.
+DataBatch CollectBatch(TransferProtocol protocol, const std::vector<DataBatch>& outputs,
+                       const ProtocolContext& context);
+
+// Ranks whose outputs participate in collection, in collection order. For
+// protocols that gather from every rank this is 0..world-1.
+std::vector<int> CollectSourceRanks(TransferProtocol protocol, const ProtocolContext& context);
+
+// Ranks that perform "primary" computation for the data plane (one per
+// distinct data shard): DP leaders for 3D protocols, replica leaders for
+// micro-DP protocols, every rank for DP_PROTO/ALL_TO_ALL.
+std::vector<int> PrimaryRanks(TransferProtocol protocol, const ProtocolContext& context);
+
+// --- Custom protocol registry (user extension point, §4.1) -----------------
+struct CustomProtocol {
+  std::string name;
+  std::function<std::vector<DataBatch>(const DataBatch&, const ProtocolContext&)> distribute;
+  std::function<DataBatch(const std::vector<DataBatch>&, const ProtocolContext&)> collect;
+};
+
+class ProtocolRegistry {
+ public:
+  static ProtocolRegistry& Instance();
+
+  // Returns an id usable with DistributeCustom/CollectCustom.
+  int Register(CustomProtocol protocol);
+  const CustomProtocol& Get(int id) const;
+  bool Has(const std::string& name) const;
+
+ private:
+  std::vector<CustomProtocol> protocols_;
+};
+
+}  // namespace hybridflow
+
+#endif  // SRC_TRANSFER_PROTOCOL_H_

@@ -1,0 +1,596 @@
+#include "src/workers/model_workers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "src/common/thread_pool.h"
+#include "src/workers/token_context.h"
+
+namespace hybridflow {
+
+namespace {
+
+int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+// Samples (or argmaxes) a token from one row of a logits matrix and returns
+// its log-probability under the (temperature-1) softmax.
+int64_t SampleRow(const Tensor& logits, int64_t row, double temperature, bool do_sample,
+                  Rng& rng, float* log_prob) {
+  const int64_t vocab = logits.dim(1);
+  double max_logit = logits.at(row, 0);
+  for (int64_t j = 1; j < vocab; ++j) {
+    max_logit = std::max(max_logit, static_cast<double>(logits.at(row, j)));
+  }
+  double denom = 0.0;
+  for (int64_t j = 0; j < vocab; ++j) {
+    denom += std::exp(static_cast<double>(logits.at(row, j)) - max_logit);
+  }
+  int64_t chosen = 0;
+  if (do_sample) {
+    std::vector<double> weights(static_cast<size_t>(vocab));
+    for (int64_t j = 0; j < vocab; ++j) {
+      weights[static_cast<size_t>(j)] =
+          std::exp((static_cast<double>(logits.at(row, j)) - max_logit) / temperature);
+    }
+    chosen = rng.Categorical(weights);
+  } else {
+    for (int64_t j = 1; j < vocab; ++j) {
+      if (logits.at(row, j) > logits.at(row, chosen)) {
+        chosen = j;
+      }
+    }
+  }
+  if (log_prob != nullptr) {
+    *log_prob = static_cast<float>(static_cast<double>(logits.at(row, chosen)) - max_logit -
+                                   std::log(denom));
+  }
+  return chosen;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Actor
+// ---------------------------------------------------------------------------
+
+ActorWorkerGroup::ActorWorkerGroup(WorkerGroupOptions options, std::shared_ptr<ResourcePool> pool,
+                                   Controller* controller, RealComputeOptions real,
+                                   ActorOptions actor)
+    : ModelWorkerGroup(std::move(options), std::move(pool), controller, std::move(real)),
+      actor_(std::move(actor)),
+      sample_rng_(real_.seed ^ 0xAC708EEDULL) {
+  GenParallelConfig gen = actor_.gen;
+  if (actor_.engine_mode == ActorEngineMode::kShared) {
+    gen = GenParallelConfig{groups().train_config().pp, groups().train_config().tp};
+  }
+  std::vector<DeviceId> gen_devices;
+  if (actor_.engine_mode == ActorEngineMode::kTwoCopies) {
+    HF_CHECK_MSG(actor_.gen_pool != nullptr, "kTwoCopies requires a generation pool");
+    gen_devices = actor_.gen_pool->devices();
+    // The standalone generation copy occupies its devices permanently.
+    const double copy_bytes = perf().param_bytes() / static_cast<double>(gen.pp * gen.tp);
+    for (DeviceId device : gen_devices) {
+      controller_->cluster().memory(device).Allocate(name() + "_gen_copy", copy_bytes);
+    }
+  }
+  engine_ = std::make_unique<HybridEngine>(options_.model, groups().train_config(), gen,
+                                           actor_.engine_mode, controller_->spec(),
+                                           pool_->devices(), std::move(gen_devices));
+  if (real_.enabled) {
+    Rng init_rng(real_.seed);
+    net_ = std::make_unique<PolicyNet>(real_.net, init_rng);
+    adam_ = std::make_unique<Adam>(net_->Parameters(), real_.adam);
+  }
+}
+
+ProtocolContext ActorWorkerGroup::MakeProtocolContext() const {
+  ProtocolContext context = ModelWorkerGroup::MakeProtocolContext();
+  if (actor_.engine_mode == ActorEngineMode::kHybridFlow ||
+      actor_.engine_mode == ActorEngineMode::kHybridFlowV) {
+    context.gen = engine_->gen_config();
+    context.method = engine_->grouping();
+    context.has_gen = true;
+  }
+  return context;
+}
+
+TransferProtocol ActorWorkerGroup::GenerationProtocol() const {
+  switch (actor_.engine_mode) {
+    case ActorEngineMode::kHybridFlow:
+    case ActorEngineMode::kHybridFlowV:
+      return TransferProtocol::k3dAllMicroDp;
+    case ActorEngineMode::kShared:
+      return TransferProtocol::k3dProto;
+    case ActorEngineMode::kDsChat:
+    case ActorEngineMode::kTwoCopies:
+      return TransferProtocol::kDpProto;
+  }
+  return TransferProtocol::k3dProto;
+}
+
+DataBatch ActorWorkerGroup::GenerateShard(const DataBatch& shard, bool do_sample,
+                                          Rng& rng) const {
+  const DataBatch::TokenColumn& prompts = shard.Tokens("prompts");
+  const size_t batch = prompts.size();
+  const int64_t response_len = real_.task.response_len;
+  DataBatch::TokenColumn responses(batch);
+  DataBatch::FloatColumn log_probs(batch);
+  for (size_t i = 0; i < batch; ++i) {
+    responses[i].reserve(static_cast<size_t>(response_len));
+    log_probs[i].reserve(static_cast<size_t>(response_len));
+  }
+  std::vector<bool> finished(batch, false);
+  for (int64_t step = 0; step < response_len; ++step) {
+    // Continuous-batching style: only unfinished rows go through the net.
+    std::vector<size_t> active;
+    std::vector<std::vector<int64_t>> contexts;
+    for (size_t i = 0; i < batch; ++i) {
+      if (finished[i]) {
+        continue;
+      }
+      active.push_back(i);
+      contexts.push_back(ContextWindow(prompts[i], responses[i], responses[i].size(),
+                                       real_.net.context_window));
+    }
+    if (active.empty()) {
+      break;
+    }
+    Tensor logits = net_->Forward(contexts);
+    for (size_t a = 0; a < active.size(); ++a) {
+      const size_t i = active[a];
+      float log_prob = 0.0f;
+      const int64_t token = SampleRow(logits, static_cast<int64_t>(a), actor_.temperature,
+                                      do_sample, rng, &log_prob);
+      responses[i].push_back(token);
+      log_probs[i].push_back(log_prob);
+      if (real_.task.use_eos && token == real_.task.eos_token()) {
+        finished[i] = true;
+      }
+    }
+  }
+  DataBatch out = shard;
+  out.SetTokens("responses", std::move(responses));
+  out.SetFloat("log_probs", std::move(log_probs));
+  return out;
+}
+
+double ActorWorkerGroup::GenerationSeconds(const RlhfWorkloadSpec& workload,
+                                           GenTimeBreakdown* breakdown) const {
+  const int replicas = engine_->NumGenReplicas();
+  const int64_t per_replica = CeilDiv(workload.global_batch, replicas);
+  const std::vector<DeviceId> replica_devices = engine_->GenReplicaDevices(0);
+  const GenParallelConfig& gen = engine_->gen_config();
+
+  // Best-effort KVCache budget: whatever memory remains on a replica device
+  // after resident state and the gathered generation weights (§8.4).
+  const DeviceMemory& memory = controller_->cluster().memory(replica_devices[0]);
+  const double resident_params = ResidentParamBytesPerGpu();
+  const double extra_gen_weights =
+      std::max(0.0, last_transition_.peak_param_bytes - resident_params);
+  const double kv_budget = std::max(1.0, memory.available() - extra_gen_weights);
+
+  GenTimeBreakdown result =
+      perf().GenerateTime(gen, replica_devices, per_replica, workload.prompt_len,
+                          workload.response_len, kv_budget, actor_.use_kv_cache);
+  if (breakdown != nullptr) {
+    *breakdown = result;
+  }
+  return result.total();
+}
+
+BatchFuture ActorWorkerGroup::GenerateSequences(const BatchFuture& prompts,
+                                                const RlhfWorkloadSpec& workload,
+                                                bool do_sample) {
+  const ProtocolContext context = MakeProtocolContext();
+  const TransferProtocol protocol = GenerationProtocol();
+
+  // --- Data plane --------------------------------------------------------
+  // Replica generation is embarrassingly parallel: each primary rank works
+  // on its own prompt shard with a deterministic per-(call, rank) RNG
+  // stream, so results are reproducible regardless of thread scheduling.
+  DataBatch collected;
+  if (real_.enabled && !prompts.data.empty()) {
+    generation_calls_ += 1;
+    const uint64_t call_id = generation_calls_;
+    std::vector<DataBatch> per_rank = DistributeBatch(protocol, prompts.data, context);
+    std::vector<DataBatch> outputs(per_rank.size());
+    const std::vector<int> primaries = PrimaryRanks(protocol, context);
+    ThreadPool::Shared().ParallelFor(
+        static_cast<int>(primaries.size()), [&](int index) {
+          const int rank = primaries[static_cast<size_t>(index)];
+          Rng shard_rng = sample_rng_.Fork(call_id * 4096 + static_cast<uint64_t>(rank));
+          outputs[static_cast<size_t>(rank)] =
+              GenerateShard(per_rank[static_cast<size_t>(rank)], do_sample, shard_rng);
+        });
+    collected = CollectBatch(protocol, outputs, context);
+  }
+
+  // --- Performance plane ---------------------------------------------------
+  ClusterState& cluster = controller_->cluster();
+  last_transition_ = engine_->TrainToGenTransition();
+  last_transition_seconds_ = last_transition_.seconds;
+  const SimTime ready = prompts.ready_time + TransferSeconds(prompts.nominal_bytes);
+
+  std::vector<DeviceId> transition_devices = pool_->devices();
+  std::vector<DeviceId> gen_devices = pool_->devices();
+  if (actor_.engine_mode == ActorEngineMode::kTwoCopies) {
+    gen_devices = actor_.gen_pool->devices();
+    transition_devices.insert(transition_devices.end(), gen_devices.begin(), gen_devices.end());
+  }
+
+  const double resident_params = ResidentParamBytesPerGpu();
+
+  SimTime gen_ready = ready;
+  if (last_transition_.seconds > 0.0) {
+    // Transient peak during the all-gather (Table 2 "Peak Mem."): touch the
+    // tracker so per-device peaks reflect it, then release to the retained
+    // buffer below.
+    const double transient =
+        std::max(0.0, last_transition_.peak_param_bytes - resident_params);
+    for (DeviceId device : gen_devices) {
+      cluster.memory(device).Allocate(name() + "_reshard_peak", transient);
+    }
+    gen_ready = cluster
+                    .ScheduleOp(name() + ".reshard", "reshard", transition_devices, ready,
+                                last_transition_.seconds)
+                    .end;
+    for (DeviceId device : gen_devices) {
+      cluster.memory(device).FreeAll(name() + "_reshard_peak");
+    }
+  }
+
+  // Weights retained across the generation stage: the generation shard,
+  // minus whatever overlaps the resident training parameters (zero-
+  // redundancy grouping reuses the training shard entirely, Â§5.3).
+  double retained = 0.0;
+  switch (actor_.engine_mode) {
+    case ActorEngineMode::kShared:
+    case ActorEngineMode::kTwoCopies:
+      retained = 0.0;  // Same weights / permanently resident second copy.
+      break;
+    case ActorEngineMode::kHybridFlow: {
+      const double gen_shard = perf().param_bytes() /
+                               static_cast<double>(engine_->gen_config().pp *
+                                                   engine_->gen_config().tp);
+      retained = std::max(0.0, gen_shard - resident_params);
+      break;
+    }
+    case ActorEngineMode::kHybridFlowV:
+    case ActorEngineMode::kDsChat: {
+      // No guaranteed overlap: a full generation shard plus the redundant
+      // training-weight copy (grey boxes in Fig. 8a).
+      retained = perf().param_bytes() /
+                     static_cast<double>(engine_->gen_config().pp *
+                                         engine_->gen_config().tp) +
+                 last_transition_.redundant_bytes;
+      break;
+    }
+  }
+  for (DeviceId device : gen_devices) {
+    cluster.memory(device).Allocate(name() + "_gen_weights", retained);
+  }
+
+  const double gen_seconds = GenerationSeconds(workload, &last_gen_);
+
+  // KVCache occupancy during generation.
+  const int replicas = engine_->NumGenReplicas();
+  const int64_t per_replica = CeilDiv(workload.global_batch, replicas);
+  const double kv_wanted = perf().KvBytesPerTokenPerGpu(engine_->gen_config()) *
+                           static_cast<double>(workload.total_len()) *
+                           static_cast<double>(per_replica);
+  for (DeviceId device : gen_devices) {
+    DeviceMemory& memory = cluster.memory(device);
+    memory.Allocate(name() + "_kvcache", std::min(kv_wanted, std::max(0.0, memory.available())));
+  }
+
+  const TraceSpan& span =
+      cluster.ScheduleOp(name() + ".generate", "generate", gen_devices, gen_ready, gen_seconds);
+
+  for (DeviceId device : gen_devices) {
+    cluster.memory(device).FreeAll(name() + "_kvcache");
+    cluster.memory(device).FreeAll(name() + "_gen_weights");
+  }
+
+  return BatchFuture{std::move(collected), span.end, workload.NominalTransferBytes()};
+}
+
+BatchFuture ActorWorkerGroup::ComputeLogProb(const BatchFuture& batch,
+                                             const RlhfWorkloadSpec& workload,
+                                             const std::string& output_column) {
+  const double duration = InferSeconds(workload.global_batch, workload.total_len());
+  ComputeFn compute = [this, &output_column](const DataBatch& shard, int) {
+    DataBatch out = shard;
+    std::vector<int64_t> lengths;
+    std::vector<std::vector<int64_t>> contexts = AllResponseContextsRagged(
+        shard.Tokens("prompts"), shard.Tokens("responses"), real_.net.context_window,
+        &lengths);
+    std::vector<int64_t> chosen;
+    for (const std::vector<int64_t>& response : shard.Tokens("responses")) {
+      chosen.insert(chosen.end(), response.begin(), response.end());
+    }
+    Tensor log_probs = net_->LogProb(contexts, chosen);
+    out.SetFloat(output_column, UnflattenRagged(log_probs.data(), lengths));
+    return out;
+  };
+  return Dispatch("compute_log_prob", "infer", TransferProtocol::k3dProto, batch, duration,
+                  compute, workload.NominalTransferBytes());
+}
+
+BatchFuture ActorWorkerGroup::ComputeLoss(const BatchFuture& pretrain,
+                                          const RlhfWorkloadSpec& workload) {
+  const double duration = InferSeconds(workload.global_batch, workload.prompt_len);
+  ComputeFn compute = [this](const DataBatch& shard, int) {
+    DataBatch out;
+    const DataBatch::TokenColumn& corpus = shard.Tokens("prompts");
+    std::vector<std::vector<int64_t>> contexts;
+    std::vector<int64_t> targets;
+    for (const std::vector<int64_t>& sequence : corpus) {
+      for (size_t k = 1; k < sequence.size(); ++k) {
+        contexts.push_back(ContextWindow(sequence, {}, 0, real_.net.context_window));
+        contexts.back() = ContextWindow(
+            std::vector<int64_t>(sequence.begin(), sequence.begin() + static_cast<int64_t>(k)),
+            {}, 0, real_.net.context_window);
+        targets.push_back(sequence[k]);
+      }
+    }
+    Tensor loss = PretrainLoss(net_->LogProb(contexts, targets));
+    out.SetFloat("pretrain_loss", {{loss.item()}});
+    return out;
+  };
+  return Dispatch("compute_loss", "infer", TransferProtocol::k3dProto, pretrain, duration,
+                  compute, 0.0);
+}
+
+BatchFuture ActorWorkerGroup::UpdateActor(const BatchFuture& batch,
+                                          const RlhfWorkloadSpec& workload,
+                                          const ActorUpdateConfig& config) {
+  const int64_t sequences = workload.minibatch();
+  const double duration = TrainStepSeconds(sequences, workload.total_len());
+
+  const int64_t total_rows = std::max<int64_t>(batch.data.batch_size(), 1);
+  ComputeFn compute = [this, &config, total_rows](const DataBatch& shard, int) {
+    DataBatch out;
+    if (shard.empty()) {
+      return out;
+    }
+    std::vector<std::vector<int64_t>> contexts = AllResponseContextsRagged(
+        shard.Tokens("prompts"), shard.Tokens("responses"), real_.net.context_window,
+        nullptr);
+    std::vector<int64_t> chosen;
+    for (const std::vector<int64_t>& response : shard.Tokens("responses")) {
+      chosen.insert(chosen.end(), response.begin(), response.end());
+    }
+    const int64_t n = static_cast<int64_t>(chosen.size());
+    Tensor logits = net_->Forward(contexts);
+    Tensor log_probs = PickPerRow(LogSoftmax(logits), chosen);
+    Tensor old_log_probs = Tensor::FromData({n}, FlattenColumn(shard.Float("log_probs")));
+    Tensor advantages = Tensor::FromData({n}, FlattenColumn(shard.Float("advantages")));
+    Tensor loss = PolicyLoss(log_probs, old_log_probs, advantages, config.loss);
+    if (config.entropy_coef > 0.0f) {
+      loss = Sub(loss, Scale(MeanEntropy(logits), config.entropy_coef));
+    }
+    if (config.ptx_coef > 0.0f && config.pretrain != nullptr && !config.pretrain->empty()) {
+      std::vector<std::vector<int64_t>> ptx_contexts;
+      std::vector<int64_t> ptx_targets;
+      for (const std::vector<int64_t>& sequence : config.pretrain->Tokens("prompts")) {
+        for (size_t k = 1; k < sequence.size(); ++k) {
+          ptx_contexts.push_back(ContextWindow(
+              std::vector<int64_t>(sequence.begin(), sequence.begin() + static_cast<int64_t>(k)),
+              {}, 0, real_.net.context_window));
+          ptx_targets.push_back(sequence[k]);
+        }
+      }
+      Tensor ptx_loss = PretrainLoss(net_->LogProb(ptx_contexts, ptx_targets));
+      loss = Add(loss, Scale(ptx_loss, config.ptx_coef));
+    }
+    // Weight by the shard's share so accumulated gradients equal the
+    // full-minibatch mean — the DP gradient all-reduce.
+    const float share =
+        static_cast<float>(shard.batch_size()) / static_cast<float>(total_rows);
+    Tensor weighted = Scale(loss, share);
+    weighted.Backward();
+    out.SetFloat("actor_loss", {{loss.item()}});
+    return out;
+  };
+
+  BatchFuture result = Dispatch("update_actor", "train", TransferProtocol::k3dProto, batch,
+                                duration, compute, 0.0);
+  if (real_.enabled && !batch.data.empty()) {
+    adam_->Step();
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Critic
+// ---------------------------------------------------------------------------
+
+CriticWorkerGroup::CriticWorkerGroup(WorkerGroupOptions options,
+                                     std::shared_ptr<ResourcePool> pool, Controller* controller,
+                                     RealComputeOptions real, const std::string& value_column)
+    : ModelWorkerGroup(std::move(options), std::move(pool), controller, std::move(real)),
+      value_column_(value_column),
+      returns_column_(value_column == "values" ? "returns" : "cost_returns") {
+  if (real_.enabled) {
+    Rng init_rng(real_.seed ^ 0xC817EC00ULL);
+    PolicyNetConfig net_config = real_.net;
+    net_config.scalar_head = true;
+    net_ = std::make_unique<PolicyNet>(net_config, init_rng);
+    adam_ = std::make_unique<Adam>(net_->Parameters(), real_.adam);
+  }
+}
+
+std::vector<std::vector<float>> CriticWorkerGroup::ValuesForShard(const DataBatch& shard,
+                                                                  bool with_grad,
+                                                                  Tensor* flat_values) const {
+  std::vector<int64_t> lengths;
+  std::vector<std::vector<int64_t>> contexts = AllResponseContextsRagged(
+      shard.Tokens("prompts"), shard.Tokens("responses"), real_.net.context_window, &lengths);
+  Tensor values = net_->Forward(contexts);
+  if (with_grad && flat_values != nullptr) {
+    *flat_values = values;
+  }
+  return UnflattenRagged(values.data(), lengths);
+}
+
+BatchFuture CriticWorkerGroup::ComputeValues(const BatchFuture& batch,
+                                             const RlhfWorkloadSpec& workload) {
+  const double duration = InferSeconds(workload.global_batch, workload.total_len());
+  ComputeFn compute = [this](const DataBatch& shard, int) {
+    DataBatch out = shard;
+    out.SetFloat(value_column_, ValuesForShard(shard, /*with_grad=*/false, nullptr));
+    return out;
+  };
+  return Dispatch("compute_values", "infer", TransferProtocol::k3dProto, batch, duration,
+                  compute, workload.NominalTransferBytes());
+}
+
+BatchFuture CriticWorkerGroup::UpdateCritic(const BatchFuture& batch,
+                                            const RlhfWorkloadSpec& workload,
+                                            const ValueLossConfig& config) {
+  const int64_t sequences = workload.minibatch();
+  const double duration = TrainStepSeconds(sequences, workload.total_len());
+
+  const int64_t total_rows = std::max<int64_t>(batch.data.batch_size(), 1);
+  ComputeFn compute = [this, &config, total_rows](const DataBatch& shard, int) {
+    DataBatch out;
+    if (shard.empty()) {
+      return out;
+    }
+    Tensor values;
+    ValuesForShard(shard, /*with_grad=*/true, &values);
+    const int64_t n = values.size();
+    Tensor old_values = Tensor::FromData({n}, FlattenColumn(shard.Float(value_column_)));
+    Tensor returns = Tensor::FromData({n}, FlattenColumn(shard.Float(returns_column_)));
+    Tensor flat = Reshape(values, {n});
+    Tensor loss = ValueLoss(flat, old_values, returns, config);
+    const float share =
+        static_cast<float>(shard.batch_size()) / static_cast<float>(total_rows);
+    Tensor weighted = Scale(loss, share);
+    weighted.Backward();
+    out.SetFloat("critic_loss", {{loss.item()}});
+    return out;
+  };
+
+  BatchFuture result = Dispatch("update_critic", "train", TransferProtocol::k3dProto, batch,
+                                duration, compute, 0.0);
+  if (real_.enabled && !batch.data.empty()) {
+    adam_->Step();
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Reference policy
+// ---------------------------------------------------------------------------
+
+ReferenceWorkerGroup::ReferenceWorkerGroup(WorkerGroupOptions options,
+                                           std::shared_ptr<ResourcePool> pool,
+                                           Controller* controller, RealComputeOptions real,
+                                           const PolicyNet* init_from)
+    : ModelWorkerGroup(std::move(options), std::move(pool), controller, std::move(real)) {
+  if (real_.enabled) {
+    HF_CHECK(init_from != nullptr);
+    Rng init_rng(real_.seed ^ 0x4EF4EF00ULL);
+    net_ = std::make_unique<PolicyNet>(init_from->config(), init_rng);
+    net_->CopyFrom(*init_from);
+  }
+}
+
+BatchFuture ReferenceWorkerGroup::ComputeRefLogProb(const BatchFuture& batch,
+                                                    const RlhfWorkloadSpec& workload) {
+  const double duration = InferSeconds(workload.global_batch, workload.total_len());
+  ComputeFn compute = [this](const DataBatch& shard, int) {
+    DataBatch out = shard;
+    std::vector<int64_t> lengths;
+    std::vector<std::vector<int64_t>> contexts = AllResponseContextsRagged(
+        shard.Tokens("prompts"), shard.Tokens("responses"), real_.net.context_window,
+        &lengths);
+    std::vector<int64_t> chosen;
+    for (const std::vector<int64_t>& response : shard.Tokens("responses")) {
+      chosen.insert(chosen.end(), response.begin(), response.end());
+    }
+    Tensor log_probs = net_->LogProb(contexts, chosen);
+    out.SetFloat("ref_log_probs", UnflattenRagged(log_probs.data(), lengths));
+    return out;
+  };
+  return Dispatch("compute_ref_log_prob", "infer", TransferProtocol::k3dProto, batch, duration,
+                  compute, workload.NominalTransferBytes());
+}
+
+// ---------------------------------------------------------------------------
+// Reward / cost model
+// ---------------------------------------------------------------------------
+
+RewardWorkerGroup::RewardWorkerGroup(WorkerGroupOptions options,
+                                     std::shared_ptr<ResourcePool> pool, Controller* controller,
+                                     RealComputeOptions real, RewardSource source,
+                                     std::string output_column)
+    : ModelWorkerGroup(std::move(options), std::move(pool), controller, std::move(real)),
+      source_(source),
+      output_column_(std::move(output_column)) {
+  if (real_.enabled && source_ == RewardSource::kLearnedNet) {
+    Rng init_rng(real_.seed ^ 0x4E84ADULL);
+    PolicyNetConfig net_config = real_.net;
+    net_config.scalar_head = true;
+    net_ = std::make_unique<PolicyNet>(net_config, init_rng);
+  }
+}
+
+PolicyNet& RewardWorkerGroup::net() {
+  HF_CHECK_MSG(net_ != nullptr, "reward net only exists for RewardSource::kLearnedNet");
+  return *net_;
+}
+
+BatchFuture RewardWorkerGroup::ComputeReward(const BatchFuture& batch,
+                                             const RlhfWorkloadSpec& workload) {
+  const double duration = InferSeconds(workload.global_batch, workload.total_len());
+  ComputeFn compute = [this](const DataBatch& shard, int) {
+    DataBatch out = shard;
+    const DataBatch::TokenColumn& prompts = shard.Tokens("prompts");
+    const DataBatch::TokenColumn& responses = shard.Tokens("responses");
+    DataBatch::FloatColumn scores(prompts.size());
+    switch (source_) {
+      case RewardSource::kRuleReward: {
+        for (size_t i = 0; i < prompts.size(); ++i) {
+          scores[i] = {real_.task.SampleReward(prompts[i], responses[i])};
+        }
+        break;
+      }
+      case RewardSource::kRuleCost: {
+        for (size_t i = 0; i < prompts.size(); ++i) {
+          scores[i] = {real_.task.SampleCost(responses[i])};
+        }
+        break;
+      }
+      case RewardSource::kLearnedNet: {
+        // Sample-level score = mean of the scalar head over every response
+        // position (token-level rewards averaged, Table 4's "rewards could
+        // be token-level or sample-level").
+        std::vector<int64_t> lengths;
+        std::vector<std::vector<int64_t>> contexts = AllResponseContextsRagged(
+            prompts, responses, real_.net.context_window, &lengths);
+        Tensor values = net_->Forward(contexts);
+        size_t offset = 0;
+        for (size_t i = 0; i < prompts.size(); ++i) {
+          double total = 0.0;
+          const size_t length = static_cast<size_t>(lengths[i]);
+          for (size_t k = 0; k < length; ++k) {
+            total += values.at(static_cast<int64_t>(offset + k));
+          }
+          offset += length;
+          scores[i] = {length > 0 ? static_cast<float>(total / static_cast<double>(length))
+                                  : 0.0f};
+        }
+        break;
+      }
+    }
+    out.SetFloat(output_column_, std::move(scores));
+    return out;
+  };
+  return Dispatch("compute_" + output_column_, "infer", TransferProtocol::k3dProto, batch,
+                  duration, compute, workload.NominalTransferBytes());
+}
+
+}  // namespace hybridflow

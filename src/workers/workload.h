@@ -1,0 +1,36 @@
+// The nominal (full-scale) RLHF workload a dataflow stands for.
+//
+// The data plane runs toy-sized batches through real networks; the
+// performance plane charges simulated time for this nominal workload —
+// §8.1's setting by default: global batch 1024 prompts, 1024-token prompts
+// and responses, 1 PPO epoch with 8 minibatch updates.
+#ifndef SRC_WORKERS_WORKLOAD_H_
+#define SRC_WORKERS_WORKLOAD_H_
+
+#include <cstdint>
+
+namespace hybridflow {
+
+struct RlhfWorkloadSpec {
+  int64_t global_batch = 1024;
+  int64_t prompt_len = 1024;
+  int64_t response_len = 1024;
+  int ppo_epochs = 1;
+  int updates_per_iteration = 8;
+
+  int64_t total_len() const { return prompt_len + response_len; }
+  int64_t minibatch() const { return global_batch / updates_per_iteration; }
+  // Tokens processed per iteration (throughput denominator, §8.1).
+  double TokensPerIteration() const {
+    return static_cast<double>(global_batch) * static_cast<double>(total_len());
+  }
+  // Nominal bytes of the experience batch moved between models: token ids
+  // plus a few float columns per token.
+  double NominalTransferBytes() const {
+    return static_cast<double>(global_batch) * static_cast<double>(total_len()) * 16.0;
+  }
+};
+
+}  // namespace hybridflow
+
+#endif  // SRC_WORKERS_WORKLOAD_H_

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/baselines/system_builder.h"
+#include "src/ckpt/checkpoint.h"
+#include "src/ckpt/trainer.h"
+
+namespace hybridflow {
+namespace {
+
+PolicyNetConfig SmallNet() {
+  PolicyNetConfig config;
+  config.vocab_size = 8;
+  config.context_window = 3;
+  config.embed_dim = 8;
+  config.hidden_dim = 16;
+  return config;
+}
+
+TEST(ModelSnapshotTest, RoundTripRestoresExactWeights) {
+  Rng rng_a(1);
+  Rng rng_b(2);
+  PolicyNet original(SmallNet(), rng_a);
+  PolicyNet other(SmallNet(), rng_b);
+  ModelSnapshot snapshot = ModelSnapshot::FromNet(original);
+  ASSERT_TRUE(snapshot.RestoreInto(&other));
+  Tensor la = original.Forward({{1, 2, 3}});
+  Tensor lb = other.Forward({{1, 2, 3}});
+  for (int64_t j = 0; j < la.dim(1); ++j) {
+    EXPECT_FLOAT_EQ(la.at(0, j), lb.at(0, j));
+  }
+}
+
+TEST(ModelSnapshotTest, ChecksumDetectsSilentCorruption) {
+  Rng rng(3);
+  PolicyNet net(SmallNet(), rng);
+  ModelSnapshot snapshot = ModelSnapshot::FromNet(net);
+  EXPECT_TRUE(snapshot.Verify());
+  snapshot.parameters[0][0] += 1e-3f;
+  EXPECT_FALSE(snapshot.Verify());
+  EXPECT_FALSE(snapshot.RestoreInto(&net));
+}
+
+TEST(ModelSnapshotTest, ShapeMismatchRejected) {
+  Rng rng(4);
+  PolicyNet net(SmallNet(), rng);
+  PolicyNetConfig bigger = SmallNet();
+  bigger.hidden_dim = 32;
+  PolicyNet other(bigger, rng);
+  ModelSnapshot snapshot = ModelSnapshot::FromNet(net);
+  EXPECT_FALSE(snapshot.RestoreInto(&other));
+}
+
+TEST(CheckpointManagerTest, KeepsBoundedHistoryAndRestoresLatest) {
+  Rng rng(5);
+  PolicyNet net(SmallNet(), rng);
+  CheckpointManager manager(/*max_snapshots=*/2);
+  manager.Capture(1, 10, {{"actor", &net}});
+  net.Parameters()[0].data()[0] = 42.0f;
+  manager.Capture(2, 20, {{"actor", &net}});
+  net.Parameters()[0].data()[0] = 43.0f;
+  manager.Capture(3, 30, {{"actor", &net}});
+  EXPECT_EQ(manager.LatestIteration(), 3);
+
+  net.Parameters()[0].data()[0] = 0.0f;
+  int64_t iteration = 0;
+  int64_t position = 0;
+  ASSERT_TRUE(manager.Restore({{"actor", &net}}, &iteration, &position));
+  EXPECT_EQ(iteration, 3);
+  EXPECT_EQ(position, 30);
+  EXPECT_FLOAT_EQ(net.Parameters()[0].data()[0], 43.0f);
+}
+
+TEST(CheckpointManagerTest, FallsBackPastCorruptedSnapshot) {
+  Rng rng(6);
+  PolicyNet net(SmallNet(), rng);
+  CheckpointManager manager(3);
+  manager.Capture(1, 1, {{"actor", &net}});
+  net.Parameters()[0].data()[0] = 7.0f;
+  manager.Capture(2, 2, {{"actor", &net}});
+  manager.CorruptLatestForTesting();
+  int64_t iteration = 0;
+  ASSERT_TRUE(manager.Restore({{"actor", &net}}, &iteration, nullptr));
+  EXPECT_EQ(iteration, 1);  // Redundancy-based recovery to the older one.
+}
+
+TEST(CheckpointManagerTest, RestoreFailsWithNoCheckpoints) {
+  Rng rng(7);
+  PolicyNet net(SmallNet(), rng);
+  CheckpointManager manager;
+  EXPECT_FALSE(manager.Restore({{"actor", &net}}, nullptr, nullptr));
+}
+
+TEST(CheckpointManagerTest, DiskRoundTrip) {
+  Rng rng(8);
+  PolicyNet net(SmallNet(), rng);
+  CheckpointManager manager;
+  manager.Capture(5, 50, {{"actor", &net}});
+  const std::string path = "/tmp/hf_ckpt_test.bin";
+  ASSERT_TRUE(manager.SaveToFile(path));
+
+  CheckpointManager loaded;
+  ASSERT_TRUE(loaded.LoadFromFile(path));
+  EXPECT_EQ(loaded.LatestIteration(), 5);
+  Rng rng2(9);
+  PolicyNet other(SmallNet(), rng2);
+  int64_t iteration = 0;
+  ASSERT_TRUE(loaded.Restore({{"actor", &other}}, &iteration, nullptr));
+  Tensor la = net.Forward({{1, 2, 3}});
+  Tensor lb = other.Forward({{1, 2, 3}});
+  EXPECT_FLOAT_EQ(la.at(0, 0), lb.at(0, 0));
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointManagerTest, LoadRejectsGarbageFile) {
+  const std::string path = "/tmp/hf_ckpt_garbage.bin";
+  FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("not a checkpoint", f);
+  std::fclose(f);
+  CheckpointManager manager;
+  EXPECT_FALSE(manager.LoadFromFile(path));
+  std::remove(path.c_str());
+}
+
+// --- Fault-tolerant trainer loop ----------------------------------------------
+
+SystemBuildConfig TrainerSystem() {
+  SystemBuildConfig config;
+  config.system = RlhfSystem::kHybridFlow;
+  config.algorithm = RlhfAlgorithm::kPpo;
+  config.num_gpus = 8;
+  config.real_compute = true;
+  config.real_batch = 16;
+  config.seed = 99;
+  config.workload.global_batch = 64;
+  return config;
+}
+
+TEST(RlhfTrainerTest, RunsToCompletionAndCheckpoints) {
+  RlhfSystemInstance system = BuildSystem(TrainerSystem());
+  ASSERT_TRUE(system.feasible);
+  RlhfModels models;
+  models.actor = system.actor.get();
+  models.critic = system.critic.get();
+  models.reference = system.reference.get();
+  models.reward = system.reward.get();
+  RlhfTrainer trainer(system.program.get(), models);
+  TrainerConfig config;
+  config.total_iterations = 6;
+  config.checkpoint_interval = 2;
+  TrainerReport report = trainer.Run(config);
+  EXPECT_EQ(report.final_iteration, 6);
+  EXPECT_EQ(report.failures_recovered, 0);
+  EXPECT_EQ(report.checkpoints_taken, 1 + 3);  // Initial + every 2 of 6.
+  EXPECT_EQ(report.history.size(), 6u);
+}
+
+TEST(RlhfTrainerTest, RecoversFromInjectedFailure) {
+  RlhfSystemInstance system = BuildSystem(TrainerSystem());
+  ASSERT_TRUE(system.feasible);
+  RlhfModels models;
+  models.actor = system.actor.get();
+  models.critic = system.critic.get();
+  models.reference = system.reference.get();
+  models.reward = system.reward.get();
+  RlhfTrainer trainer(system.program.get(), models);
+  TrainerConfig config;
+  config.total_iterations = 6;
+  config.checkpoint_interval = 2;
+  config.fail_after_iteration = 5;  // Rolls back to the iteration-4 snapshot.
+  TrainerReport report = trainer.Run(config);
+  EXPECT_EQ(report.failures_recovered, 1);
+  EXPECT_EQ(report.final_iteration, 6);
+  // The lost iteration was re-run: history has 6 + 1 entries.
+  EXPECT_EQ(report.history.size(), 7u);
+}
+
+TEST(ChecksumTest, IsOrderSensitive) {
+  EXPECT_NE(ChecksumFloats({{1.0f, 2.0f}}), ChecksumFloats({{2.0f, 1.0f}}));
+  EXPECT_EQ(ChecksumFloats({{1.0f, 2.0f}}), ChecksumFloats({{1.0f, 2.0f}}));
+  EXPECT_NE(ChecksumFloats({{}}), ChecksumFloats({{0.0f}}));
+}
+
+}  // namespace
+}  // namespace hybridflow

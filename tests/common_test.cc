@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/rng.h"
+#include "src/common/strings.h"
+#include "src/common/units.h"
+
+namespace hybridflow {
+namespace {
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%d-%d", 1, 8, 2), "1-8-2");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("%s", "hello"), "hello");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StrFormatTest, HandlesLongStrings) {
+  std::string big(1000, 'x');
+  EXPECT_EQ(StrFormat("%s!", big.c_str()).size(), 1001u);
+}
+
+TEST(JoinIntsTest, JoinsWithSeparator) {
+  EXPECT_EQ(JoinInts({1, 2, 3}, ","), "1,2,3");
+  EXPECT_EQ(JoinInts({7}, ","), "7");
+  EXPECT_EQ(JoinInts({}, ","), "");
+}
+
+TEST(HumanBytesTest, PicksSensibleUnits) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(2048), "2.00 KiB");
+  EXPECT_EQ(HumanBytes(3.5 * kMiB), "3.50 MiB");
+  EXPECT_EQ(HumanBytes(140 * kGB), "130.39 GiB");
+}
+
+TEST(HumanSecondsTest, PicksSensibleUnits) {
+  EXPECT_EQ(HumanSeconds(90.0), "1.5 min");
+  EXPECT_EQ(HumanSeconds(2.5), "2.50 s");
+  EXPECT_EQ(HumanSeconds(0.010), "10.00 ms");
+  EXPECT_EQ(HumanSeconds(5e-6), "5.00 us");
+}
+
+TEST(UnitsTest, BandwidthConversions) {
+  EXPECT_DOUBLE_EQ(GbpsToBytesPerSec(200.0), 25e9);
+  EXPECT_DOUBLE_EQ(GBpsToBytesPerSec(300.0), 300e9);
+  EXPECT_DOUBLE_EQ(BytesToGB(1e9), 1.0);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000), b.UniformInt(0, 1000));
+  }
+}
+
+TEST(RngTest, ForkedStreamsDiffer) {
+  Rng base(42);
+  Rng fork1 = base.Fork(1);
+  Rng fork2 = base.Fork(2);
+  int differing = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (fork1.UniformInt(0, 1 << 30) != fork2.UniformInt(0, 1 << 30)) {
+      differing += 1;
+    }
+  }
+  EXPECT_GT(differing, 45);
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t value = rng.UniformInt(0, 3);
+    ASSERT_GE(value, 0);
+    ASSERT_LE(value, 3);
+    seen.insert(value);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(7);
+  std::vector<double> weights = {0.0, 10.0, 0.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.Categorical(weights), 1);
+  }
+}
+
+TEST(RngTest, CategoricalAllZeroFallsBackToUniform) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    seen.insert(rng.Categorical({0.0, 0.0, 0.0}));
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(RngTest, CategoricalIsApproximatelyProportional) {
+  Rng rng(123);
+  std::vector<int> counts(2, 0);
+  for (int i = 0; i < 10000; ++i) {
+    counts[static_cast<size_t>(rng.Categorical({1.0, 3.0}))] += 1;
+  }
+  const double ratio = static_cast<double>(counts[1]) / counts[0];
+  EXPECT_NEAR(ratio, 3.0, 0.5);
+}
+
+}  // namespace
+}  // namespace hybridflow

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "src/controller/controller.h"
+
+namespace hybridflow {
+namespace {
+
+TEST(ResourcePoolTest, BasicProperties) {
+  ResourcePool pool("actor", {0, 1, 2, 3});
+  EXPECT_EQ(pool.size(), 4);
+  EXPECT_EQ(pool.name(), "actor");
+}
+
+TEST(ResourcePoolTest, OverlapDetection) {
+  ResourcePool a("a", {0, 1});
+  ResourcePool b("b", {2, 3});
+  ResourcePool c("c", {1, 2});
+  EXPECT_FALSE(a.Overlaps(b));
+  EXPECT_TRUE(a.Overlaps(c));
+  EXPECT_TRUE(c.Overlaps(b));
+  EXPECT_TRUE(a.SameDevices(ResourcePool("a2", {1, 0})));
+  EXPECT_FALSE(a.SameDevices(b));
+}
+
+TEST(ResourcePoolTest, RejectsDuplicateDevices) {
+  EXPECT_DEATH(ResourcePool("bad", {0, 0}), "duplicate");
+}
+
+TEST(ControllerTest, CreatePoolRange) {
+  Controller controller(ClusterSpec::WithGpus(8));
+  auto pool = controller.CreatePoolRange("p", 2, 3);
+  EXPECT_EQ(pool->devices(), (std::vector<DeviceId>{2, 3, 4}));
+}
+
+TEST(ControllerTest, AllowsIdenticalPoolsForColocation) {
+  Controller controller(ClusterSpec::WithGpus(8));
+  controller.CreatePoolRange("a", 0, 4);
+  auto second = controller.CreatePoolRange("b", 0, 4);  // Same devices: OK.
+  EXPECT_EQ(second->size(), 4);
+}
+
+TEST(ControllerTest, RejectsPartialOverlap) {
+  Controller controller(ClusterSpec::WithGpus(8));
+  controller.CreatePoolRange("a", 0, 4);
+  EXPECT_DEATH(controller.CreatePoolRange("b", 2, 4), "partially overlaps");
+}
+
+TEST(ControllerTest, RejectsOutOfRangeDevices) {
+  Controller controller(ClusterSpec::WithGpus(4));
+  EXPECT_DEATH(controller.CreatePool("bad", {3, 4}), "");
+}
+
+TEST(ControllerTest, IterationTimingTracksMakespanDelta) {
+  Controller controller(ClusterSpec::WithGpus(2));
+  controller.cluster().ScheduleOp("warmup", "train", {0}, 0.0, 10.0);
+  controller.BeginIteration();
+  EXPECT_DOUBLE_EQ(controller.IterationSeconds(), 0.0);
+  controller.cluster().ScheduleOp("op", "train", {0}, 0.0, 5.0);
+  EXPECT_DOUBLE_EQ(controller.IterationSeconds(), 5.0);
+}
+
+TEST(BatchFutureTest, ImmediateHasZeroReadyTime) {
+  DataBatch batch;
+  batch.SetFloat("x", {{1.0f}});
+  BatchFuture future = BatchFuture::Immediate(std::move(batch));
+  EXPECT_DOUBLE_EQ(future.ready_time, 0.0);
+  EXPECT_EQ(future.data.batch_size(), 1);
+}
+
+}  // namespace
+}  // namespace hybridflow

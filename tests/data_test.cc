@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "src/data/alignment_task.h"
+#include "src/data/data_batch.h"
+
+namespace hybridflow {
+namespace {
+
+DataBatch MakeBatch(int64_t rows) {
+  DataBatch batch;
+  DataBatch::TokenColumn prompts;
+  DataBatch::FloatColumn scores;
+  for (int64_t i = 0; i < rows; ++i) {
+    prompts.push_back({i, i + 1});
+    scores.push_back({static_cast<float>(i)});
+  }
+  batch.SetTokens("prompts", std::move(prompts));
+  batch.SetFloat("scores", std::move(scores));
+  return batch;
+}
+
+TEST(DataBatchTest, ColumnsShareBatchSize) {
+  DataBatch batch = MakeBatch(4);
+  EXPECT_EQ(batch.batch_size(), 4);
+  EXPECT_TRUE(batch.HasTokens("prompts"));
+  EXPECT_TRUE(batch.HasFloat("scores"));
+  EXPECT_FALSE(batch.HasFloat("missing"));
+}
+
+TEST(DataBatchTest, SliceSelectsRows) {
+  DataBatch batch = MakeBatch(5);
+  DataBatch slice = batch.Slice(1, 3);
+  EXPECT_EQ(slice.batch_size(), 2);
+  EXPECT_EQ(slice.Tokens("prompts")[0][0], 1);
+  EXPECT_FLOAT_EQ(slice.Float("scores")[1][0], 2.0f);
+}
+
+TEST(DataBatchTest, SplitChunksCoversAllRowsUnevenly) {
+  DataBatch batch = MakeBatch(7);
+  std::vector<DataBatch> chunks = batch.SplitChunks(3);
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(chunks[0].batch_size(), 3);  // 7 = 3 + 2 + 2.
+  EXPECT_EQ(chunks[1].batch_size(), 2);
+  EXPECT_EQ(chunks[2].batch_size(), 2);
+}
+
+TEST(DataBatchTest, SplitThenConcatIsIdentity) {
+  DataBatch batch = MakeBatch(9);
+  DataBatch round_trip = DataBatch::ConcatBatches(batch.SplitChunks(4));
+  EXPECT_EQ(round_trip.batch_size(), 9);
+  for (int64_t i = 0; i < 9; ++i) {
+    EXPECT_EQ(round_trip.Tokens("prompts")[static_cast<size_t>(i)],
+              batch.Tokens("prompts")[static_cast<size_t>(i)]);
+    EXPECT_FLOAT_EQ(round_trip.Float("scores")[static_cast<size_t>(i)][0],
+                    batch.Float("scores")[static_cast<size_t>(i)][0]);
+  }
+}
+
+TEST(DataBatchTest, MergeColumnsAddsAndOverwrites) {
+  DataBatch batch = MakeBatch(3);
+  DataBatch extra;
+  extra.SetFloat("scores", {{9.0f}, {9.0f}, {9.0f}});
+  extra.SetFloat("rewards", {{1.0f}, {2.0f}, {3.0f}});
+  batch.MergeColumns(extra);
+  EXPECT_FLOAT_EQ(batch.Float("scores")[0][0], 9.0f);
+  EXPECT_FLOAT_EQ(batch.Float("rewards")[2][0], 3.0f);
+}
+
+TEST(DataBatchTest, ApproxBytesCountsPayload) {
+  DataBatch batch = MakeBatch(2);
+  // 2 rows x 2 tokens x 8B + 2 rows x 1 float x 4B.
+  EXPECT_DOUBLE_EQ(batch.ApproxBytes(), 2 * 2 * 8.0 + 2 * 4.0);
+}
+
+TEST(DataBatchTest, EmptyBatchBehaviour) {
+  DataBatch batch;
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(batch.batch_size(), 0);
+  EXPECT_DOUBLE_EQ(batch.ApproxBytes(), 0.0);
+}
+
+// --- Alignment task ----------------------------------------------------------
+
+TEST(AlignmentTaskTest, TokenRewardRules) {
+  AlignmentTask task;
+  EXPECT_FLOAT_EQ(task.TokenReward(3, 4), 1.0f);                  // Coherent.
+  EXPECT_FLOAT_EQ(task.TokenReward(3, 7), -0.1f);                 // Incoherent.
+  EXPECT_FLOAT_EQ(task.TokenReward(3, task.toxic_token()), -2.0f);  // Toxic.
+  // Wrap-around coherence: after V-2 comes 0.
+  EXPECT_FLOAT_EQ(task.TokenReward(task.vocab_size - 2, 0), 1.0f);
+}
+
+TEST(AlignmentTaskTest, SampleRewardIsMeanOfTokenRewards) {
+  AlignmentTask task;
+  std::vector<int64_t> prompt = {2};
+  std::vector<int64_t> response = {3, 4, task.toxic_token()};
+  // rewards: +1 (2->3), +1 (3->4), -2 (toxic) -> mean 0.
+  EXPECT_NEAR(task.SampleReward(prompt, response), 0.0f, 1e-6);
+}
+
+TEST(AlignmentTaskTest, SampleCostIsToxicFraction) {
+  AlignmentTask task;
+  std::vector<int64_t> response = {task.toxic_token(), 1, 2, task.toxic_token()};
+  EXPECT_FLOAT_EQ(task.SampleCost(response), 0.5f);
+  EXPECT_FLOAT_EQ(task.SampleCost({1, 2}), 0.0f);
+}
+
+TEST(AlignmentTaskTest, MetricsMatchHandComputation) {
+  AlignmentTask task;
+  DataBatch::TokenColumn prompts = {{1}, {5}};
+  DataBatch::TokenColumn responses = {{2, 3}, {task.toxic_token(), 6}};
+  EXPECT_DOUBLE_EQ(AlignmentTask::ToxicityRate(responses, task.toxic_token()), 0.25);
+  // Coherent: 1->2 yes, 2->3 yes, 5->toxic no, toxic->6 ? prev=15, (15+1)%15=1 != 6 no.
+  EXPECT_DOUBLE_EQ(task.CoherenceRate(prompts, responses), 0.5);
+}
+
+TEST(PromptDatasetTest, BatchesAreDeterministicPerSeed) {
+  AlignmentTask task;
+  PromptDataset a(task, 42);
+  PromptDataset b(task, 42);
+  DataBatch batch_a = a.NextBatch(8);
+  DataBatch batch_b = b.NextBatch(8);
+  EXPECT_EQ(batch_a.Tokens("prompts"), batch_b.Tokens("prompts"));
+}
+
+TEST(PromptDatasetTest, PromptsNeverContainToxicToken) {
+  AlignmentTask task;
+  PromptDataset dataset(task, 7);
+  DataBatch batch = dataset.NextBatch(64);
+  for (const std::vector<int64_t>& prompt : batch.Tokens("prompts")) {
+    EXPECT_EQ(static_cast<int64_t>(prompt.size()), task.prompt_len);
+    for (int64_t token : prompt) {
+      EXPECT_NE(token, task.toxic_token());
+      EXPECT_GE(token, 0);
+      EXPECT_LT(token, task.vocab_size);
+    }
+  }
+}
+
+TEST(PromptDatasetTest, SuccessiveBatchesDiffer) {
+  AlignmentTask task;
+  PromptDataset dataset(task, 7);
+  EXPECT_NE(dataset.NextBatch(8).Tokens("prompts"), dataset.NextBatch(8).Tokens("prompts"));
+}
+
+}  // namespace
+}  // namespace hybridflow

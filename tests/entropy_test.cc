@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/rlhf/losses.h"
+#include "src/tensor/ops.h"
+
+namespace hybridflow {
+namespace {
+
+TEST(RowSumTest, ForwardAndGrad) {
+  Tensor a = Tensor::FromData({2, 3}, {1, 2, 3, 4, 5, 6}, true);
+  Tensor sums = RowSum(a);
+  EXPECT_EQ(sums.dim(0), 2);
+  EXPECT_FLOAT_EQ(sums.at(0), 6.0f);
+  EXPECT_FLOAT_EQ(sums.at(1), 15.0f);
+  Tensor weighted = Sum(Mul(sums, Tensor::FromData({2}, {1.0f, 2.0f})));
+  weighted.Backward();
+  EXPECT_FLOAT_EQ(a.grad()[0], 1.0f);
+  EXPECT_FLOAT_EQ(a.grad()[3], 2.0f);
+}
+
+TEST(MeanEntropyTest, UniformLogitsGiveLogV) {
+  Tensor logits = Tensor::Zeros({2, 4});
+  EXPECT_NEAR(MeanEntropy(logits).item(), std::log(4.0), 1e-5);
+}
+
+TEST(MeanEntropyTest, PeakedLogitsGiveNearZero) {
+  Tensor logits = Tensor::FromData({1, 3}, {30.0f, 0.0f, 0.0f});
+  EXPECT_NEAR(MeanEntropy(logits).item(), 0.0, 1e-4);
+}
+
+TEST(MeanEntropyTest, GradientFlattensDistribution) {
+  // Maximizing entropy (minimizing -entropy) should push logits toward
+  // uniform: the largest logit gets a negative gradient under -entropy.
+  Tensor logits = Tensor::FromData({1, 3}, {2.0f, 0.0f, 0.0f}, true);
+  Tensor loss = Neg(MeanEntropy(logits));
+  loss.Backward();
+  EXPECT_GT(logits.grad()[0], 0.0f);   // Loss decreases when logit 0 shrinks.
+  EXPECT_LT(logits.grad()[1], 0.0f);
+}
+
+TEST(MeanEntropyTest, BoundedByLogVocab) {
+  Rng rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    Tensor logits = Tensor::Randn({4, 8}, rng, 3.0f, /*requires_grad=*/false);
+    const double entropy = MeanEntropy(logits).item();
+    EXPECT_GE(entropy, 0.0);
+    EXPECT_LE(entropy, std::log(8.0) + 1e-5);
+  }
+}
+
+}  // namespace
+}  // namespace hybridflow

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/sim/collective.h"
+
+namespace hybridflow {
+namespace {
+
+std::vector<DeviceId> Devices(int n) {
+  std::vector<DeviceId> devices(static_cast<size_t>(n));
+  std::iota(devices.begin(), devices.end(), 0);
+  return devices;
+}
+
+TEST(HierarchicalCollectiveTest, MatchesFlatOnOneNode) {
+  ClusterSpec spec = ClusterSpec::WithGpus(8);
+  std::vector<DeviceId> group = Devices(8);
+  EXPECT_DOUBLE_EQ(HierarchicalAllGatherTime(spec, group, 1e9),
+                   AllGatherTime(spec, group, 1e9));
+}
+
+TEST(HierarchicalCollectiveTest, BeatsFlatRingAcrossNodes) {
+  // 16 GPUs over 2 nodes: a flat ring shares each NIC among 8 co-resident
+  // ranks; the two-level algorithm crosses the NIC with one leader ring.
+  ClusterSpec spec = ClusterSpec::WithGpus(16);
+  std::vector<DeviceId> group = Devices(16);
+  const double flat = AllGatherTime(spec, group, 10e9);
+  const double hier = HierarchicalAllGatherTime(spec, group, 10e9);
+  EXPECT_LT(hier, flat);
+  EXPECT_GT(hier, 0.0);
+  EXPECT_LT(HierarchicalAllReduceTime(spec, group, 10e9), AllReduceTime(spec, group, 10e9));
+}
+
+TEST(HierarchicalCollectiveTest, NeverSlowerThanFlat) {
+  for (int gpus : {8, 16, 32, 64, 128}) {
+    ClusterSpec spec = ClusterSpec::WithGpus(gpus);
+    std::vector<DeviceId> group = Devices(gpus);
+    for (double bytes : {1e6, 1e9, 100e9}) {
+      EXPECT_LE(HierarchicalAllGatherTime(spec, group, bytes),
+                AllGatherTime(spec, group, bytes) * (1.0 + 1e-12))
+          << gpus << " GPUs, " << bytes << " bytes";
+      EXPECT_LE(HierarchicalAllReduceTime(spec, group, bytes),
+                AllReduceTime(spec, group, bytes) * (1.0 + 1e-12));
+    }
+  }
+}
+
+TEST(HierarchicalCollectiveTest, ClusterToggleRoutesThroughHierarchical) {
+  ClusterSpec spec = ClusterSpec::WithGpus(32);
+  std::vector<DeviceId> group = Devices(32);
+  const double flat = AllGatherTime(spec, group, 10e9);
+  spec.hierarchical_collectives = true;
+  const double toggled = AllGatherTime(spec, group, 10e9);
+  EXPECT_DOUBLE_EQ(toggled, HierarchicalAllGatherTime(spec, group, 10e9));
+  EXPECT_LT(toggled, flat);
+}
+
+TEST(HierarchicalCollectiveTest, OneRankPerNodeFallsBackToFlat) {
+  ClusterSpec spec = ClusterSpec::WithGpus(32);
+  std::vector<DeviceId> leaders = {0, 8, 16, 24};
+  EXPECT_DOUBLE_EQ(HierarchicalAllGatherTime(spec, leaders, 1e9),
+                   AllGatherTime(spec, leaders, 1e9));
+}
+
+TEST(HierarchicalCollectiveTest, DegenerateInputs) {
+  ClusterSpec spec = ClusterSpec::WithGpus(16);
+  EXPECT_DOUBLE_EQ(HierarchicalAllGatherTime(spec, {3}, 1e9), 0.0);
+  EXPECT_DOUBLE_EQ(HierarchicalAllGatherTime(spec, Devices(16), 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(HierarchicalAllReduceTime(spec, {3}, 1e9), 0.0);
+}
+
+}  // namespace
+}  // namespace hybridflow

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/hybridengine/hybrid_engine.h"
+
+namespace hybridflow {
+namespace {
+
+std::vector<DeviceId> Devices(int n) {
+  std::vector<DeviceId> devices(static_cast<size_t>(n));
+  std::iota(devices.begin(), devices.end(), 0);
+  return devices;
+}
+
+// --- Table 2 closed forms vs measured engine stats ---------------------------
+
+struct Table2Case {
+  ParallelConfig train;
+  GenParallelConfig gen;
+};
+
+class Table2Sweep : public ::testing::TestWithParam<Table2Case> {
+ protected:
+  ModelSpec model_ = ModelSpec::Llama7B();
+  double M_ = ModelSpec::Llama7B().ParamBytes();
+};
+
+TEST_P(Table2Sweep, HybridFlowCommVolumeMatchesFormula) {
+  const Table2Case& param = GetParam();
+  const int n = param.train.world_size();
+  ClusterSpec cluster = ClusterSpec::WithGpus(n);
+  HybridEngine engine(model_, param.train, param.gen, ActorEngineMode::kHybridFlow, cluster,
+                      Devices(n));
+  TransitionStats stats = engine.TrainToGenTransition();
+  // Table 2: (tp - tg*pg) / (tg*pg*tp) * M.
+  const double expected =
+      HybridEngine::HybridFlowCommFraction(param.train, param.gen) * M_;
+  EXPECT_NEAR(stats.comm_bytes_per_gpu, expected, 1.0);
+}
+
+TEST_P(Table2Sweep, HybridFlowPeakAndRedundancyMatchFormula) {
+  const Table2Case& param = GetParam();
+  const int n = param.train.world_size();
+  ClusterSpec cluster = ClusterSpec::WithGpus(n);
+  HybridEngine engine(model_, param.train, param.gen, ActorEngineMode::kHybridFlow, cluster,
+                      Devices(n));
+  TransitionStats stats = engine.TrainToGenTransition();
+  EXPECT_NEAR(stats.peak_param_bytes, HybridEngine::HybridFlowPeakFraction(param.gen) * M_,
+              1.0);
+  EXPECT_DOUBLE_EQ(stats.redundant_bytes, 0.0);
+}
+
+TEST_P(Table2Sweep, HybridFlowVMatchesFormula) {
+  const Table2Case& param = GetParam();
+  const int n = param.train.world_size();
+  ClusterSpec cluster = ClusterSpec::WithGpus(n);
+  HybridEngine engine(model_, param.train, param.gen, ActorEngineMode::kHybridFlowV, cluster,
+                      Devices(n));
+  TransitionStats stats = engine.TrainToGenTransition();
+  EXPECT_NEAR(stats.comm_bytes_per_gpu, HybridEngine::HybridFlowVCommFraction(param.train) * M_,
+              1.0);
+  EXPECT_NEAR(stats.peak_param_bytes, M_, 1.0);
+  // Worst-rank redundancy equals the training shard whenever some GPU has
+  // zero overlap (true for every non-identity regrouping in this sweep).
+  if (param.gen.tp * param.gen.pp < param.train.model_parallel_size()) {
+    EXPECT_NEAR(stats.redundant_bytes,
+                HybridEngine::HybridFlowVRedundancyFraction(param.train) * M_, M_ * 1e-9);
+  }
+}
+
+TEST_P(Table2Sweep, DsChatMatchesFormula) {
+  const Table2Case& param = GetParam();
+  const int n = param.train.world_size();
+  ClusterSpec cluster = ClusterSpec::WithGpus(n);
+  HybridEngine engine(model_, param.train, param.gen, ActorEngineMode::kDsChat, cluster,
+                      Devices(n));
+  TransitionStats stats = engine.TrainToGenTransition();
+  EXPECT_NEAR(stats.comm_bytes_per_gpu, HybridEngine::DsChatCommFraction(param.train) * M_,
+              1.0);
+  EXPECT_NEAR(stats.peak_param_bytes, M_, 1.0);
+  EXPECT_NEAR(stats.redundant_bytes, HybridEngine::DsChatRedundancyFraction(param.train) * M_,
+              1.0);
+}
+
+TEST_P(Table2Sweep, HybridFlowStrictlyCheaperThanVanilla) {
+  // The §5.4 ordering: HybridFlow < HybridFlow-V < DS-Chat in comm volume,
+  // and zero redundancy only for HybridFlow.
+  const Table2Case& param = GetParam();
+  const double hf = HybridEngine::HybridFlowCommFraction(param.train, param.gen);
+  const double hfv = HybridEngine::HybridFlowVCommFraction(param.train);
+  const double ds = HybridEngine::DsChatCommFraction(param.train);
+  EXPECT_LT(hf, hfv);
+  if (param.train.dp > 1) {
+    EXPECT_LT(hfv, ds);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, Table2Sweep,
+                         ::testing::Values(Table2Case{{1, 4, 2}, {1, 2}},
+                                           Table2Case{{1, 8, 2}, {1, 2}},
+                                           Table2Case{{1, 8, 2}, {1, 4}},
+                                           Table2Case{{2, 4, 2}, {1, 2}},
+                                           Table2Case{{2, 4, 2}, {2, 2}},
+                                           Table2Case{{2, 8, 4}, {1, 4}},
+                                           Table2Case{{4, 8, 4}, {2, 2}}));
+
+// --- Engine behaviour -------------------------------------------------------
+
+TEST(HybridEngineTest, SharedModeHasNoTransition) {
+  ClusterSpec cluster = ClusterSpec::WithGpus(8);
+  HybridEngine engine(ModelSpec::Llama7B(), {1, 4, 2}, {1, 4}, ActorEngineMode::kShared,
+                      cluster, Devices(8));
+  TransitionStats stats = engine.TrainToGenTransition();
+  EXPECT_DOUBLE_EQ(stats.seconds, 0.0);
+  EXPECT_DOUBLE_EQ(stats.comm_bytes_per_gpu, 0.0);
+  EXPECT_EQ(engine.NumGenReplicas(), 2);  // = training dp.
+}
+
+TEST(HybridEngineTest, GenReplicasCountMicroDp) {
+  ClusterSpec cluster = ClusterSpec::WithGpus(16);
+  HybridEngine engine(ModelSpec::Llama7B(), {1, 8, 2}, {1, 2}, ActorEngineMode::kHybridFlow,
+                      cluster, Devices(16));
+  // d_g = 8/2 = 4 micro replicas per DP replica, d = 2 -> 8 replicas.
+  EXPECT_EQ(engine.NumGenReplicas(), 8);
+  std::vector<DeviceId> replica = engine.GenReplicaDevices(0);
+  EXPECT_EQ(replica.size(), 2u);
+}
+
+TEST(HybridEngineTest, GenReplicaDevicesPartitionTheAllocation) {
+  ClusterSpec cluster = ClusterSpec::WithGpus(16);
+  HybridEngine engine(ModelSpec::Llama7B(), {2, 4, 2}, {1, 2}, ActorEngineMode::kHybridFlow,
+                      cluster, Devices(16));
+  std::multiset<DeviceId> all;
+  for (int replica = 0; replica < engine.NumGenReplicas(); ++replica) {
+    for (DeviceId device : engine.GenReplicaDevices(replica)) {
+      all.insert(device);
+    }
+  }
+  EXPECT_EQ(static_cast<int>(all.size()), 16);
+  EXPECT_EQ(all.count(3), 1u);  // Each device in exactly one replica.
+}
+
+TEST(HybridEngineTest, DsChatTilesWholeAllocation) {
+  ClusterSpec cluster = ClusterSpec::WithGpus(16);
+  HybridEngine engine(ModelSpec::Llama7B(), {1, 1, 16}, {1, 4}, ActorEngineMode::kDsChat,
+                      cluster, Devices(16));
+  EXPECT_EQ(engine.NumGenReplicas(), 4);
+  EXPECT_EQ(engine.GenReplicaDevices(0), (std::vector<DeviceId>{0, 1, 2, 3}));
+  EXPECT_EQ(engine.GenReplicaDevices(3), (std::vector<DeviceId>{12, 13, 14, 15}));
+}
+
+TEST(HybridEngineTest, TwoCopiesBroadcastsFullModel) {
+  ClusterSpec cluster = ClusterSpec::WithGpus(16);
+  HybridEngine engine(ModelSpec::Llama7B(), {1, 1, 8}, {1, 2}, ActorEngineMode::kTwoCopies,
+                      cluster, Devices(8), {8, 9, 10, 11});
+  TransitionStats stats = engine.TrainToGenTransition();
+  EXPECT_NEAR(stats.comm_bytes_per_gpu, ModelSpec::Llama7B().ParamBytes(), 1.0);
+  EXPECT_GT(stats.seconds, 0.0);
+  EXPECT_EQ(engine.NumGenReplicas(), 2);
+}
+
+TEST(HybridEngineTest, GenToTrainIsFree) {
+  ClusterSpec cluster = ClusterSpec::WithGpus(8);
+  HybridEngine engine(ModelSpec::Llama7B(), {1, 4, 2}, {1, 2}, ActorEngineMode::kHybridFlow,
+                      cluster, Devices(8));
+  EXPECT_DOUBLE_EQ(engine.GenToTrainTransition().seconds, 0.0);
+}
+
+TEST(HybridEngineTest, CrossNodeTransitionSlowerThanIntraNode) {
+  // A 70B actor on 16 GPUs: micro DP groups span nodes under 2-8-1 training
+  // with 1-8 generation, making the all-gather cross-node.
+  ModelSpec model = ModelSpec::Llama70B();
+  ClusterSpec cluster = ClusterSpec::WithGpus(16);
+  HybridEngine cross(model, {2, 8, 1}, {1, 8}, ActorEngineMode::kHybridFlow, cluster,
+                     Devices(16));
+  ClusterSpec one_node = ClusterSpec::WithGpus(8);
+  HybridEngine intra(model, {1, 8, 1}, {1, 4}, ActorEngineMode::kHybridFlow, one_node,
+                     Devices(8));
+  EXPECT_GT(cross.TrainToGenTransition().seconds, intra.TrainToGenTransition().seconds);
+}
+
+TEST(HybridEngineTest, ModeNames) {
+  EXPECT_STREQ(ActorEngineModeName(ActorEngineMode::kHybridFlow), "hybridflow");
+  EXPECT_STREQ(ActorEngineModeName(ActorEngineMode::kDsChat), "ds-chat");
+  EXPECT_STREQ(ActorEngineModeName(ActorEngineMode::kTwoCopies), "two-copies");
+}
+
+}  // namespace
+}  // namespace hybridflow

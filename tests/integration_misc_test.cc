@@ -1,0 +1,198 @@
+// Cross-cutting edge cases and lifecycle invariants that don't belong to a
+// single module's suite.
+#include <gtest/gtest.h>
+
+#include "src/baselines/system_builder.h"
+#include "src/sim/trace_export.h"
+
+namespace hybridflow {
+namespace {
+
+// --- Memory lifecycle -----------------------------------------------------------
+
+TEST(WorkerLifecycleTest, DestructionReleasesRegisteredMemory) {
+  Controller controller(ClusterSpec::WithGpus(4));
+  auto pool = controller.CreatePoolRange("pool", 0, 4);
+  RealComputeOptions real;
+  real.enabled = false;
+  {
+    WorkerGroupOptions options;
+    options.name = "reward";
+    options.model = ModelSpec::Llama7B();
+    options.scalar_head = true;
+    options.train_cfg = {1, 2, 2};
+    RewardWorkerGroup reward(options, pool, &controller, real, RewardSource::kRuleReward);
+    EXPECT_GT(controller.cluster().memory(0).used(), 0.0);
+  }
+  EXPECT_DOUBLE_EQ(controller.cluster().memory(0).used(), 0.0);
+}
+
+TEST(WorkerLifecycleTest, ZeroBackendRegistersShardedState) {
+  Controller controller(ClusterSpec::WithGpus(8));
+  auto pool = controller.CreatePoolRange("pool", 0, 8);
+  RealComputeOptions real;
+  real.enabled = false;
+  WorkerGroupOptions options;
+  options.name = "critic";
+  options.model = ModelSpec::Llama7B();
+  options.scalar_head = true;
+  options.trainable = true;
+  options.backend = WorkerBackend::kZero;
+  options.train_cfg = {1, 1, 8};
+  CriticWorkerGroup critic(options, pool, &controller, real);
+  const double per_gpu = controller.cluster().memory(0).used();
+  // ZeRO-3: 18 bytes/param / 8.
+  EXPECT_NEAR(per_gpu, 18.0 * ModelSpec::Llama7B().NumParamsScalarHead() / 8.0, 1e9);
+  EXPECT_LT(per_gpu, 18.0 * ModelSpec::Llama7B().NumParamsScalarHead() / 4.0);
+}
+
+// --- Engine edge cases -----------------------------------------------------------
+
+TEST(HybridEngineEdgeTest, SharedModeReplicaDevicesAreModelBlocks) {
+  ClusterSpec cluster = ClusterSpec::WithGpus(8);
+  std::vector<DeviceId> devices = {0, 1, 2, 3, 4, 5, 6, 7};
+  HybridEngine engine(ModelSpec::Llama7B(), {2, 2, 2}, {2, 2}, ActorEngineMode::kShared,
+                      cluster, devices);
+  ASSERT_EQ(engine.NumGenReplicas(), 2);
+  EXPECT_EQ(engine.GenReplicaDevices(0), (std::vector<DeviceId>{0, 1, 2, 3}));
+  EXPECT_EQ(engine.GenReplicaDevices(1), (std::vector<DeviceId>{4, 5, 6, 7}));
+}
+
+TEST(HybridEngineEdgeTest, IdentityRegroupingHasZeroCommEvenVanilla) {
+  // gen == train sizes: d_g = 1, nothing to gather under either grouping.
+  ClusterSpec cluster = ClusterSpec::WithGpus(8);
+  std::vector<DeviceId> devices = {0, 1, 2, 3, 4, 5, 6, 7};
+  for (ActorEngineMode mode : {ActorEngineMode::kHybridFlow, ActorEngineMode::kHybridFlowV}) {
+    HybridEngine engine(ModelSpec::Llama7B(), {1, 4, 2}, {1, 4}, mode, cluster, devices);
+    EXPECT_DOUBLE_EQ(engine.TrainToGenTransition().comm_bytes_per_gpu, 0.0)
+        << ActorEngineModeName(mode);
+  }
+}
+
+// --- Topology / cluster edge cases --------------------------------------------------
+
+TEST(ClusterEdgeTest, NonWholeNodeMultiNodeClusterIsRejected) {
+  EXPECT_DEATH(ClusterSpec::WithGpus(12), "whole nodes");
+}
+
+TEST(ClusterEdgeTest, SubNodeClusterIsOneNode) {
+  ClusterSpec spec = ClusterSpec::WithGpus(3);
+  EXPECT_EQ(spec.num_nodes, 1);
+  EXPECT_EQ(spec.gpus_per_node, 3);
+}
+
+// --- DataBatch error handling ---------------------------------------------------------
+
+TEST(DataBatchEdgeTest, MismatchedRowCountsAreFatal) {
+  DataBatch batch;
+  batch.SetTokens("prompts", {{1}, {2}});
+  EXPECT_DEATH(batch.SetFloat("scores", {{1.0f}}), "batch size");
+}
+
+TEST(DataBatchEdgeTest, SliceBoundsChecked) {
+  DataBatch batch;
+  batch.SetTokens("prompts", {{1}, {2}});
+  EXPECT_DEATH(batch.Slice(0, 3), "");
+  EXPECT_DEATH(batch.Slice(2, 1), "");
+}
+
+// --- Execution-pattern structure (Table 1 semantics) -----------------------------------
+
+TEST(ExecutionPatternTest, OpenRlhfNonActorPoolsIdleDuringGeneration) {
+  SystemBuildConfig config;
+  config.system = RlhfSystem::kOpenRlhf;
+  config.num_gpus = 16;
+  config.real_compute = false;
+  RlhfSystemInstance system = BuildSystem(config);
+  ASSERT_TRUE(system.feasible);
+  system.RunIteration();
+  // Find the generation span; assert the critic's devices run nothing that
+  // overlaps it (they must wait for the experience batch).
+  const auto& trace = system.controller->cluster().trace();
+  const TraceSpan* generate = nullptr;
+  for (const TraceSpan& span : trace) {
+    if (span.category == "generate") {
+      generate = &span;
+      break;
+    }
+  }
+  ASSERT_NE(generate, nullptr);
+  const std::vector<DeviceId>& critic_devices = system.critic->pool().devices();
+  for (const TraceSpan& span : trace) {
+    bool on_critic = false;
+    for (DeviceId device : span.devices) {
+      for (DeviceId critic_device : critic_devices) {
+        on_critic = on_critic || device == critic_device;
+      }
+    }
+    if (!on_critic) {
+      continue;
+    }
+    const bool overlaps =
+        span.start < generate->end - 1e-12 && generate->start < span.end - 1e-12;
+    EXPECT_FALSE(overlaps) << span.name << " overlapped generation";
+  }
+}
+
+TEST(ExecutionPatternTest, SplitPlacementOverlapsPreparationAcrossPools) {
+  // NeMo: actor+ref on one half, critic+reward on the other. Reference
+  // inference and critic inference have no mutual dependency and disjoint
+  // devices, so they overlap in the preparation stage (Fig. 3).
+  SystemBuildConfig config;
+  config.system = RlhfSystem::kNemoAligner;
+  config.num_gpus = 16;
+  config.real_compute = false;
+  RlhfSystemInstance system = BuildSystem(config);
+  ASSERT_TRUE(system.feasible);
+  system.RunIteration();
+  const TraceSpan* reference = nullptr;
+  const TraceSpan* critic = nullptr;
+  for (const TraceSpan& span : system.controller->cluster().trace()) {
+    if (span.name == "reference.compute_ref_log_prob") {
+      reference = &span;
+    }
+    if (span.name == "critic.compute_values") {
+      critic = &span;
+    }
+  }
+  ASSERT_NE(reference, nullptr);
+  ASSERT_NE(critic, nullptr);
+  const bool overlaps =
+      reference->start < critic->end - 1e-12 && critic->start < reference->end - 1e-12;
+  EXPECT_TRUE(overlaps) << "disjoint-pool preparation ops failed to overlap";
+}
+
+TEST(ExecutionPatternTest, ChromeTraceOfFullIterationIsWellFormed) {
+  SystemBuildConfig config;
+  config.system = RlhfSystem::kHybridFlow;
+  config.num_gpus = 8;
+  config.real_compute = false;
+  RlhfSystemInstance system = BuildSystem(config);
+  ASSERT_TRUE(system.feasible);
+  system.RunIteration();
+  const std::string json = TraceToChromeJson(system.controller->cluster());
+  EXPECT_NE(json.find("actor.generate"), std::string::npos);
+  EXPECT_NE(json.find("actor.update_actor"), std::string::npos);
+  // Balanced braces at the ends.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json[json.size() - 2], '}');
+}
+
+// --- Mapping internals ------------------------------------------------------------------
+
+TEST(MappingEdgeTest, StandaloneAllocationsRespectMinimums) {
+  // 70B standalone on 64: every model must receive enough GPUs for its
+  // state; the trainables need far more than the inference models.
+  DeviceMapper mapper(DataflowModels(RlhfAlgorithm::kPpo, ModelSpec::Llama70B(),
+                                     ModelSpec::Llama70B()),
+                      RlhfWorkloadSpec(), ClusterSpec::WithGpus(64));
+  MappingResult result = mapper.Map(64, PlacementKind::kStandalone);
+  ASSERT_TRUE(result.feasible);
+  const int actor_set = result.SetOf("actor");
+  const int ref_set = result.SetOf("reference");
+  EXPECT_GE(result.sets[static_cast<size_t>(actor_set)].gpus,
+            result.sets[static_cast<size_t>(ref_set)].gpus);
+}
+
+}  // namespace
+}  // namespace hybridflow

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+#include "src/model/model_spec.h"
+
+namespace hybridflow {
+namespace {
+
+// Published Llama parameter counts, in billions; we accept a few percent of
+// slack because embedding/norm conventions vary.
+TEST(ModelSpecTest, ParamCountsMatchPublishedSizes) {
+  EXPECT_NEAR(ModelSpec::Llama7B().NumParams() / 1e9, 6.7, 0.5);
+  EXPECT_NEAR(ModelSpec::Llama13B().NumParams() / 1e9, 13.0, 0.7);
+  EXPECT_NEAR(ModelSpec::Llama34B().NumParams() / 1e9, 34.0, 2.0);
+  EXPECT_NEAR(ModelSpec::Llama70B().NumParams() / 1e9, 69.0, 3.0);
+}
+
+TEST(ModelSpecTest, ScalarHeadSmallerThanLmHead) {
+  for (const ModelSpec& spec : {ModelSpec::Llama7B(), ModelSpec::Llama70B()}) {
+    EXPECT_LT(spec.NumParamsScalarHead(), spec.NumParams());
+    // The difference is roughly one vocab projection.
+    const double head = static_cast<double>(spec.vocab_size) * spec.hidden_size;
+    EXPECT_NEAR(spec.NumParams() - spec.NumParamsScalarHead(), head, head * 0.01);
+  }
+}
+
+TEST(ModelSpecTest, SeventyBWeightsAre140GB) {
+  // §2.3: "aligning a 70B actor model requires transferring 140GB of model
+  // weights".
+  EXPECT_NEAR(ModelSpec::Llama70B().ParamBytes() / kGB, 140.0, 6.0);
+}
+
+TEST(ModelSpecTest, TrainStateIs18BytesPerParam) {
+  const ModelSpec spec = ModelSpec::Llama7B();
+  EXPECT_DOUBLE_EQ(spec.TrainStateBytes(), 18.0 * spec.NumParams());
+}
+
+TEST(ModelSpecTest, KvCacheBytesPerTokenGqa) {
+  // 7B: full multi-head attention, 2 * 2 bytes * hidden * layers.
+  const ModelSpec small = ModelSpec::Llama7B();
+  EXPECT_DOUBLE_EQ(small.KvCacheBytesPerToken(), 4.0 * 4096 * 32);
+  // 70B: grouped-query attention shrinks KV width by kv_heads/heads = 1/8.
+  const ModelSpec big = ModelSpec::Llama70B();
+  EXPECT_DOUBLE_EQ(big.KvCacheBytesPerToken(), 4.0 * (8192.0 / 8.0) * 80);
+}
+
+TEST(ModelSpecTest, FwdFlopsDominatedByMatmulTerm) {
+  const ModelSpec spec = ModelSpec::Llama7B();
+  const double flops = spec.FwdFlopsPerToken(0);
+  EXPECT_NEAR(flops, 2.0 * spec.NumParams(), 1.0);
+  // Attention adds with context.
+  EXPECT_GT(spec.FwdFlopsPerToken(4096), flops);
+}
+
+TEST(ModelSpecTest, TrainFlopsAreTripleForward) {
+  const ModelSpec spec = ModelSpec::Llama13B();
+  EXPECT_DOUBLE_EQ(spec.TrainFlopsPerSequence(2048), 3.0 * spec.FwdFlopsPerSequence(2048));
+}
+
+TEST(ModelSpecTest, SixNDRuleApproximatelyHolds) {
+  // Training FLOPs ~ 6 * params * tokens for long-context transformers.
+  const ModelSpec spec = ModelSpec::Llama7B();
+  const double per_token = spec.TrainFlopsPerSequence(2048) / 2048.0;
+  EXPECT_NEAR(per_token / (6.0 * spec.NumParams()), 1.0, 0.15);
+}
+
+TEST(ModelSpecTest, DecodeBytesAmortizeWeightsOverBatch) {
+  const ModelSpec spec = ModelSpec::Llama7B();
+  const double solo = spec.DecodeBytesPerToken(1024, 1);
+  const double batched = spec.DecodeBytesPerToken(1024, 64);
+  EXPECT_GT(solo, batched);
+  EXPECT_GT(batched, spec.KvCacheBytesPerToken() * 1024);  // KV term remains.
+}
+
+TEST(ModelSpecTest, FromBillionsSnapsToPresets) {
+  EXPECT_EQ(ModelSpec::FromBillions(5.0).name, "7B");
+  EXPECT_EQ(ModelSpec::FromBillions(13.0).name, "13B");
+  EXPECT_EQ(ModelSpec::FromBillions(30.0).name, "34B");
+  EXPECT_EQ(ModelSpec::FromBillions(65.0).name, "70B");
+}
+
+TEST(ModelSpecTest, ByNameRoundTrips) {
+  for (const char* name : {"7B", "13B", "34B", "70B"}) {
+    EXPECT_EQ(ModelSpec::ByName(name).name, name);
+  }
+}
+
+}  // namespace
+}  // namespace hybridflow

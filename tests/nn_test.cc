@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/nn/adam.h"
+#include "src/nn/policy_net.h"
+#include "src/tensor/ops.h"
+
+namespace hybridflow {
+namespace {
+
+PolicyNetConfig SmallConfig(bool scalar = false) {
+  PolicyNetConfig config;
+  config.vocab_size = 8;
+  config.context_window = 3;
+  config.embed_dim = 8;
+  config.hidden_dim = 16;
+  config.scalar_head = scalar;
+  return config;
+}
+
+TEST(PolicyNetTest, ForwardShapes) {
+  Rng rng(1);
+  PolicyNet net(SmallConfig(), rng);
+  std::vector<std::vector<int64_t>> contexts = {{0, 1, 2}, {3, 4, 5}};
+  Tensor logits = net.Forward(contexts);
+  EXPECT_EQ(logits.dim(0), 2);
+  EXPECT_EQ(logits.dim(1), 8);
+}
+
+TEST(PolicyNetTest, ScalarHeadShape) {
+  Rng rng(1);
+  PolicyNet net(SmallConfig(/*scalar=*/true), rng);
+  Tensor values = net.Forward({{0, 1, 2}, {3, 4, 5}, {6, 7, 0}});
+  EXPECT_EQ(values.ndim(), 1);
+  EXPECT_EQ(values.dim(0), 3);
+}
+
+TEST(PolicyNetTest, LogProbIsConsistentWithForward) {
+  Rng rng(2);
+  PolicyNet net(SmallConfig(), rng);
+  std::vector<std::vector<int64_t>> contexts = {{1, 2, 3}};
+  Tensor logits = net.Forward(contexts);
+  Tensor log_probs = LogSoftmax(logits);
+  Tensor picked = net.LogProb(contexts, {5});
+  EXPECT_NEAR(picked.at(0), log_probs.at(0, 5), 1e-5);
+}
+
+TEST(PolicyNetTest, SampleRespectsTemperature) {
+  Rng init(3);
+  PolicyNet net(SmallConfig(), init);
+  std::vector<std::vector<int64_t>> contexts(200, {1, 2, 3});
+  Rng hot_rng(4);
+  Rng cold_rng(4);
+  std::vector<int64_t> hot = net.Sample(contexts, 10.0, hot_rng);
+  std::vector<int64_t> cold = net.Sample(contexts, 0.05, cold_rng);
+  // Cold sampling should concentrate on few tokens; hot should spread.
+  std::set<int64_t> hot_set(hot.begin(), hot.end());
+  std::set<int64_t> cold_set(cold.begin(), cold.end());
+  EXPECT_GT(hot_set.size(), cold_set.size());
+}
+
+TEST(PolicyNetTest, GreedyIsDeterministicArgmax) {
+  Rng rng(5);
+  PolicyNet net(SmallConfig(), rng);
+  std::vector<std::vector<int64_t>> contexts = {{0, 0, 1}, {2, 3, 4}};
+  std::vector<int64_t> a = net.Greedy(contexts);
+  std::vector<int64_t> b = net.Greedy(contexts);
+  EXPECT_EQ(a, b);
+  Tensor logits = net.Forward(contexts);
+  for (size_t i = 0; i < contexts.size(); ++i) {
+    for (int64_t j = 0; j < logits.dim(1); ++j) {
+      EXPECT_LE(logits.at(static_cast<int64_t>(i), j),
+                logits.at(static_cast<int64_t>(i), a[i]) + 1e-6);
+    }
+  }
+}
+
+TEST(PolicyNetTest, CopyFromMakesNetsIdentical) {
+  Rng rng_a(6);
+  Rng rng_b(7);
+  PolicyNet a(SmallConfig(), rng_a);
+  PolicyNet b(SmallConfig(), rng_b);
+  b.CopyFrom(a);
+  std::vector<std::vector<int64_t>> contexts = {{1, 2, 3}};
+  Tensor la = a.Forward(contexts);
+  Tensor lb = b.Forward(contexts);
+  for (int64_t j = 0; j < la.dim(1); ++j) {
+    EXPECT_FLOAT_EQ(la.at(0, j), lb.at(0, j));
+  }
+}
+
+TEST(PolicyNetTest, ParametersAreAllTrainable) {
+  Rng rng(8);
+  PolicyNet net(SmallConfig(), rng);
+  for (const Tensor& param : net.Parameters()) {
+    EXPECT_TRUE(param.requires_grad());
+  }
+  // embedding + K=3 position weights + hidden bias + out weight + out bias.
+  EXPECT_EQ(net.Parameters().size(), 7u);
+}
+
+TEST(AdamTest, MinimizesQuadratic) {
+  Tensor x = Tensor::FromData({2}, {5.0f, -3.0f}, true);
+  AdamConfig config;
+  config.lr = 0.1f;
+  config.grad_clip = 0.0f;
+  Adam adam({x}, config);
+  for (int step = 0; step < 300; ++step) {
+    Tensor loss = Sum(Square(x));
+    loss.Backward();
+    adam.Step();
+  }
+  EXPECT_NEAR(x.at(0), 0.0f, 0.05f);
+  EXPECT_NEAR(x.at(1), 0.0f, 0.05f);
+  EXPECT_EQ(adam.steps(), 300);
+}
+
+TEST(AdamTest, GradClipBoundsUpdates) {
+  Tensor x = Tensor::FromData({1}, {0.0f}, true);
+  AdamConfig config;
+  config.lr = 1.0f;
+  config.grad_clip = 0.001f;
+  Adam adam({x}, config);
+  Tensor loss = Scale(Sum(x), 1e6f);  // Huge gradient.
+  loss.Backward();
+  adam.Step();
+  // Adam normalizes by sqrt(v), so the step is ~lr regardless; clip keeps
+  // moments sane.
+  EXPECT_LT(std::abs(x.at(0)), 1.5f);
+}
+
+TEST(AdamTest, StepZeroesGradients) {
+  Tensor x = Tensor::FromData({1}, {1.0f}, true);
+  Adam adam({x});
+  Sum(Square(x)).Backward();
+  adam.Step();
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.0f);
+}
+
+TEST(PolicyNetTest, LearnsSupervisedNextToken) {
+  // The net should be able to learn "next token = (last token + 1) % V"
+  // with enough Adam steps — this is exactly what PPO needs it to express.
+  Rng rng(9);
+  PolicyNetConfig config = SmallConfig();
+  PolicyNet net(config, rng);
+  AdamConfig adam_config;
+  adam_config.lr = 0.02f;
+  Adam adam(net.Parameters(), adam_config);
+  Rng data_rng(10);
+  for (int step = 0; step < 400; ++step) {
+    std::vector<std::vector<int64_t>> contexts;
+    std::vector<int64_t> targets;
+    for (int i = 0; i < 32; ++i) {
+      const int64_t last = data_rng.UniformInt(0, config.vocab_size - 1);
+      contexts.push_back({data_rng.UniformInt(0, config.vocab_size - 1),
+                          data_rng.UniformInt(0, config.vocab_size - 1), last});
+      targets.push_back((last + 1) % config.vocab_size);
+    }
+    Tensor loss = Neg(Mean(net.LogProb(contexts, targets)));
+    loss.Backward();
+    adam.Step();
+  }
+  // Evaluate accuracy.
+  int correct = 0;
+  for (int64_t last = 0; last < config.vocab_size; ++last) {
+    std::vector<int64_t> prediction = net.Greedy({{0, 0, last}});
+    if (prediction[0] == (last + 1) % config.vocab_size) {
+      correct += 1;
+    }
+  }
+  EXPECT_GE(correct, 6) << "net failed to learn the successor function";
+}
+
+}  // namespace
+}  // namespace hybridflow

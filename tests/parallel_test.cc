@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "src/parallel/parallel_config.h"
+#include "src/parallel/process_groups.h"
+#include "src/parallel/shard_range.h"
+#include "src/parallel/zero_config.h"
+
+namespace hybridflow {
+namespace {
+
+std::vector<DeviceId> Devices(int n) {
+  std::vector<DeviceId> devices(static_cast<size_t>(n));
+  std::iota(devices.begin(), devices.end(), 0);
+  return devices;
+}
+
+// --- Config basics ----------------------------------------------------------
+
+TEST(ParallelConfigTest, WorldSizeAndToString) {
+  ParallelConfig cfg{2, 4, 3};
+  EXPECT_EQ(cfg.world_size(), 24);
+  EXPECT_EQ(cfg.model_parallel_size(), 8);
+  EXPECT_EQ(cfg.ToString(), "2-4-3");
+}
+
+TEST(ParallelConfigTest, MicroDpSize) {
+  // §5.1: d_g = p*t / (p_g*t_g).
+  EXPECT_EQ(MicroDpSize({1, 8, 2}, {1, 2}), 4);
+  EXPECT_EQ(MicroDpSize({2, 4, 1}, {1, 4}), 2);
+  EXPECT_EQ(MicroDpSize({1, 4, 2}, {1, 4}), 1);
+  EXPECT_FALSE(GenConfigCompatible({1, 4, 2}, {1, 3}));
+  EXPECT_FALSE(GenConfigCompatible({1, 4, 2}, {2, 1}));
+}
+
+// --- Figure 8 worked example -------------------------------------------------
+// Training 1-4-2 on 8 GPUs (G1..G8 = ranks 0..7).
+
+class Figure8Test : public ::testing::Test {
+ protected:
+  ParallelConfig train_{1, 4, 2};
+  ProcessGroups groups_{train_, Devices(8)};
+  GenParallelConfig gen_{1, 2};  // 1-2-2-2 generation groups.
+};
+
+TEST_F(Figure8Test, TrainingGroupsMatchPaper) {
+  // "the TP groups are [G1..G4], [G5..G8]"
+  EXPECT_EQ(groups_.TpGroup(0), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(groups_.TpGroup(5), (std::vector<int>{4, 5, 6, 7}));
+  // "the DP groups are [G1,G5], [G2,G6], [G3,G7], [G4,G8]"
+  EXPECT_EQ(groups_.DpGroup(0), (std::vector<int>{0, 4}));
+  EXPECT_EQ(groups_.DpGroup(1), (std::vector<int>{1, 5}));
+  EXPECT_EQ(groups_.DpGroup(3), (std::vector<int>{3, 7}));
+}
+
+TEST_F(Figure8Test, VanillaGenerationGroupsMatchPaper) {
+  // Fig 8(a): generation TP groups are consecutive pairs.
+  auto method = GenGroupingMethod::kVanilla;
+  EXPECT_EQ(groups_.GenTpGroup(0, gen_, method), (std::vector<int>{0, 1}));
+  EXPECT_EQ(groups_.GenTpGroup(2, gen_, method), (std::vector<int>{2, 3}));
+  EXPECT_EQ(groups_.GenTpGroup(4, gen_, method), (std::vector<int>{4, 5}));
+  EXPECT_EQ(groups_.GenTpGroup(7, gen_, method), (std::vector<int>{6, 7}));
+}
+
+TEST_F(Figure8Test, ZeroRedundancyGroupsMatchPaper) {
+  // Fig 8(b): "the generation TP groups are [G1,G3],[G2,G4],[G5,G7],[G6,G8];
+  // and the micro DP groups are [G1,G2],[G3,G4],[G5,G6],[G7,G8]".
+  auto method = GenGroupingMethod::kZeroRedundancy;
+  EXPECT_EQ(groups_.GenTpGroup(0, gen_, method), (std::vector<int>{0, 2}));
+  EXPECT_EQ(groups_.GenTpGroup(1, gen_, method), (std::vector<int>{1, 3}));
+  EXPECT_EQ(groups_.GenTpGroup(4, gen_, method), (std::vector<int>{4, 6}));
+  EXPECT_EQ(groups_.GenTpGroup(5, gen_, method), (std::vector<int>{5, 7}));
+  EXPECT_EQ(groups_.MicroDpGroup(0, gen_, method), (std::vector<int>{0, 1}));
+  EXPECT_EQ(groups_.MicroDpGroup(2, gen_, method), (std::vector<int>{2, 3}));
+  EXPECT_EQ(groups_.MicroDpGroup(6, gen_, method), (std::vector<int>{6, 7}));
+}
+
+TEST_F(Figure8Test, VanillaHasNoOverlapOnMiddleRanks) {
+  // "On some GPUs (e.g., G2, G3, G6, G7), there is no overlap between
+  // training and generation model weights."
+  for (int rank : {1, 2, 5, 6}) {
+    ReshardMemoryProfile profile =
+        ComputeReshardMemory(groups_, rank, gen_, GenGroupingMethod::kVanilla);
+    EXPECT_DOUBLE_EQ(profile.overlap_fraction, 0.0) << "rank " << rank;
+    EXPECT_GT(profile.redundant_fraction, 0.0);
+  }
+  // G1 and G4 do overlap.
+  for (int rank : {0, 3}) {
+    ReshardMemoryProfile profile =
+        ComputeReshardMemory(groups_, rank, gen_, GenGroupingMethod::kVanilla);
+    EXPECT_GT(profile.overlap_fraction, 0.0) << "rank " << rank;
+  }
+}
+
+TEST_F(Figure8Test, ZeroRedundancyHasFullOverlapEverywhere) {
+  for (int rank = 0; rank < 8; ++rank) {
+    ReshardMemoryProfile profile =
+        ComputeReshardMemory(groups_, rank, gen_, GenGroupingMethod::kZeroRedundancy);
+    EXPECT_NEAR(profile.redundant_fraction, 0.0, 1e-12) << "rank " << rank;
+    EXPECT_NEAR(profile.overlap_fraction, profile.train_fraction, 1e-12) << "rank " << rank;
+  }
+}
+
+// --- Property sweeps over many configurations --------------------------------
+
+struct SweepCase {
+  ParallelConfig train;
+  GenParallelConfig gen;
+};
+
+class GroupAlgebraSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(GroupAlgebraSweep, CoordinateRoundTrip) {
+  const SweepCase& param = GetParam();
+  ProcessGroups groups(param.train, Devices(param.train.world_size()));
+  for (int rank = 0; rank < groups.world_size(); ++rank) {
+    EXPECT_EQ(groups.RankOf(groups.TrainCoordsOf(rank)), rank);
+  }
+}
+
+TEST_P(GroupAlgebraSweep, GenCoordinateRoundTripBothMethods) {
+  const SweepCase& param = GetParam();
+  ProcessGroups groups(param.train, Devices(param.train.world_size()));
+  for (auto method : {GenGroupingMethod::kVanilla, GenGroupingMethod::kZeroRedundancy}) {
+    for (int rank = 0; rank < groups.world_size(); ++rank) {
+      GenCoords coords = groups.GenCoordsOf(rank, param.gen, method);
+      EXPECT_EQ(groups.RankOfGen(coords, param.gen, method), rank);
+    }
+  }
+}
+
+TEST_P(GroupAlgebraSweep, GroupsPartitionTheWorld) {
+  const SweepCase& param = GetParam();
+  ProcessGroups groups(param.train, Devices(param.train.world_size()));
+  for (auto method : {GenGroupingMethod::kVanilla, GenGroupingMethod::kZeroRedundancy}) {
+    std::multiset<int> tp_members;
+    std::multiset<int> micro_members;
+    std::set<std::vector<int>> tp_groups;
+    std::set<std::vector<int>> micro_groups;
+    for (int rank = 0; rank < groups.world_size(); ++rank) {
+      tp_groups.insert(groups.GenTpGroup(rank, param.gen, method));
+      micro_groups.insert(groups.MicroDpGroup(rank, param.gen, method));
+    }
+    for (const std::vector<int>& group : tp_groups) {
+      EXPECT_EQ(static_cast<int>(group.size()), param.gen.tp);
+      tp_members.insert(group.begin(), group.end());
+    }
+    for (const std::vector<int>& group : micro_groups) {
+      EXPECT_EQ(static_cast<int>(group.size()), MicroDpSize(param.train, param.gen));
+      micro_members.insert(group.begin(), group.end());
+    }
+    EXPECT_EQ(static_cast<int>(tp_members.size()), groups.world_size());
+    EXPECT_EQ(static_cast<int>(micro_members.size()), groups.world_size());
+  }
+}
+
+TEST_P(GroupAlgebraSweep, ZeroRedundancyGroupingNeverWastesMemory) {
+  // §5.3's key claim: the training shard is always a sub-rectangle of the
+  // generation shard under the strided grouping.
+  const SweepCase& param = GetParam();
+  ProcessGroups groups(param.train, Devices(param.train.world_size()));
+  for (int rank = 0; rank < groups.world_size(); ++rank) {
+    TrainCoords train_coords = groups.TrainCoordsOf(rank);
+    GenCoords gen_coords =
+        groups.GenCoordsOf(rank, param.gen, GenGroupingMethod::kZeroRedundancy);
+    EXPECT_TRUE(GenShard(gen_coords, param.gen).Contains(TrainShard(train_coords, param.train)))
+        << "rank " << rank;
+  }
+}
+
+TEST_P(GroupAlgebraSweep, MicroDpGroupsStayWithinModelBlock) {
+  // Micro DP groups only regroup ranks of the same training DP replica.
+  const SweepCase& param = GetParam();
+  ProcessGroups groups(param.train, Devices(param.train.world_size()));
+  for (auto method : {GenGroupingMethod::kVanilla, GenGroupingMethod::kZeroRedundancy}) {
+    for (int rank = 0; rank < groups.world_size(); ++rank) {
+      const int d = groups.TrainCoordsOf(rank).d;
+      for (int member : groups.MicroDpGroup(rank, param.gen, method)) {
+        EXPECT_EQ(groups.TrainCoordsOf(member).d, d);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configurations, GroupAlgebraSweep,
+    ::testing::Values(SweepCase{{1, 4, 2}, {1, 2}}, SweepCase{{1, 8, 2}, {1, 2}},
+                      SweepCase{{1, 8, 1}, {1, 4}}, SweepCase{{2, 4, 2}, {1, 2}},
+                      SweepCase{{2, 4, 2}, {2, 2}}, SweepCase{{4, 2, 2}, {2, 1}},
+                      SweepCase{{2, 8, 4}, {1, 4}}, SweepCase{{4, 8, 4}, {2, 2}},
+                      SweepCase{{1, 2, 1}, {1, 1}}, SweepCase{{8, 1, 2}, {2, 1}}));
+
+// --- Shard geometry ----------------------------------------------------------
+
+TEST(ShardRangeTest, FractionsMultiply) {
+  ShardRange shard{{0.0, 0.5}, {0.25, 0.5}};
+  EXPECT_DOUBLE_EQ(shard.Fraction(), 0.125);
+}
+
+TEST(ShardRangeTest, OverlapIsProductOfIntervalOverlaps) {
+  ShardRange a{{0.0, 0.5}, {0.0, 0.5}};
+  ShardRange b{{0.25, 0.75}, {0.25, 0.75}};
+  EXPECT_DOUBLE_EQ(a.OverlapFraction(b), 0.0625);
+  ShardRange disjoint{{0.5, 1.0}, {0.5, 1.0}};
+  EXPECT_DOUBLE_EQ(a.OverlapFraction(disjoint), 0.0);
+}
+
+TEST(ShardRangeTest, TrainShardSize) {
+  ParallelConfig cfg{2, 4, 3};
+  ShardRange shard = TrainShard({1, 2, 0}, cfg);
+  EXPECT_DOUBLE_EQ(shard.Fraction(), 1.0 / 8.0);
+}
+
+// --- ZeRO memory model --------------------------------------------------------
+
+TEST(ZeroConfigTest, StagesProgressivelyShard) {
+  const double params = 1e9;
+  const double full = ZeroTrainStateBytesPerGpu(params, {ZeroStage::kNone, 8});
+  const double s1 = ZeroTrainStateBytesPerGpu(params, {ZeroStage::kStage1, 8});
+  const double s2 = ZeroTrainStateBytesPerGpu(params, {ZeroStage::kStage2, 8});
+  const double s3 = ZeroTrainStateBytesPerGpu(params, {ZeroStage::kStage3, 8});
+  EXPECT_GT(full, s1);
+  EXPECT_GT(s1, s2);
+  EXPECT_GT(s2, s3);
+  EXPECT_DOUBLE_EQ(full, 18.0 * params);
+  EXPECT_DOUBLE_EQ(s3, 18.0 * params / 8.0);
+}
+
+TEST(ZeroConfigTest, Stage3ShardsParams) {
+  const double params = 1e9;
+  EXPECT_DOUBLE_EQ(ZeroParamBytesPerGpu(params, {ZeroStage::kStage2, 8}), 2e9);
+  EXPECT_DOUBLE_EQ(ZeroParamBytesPerGpu(params, {ZeroStage::kStage3, 8}), 0.25e9);
+}
+
+TEST(ZeroConfigTest, Stage3ExtraCommIsTwoAllGathers) {
+  const double params = 1e9;
+  EXPECT_DOUBLE_EQ(ZeroExtraCommBytesPerStep(params, {ZeroStage::kStage3, 4}),
+                   2.0 * (3.0 / 4.0) * 2e9);
+  EXPECT_DOUBLE_EQ(ZeroExtraCommBytesPerStep(params, {ZeroStage::kStage2, 4}), 0.0);
+  EXPECT_DOUBLE_EQ(ZeroExtraCommBytesPerStep(params, {ZeroStage::kStage3, 1}), 0.0);
+}
+
+}  // namespace
+}  // namespace hybridflow

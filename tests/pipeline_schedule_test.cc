@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "src/perf/pipeline_schedule.h"
+
+namespace hybridflow {
+namespace {
+
+TEST(PipelineScheduleTest, SingleStageHasNoBubble) {
+  PipelineSchedule schedule = Build1F1BSchedule(1, 4, 1.0, 2.0);
+  EXPECT_DOUBLE_EQ(schedule.makespan, 4.0 * 3.0);
+  EXPECT_NEAR(schedule.BubbleFraction(), 0.0, 1e-9);
+}
+
+TEST(PipelineScheduleTest, BubbleMatchesClosedForm) {
+  // The canonical 1F1B bubble: (p-1)(tf+tb) extra time -> fraction
+  // (p-1)/m of the ideal m(tf+tb).
+  for (int p : {2, 4, 8}) {
+    for (int m : {8, 16, 32}) {
+      if (m < p) {
+        continue;
+      }
+      PipelineSchedule schedule = Build1F1BSchedule(p, m, 1.0, 2.0);
+      const double expected = static_cast<double>(p - 1) / static_cast<double>(m);
+      EXPECT_NEAR(schedule.BubbleFraction(), expected, 1e-9)
+          << "p=" << p << " m=" << m;
+    }
+  }
+}
+
+TEST(PipelineScheduleTest, GpipeAndOneFOneBHaveSameMakespan) {
+  // Same bubble, different memory: the classic result.
+  PipelineSchedule fb = Build1F1BSchedule(4, 16, 1.0, 2.0);
+  PipelineSchedule gpipe = BuildGpipeSchedule(4, 16, 1.0, 2.0);
+  EXPECT_NEAR(fb.makespan, gpipe.makespan, 1e-9);
+}
+
+TEST(PipelineScheduleTest, OneFOneBBoundsActivationMemory) {
+  // 1F1B holds at most p microbatches of activations; GPipe holds all m.
+  const int p = 4;
+  const int m = 16;
+  EXPECT_LE(PeakActivationsInFlight(Build1F1BSchedule(p, m, 1.0, 2.0)), p);
+  EXPECT_EQ(PeakActivationsInFlight(BuildGpipeSchedule(p, m, 1.0, 2.0)), m);
+}
+
+TEST(PipelineScheduleTest, DependenciesAreRespected) {
+  PipelineSchedule schedule = Build1F1BSchedule(3, 6, 1.0, 2.0);
+  // Index tasks for cross-checks.
+  auto find = [&](int stage, int microbatch, bool backward) -> const PipelineTask& {
+    for (const PipelineTask& task : schedule.tasks) {
+      if (task.stage == stage && task.microbatch == microbatch &&
+          task.backward == backward) {
+        return task;
+      }
+    }
+    ADD_FAILURE() << "missing task";
+    static PipelineTask dummy;
+    return dummy;
+  };
+  for (int i = 0; i < 6; ++i) {
+    // Forward flows down the pipeline...
+    EXPECT_GE(find(1, i, false).start, find(0, i, false).end - 1e-12);
+    EXPECT_GE(find(2, i, false).start, find(1, i, false).end - 1e-12);
+    // ...backward flows up.
+    EXPECT_GE(find(1, i, true).start, find(2, i, true).end - 1e-12);
+    EXPECT_GE(find(0, i, true).start, find(1, i, true).end - 1e-12);
+    // A microbatch's backward follows its own forward on every stage.
+    for (int stage = 0; stage < 3; ++stage) {
+      EXPECT_GE(find(stage, i, true).start, find(stage, i, false).end - 1e-12);
+    }
+  }
+}
+
+TEST(PipelineScheduleTest, TaskCountIsTwoPerStagePerMicrobatch) {
+  PipelineSchedule schedule = Build1F1BSchedule(4, 8, 0.5, 1.0);
+  EXPECT_EQ(schedule.tasks.size(), 2u * 4u * 8u);
+}
+
+TEST(PipelineScheduleTest, RenderShowsAllStages) {
+  PipelineSchedule schedule = Build1F1BSchedule(3, 6, 1.0, 2.0);
+  const std::string rendered = schedule.Render(60);
+  EXPECT_NE(rendered.find("stage 0"), std::string::npos);
+  EXPECT_NE(rendered.find("stage 2"), std::string::npos);
+  EXPECT_NE(rendered.find('F'), std::string::npos);
+  EXPECT_NE(rendered.find('B'), std::string::npos);
+}
+
+TEST(PipelineScheduleTest, MoreMicrobatchesShrinkBubble) {
+  const double few = Build1F1BSchedule(4, 4, 1.0, 2.0).BubbleFraction();
+  const double many = Build1F1BSchedule(4, 32, 1.0, 2.0).BubbleFraction();
+  EXPECT_GT(few, many);
+}
+
+}  // namespace
+}  // namespace hybridflow

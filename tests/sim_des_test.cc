@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "src/common/rng.h"
+#include "src/sim/des_executor.h"
+#include "src/sim/trace_export.h"
+
+namespace hybridflow {
+namespace {
+
+TEST(DesExecutorTest, IndependentOpsOverlap) {
+  DesExecutor executor(ClusterSpec::WithGpus(2));
+  auto a = executor.Submit("a", "train", {0}, 5.0);
+  auto b = executor.Submit("b", "train", {1}, 3.0);
+  executor.Run();
+  EXPECT_DOUBLE_EQ(executor.SpanOf(a).start, 0.0);
+  EXPECT_DOUBLE_EQ(executor.SpanOf(b).start, 0.0);
+  EXPECT_DOUBLE_EQ(executor.Makespan(), 5.0);
+}
+
+TEST(DesExecutorTest, DependencyDelaysStart) {
+  DesExecutor executor(ClusterSpec::WithGpus(2));
+  auto a = executor.Submit("a", "train", {0}, 5.0);
+  auto b = executor.Submit("b", "train", {1}, 3.0, {a});
+  executor.Run();
+  EXPECT_DOUBLE_EQ(executor.SpanOf(b).start, 5.0);
+  EXPECT_DOUBLE_EQ(executor.Makespan(), 8.0);
+}
+
+TEST(DesExecutorTest, DeviceExclusivitySerializes) {
+  DesExecutor executor(ClusterSpec::WithGpus(1));
+  auto a = executor.Submit("a", "train", {0}, 2.0);
+  auto b = executor.Submit("b", "train", {0}, 2.0);
+  executor.Run();
+  EXPECT_DOUBLE_EQ(executor.SpanOf(b).start, executor.SpanOf(a).end);
+}
+
+TEST(DesExecutorTest, MultiDeviceOpWaitsForAllQueues) {
+  DesExecutor executor(ClusterSpec::WithGpus(2));
+  executor.Submit("long", "train", {1}, 4.0);
+  auto group = executor.Submit("group", "train", {0, 1}, 1.0);
+  executor.Run();
+  EXPECT_DOUBLE_EQ(executor.SpanOf(group).start, 4.0);
+}
+
+TEST(DesExecutorTest, ZeroDurationOpsComplete) {
+  DesExecutor executor(ClusterSpec::WithGpus(1));
+  auto a = executor.Submit("a", "transfer", {0}, 0.0);
+  auto b = executor.Submit("b", "train", {0}, 1.0, {a});
+  executor.Run();
+  EXPECT_DOUBLE_EQ(executor.SpanOf(a).end, 0.0);
+  EXPECT_DOUBLE_EQ(executor.SpanOf(b).start, 0.0);
+}
+
+// Property: for program-order submission, the DES executor produces exactly
+// the same schedule as the greedy timeline scheduler, on random DAGs.
+TEST(DesExecutorTest, EquivalentToTimelineSchedulingOnRandomDags) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int num_devices = static_cast<int>(rng.UniformInt(1, 6));
+    const int num_ops = static_cast<int>(rng.UniformInt(1, 40));
+    ClusterSpec spec = ClusterSpec::WithGpus(num_devices);
+    DesExecutor executor(spec);
+    ClusterState timeline(spec);
+
+    std::vector<SimTime> end_times;
+    for (int op = 0; op < num_ops; ++op) {
+      // Random non-empty device subset.
+      std::vector<DeviceId> devices;
+      for (int d = 0; d < num_devices; ++d) {
+        if (rng.UniformInt(0, 1) == 1) {
+          devices.push_back(d);
+        }
+      }
+      if (devices.empty()) {
+        devices.push_back(static_cast<DeviceId>(rng.UniformInt(0, num_devices - 1)));
+      }
+      // Random dependencies on earlier ops.
+      std::vector<DesExecutor::OpId> deps;
+      SimTime ready = 0.0;
+      for (int prior = 0; prior < op; ++prior) {
+        if (rng.UniformInt(0, 4) == 0) {
+          deps.push_back(prior);
+          ready = std::max(ready, end_times[static_cast<size_t>(prior)]);
+        }
+      }
+      const SimTime duration = rng.Uniform(0.0, 10.0);
+      executor.Submit("op" + std::to_string(op), "x", devices, duration, deps);
+      const TraceSpan& span =
+          timeline.ScheduleOp("op" + std::to_string(op), "x", devices, ready, duration);
+      end_times.push_back(span.end);
+    }
+    executor.Run();
+    for (int op = 0; op < num_ops; ++op) {
+      EXPECT_NEAR(executor.SpanOf(op).start, timeline.trace()[static_cast<size_t>(op)].start,
+                  1e-9)
+          << "trial " << trial << " op " << op;
+      EXPECT_NEAR(executor.SpanOf(op).end, end_times[static_cast<size_t>(op)], 1e-9);
+    }
+    EXPECT_NEAR(executor.Makespan(), timeline.Makespan(), 1e-9);
+  }
+}
+
+TEST(DesExecutorTest, RejectsForwardDependencies) {
+  DesExecutor executor(ClusterSpec::WithGpus(1));
+  executor.Submit("a", "x", {0}, 1.0);
+  EXPECT_DEATH(executor.Submit("b", "x", {0}, 1.0, {5}), "");
+}
+
+// --- Trace export -------------------------------------------------------------
+
+TEST(TraceExportTest, ChromeJsonContainsSpansAndThreads) {
+  ClusterState state(ClusterSpec::WithGpus(2));
+  state.ScheduleOp("actor.generate", "generate", {0, 1}, 0.0, 1.5);
+  state.ScheduleOp("critic.update", "train", {0}, 0.0, 0.5);
+  const std::string json = TraceToChromeJson(state);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("actor.generate"), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"train\""), std::string::npos);
+  EXPECT_NE(json.find("GPU 1"), std::string::npos);
+  // Duration in microseconds.
+  EXPECT_NE(json.find("\"dur\":1500000.000"), std::string::npos);
+}
+
+TEST(TraceExportTest, WritesFile) {
+  ClusterState state(ClusterSpec::WithGpus(1));
+  state.ScheduleOp("op", "infer", {0}, 0.0, 1.0);
+  const std::string path = "/tmp/hf_trace_test.json";
+  ASSERT_TRUE(WriteChromeTrace(state, path));
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::remove(path.c_str());
+}
+
+TEST(TraceExportTest, BusyTimeAndUtilization) {
+  ClusterState state(ClusterSpec::WithGpus(2));
+  state.ScheduleOp("a", "train", {0, 1}, 0.0, 2.0);
+  state.ScheduleOp("b", "infer", {0}, 0.0, 2.0);
+  std::map<std::string, double> busy = BusyTimeByCategory(state);
+  EXPECT_DOUBLE_EQ(busy.at("train"), 4.0);
+  EXPECT_DOUBLE_EQ(busy.at("infer"), 2.0);
+  // Makespan 4, device 0 busy 4, device 1 busy 2 -> 6/8.
+  EXPECT_DOUBLE_EQ(MeanUtilization(state), 0.75);
+}
+
+TEST(TraceExportTest, EmptyTraceUtilizationIsZero) {
+  ClusterState state(ClusterSpec::WithGpus(2));
+  EXPECT_DOUBLE_EQ(MeanUtilization(state), 0.0);
+}
+
+}  // namespace
+}  // namespace hybridflow

@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include "src/sim/collective.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/timeline.h"
+#include "src/sim/topology.h"
+
+namespace hybridflow {
+namespace {
+
+// --- Topology ---------------------------------------------------------------
+
+TEST(TopologyTest, WithGpusSingleNode) {
+  ClusterSpec spec = ClusterSpec::WithGpus(4);
+  EXPECT_EQ(spec.num_nodes, 1);
+  EXPECT_EQ(spec.gpus_per_node, 4);
+  EXPECT_EQ(spec.world_size(), 4);
+}
+
+TEST(TopologyTest, WithGpusMultiNode) {
+  ClusterSpec spec = ClusterSpec::WithGpus(128);
+  EXPECT_EQ(spec.num_nodes, 16);
+  EXPECT_EQ(spec.gpus_per_node, 8);
+  EXPECT_EQ(spec.NodeOf(0), 0);
+  EXPECT_EQ(spec.NodeOf(7), 0);
+  EXPECT_EQ(spec.NodeOf(8), 1);
+  EXPECT_EQ(spec.NodeOf(127), 15);
+  EXPECT_TRUE(spec.SameNode(0, 7));
+  EXPECT_FALSE(spec.SameNode(7, 8));
+}
+
+TEST(TopologyTest, NodesSpannedAndMaxPerNode) {
+  ClusterSpec spec = ClusterSpec::WithGpus(32);
+  EXPECT_EQ(NodesSpanned(spec, {0, 1, 2}), 1);
+  EXPECT_EQ(NodesSpanned(spec, {0, 8, 16}), 3);
+  EXPECT_EQ(MaxDevicesPerNode(spec, {0, 1, 8}), 2);
+  EXPECT_TRUE(AllOnOneNode(spec, {4, 5, 6}));
+  EXPECT_FALSE(AllOnOneNode(spec, {7, 8}));
+}
+
+// --- Event queue ------------------------------------------------------------
+
+TEST(EventQueueTest, RunsInTimestampOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.ScheduleAt(2.0, [&] { order.push_back(2); });
+  queue.ScheduleAt(1.0, [&] { order.push_back(1); });
+  queue.ScheduleAt(3.0, [&] { order.push_back(3); });
+  queue.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(queue.now(), 3.0);
+}
+
+TEST(EventQueueTest, EqualTimesRunFifo) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    queue.ScheduleAt(1.0, [&, i] { order.push_back(i); });
+  }
+  queue.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, EventsMayScheduleEvents) {
+  EventQueue queue;
+  int fired = 0;
+  queue.ScheduleAt(1.0, [&] {
+    fired += 1;
+    queue.ScheduleAfter(1.0, [&] { fired += 10; });
+  });
+  queue.RunUntilIdle();
+  EXPECT_EQ(fired, 11);
+  EXPECT_DOUBLE_EQ(queue.now(), 2.0);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtDeadline) {
+  EventQueue queue;
+  int fired = 0;
+  queue.ScheduleAt(1.0, [&] { fired += 1; });
+  queue.ScheduleAt(5.0, [&] { fired += 1; });
+  queue.RunUntil(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(queue.now(), 2.0);
+  EXPECT_EQ(queue.pending(), 1u);
+}
+
+// --- Collectives ------------------------------------------------------------
+
+TEST(CollectiveTest, SingleRankIsFree) {
+  ClusterSpec spec = ClusterSpec::WithGpus(8);
+  EXPECT_DOUBLE_EQ(AllGatherTime(spec, {0}, 1e9), 0.0);
+  EXPECT_DOUBLE_EQ(AllReduceTime(spec, {3}, 1e9), 0.0);
+  EXPECT_DOUBLE_EQ(P2pTime(spec, 2, 2, 1e9), 0.0);
+}
+
+TEST(CollectiveTest, AllReduceIsTwiceReduceScatter) {
+  ClusterSpec spec = ClusterSpec::WithGpus(8);
+  std::vector<DeviceId> group = {0, 1, 2, 3};
+  const double bytes = 1e9;
+  // Identical latency terms aside, all-reduce = reduce-scatter + all-gather.
+  EXPECT_NEAR(AllReduceTime(spec, group, bytes),
+              ReduceScatterTime(spec, group, bytes) + AllGatherTime(spec, group, bytes), 1e-12);
+}
+
+TEST(CollectiveTest, IntraNodeFasterThanCrossNode) {
+  ClusterSpec spec = ClusterSpec::WithGpus(16);
+  std::vector<DeviceId> intra = {0, 1, 2, 3};
+  std::vector<DeviceId> cross = {0, 1, 8, 9};
+  EXPECT_LT(AllGatherTime(spec, intra, 1e9), AllGatherTime(spec, cross, 1e9));
+}
+
+TEST(CollectiveTest, RingBandwidthSharesNicAcrossCoResidentRanks) {
+  ClusterSpec spec = ClusterSpec::WithGpus(16);
+  // 8 ranks per node in a cross-node ring share the 25 GB/s NIC.
+  std::vector<DeviceId> all;
+  for (int i = 0; i < 16; ++i) {
+    all.push_back(i);
+  }
+  EXPECT_NEAR(RingBandwidth(spec, all), 25e9 / 8.0, 1.0);
+  // 1 rank per node: the full NIC is available.
+  EXPECT_NEAR(RingBandwidth(spec, {0, 8}), 25e9, 1.0);
+}
+
+TEST(CollectiveTest, AllGatherMatchesRingFormula) {
+  ClusterSpec spec = ClusterSpec::WithGpus(4);
+  std::vector<DeviceId> group = {0, 1, 2, 3};
+  const double bytes = 4e9;
+  const double expected =
+      (3.0 / 4.0) * bytes / spec.nvlink_bandwidth + 3.0 * spec.link_latency;
+  EXPECT_NEAR(AllGatherTime(spec, group, bytes), expected, 1e-9);
+}
+
+TEST(CollectiveTest, WireBytesPerRankFormula) {
+  EXPECT_DOUBLE_EQ(AllGatherWireBytesPerRank(1, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(AllGatherWireBytesPerRank(4, 100.0), 75.0);
+  EXPECT_DOUBLE_EQ(AllGatherWireBytesPerRank(2, 100.0), 50.0);
+}
+
+TEST(CollectiveTest, P2pCrossNodeUsesNic) {
+  ClusterSpec spec = ClusterSpec::WithGpus(16);
+  EXPECT_NEAR(P2pTime(spec, 0, 8, 25e9), 1.0 + spec.link_latency, 1e-9);
+  EXPECT_LT(P2pTime(spec, 0, 1, 25e9), 0.1);
+}
+
+// --- Memory tracking --------------------------------------------------------
+
+TEST(DeviceMemoryTest, TracksUsageAndPeak) {
+  DeviceMemory memory(100.0);
+  memory.Allocate("weights", 60.0);
+  memory.Allocate("kv", 30.0);
+  EXPECT_DOUBLE_EQ(memory.used(), 90.0);
+  EXPECT_DOUBLE_EQ(memory.peak(), 90.0);
+  memory.Free("kv", 30.0);
+  EXPECT_DOUBLE_EQ(memory.used(), 60.0);
+  EXPECT_DOUBLE_EQ(memory.peak(), 90.0);
+  EXPECT_FALSE(memory.over_capacity());
+}
+
+TEST(DeviceMemoryTest, OverCapacityIsRecordedNotFatal) {
+  DeviceMemory memory(100.0);
+  memory.Allocate("weights", 150.0);
+  EXPECT_TRUE(memory.over_capacity());
+  EXPECT_TRUE(memory.ever_over_capacity());
+  memory.Free("weights", 150.0);
+  EXPECT_FALSE(memory.over_capacity());
+  EXPECT_TRUE(memory.ever_over_capacity());
+}
+
+TEST(DeviceMemoryTest, FreeAllReturnsRemainder) {
+  DeviceMemory memory(100.0);
+  memory.Allocate("kv", 40.0);
+  EXPECT_DOUBLE_EQ(memory.FreeAll("kv"), 40.0);
+  EXPECT_DOUBLE_EQ(memory.FreeAll("kv"), 0.0);
+  EXPECT_DOUBLE_EQ(memory.used(), 0.0);
+}
+
+TEST(DeviceMemoryTest, UsedByTag) {
+  DeviceMemory memory(100.0);
+  memory.Allocate("a", 10.0);
+  memory.Allocate("a", 5.0);
+  memory.Allocate("b", 1.0);
+  EXPECT_DOUBLE_EQ(memory.UsedByTag("a"), 15.0);
+  EXPECT_DOUBLE_EQ(memory.UsedByTag("missing"), 0.0);
+}
+
+// --- Timelines --------------------------------------------------------------
+
+TEST(ClusterStateTest, OpsOnSameDeviceSerialize) {
+  ClusterState state(ClusterSpec::WithGpus(2));
+  state.ScheduleOp("a", "train", {0}, 0.0, 5.0);
+  const TraceSpan& second = state.ScheduleOp("b", "train", {0}, 0.0, 3.0);
+  EXPECT_DOUBLE_EQ(second.start, 5.0);
+  EXPECT_DOUBLE_EQ(second.end, 8.0);
+}
+
+TEST(ClusterStateTest, OpsOnDisjointDevicesOverlap) {
+  ClusterState state(ClusterSpec::WithGpus(2));
+  state.ScheduleOp("a", "train", {0}, 0.0, 5.0);
+  const TraceSpan& other = state.ScheduleOp("b", "train", {1}, 0.0, 3.0);
+  EXPECT_DOUBLE_EQ(other.start, 0.0);
+  EXPECT_DOUBLE_EQ(state.Makespan(), 5.0);
+}
+
+TEST(ClusterStateTest, ReadyTimeDelaysStart) {
+  ClusterState state(ClusterSpec::WithGpus(1));
+  const TraceSpan& span = state.ScheduleOp("a", "infer", {0}, 2.5, 1.0);
+  EXPECT_DOUBLE_EQ(span.start, 2.5);
+  EXPECT_DOUBLE_EQ(span.end, 3.5);
+}
+
+TEST(ClusterStateTest, GroupOpWaitsForAllDevices) {
+  ClusterState state(ClusterSpec::WithGpus(2));
+  state.ScheduleOp("busy", "train", {1}, 0.0, 4.0);
+  const TraceSpan& group_op = state.ScheduleOp("group", "train", {0, 1}, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(group_op.start, 4.0);
+}
+
+TEST(ClusterStateTest, BusyTimeAccumulates) {
+  ClusterState state(ClusterSpec::WithGpus(2));
+  state.ScheduleOp("a", "train", {0}, 0.0, 5.0);
+  state.ScheduleOp("b", "train", {0, 1}, 0.0, 2.0);
+  EXPECT_DOUBLE_EQ(state.BusyTime(0), 7.0);
+  EXPECT_DOUBLE_EQ(state.BusyTime(1), 2.0);
+}
+
+TEST(ClusterStateTest, ResetTimePreservesMemory) {
+  ClusterState state(ClusterSpec::WithGpus(1));
+  state.memory(0).Allocate("weights", 1e9);
+  state.ScheduleOp("a", "train", {0}, 0.0, 5.0);
+  state.ResetTime();
+  EXPECT_DOUBLE_EQ(state.Makespan(), 0.0);
+  EXPECT_TRUE(state.trace().empty());
+  EXPECT_DOUBLE_EQ(state.memory(0).used(), 1e9);
+}
+
+TEST(ClusterStateTest, RenderTraceShowsRows) {
+  ClusterState state(ClusterSpec::WithGpus(2));
+  state.ScheduleOp("a", "generate", {0, 1}, 0.0, 1.0);
+  state.ScheduleOp("b", "train", {0}, 0.0, 1.0);
+  std::string rendered = RenderTrace(state, 40);
+  EXPECT_NE(rendered.find("GPU   0"), std::string::npos);
+  EXPECT_NE(rendered.find('g'), std::string::npos);
+  EXPECT_NE(rendered.find('t'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hybridflow

@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "src/common/rng.h"
+#include "src/tensor/ops.h"
+#include "src/tensor/tensor.h"
+
+namespace hybridflow {
+namespace {
+
+// Numerical gradient check: perturbs each input element and compares the
+// central difference against the autograd gradient of a scalar output.
+void CheckGradient(const std::function<Tensor(const Tensor&)>& fn, Tensor input,
+                   float tolerance = 2e-2f) {
+  Tensor output = fn(input);
+  output.Backward();
+  const std::vector<float> analytic = input.grad();
+  const float epsilon = 1e-2f;
+  for (size_t i = 0; i < input.data().size(); ++i) {
+    const float saved = input.data()[i];
+    input.data()[i] = saved + epsilon;
+    const float plus = fn(input).item();
+    input.data()[i] = saved - epsilon;
+    const float minus = fn(input).item();
+    input.data()[i] = saved;
+    const float numeric = (plus - minus) / (2.0f * epsilon);
+    EXPECT_NEAR(analytic[i], numeric, tolerance) << "element " << i;
+  }
+}
+
+TEST(TensorTest, FactoriesAndAccessors) {
+  Tensor zeros = Tensor::Zeros({2, 3});
+  EXPECT_EQ(zeros.size(), 6);
+  EXPECT_EQ(zeros.ndim(), 2);
+  EXPECT_FLOAT_EQ(zeros.at(1, 2), 0.0f);
+
+  Tensor data = Tensor::FromData({3}, {1.0f, 2.0f, 3.0f});
+  EXPECT_FLOAT_EQ(data.at(1), 2.0f);
+
+  Tensor scalar = Tensor::Scalar(5.0f);
+  EXPECT_FLOAT_EQ(scalar.item(), 5.0f);
+}
+
+TEST(TensorTest, RandnUsesGivenStddev) {
+  Rng rng(3);
+  Tensor t = Tensor::Randn({1000}, rng, 0.5f);
+  double sum = 0.0;
+  double sq = 0.0;
+  for (float x : t.data()) {
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / 1000.0;
+  const double stddev = std::sqrt(sq / 1000.0 - mean * mean);
+  EXPECT_NEAR(mean, 0.0, 0.06);
+  EXPECT_NEAR(stddev, 0.5, 0.06);
+}
+
+TEST(MatMulTest, ForwardValues) {
+  Tensor a = Tensor::FromData({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromData({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(MatMulTest, GradientCheck) {
+  Rng rng(1);
+  Tensor b = Tensor::FromData({3, 2}, {0.1f, -0.2f, 0.3f, 0.4f, -0.5f, 0.6f});
+  CheckGradient([&](const Tensor& a) { return Sum(MatMul(a, b)); },
+                Tensor::Randn({2, 3}, rng, 1.0f));
+  Tensor a = Tensor::FromData({2, 3}, {0.5f, -1.0f, 0.25f, 2.0f, 0.0f, -0.75f});
+  CheckGradient([&](const Tensor& w) { return Sum(MatMul(a, w)); },
+                Tensor::Randn({3, 2}, rng, 1.0f));
+}
+
+TEST(AddTest, BiasBroadcastForwardAndGrad) {
+  Tensor a = Tensor::FromData({2, 2}, {1, 2, 3, 4});
+  Tensor bias = Tensor::FromData({2}, {10, 20}, /*requires_grad=*/true);
+  Tensor out = Add(a, bias);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 11.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 1), 24.0f);
+  Sum(out).Backward();
+  EXPECT_FLOAT_EQ(bias.grad()[0], 2.0f);  // Broadcast over 2 rows.
+  EXPECT_FLOAT_EQ(bias.grad()[1], 2.0f);
+}
+
+TEST(ElementwiseTest, GradientChecks) {
+  Rng rng(2);
+  Tensor other = Tensor::Randn({6}, rng, 1.0f, /*requires_grad=*/false);
+  CheckGradient([&](const Tensor& x) { return Sum(Mul(x, other)); },
+                Tensor::Randn({6}, rng, 1.0f));
+  CheckGradient([&](const Tensor& x) { return Sum(Sub(x, other)); },
+                Tensor::Randn({6}, rng, 1.0f));
+  CheckGradient([&](const Tensor& x) { return Sum(Square(x)); },
+                Tensor::Randn({6}, rng, 1.0f));
+  CheckGradient([&](const Tensor& x) { return Sum(Exp(x)); }, Tensor::Randn({6}, rng, 0.5f));
+  CheckGradient([&](const Tensor& x) { return Sum(Tanh(x)); }, Tensor::Randn({6}, rng, 1.0f));
+  CheckGradient([&](const Tensor& x) { return Sum(Gelu(x)); }, Tensor::Randn({6}, rng, 1.0f));
+  CheckGradient([&](const Tensor& x) { return Mean(Scale(x, 3.0f)); },
+                Tensor::Randn({6}, rng, 1.0f));
+}
+
+TEST(ElementwiseTest, MinimumMaximumPickCorrectBranch) {
+  Tensor a = Tensor::FromData({2}, {1.0f, 5.0f}, true);
+  Tensor b = Tensor::FromData({2}, {3.0f, 2.0f}, false);
+  Tensor lo = Minimum(a, b);
+  EXPECT_FLOAT_EQ(lo.at(0), 1.0f);
+  EXPECT_FLOAT_EQ(lo.at(1), 2.0f);
+  Sum(lo).Backward();
+  EXPECT_FLOAT_EQ(a.grad()[0], 1.0f);  // a chosen.
+  EXPECT_FLOAT_EQ(a.grad()[1], 0.0f);  // b chosen.
+}
+
+TEST(ClampTest, GradientIsMaskInsideRange) {
+  Tensor x = Tensor::FromData({3}, {-2.0f, 0.5f, 2.0f}, true);
+  Tensor clamped = Clamp(x, -1.0f, 1.0f);
+  EXPECT_FLOAT_EQ(clamped.at(0), -1.0f);
+  EXPECT_FLOAT_EQ(clamped.at(1), 0.5f);
+  EXPECT_FLOAT_EQ(clamped.at(2), 1.0f);
+  Sum(clamped).Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.0f);
+  EXPECT_FLOAT_EQ(x.grad()[1], 1.0f);
+  EXPECT_FLOAT_EQ(x.grad()[2], 0.0f);
+}
+
+TEST(LogSoftmaxTest, RowsSumToOneAfterExp) {
+  Rng rng(4);
+  Tensor logits = Tensor::Randn({3, 5}, rng, 2.0f);
+  Tensor log_probs = LogSoftmax(logits);
+  for (int64_t i = 0; i < 3; ++i) {
+    double sum = 0.0;
+    for (int64_t j = 0; j < 5; ++j) {
+      sum += std::exp(log_probs.at(i, j));
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(LogSoftmaxTest, GradientCheck) {
+  Rng rng(5);
+  CheckGradient([&](const Tensor& x) { return Sum(Mul(LogSoftmax(x),
+                                                      Tensor::FromData({2, 3}, {1, 0, 2, -1, 1, 0}))); },
+                Tensor::Randn({2, 3}, rng, 1.0f));
+}
+
+TEST(LogSoftmaxTest, NumericallyStableForLargeLogits) {
+  Tensor logits = Tensor::FromData({1, 3}, {1000.0f, 1000.0f, 1000.0f});
+  Tensor log_probs = LogSoftmax(logits);
+  EXPECT_NEAR(log_probs.at(0, 0), std::log(1.0 / 3.0), 1e-4);
+}
+
+TEST(GatherRowsTest, SelectsAndScattersGrad) {
+  Tensor table = Tensor::FromData({3, 2}, {1, 2, 3, 4, 5, 6}, true);
+  Tensor rows = GatherRows(table, {2, 0, 2});
+  EXPECT_FLOAT_EQ(rows.at(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(rows.at(1, 1), 2.0f);
+  Sum(rows).Backward();
+  EXPECT_FLOAT_EQ(table.grad()[0], 1.0f);  // Row 0 selected once.
+  EXPECT_FLOAT_EQ(table.grad()[2], 0.0f);  // Row 1 never selected.
+  EXPECT_FLOAT_EQ(table.grad()[4], 2.0f);  // Row 2 selected twice.
+}
+
+TEST(PickPerRowTest, PicksAndScattersGrad) {
+  Tensor a = Tensor::FromData({2, 3}, {1, 2, 3, 4, 5, 6}, true);
+  Tensor picked = PickPerRow(a, {2, 0});
+  EXPECT_FLOAT_EQ(picked.at(0), 3.0f);
+  EXPECT_FLOAT_EQ(picked.at(1), 4.0f);
+  Sum(picked).Backward();
+  EXPECT_FLOAT_EQ(a.grad()[2], 1.0f);
+  EXPECT_FLOAT_EQ(a.grad()[3], 1.0f);
+  EXPECT_FLOAT_EQ(a.grad()[0], 0.0f);
+}
+
+TEST(ReshapeTest, PreservesDataPassesGrad) {
+  Tensor a = Tensor::FromData({2, 2}, {1, 2, 3, 4}, true);
+  Tensor flat = Reshape(a, {4});
+  EXPECT_FLOAT_EQ(flat.at(3), 4.0f);
+  Sum(flat).Backward();
+  EXPECT_FLOAT_EQ(a.grad()[0], 1.0f);
+}
+
+TEST(DetachTest, BlocksGradient) {
+  Tensor a = Tensor::FromData({2}, {1.0f, 2.0f}, true);
+  Tensor detached = Detach(a);
+  EXPECT_FALSE(detached.requires_grad());
+  Tensor loss = Sum(Mul(detached, detached));
+  EXPECT_FALSE(loss.requires_grad());
+}
+
+TEST(ConcatRowsTest, StacksAndRoutesGrads) {
+  Tensor a = Tensor::FromData({1, 2}, {1, 2}, true);
+  Tensor b = Tensor::FromData({2, 2}, {3, 4, 5, 6}, true);
+  Tensor c = ConcatRows({a, b});
+  EXPECT_EQ(c.dim(0), 3);
+  EXPECT_FLOAT_EQ(c.at(2, 1), 6.0f);
+  Sum(c).Backward();
+  EXPECT_FLOAT_EQ(a.grad()[0], 1.0f);
+  EXPECT_FLOAT_EQ(b.grad()[3], 1.0f);
+}
+
+TEST(AutogradTest, GradAccumulatesOverSharedSubexpressions) {
+  Tensor x = Tensor::FromData({1}, {3.0f}, true);
+  Tensor y = Add(Mul(x, x), Mul(x, x));  // 2x^2, dy/dx = 4x = 12.
+  y.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 12.0f);
+}
+
+TEST(AutogradTest, DiamondGraphGradIsCorrect) {
+  Tensor x = Tensor::FromData({1}, {2.0f}, true);
+  Tensor a = Scale(x, 3.0f);
+  Tensor b = Square(x);
+  Tensor y = Sum(Mul(a, b));  // 3x^3 -> dy/dx = 9x^2 = 36.
+  y.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 36.0f);
+}
+
+}  // namespace
+}  // namespace hybridflow

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/transfer/protocol.h"
+
+namespace hybridflow {
+namespace {
+
+std::vector<DeviceId> Devices(int n) {
+  std::vector<DeviceId> devices(static_cast<size_t>(n));
+  std::iota(devices.begin(), devices.end(), 0);
+  return devices;
+}
+
+DataBatch MakeBatch(int64_t rows) {
+  DataBatch batch;
+  DataBatch::TokenColumn prompts;
+  for (int64_t i = 0; i < rows; ++i) {
+    prompts.push_back({i});
+  }
+  batch.SetTokens("prompts", std::move(prompts));
+  return batch;
+}
+
+ProtocolContext Context(const ProcessGroups& groups) {
+  ProtocolContext context;
+  context.groups = &groups;
+  return context;
+}
+
+ProtocolContext GenContext(const ProcessGroups& groups, GenParallelConfig gen,
+                           GenGroupingMethod method) {
+  ProtocolContext context = Context(groups);
+  context.gen = gen;
+  context.method = method;
+  context.has_gen = true;
+  return context;
+}
+
+// The fundamental protocol invariant: if every primary rank echoes its
+// input shard, distribute followed by collect reproduces the original batch.
+void CheckRoundTrip(TransferProtocol protocol, const ProtocolContext& context, int64_t rows) {
+  DataBatch input = MakeBatch(rows);
+  std::vector<DataBatch> per_rank = DistributeBatch(protocol, input, context);
+  std::vector<DataBatch> outputs(per_rank.size());
+  for (int rank : PrimaryRanks(protocol, context)) {
+    outputs[static_cast<size_t>(rank)] = per_rank[static_cast<size_t>(rank)];
+  }
+  DataBatch collected = CollectBatch(protocol, outputs, context);
+  ASSERT_EQ(collected.batch_size(), rows);
+  EXPECT_EQ(collected.Tokens("prompts"), input.Tokens("prompts"));
+}
+
+TEST(ProtocolTest, ThreeDProtoRoundTrip) {
+  ProcessGroups groups({2, 2, 4}, Devices(16));
+  CheckRoundTrip(TransferProtocol::k3dProto, Context(groups), 12);
+}
+
+TEST(ProtocolTest, DpProtoRoundTrip) {
+  ProcessGroups groups({1, 1, 8}, Devices(8));
+  CheckRoundTrip(TransferProtocol::kDpProto, Context(groups), 17);
+}
+
+TEST(ProtocolTest, MicroDpRoundTripBothMethods) {
+  ProcessGroups groups({1, 8, 2}, Devices(16));
+  for (auto method : {GenGroupingMethod::kVanilla, GenGroupingMethod::kZeroRedundancy}) {
+    CheckRoundTrip(TransferProtocol::k3dAllMicroDp,
+                   GenContext(groups, {1, 2}, method), 16);
+  }
+}
+
+TEST(ProtocolTest, ThreeDProtoDistributesByDpGroup) {
+  ProcessGroups groups({1, 2, 2}, Devices(4));
+  DataBatch input = MakeBatch(4);
+  std::vector<DataBatch> per_rank =
+      DistributeBatch(TransferProtocol::k3dProto, input, Context(groups));
+  // Ranks 0,1 (d=0) get rows 0-1; ranks 2,3 (d=1) get rows 2-3; identical
+  // within each model-parallel block (broadcast within the group).
+  EXPECT_EQ(per_rank[0].Tokens("prompts"), per_rank[1].Tokens("prompts"));
+  EXPECT_EQ(per_rank[2].Tokens("prompts"), per_rank[3].Tokens("prompts"));
+  EXPECT_EQ(per_rank[0].Tokens("prompts")[0][0], 0);
+  EXPECT_EQ(per_rank[2].Tokens("prompts")[0][0], 2);
+}
+
+TEST(ProtocolTest, ThreeDProtoCollectsFromLastStageTpZero) {
+  // Table 3: output exists on the last pipeline stage, t = 0, per DP group.
+  ProcessGroups groups({2, 2, 2}, Devices(8));
+  std::vector<int> sources = CollectSourceRanks(TransferProtocol::k3dProto, Context(groups));
+  ASSERT_EQ(sources.size(), 2u);
+  for (int rank : sources) {
+    TrainCoords coords = groups.TrainCoordsOf(rank);
+    EXPECT_EQ(coords.p, 1);  // Last of 2 stages.
+    EXPECT_EQ(coords.t, 0);
+  }
+}
+
+TEST(ProtocolTest, OneToAllBroadcastsEverywhere) {
+  ProcessGroups groups({1, 2, 2}, Devices(4));
+  DataBatch input = MakeBatch(3);
+  std::vector<DataBatch> per_rank =
+      DistributeBatch(TransferProtocol::kOneToAll, input, Context(groups));
+  for (const DataBatch& shard : per_rank) {
+    EXPECT_EQ(shard.batch_size(), 3);
+  }
+  // Every rank runs the same computation under ONE_TO_ALL (SPMD), so the
+  // primaries equal the collect sources: all ranks.
+  EXPECT_EQ(PrimaryRanks(TransferProtocol::kOneToAll, Context(groups)).size(), 4u);
+}
+
+TEST(ProtocolTest, PpOnlyCollectsOnePerStage) {
+  ProcessGroups groups({4, 2, 1}, Devices(8));
+  std::vector<int> sources =
+      CollectSourceRanks(TransferProtocol::k3dPpOnly, Context(groups));
+  ASSERT_EQ(sources.size(), 4u);
+  for (size_t i = 0; i < sources.size(); ++i) {
+    TrainCoords coords = groups.TrainCoordsOf(sources[i]);
+    EXPECT_EQ(coords.p, static_cast<int>(i));
+    EXPECT_EQ(coords.t, 0);
+    EXPECT_EQ(coords.d, 0);
+  }
+}
+
+TEST(ProtocolTest, AllToAllGathersEveryRank) {
+  ProcessGroups groups({1, 1, 4}, Devices(4));
+  DataBatch input = MakeBatch(2);
+  std::vector<DataBatch> per_rank =
+      DistributeBatch(TransferProtocol::kAllToAll, input, Context(groups));
+  std::vector<DataBatch> outputs = per_rank;  // Echo.
+  DataBatch collected = CollectBatch(TransferProtocol::kAllToAll, outputs, Context(groups));
+  EXPECT_EQ(collected.batch_size(), 8);  // 4 ranks x 2 rows each.
+}
+
+TEST(ProtocolTest, MicroDpPrimariesAreReplicaLeaders) {
+  ProcessGroups groups({1, 4, 2}, Devices(8));
+  auto context = GenContext(groups, {1, 2}, GenGroupingMethod::kZeroRedundancy);
+  std::vector<int> primaries = PrimaryRanks(TransferProtocol::k3dAllMicroDp, context);
+  // d * micro_dp = 2 * 2 = 4 generation replicas.
+  ASSERT_EQ(primaries.size(), 4u);
+  for (int rank : primaries) {
+    GenCoords coords = groups.GenCoordsOf(rank, context.gen, context.method);
+    EXPECT_EQ(coords.tg, 0);
+    EXPECT_EQ(coords.pg, 0);
+  }
+}
+
+TEST(ProtocolTest, MicroDpRequiresGenContext) {
+  ProcessGroups groups({1, 4, 2}, Devices(8));
+  DataBatch input = MakeBatch(4);
+  EXPECT_DEATH(DistributeBatch(TransferProtocol::k3dAllMicroDp, input, Context(groups)),
+               "requires a generation config");
+}
+
+TEST(ProtocolTest, NamesAreStable) {
+  EXPECT_STREQ(TransferProtocolName(TransferProtocol::k3dProto), "3D_PROTO");
+  EXPECT_STREQ(TransferProtocolName(TransferProtocol::k3dAllMicroDp), "3D_ALL_MICRO_DP");
+  EXPECT_STREQ(TransferProtocolName(TransferProtocol::kOneToAll), "ONE_TO_ALL");
+}
+
+TEST(ProtocolRegistryTest, RegisterAndInvokeCustomProtocol) {
+  CustomProtocol protocol;
+  protocol.name = "REVERSE_PROTO";
+  protocol.distribute = [](const DataBatch& input, const ProtocolContext& context) {
+    std::vector<DataBatch> out(
+        static_cast<size_t>(context.groups->world_size()));
+    for (size_t rank = 0; rank < out.size(); ++rank) {
+      out[out.size() - 1 - rank] = input;
+    }
+    return out;
+  };
+  protocol.collect = [](const std::vector<DataBatch>& outputs, const ProtocolContext&) {
+    return outputs.front();
+  };
+  int id = ProtocolRegistry::Instance().Register(protocol);
+  EXPECT_TRUE(ProtocolRegistry::Instance().Has("REVERSE_PROTO"));
+  const CustomProtocol& fetched = ProtocolRegistry::Instance().Get(id);
+  ProcessGroups groups({1, 1, 2}, Devices(2));
+  ProtocolContext context = Context(groups);
+  DataBatch input = MakeBatch(2);
+  std::vector<DataBatch> distributed = fetched.distribute(input, context);
+  EXPECT_EQ(distributed.size(), 2u);
+  DataBatch collected = fetched.collect(distributed, context);
+  EXPECT_EQ(collected.batch_size(), 2);
+}
+
+}  // namespace
+}  // namespace hybridflow

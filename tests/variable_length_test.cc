@@ -1,0 +1,138 @@
+// Variable-length (EOS-terminated) generation through the full worker
+// pipeline: ragged responses, per-token columns, advantages, and updates.
+#include <gtest/gtest.h>
+
+#include "src/rlhf/advantage.h"
+#include "src/workers/model_workers.h"
+#include "src/workers/token_context.h"
+
+namespace hybridflow {
+namespace {
+
+RealComputeOptions EosReal() {
+  RealComputeOptions real;
+  real.enabled = true;
+  real.seed = 31;
+  real.task = AlignmentTask{};
+  real.task.prompt_len = 4;
+  real.task.response_len = 8;
+  real.task.use_eos = true;
+  real.net.vocab_size = real.task.vocab_size;
+  real.net.context_window = 3;
+  real.net.embed_dim = 8;
+  real.net.hidden_dim = 16;
+  return real;
+}
+
+struct EosFixture : public ::testing::Test {
+  EosFixture() : controller(ClusterSpec::WithGpus(4)) {
+    pool = controller.CreatePoolRange("pool", 0, 4);
+    WorkerGroupOptions options;
+    options.name = "actor";
+    options.model = ModelSpec::Llama7B();
+    options.trainable = true;
+    options.train_cfg = {1, 2, 2};
+    ActorOptions actor_options;
+    actor_options.gen = GenParallelConfig{1, 1};
+    actor = std::make_unique<ActorWorkerGroup>(options, pool, &controller, EosReal(),
+                                               actor_options);
+    workload.global_batch = 64;
+    workload.prompt_len = 128;
+    workload.response_len = 128;
+  }
+
+  Controller controller;
+  std::shared_ptr<ResourcePool> pool;
+  std::unique_ptr<ActorWorkerGroup> actor;
+  RlhfWorkloadSpec workload;
+};
+
+TEST_F(EosFixture, GenerationStopsAtEosOrMaxLength) {
+  PromptDataset dataset(actor->real().task, 5);
+  BatchFuture prompts = BatchFuture::Immediate(dataset.NextBatch(48));
+  BatchFuture out = actor->GenerateSequences(prompts, workload);
+  const AlignmentTask& task = actor->real().task;
+  bool saw_short = false;
+  for (const std::vector<int64_t>& response : out.data.Tokens("responses")) {
+    ASSERT_GE(response.size(), 1u);
+    ASSERT_LE(response.size(), static_cast<size_t>(task.response_len));
+    // Any EOS must be terminal.
+    for (size_t k = 0; k + 1 < response.size(); ++k) {
+      EXPECT_NE(response[k], task.eos_token());
+    }
+    if (response.size() < static_cast<size_t>(task.response_len)) {
+      saw_short = true;
+      EXPECT_EQ(response.back(), task.eos_token());
+    }
+  }
+  // With a random init over 16 tokens and 48 x 8 chances, EOS fires.
+  EXPECT_TRUE(saw_short);
+  // Log-prob rows mirror response lengths.
+  const auto& log_probs = out.data.Float("log_probs");
+  const auto& responses = out.data.Tokens("responses");
+  for (size_t i = 0; i < responses.size(); ++i) {
+    EXPECT_EQ(log_probs[i].size(), responses[i].size());
+  }
+}
+
+TEST_F(EosFixture, RaggedBatchFlowsThroughAdvantagesAndUpdate) {
+  PromptDataset dataset(actor->real().task, 6);
+  BatchFuture prompts = BatchFuture::Immediate(dataset.NextBatch(32));
+  BatchFuture experience = actor->GenerateSequences(prompts, workload);
+  BatchFuture with_lp = actor->ComputeLogProb(experience, workload, "ref_log_probs");
+
+  DataBatch data = with_lp.data;
+  // Sample-level rewards via the task.
+  DataBatch::FloatColumn rewards;
+  const AlignmentTask& task = actor->real().task;
+  for (int64_t i = 0; i < data.batch_size(); ++i) {
+    rewards.push_back({task.SampleReward(data.Tokens("prompts")[static_cast<size_t>(i)],
+                                         data.Tokens("responses")[static_cast<size_t>(i)])});
+  }
+  data.SetFloat("rewards", std::move(rewards));
+  AdvantageConfig config;
+  config.estimator = AdvantageEstimator::kRemax;
+  DataBatch::FloatColumn baselines(static_cast<size_t>(data.batch_size()), {0.0f});
+  data.SetFloat("baseline_rewards", std::move(baselines));
+  DataBatch with_adv = ComputeAdvantages(data, config);
+  // Advantage rows are ragged and match response lengths.
+  for (int64_t i = 0; i < with_adv.batch_size(); ++i) {
+    EXPECT_EQ(with_adv.Float("advantages")[static_cast<size_t>(i)].size(),
+              with_adv.Tokens("responses")[static_cast<size_t>(i)].size());
+  }
+  // An update runs end-to-end on the ragged batch.
+  BatchFuture minibatch;
+  minibatch.data = with_adv;
+  ActorUpdateConfig update;
+  update.loss.kind = PolicyLossKind::kReinforce;
+  BatchFuture out = actor->UpdateActor(minibatch, workload, update);
+  ASSERT_TRUE(out.data.HasFloat("actor_loss"));
+}
+
+TEST(UnflattenRaggedTest, SplitsByLengths) {
+  std::vector<float> flat = {1, 2, 3, 4, 5, 6};
+  std::vector<std::vector<float>> rows = UnflattenRagged(flat, {1, 3, 0, 2});
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0], (std::vector<float>{1}));
+  EXPECT_EQ(rows[1], (std::vector<float>{2, 3, 4}));
+  EXPECT_TRUE(rows[2].empty());
+  EXPECT_EQ(rows[3], (std::vector<float>{5, 6}));
+}
+
+TEST(AlignmentTaskEosTest, EosTokenIsNeutralAndPromptsAvoidIt) {
+  AlignmentTask task;
+  task.use_eos = true;
+  EXPECT_FLOAT_EQ(task.TokenReward(3, task.eos_token()), 0.0f);
+  EXPECT_FLOAT_EQ(task.TokenReward(3, 4), 1.0f);
+  PromptDataset dataset(task, 7);
+  DataBatch batch = dataset.NextBatch(32);
+  for (const std::vector<int64_t>& prompt : batch.Tokens("prompts")) {
+    for (int64_t token : prompt) {
+      EXPECT_NE(token, task.eos_token());
+      EXPECT_NE(token, task.toxic_token());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hybridflow

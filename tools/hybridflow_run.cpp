@@ -1,0 +1,208 @@
+// hybridflow_run: config-driven experiment runner.
+//
+// Reads a `key = value` config (see configs/*.cfg), builds the requested
+// RLHF system on the simulated cluster, runs it, and reports throughput,
+// stage breakdowns, learning metrics (when the real data plane is on), and
+// optionally a Chrome trace of the execution pattern.
+//
+// Usage: hybridflow_run <config-file> [key=value overrides...]
+//
+// Recognized keys (defaults in parentheses):
+//   system            hybridflow | deepspeed-chat | openrlhf | nemo (hybridflow)
+//   algorithm         ppo | remax | safe-rlhf | grpo (ppo)
+//   cluster.gpus      (16)       cluster.gpus_per_node (8)
+//   model.actor       7B|13B|34B|70B (7B)     model.critic (same as actor)
+//   placement         auto | colocate | standalone | split (auto)
+//   workload.global_batch (1024) workload.prompt_len (1024)
+//   workload.response_len (1024) workload.updates (8)
+//   run.warmup (1)    run.iterations (3)
+//   run.real_compute  (false)    run.real_batch (32)    run.seed (1)
+//   run.arch          mlp | transformer (mlp) — toy policy architecture
+//   run.trace_path    write a Chrome trace JSON of the last iteration
+//   run.checkpoint_path  save a final checkpoint (real compute only)
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "src/baselines/system_builder.h"
+#include "src/ckpt/checkpoint.h"
+#include "src/common/config.h"
+#include "src/common/strings.h"
+#include "src/sim/trace_export.h"
+
+namespace hybridflow {
+namespace {
+
+RlhfSystem ParseSystem(const std::string& name) {
+  if (name == "hybridflow") {
+    return RlhfSystem::kHybridFlow;
+  }
+  if (name == "deepspeed-chat") {
+    return RlhfSystem::kDeepSpeedChat;
+  }
+  if (name == "openrlhf") {
+    return RlhfSystem::kOpenRlhf;
+  }
+  if (name == "nemo") {
+    return RlhfSystem::kNemoAligner;
+  }
+  std::cerr << "unknown system: " << name << "\n";
+  std::exit(2);
+}
+
+RlhfAlgorithm ParseAlgorithm(const std::string& name) {
+  if (name == "ppo") {
+    return RlhfAlgorithm::kPpo;
+  }
+  if (name == "remax") {
+    return RlhfAlgorithm::kRemax;
+  }
+  if (name == "safe-rlhf") {
+    return RlhfAlgorithm::kSafeRlhf;
+  }
+  if (name == "grpo") {
+    return RlhfAlgorithm::kGrpo;
+  }
+  std::cerr << "unknown algorithm: " << name << "\n";
+  std::exit(2);
+}
+
+PlacementKind ParsePlacement(const std::string& name) {
+  if (name == "auto") {
+    return PlacementKind::kAuto;
+  }
+  if (name == "colocate") {
+    return PlacementKind::kColocate;
+  }
+  if (name == "standalone") {
+    return PlacementKind::kStandalone;
+  }
+  if (name == "split") {
+    return PlacementKind::kSplit;
+  }
+  std::cerr << "unknown placement: " << name << "\n";
+  std::exit(2);
+}
+
+int Run(const ConfigMap& config) {
+  SystemBuildConfig build;
+  build.system = ParseSystem(config.GetString("system", "hybridflow"));
+  build.algorithm = ParseAlgorithm(config.GetString("algorithm", "ppo"));
+  build.num_gpus = static_cast<int>(config.GetInt("cluster.gpus", 16));
+  build.gpus_per_node = static_cast<int>(config.GetInt("cluster.gpus_per_node", 8));
+  const std::string actor_name = config.GetString("model.actor", "7B");
+  build.actor_model = ModelSpec::ByName(actor_name);
+  build.critic_model = ModelSpec::ByName(config.GetString("model.critic", actor_name));
+  build.placement = ParsePlacement(config.GetString("placement", "auto"));
+  build.workload.global_batch = config.GetInt("workload.global_batch", 1024);
+  build.workload.prompt_len = config.GetInt("workload.prompt_len", 1024);
+  build.workload.response_len = config.GetInt("workload.response_len", 1024);
+  build.workload.updates_per_iteration =
+      static_cast<int>(config.GetInt("workload.updates", 8));
+  build.real_compute = config.GetBool("run.real_compute", false);
+  if (config.GetString("run.arch", "mlp") == "transformer") {
+    build.real_arch = PolicyArch::kTransformer;
+  }
+  build.real_batch = config.GetInt("run.real_batch", 32);
+  build.seed = static_cast<uint64_t>(config.GetInt("run.seed", 1));
+
+  std::cout << "system=" << RlhfSystemName(build.system)
+            << " algorithm=" << RlhfAlgorithmName(build.algorithm) << " gpus=" << build.num_gpus
+            << " actor=" << build.actor_model.name << " critic=" << build.critic_model.name
+            << "\n";
+
+  RlhfSystemInstance instance = BuildSystem(build);
+  if (!instance.feasible) {
+    std::cout << "RESULT: infeasible (models do not fit this cluster)\n";
+    return 1;
+  }
+  if (build.system == RlhfSystem::kHybridFlow) {
+    std::cout << "mapping: " << instance.mapping.sets.size() << " colocated set(s), estimated "
+              << HumanSeconds(instance.mapping.est_iteration_seconds) << "/iter\n";
+    for (const auto& [name, model] : instance.mapping.models) {
+      std::cout << "  " << name << ": p-t-d " << model.train.ToString()
+                << (model.backend == WorkerBackend::k3dParallel ? " (3D)" : " (ZeRO)");
+      if (name == "actor") {
+        std::cout << ", generation " << model.gen.ToString();
+      }
+      std::cout << "\n";
+    }
+  }
+
+  const int warmup = static_cast<int>(config.GetInt("run.warmup", 1));
+  const int iterations = static_cast<int>(config.GetInt("run.iterations", 3));
+  for (int i = 0; i < warmup; ++i) {
+    instance.RunIteration();
+  }
+  instance.controller->cluster().ClearTrace();
+  IterationMetrics last;
+  double throughput_sum = 0.0;
+  for (int i = 0; i < iterations; ++i) {
+    last = instance.RunIteration();
+    throughput_sum += last.throughput_tokens_per_sec;
+    std::cout << StrFormat("iter %2d: %s, %.0f tok/s", i,
+                           HumanSeconds(last.iteration_seconds).c_str(),
+                           last.throughput_tokens_per_sec);
+    if (build.real_compute) {
+      std::cout << StrFormat(", reward %.3f, toxicity %.3f", last.mean_reward,
+                             last.toxicity_rate);
+    }
+    std::cout << "\n";
+  }
+  std::cout << StrFormat("RESULT: mean throughput %.0f tokens/sec, utilization %.0f%%\n",
+                         throughput_sum / iterations,
+                         100.0 * MeanUtilization(instance.controller->cluster()));
+  std::cout << "busy time by stage:";
+  for (const auto& [category, seconds] : last.busy_by_category) {
+    std::cout << " " << category << "=" << HumanSeconds(seconds);
+  }
+  std::cout << " (GPU-seconds, last iteration)\n";
+
+  const std::string trace_path = config.GetString("run.trace_path");
+  if (!trace_path.empty()) {
+    if (WriteChromeTrace(instance.controller->cluster(), trace_path)) {
+      std::cout << "trace written to " << trace_path << " (open in chrome://tracing)\n";
+    } else {
+      std::cerr << "failed to write trace to " << trace_path << "\n";
+    }
+  }
+  const std::string checkpoint_path = config.GetString("run.checkpoint_path");
+  if (!checkpoint_path.empty() && build.real_compute) {
+    CheckpointManager manager;
+    std::map<std::string, const PolicyNet*> nets;
+    nets["actor"] = &instance.actor->net();
+    if (instance.critic != nullptr) {
+      nets["critic"] = &instance.critic->net();
+    }
+    manager.Capture(warmup + iterations, 0, nets);
+    if (manager.SaveToFile(checkpoint_path)) {
+      std::cout << "checkpoint written to " << checkpoint_path << "\n";
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace hybridflow
+
+int main(int argc, char** argv) {
+  using namespace hybridflow;
+  if (argc < 2) {
+    std::cerr << "usage: " << argv[0] << " <config-file> [key=value ...]\n";
+    return 2;
+  }
+  ConfigMap config;
+  std::string error;
+  if (!config.ParseFile(argv[1], &error)) {
+    std::cerr << "config error: " << error << "\n";
+    return 2;
+  }
+  for (int i = 2; i < argc; ++i) {
+    if (!config.ParseString(argv[i], &error)) {
+      std::cerr << "override error in '" << argv[i] << "': " << error << "\n";
+      return 2;
+    }
+  }
+  return Run(config);
+}
