@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_large_critic.dir/bench_fig13_large_critic.cc.o"
+  "CMakeFiles/bench_fig13_large_critic.dir/bench_fig13_large_critic.cc.o.d"
+  "bench_fig13_large_critic"
+  "bench_fig13_large_critic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_large_critic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

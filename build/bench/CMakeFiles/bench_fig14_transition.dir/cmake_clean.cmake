@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_transition.dir/bench_fig14_transition.cc.o"
+  "CMakeFiles/bench_fig14_transition.dir/bench_fig14_transition.cc.o.d"
+  "bench_fig14_transition"
+  "bench_fig14_transition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_transition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

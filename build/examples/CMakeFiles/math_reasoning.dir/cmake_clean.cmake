@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/math_reasoning.dir/math_reasoning.cpp.o"
+  "CMakeFiles/math_reasoning.dir/math_reasoning.cpp.o.d"
+  "math_reasoning"
+  "math_reasoning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/math_reasoning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safe_rlhf.dir/safe_rlhf.cpp.o"
+  "CMakeFiles/safe_rlhf.dir/safe_rlhf.cpp.o.d"
+  "safe_rlhf"
+  "safe_rlhf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safe_rlhf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/transition_study.cpp" "examples/CMakeFiles/transition_study.dir/transition_study.cpp.o" "gcc" "examples/CMakeFiles/transition_study.dir/transition_study.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/hf_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/hf_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/rlhf/CMakeFiles/hf_rlhf.dir/DependInfo.cmake"
+  "/root/repo/build/src/workers/CMakeFiles/hf_workers.dir/DependInfo.cmake"
+  "/root/repo/build/src/hybridengine/CMakeFiles/hf_hybridengine.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/hf_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvcache/CMakeFiles/hf_kvcache.dir/DependInfo.cmake"
+  "/root/repo/build/src/rlhf/CMakeFiles/hf_rlhf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/controller/CMakeFiles/hf_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hf_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/transfer/CMakeFiles/hf_transfer.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/hf_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/hf_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hf_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

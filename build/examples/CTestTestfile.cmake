@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "3")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_compare_systems "/root/repo/build/examples/compare_systems" "7B" "16")
+set_tests_properties(example_compare_systems PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_math_reasoning "/root/repo/build/examples/math_reasoning" "3")
+set_tests_properties(example_math_reasoning PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_safe_rlhf "/root/repo/build/examples/safe_rlhf" "3")
+set_tests_properties(example_safe_rlhf PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_placement_explorer "/root/repo/build/examples/placement_explorer" "7B" "7B" "16")
+set_tests_properties(example_placement_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_transition_study "/root/repo/build/examples/transition_study" "7B" "1" "8" "2")
+set_tests_properties(example_transition_study PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_full_pipeline "/root/repo/build/examples/full_pipeline" "3")
+set_tests_properties(example_full_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_custom_protocol "/root/repo/build/examples/custom_protocol")
+set_tests_properties(example_custom_protocol PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("model")
+subdirs("parallel")
+subdirs("perf")
+subdirs("tensor")
+subdirs("nn")
+subdirs("data")
+subdirs("transfer")
+subdirs("controller")
+subdirs("workers")
+subdirs("hybridengine")
+subdirs("rlhf")
+subdirs("ckpt")
+subdirs("kvcache")
+subdirs("mapping")
+subdirs("baselines")

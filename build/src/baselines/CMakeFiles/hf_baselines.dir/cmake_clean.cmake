@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hf_baselines.dir/system_builder.cc.o"
+  "CMakeFiles/hf_baselines.dir/system_builder.cc.o.d"
+  "libhf_baselines.a"
+  "libhf_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hf_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

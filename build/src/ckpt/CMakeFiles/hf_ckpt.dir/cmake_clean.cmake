@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hf_ckpt.dir/checkpoint.cc.o"
+  "CMakeFiles/hf_ckpt.dir/checkpoint.cc.o.d"
+  "CMakeFiles/hf_ckpt.dir/trainer.cc.o"
+  "CMakeFiles/hf_ckpt.dir/trainer.cc.o.d"
+  "libhf_ckpt.a"
+  "libhf_ckpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hf_ckpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

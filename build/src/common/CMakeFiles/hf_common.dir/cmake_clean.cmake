@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hf_common.dir/config.cc.o"
+  "CMakeFiles/hf_common.dir/config.cc.o.d"
+  "CMakeFiles/hf_common.dir/logging.cc.o"
+  "CMakeFiles/hf_common.dir/logging.cc.o.d"
+  "CMakeFiles/hf_common.dir/rng.cc.o"
+  "CMakeFiles/hf_common.dir/rng.cc.o.d"
+  "CMakeFiles/hf_common.dir/strings.cc.o"
+  "CMakeFiles/hf_common.dir/strings.cc.o.d"
+  "CMakeFiles/hf_common.dir/thread_pool.cc.o"
+  "CMakeFiles/hf_common.dir/thread_pool.cc.o.d"
+  "libhf_common.a"
+  "libhf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

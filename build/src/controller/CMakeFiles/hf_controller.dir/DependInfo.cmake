@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/controller/controller.cc" "src/controller/CMakeFiles/hf_controller.dir/controller.cc.o" "gcc" "src/controller/CMakeFiles/hf_controller.dir/controller.cc.o.d"
+  "/root/repo/src/controller/resource_pool.cc" "src/controller/CMakeFiles/hf_controller.dir/resource_pool.cc.o" "gcc" "src/controller/CMakeFiles/hf_controller.dir/resource_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hf_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

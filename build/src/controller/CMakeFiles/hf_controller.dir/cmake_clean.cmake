@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hf_controller.dir/controller.cc.o"
+  "CMakeFiles/hf_controller.dir/controller.cc.o.d"
+  "CMakeFiles/hf_controller.dir/resource_pool.cc.o"
+  "CMakeFiles/hf_controller.dir/resource_pool.cc.o.d"
+  "libhf_controller.a"
+  "libhf_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hf_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/alignment_task.cc" "src/data/CMakeFiles/hf_data.dir/alignment_task.cc.o" "gcc" "src/data/CMakeFiles/hf_data.dir/alignment_task.cc.o.d"
+  "/root/repo/src/data/data_batch.cc" "src/data/CMakeFiles/hf_data.dir/data_batch.cc.o" "gcc" "src/data/CMakeFiles/hf_data.dir/data_batch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hf_data.dir/alignment_task.cc.o"
+  "CMakeFiles/hf_data.dir/alignment_task.cc.o.d"
+  "CMakeFiles/hf_data.dir/data_batch.cc.o"
+  "CMakeFiles/hf_data.dir/data_batch.cc.o.d"
+  "libhf_data.a"
+  "libhf_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hf_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hf_hybridengine.dir/hybrid_engine.cc.o"
+  "CMakeFiles/hf_hybridengine.dir/hybrid_engine.cc.o.d"
+  "libhf_hybridengine.a"
+  "libhf_hybridengine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hf_hybridengine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

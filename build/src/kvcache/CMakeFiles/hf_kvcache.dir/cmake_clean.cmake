@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hf_kvcache.dir/block_manager.cc.o"
+  "CMakeFiles/hf_kvcache.dir/block_manager.cc.o.d"
+  "libhf_kvcache.a"
+  "libhf_kvcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hf_kvcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

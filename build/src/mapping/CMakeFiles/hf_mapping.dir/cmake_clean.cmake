@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hf_mapping.dir/device_mapper.cc.o"
+  "CMakeFiles/hf_mapping.dir/device_mapper.cc.o.d"
+  "libhf_mapping.a"
+  "libhf_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hf_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

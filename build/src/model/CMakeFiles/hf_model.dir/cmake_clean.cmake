@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hf_model.dir/model_spec.cc.o"
+  "CMakeFiles/hf_model.dir/model_spec.cc.o.d"
+  "libhf_model.a"
+  "libhf_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hf_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

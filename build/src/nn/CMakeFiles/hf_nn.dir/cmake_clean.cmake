@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hf_nn.dir/adam.cc.o"
+  "CMakeFiles/hf_nn.dir/adam.cc.o.d"
+  "CMakeFiles/hf_nn.dir/policy_net.cc.o"
+  "CMakeFiles/hf_nn.dir/policy_net.cc.o.d"
+  "libhf_nn.a"
+  "libhf_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hf_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parallel/parallel_config.cc" "src/parallel/CMakeFiles/hf_parallel.dir/parallel_config.cc.o" "gcc" "src/parallel/CMakeFiles/hf_parallel.dir/parallel_config.cc.o.d"
+  "/root/repo/src/parallel/process_groups.cc" "src/parallel/CMakeFiles/hf_parallel.dir/process_groups.cc.o" "gcc" "src/parallel/CMakeFiles/hf_parallel.dir/process_groups.cc.o.d"
+  "/root/repo/src/parallel/shard_range.cc" "src/parallel/CMakeFiles/hf_parallel.dir/shard_range.cc.o" "gcc" "src/parallel/CMakeFiles/hf_parallel.dir/shard_range.cc.o.d"
+  "/root/repo/src/parallel/zero_config.cc" "src/parallel/CMakeFiles/hf_parallel.dir/zero_config.cc.o" "gcc" "src/parallel/CMakeFiles/hf_parallel.dir/zero_config.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/hf_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hf_parallel.dir/parallel_config.cc.o"
+  "CMakeFiles/hf_parallel.dir/parallel_config.cc.o.d"
+  "CMakeFiles/hf_parallel.dir/process_groups.cc.o"
+  "CMakeFiles/hf_parallel.dir/process_groups.cc.o.d"
+  "CMakeFiles/hf_parallel.dir/shard_range.cc.o"
+  "CMakeFiles/hf_parallel.dir/shard_range.cc.o.d"
+  "CMakeFiles/hf_parallel.dir/zero_config.cc.o"
+  "CMakeFiles/hf_parallel.dir/zero_config.cc.o.d"
+  "libhf_parallel.a"
+  "libhf_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hf_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

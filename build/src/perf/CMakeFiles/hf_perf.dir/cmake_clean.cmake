@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hf_perf.dir/perf_model.cc.o"
+  "CMakeFiles/hf_perf.dir/perf_model.cc.o.d"
+  "CMakeFiles/hf_perf.dir/pipeline_schedule.cc.o"
+  "CMakeFiles/hf_perf.dir/pipeline_schedule.cc.o.d"
+  "libhf_perf.a"
+  "libhf_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hf_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

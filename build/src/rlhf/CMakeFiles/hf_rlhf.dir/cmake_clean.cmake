@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hf_rlhf.dir/pretraining.cc.o"
+  "CMakeFiles/hf_rlhf.dir/pretraining.cc.o.d"
+  "CMakeFiles/hf_rlhf.dir/rlhf_program.cc.o"
+  "CMakeFiles/hf_rlhf.dir/rlhf_program.cc.o.d"
+  "libhf_rlhf.a"
+  "libhf_rlhf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hf_rlhf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

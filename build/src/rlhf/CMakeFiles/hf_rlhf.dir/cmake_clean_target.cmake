@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhf_rlhf.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rlhf/advantage.cc" "src/rlhf/CMakeFiles/hf_rlhf_core.dir/advantage.cc.o" "gcc" "src/rlhf/CMakeFiles/hf_rlhf_core.dir/advantage.cc.o.d"
+  "/root/repo/src/rlhf/kl_controller.cc" "src/rlhf/CMakeFiles/hf_rlhf_core.dir/kl_controller.cc.o" "gcc" "src/rlhf/CMakeFiles/hf_rlhf_core.dir/kl_controller.cc.o.d"
+  "/root/repo/src/rlhf/losses.cc" "src/rlhf/CMakeFiles/hf_rlhf_core.dir/losses.cc.o" "gcc" "src/rlhf/CMakeFiles/hf_rlhf_core.dir/losses.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hf_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hf_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hf_rlhf_core.dir/advantage.cc.o"
+  "CMakeFiles/hf_rlhf_core.dir/advantage.cc.o.d"
+  "CMakeFiles/hf_rlhf_core.dir/kl_controller.cc.o"
+  "CMakeFiles/hf_rlhf_core.dir/kl_controller.cc.o.d"
+  "CMakeFiles/hf_rlhf_core.dir/losses.cc.o"
+  "CMakeFiles/hf_rlhf_core.dir/losses.cc.o.d"
+  "libhf_rlhf_core.a"
+  "libhf_rlhf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hf_rlhf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/collective.cc" "src/sim/CMakeFiles/hf_sim.dir/collective.cc.o" "gcc" "src/sim/CMakeFiles/hf_sim.dir/collective.cc.o.d"
+  "/root/repo/src/sim/des_executor.cc" "src/sim/CMakeFiles/hf_sim.dir/des_executor.cc.o" "gcc" "src/sim/CMakeFiles/hf_sim.dir/des_executor.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/sim/CMakeFiles/hf_sim.dir/event_queue.cc.o" "gcc" "src/sim/CMakeFiles/hf_sim.dir/event_queue.cc.o.d"
+  "/root/repo/src/sim/timeline.cc" "src/sim/CMakeFiles/hf_sim.dir/timeline.cc.o" "gcc" "src/sim/CMakeFiles/hf_sim.dir/timeline.cc.o.d"
+  "/root/repo/src/sim/topology.cc" "src/sim/CMakeFiles/hf_sim.dir/topology.cc.o" "gcc" "src/sim/CMakeFiles/hf_sim.dir/topology.cc.o.d"
+  "/root/repo/src/sim/trace_export.cc" "src/sim/CMakeFiles/hf_sim.dir/trace_export.cc.o" "gcc" "src/sim/CMakeFiles/hf_sim.dir/trace_export.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

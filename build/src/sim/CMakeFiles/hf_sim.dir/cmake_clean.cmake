@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hf_sim.dir/collective.cc.o"
+  "CMakeFiles/hf_sim.dir/collective.cc.o.d"
+  "CMakeFiles/hf_sim.dir/des_executor.cc.o"
+  "CMakeFiles/hf_sim.dir/des_executor.cc.o.d"
+  "CMakeFiles/hf_sim.dir/event_queue.cc.o"
+  "CMakeFiles/hf_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/hf_sim.dir/timeline.cc.o"
+  "CMakeFiles/hf_sim.dir/timeline.cc.o.d"
+  "CMakeFiles/hf_sim.dir/topology.cc.o"
+  "CMakeFiles/hf_sim.dir/topology.cc.o.d"
+  "CMakeFiles/hf_sim.dir/trace_export.cc.o"
+  "CMakeFiles/hf_sim.dir/trace_export.cc.o.d"
+  "libhf_sim.a"
+  "libhf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

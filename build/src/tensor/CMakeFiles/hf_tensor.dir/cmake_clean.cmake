@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hf_tensor.dir/ops.cc.o"
+  "CMakeFiles/hf_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/hf_tensor.dir/tensor.cc.o"
+  "CMakeFiles/hf_tensor.dir/tensor.cc.o.d"
+  "libhf_tensor.a"
+  "libhf_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hf_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

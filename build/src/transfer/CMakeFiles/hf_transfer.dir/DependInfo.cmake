@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transfer/protocol.cc" "src/transfer/CMakeFiles/hf_transfer.dir/protocol.cc.o" "gcc" "src/transfer/CMakeFiles/hf_transfer.dir/protocol.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hf_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/hf_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/hf_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hf_transfer.dir/protocol.cc.o"
+  "CMakeFiles/hf_transfer.dir/protocol.cc.o.d"
+  "libhf_transfer.a"
+  "libhf_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hf_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

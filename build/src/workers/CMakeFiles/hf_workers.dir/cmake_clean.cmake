@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hf_workers.dir/model_workers.cc.o"
+  "CMakeFiles/hf_workers.dir/model_workers.cc.o.d"
+  "CMakeFiles/hf_workers.dir/token_context.cc.o"
+  "CMakeFiles/hf_workers.dir/token_context.cc.o.d"
+  "CMakeFiles/hf_workers.dir/worker_group.cc.o"
+  "CMakeFiles/hf_workers.dir/worker_group.cc.o.d"
+  "libhf_workers.a"
+  "libhf_workers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hf_workers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

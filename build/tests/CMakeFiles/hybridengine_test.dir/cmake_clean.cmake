@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybridengine_test.dir/hybridengine_test.cc.o"
+  "CMakeFiles/hybridengine_test.dir/hybridengine_test.cc.o.d"
+  "hybridengine_test"
+  "hybridengine_test.pdb"
+  "hybridengine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybridengine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

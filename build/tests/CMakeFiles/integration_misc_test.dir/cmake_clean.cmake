@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_misc_test.dir/integration_misc_test.cc.o"
+  "CMakeFiles/integration_misc_test.dir/integration_misc_test.cc.o.d"
+  "integration_misc_test"
+  "integration_misc_test.pdb"
+  "integration_misc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_misc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

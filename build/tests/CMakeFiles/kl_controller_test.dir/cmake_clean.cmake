@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kl_controller_test.dir/kl_controller_test.cc.o"
+  "CMakeFiles/kl_controller_test.dir/kl_controller_test.cc.o.d"
+  "kl_controller_test"
+  "kl_controller_test.pdb"
+  "kl_controller_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kl_controller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvcache_test.dir/kvcache_test.cc.o"
+  "CMakeFiles/kvcache_test.dir/kvcache_test.cc.o.d"
+  "kvcache_test"
+  "kvcache_test.pdb"
+  "kvcache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvcache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

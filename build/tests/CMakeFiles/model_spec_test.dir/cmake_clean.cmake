@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_spec_test.dir/model_spec_test.cc.o"
+  "CMakeFiles/model_spec_test.dir/model_spec_test.cc.o.d"
+  "model_spec_test"
+  "model_spec_test.pdb"
+  "model_spec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

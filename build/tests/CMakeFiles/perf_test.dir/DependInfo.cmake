@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/perf_test.cc" "tests/CMakeFiles/perf_test.dir/perf_test.cc.o" "gcc" "tests/CMakeFiles/perf_test.dir/perf_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/perf/CMakeFiles/hf_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvcache/CMakeFiles/hf_kvcache.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/hf_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/hf_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pretraining_test.dir/pretraining_test.cc.o"
+  "CMakeFiles/pretraining_test.dir/pretraining_test.cc.o.d"
+  "pretraining_test"
+  "pretraining_test.pdb"
+  "pretraining_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pretraining_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

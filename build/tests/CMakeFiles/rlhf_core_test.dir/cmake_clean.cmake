@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlhf_core_test.dir/rlhf_core_test.cc.o"
+  "CMakeFiles/rlhf_core_test.dir/rlhf_core_test.cc.o.d"
+  "rlhf_core_test"
+  "rlhf_core_test.pdb"
+  "rlhf_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlhf_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlhf_program_test.dir/rlhf_program_test.cc.o"
+  "CMakeFiles/rlhf_program_test.dir/rlhf_program_test.cc.o.d"
+  "rlhf_program_test"
+  "rlhf_program_test.pdb"
+  "rlhf_program_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlhf_program_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variable_length_test.dir/variable_length_test.cc.o"
+  "CMakeFiles/variable_length_test.dir/variable_length_test.cc.o.d"
+  "variable_length_test"
+  "variable_length_test.pdb"
+  "variable_length_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variable_length_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workers_test.dir/workers_test.cc.o"
+  "CMakeFiles/workers_test.dir/workers_test.cc.o.d"
+  "workers_test"
+  "workers_test.pdb"
+  "workers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybridflow_run.dir/hybridflow_run.cpp.o"
+  "CMakeFiles/hybridflow_run.dir/hybridflow_run.cpp.o.d"
+  "hybridflow_run"
+  "hybridflow_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybridflow_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
