@@ -1,0 +1,193 @@
+#include "src/analysis/timeline_checker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/common/strings.h"
+
+namespace hybridflow {
+
+namespace {
+
+// Spans that model data movement between groups rather than grouped
+// compute; exempt from group coverage (they legitimately cross pools).
+bool IsTransferCategory(const std::string& category) {
+  return category == "transfer" || category == "broadcast" || category == "sync";
+}
+
+std::string SpanLabel(const TraceSpan& span, int index) {
+  return StrFormat("#%d '%s' [%s] %.9f..%.9f", index, span.name.c_str(),
+                   span.category.c_str(), span.start, span.end);
+}
+
+}  // namespace
+
+const char* TimelineViolationKindName(TimelineViolationKind kind) {
+  switch (kind) {
+    case TimelineViolationKind::kBadTime:
+      return "bad-time";
+    case TimelineViolationKind::kStartBeforeReady:
+      return "start-before-ready";
+    case TimelineViolationKind::kUnknownDevice:
+      return "unknown-device";
+    case TimelineViolationKind::kDeviceOverlap:
+      return "device-overlap";
+    case TimelineViolationKind::kIdleInconsistency:
+      return "idle-inconsistency";
+    case TimelineViolationKind::kGroupNotCovered:
+      return "group-not-covered";
+  }
+  return "?";
+}
+
+TimelineChecker::TimelineChecker(const ClusterSpec& spec, TimelineCheckOptions options)
+    : spec_(spec), options_(options) {}
+
+void TimelineChecker::RegisterGroup(const std::string& name, std::vector<DeviceId> devices) {
+  std::sort(devices.begin(), devices.end());
+  groups_.push_back(Group{name, std::move(devices)});
+}
+
+bool TimelineChecker::CoveredByOneGroup(const std::vector<DeviceId>& devices) const {
+  for (const Group& group : groups_) {
+    bool all = true;
+    for (DeviceId device : devices) {
+      if (!std::binary_search(group.devices.begin(), group.devices.end(), device)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<TimelineViolation> TimelineChecker::Check(
+    const std::vector<TraceSpan>& trace) const {
+  std::vector<TimelineViolation> violations;
+  const double eps = options_.epsilon;
+  const int world = spec_.world_size();
+
+  // Replayed per-device state: end time and index of the last span seen on
+  // the device. Trace order is submission order, and every scheduler in the
+  // repo assigns non-decreasing start times per device, so a linear replay
+  // suffices for the exclusivity check.
+  std::vector<SimTime> free_at(static_cast<size_t>(world), 0.0);
+  std::vector<int> last_span(static_cast<size_t>(world), -1);
+
+  for (int i = 0; i < static_cast<int>(trace.size()); ++i) {
+    const TraceSpan& span = trace[static_cast<size_t>(i)];
+
+    // --- Time sanity -------------------------------------------------------
+    if (!std::isfinite(span.start) || !std::isfinite(span.end) || span.start < 0.0 ||
+        span.end < span.start) {
+      violations.push_back(TimelineViolation{
+          TimelineViolationKind::kBadTime, i, -1,
+          SpanLabel(span, i) + ": non-monotone or non-finite interval"});
+      continue;  // Derived checks would only cascade.
+    }
+    if (!std::isfinite(span.ready) || span.start < span.ready - eps) {
+      violations.push_back(TimelineViolation{
+          TimelineViolationKind::kStartBeforeReady, i, -1,
+          SpanLabel(span, i) +
+              StrFormat(": starts before its inputs are ready at %.9f", span.ready)});
+    }
+
+    // --- Device checks -----------------------------------------------------
+    if (span.devices.empty()) {
+      violations.push_back(TimelineViolation{TimelineViolationKind::kUnknownDevice, i, -1,
+                                             SpanLabel(span, i) + ": occupies no devices"});
+      continue;
+    }
+    SimTime group_free = 0.0;
+    bool devices_ok = true;
+    for (DeviceId device : span.devices) {
+      if (device < 0 || device >= world) {
+        violations.push_back(TimelineViolation{
+            TimelineViolationKind::kUnknownDevice, i, device,
+            SpanLabel(span, i) + StrFormat(": device %d outside world of %d", device, world)});
+        devices_ok = false;
+        continue;
+      }
+      group_free = std::max(group_free, free_at[static_cast<size_t>(device)]);
+      // Exclusivity: the simulated race detector. Two compute spans sharing
+      // an instant of one device means the scheduler double-booked it.
+      if (span.start < free_at[static_cast<size_t>(device)] - eps) {
+        violations.push_back(TimelineViolation{
+            TimelineViolationKind::kDeviceOverlap, i, device,
+            SpanLabel(span, i) +
+                StrFormat(": overlaps span #%d on device %d (busy until %.9f)",
+                          last_span[static_cast<size_t>(device)], device,
+                          free_at[static_cast<size_t>(device)])});
+      }
+    }
+    if (devices_ok && options_.check_list_scheduling) {
+      // Greedy list scheduling: an op starts the instant both its data and
+      // all of its devices are available — any later start is lost time the
+      // perf model would misreport, any earlier start is time travel.
+      const SimTime expected = std::max(span.ready, group_free);
+      if (std::abs(span.start - expected) > eps) {
+        violations.push_back(TimelineViolation{
+            TimelineViolationKind::kIdleInconsistency, i, -1,
+            SpanLabel(span, i) +
+                StrFormat(": start deviates from greedy schedule time %.9f", expected)});
+      }
+    }
+    if (devices_ok && options_.check_group_coverage && !groups_.empty() &&
+        !IsTransferCategory(span.category) && !CoveredByOneGroup(span.devices)) {
+      violations.push_back(TimelineViolation{
+          TimelineViolationKind::kGroupNotCovered, i, -1,
+          SpanLabel(span, i) + ": devices not covered by any registered group"});
+    }
+    for (DeviceId device : span.devices) {
+      if (device >= 0 && device < world) {
+        free_at[static_cast<size_t>(device)] =
+            std::max(free_at[static_cast<size_t>(device)], span.end);
+        last_span[static_cast<size_t>(device)] = i;
+      }
+    }
+  }
+  return violations;
+}
+
+std::vector<TimelineViolation> TimelineChecker::Check(const ClusterState& state) const {
+  return Check(state.trace());
+}
+
+std::string FormatViolations(const std::vector<TimelineViolation>& violations) {
+  std::ostringstream out;
+  for (const TimelineViolation& violation : violations) {
+    out << "[" << TimelineViolationKindName(violation.kind) << "] " << violation.message
+        << "\n";
+  }
+  return out.str();
+}
+
+std::string CompareTraces(const std::vector<TraceSpan>& a, const std::vector<TraceSpan>& b) {
+  if (a.size() != b.size()) {
+    return StrFormat("trace lengths differ: %zu vs %zu", a.size(), b.size());
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    const TraceSpan& lhs = a[i];
+    const TraceSpan& rhs = b[i];
+    if (lhs.name != rhs.name || lhs.category != rhs.category) {
+      return StrFormat("span %zu identity differs: '%s' [%s] vs '%s' [%s]", i,
+                       lhs.name.c_str(), lhs.category.c_str(), rhs.name.c_str(),
+                       rhs.category.c_str());
+    }
+    if (lhs.devices != rhs.devices) {
+      return StrFormat("span %zu ('%s') device sets differ", i, lhs.name.c_str());
+    }
+    // Bit-exact: determinism means the identical schedule, not a similar one.
+    if (lhs.start != rhs.start || lhs.end != rhs.end || lhs.ready != rhs.ready) {
+      return StrFormat("span %zu ('%s') times differ: %.17g..%.17g vs %.17g..%.17g", i,
+                       lhs.name.c_str(), lhs.start, lhs.end, rhs.start, rhs.end);
+    }
+  }
+  return "";
+}
+
+}  // namespace hybridflow

@@ -1,0 +1,100 @@
+// Static analysis of executed simulation timelines.
+//
+// The DES performance plane is only trustworthy if its traces are
+// physically consistent: a device never computes two things at once, time
+// never runs backwards, operations never start before their inputs exist,
+// and grouped operations stay inside the process group (resource pool)
+// that owns them. TimelineChecker replays a recorded trace and verifies
+// those invariants after the fact — a "race detector" for simulated
+// schedules. Tests run it over every RLHF example dataflow; a violation
+// means the scheduler (not the workload) is buggy.
+//
+// The checker is pure and side-effect free: it consumes the TraceSpan
+// stream recorded by ClusterState / DesExecutor and reports violations
+// instead of aborting, so negative tests can assert on specific findings.
+#ifndef SRC_ANALYSIS_TIMELINE_CHECKER_H_
+#define SRC_ANALYSIS_TIMELINE_CHECKER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sim/timeline.h"
+#include "src/sim/topology.h"
+
+namespace hybridflow {
+
+enum class TimelineViolationKind {
+  kBadTime,           // Negative/NaN start, or end < start.
+  kStartBeforeReady,  // Span starts before its inputs were available.
+  kUnknownDevice,     // Device id outside the cluster.
+  kDeviceOverlap,     // Two spans occupy one device at the same instant.
+  kIdleInconsistency, // Start disagrees with greedy list scheduling.
+  kGroupNotCovered,   // Grouped op touches devices outside every registered group.
+};
+
+const char* TimelineViolationKindName(TimelineViolationKind kind);
+
+struct TimelineViolation {
+  TimelineViolationKind kind;
+  // Index into the checked trace of the offending span (the later span for
+  // overlaps); -1 when not tied to a single span.
+  int span_index = -1;
+  DeviceId device = -1;  // Offending device, when device-specific.
+  std::string message;
+};
+
+struct TimelineCheckOptions {
+  // Verify start == max(ready, device-group free time) under greedy
+  // list scheduling (exact for ClusterState traces recorded in submission
+  // order from t=0). Disable for executors with other queueing disciplines
+  // (e.g. DesExecutor's per-device FIFOs) or for mid-run trace fragments.
+  bool check_list_scheduling = true;
+  // Require every non-transfer span's devices to lie inside a single
+  // registered group. Only meaningful after RegisterGroup calls.
+  bool check_group_coverage = true;
+  // Slack for floating-point comparisons, seconds of virtual time. Spans on
+  // one device abut exactly by construction, so 0 is correct; a tiny slack
+  // keeps the checker robust to future schedulers that recompute times.
+  double epsilon = 1e-12;
+};
+
+class TimelineChecker {
+ public:
+  explicit TimelineChecker(const ClusterSpec& spec, TimelineCheckOptions options = {});
+
+  // Declares a legal device group (a resource pool or process group);
+  // grouped spans must be covered by exactly one of these.
+  void RegisterGroup(const std::string& name, std::vector<DeviceId> devices);
+
+  // Replays `trace` (in recorded order) and returns every violation found.
+  std::vector<TimelineViolation> Check(const std::vector<TraceSpan>& trace) const;
+  // Convenience over a cluster's recorded trace.
+  std::vector<TimelineViolation> Check(const ClusterState& state) const;
+
+  const TimelineCheckOptions& options() const { return options_; }
+
+ private:
+  struct Group {
+    std::string name;
+    std::vector<DeviceId> devices;  // Sorted.
+  };
+
+  bool CoveredByOneGroup(const std::vector<DeviceId>& devices) const;
+
+  ClusterSpec spec_;
+  TimelineCheckOptions options_;
+  std::vector<Group> groups_;
+};
+
+// Human-readable one-line-per-violation report ("" when clean).
+std::string FormatViolations(const std::vector<TimelineViolation>& violations);
+
+// Bit-exact comparison of two traces (the determinism harness): returns ""
+// when identical, otherwise a description of the first mismatch. Times are
+// compared with ==, not a tolerance — re-running the same program must
+// reproduce the identical schedule.
+std::string CompareTraces(const std::vector<TraceSpan>& a, const std::vector<TraceSpan>& b);
+
+}  // namespace hybridflow
+
+#endif  // SRC_ANALYSIS_TIMELINE_CHECKER_H_

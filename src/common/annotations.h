@@ -1,0 +1,101 @@
+// Clang thread-safety annotations plus an annotated Mutex/CondVar wrapper.
+//
+// Clang's -Wthread-safety analysis needs lock acquisition/release to be
+// visible in the type system. libstdc++'s std::mutex and std::lock_guard
+// carry no such attributes, so annotating data with the raw std types
+// produces false positives. Instead, concurrency-bearing code in this repo
+// uses hybridflow::Mutex / MutexLock / CondVar below (thin zero-overhead
+// wrappers over the std primitives, in the style of absl::Mutex), and marks
+// shared state with HF_GUARDED_BY(mutex_name).
+//
+// On GCC (and any compiler without the capability attributes) every macro
+// expands to nothing and the wrappers behave identically.
+//
+// Conventions (enforced by tools/hflint.cc, see docs/STATIC_ANALYSIS.md):
+//   * every mutex member names what it protects, either structurally via
+//     HF_GUARDED_BY on the protected members or with a `// guards:` comment;
+//   * std::thread is constructed only inside src/common/thread_pool.cc —
+//     all other code parallelizes through ThreadPool.
+#ifndef SRC_COMMON_ANNOTATIONS_H_
+#define SRC_COMMON_ANNOTATIONS_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define HF_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef HF_THREAD_ANNOTATION_
+#define HF_THREAD_ANNOTATION_(x)  // No-op outside Clang.
+#endif
+
+// Applied to a class that models a lockable resource.
+#define HF_CAPABILITY(name) HF_THREAD_ANNOTATION_(capability(name))
+// Applied to an RAII class that holds a capability for its lifetime.
+#define HF_SCOPED_CAPABILITY HF_THREAD_ANNOTATION_(scoped_lockable)
+// Data members: readable/writable only with the given mutex held.
+#define HF_GUARDED_BY(mutex) HF_THREAD_ANNOTATION_(guarded_by(mutex))
+#define HF_PT_GUARDED_BY(mutex) HF_THREAD_ANNOTATION_(pt_guarded_by(mutex))
+// Functions: caller must hold / must not hold the mutex.
+#define HF_REQUIRES(...) HF_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define HF_EXCLUDES(...) HF_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+// Functions that acquire / release the mutex themselves.
+#define HF_ACQUIRE(...) HF_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define HF_RELEASE(...) HF_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+// Escape hatch for patterns the analysis cannot follow.
+#define HF_NO_THREAD_SAFETY_ANALYSIS HF_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace hybridflow {
+
+// Annotated exclusive mutex. Also satisfies BasicLockable (lock/unlock) so
+// CondVar can re-acquire it inside Wait.
+class HF_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() HF_ACQUIRE() { mu_.lock(); }
+  void Unlock() HF_RELEASE() { mu_.unlock(); }
+
+  // BasicLockable interface for std::condition_variable_any; annotated the
+  // same way so direct use is also analysis-visible.
+  void lock() HF_ACQUIRE() { mu_.lock(); }
+  void unlock() HF_RELEASE() { mu_.unlock(); }
+
+ private:
+  // guards: whatever the owning class marks HF_GUARDED_BY(<this Mutex>).
+  std::mutex mu_;
+};
+
+// RAII lock; release is implicit at scope exit.
+class HF_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) HF_ACQUIRE(mutex) : mutex_(mutex) { mutex_.Lock(); }
+  ~MutexLock() HF_RELEASE() { mutex_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;  // The held capability itself.  hflint: allow(mutex-guards)
+};
+
+// Condition variable paired with Mutex. Wait atomically releases and
+// re-acquires the mutex; the analysis treats the capability as held
+// throughout, which matches how callers reason about their predicates.
+class CondVar {
+ public:
+  void Wait(Mutex& mutex) HF_REQUIRES(mutex) HF_NO_THREAD_SAFETY_ANALYSIS { cv_.wait(mutex); }
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace hybridflow
+
+#endif  // SRC_COMMON_ANNOTATIONS_H_

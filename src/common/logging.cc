@@ -4,15 +4,18 @@
 #include <cstring>
 #include <iostream>
 
+#include "src/common/annotations.h"
+
 namespace hybridflow {
 
 namespace {
 
 std::atomic<LogLevel> g_min_level{LogLevel::kWarning};
 
-std::mutex& OutputMutex() {
-  static std::mutex mutex;
-  return mutex;
+// guards: interleaving-free line-at-a-time writes to std::cerr.
+Mutex& OutputMutex() {
+  static Mutex* mutex = new Mutex();  // hflint: allow(naked-new)
+  return *mutex;
 }
 
 const char* Basename(const char* path) {
@@ -49,7 +52,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (enabled_) {
-    std::lock_guard<std::mutex> lock(OutputMutex());
+    MutexLock lock(OutputMutex());
     std::cerr << stream_.str() << std::endl;
   }
 }

@@ -6,7 +6,6 @@
 #ifndef SRC_COMMON_LOGGING_H_
 #define SRC_COMMON_LOGGING_H_
 
-#include <mutex>
 #include <sstream>
 #include <string>
 

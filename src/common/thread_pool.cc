@@ -1,6 +1,7 @@
 #include "src/common/thread_pool.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "src/common/check.h"
 
@@ -10,16 +11,16 @@ ThreadPool::ThreadPool(int num_threads) {
   HF_CHECK_GT(num_threads, 0);
   threads_.reserve(static_cast<size_t>(num_threads));
   for (int i = 0; i < num_threads; ++i) {
-    threads_.emplace_back([this] { WorkerLoop(); });
+    threads_.emplace_back([this] { WorkerLoop(); });  // hflint: allow(thread-construction)
   }
 }
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
-  wake_.notify_all();
+  wake_.NotifyAll();
   for (std::thread& thread : threads_) {
     thread.join();
   }
@@ -29,8 +30,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::packaged_task<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) {
+        wake_.Wait(mutex_);
+      }
       if (queue_.empty()) {
         return;  // stopping_ with a drained queue.
       }
@@ -45,11 +48,11 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   std::future<void> future = packaged.get_future();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     HF_CHECK(!stopping_);
     queue_.push_back(std::move(packaged));
   }
-  wake_.notify_one();
+  wake_.NotifyOne();
   return future;
 }
 
@@ -66,13 +69,27 @@ void ThreadPool::ParallelFor(int count, const std::function<void(int)>& fn) {
   for (int i = 0; i < count; ++i) {
     futures.push_back(Submit([&fn, i] { fn(i); }));
   }
+  // Wait for EVERY task before rethrowing: tasks hold a reference to `fn`,
+  // so returning early on the first exception would leave queued tasks
+  // calling through a dangling reference.
+  std::exception_ptr first_error;
   for (std::future<void>& future : futures) {
-    future.get();  // Propagates the first exception encountered.
+    try {
+      future.get();
+    } catch (...) {
+      if (first_error == nullptr) {
+        first_error = std::current_exception();
+      }
+    }
+  }
+  if (first_error != nullptr) {
+    std::rethrow_exception(first_error);
   }
 }
 
 ThreadPool& ThreadPool::Shared() {
-  static ThreadPool* pool = new ThreadPool(
+  // Intentionally leaked: worker threads may outlive static destructors.
+  static ThreadPool* pool = new ThreadPool(  // hflint: allow(naked-new)
       std::max(2, static_cast<int>(std::thread::hardware_concurrency())));
   return *pool;
 }

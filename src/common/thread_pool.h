@@ -4,16 +4,21 @@
 // scoring) are independent across data shards and run concurrently here;
 // update computations stay sequential because their backward passes
 // accumulate into shared parameter gradients.
+//
+// Thread-safety: Submit and ParallelFor may be called concurrently from any
+// non-pool thread; pool tasks must not block on the pool (a task waiting on
+// work behind it in a saturated queue would deadlock). All shared state is
+// guarded by mutex_ and annotated for Clang's -Wthread-safety analysis.
 #ifndef SRC_COMMON_THREAD_POOL_H_
 #define SRC_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/common/annotations.h"
 
 namespace hybridflow {
 
@@ -29,23 +34,25 @@ class ThreadPool {
 
   // Enqueues a task; the future resolves when it finishes (exceptions are
   // propagated through the future).
-  std::future<void> Submit(std::function<void()> task);
+  std::future<void> Submit(std::function<void()> task) HF_EXCLUDES(mutex_);
 
-  // Runs fn(i) for i in [0, count) across the pool and blocks until all
-  // complete. Rethrows the first task exception, if any.
-  void ParallelFor(int count, const std::function<void(int)>& fn);
+  // Runs fn(i) for i in [0, count) across the pool and blocks until every
+  // task completes, then rethrows the lowest-index task exception, if any.
+  void ParallelFor(int count, const std::function<void(int)>& fn) HF_EXCLUDES(mutex_);
 
   // Process-wide pool sized to the hardware concurrency (at least 2).
   static ThreadPool& Shared();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() HF_EXCLUDES(mutex_);
 
+  // Immutable after construction; joined in the destructor.
   std::vector<std::thread> threads_;
-  std::deque<std::packaged_task<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable wake_;
-  bool stopping_ = false;
+
+  Mutex mutex_;
+  std::deque<std::packaged_task<void()>> queue_ HF_GUARDED_BY(mutex_);
+  CondVar wake_;  // Signaled under mutex_ when queue_ grows or stopping_ flips.
+  bool stopping_ HF_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace hybridflow

@@ -34,7 +34,7 @@ DesExecutor::OpId DesExecutor::Submit(const std::string& name, const std::string
     device_queues_[static_cast<size_t>(device)].push_back(id);
   }
   ops_.push_back(std::move(op));
-  spans_.push_back(TraceSpan{name, category, devices, 0.0, 0.0});
+  spans_.push_back(TraceSpan{name, category, devices, 0.0, 0.0, 0.0});
   return id;
 }
 
@@ -70,10 +70,13 @@ void DesExecutor::Finish(OpId id) {
     HF_CHECK_EQ(queue.front(), id);
     queue.pop_front();
   }
-  // Unblock dependents.
+  // Unblock dependents; their data becomes ready no earlier than our end.
+  const SimTime end = spans_[static_cast<size_t>(id)].end;
   for (OpId dependent : op.dependents) {
     Op& next = ops_[static_cast<size_t>(dependent)];
     next.unmet_dependencies -= 1;
+    TraceSpan& dep_span = spans_[static_cast<size_t>(dependent)];
+    dep_span.ready = std::max(dep_span.ready, end);
     MaybeStart(dependent);
   }
   // Newly-exposed queue heads may now be startable.

@@ -8,6 +8,11 @@
 // the two schedulers produce identical spans (list-scheduling
 // equivalence), which tests/sim_des_test.cc verifies on random DAGs —
 // giving the timeline fast path a ground truth.
+//
+// Concurrency: thread-compatible, single-owner (see event_queue.h); Submit
+// and Run must come from the owning thread. Executed traces satisfy the
+// TimelineChecker invariants (src/analysis/timeline_checker.h): per-device
+// span exclusivity, monotone time, and start >= ready (max dependency end).
 #ifndef SRC_SIM_DES_EXECUTOR_H_
 #define SRC_SIM_DES_EXECUTOR_H_
 

@@ -5,6 +5,12 @@
 // (timeline.h); the event queue is the general substrate under it and is
 // exposed for components that need time-triggered behaviour (e.g. failure
 // injection in tests).
+//
+// Concurrency: thread-compatible, not thread-safe. A queue (and everything
+// it drives — DesExecutor, ClusterState) is owned by the single controller
+// thread; callbacks run on that thread and may schedule further events.
+// Cross-thread use requires external synchronization by design: simulated
+// time must advance deterministically, so we keep locks out of this layer.
 #ifndef SRC_SIM_EVENT_QUEUE_H_
 #define SRC_SIM_EVENT_QUEUE_H_
 

@@ -64,7 +64,7 @@ const TraceSpan& ClusterState::ScheduleOp(const std::string& name, const std::st
     free_at_[device] = end;
     busy_[device] += duration;
   }
-  trace_.push_back(TraceSpan{name, category, devices, start, end});
+  trace_.push_back(TraceSpan{name, category, devices, start, end, ready_time});
   return trace_.back();
 }
 

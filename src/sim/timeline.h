@@ -25,6 +25,10 @@ struct TraceSpan {
   std::vector<DeviceId> devices;
   SimTime start = 0.0;
   SimTime end = 0.0;
+  // Earliest time the op's inputs were available (data dependencies plus
+  // inter-model transfer latency). start >= ready always; the gap is queue
+  // wait on busy devices. TimelineChecker (src/analysis) audits this.
+  SimTime ready = 0.0;
 
   SimTime duration() const { return end - start; }
 };

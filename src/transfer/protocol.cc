@@ -207,7 +207,7 @@ std::vector<int> PrimaryRanks(TransferProtocol protocol, const ProtocolContext& 
 }
 
 ProtocolRegistry& ProtocolRegistry::Instance() {
-  static ProtocolRegistry* registry = new ProtocolRegistry();
+  static ProtocolRegistry* registry = new ProtocolRegistry();  // hflint: allow(naked-new)
   return *registry;
 }
 

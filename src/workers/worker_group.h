@@ -92,6 +92,14 @@ class ModelWorkerGroup {
   // primary rank (real plane), schedules `duration` seconds on the pool
   // devices starting no earlier than the input's availability plus
   // transfer latency, and returns the collected future.
+  //
+  // Concurrency contract: forward-only `compute` closures run concurrently
+  // on ThreadPool::Shared(), one per primary rank. Each closure owns its
+  // rank's input shard and output slot exclusively (data-partitioned — no
+  // locking), must treat group state (net_, perf_, groups_) as read-only,
+  // and must draw randomness only from per-(call, rank) RNG streams so
+  // results are independent of interleaving. "train" dispatches stay
+  // sequential: backward passes accumulate into shared gradients.
   BatchFuture Dispatch(const std::string& op, const std::string& category,
                        TransferProtocol protocol, const BatchFuture& input, double duration,
                        const ComputeFn& compute, double nominal_output_bytes);

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/analysis/timeline_checker.h"
+#include "src/baselines/system_builder.h"
+#include "src/common/rng.h"
+#include "src/sim/des_executor.h"
+
+namespace hybridflow {
+namespace {
+
+SystemBuildConfig SmallSystem(RlhfAlgorithm algorithm) {
+  SystemBuildConfig config;
+  config.system = RlhfSystem::kHybridFlow;
+  config.algorithm = algorithm;
+  config.num_gpus = 8;
+  config.real_compute = true;
+  config.real_batch = 16;
+  config.seed = 33;
+  config.workload.global_batch = 128;
+  config.workload.prompt_len = 256;
+  config.workload.response_len = 256;
+  return config;
+}
+
+TimelineChecker CheckerFor(const RlhfSystemInstance& system) {
+  TimelineChecker checker(system.controller->spec());
+  for (const auto& pool : system.controller->pools()) {
+    checker.RegisterGroup(pool->name(), pool->devices());
+  }
+  return checker;
+}
+
+class AlgorithmTimelineSweep : public ::testing::TestWithParam<RlhfAlgorithm> {};
+
+// The acceptance gate: executed RLHF timelines carry zero invariant
+// violations — device exclusivity, monotone time, start >= ready, greedy
+// scheduling consistency, and pool coverage of every grouped op.
+TEST_P(AlgorithmTimelineSweep, ExecutedTimelineHasNoViolations) {
+  RlhfSystemInstance system = BuildSystem(SmallSystem(GetParam()));
+  ASSERT_TRUE(system.feasible);
+  for (int i = 0; i < 2; ++i) {
+    system.RunIteration();
+  }
+  const ClusterState& cluster = system.controller->cluster();
+  ASSERT_FALSE(cluster.trace().empty());
+  TimelineChecker checker = CheckerFor(system);
+  std::vector<TimelineViolation> violations = checker.Check(cluster);
+  EXPECT_TRUE(violations.empty()) << FormatViolations(violations);
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, AlgorithmTimelineSweep,
+                         ::testing::Values(RlhfAlgorithm::kPpo, RlhfAlgorithm::kRemax,
+                                           RlhfAlgorithm::kSafeRlhf),
+                         [](const ::testing::TestParamInfo<RlhfAlgorithm>& info) {
+                           switch (info.param) {
+                             case RlhfAlgorithm::kPpo:
+                               return "Ppo";
+                             case RlhfAlgorithm::kRemax:
+                               return "Remax";
+                             case RlhfAlgorithm::kSafeRlhf:
+                               return "SafeRlhf";
+                             default:
+                               return "Other";
+                           }
+                         });
+
+// DesExecutor runs a different queueing discipline (per-device FIFOs), so
+// greedy-consistency is off; exclusivity / time / readiness still hold on
+// random DAGs.
+TEST(TimelineCheckerTest, DesExecutorRandomDagTraceIsClean) {
+  Rng rng(7);
+  const ClusterSpec spec = ClusterSpec::WithGpus(8);
+  DesExecutor executor(spec);
+  std::vector<DesExecutor::OpId> ids;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<DesExecutor::OpId> deps;
+    for (int k = 0; k < 3 && !ids.empty(); ++k) {
+      deps.push_back(ids[static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(ids.size()) - 1))]);
+    }
+    std::vector<DeviceId> devices;
+    const int first = static_cast<int>(rng.UniformInt(0, spec.world_size() - 1));
+    const int count = static_cast<int>(rng.UniformInt(1, 3));
+    for (int d = 0; d < count; ++d) {
+      devices.push_back((first + d) % spec.world_size());
+    }
+    ids.push_back(executor.Submit("op", "infer", devices, rng.Uniform(0.0, 2.0), deps));
+  }
+  executor.Run();
+  TimelineCheckOptions options;
+  options.check_list_scheduling = false;
+  TimelineChecker checker(spec, options);
+  std::vector<TimelineViolation> violations = checker.Check(executor.trace());
+  EXPECT_TRUE(violations.empty()) << FormatViolations(violations);
+}
+
+// --- Negative tests: corrupted timelines must be detected -------------------
+
+TimelineCheckOptions LenientOptions() {
+  TimelineCheckOptions options;
+  options.check_list_scheduling = false;
+  return options;
+}
+
+TEST(TimelineCheckerTest, DetectsOverlappingSpansOnOneDevice) {
+  const ClusterSpec spec = ClusterSpec::WithGpus(4);
+  // Device 1 is double-booked for [1.0, 2.0) x [1.5, 2.5) — the simulated
+  // equivalent of a data race.
+  std::vector<TraceSpan> trace{
+      {"a", "infer", {0, 1}, 0.0, 2.0, 0.0},
+      {"b", "train", {1, 2}, 1.5, 2.5, 0.0},
+  };
+  TimelineChecker checker(spec, LenientOptions());
+  std::vector<TimelineViolation> violations = checker.Check(trace);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, TimelineViolationKind::kDeviceOverlap);
+  EXPECT_EQ(violations[0].device, 1);
+  EXPECT_EQ(violations[0].span_index, 1);
+}
+
+TEST(TimelineCheckerTest, DetectsTimeTravelAndNegativeDurations) {
+  const ClusterSpec spec = ClusterSpec::WithGpus(2);
+  std::vector<TraceSpan> trace{
+      {"backwards", "infer", {0}, 2.0, 1.0, 0.0},   // end < start
+      {"negative", "infer", {1}, -1.0, 0.5, 0.0},   // starts before t=0
+  };
+  TimelineChecker checker(spec, LenientOptions());
+  std::vector<TimelineViolation> violations = checker.Check(trace);
+  ASSERT_EQ(violations.size(), 2u);
+  EXPECT_EQ(violations[0].kind, TimelineViolationKind::kBadTime);
+  EXPECT_EQ(violations[1].kind, TimelineViolationKind::kBadTime);
+}
+
+TEST(TimelineCheckerTest, DetectsStartBeforeReady) {
+  const ClusterSpec spec = ClusterSpec::WithGpus(2);
+  // The op consumed data that only exists at t=5 but ran at t=1.
+  std::vector<TraceSpan> trace{{"eager", "infer", {0}, 1.0, 2.0, 5.0}};
+  TimelineChecker checker(spec, LenientOptions());
+  std::vector<TimelineViolation> violations = checker.Check(trace);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, TimelineViolationKind::kStartBeforeReady);
+}
+
+TEST(TimelineCheckerTest, DetectsUnknownDevice) {
+  const ClusterSpec spec = ClusterSpec::WithGpus(2);
+  std::vector<TraceSpan> trace{{"oob", "infer", {5}, 0.0, 1.0, 0.0}};
+  TimelineChecker checker(spec, LenientOptions());
+  std::vector<TimelineViolation> violations = checker.Check(trace);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, TimelineViolationKind::kUnknownDevice);
+}
+
+TEST(TimelineCheckerTest, DetectsGroupCoverageViolation) {
+  const ClusterSpec spec = ClusterSpec::WithGpus(8);
+  TimelineChecker checker(spec, LenientOptions());
+  checker.RegisterGroup("actor", {0, 1, 2, 3});
+  checker.RegisterGroup("critic", {4, 5, 6, 7});
+  // A "collective" straddling both pools without a registered group.
+  std::vector<TraceSpan> trace{
+      {"ok", "infer", {0, 1, 2, 3}, 0.0, 1.0, 0.0},
+      {"straddle", "train", {3, 4}, 1.0, 2.0, 0.0},
+      {"crosspool", "transfer", {3, 4}, 2.0, 3.0, 0.0},  // Transfers may cross.
+  };
+  std::vector<TimelineViolation> violations = checker.Check(trace);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, TimelineViolationKind::kGroupNotCovered);
+  EXPECT_EQ(violations[0].span_index, 1);
+}
+
+TEST(TimelineCheckerTest, DetectsListSchedulingDeviation) {
+  const ClusterSpec spec = ClusterSpec::WithGpus(2);
+  // Device 0 frees at t=1 and data is ready at t=0, yet the op idles
+  // until t=3: the recorded schedule disagrees with greedy list scheduling.
+  std::vector<TraceSpan> trace{
+      {"first", "infer", {0}, 0.0, 1.0, 0.0},
+      {"lazy", "infer", {0}, 3.0, 4.0, 0.0},
+  };
+  TimelineChecker checker(spec);
+  std::vector<TimelineViolation> violations = checker.Check(trace);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, TimelineViolationKind::kIdleInconsistency);
+}
+
+// --- Determinism harness ----------------------------------------------------
+
+TEST(CompareTracesTest, IdenticalRunsCompareEqual) {
+  auto run = [] {
+    RlhfSystemInstance system = BuildSystem(SmallSystem(RlhfAlgorithm::kPpo));
+    EXPECT_TRUE(system.feasible);
+    system.RunIteration();
+    return system.controller->cluster().trace();
+  };
+  const std::vector<TraceSpan> a = run();
+  const std::vector<TraceSpan> b = run();
+  EXPECT_EQ(CompareTraces(a, b), "");
+}
+
+TEST(CompareTracesTest, ReportsFirstMismatch) {
+  std::vector<TraceSpan> a{{"x", "infer", {0}, 0.0, 1.0, 0.0}};
+  std::vector<TraceSpan> b = a;
+  b[0].end = 1.0000000001;
+  EXPECT_NE(CompareTraces(a, b), "");
+  EXPECT_NE(CompareTraces(a, {}), "");
+}
+
+}  // namespace
+}  // namespace hybridflow

@@ -1,8 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <future>
+#include <mutex>
 #include <set>
 #include <stdexcept>
+#include <string>
+#include <thread>
 
 #include "src/baselines/system_builder.h"
 #include "src/common/thread_pool.h"
@@ -54,6 +59,64 @@ TEST(ThreadPoolTest, ExceptionsPropagate) {
                          }
                        }),
       std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesFirstExceptionAndStaysUsable) {
+  ThreadPool pool(4);
+  // Every task throws; ParallelFor must surface the index-0 exception (the
+  // first future waited on) and leave the pool healthy for further work.
+  try {
+    pool.ParallelFor(32, [](int i) {
+      throw std::runtime_error("task " + std::to_string(i));
+    });
+    FAIL() << "expected ParallelFor to rethrow";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "task 0");
+  }
+  std::atomic<int> counter{0};
+  pool.ParallelFor(16, [&counter](int) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 16);
+}
+
+TEST(ThreadPoolTest, SubmitFuturePropagatesException) {
+  ThreadPool pool(2);
+  std::future<void> future = pool.Submit([] { throw std::logic_error("submitted"); });
+  EXPECT_THROW(future.get(), std::logic_error);
+}
+
+TEST(ThreadPoolTest, ConcurrentSubmitDuringParallelFor) {
+  // Exercises the guarded queue from both directions at once: one thread
+  // drives a large ParallelFor while another keeps submitting independent
+  // tasks. Run under TSan via tools/check.sh.
+  ThreadPool pool(4);
+  std::atomic<int> parallel_hits{0};
+  std::atomic<int> submit_hits{0};
+  std::atomic<bool> parallel_done{false};
+
+  std::vector<std::future<void>> submitted;
+  std::mutex submitted_mutex;  // guards: `submitted` between the two drivers.
+  std::future<void> submitter = std::async(std::launch::async, [&] {
+    for (int i = 0; i < 4096 && (i == 0 || !parallel_done.load()); ++i) {
+      std::future<void> f = pool.Submit([&submit_hits] { submit_hits.fetch_add(1); });
+      {
+        std::lock_guard<std::mutex> lock(submitted_mutex);
+        submitted.push_back(std::move(f));
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(10));
+    }
+  });
+
+  pool.ParallelFor(256, [&parallel_hits](int) {
+    parallel_hits.fetch_add(1);
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  });
+  parallel_done.store(true);
+  submitter.get();
+  for (std::future<void>& f : submitted) {
+    f.get();
+  }
+  EXPECT_EQ(parallel_hits.load(), 256);
+  EXPECT_GT(submit_hits.load(), 0);
 }
 
 TEST(ThreadPoolTest, DestructionDrainsCleanly) {

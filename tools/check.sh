@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# One-shot pre-PR gate: configure, build (warnings-as-errors), lint, test,
+# then rebuild and re-test the concurrency surface under ThreadSanitizer.
+# See docs/STATIC_ANALYSIS.md.
+#
+# Usage:
+#   tools/check.sh                 # full gate (normal + TSan phases)
+#   tools/check.sh --no-sanitize   # skip the sanitizer phase
+#   tools/check.sh --full-tsan     # run the ENTIRE test suite under TSan
+#   tools/check.sh --asan          # add an ASan+UBSan phase as well
+#
+# Build trees: build-check/ (normal), build-tsan/, build-asan/ — kept apart
+# from the developer's build/ so the gate never clobbers incremental state.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+ROOT="$PWD"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+# Tests exercising the concurrency surface; the default TSan phase runs
+# these (the full suite under TSan is --full-tsan).
+TSAN_TESTS='ThreadPool|ParallelDispatch|Determinism'
+
+SANITIZE=1
+FULL_TSAN=0
+ASAN=0
+for arg in "$@"; do
+  case "$arg" in
+    --no-sanitize) SANITIZE=0 ;;
+    --full-tsan) FULL_TSAN=1 ;;
+    --asan) ASAN=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
+
+step() { echo; echo "==== $* ===="; }
+
+step "configure + build (HF_WERROR=ON)"
+cmake -B build-check -S . -DHF_WERROR=ON >/dev/null
+cmake --build build-check -j "$JOBS"
+
+step "hflint"
+./build-check/tools/hflint "$ROOT"
+
+step "ctest (normal build)"
+ctest --test-dir build-check --output-on-failure -j "$JOBS"
+
+if [ "$SANITIZE" -eq 1 ]; then
+  step "configure + build (HF_SANITIZE=thread)"
+  cmake -B build-tsan -S . -DHF_WERROR=ON -DHF_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$JOBS"
+
+  step "ctest under ThreadSanitizer"
+  export TSAN_OPTIONS="suppressions=$ROOT/tools/sanitizers/tsan.supp halt_on_error=1 second_deadlock_stack=1"
+  if [ "$FULL_TSAN" -eq 1 ]; then
+    ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
+  else
+    ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -R "$TSAN_TESTS"
+  fi
+  unset TSAN_OPTIONS
+fi
+
+if [ "$ASAN" -eq 1 ]; then
+  step "configure + build (HF_SANITIZE=address)"
+  cmake -B build-asan -S . -DHF_WERROR=ON -DHF_SANITIZE=address >/dev/null
+  cmake --build build-asan -j "$JOBS"
+
+  step "ctest under ASan+UBSan"
+  export LSAN_OPTIONS="suppressions=$ROOT/tools/sanitizers/lsan.supp"
+  export UBSAN_OPTIONS="suppressions=$ROOT/tools/sanitizers/ubsan.supp print_stacktrace=1"
+  ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+  unset LSAN_OPTIONS UBSAN_OPTIONS
+fi
+
+step "all checks passed"

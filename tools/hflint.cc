@@ -1,0 +1,473 @@
+// hflint: the in-repo invariant linter, run as a ctest over the full tree.
+//
+// Walks src/ tests/ bench/ tools/ under the repo root (argv[1], default ".")
+// and enforces the conventions documented in docs/STATIC_ANALYSIS.md:
+//
+//   include-guard        #ifndef/#define guard spelled from the file path
+//                        (src/common/check.h -> SRC_COMMON_CHECK_H_)
+//   no-include-cc        never #include an implementation file
+//   include-path         quoted includes are repo-root-relative, live under
+//                        src/ tests/ bench/ tools/, and resolve to a file
+//   banned-rand          rand()/srand() are banned; use hybridflow::Rng so
+//                        runs stay reproducible from a seed
+//   naked-new            no naked new/delete outside src/tensor/ (the one
+//                        place that manages raw buffers); use value members
+//                        or std::unique_ptr
+//   pool-task-capture    lambdas handed to ThreadPool Submit/ParallelFor
+//                        must not capture `this` or default-capture [=]:
+//                        tasks may outlive `this` (and a shared_ptr copy of
+//                        it keeps worker groups alive past their pools)
+//   mutex-guards         every mutex member documents what it protects,
+//                        via HF_GUARDED_BY on the protected members or a
+//                        `// guards:` comment at the declaration
+//   thread-construction  std::thread is constructed only in
+//                        src/common/thread_pool.cc; everything else goes
+//                        through ThreadPool
+//
+// Suppress a finding on one line with: // hflint: allow(<rule>)
+//
+// Matching runs on comment- and string-stripped text (except the include
+// rules, which read the raw line), so documentation never trips a rule.
+// No external dependencies; exits non-zero when any finding is reported.
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+  std::string file;  // Repo-root-relative path.
+  int line;          // 1-based; 0 for whole-file findings.
+  std::string rule;
+  std::string message;
+};
+
+struct FileText {
+  std::string path;                 // Repo-root-relative, '/'-separated.
+  std::vector<std::string> raw;     // Original lines.
+  std::vector<std::string> code;    // Comment- and string-stripped lines.
+  std::vector<std::string> allows;  // Per-line "hflint: allow(...)" payloads.
+};
+
+bool IsIdentChar(char c) { return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_'; }
+
+// Removes // and /* */ comments, string and char literal *contents* (the
+// quotes remain so expressions keep their shape), collecting per-line
+// hflint allow annotations from the comments as they are dropped.
+void StripCommentsAndStrings(FileText& file) {
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  file.code.reserve(file.raw.size());
+  file.allows.assign(file.raw.size(), "");
+  for (size_t li = 0; li < file.raw.size(); ++li) {
+    const std::string& in = file.raw[li];
+    // Allow annotations live in comments; harvest from the raw text.
+    const size_t allow_pos = in.find("hflint: allow(");
+    if (allow_pos != std::string::npos) {
+      const size_t open = in.find('(', allow_pos);
+      const size_t close = in.find(')', open);
+      if (close != std::string::npos) {
+        file.allows[li] = in.substr(open + 1, close - open - 1);
+      }
+    }
+    std::string out;
+    out.reserve(in.size());
+    if (state == State::kLineComment) {
+      state = State::kCode;  // Line comments end with the line.
+    }
+    for (size_t i = 0; i < in.size(); ++i) {
+      const char c = in[i];
+      const char next = i + 1 < in.size() ? in[i + 1] : '\0';
+      switch (state) {
+        case State::kCode:
+          if (c == '/' && next == '/') {
+            state = State::kLineComment;
+            i = in.size();
+          } else if (c == '/' && next == '*') {
+            state = State::kBlockComment;
+            ++i;
+          } else if (c == '"') {
+            state = State::kString;
+            out.push_back(c);
+          } else if (c == '\'') {
+            state = State::kChar;
+            out.push_back(c);
+          } else {
+            out.push_back(c);
+          }
+          break;
+        case State::kBlockComment:
+          if (c == '*' && next == '/') {
+            state = State::kCode;
+            ++i;
+          }
+          break;
+        case State::kString:
+          if (c == '\\') {
+            ++i;
+          } else if (c == '"') {
+            state = State::kCode;
+            out.push_back(c);
+          }
+          break;
+        case State::kChar:
+          if (c == '\\') {
+            ++i;
+          } else if (c == '\'') {
+            state = State::kCode;
+            out.push_back(c);
+          }
+          break;
+        case State::kLineComment:
+          break;
+      }
+    }
+    file.code.push_back(std::move(out));
+  }
+}
+
+bool Allowed(const FileText& file, size_t line_index, const std::string& rule) {
+  return line_index < file.allows.size() &&
+         file.allows[line_index].find(rule) != std::string::npos;
+}
+
+// Finds `token` at position >= from where both neighbours are non-identifier
+// characters (word-boundary search).
+size_t FindToken(const std::string& line, const std::string& token, size_t from = 0) {
+  size_t pos = line.find(token, from);
+  while (pos != std::string::npos) {
+    const bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
+    const size_t after = pos + token.size();
+    const bool right_ok = after >= line.size() || !IsIdentChar(line[after]);
+    if (left_ok && right_ok) {
+      return pos;
+    }
+    pos = line.find(token, pos + 1);
+  }
+  return std::string::npos;
+}
+
+std::string ExpectedGuard(const std::string& path) {
+  std::string guard;
+  guard.reserve(path.size() + 1);
+  for (char c : path) {
+    if (c == '/' || c == '.' || c == '-') {
+      guard.push_back('_');
+    } else {
+      guard.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+    }
+  }
+  guard.push_back('_');
+  return guard;
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+void CheckIncludeGuard(const FileText& file, std::vector<Finding>& findings) {
+  if (!EndsWith(file.path, ".h")) {
+    return;
+  }
+  const std::string expected = ExpectedGuard(file.path);
+  int ifndef_line = -1;
+  bool has_define = false;
+  auto trimmed_tail = [](const std::string& line) {
+    const size_t end = line.find_last_not_of(" \t");
+    return end == std::string::npos ? std::string() : line.substr(8, end - 7);
+  };
+  for (size_t i = 0; i < file.raw.size(); ++i) {
+    const std::string& line = file.raw[i];
+    if (ifndef_line < 0 && StartsWith(line, "#ifndef ")) {
+      if (trimmed_tail(line) == expected) {
+        ifndef_line = static_cast<int>(i);
+      } else {
+        findings.push_back({file.path, static_cast<int>(i) + 1, "include-guard",
+                            "guard '" + line.substr(8) + "' should be '" + expected + "'"});
+        return;
+      }
+    } else if (ifndef_line >= 0 && StartsWith(line, "#define ")) {
+      has_define = trimmed_tail(line) == expected;
+      break;
+    }
+  }
+  if (ifndef_line < 0 || !has_define) {
+    findings.push_back({file.path, 0, "include-guard",
+                        "missing #ifndef/#define include guard '" + expected + "'"});
+  }
+}
+
+void CheckIncludes(const FileText& file, const fs::path& root,
+                   std::vector<Finding>& findings) {
+  for (size_t i = 0; i < file.raw.size(); ++i) {
+    const std::string& line = file.raw[i];
+    size_t pos = line.find_first_not_of(" \t");
+    if (pos == std::string::npos || line[pos] != '#') {
+      continue;
+    }
+    const size_t inc = line.find("include", pos);
+    if (inc == std::string::npos) {
+      continue;
+    }
+    const size_t open = line.find_first_of("\"<", inc);
+    if (open == std::string::npos) {
+      continue;
+    }
+    const char closer = line[open] == '"' ? '"' : '>';
+    const size_t close = line.find(closer, open + 1);
+    if (close == std::string::npos) {
+      continue;
+    }
+    const std::string target = line.substr(open + 1, close - open - 1);
+    if (EndsWith(target, ".cc") || EndsWith(target, ".cpp")) {
+      if (!Allowed(file, i, "no-include-cc")) {
+        findings.push_back({file.path, static_cast<int>(i) + 1, "no-include-cc",
+                            "do not #include implementation file '" + target + "'"});
+      }
+      continue;
+    }
+    if (closer != '"') {
+      continue;  // System includes are free-form.
+    }
+    const bool rooted = StartsWith(target, "src/") || StartsWith(target, "tests/") ||
+                        StartsWith(target, "bench/") || StartsWith(target, "tools/");
+    if (!rooted) {
+      if (!Allowed(file, i, "include-path")) {
+        findings.push_back({file.path, static_cast<int>(i) + 1, "include-path",
+                            "quoted include '" + target +
+                                "' must be repo-root-relative (src/..., bench/..., ...)"});
+      }
+    } else if (!fs::exists(root / target)) {
+      findings.push_back({file.path, static_cast<int>(i) + 1, "include-path",
+                          "include '" + target + "' does not resolve to a file"});
+    }
+  }
+}
+
+void CheckBannedCalls(const FileText& file, std::vector<Finding>& findings) {
+  const bool tensor_file = StartsWith(file.path, "src/tensor/");
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    const std::string& line = file.code[i];
+    if (line.empty()) {
+      continue;
+    }
+    // banned-rand: non-seeded libc randomness breaks reproducibility.
+    for (const char* fn : {"rand", "srand", "drand48"}) {
+      const size_t pos = FindToken(line, fn);
+      if (pos != std::string::npos && pos + std::string(fn).size() < line.size() &&
+          line[pos + std::string(fn).size()] == '(' && !Allowed(file, i, "banned-rand")) {
+        findings.push_back({file.path, static_cast<int>(i) + 1, "banned-rand",
+                            std::string(fn) + "() is banned; draw from hybridflow::Rng"});
+      }
+    }
+    // naked-new / naked-delete outside src/tensor/.
+    if (!tensor_file) {
+      const size_t new_pos = FindToken(line, "new");
+      if (new_pos != std::string::npos && !Allowed(file, i, "naked-new")) {
+        // Only flag expression-new: `new Type...`, not `operator new` decls.
+        const size_t after = line.find_first_not_of(" \t", new_pos + 3);
+        const bool is_expr = after != std::string::npos &&
+                             (IsIdentChar(line[after]) || line[after] == '(' ||
+                              line[after] == '[') &&
+                             line.find("operator") == std::string::npos;
+        if (is_expr) {
+          findings.push_back({file.path, static_cast<int>(i) + 1, "naked-new",
+                              "naked new outside src/tensor/; use std::make_unique or a "
+                              "value member"});
+        }
+      }
+      size_t del_pos = FindToken(line, "delete");
+      if (del_pos != std::string::npos && !Allowed(file, i, "naked-delete")) {
+        // `= delete;` (deleted functions) and `= delete` in defaulted
+        // declarations are language, not deallocation.
+        size_t before = line.find_last_not_of(" \t", del_pos == 0 ? 0 : del_pos - 1);
+        const bool deleted_fn = before != std::string::npos && line[before] == '=';
+        if (!deleted_fn) {
+          findings.push_back({file.path, static_cast<int>(i) + 1, "naked-delete",
+                              "naked delete outside src/tensor/; prefer owning types"});
+        }
+      }
+    }
+    // pool-task-capture: Submit/ParallelFor lambdas must not capture `this`
+    // or use [=] (same-line heuristic; multi-line captures are rare here).
+    for (const char* entry : {"Submit", "ParallelFor"}) {
+      const size_t call = FindToken(line, entry);
+      if (call == std::string::npos) {
+        continue;
+      }
+      const size_t paren = line.find('(', call);
+      if (paren == std::string::npos || paren != call + std::string(entry).size()) {
+        continue;
+      }
+      const size_t open = line.find('[', paren);
+      if (open == std::string::npos) {
+        continue;
+      }
+      const size_t close = line.find(']', open);
+      if (close == std::string::npos) {
+        continue;
+      }
+      const std::string capture = line.substr(open + 1, close - open - 1);
+      const bool captures_this = FindToken(capture, "this") != std::string::npos ||
+                                 capture.find('=') != std::string::npos;
+      if (captures_this && !Allowed(file, i, "pool-task-capture")) {
+        findings.push_back({file.path, static_cast<int>(i) + 1, "pool-task-capture",
+                            "pool task captures `this`/[=]; capture the needed members "
+                            "explicitly by reference or value"});
+      }
+    }
+  }
+}
+
+void CheckMutexGuards(const FileText& file, std::vector<Finding>& findings) {
+  // Collect the whole file once to look for HF_GUARDED_BY(<mutex>) uses.
+  std::string joined;
+  for (const std::string& line : file.code) {
+    joined += line;
+    joined += '\n';
+  }
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    const std::string& line = file.code[i];
+    size_t pos = std::string::npos;
+    for (const char* type : {"std::mutex", "std::recursive_mutex", "std::shared_mutex"}) {
+      pos = FindToken(line, type);
+      if (pos != std::string::npos) {
+        pos += std::string(type).size();
+        break;
+      }
+    }
+    if (pos == std::string::npos) {
+      const size_t mu = FindToken(line, "Mutex");
+      if (mu != std::string::npos && (mu < 2 || line.compare(mu - 2, 2, "::") != 0)) {
+        pos = mu + 5;
+      }
+    }
+    if (pos == std::string::npos) {
+      continue;
+    }
+    // Member declarations only: `<type> name_;` where the repo's naming
+    // convention marks members with a trailing underscore.
+    const size_t name_begin = line.find_first_not_of(" \t&*", pos);
+    if (name_begin == std::string::npos || !IsIdentChar(line[name_begin])) {
+      continue;
+    }
+    size_t name_end = name_begin;
+    while (name_end < line.size() && IsIdentChar(line[name_end])) {
+      ++name_end;
+    }
+    const std::string name = line.substr(name_begin, name_end - name_begin);
+    if (name.empty() || name.back() != '_') {
+      continue;  // Local or parameter, not a member.
+    }
+    const size_t rest = line.find_first_not_of(" \t", name_end);
+    if (rest == std::string::npos || (line[rest] != ';' && line[rest] != '{')) {
+      continue;  // Not a plain declaration (e.g. a function taking Mutex&).
+    }
+    const bool has_comment =
+        file.raw[i].find("guards:") != std::string::npos ||
+        (i > 0 && file.raw[i - 1].find("guards:") != std::string::npos);
+    const bool has_annotation = joined.find("HF_GUARDED_BY(" + name + ")") != std::string::npos;
+    if (!has_comment && !has_annotation && !Allowed(file, i, "mutex-guards")) {
+      findings.push_back({file.path, static_cast<int>(i) + 1, "mutex-guards",
+                          "mutex member '" + name +
+                              "' must document what it protects (HF_GUARDED_BY on the "
+                              "data or a `// guards:` comment)"});
+    }
+  }
+}
+
+void CheckThreadConstruction(const FileText& file, std::vector<Finding>& findings) {
+  if (file.path == "src/common/thread_pool.cc" || file.path == "src/common/thread_pool.h") {
+    return;
+  }
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    const std::string& line = file.code[i];
+    for (const char* type : {"std::thread", "std::jthread"}) {
+      size_t pos = line.find(type);
+      while (pos != std::string::npos) {
+        const size_t after = pos + std::string(type).size();
+        // `std::thread::id`, `std::thread::hardware_concurrency` etc. are
+        // type access, not construction; `std::this_thread` never matches.
+        const bool scope_access = after + 1 < line.size() && line[after] == ':' &&
+                                  line[after + 1] == ':';
+        const bool ident_continue = after < line.size() && IsIdentChar(line[after]);
+        if (!scope_access && !ident_continue && !Allowed(file, i, "thread-construction")) {
+          findings.push_back({file.path, static_cast<int>(i) + 1, "thread-construction",
+                              "std::thread outside src/common/thread_pool.cc; use "
+                              "ThreadPool (Submit/ParallelFor)"});
+        }
+        pos = line.find(type, after);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const fs::path root = argc > 1 ? fs::path(argv[1]) : fs::path(".");
+  if (!fs::exists(root / "src")) {
+    std::cerr << "hflint: '" << root.string() << "' does not look like the repo root\n";
+    return 2;
+  }
+  std::vector<Finding> findings;
+  int files_checked = 0;
+  for (const char* top : {"src", "tests", "bench", "tools"}) {
+    const fs::path dir = root / top;
+    if (!fs::exists(dir)) {
+      continue;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) {
+        continue;
+      }
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".h" && ext != ".cc" && ext != ".cpp") {
+        continue;
+      }
+      FileText file;
+      file.path = fs::relative(entry.path(), root).generic_string();
+      std::ifstream in(entry.path());
+      if (!in) {
+        findings.push_back({file.path, 0, "io", "cannot read file"});
+        continue;
+      }
+      for (std::string line; std::getline(in, line);) {
+        if (!line.empty() && line.back() == '\r') {
+          line.pop_back();
+        }
+        file.raw.push_back(std::move(line));
+      }
+      StripCommentsAndStrings(file);
+      CheckIncludeGuard(file, findings);
+      CheckIncludes(file, root, findings);
+      CheckBannedCalls(file, findings);
+      CheckMutexGuards(file, findings);
+      CheckThreadConstruction(file, findings);
+      ++files_checked;
+    }
+  }
+  for (const Finding& finding : findings) {
+    std::cerr << finding.file << ":" << finding.line << ": [" << finding.rule << "] "
+              << finding.message << "\n";
+  }
+  if (!findings.empty()) {
+    std::cerr << "hflint: " << findings.size() << " finding(s) in " << files_checked
+              << " files\n";
+    return 1;
+  }
+  std::cout << "hflint: clean (" << files_checked << " files)\n";
+  return 0;
+}
