@@ -21,8 +21,12 @@ int main() {
       {"34B", {32, 64, 128}},
       {"70B", {64, 128}},
   };
+  BenchReport report("fig10_remax_throughput");
   for (const auto& [model, gpu_counts] : sweeps) {
-    PrintThroughputPanel(RlhfAlgorithm::kRemax, model, gpu_counts, systems);
+    PrintThroughputPanel(RlhfAlgorithm::kRemax, model, gpu_counts, systems, &report);
+  }
+  if (report.WriteJson()) {
+    std::cout << "\nwrote " << report.FilePath() << " (" << report.size() << " rows)\n";
   }
   std::cout << "\nExpected shape: HybridFlow wins everywhere; the critic-free dataflow\n"
                "makes generation an even larger share, so the generation-optimized\n"

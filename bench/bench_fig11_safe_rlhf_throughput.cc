@@ -20,8 +20,12 @@ int main() {
       {"34B", {32, 64, 128}},
       {"70B", {64, 128}},
   };
+  BenchReport report("fig11_safe_rlhf_throughput");
   for (const auto& [model, gpu_counts] : sweeps) {
-    PrintThroughputPanel(RlhfAlgorithm::kSafeRlhf, model, gpu_counts, systems);
+    PrintThroughputPanel(RlhfAlgorithm::kSafeRlhf, model, gpu_counts, systems, &report);
+  }
+  if (report.WriteJson()) {
+    std::cout << "\nwrote " << report.FilePath() << " (" << report.size() << " rows)\n";
   }
   std::cout << "\nExpected shape: same ordering as PPO; the extra cost model raises\n"
                "memory pressure, pushing baselines to OOM at smaller scales.\n";

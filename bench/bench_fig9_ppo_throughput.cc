@@ -27,8 +27,12 @@ int main() {
       {"34B", {32, 64, 128}},
       {"70B", {64, 128}},
   };
+  BenchReport report("fig9_ppo_throughput");
   for (const auto& [model, gpu_counts] : sweeps) {
-    PrintThroughputPanel(RlhfAlgorithm::kPpo, model, gpu_counts, systems);
+    PrintThroughputPanel(RlhfAlgorithm::kPpo, model, gpu_counts, systems, &report);
+  }
+  if (report.WriteJson()) {
+    std::cout << "\nwrote " << report.FilePath() << " (" << report.size() << " rows)\n";
   }
 
   // --- §8.2 ancillary numbers ----------------------------------------------

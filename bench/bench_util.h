@@ -8,6 +8,7 @@
 
 #include "src/baselines/system_builder.h"
 #include "src/common/strings.h"
+#include "src/obs/telemetry.h"
 
 namespace hybridflow {
 
@@ -36,9 +37,13 @@ inline double MeasureThroughput(RlhfSystem system, RlhfAlgorithm algorithm,
 
 // Prints one throughput table (one paper figure panel): rows = systems,
 // columns = cluster sizes; cells are tokens/sec with HybridFlow speedups.
+// When `report` is non-null, every measured cell is also appended to it as
+// a structured row, so the bench can emit a machine-readable
+// BENCH_<name>.json next to the human-readable panel.
 inline void PrintThroughputPanel(RlhfAlgorithm algorithm, const std::string& model_name,
                                  const std::vector<int>& gpu_counts,
-                                 const std::vector<RlhfSystem>& systems) {
+                                 const std::vector<RlhfSystem>& systems,
+                                 BenchReport* report = nullptr) {
   const ModelSpec model = ModelSpec::ByName(model_name);
   std::cout << "\n--- " << RlhfAlgorithmName(algorithm) << ", " << model_name
             << " models (throughput, tokens/sec; parentheses: HybridFlow speedup) ---\n";
@@ -51,7 +56,18 @@ inline void PrintThroughputPanel(RlhfAlgorithm algorithm, const std::string& mod
   std::vector<std::vector<double>> table(systems.size());
   for (size_t s = 0; s < systems.size(); ++s) {
     for (int gpus : gpu_counts) {
-      table[s].push_back(MeasureThroughput(systems[s], algorithm, model, model, gpus));
+      const double tokens_per_sec =
+          MeasureThroughput(systems[s], algorithm, model, model, gpus);
+      table[s].push_back(tokens_per_sec);
+      if (report != nullptr) {
+        report->AddRow()
+            .Text("system", RlhfSystemName(systems[s]))
+            .Text("algorithm", RlhfAlgorithmName(algorithm))
+            .Text("model", model_name)
+            .Number("gpus", gpus)
+            .Number("feasible", tokens_per_sec >= 0.0 ? 1 : 0)
+            .Number("tokens_per_sec", tokens_per_sec >= 0.0 ? tokens_per_sec : 0.0);
+      }
     }
   }
   size_t hybridflow_row = systems.size() - 1;

@@ -9,18 +9,29 @@
 //            truth) driving the actor, exactly the paper's setting.
 //
 // Run: ./full_pipeline [rlhf_iterations]
+//
+// Observability artifacts written to the working directory
+// (docs/OBSERVABILITY.md):
+//   full_pipeline_trace.json      — merged dual-plane Chrome trace
+//   full_pipeline_telemetry.jsonl — one JSONL record per RLHF iteration
+//   full_pipeline_metrics.jsonl   — final metrics-registry dump
 
 #include <cstdlib>
 #include <iostream>
 
 #include "src/baselines/system_builder.h"
 #include "src/common/strings.h"
+#include "src/obs/dual_trace.h"
+#include "src/obs/metrics.h"
+#include "src/obs/telemetry.h"
+#include "src/obs/trace.h"
 #include "src/rlhf/pretraining.h"
 
 int main(int argc, char** argv) {
   using namespace hybridflow;
   const int rlhf_iterations = argc > 1 ? std::atoi(argv[1]) : 25;
   const AlignmentTask task;
+  WallclockTracer::Global().SetEnabled(true);
 
   // --- Stage A: SFT ---------------------------------------------------------
   PolicyNetConfig actor_config;
@@ -105,6 +116,8 @@ int main(int argc, char** argv) {
   models.reference = &reference;
   models.reward = &reward;
   RlhfProgram program(program_config, models, &controller, &dataset);
+  TelemetrySink telemetry("full_pipeline_telemetry.jsonl");
+  program.SetTelemetrySink(telemetry.ok() ? &telemetry : nullptr);
 
   std::cout << "Stage C (RLHF):    PPO driven by the learned reward model\n";
   std::cout << "iter | learned-RM reward | ground-truth toxicity | coherence\n";
@@ -118,5 +131,21 @@ int main(int argc, char** argv) {
   std::cout << "\nThe actor optimizes the *learned* reward; because the reward model\n"
                "ranks like the ground truth, toxicity falls and coherence rises even\n"
                "though the RL loop never sees the true task reward.\n";
+
+  // --- Observability artifacts ------------------------------------------------
+  if (WriteDualPlaneTrace(controller.cluster(), "full_pipeline_trace.json")) {
+    std::cout << "\nwrote full_pipeline_trace.json ("
+              << controller.cluster().trace().size() << " sim spans, "
+              << WallclockTracer::Global().size()
+              << " wall spans; open in chrome://tracing or Perfetto)\n";
+  }
+  if (telemetry.ok()) {
+    std::cout << "wrote " << telemetry.path() << " (" << telemetry.records_written()
+              << " iteration records)\n";
+  }
+  if (MetricsRegistry::Global().WriteJsonLines("full_pipeline_metrics.jsonl")) {
+    std::cout << "wrote full_pipeline_metrics.jsonl (" << MetricsRegistry::Global().size()
+              << " metrics)\n";
+  }
   return 0;
 }

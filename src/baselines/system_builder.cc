@@ -412,6 +412,12 @@ IterationMetrics RlhfSystemInstance::RunAveraged(int warmup, int measured) {
     total.mean_reward += metrics.mean_reward;
     total.toxicity_rate += metrics.toxicity_rate;
     total.coherence_rate += metrics.coherence_rate;
+    total.actor_loss += metrics.actor_loss;
+    total.critic_loss += metrics.critic_loss;
+    total.mean_kl += metrics.mean_kl;
+    total.grad_norm += metrics.grad_norm;
+    total.clip_fraction += metrics.clip_fraction;
+    total.wall_clock_seconds += metrics.wall_clock_seconds;
     total.transition_seconds += metrics.transition_seconds;
     total.generation_seconds += metrics.generation_seconds;
     for (const auto& [category, seconds] : metrics.busy_by_category) {
@@ -424,6 +430,12 @@ IterationMetrics RlhfSystemInstance::RunAveraged(int warmup, int measured) {
   total.mean_reward *= inv;
   total.toxicity_rate *= inv;
   total.coherence_rate *= inv;
+  total.actor_loss *= inv;
+  total.critic_loss *= inv;
+  total.mean_kl *= inv;
+  total.grad_norm *= inv;
+  total.clip_fraction *= inv;
+  total.wall_clock_seconds *= inv;
   total.transition_seconds *= inv;
   total.generation_seconds *= inv;
   for (auto& [category, seconds] : total.busy_by_category) {

@@ -14,7 +14,10 @@
 namespace hybridflow {
 
 [[noreturn]] inline void CheckFailure(const char* file, int line, const std::string& message) {
-  std::cerr << "HF_CHECK failed at " << file << ":" << line << ": " << message << std::endl;
+  // The process is about to abort: bypass the logger (whose state may be
+  // the thing that failed) and write straight to stderr.
+  std::cerr << "HF_CHECK failed at " << file << ":" << line << ": "  // hflint: allow(raw-diagnostics)
+            << message << std::endl;
   std::abort();
 }
 

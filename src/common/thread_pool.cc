@@ -4,8 +4,34 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace hybridflow {
+
+namespace {
+
+// Pool metrics. Registry handles are pointer-stable for the process
+// lifetime (the global registry is append-only and leaked), so caching
+// them in function-local statics is safe even from pool threads.
+Histogram& QueueLatencyHistogram() {
+  static Histogram& histogram = MetricsRegistry::Global().GetHistogram(
+      "threadpool.queue_latency_us", ExponentialBuckets(1.0, 10.0, 7));
+  return histogram;
+}
+
+Histogram& TaskRunHistogram() {
+  static Histogram& histogram = MetricsRegistry::Global().GetHistogram(
+      "threadpool.task_run_us", ExponentialBuckets(1.0, 10.0, 7));
+  return histogram;
+}
+
+Counter& TasksCompletedCounter() {
+  static Counter& counter = MetricsRegistry::Global().GetCounter("threadpool.tasks_completed");
+  return counter;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   HF_CHECK_GT(num_threads, 0);
@@ -28,7 +54,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::packaged_task<void()> task;
+    QueuedTask task;
     {
       MutexLock lock(mutex_);
       while (!stopping_ && queue_.empty()) {
@@ -40,17 +66,26 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    const double start_us = WallclockTracer::NowMicros();
+    QueueLatencyHistogram().Observe(start_us - task.enqueue_us);
+    {
+      HF_TRACE_SCOPE("threadpool.task", "threadpool");
+      task.task();
+    }
+    TaskRunHistogram().Observe(WallclockTracer::NowMicros() - start_us);
+    TasksCompletedCounter().Increment();
   }
 }
 
 std::future<void> ThreadPool::Submit(std::function<void()> task) {
-  std::packaged_task<void()> packaged(std::move(task));
-  std::future<void> future = packaged.get_future();
+  QueuedTask queued;
+  queued.task = std::packaged_task<void()>(std::move(task));
+  queued.enqueue_us = WallclockTracer::NowMicros();
+  std::future<void> future = queued.task.get_future();
   {
     MutexLock lock(mutex_);
     HF_CHECK(!stopping_);
-    queue_.push_back(std::move(packaged));
+    queue_.push_back(std::move(queued));
   }
   wake_.NotifyOne();
   return future;

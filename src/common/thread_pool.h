@@ -49,8 +49,15 @@ class ThreadPool {
   // Immutable after construction; joined in the destructor.
   std::vector<std::thread> threads_;
 
+  // A task plus the wall-clock instant it was enqueued, so workers can
+  // report queue latency to the metrics registry.
+  struct QueuedTask {
+    std::packaged_task<void()> task;
+    double enqueue_us = 0.0;
+  };
+
   Mutex mutex_;
-  std::deque<std::packaged_task<void()>> queue_ HF_GUARDED_BY(mutex_);
+  std::deque<QueuedTask> queue_ HF_GUARDED_BY(mutex_);
   CondVar wake_;  // Signaled under mutex_ when queue_ grows or stopping_ flips.
   bool stopping_ HF_GUARDED_BY(mutex_) = false;
 };

@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace hybridflow {
 
@@ -10,6 +12,8 @@ Controller::Controller(const ClusterSpec& spec) : cluster_(spec) {}
 
 std::shared_ptr<ResourcePool> Controller::CreatePool(const std::string& name,
                                                      std::vector<DeviceId> devices) {
+  HF_TRACE_SCOPE("controller.create_pool", "controller");
+  MetricsRegistry::Global().GetCounter("controller.pools_created").Increment();
   for (DeviceId device : devices) {
     HF_CHECK_GE(device, 0);
     HF_CHECK_LT(device, cluster_.world_size());
@@ -39,12 +43,15 @@ std::shared_ptr<ResourcePool> Controller::CreatePoolRange(const std::string& nam
 }
 
 SimTime Controller::BeginIteration() {
+  MetricsRegistry::Global().GetCounter("controller.iterations").Increment();
   iteration_start_ = cluster_.Makespan();
   return iteration_start_;
 }
 
 SimTime Controller::IterationSeconds() const {
-  return cluster_.Makespan() - iteration_start_;
+  const SimTime seconds = cluster_.Makespan() - iteration_start_;
+  MetricsRegistry::Global().GetGauge("controller.last_iteration_sim_seconds").Set(seconds);
+  return seconds;
 }
 
 }  // namespace hybridflow

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/obs/trace.h"
 #include "src/sim/collective.h"
 
 namespace hybridflow {
@@ -117,6 +118,7 @@ std::vector<DeviceId> HybridEngine::GenReplicaDevices(int replica) const {
 }
 
 TransitionStats HybridEngine::TrainToGenTransition() const {
+  HF_TRACE_SCOPE("hybrid_engine.train_to_gen", "reshard");
   TransitionStats stats;
   switch (mode_) {
     case ActorEngineMode::kShared: {

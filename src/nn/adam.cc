@@ -42,6 +42,18 @@ void Adam::Step() {
   ZeroGrad();
 }
 
+double Adam::GradNorm() const {
+  double sum_squares = 0.0;
+  for (const Tensor& param : params_) {
+    const TensorNode& node = *param.node();
+    for (size_t i = 0; i < node.grad.size(); ++i) {
+      const double g = node.grad[i];
+      sum_squares += g * g;
+    }
+  }
+  return std::sqrt(sum_squares);
+}
+
 void Adam::ZeroGrad() {
   for (Tensor& param : params_) {
     param.node()->EnsureGrad();

@@ -30,6 +30,10 @@ class Adam {
   // Zeroes parameter gradients without updating.
   void ZeroGrad();
 
+  // Global L2 norm of the currently accumulated (pre-clip) gradients.
+  // Call before Step(), which zeroes them.
+  double GradNorm() const;
+
   int64_t steps() const { return steps_; }
   const std::vector<Tensor>& params() const { return params_; }
 

@@ -1,0 +1,78 @@
+#include "src/obs/dual_trace.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+
+#include "src/obs/json_util.h"
+#include "src/sim/trace_export.h"
+
+namespace hybridflow {
+
+namespace {
+
+void AppendProcessName(int pid, const std::string& name, bool* first, std::ostream& out) {
+  if (!*first) {
+    out << ",\n";
+  }
+  *first = false;
+  out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+      << ",\"args\":{\"name\":\"" << JsonEscape(name) << "\"}}";
+}
+
+void AppendWallSpans(const std::vector<WallSpan>& spans, int pid, bool* first,
+                     std::ostream& out) {
+  // One thread_name metadata event per distinct traced thread.
+  std::vector<uint32_t> threads;
+  threads.reserve(spans.size());
+  for (const WallSpan& span : spans) {
+    threads.push_back(span.thread_id);
+  }
+  std::sort(threads.begin(), threads.end());
+  threads.erase(std::unique(threads.begin(), threads.end()), threads.end());
+  for (uint32_t tid : threads) {
+    if (!*first) {
+      out << ",\n";
+    }
+    *first = false;
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << tid
+        << ",\"args\":{\"name\":\"thread " << tid << "\"}}";
+  }
+  for (const WallSpan& span : spans) {
+    if (!*first) {
+      out << ",\n";
+    }
+    *first = false;
+    out << "{\"name\":\"" << JsonEscape(span.name) << "\",\"cat\":\""
+        << JsonEscape(span.category) << "\",\"ph\":\"X\",\"pid\":" << pid
+        << ",\"tid\":" << span.thread_id << ",\"ts\":" << JsonNumber(span.start_us)
+        << ",\"dur\":" << JsonNumber(span.duration_us) << "}";
+  }
+}
+
+}  // namespace
+
+std::string DualPlaneChromeJson(const ClusterState& state,
+                                const std::vector<WallSpan>& wall_spans) {
+  std::ostringstream out;
+  out << "{\"traceEvents\":[\n";
+  bool first = true;
+  AppendProcessName(0, "simulated cluster (sim-time)", &first, out);
+  AppendProcessName(1, "framework (wall-clock)", &first, out);
+  AppendSimTraceEvents(state.trace(), state.world_size(), /*pid=*/0, &first, out);
+  AppendWallSpans(wall_spans, /*pid=*/1, &first, out);
+  out << "\n]}\n";
+  return out.str();
+}
+
+bool WriteDualPlaneTrace(const ClusterState& state, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) {
+    return false;
+  }
+  file << DualPlaneChromeJson(state, WallclockTracer::Global().Snapshot());
+  return static_cast<bool>(file);
+}
+
+}  // namespace hybridflow

@@ -1,0 +1,35 @@
+// Dual-plane Chrome trace export: merges the simulated-cluster timeline
+// (src/sim/timeline.h, simulated seconds) and the framework's wall-clock
+// spans (src/obs/trace.h) into one trace-event JSON file with two process
+// groups:
+//
+//   pid 0 — "simulated cluster (sim-time)", one tid per GPU, timestamps
+//           in simulated microseconds;
+//   pid 1 — "framework (wall-clock)", one tid per traced thread,
+//           timestamps in real microseconds since the trace epoch.
+//
+// chrome://tracing and Perfetto render the two groups stacked, so a run's
+// real controller/worker/reshard activity can be read side by side with
+// the cluster time it was charged on the simulated timeline.
+#ifndef SRC_OBS_DUAL_TRACE_H_
+#define SRC_OBS_DUAL_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/obs/trace.h"
+#include "src/sim/timeline.h"
+
+namespace hybridflow {
+
+// Serializes both planes into one Chrome trace-event JSON document.
+std::string DualPlaneChromeJson(const ClusterState& state,
+                                const std::vector<WallSpan>& wall_spans);
+
+// Convenience: snapshots WallclockTracer::Global() and writes the merged
+// trace to `path`. Returns false on I/O failure.
+bool WriteDualPlaneTrace(const ClusterState& state, const std::string& path);
+
+}  // namespace hybridflow
+
+#endif  // SRC_OBS_DUAL_TRACE_H_

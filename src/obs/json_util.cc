@@ -1,0 +1,316 @@
+#include "src/obs/json_util.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+
+namespace hybridflow {
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) {
+    return "null";  // JSON cannot represent NaN/Inf.
+  }
+  if (value == std::floor(value) && std::fabs(value) < 9.0e15) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%lld", static_cast<long long>(value));
+    return buffer;
+  }
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+namespace {
+
+// Recursive-descent validator over the raw bytes (treats the input as
+// Latin-1; multi-byte UTF-8 passes through unexamined, which is fine for
+// validity checking of our own ASCII-producing exporters).
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& text) : text_(text) {}
+
+  bool Validate(std::string* error) {
+    SkipWhitespace();
+    if (!Value()) {
+      Fail(error);
+      return false;
+    }
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      message_ = "trailing characters after JSON value";
+      Fail(error);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  void Fail(std::string* error) const {
+    if (error != nullptr) {
+      *error = message_.empty() ? "malformed JSON" : message_;
+      *error += " (at byte " + std::to_string(pos_) + ")";
+    }
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  bool AtEnd() const { return pos_ >= text_.size(); }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool Literal(const char* word) {
+    size_t i = 0;
+    while (word[i] != '\0') {
+      if (pos_ + i >= text_.size() || text_[pos_ + i] != word[i]) {
+        message_ = "invalid literal";
+        return false;
+      }
+      ++i;
+    }
+    pos_ += i;
+    return true;
+  }
+
+  bool String() {
+    if (Peek() != '"') {
+      message_ = "expected string";
+      return false;
+    }
+    ++pos_;
+    while (!AtEnd()) {
+      const char c = text_[pos_];
+      if (static_cast<unsigned char>(c) < 0x20) {
+        message_ = "raw control character in string";
+        return false;
+      }
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        const char esc = Peek();
+        if (esc == 'u') {
+          for (int k = 1; k <= 4; ++k) {
+            if (pos_ + static_cast<size_t>(k) >= text_.size() ||
+                std::isxdigit(static_cast<unsigned char>(text_[pos_ + static_cast<size_t>(k)])) ==
+                    0) {
+              message_ = "bad \\u escape";
+              return false;
+            }
+          }
+          pos_ += 5;
+        } else if (esc == '"' || esc == '\\' || esc == '/' || esc == 'b' || esc == 'f' ||
+                   esc == 'n' || esc == 'r' || esc == 't') {
+          ++pos_;
+        } else {
+          message_ = "bad escape character";
+          return false;
+        }
+      } else {
+        ++pos_;
+      }
+    }
+    message_ = "unterminated string";
+    return false;
+  }
+
+  bool Number() {
+    const size_t start = pos_;
+    if (Peek() == '-') {
+      ++pos_;
+    }
+    if (std::isdigit(static_cast<unsigned char>(Peek())) == 0) {
+      message_ = "expected digit";
+      return false;
+    }
+    if (Peek() == '0') {
+      ++pos_;
+    } else {
+      while (std::isdigit(static_cast<unsigned char>(Peek())) != 0) {
+        ++pos_;
+      }
+    }
+    if (Peek() == '.') {
+      ++pos_;
+      if (std::isdigit(static_cast<unsigned char>(Peek())) == 0) {
+        message_ = "expected fraction digits";
+        return false;
+      }
+      while (std::isdigit(static_cast<unsigned char>(Peek())) != 0) {
+        ++pos_;
+      }
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') {
+        ++pos_;
+      }
+      if (std::isdigit(static_cast<unsigned char>(Peek())) == 0) {
+        message_ = "expected exponent digits";
+        return false;
+      }
+      while (std::isdigit(static_cast<unsigned char>(Peek())) != 0) {
+        ++pos_;
+      }
+    }
+    return pos_ > start;
+  }
+
+  bool Value() {
+    if (++depth_ > kMaxDepth) {
+      message_ = "nesting too deep";
+      return false;
+    }
+    bool ok = false;
+    switch (Peek()) {
+      case '{':
+        ok = Object();
+        break;
+      case '[':
+        ok = Array();
+        break;
+      case '"':
+        ok = String();
+        break;
+      case 't':
+        ok = Literal("true");
+        break;
+      case 'f':
+        ok = Literal("false");
+        break;
+      case 'n':
+        ok = Literal("null");
+        break;
+      default:
+        ok = Number();
+    }
+    --depth_;
+    return ok;
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWhitespace();
+    if (Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWhitespace();
+      if (!String()) {
+        return false;
+      }
+      SkipWhitespace();
+      if (Peek() != ':') {
+        message_ = "expected ':' in object";
+        return false;
+      }
+      ++pos_;
+      SkipWhitespace();
+      if (!Value()) {
+        return false;
+      }
+      SkipWhitespace();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      message_ = "expected ',' or '}' in object";
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWhitespace();
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWhitespace();
+      if (!Value()) {
+        return false;
+      }
+      SkipWhitespace();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      message_ = "expected ',' or ']' in array";
+      return false;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+  std::string message_;
+};
+
+}  // namespace
+
+bool JsonValidate(const std::string& text, std::string* error) {
+  return JsonValidator(text).Validate(error);
+}
+
+}  // namespace hybridflow

@@ -1,0 +1,30 @@
+// Minimal JSON string utilities shared by the observability exporters
+// (metrics JSONL, run telemetry, Chrome traces). Not a DOM library: just
+// spec-correct escaping, deterministic number formatting, and a validating
+// parser used by tests to round-trip-check emitted documents.
+#ifndef SRC_OBS_JSON_UTIL_H_
+#define SRC_OBS_JSON_UTIL_H_
+
+#include <string>
+
+namespace hybridflow {
+
+// Escapes a string for embedding inside a JSON string literal (without the
+// surrounding quotes): '"', '\\', and every control character < 0x20 per
+// RFC 8259 ('\n', '\t', '\r', '\b', '\f' use short escapes, the rest \u00XX).
+std::string JsonEscape(const std::string& text);
+
+// Formats a double as a JSON number token. Integral values print without a
+// decimal point; non-finite values (which JSON cannot represent) print as
+// null. Deterministic across platforms for golden tests.
+std::string JsonNumber(double value);
+
+// Validates that `text` is exactly one well-formed JSON value (object,
+// array, string, number, true/false/null) with only trailing whitespace.
+// On failure returns false and, when `error` is non-null, a short
+// position-annotated description.
+bool JsonValidate(const std::string& text, std::string* error = nullptr);
+
+}  // namespace hybridflow
+
+#endif  // SRC_OBS_JSON_UTIL_H_

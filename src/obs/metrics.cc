@@ -1,0 +1,273 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/check.h"
+#include "src/obs/json_util.h"
+
+namespace hybridflow {
+
+namespace {
+
+MetricLabels Canonical(MetricLabels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+// Registry key: name and labels joined with unit separators (neither can
+// contain 0x1f, which JsonEscape would reject anyway for sane names).
+std::string KeyOf(const std::string& name, const MetricLabels& canonical) {
+  std::string key = name;
+  for (const auto& [label, value] : canonical) {
+    key += '\x1f';
+    key += label;
+    key += '\x1e';
+    key += value;
+  }
+  return key;
+}
+
+std::string LabelsJson(const MetricLabels& labels) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [label, value] : labels) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += '"';
+    out += JsonEscape(label);
+    out += "\":\"";
+    out += JsonEscape(value);
+    out += '"';
+  }
+  out += "}";
+  return out;
+}
+
+std::string LabelsText(const MetricLabels& labels) {
+  if (labels.empty()) {
+    return "";
+  }
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [label, value] : labels) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += label;
+    out += '=';
+    out += value;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    HF_CHECK_MSG(bounds_[i - 1] < bounds_[i], "histogram bounds must be strictly ascending");
+  }
+}
+
+void Histogram::Observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const size_t bucket = static_cast<size_t>(it - bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.Add(value);
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> counts;
+  counts.reserve(buckets_.size());
+  for (const std::atomic<uint64_t>& bucket : buckets_) {
+    counts.push_back(bucket.load(std::memory_order_relaxed));
+  }
+  return counts;
+}
+
+std::vector<double> ExponentialBuckets(double start, double factor, int count) {
+  HF_CHECK_GT(start, 0.0);
+  HF_CHECK_GT(factor, 1.0);
+  HF_CHECK_GT(count, 0);
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(count));
+  double bound = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> LinearBuckets(double start, double width, int count) {
+  HF_CHECK_GT(width, 0.0);
+  HF_CHECK_GT(count, 0);
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(start + width * i);
+  }
+  return bounds;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Intentionally leaked: pool threads may observe metrics during static
+  // destruction (same pattern as ThreadPool::Shared).
+  static MetricsRegistry* registry = new MetricsRegistry();  // hflint: allow(naked-new)
+  return *registry;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::FindOrCreate(const std::string& name,
+                                                      const MetricLabels& labels, Kind kind) {
+  const MetricLabels canonical = Canonical(labels);
+  const std::string key = KeyOf(name, canonical);
+  MutexLock lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    Entry& entry = *entries_[it->second];
+    HF_CHECK_MSG(entry.kind == kind, "metric '" << name << "' registered as two kinds");
+    return entry;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->labels = canonical;
+  entry->kind = kind;
+  index_[key] = entries_.size();
+  entries_.push_back(std::move(entry));
+  return *entries_.back();
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name, const MetricLabels& labels) {
+  Entry& entry = FindOrCreate(name, labels, Kind::kCounter);
+  if (entry.counter == nullptr) {
+    entry.counter = std::make_unique<Counter>();
+  }
+  return *entry.counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name, const MetricLabels& labels) {
+  Entry& entry = FindOrCreate(name, labels, Kind::kGauge);
+  if (entry.gauge == nullptr) {
+    entry.gauge = std::make_unique<Gauge>();
+  }
+  return *entry.gauge;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name, const std::vector<double>& bounds,
+                                         const MetricLabels& labels) {
+  Entry& entry = FindOrCreate(name, labels, Kind::kHistogram);
+  if (entry.histogram == nullptr) {
+    entry.histogram = std::unique_ptr<Histogram>(new Histogram(bounds));  // hflint: allow(naked-new)
+  } else {
+    HF_CHECK_MSG(entry.histogram->bounds() == bounds,
+                 "histogram '" << name << "' re-registered with different bounds");
+  }
+  return *entry.histogram;
+}
+
+size_t MetricsRegistry::size() const {
+  MutexLock lock(mutex_);
+  return entries_.size();
+}
+
+std::vector<const MetricsRegistry::Entry*> MetricsRegistry::SortedEntries() const {
+  std::vector<const Entry*> sorted;
+  {
+    MutexLock lock(mutex_);
+    sorted.reserve(entries_.size());
+    for (const std::unique_ptr<Entry>& entry : entries_) {
+      sorted.push_back(entry.get());
+    }
+  }
+  std::sort(sorted.begin(), sorted.end(), [](const Entry* a, const Entry* b) {
+    if (a->name != b->name) {
+      return a->name < b->name;
+    }
+    return a->labels < b->labels;
+  });
+  return sorted;
+}
+
+std::string MetricsRegistry::ToJsonLines() const {
+  std::ostringstream out;
+  for (const Entry* entry : SortedEntries()) {
+    out << "{\"name\":\"" << JsonEscape(entry->name) << "\",";
+    switch (entry->kind) {
+      case Kind::kCounter:
+        out << "\"type\":\"counter\",\"labels\":" << LabelsJson(entry->labels)
+            << ",\"value\":" << JsonNumber(entry->counter->Value());
+        break;
+      case Kind::kGauge:
+        out << "\"type\":\"gauge\",\"labels\":" << LabelsJson(entry->labels)
+            << ",\"value\":" << JsonNumber(entry->gauge->Value());
+        break;
+      case Kind::kHistogram: {
+        const Histogram& histogram = *entry->histogram;
+        out << "\"type\":\"histogram\",\"labels\":" << LabelsJson(entry->labels)
+            << ",\"count\":" << histogram.TotalCount()
+            << ",\"sum\":" << JsonNumber(histogram.Sum()) << ",\"buckets\":[";
+        const std::vector<uint64_t> counts = histogram.BucketCounts();
+        for (size_t i = 0; i < counts.size(); ++i) {
+          if (i > 0) {
+            out << ",";
+          }
+          if (i < histogram.bounds().size()) {
+            out << "{\"le\":" << JsonNumber(histogram.bounds()[i]);
+          } else {
+            out << "{\"le\":\"+inf\"";
+          }
+          out << ",\"count\":" << counts[i] << "}";
+        }
+        out << "]";
+        break;
+      }
+    }
+    out << "}\n";
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::ToText() const {
+  std::ostringstream out;
+  for (const Entry* entry : SortedEntries()) {
+    out << entry->name << LabelsText(entry->labels) << " = ";
+    switch (entry->kind) {
+      case Kind::kCounter:
+        out << JsonNumber(entry->counter->Value()) << " (counter)";
+        break;
+      case Kind::kGauge:
+        out << JsonNumber(entry->gauge->Value()) << " (gauge)";
+        break;
+      case Kind::kHistogram: {
+        const Histogram& histogram = *entry->histogram;
+        const uint64_t count = histogram.TotalCount();
+        out << "count=" << count << " sum=" << JsonNumber(histogram.Sum());
+        if (count > 0) {
+          out << " mean=" << JsonNumber(histogram.Sum() / static_cast<double>(count));
+        }
+        out << " (histogram)";
+        break;
+      }
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+bool MetricsRegistry::WriteJsonLines(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) {
+    return false;
+  }
+  file << ToJsonLines();
+  return static_cast<bool>(file);
+}
+
+}  // namespace hybridflow

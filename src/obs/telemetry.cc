@@ -1,0 +1,99 @@
+#include "src/obs/telemetry.h"
+
+#include <utility>
+
+#include "src/obs/json_util.h"
+
+namespace hybridflow {
+
+TelemetryFields& TelemetryFields::Number(std::string key, double value) {
+  Field field;
+  field.key = std::move(key);
+  field.is_number = true;
+  field.number = value;
+  fields_.push_back(std::move(field));
+  return *this;
+}
+
+TelemetryFields& TelemetryFields::Text(std::string key, std::string value) {
+  Field field;
+  field.key = std::move(key);
+  field.is_number = false;
+  field.text = std::move(value);
+  fields_.push_back(std::move(field));
+  return *this;
+}
+
+std::string TelemetryFields::ToJson() const {
+  std::string out = "{";
+  bool first = true;
+  for (const Field& field : fields_) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += '"';
+    out += JsonEscape(field.key);
+    out += "\":";
+    if (field.is_number) {
+      out += JsonNumber(field.number);
+    } else {
+      out += '"';
+      out += JsonEscape(field.text);
+      out += '"';
+    }
+  }
+  out += "}";
+  return out;
+}
+
+TelemetrySink::TelemetrySink(std::string path) : path_(std::move(path)), out_(path_) {}
+
+bool TelemetrySink::ok() const {
+  MutexLock lock(mutex_);
+  return static_cast<bool>(out_);
+}
+
+size_t TelemetrySink::records_written() const {
+  MutexLock lock(mutex_);
+  return records_;
+}
+
+void TelemetrySink::Append(const TelemetryFields& record) {
+  const std::string line = record.ToJson();
+  MutexLock lock(mutex_);
+  out_ << line << "\n";
+  out_.flush();
+  records_ += 1;
+}
+
+BenchReport::BenchReport(std::string name) : name_(std::move(name)) {}
+
+TelemetryFields& BenchReport::AddRow() {
+  rows_.emplace_back();
+  return rows_.back();
+}
+
+std::string BenchReport::FilePath(const std::string& directory) const {
+  return directory + "/BENCH_" + name_ + ".json";
+}
+
+bool BenchReport::WriteJson(const std::string& directory) const {
+  std::ofstream file(FilePath(directory));
+  if (!file) {
+    return false;
+  }
+  file << "{\"bench\":\"" << JsonEscape(name_) << "\",\"rows\":[\n";
+  bool first = true;
+  for (const TelemetryFields& row : rows_) {
+    if (!first) {
+      file << ",\n";
+    }
+    first = false;
+    file << row.ToJson();
+  }
+  file << "\n]}\n";
+  return static_cast<bool>(file);
+}
+
+}  // namespace hybridflow

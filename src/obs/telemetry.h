@@ -1,0 +1,91 @@
+// Structured run telemetry: machine-readable JSONL trajectories for
+// training loops and JSON result files for the figure-reproduction
+// benches.
+//
+// Two sinks share one record type:
+//   * TelemetrySink  — append-only JSONL file, one record per line; the
+//     RLHF program writes one record per iteration (loss, KL, reward,
+//     grad norm, clip fraction, sim makespan, wall-clock ms, tokens/s).
+//   * BenchReport    — in-memory row collection written once as
+//     BENCH_<name>.json, used by the bench_fig* harnesses.
+#ifndef SRC_OBS_TELEMETRY_H_
+#define SRC_OBS_TELEMETRY_H_
+
+#include <deque>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/common/annotations.h"
+
+namespace hybridflow {
+
+// One flat JSON object: ordered key -> number-or-string fields. Insertion
+// order is preserved in the serialized output.
+class TelemetryFields {
+ public:
+  TelemetryFields& Number(std::string key, double value);
+  TelemetryFields& Text(std::string key, std::string value);
+
+  // Serializes as one JSON object, e.g. {"iteration":3,"loss":0.25}.
+  std::string ToJson() const;
+  bool empty() const { return fields_.empty(); }
+
+ private:
+  struct Field {
+    std::string key;
+    bool is_number = true;
+    double number = 0.0;
+    std::string text;
+  };
+  std::vector<Field> fields_;
+};
+
+// Append-only JSONL file sink; Append is thread-safe and flushes per line
+// so trajectories survive crashes mid-run.
+class TelemetrySink {
+ public:
+  // Opens `path` truncating any previous content; check ok() afterwards.
+  explicit TelemetrySink(std::string path);
+
+  TelemetrySink(const TelemetrySink&) = delete;
+  TelemetrySink& operator=(const TelemetrySink&) = delete;
+
+  bool ok() const;
+  const std::string& path() const { return path_; }
+  size_t records_written() const;
+
+  void Append(const TelemetryFields& record) HF_EXCLUDES(mutex_);
+
+ private:
+  std::string path_;
+  mutable Mutex mutex_;
+  std::ofstream out_ HF_GUARDED_BY(mutex_);
+  size_t records_ HF_GUARDED_BY(mutex_) = 0;
+};
+
+// Result-row collection for one bench binary. Not thread-safe (benches are
+// single-threaded on the controller side); rows keep stable addresses, so
+// the reference returned by AddRow stays valid across later calls.
+class BenchReport {
+ public:
+  // `name` without the BENCH_ prefix or extension, e.g. "fig9_ppo_throughput".
+  explicit BenchReport(std::string name);
+
+  TelemetryFields& AddRow();
+  size_t size() const { return rows_.size(); }
+  const std::string& name() const { return name_; }
+
+  // Path the report writes to: <directory>/BENCH_<name>.json.
+  std::string FilePath(const std::string& directory = ".") const;
+  // Writes {"bench":"<name>","rows":[{...},...]}; false on I/O failure.
+  bool WriteJson(const std::string& directory = ".") const;
+
+ private:
+  std::string name_;
+  std::deque<TelemetryFields> rows_;
+};
+
+}  // namespace hybridflow
+
+#endif  // SRC_OBS_TELEMETRY_H_

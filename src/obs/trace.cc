@@ -1,0 +1,66 @@
+#include "src/obs/trace.h"
+
+#include <chrono>
+#include <utility>
+
+namespace hybridflow {
+
+WallclockTracer& WallclockTracer::Global() {
+  // Intentionally leaked: spans may be recorded from pool threads during
+  // static destruction (same pattern as ThreadPool::Shared).
+  static WallclockTracer* tracer = new WallclockTracer();  // hflint: allow(naked-new)
+  return *tracer;
+}
+
+void WallclockTracer::Record(WallSpan span) {
+  MutexLock lock(mutex_);
+  spans_.push_back(std::move(span));
+}
+
+std::vector<WallSpan> WallclockTracer::Snapshot() const {
+  MutexLock lock(mutex_);
+  return spans_;
+}
+
+size_t WallclockTracer::size() const {
+  MutexLock lock(mutex_);
+  return spans_.size();
+}
+
+void WallclockTracer::Clear() {
+  MutexLock lock(mutex_);
+  spans_.clear();
+}
+
+double WallclockTracer::NowMicros() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return std::chrono::duration<double, std::micro>(Clock::now() - epoch).count();
+}
+
+uint32_t WallclockTracer::ThreadId() {
+  static std::atomic<uint32_t> next_id{0};
+  thread_local const uint32_t id = next_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+TraceScope::TraceScope(std::string_view name, std::string_view category) {
+  if (WallclockTracer::Global().enabled()) {
+    active_ = true;
+    name_ = name;
+    category_ = category;
+    start_us_ = WallclockTracer::NowMicros();
+  }
+}
+
+TraceScope::~TraceScope() {
+  if (!active_) {
+    return;
+  }
+  const double end_us = WallclockTracer::NowMicros();
+  WallclockTracer::Global().Record(WallSpan{std::move(name_), std::move(category_),
+                                            WallclockTracer::ThreadId(), start_us_,
+                                            end_us - start_us_});
+}
+
+}  // namespace hybridflow

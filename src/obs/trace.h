@@ -1,0 +1,92 @@
+// Wall-clock tracing: RAII scoped spans recorded against a process-wide
+// monotonic epoch, exported (src/obs/dual_trace.h) into the same Chrome
+// trace file as the simulated-cluster spans so one chrome://tracing /
+// Perfetto view correlates what the framework really did (controller
+// dispatch, worker compute, resharding, thread-pool tasks) with what the
+// simulated cluster charged for it.
+//
+// Recording is opt-in: spans are dropped unless
+// `WallclockTracer::Global().SetEnabled(true)` has been called (examples
+// and benches enable it; library code never does). A disabled
+// HF_TRACE_SCOPE costs one relaxed atomic load.
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/annotations.h"
+
+namespace hybridflow {
+
+// One completed wall-clock interval on one thread.
+struct WallSpan {
+  std::string name;
+  std::string category;
+  // Dense per-process thread index (not the OS tid); becomes the Chrome
+  // trace `tid` of the wall-clock process group.
+  uint32_t thread_id = 0;
+  double start_us = 0.0;     // Microseconds since the process trace epoch.
+  double duration_us = 0.0;  // Wall-clock duration in microseconds.
+};
+
+class WallclockTracer {
+ public:
+  WallclockTracer() = default;
+  WallclockTracer(const WallclockTracer&) = delete;
+  WallclockTracer& operator=(const WallclockTracer&) = delete;
+
+  // The process-wide tracer used by HF_TRACE_SCOPE (never destroyed).
+  static WallclockTracer& Global();
+
+  void SetEnabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Appends a completed span (thread-safe). Called by TraceScope; callers
+  // with externally measured intervals may also record directly.
+  void Record(WallSpan span) HF_EXCLUDES(mutex_);
+
+  std::vector<WallSpan> Snapshot() const HF_EXCLUDES(mutex_);
+  size_t size() const HF_EXCLUDES(mutex_);
+  void Clear() HF_EXCLUDES(mutex_);
+
+  // Monotonic microseconds since the process trace epoch (first call).
+  static double NowMicros();
+  // Dense id of the calling thread, stable for the thread's lifetime.
+  static uint32_t ThreadId();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable Mutex mutex_;
+  std::vector<WallSpan> spans_ HF_GUARDED_BY(mutex_);
+};
+
+// RAII span: measures construction-to-destruction on the global tracer.
+// Name/category are only copied when tracing is enabled.
+class TraceScope {
+ public:
+  TraceScope(std::string_view name, std::string_view category);
+  ~TraceScope();
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  bool active_ = false;
+  double start_us_ = 0.0;
+  std::string name_;
+  std::string category_;
+};
+
+#define HF_OBS_CONCAT_INNER_(a, b) a##b
+#define HF_OBS_CONCAT_(a, b) HF_OBS_CONCAT_INNER_(a, b)
+// Scoped wall-clock span: HF_TRACE_SCOPE("actor.generate", "generate");
+#define HF_TRACE_SCOPE(name, category) \
+  ::hybridflow::TraceScope HF_OBS_CONCAT_(hf_trace_scope_, __LINE__)(name, category)
+
+}  // namespace hybridflow
+
+#endif  // SRC_OBS_TRACE_H_

@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/obs/telemetry.h"
+#include "src/obs/trace.h"
 
 namespace hybridflow {
 
@@ -79,6 +81,8 @@ IterationMetrics RlhfProgram::RunIteration() {
   const RlhfWorkloadSpec& w = config_.workload;
   ActorWorkerGroup& actor = *models_.actor;
   const bool real = actor.real_enabled();
+  HF_TRACE_SCOPE("rlhf.iteration", "rlhf");
+  const double wall_start_us = WallclockTracer::NowMicros();
   controller_->BeginIteration();
   const size_t trace_begin = controller_->cluster().trace().size();
 
@@ -104,14 +108,18 @@ IterationMetrics RlhfProgram::RunIteration() {
   BatchFuture prompts = BatchFuture::Immediate(std::move(prompts_data));
 
   // --- Stage 1: generation ----------------------------------------------------
-  BatchFuture batch = actor.GenerateSequences(prompts, w, /*do_sample=*/true);
-
-  // ReMax: one extra greedy generation pass for the variance-reduction
-  // baseline (Figure 6: do_sample=false).
+  BatchFuture batch;
   BatchFuture greedy_rewards;
-  if (config_.algorithm == RlhfAlgorithm::kRemax) {
-    BatchFuture greedy = actor.GenerateSequences(prompts, w, /*do_sample=*/false);
-    greedy_rewards = models_.reward->ComputeReward(greedy, w);
+  {
+    HF_TRACE_SCOPE("rlhf.stage.generation", "rlhf");
+    batch = actor.GenerateSequences(prompts, w, /*do_sample=*/true);
+
+    // ReMax: one extra greedy generation pass for the variance-reduction
+    // baseline (Figure 6: do_sample=false).
+    if (config_.algorithm == RlhfAlgorithm::kRemax) {
+      BatchFuture greedy = actor.GenerateSequences(prompts, w, /*do_sample=*/false);
+      greedy_rewards = models_.reward->ComputeReward(greedy, w);
+    }
   }
 
   // --- Stage 2: experience preparation ---------------------------------------
@@ -120,6 +128,9 @@ IterationMetrics RlhfProgram::RunIteration() {
   // concurrently (Table 1's OpenRLHF/NeMo patterns) while colocated models
   // still serialize on their shared devices. The controller merges the
   // output columns and joins on the latest future.
+  IterationMetrics metrics;
+  {
+  HF_TRACE_SCOPE("rlhf.stage.experience", "rlhf");
   if (config_.recompute_log_probs) {
     batch = actor.ComputeLogProb(batch, w, "log_probs");
   }
@@ -138,8 +149,6 @@ IterationMetrics RlhfProgram::RunIteration() {
     batch.ready_time = std::max(batch.ready_time, part.ready_time);
     batch.nominal_bytes = std::max(batch.nominal_bytes, part.nominal_bytes);
   }
-
-  IterationMetrics metrics;
 
   // compute_advantage: controller-side numerics (Table 4).
   if (real && !batch.data.empty()) {
@@ -160,17 +169,22 @@ IterationMetrics RlhfProgram::RunIteration() {
     }
     batch.data = ComputeAdvantages(data, config_.advantage);
   }
+  }
 
   // --- Stage 3: learning --------------------------------------------------------
+  double actor_loss_sum = 0.0;
+  double critic_loss_sum = 0.0;
+  double grad_norm_sum = 0.0;
+  double clip_fraction_sum = 0.0;
+  int loss_count = 0;
+  {
+  HF_TRACE_SCOPE("rlhf.stage.learning", "rlhf");
   // Pretraining corpus for PPO-ptx / Safe-RLHF.
   DataBatch pretrain_data;
   if (real && config_.ptx_coef > 0.0f && dataset_ != nullptr) {
     pretrain_data = dataset_->NextBatch(std::max<int64_t>(4, config_.real_batch / 4));
   }
 
-  double actor_loss_sum = 0.0;
-  double critic_loss_sum = 0.0;
-  int loss_count = 0;
   const int total_updates = w.ppo_epochs * w.updates_per_iteration;
   for (int epoch = 0; epoch < w.ppo_epochs; ++epoch) {
     std::vector<DataBatch> minibatches;
@@ -198,11 +212,16 @@ IterationMetrics RlhfProgram::RunIteration() {
       BatchFuture actor_out = actor.UpdateActor(minibatch, w, update_config);
       if (!actor_out.data.empty()) {
         actor_loss_sum += actor_out.data.Float("actor_loss")[0][0];
+        if (actor_out.data.HasFloat("clip_fraction")) {
+          clip_fraction_sum += actor_out.data.Float("clip_fraction")[0][0];
+        }
+        grad_norm_sum += actor.last_grad_norm();
       }
       loss_count += 1;
     }
   }
   (void)total_updates;
+  }
 
   // --- Metrics ---------------------------------------------------------------
   metrics.iteration_seconds = controller_->IterationSeconds();
@@ -242,6 +261,8 @@ IterationMetrics RlhfProgram::RunIteration() {
     if (loss_count > 0) {
       metrics.actor_loss = actor_loss_sum / loss_count;
       metrics.critic_loss = critic_loss_sum / loss_count;
+      metrics.grad_norm = grad_norm_sum / loss_count;
+      metrics.clip_fraction = clip_fraction_sum / loss_count;
     }
   }
   // Adaptive KL: track the observed divergence for the next iteration.
@@ -249,6 +270,24 @@ IterationMetrics RlhfProgram::RunIteration() {
     config_.advantage.kl_coef = static_cast<float>(kl_controller_.Update(metrics.mean_kl));
   }
   metrics.kl_coef = config_.advantage.kl_coef;
+  metrics.wall_clock_seconds = (WallclockTracer::NowMicros() - wall_start_us) / 1e6;
+  iterations_run_ += 1;
+  if (telemetry_ != nullptr) {
+    TelemetryFields record;
+    record.Number("iteration", static_cast<double>(iterations_run_))
+        .Text("algorithm", RlhfAlgorithmName(config_.algorithm))
+        .Number("actor_loss", metrics.actor_loss)
+        .Number("critic_loss", metrics.critic_loss)
+        .Number("mean_kl", metrics.mean_kl)
+        .Number("kl_coef", metrics.kl_coef)
+        .Number("mean_reward", metrics.mean_reward)
+        .Number("grad_norm", metrics.grad_norm)
+        .Number("clip_fraction", metrics.clip_fraction)
+        .Number("sim_makespan_seconds", metrics.iteration_seconds)
+        .Number("wall_clock_ms", metrics.wall_clock_seconds * 1e3)
+        .Number("tokens_per_sec", metrics.throughput_tokens_per_sec);
+    telemetry_->Append(record);
+  }
   HF_LOG(kInfo) << RlhfAlgorithmName(config_.algorithm) << " iteration: "
                 << metrics.iteration_seconds << "s, throughput "
                 << metrics.throughput_tokens_per_sec << " tok/s, reward "

@@ -19,6 +19,8 @@
 
 namespace hybridflow {
 
+class TelemetrySink;
+
 enum class RlhfAlgorithm {
   kPpo,
   kRemax,
@@ -68,6 +70,12 @@ struct IterationMetrics {
   double critic_loss = 0.0;
   double mean_kl = 0.0;
   double kl_coef = 0.0;  // KL coefficient in effect (adaptive or fixed).
+  // Mean global L2 gradient norm across this iteration's actor updates.
+  double grad_norm = 0.0;
+  // Mean fraction of tokens outside the PPO clip range across updates.
+  double clip_fraction = 0.0;
+  // Real elapsed time of the controller loop for this iteration.
+  double wall_clock_seconds = 0.0;
   // Performance-plane detail.
   double transition_seconds = 0.0;
   double generation_seconds = 0.0;
@@ -86,6 +94,12 @@ class RlhfProgram {
 
   const RlhfProgramConfig& config() const { return config_; }
 
+  // Optional structured-telemetry sink: when set, RunIteration appends one
+  // JSONL record per iteration (loss, KL, reward, grad norm, clip
+  // fraction, sim makespan, wall-clock ms, tokens/s). Not owned; must
+  // outlive the program or be reset to nullptr.
+  void SetTelemetrySink(TelemetrySink* sink) { telemetry_ = sink; }
+
  private:
   void ValidateModels() const;
 
@@ -94,6 +108,8 @@ class RlhfProgram {
   Controller* controller_;
   PromptDataset* dataset_;
   AdaptiveKlController kl_controller_;
+  TelemetrySink* telemetry_ = nullptr;
+  int64_t iterations_run_ = 0;
 };
 
 }  // namespace hybridflow

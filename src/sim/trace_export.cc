@@ -1,53 +1,46 @@
 #include "src/sim/trace_export.h"
 
 #include <fstream>
+#include <ostream>
 #include <sstream>
 
 #include "src/common/strings.h"
+#include "src/obs/json_util.h"
 
 namespace hybridflow {
 
-namespace {
-
-// Escapes the small set of characters our op names can contain.
-std::string JsonEscape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size());
-  for (char c : text) {
-    if (c == '"' || c == '\\') {
-      out.push_back('\\');
+void AppendSimTraceEvents(const std::vector<TraceSpan>& trace, int world_size, int pid,
+                          bool* first, std::ostream& out) {
+  for (int device = 0; device < world_size; ++device) {
+    if (!*first) {
+      out << ",\n";
     }
-    out.push_back(c);
+    *first = false;
+    out << StrFormat(
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,"
+        "\"args\":{\"name\":\"GPU %d\"}}",
+        pid, device, device);
   }
-  return out;
+  for (const TraceSpan& span : trace) {
+    for (DeviceId device : span.devices) {
+      if (!*first) {
+        out << ",\n";
+      }
+      *first = false;
+      out << StrFormat(
+          "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":%d,\"tid\":%d,"
+          "\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"queue_delay_us\":%.3f}}",
+          JsonEscape(span.name).c_str(), JsonEscape(span.category).c_str(), pid, device,
+          span.start * 1e6, span.duration() * 1e6, (span.start - span.ready) * 1e6);
+    }
+  }
 }
-
-}  // namespace
 
 std::string TraceToChromeJson(const ClusterState& state) {
   std::ostringstream out;
   out << "{\"traceEvents\":[\n";
   bool first = true;
-  for (int device = 0; device < state.world_size(); ++device) {
-    if (!first) {
-      out << ",\n";
-    }
-    first = false;
-    out << StrFormat(
-        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,"
-        "\"args\":{\"name\":\"GPU %d\"}}",
-        device, device);
-  }
-  for (const TraceSpan& span : state.trace()) {
-    for (DeviceId device : span.devices) {
-      out << ",\n";
-      out << StrFormat(
-          "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":0,\"tid\":%d,"
-          "\"ts\":%.3f,\"dur\":%.3f}",
-          JsonEscape(span.name).c_str(), JsonEscape(span.category).c_str(), device,
-          span.start * 1e6, span.duration() * 1e6);
-    }
-  }
+  AppendSimTraceEvents(state.trace(), state.world_size(), /*pid=*/0, &first, out);
   out << "\n]}\n";
   return out.str();
 }

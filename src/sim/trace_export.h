@@ -1,9 +1,13 @@
 // Chrome-tracing (about://tracing / Perfetto) export of simulated-cluster
 // traces: each device is a "thread", each TraceSpan a complete event.
 // Lets users inspect RLHF execution patterns with standard tooling.
+//
+// For a combined view of simulated time AND real wall-clock activity in
+// one file, see src/obs/dual_trace.h, which reuses AppendSimTraceEvents.
 #ifndef SRC_SIM_TRACE_EXPORT_H_
 #define SRC_SIM_TRACE_EXPORT_H_
 
+#include <iosfwd>
 #include <string>
 
 #include "src/sim/timeline.h"
@@ -11,11 +15,22 @@
 namespace hybridflow {
 
 // Serializes the trace as a Chrome trace-event JSON array ("traceEvents"
-// object format). Timestamps are microseconds of simulated time.
+// object format). Timestamps are microseconds of simulated time; each
+// span's scheduling latency (ready -> start) is exported as
+// args.queue_delay_us.
 std::string TraceToChromeJson(const ClusterState& state);
 
 // Writes the JSON to a file; returns false on I/O failure.
 bool WriteChromeTrace(const ClusterState& state, const std::string& path);
+
+// Appends the comma-separated trace-event objects (GPU thread-name
+// metadata + one complete event per span-device) for a simulated trace to
+// `out`, tagged with process id `pid`. `*first` tracks whether a preceding
+// event was already emitted into the surrounding array (comma placement)
+// and is updated; this is the shared serializer behind TraceToChromeJson
+// and the dual-plane exporter.
+void AppendSimTraceEvents(const std::vector<TraceSpan>& trace, int world_size, int pid,
+                          bool* first, std::ostream& out);
 
 // Per-category busy-time summary of a trace, in device-seconds.
 std::map<std::string, double> BusyTimeByCategory(const ClusterState& state);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/trace.h"
+
 namespace hybridflow {
 
 namespace {
@@ -49,6 +51,7 @@ Tensor Binary(const Tensor& a, const Tensor& b, Fwd fwd, DA da_fn, DB db_fn) {
 }  // namespace
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
+  HF_TRACE_SCOPE("tensor.matmul", "tensor");
   HF_CHECK_EQ(a.ndim(), 2);
   HF_CHECK_EQ(b.ndim(), 2);
   const int64_t m = a.dim(0);

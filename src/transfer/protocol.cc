@@ -1,6 +1,8 @@
 #include "src/transfer/protocol.h"
 
 #include "src/common/check.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace hybridflow {
 
@@ -42,6 +44,10 @@ bool NeedsGen(TransferProtocol protocol) {
 
 std::vector<DataBatch> DistributeBatch(TransferProtocol protocol, const DataBatch& input,
                                        const ProtocolContext& context) {
+  HF_TRACE_SCOPE("protocol.distribute", "transfer");
+  MetricsRegistry::Global()
+      .GetCounter("protocol.distribute_calls", {{"protocol", TransferProtocolName(protocol)}})
+      .Increment();
   const ProcessGroups& groups = GroupsOf(context);
   const ParallelConfig& cfg = groups.train_config();
   const int world = groups.world_size();
@@ -148,6 +154,10 @@ std::vector<int> CollectSourceRanks(TransferProtocol protocol, const ProtocolCon
 
 DataBatch CollectBatch(TransferProtocol protocol, const std::vector<DataBatch>& outputs,
                        const ProtocolContext& context) {
+  HF_TRACE_SCOPE("protocol.collect", "transfer");
+  MetricsRegistry::Global()
+      .GetCounter("protocol.collect_calls", {{"protocol", TransferProtocolName(protocol)}})
+      .Increment();
   const ProcessGroups& groups = GroupsOf(context);
   HF_CHECK_EQ(static_cast<int>(outputs.size()), groups.world_size());
   std::vector<int> sources = CollectSourceRanks(protocol, context);

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/common/thread_pool.h"
+#include "src/obs/trace.h"
 #include "src/workers/token_context.h"
 
 namespace hybridflow {
@@ -191,6 +192,7 @@ BatchFuture ActorWorkerGroup::GenerateSequences(const BatchFuture& prompts,
   // stream, so results are reproducible regardless of thread scheduling.
   DataBatch collected;
   if (real_.enabled && !prompts.data.empty()) {
+    HF_TRACE_SCOPE(name() + ".generate", "generate");
     generation_calls_ += 1;
     const uint64_t call_id = generation_calls_;
     std::vector<DataBatch> per_rank = DistributeBatch(protocol, prompts.data, context);
@@ -208,7 +210,10 @@ BatchFuture ActorWorkerGroup::GenerateSequences(const BatchFuture& prompts,
 
   // --- Performance plane ---------------------------------------------------
   ClusterState& cluster = controller_->cluster();
-  last_transition_ = engine_->TrainToGenTransition();
+  {
+    HF_TRACE_SCOPE(name() + ".reshard", "reshard");
+    last_transition_ = engine_->TrainToGenTransition();
+  }
   last_transition_seconds_ = last_transition_.seconds;
   const SimTime ready = prompts.ready_time + TransferSeconds(prompts.nominal_bytes);
 
@@ -391,12 +396,27 @@ BatchFuture ActorWorkerGroup::UpdateActor(const BatchFuture& batch,
     Tensor weighted = Scale(loss, share);
     weighted.Backward();
     out.SetFloat("actor_loss", {{loss.item()}});
+    // Fraction of tokens whose importance ratio fell outside the PPO clip
+    // range — the standard health signal for policy-update step size.
+    int64_t clipped = 0;
+    for (int64_t i = 0; i < n; ++i) {
+      const double ratio = std::exp(static_cast<double>(log_probs.at(i)) -
+                                    static_cast<double>(old_log_probs.at(i)));
+      if (ratio < 1.0 - config.loss.clip_eps || ratio > 1.0 + config.loss.clip_eps) {
+        clipped += 1;
+      }
+    }
+    out.SetFloat("clip_fraction",
+                 {{n > 0 ? static_cast<float>(static_cast<double>(clipped) /
+                                              static_cast<double>(n))
+                         : 0.0f}});
     return out;
   };
 
   BatchFuture result = Dispatch("update_actor", "train", TransferProtocol::k3dProto, batch,
                                 duration, compute, 0.0);
   if (real_.enabled && !batch.data.empty()) {
+    last_grad_norm_ = adam_->GradNorm();
     adam_->Step();
   }
   return result;

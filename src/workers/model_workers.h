@@ -77,6 +77,10 @@ class ActorWorkerGroup : public ModelWorkerGroup {
   const GenTimeBreakdown& last_gen_breakdown() const { return last_gen_; }
   const TransitionStats& last_transition_stats() const { return last_transition_; }
 
+  // Global L2 gradient norm captured by the most recent UpdateActor, before
+  // the optimizer step zeroed the gradients (telemetry).
+  double last_grad_norm() const { return last_grad_norm_; }
+
  protected:
   ProtocolContext MakeProtocolContext() const override;
 
@@ -91,6 +95,7 @@ class ActorWorkerGroup : public ModelWorkerGroup {
   std::unique_ptr<Adam> adam_;
   Rng sample_rng_;
   uint64_t generation_calls_ = 0;
+  double last_grad_norm_ = 0.0;
   double last_transition_seconds_ = 0.0;
   TransitionStats last_transition_;
   GenTimeBreakdown last_gen_;

@@ -5,6 +5,8 @@
 
 #include "src/common/logging.h"
 #include "src/common/thread_pool.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace hybridflow {
 
@@ -124,6 +126,8 @@ BatchFuture ModelWorkerGroup::Dispatch(const std::string& op, const std::string&
                                        TransferProtocol protocol, const BatchFuture& input,
                                        double duration, const ComputeFn& compute,
                                        double nominal_output_bytes) {
+  HF_TRACE_SCOPE(options_.name + "." + op, "dispatch");
+  const double dispatch_start_us = WallclockTracer::NowMicros();
   const ProtocolContext context = MakeProtocolContext();
 
   // Data plane: distribute -> per-primary-rank compute -> collect.
@@ -133,30 +137,48 @@ BatchFuture ModelWorkerGroup::Dispatch(const std::string& op, const std::string&
   // gradients.
   DataBatch collected;
   if (real_.enabled && !input.data.empty()) {
-    std::vector<DataBatch> per_rank = DistributeBatch(protocol, input.data, context);
+    std::vector<DataBatch> per_rank;
+    {
+      HF_TRACE_SCOPE(options_.name + "." + op + ".distribute", "transfer");
+      per_rank = DistributeBatch(protocol, input.data, context);
+    }
     std::vector<DataBatch> outputs(per_rank.size());
     const std::vector<int> primaries = PrimaryRanks(protocol, context);
     const bool parallel_safe = category != "train" && compute != nullptr;
-    if (parallel_safe && primaries.size() > 1) {
-      ThreadPool::Shared().ParallelFor(
-          static_cast<int>(primaries.size()), [&](int index) {
-            const int rank = primaries[static_cast<size_t>(index)];
-            outputs[static_cast<size_t>(rank)] =
-                compute(per_rank[static_cast<size_t>(rank)], rank);
-          });
-    } else {
-      for (int rank : primaries) {
-        const DataBatch& shard = per_rank[static_cast<size_t>(rank)];
-        outputs[static_cast<size_t>(rank)] = compute ? compute(shard, rank) : shard;
+    {
+      HF_TRACE_SCOPE(options_.name + "." + op + ".compute", "compute");
+      if (parallel_safe && primaries.size() > 1) {
+        ThreadPool::Shared().ParallelFor(
+            static_cast<int>(primaries.size()), [&](int index) {
+              const int rank = primaries[static_cast<size_t>(index)];
+              outputs[static_cast<size_t>(rank)] =
+                  compute(per_rank[static_cast<size_t>(rank)], rank);
+            });
+      } else {
+        for (int rank : primaries) {
+          const DataBatch& shard = per_rank[static_cast<size_t>(rank)];
+          outputs[static_cast<size_t>(rank)] = compute ? compute(shard, rank) : shard;
+        }
       }
     }
-    collected = CollectBatch(protocol, outputs, context);
+    {
+      HF_TRACE_SCOPE(options_.name + "." + op + ".collect", "transfer");
+      collected = CollectBatch(protocol, outputs, context);
+    }
   }
 
   // Performance plane: one exclusive interval on all pool devices.
   const SimTime ready = input.ready_time + TransferSeconds(input.nominal_bytes);
   const TraceSpan& span = controller_->cluster().ScheduleOp(
       options_.name + "." + op, category, pool_->devices(), ready, duration);
+
+  MetricsRegistry::Global()
+      .GetCounter("dispatch.ops", {{"model", options_.name}, {"op", op}})
+      .Increment();
+  MetricsRegistry::Global()
+      .GetHistogram("dispatch.wall_us", ExponentialBuckets(1.0, 10.0, 7),
+                    {{"model", options_.name}})
+      .Observe(WallclockTracer::NowMicros() - dispatch_start_us);
 
   HF_LOG(kDebug) << options_.name << "." << op << " [" << TransferProtocolName(protocol)
                  << "] start=" << span.start << " dur=" << duration;

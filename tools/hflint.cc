@@ -23,6 +23,11 @@
 //   thread-construction  std::thread is constructed only in
 //                        src/common/thread_pool.cc; everything else goes
 //                        through ThreadPool
+//   raw-diagnostics      library code under src/ never writes diagnostics
+//                        with std::cerr / printf / fprintf; route them
+//                        through src/common/logging.h (HF_LOG) or the
+//                        src/obs/ sinks so output stays structured and
+//                        filterable
 //
 // Suppress a finding on one line with: // hflint: allow(<rule>)
 //
@@ -388,6 +393,38 @@ void CheckMutexGuards(const FileText& file, std::vector<Finding>& findings) {
   }
 }
 
+void CheckRawDiagnostics(const FileText& file, std::vector<Finding>& findings) {
+  // Library code only: examples, benches, tests, and tools are user-facing
+  // programs whose stdout/stderr IS the product. The logger and the
+  // observability sinks are the two sanctioned writers.
+  if (!StartsWith(file.path, "src/") || StartsWith(file.path, "src/obs/") ||
+      StartsWith(file.path, "src/common/logging.")) {
+    return;
+  }
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    const std::string& line = file.code[i];
+    if (line.empty()) {
+      continue;
+    }
+    if (line.find("std::cerr") != std::string::npos &&
+        !Allowed(file, i, "raw-diagnostics")) {
+      findings.push_back({file.path, static_cast<int>(i) + 1, "raw-diagnostics",
+                          "std::cerr in library code; use HF_LOG (src/common/logging.h) "
+                          "or an src/obs/ sink"});
+    }
+    for (const char* fn : {"printf", "fprintf"}) {
+      const size_t pos = FindToken(line, fn);
+      if (pos != std::string::npos && pos + std::string(fn).size() < line.size() &&
+          line[pos + std::string(fn).size()] == '(' &&
+          !Allowed(file, i, "raw-diagnostics")) {
+        findings.push_back({file.path, static_cast<int>(i) + 1, "raw-diagnostics",
+                            std::string(fn) + "() in library code; use HF_LOG "
+                            "(src/common/logging.h) or an src/obs/ sink"});
+      }
+    }
+  }
+}
+
 void CheckThreadConstruction(const FileText& file, std::vector<Finding>& findings) {
   if (file.path == "src/common/thread_pool.cc" || file.path == "src/common/thread_pool.h") {
     return;
@@ -455,6 +492,7 @@ int main(int argc, char** argv) {
       CheckIncludes(file, root, findings);
       CheckBannedCalls(file, findings);
       CheckMutexGuards(file, findings);
+      CheckRawDiagnostics(file, findings);
       CheckThreadConstruction(file, findings);
       ++files_checked;
     }
