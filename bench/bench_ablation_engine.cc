@@ -66,7 +66,7 @@ void Panel(const Setting& setting) {
                            HumanBytes(stats.comm_bytes_per_gpu).c_str(),
                            HumanBytes(stats.peak_param_bytes).c_str(),
                            HumanBytes(stats.redundant_bytes).c_str(),
-                           HumanSeconds(controller.IterationSeconds()).c_str());
+                           HumanSeconds(controller.EndIteration()).c_str());
   }
 }
 

@@ -49,7 +49,11 @@ SimTime Controller::BeginIteration() {
 }
 
 SimTime Controller::IterationSeconds() const {
-  const SimTime seconds = cluster_.Makespan() - iteration_start_;
+  return cluster_.Makespan() - iteration_start_;
+}
+
+SimTime Controller::EndIteration() {
+  const SimTime seconds = IterationSeconds();
   MetricsRegistry::Global().GetGauge("controller.last_iteration_sim_seconds").Set(seconds);
   return seconds;
 }

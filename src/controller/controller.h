@@ -38,8 +38,12 @@ class Controller {
   // Marks the start of a measured iteration and returns its start time.
   SimTime BeginIteration();
   // Time elapsed since the last BeginIteration(), measured as the cluster
-  // makespan delta (the end-to-end latency of the dataflow segment).
+  // makespan delta (the end-to-end latency of the dataflow segment). Pure
+  // getter: safe to call repeatedly mid-iteration.
   SimTime IterationSeconds() const;
+  // Marks the end of a measured iteration: records IterationSeconds() into
+  // the `controller.last_iteration_sim_seconds` gauge and returns it.
+  SimTime EndIteration();
 
  private:
   ClusterState cluster_;

@@ -125,7 +125,8 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 MetricsRegistry::Entry& MetricsRegistry::FindOrCreate(const std::string& name,
-                                                      const MetricLabels& labels, Kind kind) {
+                                                      const MetricLabels& labels, Kind kind,
+                                                      const std::vector<double>* histogram_bounds) {
   const MetricLabels canonical = Canonical(labels);
   const std::string key = KeyOf(name, canonical);
   MutexLock lock(mutex_);
@@ -133,43 +134,47 @@ MetricsRegistry::Entry& MetricsRegistry::FindOrCreate(const std::string& name,
   if (it != index_.end()) {
     Entry& entry = *entries_[it->second];
     HF_CHECK_MSG(entry.kind == kind, "metric '" << name << "' registered as two kinds");
+    if (kind == Kind::kHistogram) {
+      HF_CHECK_MSG(entry.histogram->bounds() == *histogram_bounds,
+                   "histogram '" << name << "' re-registered with different bounds");
+    }
     return entry;
   }
   auto entry = std::make_unique<Entry>();
   entry->name = name;
   entry->labels = canonical;
   entry->kind = kind;
+  // The instrument is created here, under mutex_: doing it in the Get*
+  // callers after the lock is dropped would let two first-time lookups race
+  // on the null-check-and-assign.
+  switch (kind) {
+    case Kind::kCounter:
+      entry->counter = std::make_unique<Counter>();
+      break;
+    case Kind::kGauge:
+      entry->gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::kHistogram:
+      entry->histogram =
+          std::unique_ptr<Histogram>(new Histogram(*histogram_bounds));  // hflint: allow(naked-new)
+      break;
+  }
   index_[key] = entries_.size();
   entries_.push_back(std::move(entry));
   return *entries_.back();
 }
 
 Counter& MetricsRegistry::GetCounter(const std::string& name, const MetricLabels& labels) {
-  Entry& entry = FindOrCreate(name, labels, Kind::kCounter);
-  if (entry.counter == nullptr) {
-    entry.counter = std::make_unique<Counter>();
-  }
-  return *entry.counter;
+  return *FindOrCreate(name, labels, Kind::kCounter, nullptr).counter;
 }
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name, const MetricLabels& labels) {
-  Entry& entry = FindOrCreate(name, labels, Kind::kGauge);
-  if (entry.gauge == nullptr) {
-    entry.gauge = std::make_unique<Gauge>();
-  }
-  return *entry.gauge;
+  return *FindOrCreate(name, labels, Kind::kGauge, nullptr).gauge;
 }
 
 Histogram& MetricsRegistry::GetHistogram(const std::string& name, const std::vector<double>& bounds,
                                          const MetricLabels& labels) {
-  Entry& entry = FindOrCreate(name, labels, Kind::kHistogram);
-  if (entry.histogram == nullptr) {
-    entry.histogram = std::unique_ptr<Histogram>(new Histogram(bounds));  // hflint: allow(naked-new)
-  } else {
-    HF_CHECK_MSG(entry.histogram->bounds() == bounds,
-                 "histogram '" << name << "' re-registered with different bounds");
-  }
-  return *entry.histogram;
+  return *FindOrCreate(name, labels, Kind::kHistogram, &bounds).histogram;
 }
 
 size_t MetricsRegistry::size() const {

@@ -142,8 +142,12 @@ class MetricsRegistry {
     std::unique_ptr<Histogram> histogram;
   };
 
-  Entry& FindOrCreate(const std::string& name, const MetricLabels& labels, Kind kind)
-      HF_EXCLUDES(mutex_);
+  // Creates the kind-specific instrument under mutex_ on first lookup (and
+  // validates histogram bounds there), so concurrent first-time Get* calls
+  // for the same series cannot race. `histogram_bounds` must be non-null
+  // iff `kind` is kHistogram.
+  Entry& FindOrCreate(const std::string& name, const MetricLabels& labels, Kind kind,
+                      const std::vector<double>* histogram_bounds) HF_EXCLUDES(mutex_);
   // Snapshots entry pointers for export; entries are append-only so the
   // pointed-to instruments remain valid after the mutex is released.
   std::vector<const Entry*> SortedEntries() const HF_EXCLUDES(mutex_);

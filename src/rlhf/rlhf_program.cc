@@ -224,7 +224,7 @@ IterationMetrics RlhfProgram::RunIteration() {
   }
 
   // --- Metrics ---------------------------------------------------------------
-  metrics.iteration_seconds = controller_->IterationSeconds();
+  metrics.iteration_seconds = controller_->EndIteration();
   if (metrics.iteration_seconds > 0.0) {
     metrics.throughput_tokens_per_sec = w.TokensPerIteration() / metrics.iteration_seconds;
   }

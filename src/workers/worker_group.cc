@@ -30,7 +30,9 @@ ModelWorkerGroup::ModelWorkerGroup(WorkerGroupOptions options, std::shared_ptr<R
       options_(std::move(options)),
       real_(std::move(real)),
       groups_(EffectiveConfig(options_, pool_->size()), pool_->devices()),
-      perf_(options_.model, controller->spec(), options_.scalar_head, options_.perf) {
+      perf_(options_.model, controller->spec(), options_.scalar_head, options_.perf),
+      dispatch_wall_us_(MetricsRegistry::Global().GetHistogram(
+          "dispatch.wall_us", ExponentialBuckets(1.0, 10.0, 7), {{"model", options_.name}})) {
   HF_CHECK(controller_ != nullptr);
   HF_CHECK_MSG(groups_.world_size() == pool_->size(),
                "model " << options_.name << " parallel strategy "
@@ -172,13 +174,13 @@ BatchFuture ModelWorkerGroup::Dispatch(const std::string& op, const std::string&
   const TraceSpan& span = controller_->cluster().ScheduleOp(
       options_.name + "." + op, category, pool_->devices(), ready, duration);
 
-  MetricsRegistry::Global()
-      .GetCounter("dispatch.ops", {{"model", options_.name}, {"op", op}})
-      .Increment();
-  MetricsRegistry::Global()
-      .GetHistogram("dispatch.wall_us", ExponentialBuckets(1.0, 10.0, 7),
-                    {{"model", options_.name}})
-      .Observe(WallclockTracer::NowMicros() - dispatch_start_us);
+  Counter*& op_counter = dispatch_op_counters_[op];
+  if (op_counter == nullptr) {
+    op_counter = &MetricsRegistry::Global().GetCounter(
+        "dispatch.ops", {{"model", options_.name}, {"op", op}});
+  }
+  op_counter->Increment();
+  dispatch_wall_us_.Observe(WallclockTracer::NowMicros() - dispatch_start_us);
 
   HF_LOG(kDebug) << options_.name << "." << op << " [" << TransferProtocolName(protocol)
                  << "] start=" << span.start << " dur=" << duration;

@@ -16,6 +16,7 @@
 #define SRC_WORKERS_WORKER_GROUP_H_
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -26,6 +27,7 @@
 #include "src/data/alignment_task.h"
 #include "src/nn/adam.h"
 #include "src/nn/policy_net.h"
+#include "src/obs/metrics.h"
 #include "src/parallel/process_groups.h"
 #include "src/parallel/zero_config.h"
 #include "src/perf/perf_model.h"
@@ -125,6 +127,15 @@ class ModelWorkerGroup {
   RealComputeOptions real_;
   ProcessGroups groups_;
   PerfModel perf_;
+
+ private:
+  // Cached registry handles for the dispatch hot path (registry lookups
+  // take a mutex and rebuild label vectors; handles are pointer-stable for
+  // the process lifetime). Dispatch runs only on the single-controller
+  // thread — compute closures never touch these — so the per-op map needs
+  // no lock.
+  Histogram& dispatch_wall_us_;
+  std::map<std::string, Counter*> dispatch_op_counters_;
 };
 
 // Paper-facing aliases for the three base classes (§4.1 / Appendix A).

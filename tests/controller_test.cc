@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "src/controller/controller.h"
+#include "src/obs/metrics.h"
 
 namespace hybridflow {
 namespace {
@@ -57,6 +58,10 @@ TEST(ControllerTest, IterationTimingTracksMakespanDelta) {
   EXPECT_DOUBLE_EQ(controller.IterationSeconds(), 0.0);
   controller.cluster().ScheduleOp("op", "train", {0}, 0.0, 5.0);
   EXPECT_DOUBLE_EQ(controller.IterationSeconds(), 5.0);
+  // IterationSeconds() is a pure getter; EndIteration records the gauge.
+  EXPECT_DOUBLE_EQ(controller.EndIteration(), 5.0);
+  EXPECT_DOUBLE_EQ(
+      MetricsRegistry::Global().GetGauge("controller.last_iteration_sim_seconds").Value(), 5.0);
 }
 
 TEST(BatchFutureTest, ImmediateHasZeroReadyTime) {
