@@ -183,6 +183,7 @@ bool BuildHybridFlow(BuildContext& ctx) {
   actor_options.engine_mode = actor_mapping.backend == WorkerBackend::k3dParallel
                                   ? ActorEngineMode::kHybridFlow
                                   : ActorEngineMode::kDsChat;
+  actor_options.rollout = config.rollout;
   instance.actor = std::make_unique<ActorWorkerGroup>(
       MakeOptions(ctx.Model("actor"), actor_mapping.train, actor_mapping.backend, config.perf),
       set_pools[static_cast<size_t>(actor_set)], instance.controller.get(), ctx.real,
@@ -231,6 +232,7 @@ bool BuildDeepSpeedChat(BuildContext& ctx) {
   ActorOptions actor_options;
   actor_options.gen = GenParallelConfig{1, tg};
   actor_options.engine_mode = ActorEngineMode::kDsChat;
+  actor_options.rollout = config.rollout;
   WorkerGroupOptions options =
       MakeOptions(ctx.Model("actor"), dp_cfg, WorkerBackend::kZero, config.perf);
   instance.actor = std::make_unique<ActorWorkerGroup>(
@@ -330,6 +332,7 @@ bool BuildOpenRlhf(BuildContext& ctx) {
   actor_options.gen = GenParallelConfig{1, tg};
   actor_options.engine_mode = ActorEngineMode::kTwoCopies;
   actor_options.gen_pool = gen_pool;
+  actor_options.rollout = config.rollout;
   instance.actor = std::make_unique<ActorWorkerGroup>(
       MakeOptions(ctx.Model("actor"), ParallelConfig{1, 1, actor_gpus}, WorkerBackend::kZero,
                   config.perf),
@@ -375,6 +378,7 @@ bool BuildNemoAligner(BuildContext& ctx) {
   ActorOptions actor_options;
   actor_options.engine_mode = ActorEngineMode::kShared;
   actor_options.use_kv_cache = false;
+  actor_options.rollout = config.rollout;
   instance.actor = std::make_unique<ActorWorkerGroup>(
       MakeOptions(ctx.Model("actor"), actor_cfg, WorkerBackend::k3dParallel, config.perf),
       actor_pool, instance.controller.get(), ctx.real, actor_options);

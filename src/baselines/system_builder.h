@@ -55,6 +55,8 @@ struct SystemBuildConfig {
   PolicyArch real_arch = PolicyArch::kMlpMixer;
   uint64_t seed = 1;
   PerfParams perf;
+  // Generation-stage rollout engine (rollout.mode = static | continuous).
+  RolloutOptions rollout;
 };
 
 struct RlhfSystemInstance {

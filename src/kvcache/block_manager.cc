@@ -36,7 +36,14 @@ bool KvBlockManager::AddSequence(int64_t sequence_id, int64_t prompt_tokens) {
     free_list_.pop_back();
   }
   tables_.emplace(sequence_id, std::move(state));
+  NoteAllocation();
   return true;
+}
+
+bool KvBlockManager::CanAdmit(int64_t prompt_tokens, int64_t reserve_tokens) const {
+  HF_CHECK_GE(prompt_tokens, 0);
+  HF_CHECK_GE(reserve_tokens, 0);
+  return BlocksFor(prompt_tokens + reserve_tokens) <= free_blocks();
 }
 
 bool KvBlockManager::AppendToken(int64_t sequence_id) {
@@ -51,9 +58,14 @@ bool KvBlockManager::AppendToken(int64_t sequence_id) {
     }
     state.blocks.push_back(free_list_.back());
     free_list_.pop_back();
+    NoteAllocation();
   }
   state.tokens += 1;
   return true;
+}
+
+void KvBlockManager::NoteAllocation() {
+  high_water_blocks_ = std::max(high_water_blocks_, used_blocks());
 }
 
 void KvBlockManager::FreeSequence(int64_t sequence_id) {
@@ -63,6 +75,12 @@ void KvBlockManager::FreeSequence(int64_t sequence_id) {
     free_list_.push_back(block);
   }
   tables_.erase(it);
+}
+
+void KvBlockManager::FreeSequences(const std::vector<int64_t>& sequence_ids) {
+  for (int64_t sequence_id : sequence_ids) {
+    FreeSequence(sequence_id);
+  }
 }
 
 int64_t KvBlockManager::SequenceTokens(int64_t sequence_id) const {
@@ -149,6 +167,29 @@ void DistributedKvManager::FreeSequence(int64_t sequence_id) {
   for (KvBlockManager& manager : ranks_) {
     manager.FreeSequence(sequence_id);
   }
+}
+
+void DistributedKvManager::FreeSequences(const std::vector<int64_t>& sequence_ids) {
+  for (KvBlockManager& manager : ranks_) {
+    manager.FreeSequences(sequence_ids);
+  }
+}
+
+bool DistributedKvManager::CanAdmit(int64_t prompt_tokens, int64_t reserve_tokens) const {
+  for (const KvBlockManager& manager : ranks_) {
+    if (!manager.CanAdmit(prompt_tokens, reserve_tokens)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int64_t DistributedKvManager::high_water_blocks() const {
+  int64_t high_water = 0;
+  for (const KvBlockManager& manager : ranks_) {
+    high_water = std::max(high_water, manager.high_water_blocks());
+  }
+  return high_water;
 }
 
 bool DistributedKvManager::TablesInLockstep() const {

@@ -38,12 +38,21 @@ class KvBlockManager {
   // Returns false (allocating nothing) if the blocks don't fit.
   bool AddSequence(int64_t sequence_id, int64_t prompt_tokens);
 
+  // Admission probe for schedulers: would a new sequence of
+  // `prompt_tokens` fit right now with `reserve_tokens` of decode headroom
+  // on top? Pure capacity check — allocates nothing.
+  bool CanAdmit(int64_t prompt_tokens, int64_t reserve_tokens) const;
+
   // Appends one generated token; may allocate one block. Returns false on
   // capacity exhaustion (sequence state unchanged).
   bool AppendToken(int64_t sequence_id);
 
   // Releases all blocks of a finished sequence.
   void FreeSequence(int64_t sequence_id);
+
+  // Bulk release (preemption path): frees every listed sequence in one
+  // call so a scheduler can reclaim a victim set atomically.
+  void FreeSequences(const std::vector<int64_t>& sequence_ids);
 
   bool HasSequence(int64_t sequence_id) const { return tables_.count(sequence_id) > 0; }
   int64_t SequenceTokens(int64_t sequence_id) const;
@@ -57,8 +66,15 @@ class KvBlockManager {
   // Fraction of allocated block capacity actually holding tokens (1 -
   // internal fragmentation).
   double Occupancy() const;
+  // Tail waste of partially filled blocks: 1 - Occupancy().
+  double InternalFragmentation() const { return 1.0 - Occupancy(); }
+  // Most blocks ever simultaneously allocated over this manager's
+  // lifetime (high-water mark; never decreases).
+  int64_t high_water_blocks() const { return high_water_blocks_; }
   // Sequences that fit if each needs `tokens_per_sequence` in total.
   int64_t CapacitySequences(int64_t tokens_per_sequence) const;
+  // Blocks needed to hold `tokens` (ceiling division).
+  int64_t BlocksFor(int64_t tokens) const;
 
  private:
   struct SequenceState {
@@ -66,11 +82,12 @@ class KvBlockManager {
     int64_t tokens = 0;
   };
 
-  int64_t BlocksFor(int64_t tokens) const;
+  void NoteAllocation();
 
   KvBlockConfig config_;
   std::vector<int64_t> free_list_;
   std::map<int64_t, SequenceState> tables_;
+  int64_t high_water_blocks_ = 0;
 };
 
 // The TP-group view: block tables replicated across ranks, bytes sharded.
@@ -88,6 +105,13 @@ class DistributedKvManager {
   bool AddSequence(int64_t sequence_id, int64_t prompt_tokens);
   bool AppendToken(int64_t sequence_id);
   void FreeSequence(int64_t sequence_id);
+  void FreeSequences(const std::vector<int64_t>& sequence_ids);
+
+  // True iff every rank can admit (symmetric geometry makes rank 0
+  // authoritative, but all ranks are probed to preserve the invariant).
+  bool CanAdmit(int64_t prompt_tokens, int64_t reserve_tokens) const;
+  // Group high-water mark (max over ranks; ranks move in lockstep).
+  int64_t high_water_blocks() const;
 
   // Invariant check: every rank holds identical block tables.
   bool TablesInLockstep() const;

@@ -207,4 +207,37 @@ void PolicyNet::CopyFrom(const PolicyNet& other) {
   }
 }
 
+int64_t SampleLogitsRow(const Tensor& logits, int64_t row, double temperature, bool do_sample,
+                        Rng& rng, float* log_prob) {
+  const int64_t vocab = logits.dim(1);
+  double max_logit = logits.at(row, 0);
+  for (int64_t j = 1; j < vocab; ++j) {
+    max_logit = std::max(max_logit, static_cast<double>(logits.at(row, j)));
+  }
+  double denom = 0.0;
+  for (int64_t j = 0; j < vocab; ++j) {
+    denom += std::exp(static_cast<double>(logits.at(row, j)) - max_logit);
+  }
+  int64_t chosen = 0;
+  if (do_sample) {
+    std::vector<double> weights(static_cast<size_t>(vocab));
+    for (int64_t j = 0; j < vocab; ++j) {
+      weights[static_cast<size_t>(j)] =
+          std::exp((static_cast<double>(logits.at(row, j)) - max_logit) / temperature);
+    }
+    chosen = rng.Categorical(weights);
+  } else {
+    for (int64_t j = 1; j < vocab; ++j) {
+      if (logits.at(row, j) > logits.at(row, chosen)) {
+        chosen = j;
+      }
+    }
+  }
+  if (log_prob != nullptr) {
+    *log_prob = static_cast<float>(static_cast<double>(logits.at(row, chosen)) - max_logit -
+                                   std::log(denom));
+  }
+  return chosen;
+}
+
 }  // namespace hybridflow

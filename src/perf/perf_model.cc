@@ -302,6 +302,58 @@ GenTimeBreakdown PerfModel::GenerateTime(const GenParallelConfig& gen,
   return out;
 }
 
+double PerfModel::PrefillStepTime(const GenParallelConfig& gen,
+                                  const std::vector<DeviceId>& replica_devices,
+                                  const std::vector<int64_t>& sequence_tokens) const {
+  HF_CHECK_EQ(static_cast<int>(replica_devices.size()), gen.pp * gen.tp);
+  const double mp = static_cast<double>(gen.pp * gen.tp);
+  double flops = 0.0;
+  for (int64_t tokens : sequence_tokens) {
+    flops += FwdFlopsPerSequence(tokens);
+  }
+  return ComputeSeconds(flops / mp, params_.mfu_prefill);
+}
+
+double PerfModel::DecodeStepTime(const GenParallelConfig& gen,
+                                 const std::vector<DeviceId>& replica_devices, int64_t rows,
+                                 int64_t context_tokens) const {
+  HF_CHECK_EQ(static_cast<int>(replica_devices.size()), gen.pp * gen.tp);
+  HF_CHECK_GT(rows, 0);
+  HF_CHECK_GE(context_tokens, 0);
+  const double mp = static_cast<double>(gen.pp * gen.tp);
+  const double layers_per_stage =
+      static_cast<double>(model_.num_layers) / static_cast<double>(gen.pp);
+  const double weight_shard_bytes = param_bytes() / mp;
+  const double kv_bytes =
+      KvBytesPerTokenPerGpu(gen) * static_cast<double>(context_tokens);
+  const double bytes_per_step = weight_shard_bytes + kv_bytes;
+  const double flops_per_step = 2.0 * num_params_ * static_cast<double>(rows) / mp;
+  double step_time =
+      std::max(bytes_per_step / (cluster_.gpu.hbm_bandwidth * params_.hbm_efficiency),
+               ComputeSeconds(flops_per_step, params_.mfu_infer)) +
+      params_.decode_overhead * layers_per_stage / 8.0;
+  if (gen.pp > 1) {
+    step_time *= 1.0 + params_.pipeline_decode_penalty * static_cast<double>(gen.pp - 1);
+    step_time += static_cast<double>(gen.pp - 1) * cluster_.link_latency;
+  }
+  return step_time;
+}
+
+double PerfModel::DecodeCommStepTime(const GenParallelConfig& gen,
+                                     const std::vector<DeviceId>& replica_devices,
+                                     int64_t rows) const {
+  HF_CHECK_EQ(static_cast<int>(replica_devices.size()), gen.pp * gen.tp);
+  if (gen.tp <= 1) {
+    return 0.0;
+  }
+  const std::vector<DeviceId> tp_group = FirstN(replica_devices, gen.tp);
+  const double layers_per_stage =
+      static_cast<double>(model_.num_layers) / static_cast<double>(gen.pp);
+  const double bytes =
+      static_cast<double>(rows) * static_cast<double>(model_.hidden_size) * 2.0;
+  return 2.0 * layers_per_stage * AllReduceTime(cluster_, tp_group, bytes);
+}
+
 double PerfModel::TrainMemoryPerGpu(const ParallelConfig& cfg, int64_t tokens_per_microbatch,
                                     int num_microbatches) const {
   HF_CHECK_GT(num_microbatches, 0);

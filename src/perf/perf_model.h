@@ -97,6 +97,25 @@ class PerfModel {
                                 int64_t prompt_len, int64_t response_len,
                                 double kv_budget_bytes, bool use_kv_cache) const;
 
+  // --- Per-step costs for the continuous-batching rollout engine -------------
+  // These expose the internals of GenerateTime at engine-step granularity so
+  // src/rollout/ can charge time from the actual batch composition instead
+  // of the closed-form wave approximation.
+  //
+  // Prefill of newly admitted sequences (one entry per sequence, its prompt
+  // length): compute-bound forward over the listed prompts.
+  double PrefillStepTime(const GenParallelConfig& gen,
+                         const std::vector<DeviceId>& replica_devices,
+                         const std::vector<int64_t>& sequence_tokens) const;
+  // One decode step over `rows` running sequences whose cached contexts
+  // total `context_tokens`: streams the weight shard plus the live KV once.
+  double DecodeStepTime(const GenParallelConfig& gen,
+                        const std::vector<DeviceId>& replica_devices, int64_t rows,
+                        int64_t context_tokens) const;
+  // TP activation collectives of one decode step over `rows` sequences.
+  double DecodeCommStepTime(const GenParallelConfig& gen,
+                            const std::vector<DeviceId>& replica_devices, int64_t rows) const;
+
   // --- Memory (per GPU, bytes) -----------------------------------------------
   double TrainMemoryPerGpu(const ParallelConfig& cfg, int64_t tokens_per_microbatch,
                            int num_microbatches) const;

@@ -1,0 +1,165 @@
+#include "src/rollout/engine.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace hybridflow {
+
+void RolloutStats::Merge(const RolloutStats& other) {
+  steps += other.steps;
+  sequences += other.sequences;
+  admissions += other.admissions;
+  preemptions += other.preemptions;
+  max_running_batch = std::max(max_running_batch, other.max_running_batch);
+  queue_wait_steps_total += other.queue_wait_steps_total;
+  queue_wait_steps_max = std::max(queue_wait_steps_max, other.queue_wait_steps_max);
+  kv_high_water_blocks = std::max(kv_high_water_blocks, other.kv_high_water_blocks);
+  kv_peak_utilization = std::max(kv_peak_utilization, other.kv_peak_utilization);
+}
+
+void RolloutStatsCollector::Add(const RolloutStats& stats) {
+  MutexLock lock(mutex_);
+  total_.Merge(stats);
+}
+
+RolloutStats RolloutStatsCollector::Snapshot() const {
+  MutexLock lock(mutex_);
+  return total_;
+}
+
+RolloutEngine::RolloutEngine(const PolicyNet& net, const RolloutLimits& limits,
+                             const RolloutOptions& options, int kv_ranks)
+    : net_(net),
+      limits_(limits),
+      options_(options),
+      kv_ranks_(kv_ranks),
+      steps_total_(MetricsRegistry::Global().GetCounter("rollout.steps_total",
+                                                        {{"plane", "data"}})),
+      admissions_total_(MetricsRegistry::Global().GetCounter("rollout.admissions_total",
+                                                             {{"plane", "data"}})),
+      preemptions_total_(MetricsRegistry::Global().GetCounter("rollout.preemptions_total",
+                                                              {{"plane", "data"}})),
+      queue_wait_steps_(MetricsRegistry::Global().GetHistogram(
+          "rollout.queue_wait_steps", ExponentialBuckets(1, 2, 10), {{"plane", "data"}})),
+      running_batch_(MetricsRegistry::Global().GetHistogram(
+          "rollout.running_batch", ExponentialBuckets(1, 2, 10), {{"plane", "data"}})),
+      kv_utilization_(MetricsRegistry::Global().GetHistogram(
+          "rollout.kv_utilization", LinearBuckets(0.1, 0.1, 10), {{"plane", "data"}})) {
+  HF_CHECK_GT(kv_ranks_, 0);
+  HF_CHECK_GT(options_.block_tokens, 0);
+  HF_CHECK_GE(limits_.max_new_tokens, 0);
+}
+
+RolloutShardResult RolloutEngine::Run(const std::vector<std::vector<int64_t>>& prompts,
+                                      bool do_sample, double temperature, Rng& rng) const {
+  const size_t batch = prompts.size();
+  RolloutShardResult result;
+  result.responses.resize(batch);
+  result.log_probs.resize(batch);
+  result.stats.sequences = static_cast<int64_t>(batch);
+  if (batch == 0 || limits_.max_new_tokens == 0) {
+    return result;
+  }
+
+  // KV geometry: auto-size to fit the whole shard at full length when
+  // unset; otherwise honor the configured budget but always fit the
+  // largest single sequence (the scheduler's progress contract).
+  KvBlockConfig kv_config;
+  kv_config.block_tokens = options_.block_tokens;
+  int64_t fit_all = 0;
+  int64_t fit_largest = 0;
+  for (const std::vector<int64_t>& prompt : prompts) {
+    const int64_t full = static_cast<int64_t>(prompt.size()) + limits_.max_new_tokens;
+    const int64_t blocks = (full + kv_config.block_tokens - 1) / kv_config.block_tokens;
+    fit_all += blocks;
+    fit_largest = std::max(fit_largest, blocks);
+  }
+  kv_config.num_blocks =
+      options_.num_blocks > 0 ? std::max(options_.num_blocks, fit_largest) : fit_all;
+  DistributedKvManager kv(kv_ranks_, kv_config);
+
+  std::vector<RolloutSequence> sequences(batch);
+  std::vector<IncrementalContext> contexts_by_id;
+  std::vector<Rng> sequence_rngs;
+  contexts_by_id.reserve(batch);
+  sequence_rngs.reserve(batch);
+  RolloutSchedulerConfig scheduler_config;
+  scheduler_config.policy = options_.policy;
+  scheduler_config.reserve_tokens = options_.reserve_tokens;
+  scheduler_config.max_running = options_.max_running;
+  RolloutScheduler scheduler(scheduler_config, &kv, &sequences);
+  for (size_t i = 0; i < batch; ++i) {
+    RolloutSequence& sequence = sequences[i];
+    sequence.id = static_cast<int64_t>(i);
+    sequence.prompt_tokens = static_cast<int64_t>(prompts[i].size());
+    sequence.target_new_tokens = limits_.max_new_tokens;
+    contexts_by_id.emplace_back(prompts[i], net_.config().context_window);
+    sequence_rngs.push_back(rng.Fork(static_cast<uint64_t>(i)));
+    result.responses[i].reserve(static_cast<size_t>(limits_.max_new_tokens));
+    result.log_probs[i].reserve(static_cast<size_t>(limits_.max_new_tokens));
+    scheduler.Enqueue(sequence.id);
+  }
+
+  while (scheduler.HasWork()) {
+    const StepPlan plan = scheduler.BeginStep();
+
+    // KV pressure right after admission is the step's peak residency.
+    const KvBlockManager& rank0 = kv.rank(0);
+    const double utilization =
+        kv_config.num_blocks > 0
+            ? static_cast<double>(rank0.used_blocks()) / static_cast<double>(kv_config.num_blocks)
+            : 0.0;
+    result.stats.kv_peak_utilization =
+        std::max(result.stats.kv_peak_utilization, utilization);
+    running_batch_.Observe(static_cast<double>(plan.rows()));
+    kv_utilization_.Observe(utilization);
+
+    std::vector<int64_t> rows;
+    rows.reserve(static_cast<size_t>(plan.rows()));
+    rows.insert(rows.end(), plan.prefill.begin(), plan.prefill.end());
+    rows.insert(rows.end(), plan.decode.begin(), plan.decode.end());
+    std::vector<std::vector<int64_t>> step_contexts;
+    step_contexts.reserve(rows.size());
+    for (int64_t id : rows) {
+      step_contexts.push_back(contexts_by_id[static_cast<size_t>(id)].tokens());
+    }
+
+    const Tensor logits = net_.Forward(step_contexts);
+    std::vector<int64_t> eos_finished;
+    for (size_t a = 0; a < rows.size(); ++a) {
+      const int64_t id = rows[a];
+      float log_prob = 0.0f;
+      const int64_t token =
+          SampleLogitsRow(logits, static_cast<int64_t>(a), temperature, do_sample,
+                          sequence_rngs[static_cast<size_t>(id)], &log_prob);
+      result.responses[static_cast<size_t>(id)].push_back(token);
+      result.log_probs[static_cast<size_t>(id)].push_back(log_prob);
+      contexts_by_id[static_cast<size_t>(id)].Push(token);
+      if (limits_.use_eos && token == limits_.eos_token) {
+        eos_finished.push_back(id);
+      }
+    }
+    scheduler.CommitStep(plan, eos_finished);
+  }
+
+  const RolloutSchedulerStats& scheduler_stats = scheduler.stats();
+  result.stats.steps = scheduler_stats.steps;
+  result.stats.admissions = scheduler_stats.admissions;
+  result.stats.preemptions = scheduler_stats.preemptions;
+  result.stats.max_running_batch = scheduler_stats.max_running;
+  result.stats.kv_high_water_blocks = kv.high_water_blocks();
+  for (const RolloutSequence& sequence : sequences) {
+    HF_CHECK(sequence.state == SequenceState::kFinished);
+    const int64_t wait = std::max<int64_t>(sequence.first_admit_step - sequence.enqueue_step, 0);
+    result.stats.queue_wait_steps_total += wait;
+    result.stats.queue_wait_steps_max = std::max(result.stats.queue_wait_steps_max, wait);
+    queue_wait_steps_.Observe(static_cast<double>(wait));
+  }
+  steps_total_.Increment(static_cast<double>(result.stats.steps));
+  admissions_total_.Increment(static_cast<double>(result.stats.admissions));
+  preemptions_total_.Increment(static_cast<double>(result.stats.preemptions));
+  return result;
+}
+
+}  // namespace hybridflow

@@ -1,0 +1,114 @@
+// RolloutEngine: the data-plane continuous-batching generation loop.
+//
+// Drives the real PolicyNet over dynamically composed batches (mixed
+// prefill + decode rows chosen by RolloutScheduler against a real
+// DistributedKvManager). The per-row forward is independent of batch
+// composition and token selection goes through the shared SampleLogitsRow,
+// so greedy decoding produces bitwise-identical responses and log-probs to
+// the static path regardless of schedule, admission order, or preemption.
+//
+// Sampling mode draws from per-sequence forked RNG streams (schedule-
+// independent), which intentionally differs from the static path's single
+// shared stream; exact equivalence is promised for greedy decoding only.
+#ifndef SRC_ROLLOUT_ENGINE_H_
+#define SRC_ROLLOUT_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/annotations.h"
+#include "src/common/rng.h"
+#include "src/nn/policy_net.h"
+#include "src/obs/metrics.h"
+#include "src/rollout/scheduler.h"
+
+namespace hybridflow {
+
+enum class RolloutMode {
+  kStatic,      // Whole-shard static batch (legacy GenerateShard loop).
+  kContinuous,  // Request-level continuous batching through src/rollout/.
+};
+
+// Engine knobs; shared between ActorOptions and the timing simulator.
+struct RolloutOptions {
+  RolloutMode mode = RolloutMode::kStatic;
+  RolloutPolicy policy = RolloutPolicy::kFcfs;
+  // Data-plane KV geometry (toy scale). num_blocks == 0 auto-sizes the
+  // cache to fit the whole shard at full length (no preemption).
+  int64_t block_tokens = 4;
+  int64_t num_blocks = 0;
+  int64_t reserve_tokens = 1;
+  int64_t max_running = 0;  // 0 = KV-capacity-bounded only.
+};
+
+// Termination rules for one generation call (mirrors AlignmentTask's
+// response_len / use_eos without depending on hf_data).
+struct RolloutLimits {
+  int64_t max_new_tokens = 0;
+  bool use_eos = false;
+  int64_t eos_token = -1;
+};
+
+// Aggregate counters of one engine run (or many, via the collector).
+struct RolloutStats {
+  int64_t steps = 0;
+  int64_t sequences = 0;
+  int64_t admissions = 0;
+  int64_t preemptions = 0;
+  int64_t max_running_batch = 0;
+  int64_t queue_wait_steps_total = 0;  // Enqueue -> first admission.
+  int64_t queue_wait_steps_max = 0;
+  int64_t kv_high_water_blocks = 0;
+  double kv_peak_utilization = 0.0;  // used/num_blocks peak (rank 0).
+
+  void Merge(const RolloutStats& other);
+};
+
+// Thread-safe accumulator: per-rank engines run concurrently inside
+// Dispatch's ParallelFor, each merging its shard's stats here.
+class RolloutStatsCollector {
+ public:
+  void Add(const RolloutStats& stats) HF_EXCLUDES(mutex_);
+  RolloutStats Snapshot() const HF_EXCLUDES(mutex_);
+
+ private:
+  mutable Mutex mutex_;
+  RolloutStats total_ HF_GUARDED_BY(mutex_);
+};
+
+struct RolloutShardResult {
+  std::vector<std::vector<int64_t>> responses;
+  std::vector<std::vector<float>> log_probs;
+  RolloutStats stats;
+};
+
+class RolloutEngine {
+ public:
+  // `net` is borrowed (read-only); `kv_ranks` is the tensor-parallel degree
+  // of the generation strategy — the DistributedKvManager keeps that many
+  // block tables in lockstep, as the paper's distributed KV manager does.
+  RolloutEngine(const PolicyNet& net, const RolloutLimits& limits,
+                const RolloutOptions& options, int kv_ranks);
+
+  // Generates one response per prompt. `rng` seeds per-sequence streams
+  // for sampling mode; greedy decoding never draws from it.
+  RolloutShardResult Run(const std::vector<std::vector<int64_t>>& prompts, bool do_sample,
+                         double temperature, Rng& rng) const;
+
+ private:
+  const PolicyNet& net_;
+  RolloutLimits limits_;
+  RolloutOptions options_;
+  int kv_ranks_;
+  // Cached registry handles (hot loop; see src/obs/metrics.h).
+  Counter& steps_total_;
+  Counter& admissions_total_;
+  Counter& preemptions_total_;
+  Histogram& queue_wait_steps_;
+  Histogram& running_batch_;
+  Histogram& kv_utilization_;
+};
+
+}  // namespace hybridflow
+
+#endif  // SRC_ROLLOUT_ENGINE_H_

@@ -1,0 +1,171 @@
+#include "src/rollout/scheduler.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace hybridflow {
+
+RolloutScheduler::RolloutScheduler(const RolloutSchedulerConfig& config, DistributedKvManager* kv,
+                                   std::vector<RolloutSequence>* sequences)
+    : config_(config), kv_(kv), sequences_(sequences) {
+  HF_CHECK(kv_ != nullptr);
+  HF_CHECK(sequences_ != nullptr);
+  HF_CHECK_GE(config_.reserve_tokens, 0);
+  HF_CHECK_GE(config_.max_running, 0);
+}
+
+RolloutSequence& RolloutScheduler::seq(int64_t id) {
+  HF_CHECK_GE(id, 0);
+  HF_CHECK_LT(static_cast<size_t>(id), sequences_->size());
+  return (*sequences_)[static_cast<size_t>(id)];
+}
+
+void RolloutScheduler::Enqueue(int64_t id) {
+  RolloutSequence& sequence = seq(id);
+  HF_CHECK(sequence.state == SequenceState::kWaiting);
+  sequence.enqueue_step = stats_.steps;
+  waiting_.push_back(id);
+}
+
+void RolloutScheduler::RemoveFromRunning(int64_t id) {
+  auto it = std::find(running_.begin(), running_.end(), id);
+  HF_CHECK(it != running_.end());
+  running_.erase(it);
+}
+
+void RolloutScheduler::Preempt(int64_t id) {
+  RolloutSequence& sequence = seq(id);
+  HF_CHECK(sequence.state == SequenceState::kPrefill ||
+           sequence.state == SequenceState::kDecode);
+  kv_->FreeSequence(id);
+  sequence.kv_tokens = 0;
+  sequence.state = SequenceState::kPreempted;
+  sequence.preemptions += 1;
+  stats_.preemptions += 1;
+  RemoveFromRunning(id);
+  // Recompute-on-resume: the victim goes to the *front* of the waiting
+  // queue (vLLM semantics) so preemption reorders, never starves.
+  waiting_.push_front(id);
+  sequence.state = SequenceState::kWaiting;
+}
+
+int64_t RolloutScheduler::BlocksNeededForDecode() const {
+  const int64_t block_tokens = kv_->rank(0).config().block_tokens;
+  int64_t needed = 0;
+  for (int64_t id : running_) {
+    const RolloutSequence& sequence = (*sequences_)[static_cast<size_t>(id)];
+    if (sequence.kv_tokens % block_tokens == 0) {
+      needed += 1;  // The next append crosses a block boundary.
+    }
+  }
+  return needed;
+}
+
+StepPlan RolloutScheduler::BeginStep() {
+  HF_CHECK_MSG(HasWork(), "BeginStep called with no waiting or running sequences");
+  stats_.steps += 1;
+
+  // 1. Reserve the running set's next-token blocks before admitting anyone;
+  // evict the youngest until the incumbents fit (free-and-requeue).
+  while (!running_.empty() && BlocksNeededForDecode() > kv_->rank(0).free_blocks()) {
+    Preempt(running_.back());
+  }
+
+  StepPlan plan;
+  plan.decode.assign(running_.begin(), running_.end());
+
+  // 2. Admission in policy order, gated by real block allocation. Strict
+  // priority: stop at the first candidate that does not fit, so the head of
+  // the queue is never starved by smaller requests behind it.
+  std::vector<int64_t> candidates(waiting_.begin(), waiting_.end());
+  if (config_.policy == RolloutPolicy::kLongestPrefixFirst) {
+    std::stable_sort(candidates.begin(), candidates.end(), [this](int64_t a, int64_t b) {
+      return seq(a).total_tokens() > seq(b).total_tokens();
+    });
+  }
+  for (int64_t id : candidates) {
+    if (config_.max_running > 0 &&
+        static_cast<int64_t>(running_.size()) >= config_.max_running) {
+      break;
+    }
+    RolloutSequence& sequence = seq(id);
+    const int64_t reserve =
+        std::min(config_.reserve_tokens, std::max<int64_t>(sequence.remaining_tokens() - 1, 0));
+    if (!kv_->CanAdmit(sequence.total_tokens(), reserve)) {
+      break;
+    }
+    HF_CHECK(kv_->AddSequence(id, sequence.total_tokens()));
+    sequence.kv_tokens = sequence.total_tokens();
+    sequence.state = SequenceState::kPrefill;
+    if (sequence.first_admit_step < 0) {
+      sequence.first_admit_step = stats_.steps - 1;
+    }
+    stats_.admissions += 1;
+    running_.push_back(id);
+    plan.prefill.push_back(id);
+    waiting_.erase(std::find(waiting_.begin(), waiting_.end(), id));
+  }
+
+  HF_CHECK_MSG(!plan.empty(),
+               "scheduler made no progress: a sequence exceeds KV capacity at full length");
+  stats_.max_running = std::max(stats_.max_running, plan.rows());
+  return plan;
+}
+
+void RolloutScheduler::CommitStep(const StepPlan& plan, const std::vector<int64_t>& eos_finished) {
+  std::vector<int64_t> rows;
+  rows.reserve(static_cast<size_t>(plan.rows()));
+  rows.insert(rows.end(), plan.prefill.begin(), plan.prefill.end());
+  rows.insert(rows.end(), plan.decode.begin(), plan.decode.end());
+
+  for (int64_t id : rows) {
+    RolloutSequence& sequence = seq(id);
+    // A row preempted earlier in this commit (as someone's victim) still
+    // emitted its token; it just lost its KV residency.
+    const bool resident = sequence.state == SequenceState::kPrefill ||
+                          sequence.state == SequenceState::kDecode;
+    sequence.generated += 1;
+    const bool finished =
+        sequence.generated >= sequence.target_new_tokens ||
+        std::find(eos_finished.begin(), eos_finished.end(), id) != eos_finished.end();
+    if (finished) {
+      if (resident) {
+        kv_->FreeSequence(id);
+        RemoveFromRunning(id);
+      } else {
+        // Preempted mid-commit but its freshly emitted token ends it:
+        // drop it from the waiting queue it was just pushed onto.
+        waiting_.erase(std::find(waiting_.begin(), waiting_.end(), id));
+      }
+      sequence.kv_tokens = 0;
+      sequence.state = SequenceState::kFinished;
+      continue;
+    }
+    if (!resident) {
+      continue;  // Waits for re-admission; token kept, KV recomputed later.
+    }
+    // Append the new token's KV entry, evicting youngest-first on
+    // exhaustion (possibly this sequence itself, if it is the only one
+    // left — only possible when admission overcommitted shared headroom).
+    while (!kv_->AppendToken(id)) {
+      int64_t victim = -1;
+      for (auto it = running_.rbegin(); it != running_.rend(); ++it) {
+        if (*it != id) {
+          victim = *it;
+          break;
+        }
+      }
+      Preempt(victim >= 0 ? victim : id);
+      if (victim < 0) {
+        break;  // Preempted itself; the appended token is recomputed later.
+      }
+    }
+    if (sequence.state == SequenceState::kPrefill || sequence.state == SequenceState::kDecode) {
+      sequence.kv_tokens += 1;
+      sequence.state = SequenceState::kDecode;
+    }
+  }
+}
+
+}  // namespace hybridflow

@@ -1,0 +1,109 @@
+// Request-level continuous-batching scheduler for the generation stage.
+//
+// Each engine step the scheduler composes a mixed prefill+decode batch:
+// it first reserves KV headroom for the running sequences' next token
+// (preempting the youngest on exhaustion — vLLM's recompute-on-resume
+// policy), then admits waiting sequences in policy order while the
+// KvBlockManager accepts their full current context plus a configurable
+// token reserve. Admission and appends go through the *real*
+// DistributedKvManager, so capacity effects are block-granular, not
+// analytical.
+//
+// Contract: every enqueued sequence must fit alone at full length
+// (BlocksFor(prompt + target_new_tokens) <= num_blocks per rank);
+// otherwise it would preempt itself forever. RolloutEngine and the timing
+// simulator size or validate the cache accordingly.
+#ifndef SRC_ROLLOUT_SCHEDULER_H_
+#define SRC_ROLLOUT_SCHEDULER_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/kvcache/block_manager.h"
+#include "src/rollout/sequence.h"
+
+namespace hybridflow {
+
+enum class RolloutPolicy {
+  kFcfs,               // Admit in arrival order.
+  kLongestPrefixFirst, // Admit the longest pending context first.
+};
+
+struct RolloutSchedulerConfig {
+  RolloutPolicy policy = RolloutPolicy::kFcfs;
+  // Decode-headroom tokens demanded (beyond the current context) when
+  // admitting a sequence; higher values admit less but preempt less.
+  int64_t reserve_tokens = 1;
+  // Cap on concurrently running sequences; 0 = bounded by KV capacity only.
+  int64_t max_running = 0;
+};
+
+// One engine step's batch composition: newly admitted sequences (prefill
+// rows) plus continuing ones (decode rows). Every planned row emits exactly
+// one token this step.
+struct StepPlan {
+  std::vector<int64_t> prefill;
+  std::vector<int64_t> decode;
+
+  bool empty() const { return prefill.empty() && decode.empty(); }
+  int64_t rows() const {
+    return static_cast<int64_t>(prefill.size() + decode.size());
+  }
+};
+
+struct RolloutSchedulerStats {
+  int64_t steps = 0;
+  int64_t admissions = 0;   // Includes re-admissions after preemption.
+  int64_t preemptions = 0;
+  int64_t max_running = 0;  // Largest planned batch (rows) of any step.
+};
+
+// Single-threaded by design: one scheduler drives one replica's engine
+// loop (concurrency lives across replicas, which never share a scheduler).
+class RolloutScheduler {
+ public:
+  // `kv` and `sequences` are borrowed; ids index into *sequences.
+  RolloutScheduler(const RolloutSchedulerConfig& config, DistributedKvManager* kv,
+                   std::vector<RolloutSequence>* sequences);
+
+  // Adds a waiting sequence (state must be kWaiting).
+  void Enqueue(int64_t id);
+
+  // Reserves decode headroom (preempting if needed), admits waiting
+  // sequences, and returns the step's batch. Aborts if no progress is
+  // possible while work remains (violated fit contract).
+  StepPlan BeginStep();
+
+  // Completes a step: every planned row emitted one token. Sequences in
+  // `eos_finished` (plus any that reached target_new_tokens) release their
+  // blocks; the rest append their new token to the KV cache, preempting
+  // victims (youngest-first, possibly themselves) on exhaustion.
+  void CommitStep(const StepPlan& plan, const std::vector<int64_t>& eos_finished);
+
+  bool HasWork() const { return !waiting_.empty() || !running_.empty(); }
+  const std::deque<int64_t>& waiting() const { return waiting_; }
+  const std::vector<int64_t>& running() const { return running_; }
+  const RolloutSchedulerStats& stats() const { return stats_; }
+  int64_t current_step() const { return stats_.steps; }
+
+ private:
+  RolloutSequence& seq(int64_t id);
+  // Frees the victim's KV and requeues it at the front of the waiting
+  // queue (its context is recomputed on resume).
+  void Preempt(int64_t id);
+  void RemoveFromRunning(int64_t id);
+  // Blocks the running set needs for its next appends on one rank.
+  int64_t BlocksNeededForDecode() const;
+
+  RolloutSchedulerConfig config_;
+  DistributedKvManager* kv_;
+  std::vector<RolloutSequence>* sequences_;
+  std::deque<int64_t> waiting_;
+  std::vector<int64_t> running_;  // Admission order: oldest first.
+  RolloutSchedulerStats stats_;
+};
+
+}  // namespace hybridflow
+
+#endif  // SRC_ROLLOUT_SCHEDULER_H_

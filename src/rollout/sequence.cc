@@ -1,0 +1,24 @@
+#include "src/rollout/sequence.h"
+
+#include "src/common/check.h"
+
+namespace hybridflow {
+
+IncrementalContext::IncrementalContext(const std::vector<int64_t>& prompt, int64_t window) {
+  HF_CHECK_GT(window, 0);
+  window_.assign(static_cast<size_t>(window), 0);
+  // Fill from the end: the last min(window, prompt) prompt tokens.
+  int64_t pos = window - 1;
+  for (int64_t k = static_cast<int64_t>(prompt.size()) - 1; k >= 0 && pos >= 0; --k, --pos) {
+    window_[static_cast<size_t>(pos)] = prompt[static_cast<size_t>(k)];
+  }
+}
+
+void IncrementalContext::Push(int64_t token) {
+  for (size_t i = 0; i + 1 < window_.size(); ++i) {
+    window_[i] = window_[i + 1];
+  }
+  window_.back() = token;
+}
+
+}  // namespace hybridflow

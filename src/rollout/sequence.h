@@ -1,0 +1,65 @@
+// Request-level sequence state for the continuous-batching rollout engine
+// (vLLM/ScaleLLM-style, adapted to the dual-plane design; docs/ROLLOUT.md).
+//
+// A RolloutSequence is *count-based* metadata only — prompt/response token
+// counts, lifecycle state, and KV residency — so the same scheduler drives
+// both the real data plane (RolloutEngine over the toy PolicyNet) and the
+// simulated performance plane (SimulateContinuousGeneration over PerfModel).
+#ifndef SRC_ROLLOUT_SEQUENCE_H_
+#define SRC_ROLLOUT_SEQUENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace hybridflow {
+
+// waiting -> prefill -> decode -> finished, with preempted -> waiting on
+// capacity exhaustion (free-and-requeue; recompute on resume).
+enum class SequenceState {
+  kWaiting,
+  kPrefill,
+  kDecode,
+  kFinished,
+  kPreempted,
+};
+
+struct RolloutSequence {
+  int64_t id = 0;
+  int64_t prompt_tokens = 0;
+  // Response tokens emitted so far. Survives preemption: generated tokens
+  // are kept by the data plane and only their KV entries are recomputed
+  // (charged as prefill) on resume.
+  int64_t generated = 0;
+  int64_t target_new_tokens = 0;  // Response-length cap.
+  SequenceState state = SequenceState::kWaiting;
+  int64_t kv_tokens = 0;  // Tokens currently resident in the KV cache.
+  int64_t enqueue_step = 0;
+  int64_t first_admit_step = -1;  // -1 until first admitted.
+  int64_t preemptions = 0;
+
+  // Context length a (re)admission must cover.
+  int64_t total_tokens() const { return prompt_tokens + generated; }
+  int64_t remaining_tokens() const { return target_new_tokens - generated; }
+};
+
+// Rolling context window of one sequence: reproduces
+// ContextWindow(prompt, response, emitted, window) — the last `window`
+// tokens of prompt+response, left-padded with 0 — but maintained
+// incrementally (one shift+append per generated token) instead of being
+// rebuilt from the full prompt+response at every decode step.
+class IncrementalContext {
+ public:
+  IncrementalContext(const std::vector<int64_t>& prompt, int64_t window);
+
+  // Appends one generated token, sliding the window left by one.
+  void Push(int64_t token);
+
+  const std::vector<int64_t>& tokens() const { return window_; }
+
+ private:
+  std::vector<int64_t> window_;
+};
+
+}  // namespace hybridflow
+
+#endif  // SRC_ROLLOUT_SEQUENCE_H_

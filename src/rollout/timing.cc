@@ -1,0 +1,116 @@
+#include "src/rollout/timing.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace hybridflow {
+
+RolloutSimResult SimulateContinuousGeneration(const PerfModel& perf,
+                                              const GenParallelConfig& gen,
+                                              const std::vector<DeviceId>& replica_devices,
+                                              const std::vector<NominalSequence>& sequences,
+                                              double kv_budget_bytes,
+                                              const RolloutOptions& options) {
+  RolloutSimResult result;
+  result.stats.sequences = static_cast<int64_t>(sequences.size());
+  if (sequences.empty()) {
+    return result;
+  }
+
+  // Same block geometry as PerfModel::GenerateTime's wave capacity model:
+  // 16-token blocks of sharded per-token KV bytes, budget-limited, raised
+  // to fit the longest sequence alone (progress contract).
+  KvBlockConfig kv_config;
+  kv_config.block_tokens = 16;
+  kv_config.bytes_per_token = perf.KvBytesPerTokenPerGpu(gen);
+  int64_t fit_largest = 0;
+  for (const NominalSequence& sequence : sequences) {
+    HF_CHECK_GT(sequence.prompt_tokens, 0);
+    HF_CHECK_GE(sequence.response_tokens, 0);
+    const int64_t full = sequence.prompt_tokens + sequence.response_tokens;
+    fit_largest =
+        std::max(fit_largest, (full + kv_config.block_tokens - 1) / kv_config.block_tokens);
+  }
+  const double block_bytes =
+      static_cast<double>(kv_config.block_tokens) * kv_config.bytes_per_token;
+  const int64_t budget_blocks =
+      block_bytes > 0.0 ? static_cast<int64_t>(kv_budget_bytes / block_bytes) : fit_largest;
+  kv_config.num_blocks = std::max(budget_blocks, fit_largest);
+  DistributedKvManager kv(1, kv_config);
+
+  std::vector<RolloutSequence> states(sequences.size());
+  RolloutSchedulerConfig scheduler_config;
+  scheduler_config.policy = options.policy;
+  scheduler_config.reserve_tokens = options.reserve_tokens;
+  scheduler_config.max_running = options.max_running;
+  RolloutScheduler scheduler(scheduler_config, &kv, &states);
+  for (size_t i = 0; i < sequences.size(); ++i) {
+    RolloutSequence& state = states[i];
+    state.id = static_cast<int64_t>(i);
+    state.prompt_tokens = sequences[i].prompt_tokens;
+    state.target_new_tokens = sequences[i].response_tokens;
+    if (state.target_new_tokens > 0) {
+      scheduler.Enqueue(state.id);
+    } else {
+      state.state = SequenceState::kFinished;
+    }
+  }
+
+  while (scheduler.HasWork()) {
+    const StepPlan plan = scheduler.BeginStep();
+
+    const KvBlockManager& rank0 = kv.rank(0);
+    const double utilization =
+        kv_config.num_blocks > 0
+            ? static_cast<double>(rank0.used_blocks()) / static_cast<double>(kv_config.num_blocks)
+            : 0.0;
+    result.stats.kv_peak_utilization =
+        std::max(result.stats.kv_peak_utilization, utilization);
+
+    // Prefill: newly (re)admitted contexts are computed from scratch —
+    // recompute-on-resume charges prompt + kept response tokens again.
+    if (!plan.prefill.empty()) {
+      std::vector<int64_t> prefill_tokens;
+      prefill_tokens.reserve(plan.prefill.size());
+      for (int64_t id : plan.prefill) {
+        prefill_tokens.push_back(states[static_cast<size_t>(id)].total_tokens());
+      }
+      result.time.prefill_seconds +=
+          perf.PrefillStepTime(gen, replica_devices, prefill_tokens);
+    }
+
+    // Decode: every planned row emits one token against its live context.
+    int64_t context_tokens = 0;
+    for (int64_t id : plan.prefill) {
+      context_tokens += states[static_cast<size_t>(id)].kv_tokens;
+    }
+    for (int64_t id : plan.decode) {
+      context_tokens += states[static_cast<size_t>(id)].kv_tokens;
+    }
+    result.time.decode_seconds +=
+        perf.DecodeStepTime(gen, replica_devices, plan.rows(), context_tokens);
+    result.time.comm_seconds += perf.DecodeCommStepTime(gen, replica_devices, plan.rows());
+
+    scheduler.CommitStep(plan, /*eos_finished=*/{});
+  }
+
+  const RolloutSchedulerStats& scheduler_stats = scheduler.stats();
+  result.stats.steps = scheduler_stats.steps;
+  result.stats.admissions = scheduler_stats.admissions;
+  result.stats.preemptions = scheduler_stats.preemptions;
+  result.stats.max_running_batch = scheduler_stats.max_running;
+  result.stats.kv_high_water_blocks = kv.high_water_blocks();
+  for (const RolloutSequence& state : states) {
+    if (state.target_new_tokens == 0) {
+      continue;
+    }
+    const int64_t wait = std::max<int64_t>(state.first_admit_step - state.enqueue_step, 0);
+    result.stats.queue_wait_steps_total += wait;
+    result.stats.queue_wait_steps_max = std::max(result.stats.queue_wait_steps_max, wait);
+  }
+  result.time.waves = 1;
+  return result;
+}
+
+}  // namespace hybridflow

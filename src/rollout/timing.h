@@ -1,0 +1,44 @@
+// Performance-plane hook of the rollout engine: replays the same
+// RolloutScheduler over *nominal* (full-scale) sequence lengths and charges
+// each step's prefill/decode/comm cost through PerfModel, replacing the
+// closed-form wave approximation of PerfModel::GenerateTime when continuous
+// batching is enabled. KV-pressure effects (waves, preemption, tail
+// stragglers) emerge from actual block-granular scheduling.
+#ifndef SRC_ROLLOUT_TIMING_H_
+#define SRC_ROLLOUT_TIMING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/perf/perf_model.h"
+#include "src/rollout/engine.h"
+
+namespace hybridflow {
+
+// One full-scale sequence of the simulated workload.
+struct NominalSequence {
+  int64_t prompt_tokens = 0;
+  int64_t response_tokens = 0;
+};
+
+struct RolloutSimResult {
+  GenTimeBreakdown time;
+  RolloutStats stats;
+};
+
+// Simulates continuous-batching generation of `sequences` on one model
+// replica (sharded per `gen` over `replica_devices`) with a per-GPU KV
+// budget of `kv_budget_bytes`. Block geometry follows GenerateTime's
+// convention (16-token blocks, KvBytesPerTokenPerGpu), raised if needed so
+// the longest sequence fits alone. Preempted sequences recompute their
+// context on resume, charged as prefill.
+RolloutSimResult SimulateContinuousGeneration(const PerfModel& perf,
+                                              const GenParallelConfig& gen,
+                                              const std::vector<DeviceId>& replica_devices,
+                                              const std::vector<NominalSequence>& sequences,
+                                              double kv_budget_bytes,
+                                              const RolloutOptions& options);
+
+}  // namespace hybridflow
+
+#endif  // SRC_ROLLOUT_TIMING_H_

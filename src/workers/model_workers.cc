@@ -14,41 +14,6 @@ namespace {
 
 int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
 
-// Samples (or argmaxes) a token from one row of a logits matrix and returns
-// its log-probability under the (temperature-1) softmax.
-int64_t SampleRow(const Tensor& logits, int64_t row, double temperature, bool do_sample,
-                  Rng& rng, float* log_prob) {
-  const int64_t vocab = logits.dim(1);
-  double max_logit = logits.at(row, 0);
-  for (int64_t j = 1; j < vocab; ++j) {
-    max_logit = std::max(max_logit, static_cast<double>(logits.at(row, j)));
-  }
-  double denom = 0.0;
-  for (int64_t j = 0; j < vocab; ++j) {
-    denom += std::exp(static_cast<double>(logits.at(row, j)) - max_logit);
-  }
-  int64_t chosen = 0;
-  if (do_sample) {
-    std::vector<double> weights(static_cast<size_t>(vocab));
-    for (int64_t j = 0; j < vocab; ++j) {
-      weights[static_cast<size_t>(j)] =
-          std::exp((static_cast<double>(logits.at(row, j)) - max_logit) / temperature);
-    }
-    chosen = rng.Categorical(weights);
-  } else {
-    for (int64_t j = 1; j < vocab; ++j) {
-      if (logits.at(row, j) > logits.at(row, chosen)) {
-        chosen = j;
-      }
-    }
-  }
-  if (log_prob != nullptr) {
-    *log_prob = static_cast<float>(static_cast<double>(logits.at(row, chosen)) - max_logit -
-                                   std::log(denom));
-  }
-  return chosen;
-}
-
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -115,15 +80,35 @@ DataBatch ActorWorkerGroup::GenerateShard(const DataBatch& shard, bool do_sample
   const DataBatch::TokenColumn& prompts = shard.Tokens("prompts");
   const size_t batch = prompts.size();
   const int64_t response_len = real_.task.response_len;
+
+  if (actor_.rollout.mode == RolloutMode::kContinuous) {
+    RolloutLimits limits;
+    limits.max_new_tokens = response_len;
+    limits.use_eos = real_.task.use_eos;
+    limits.eos_token = real_.task.eos_token();
+    RolloutEngine rollout_engine(*net_, limits, actor_.rollout, engine_->gen_config().tp);
+    RolloutShardResult result =
+        rollout_engine.Run(prompts, do_sample, actor_.temperature, rng);
+    rollout_stats_.Add(result.stats);
+    DataBatch out = shard;
+    out.SetTokens("responses", std::move(result.responses));
+    out.SetFloat("log_probs", std::move(result.log_probs));
+    return out;
+  }
+
   DataBatch::TokenColumn responses(batch);
   DataBatch::FloatColumn log_probs(batch);
+  std::vector<IncrementalContext> contexts_by_row;
+  contexts_by_row.reserve(batch);
   for (size_t i = 0; i < batch; ++i) {
     responses[i].reserve(static_cast<size_t>(response_len));
     log_probs[i].reserve(static_cast<size_t>(response_len));
+    contexts_by_row.emplace_back(prompts[i], real_.net.context_window);
   }
   std::vector<bool> finished(batch, false);
   for (int64_t step = 0; step < response_len; ++step) {
-    // Continuous-batching style: only unfinished rows go through the net.
+    // Continuous-batching style: only unfinished rows go through the net,
+    // each supplying its incrementally maintained context window.
     std::vector<size_t> active;
     std::vector<std::vector<int64_t>> contexts;
     for (size_t i = 0; i < batch; ++i) {
@@ -131,8 +116,7 @@ DataBatch ActorWorkerGroup::GenerateShard(const DataBatch& shard, bool do_sample
         continue;
       }
       active.push_back(i);
-      contexts.push_back(ContextWindow(prompts[i], responses[i], responses[i].size(),
-                                       real_.net.context_window));
+      contexts.push_back(contexts_by_row[i].tokens());
     }
     if (active.empty()) {
       break;
@@ -141,10 +125,11 @@ DataBatch ActorWorkerGroup::GenerateShard(const DataBatch& shard, bool do_sample
     for (size_t a = 0; a < active.size(); ++a) {
       const size_t i = active[a];
       float log_prob = 0.0f;
-      const int64_t token = SampleRow(logits, static_cast<int64_t>(a), actor_.temperature,
-                                      do_sample, rng, &log_prob);
+      const int64_t token = SampleLogitsRow(logits, static_cast<int64_t>(a), actor_.temperature,
+                                            do_sample, rng, &log_prob);
       responses[i].push_back(token);
       log_probs[i].push_back(log_prob);
+      contexts_by_row[i].Push(token);
       if (real_.task.use_eos && token == real_.task.eos_token()) {
         finished[i] = true;
       }
@@ -171,9 +156,35 @@ double ActorWorkerGroup::GenerationSeconds(const RlhfWorkloadSpec& workload,
       std::max(0.0, last_transition_.peak_param_bytes - resident_params);
   const double kv_budget = std::max(1.0, memory.available() - extra_gen_weights);
 
-  GenTimeBreakdown result =
-      perf().GenerateTime(gen, replica_devices, per_replica, workload.prompt_len,
-                          workload.response_len, kv_budget, actor_.use_kv_cache);
+  GenTimeBreakdown result;
+  if (actor_.rollout.mode == RolloutMode::kContinuous && actor_.use_kv_cache) {
+    // Per-step timing from actual block-granular scheduling replaces the
+    // closed-form wave approximation (src/rollout/timing.h).
+    const std::vector<NominalSequence> nominal(
+        static_cast<size_t>(per_replica),
+        NominalSequence{workload.prompt_len, workload.response_len});
+    const RolloutSimResult sim = SimulateContinuousGeneration(
+        perf(), gen, replica_devices, nominal, kv_budget, actor_.rollout);
+    result = sim.time;
+    last_rollout_sim_ = sim.stats;
+    // Sim-plane scheduler gauges; GenerationSeconds runs only on the
+    // single controller thread, so last-write-wins is well defined.
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    const MetricLabels plane{{"plane", "sim"}};
+    registry.GetGauge("rollout.sim_steps", plane)
+        .Set(static_cast<double>(sim.stats.steps));
+    registry.GetGauge("rollout.sim_preemptions", plane)
+        .Set(static_cast<double>(sim.stats.preemptions));
+    registry.GetGauge("rollout.sim_max_running_batch", plane)
+        .Set(static_cast<double>(sim.stats.max_running_batch));
+    registry.GetGauge("rollout.sim_kv_high_water_blocks", plane)
+        .Set(static_cast<double>(sim.stats.kv_high_water_blocks));
+    registry.GetGauge("rollout.sim_kv_peak_utilization", plane)
+        .Set(sim.stats.kv_peak_utilization);
+  } else {
+    result = perf().GenerateTime(gen, replica_devices, per_replica, workload.prompt_len,
+                                 workload.response_len, kv_budget, actor_.use_kv_cache);
+  }
   if (breakdown != nullptr) {
     *breakdown = result;
   }

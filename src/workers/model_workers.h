@@ -12,6 +12,8 @@
 
 #include "src/hybridengine/hybrid_engine.h"
 #include "src/rlhf/losses.h"
+#include "src/rollout/engine.h"
+#include "src/rollout/timing.h"
 #include "src/workers/worker_group.h"
 
 namespace hybridflow {
@@ -29,6 +31,9 @@ struct ActorOptions {
   double temperature = 1.0;
   // Separate generation devices for kTwoCopies (OpenRLHF's vLLM pool).
   std::shared_ptr<ResourcePool> gen_pool;
+  // Continuous-batching rollout engine (src/rollout/); kStatic keeps the
+  // whole-shard batch loop and the closed-form wave time model.
+  RolloutOptions rollout;
 };
 
 struct ActorUpdateConfig {
@@ -77,6 +82,13 @@ class ActorWorkerGroup : public ModelWorkerGroup {
   const GenTimeBreakdown& last_gen_breakdown() const { return last_gen_; }
   const TransitionStats& last_transition_stats() const { return last_transition_; }
 
+  // Aggregated data-plane rollout stats across all generation calls
+  // (continuous mode only; zeros under kStatic).
+  RolloutStats rollout_stats() const { return rollout_stats_.Snapshot(); }
+  // Performance-plane scheduler stats of the most recent GenerateSequences
+  // (continuous mode only).
+  const RolloutStats& last_rollout_sim_stats() const { return last_rollout_sim_; }
+
   // Global L2 gradient norm captured by the most recent UpdateActor, before
   // the optimizer step zeroed the gradients (telemetry).
   double last_grad_norm() const { return last_grad_norm_; }
@@ -94,6 +106,10 @@ class ActorWorkerGroup : public ModelWorkerGroup {
   std::unique_ptr<PolicyNet> net_;
   std::unique_ptr<Adam> adam_;
   Rng sample_rng_;
+  // Merged from concurrent per-rank GenerateShard calls (thread-safe);
+  // mutable because generation compute closures are const.
+  mutable RolloutStatsCollector rollout_stats_;
+  mutable RolloutStats last_rollout_sim_;
   uint64_t generation_calls_ = 0;
   double last_grad_norm_ = 0.0;
   double last_transition_seconds_ = 0.0;

@@ -87,6 +87,90 @@ TEST(KvBlockManagerTest, UsedBytesAndCapacity) {
   EXPECT_EQ(manager.CapacitySequences(12), 2);
 }
 
+// --- Admission control & rollout extensions -----------------------------------
+
+TEST(KvBlockManagerTest, CanAdmitMatchesBlockArithmetic) {
+  KvBlockManager manager(SmallConfig(/*blocks=*/4, /*block_tokens=*/4));
+  EXPECT_TRUE(manager.CanAdmit(/*prompt_tokens=*/16, /*reserve_tokens=*/0));   // Exactly 4.
+  EXPECT_FALSE(manager.CanAdmit(/*prompt_tokens=*/16, /*reserve_tokens=*/1));  // 5th block.
+  ASSERT_TRUE(manager.AddSequence(1, 8));  // 2 blocks used.
+  EXPECT_TRUE(manager.CanAdmit(5, 3));     // ceil(8/4) = 2 <= 2 free.
+  EXPECT_FALSE(manager.CanAdmit(9, 0));    // 3 blocks > 2 free.
+  // Probing must not allocate anything.
+  EXPECT_EQ(manager.used_blocks(), 2);
+  EXPECT_EQ(manager.num_sequences(), 1);
+}
+
+TEST(KvBlockManagerTest, FreeSequencesReleasesInBulk) {
+  KvBlockManager manager(SmallConfig(/*blocks=*/8));
+  ASSERT_TRUE(manager.AddSequence(1, 8));
+  ASSERT_TRUE(manager.AddSequence(2, 4));
+  ASSERT_TRUE(manager.AddSequence(3, 4));
+  manager.FreeSequences({1, 3});
+  EXPECT_FALSE(manager.HasSequence(1));
+  EXPECT_TRUE(manager.HasSequence(2));
+  EXPECT_FALSE(manager.HasSequence(3));
+  EXPECT_EQ(manager.used_blocks(), 1);
+  EXPECT_EQ(manager.free_blocks(), 7);
+}
+
+TEST(KvBlockManagerTest, HighWaterTracksPeakNotCurrentUsage) {
+  KvBlockManager manager(SmallConfig(/*blocks=*/8));
+  EXPECT_EQ(manager.high_water_blocks(), 0);
+  ASSERT_TRUE(manager.AddSequence(1, 8));  // 2 blocks.
+  ASSERT_TRUE(manager.AddSequence(2, 8));  // 4 total.
+  EXPECT_EQ(manager.high_water_blocks(), 4);
+  manager.FreeSequence(1);
+  EXPECT_EQ(manager.used_blocks(), 2);
+  EXPECT_EQ(manager.high_water_blocks(), 4);  // Monotone.
+  ASSERT_TRUE(manager.AddSequence(3, 4));     // Back to 3 used: no new peak.
+  EXPECT_EQ(manager.high_water_blocks(), 4);
+  ASSERT_TRUE(manager.AppendToken(3));  // 5th token -> new block -> 4 used.
+  ASSERT_TRUE(manager.AddSequence(4, 4));
+  EXPECT_EQ(manager.high_water_blocks(), 5);
+}
+
+TEST(KvBlockManagerTest, InternalFragmentationComplementsOccupancy) {
+  KvBlockManager manager(SmallConfig());
+  ASSERT_TRUE(manager.AddSequence(1, 1));  // 1 of 4 slots in its block.
+  EXPECT_DOUBLE_EQ(manager.InternalFragmentation(), 0.75);
+  ASSERT_TRUE(manager.AppendToken(1));
+  EXPECT_DOUBLE_EQ(manager.InternalFragmentation(), 0.5);
+}
+
+// The rollout scheduler's exhaustion protocol: on a failed append, free a
+// victim, requeue it, and later re-admit it at its full grown context.
+TEST(KvBlockManagerTest, PreemptResumeCycleRecomputesAtFullContext) {
+  KvBlockManager manager(SmallConfig(/*blocks=*/4, /*block_tokens=*/2));
+  ASSERT_TRUE(manager.AddSequence(1, 4));  // 2 blocks.
+  ASSERT_TRUE(manager.AddSequence(2, 4));  // 4 blocks: cache is full.
+  EXPECT_FALSE(manager.AppendToken(1));    // Exhausted at the boundary.
+  manager.FreeSequence(2);                 // Preempt the youngest.
+  ASSERT_TRUE(manager.AppendToken(1));     // Victim's block is reusable.
+  EXPECT_EQ(manager.SequenceTokens(1), 5);
+  manager.FreeSequence(1);                 // Seq 1 finishes.
+  // Resume: seq 2 re-admits with its grown context (4 prompt + 2 generated).
+  ASSERT_TRUE(manager.CanAdmit(6, 0));
+  ASSERT_TRUE(manager.AddSequence(2, 6));
+  EXPECT_EQ(manager.SequenceTokens(2), 6);
+  EXPECT_EQ(manager.used_blocks(), 3);
+  EXPECT_EQ(manager.high_water_blocks(), 4);
+}
+
+TEST(DistributedKvManagerTest, CanAdmitAndBulkFreeStayInLockstep) {
+  DistributedKvManager manager(2, SmallConfig(/*blocks=*/4));
+  EXPECT_TRUE(manager.CanAdmit(16, 0));
+  EXPECT_FALSE(manager.CanAdmit(16, 1));
+  ASSERT_TRUE(manager.AddSequence(1, 8));
+  ASSERT_TRUE(manager.AddSequence(2, 4));
+  EXPECT_EQ(manager.high_water_blocks(), 3);
+  manager.FreeSequences({1, 2});
+  EXPECT_TRUE(manager.TablesInLockstep());
+  EXPECT_EQ(manager.rank(0).used_blocks(), 0);
+  EXPECT_EQ(manager.rank(1).used_blocks(), 0);
+  EXPECT_EQ(manager.high_water_blocks(), 3);  // Peak survives the free.
+}
+
 // --- Distributed (TP-sharded) manager -----------------------------------------
 
 TEST(DistributedKvManagerTest, RanksStayInLockstep) {

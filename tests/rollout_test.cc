@@ -1,0 +1,509 @@
+// Tests for the continuous-batching rollout engine (src/rollout/).
+//
+// The load-bearing property is exact equivalence: under greedy decoding the
+// engine must produce bitwise-identical responses AND log-probs to the
+// static whole-batch loop for every schedule the KV budget induces —
+// including schedules with preemption and recompute-on-resume. The
+// scheduler tests pin admission-order and preemption semantics; the timing
+// tests pin the performance-plane hook; the trace test pins determinism of
+// the scheduled DES timeline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/analysis/timeline_checker.h"
+#include "src/baselines/system_builder.h"
+#include "src/common/rng.h"
+#include "src/nn/policy_net.h"
+#include "src/obs/metrics.h"
+#include "src/rollout/engine.h"
+#include "src/rollout/scheduler.h"
+#include "src/rollout/sequence.h"
+#include "src/rollout/timing.h"
+#include "src/workers/model_workers.h"
+#include "src/workers/token_context.h"
+
+namespace hybridflow {
+namespace {
+
+KvBlockConfig KvConfig(int64_t blocks, int64_t block_tokens = 4) {
+  KvBlockConfig config;
+  config.block_tokens = block_tokens;
+  config.num_blocks = blocks;
+  config.bytes_per_token = 1.0;
+  return config;
+}
+
+std::vector<RolloutSequence> MakeSequences(const std::vector<int64_t>& prompts,
+                                           int64_t target_new) {
+  std::vector<RolloutSequence> sequences(prompts.size());
+  for (size_t i = 0; i < prompts.size(); ++i) {
+    sequences[i].id = static_cast<int64_t>(i);
+    sequences[i].prompt_tokens = prompts[i];
+    sequences[i].target_new_tokens = target_new;
+  }
+  return sequences;
+}
+
+// --- Scheduler ----------------------------------------------------------------
+
+TEST(RolloutSchedulerTest, FcfsAdmitsInArrivalOrder) {
+  DistributedKvManager kv(2, KvConfig(/*blocks=*/64));
+  std::vector<RolloutSequence> sequences = MakeSequences({2, 6, 4}, /*target_new=*/4);
+  RolloutScheduler scheduler({}, &kv, &sequences);
+  for (int64_t id = 0; id < 3; ++id) {
+    scheduler.Enqueue(id);
+  }
+  const StepPlan plan = scheduler.BeginStep();
+  EXPECT_EQ(plan.prefill, (std::vector<int64_t>{0, 1, 2}));
+  EXPECT_TRUE(plan.decode.empty());
+  EXPECT_TRUE(kv.TablesInLockstep());
+}
+
+TEST(RolloutSchedulerTest, LongestPrefixFirstAdmitsLongestContext) {
+  DistributedKvManager kv(1, KvConfig(/*blocks=*/64));
+  std::vector<RolloutSequence> sequences = MakeSequences({2, 6, 4, 6}, /*target_new=*/4);
+  RolloutSchedulerConfig config;
+  config.policy = RolloutPolicy::kLongestPrefixFirst;
+  RolloutScheduler scheduler(config, &kv, &sequences);
+  for (int64_t id = 0; id < 4; ++id) {
+    scheduler.Enqueue(id);
+  }
+  // Longest first; equal lengths keep arrival order (stable sort).
+  const StepPlan plan = scheduler.BeginStep();
+  EXPECT_EQ(plan.prefill, (std::vector<int64_t>{1, 3, 2, 0}));
+}
+
+TEST(RolloutSchedulerTest, AdmissionGatedByKvCapacityWithoutBypass) {
+  // 4 blocks of 4 tokens. Seq 0 (4 prompt + 1 reserve -> 2 blocks) fits;
+  // seq 1 (12 prompt + 1 reserve -> 4 blocks > 3 free) does not. Seq 2
+  // would fit, but strict priority must not let it bypass the queue head.
+  DistributedKvManager kv(1, KvConfig(/*blocks=*/4));
+  std::vector<RolloutSequence> sequences = MakeSequences({4, 12, 2}, /*target_new=*/4);
+  RolloutScheduler scheduler({}, &kv, &sequences);
+  for (int64_t id = 0; id < 3; ++id) {
+    scheduler.Enqueue(id);
+  }
+  const StepPlan plan = scheduler.BeginStep();
+  EXPECT_EQ(plan.prefill, (std::vector<int64_t>{0}));
+  EXPECT_EQ(scheduler.waiting().size(), 2u);
+  EXPECT_EQ(sequences[1].state, SequenceState::kWaiting);
+  EXPECT_EQ(sequences[2].state, SequenceState::kWaiting);
+}
+
+TEST(RolloutSchedulerTest, MaxRunningCapsTheBatch) {
+  DistributedKvManager kv(1, KvConfig(/*blocks=*/64));
+  std::vector<RolloutSequence> sequences = MakeSequences({2, 2, 2, 2}, /*target_new=*/2);
+  RolloutSchedulerConfig config;
+  config.max_running = 2;
+  RolloutScheduler scheduler(config, &kv, &sequences);
+  for (int64_t id = 0; id < 4; ++id) {
+    scheduler.Enqueue(id);
+  }
+  EXPECT_EQ(scheduler.BeginStep().rows(), 2);
+}
+
+TEST(RolloutSchedulerTest, PreemptsYoungestAndDrainsEverything) {
+  // 6 blocks of 2 tokens: one full sequence (2 prompt + 6 new = 4 blocks)
+  // fits alone, two cannot both finish -> growth must force preemption,
+  // and recompute-on-resume must still complete every sequence.
+  DistributedKvManager kv(2, KvConfig(/*blocks=*/6, /*block_tokens=*/2));
+  std::vector<RolloutSequence> sequences = MakeSequences({2, 2, 2, 2}, /*target_new=*/6);
+  RolloutScheduler scheduler({}, &kv, &sequences);
+  for (int64_t id = 0; id < 4; ++id) {
+    scheduler.Enqueue(id);
+  }
+  int64_t guard = 0;
+  while (scheduler.HasWork()) {
+    ASSERT_LT(guard++, 1000) << "scheduler failed to drain";
+    const StepPlan plan = scheduler.BeginStep();
+    ASSERT_FALSE(plan.empty());
+    scheduler.CommitStep(plan, /*eos_finished=*/{});
+  }
+  for (const RolloutSequence& sequence : sequences) {
+    EXPECT_EQ(sequence.state, SequenceState::kFinished);
+    EXPECT_EQ(sequence.generated, 6);
+  }
+  EXPECT_GT(scheduler.stats().preemptions, 0);
+  EXPECT_GT(scheduler.stats().admissions, 4);  // Re-admissions happened.
+  EXPECT_EQ(kv.rank(0).used_blocks(), 0);      // Nothing leaked.
+  EXPECT_TRUE(kv.TablesInLockstep());
+}
+
+TEST(RolloutSchedulerTest, EosFinishReleasesBlocksImmediately) {
+  // Seq 1 holds 3 of a 4-token block, so its append allocates nothing this
+  // step and the freed block of the EOS-finished seq 0 is visible.
+  DistributedKvManager kv(1, KvConfig(/*blocks=*/8));
+  std::vector<RolloutSequence> sequences = MakeSequences({4, 3}, /*target_new=*/4);
+  RolloutScheduler scheduler({}, &kv, &sequences);
+  scheduler.Enqueue(0);
+  scheduler.Enqueue(1);
+  const StepPlan plan = scheduler.BeginStep();
+  ASSERT_EQ(plan.rows(), 2);
+  const int64_t used_before = kv.rank(0).used_blocks();
+  scheduler.CommitStep(plan, /*eos_finished=*/{0});
+  EXPECT_EQ(sequences[0].state, SequenceState::kFinished);
+  EXPECT_EQ(sequences[0].generated, 1);  // The EOS token itself.
+  EXPECT_EQ(sequences[1].state, SequenceState::kDecode);
+  EXPECT_LT(kv.rank(0).used_blocks(), used_before);
+}
+
+// --- Engine: greedy equivalence ----------------------------------------------
+
+// The static path's semantics, restated locally: every live row advances one
+// token per step from its ContextWindow; EOS is appended, then finishes the
+// row. Tokens/log-probs go through the same SampleLogitsRow as the engine.
+struct ReferenceOutput {
+  std::vector<std::vector<int64_t>> responses;
+  std::vector<std::vector<float>> log_probs;
+};
+
+ReferenceOutput StaticGreedyReference(const PolicyNet& net,
+                                      const std::vector<std::vector<int64_t>>& prompts,
+                                      const RolloutLimits& limits) {
+  const size_t batch = prompts.size();
+  ReferenceOutput out;
+  out.responses.resize(batch);
+  out.log_probs.resize(batch);
+  std::vector<bool> finished(batch, false);
+  Rng unused(1);
+  for (int64_t step = 0; step < limits.max_new_tokens; ++step) {
+    std::vector<size_t> live;
+    std::vector<std::vector<int64_t>> contexts;
+    for (size_t i = 0; i < batch; ++i) {
+      if (finished[i]) {
+        continue;
+      }
+      live.push_back(i);
+      contexts.push_back(ContextWindow(prompts[i], out.responses[i], out.responses[i].size(),
+                                       net.config().context_window));
+    }
+    if (live.empty()) {
+      break;
+    }
+    const Tensor logits = net.Forward(contexts);
+    for (size_t a = 0; a < live.size(); ++a) {
+      const size_t i = live[a];
+      float log_prob = 0.0f;
+      const int64_t token = SampleLogitsRow(logits, static_cast<int64_t>(a), /*temperature=*/1.0,
+                                            /*do_sample=*/false, unused, &log_prob);
+      out.responses[i].push_back(token);
+      out.log_probs[i].push_back(log_prob);
+      if (limits.use_eos && token == limits.eos_token) {
+        finished[i] = true;
+      }
+    }
+  }
+  return out;
+}
+
+// Property: for randomized EOS-truncated workloads and KV budgets tight
+// enough to force preemption, continuous batching is invisible in the
+// output — responses and log-probs match the static reference exactly.
+TEST(RolloutEngineTest, GreedyMatchesStaticReferenceUnderPreemption) {
+  int64_t total_preemptions = 0;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed * 977);
+    PolicyNetConfig net_config;
+    net_config.vocab_size = 16;
+    net_config.context_window = 3;
+    net_config.embed_dim = 8;
+    net_config.hidden_dim = 16;
+    Rng net_rng = rng.Fork(1);
+    const PolicyNet net(net_config, net_rng);
+
+    const int64_t batch = rng.UniformInt(3, 9);
+    std::vector<std::vector<int64_t>> prompts(static_cast<size_t>(batch));
+    for (std::vector<int64_t>& prompt : prompts) {
+      prompt.resize(static_cast<size_t>(rng.UniformInt(2, 6)));
+      for (int64_t& token : prompt) {
+        token = rng.UniformInt(0, net_config.vocab_size - 1);
+      }
+    }
+
+    RolloutLimits limits;
+    limits.max_new_tokens = 6;
+    limits.use_eos = true;
+    limits.eos_token = net_config.vocab_size - 2;
+
+    RolloutOptions options;
+    options.policy = seed % 2 == 0 ? RolloutPolicy::kFcfs : RolloutPolicy::kLongestPrefixFirst;
+    options.block_tokens = 2;
+    options.num_blocks = 7;  // One full sequence (<= 12 tokens) barely fits.
+
+    const RolloutEngine engine(net, limits, options, /*kv_ranks=*/2);
+    Rng engine_rng = rng.Fork(2);
+    const RolloutShardResult got =
+        engine.Run(prompts, /*do_sample=*/false, /*temperature=*/1.0, engine_rng);
+    const ReferenceOutput want = StaticGreedyReference(net, prompts, limits);
+
+    ASSERT_EQ(got.responses.size(), want.responses.size()) << "seed " << seed;
+    for (size_t i = 0; i < prompts.size(); ++i) {
+      EXPECT_EQ(got.responses[i], want.responses[i]) << "seed " << seed << " row " << i;
+      ASSERT_EQ(got.log_probs[i].size(), want.log_probs[i].size())
+          << "seed " << seed << " row " << i;
+      for (size_t k = 0; k < want.log_probs[i].size(); ++k) {
+        EXPECT_EQ(got.log_probs[i][k], want.log_probs[i][k])
+            << "seed " << seed << " row " << i << " token " << k;
+      }
+    }
+    total_preemptions += got.stats.preemptions;
+    EXPECT_EQ(got.stats.sequences, batch);
+    EXPECT_GT(got.stats.steps, 0);
+    EXPECT_GE(got.stats.admissions, batch);
+  }
+  // The tight budgets must actually have exercised preempt/resume.
+  EXPECT_GT(total_preemptions, 0);
+}
+
+TEST(RolloutEngineTest, AutoSizedCacheRunsWithoutPreemption) {
+  Rng rng(7);
+  PolicyNetConfig net_config;
+  net_config.vocab_size = 16;
+  net_config.context_window = 3;
+  net_config.embed_dim = 8;
+  net_config.hidden_dim = 16;
+  const PolicyNet net(net_config, rng);
+  RolloutLimits limits;
+  limits.max_new_tokens = 4;
+  const RolloutEngine engine(net, limits, RolloutOptions{}, /*kv_ranks=*/1);
+  Rng engine_rng(8);
+  const std::vector<std::vector<int64_t>> prompts(8, std::vector<int64_t>{1, 2, 3});
+  const RolloutShardResult result =
+      engine.Run(prompts, /*do_sample=*/false, /*temperature=*/1.0, engine_rng);
+  EXPECT_EQ(result.stats.preemptions, 0);
+  EXPECT_EQ(result.stats.max_running_batch, 8);
+  EXPECT_EQ(result.stats.steps, 4);  // Pure continuous: one step per token.
+  for (const std::vector<int64_t>& response : result.responses) {
+    EXPECT_EQ(response.size(), 4u);
+  }
+}
+
+TEST(RolloutEngineTest, SamplingModeProducesValidPerSequenceOutput) {
+  Rng rng(21);
+  PolicyNetConfig net_config;
+  net_config.vocab_size = 16;
+  net_config.context_window = 3;
+  net_config.embed_dim = 8;
+  net_config.hidden_dim = 16;
+  const PolicyNet net(net_config, rng);
+  RolloutLimits limits;
+  limits.max_new_tokens = 5;
+  RolloutOptions options;
+  options.block_tokens = 2;
+  options.num_blocks = 6;  // Tight: schedules differ step to step.
+  const RolloutEngine engine(net, limits, options, /*kv_ranks=*/1);
+  const std::vector<std::vector<int64_t>> prompts(6, std::vector<int64_t>{4, 5});
+  // Per-sequence forked streams: the same seed must reproduce the same
+  // samples even though the schedule interleaves rows differently.
+  Rng rng_a(99);
+  Rng rng_b(99);
+  const RolloutShardResult a = engine.Run(prompts, /*do_sample=*/true, /*temperature=*/1.0, rng_a);
+  const RolloutShardResult b = engine.Run(prompts, /*do_sample=*/true, /*temperature=*/1.0, rng_b);
+  for (size_t i = 0; i < prompts.size(); ++i) {
+    EXPECT_EQ(a.responses[i].size(), 5u);
+    EXPECT_EQ(a.responses[i], b.responses[i]);
+    for (float lp : a.log_probs[i]) {
+      EXPECT_LE(lp, 1e-5f);
+    }
+  }
+}
+
+TEST(RolloutEngineTest, MetricsCountersAdvance) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  const double steps_before =
+      registry.GetCounter("rollout.steps_total", {{"plane", "data"}}).Value();
+  const double preemptions_before =
+      registry.GetCounter("rollout.preemptions_total", {{"plane", "data"}}).Value();
+  Rng rng(31);
+  PolicyNetConfig net_config;
+  net_config.vocab_size = 16;
+  net_config.context_window = 3;
+  net_config.embed_dim = 8;
+  net_config.hidden_dim = 16;
+  const PolicyNet net(net_config, rng);
+  RolloutLimits limits;
+  limits.max_new_tokens = 6;
+  RolloutOptions options;
+  options.block_tokens = 2;
+  options.num_blocks = 5;
+  const RolloutEngine engine(net, limits, options, /*kv_ranks=*/1);
+  Rng engine_rng(32);
+  const std::vector<std::vector<int64_t>> prompts(5, std::vector<int64_t>{1, 2, 3, 4});
+  const RolloutShardResult result =
+      engine.Run(prompts, /*do_sample=*/false, /*temperature=*/1.0, engine_rng);
+  EXPECT_GT(result.stats.preemptions, 0);
+  EXPECT_GT(registry.GetCounter("rollout.steps_total", {{"plane", "data"}}).Value(),
+            steps_before);
+  EXPECT_GT(registry.GetCounter("rollout.preemptions_total", {{"plane", "data"}}).Value(),
+            preemptions_before);
+}
+
+// --- Actor integration --------------------------------------------------------
+
+RealComputeOptions SmallRolloutReal(uint64_t seed = 11) {
+  RealComputeOptions real;
+  real.enabled = true;
+  real.seed = seed;
+  real.task = AlignmentTask{};
+  real.task.prompt_len = 4;
+  real.task.response_len = 4;
+  real.net.vocab_size = real.task.vocab_size;
+  real.net.context_window = 3;
+  real.net.embed_dim = 8;
+  real.net.hidden_dim = 16;
+  return real;
+}
+
+WorkerGroupOptions RolloutActorGroupOptions() {
+  WorkerGroupOptions options;
+  options.name = "actor";
+  options.model = ModelSpec::Llama7B();
+  options.trainable = true;
+  options.train_cfg = ParallelConfig{1, 4, 2};
+  return options;
+}
+
+TEST(RolloutWorkersTest, ContinuousActorMatchesStaticActorGreedy) {
+  RlhfWorkloadSpec workload;
+  workload.global_batch = 64;
+  workload.prompt_len = 256;
+  workload.response_len = 256;
+  DataBatch static_out;
+  DataBatch continuous_out;
+  RolloutStats continuous_stats;
+  for (int variant = 0; variant < 2; ++variant) {
+    Controller controller(ClusterSpec::WithGpus(8));
+    std::shared_ptr<ResourcePool> pool = controller.CreatePoolRange("pool", 0, 8);
+    ActorOptions actor_options;
+    actor_options.gen = GenParallelConfig{1, 2};
+    actor_options.engine_mode = ActorEngineMode::kHybridFlow;
+    if (variant == 1) {
+      actor_options.rollout.mode = RolloutMode::kContinuous;
+      actor_options.rollout.block_tokens = 2;
+      actor_options.rollout.num_blocks = 8;  // Tight enough to preempt.
+    }
+    ActorWorkerGroup actor(RolloutActorGroupOptions(), pool, &controller, SmallRolloutReal(),
+                           actor_options);
+    PromptDataset dataset(actor.real().task, /*seed=*/5);
+    BatchFuture prompts = BatchFuture::Immediate(dataset.NextBatch(16));
+    BatchFuture out = actor.GenerateSequences(prompts, workload, /*do_sample=*/false);
+    if (variant == 0) {
+      static_out = out.data;
+    } else {
+      continuous_out = out.data;
+      continuous_stats = actor.rollout_stats();
+    }
+  }
+  ASSERT_EQ(continuous_out.batch_size(), static_out.batch_size());
+  EXPECT_EQ(continuous_out.Tokens("responses"), static_out.Tokens("responses"));
+  EXPECT_EQ(continuous_out.Float("log_probs"), static_out.Float("log_probs"));
+  EXPECT_GT(continuous_stats.sequences, 0);
+  EXPECT_GT(continuous_stats.preemptions, 0);  // The tight cache was felt.
+}
+
+// --- Performance-plane timing -------------------------------------------------
+
+TEST(RolloutTimingTest, ConstrainedBudgetPreemptsAndIsDeterministic) {
+  const PerfModel perf(ModelSpec::Llama7B(), ClusterSpec::WithGpus(8));
+  const GenParallelConfig gen{1, 2};
+  const std::vector<DeviceId> devices{0, 1};
+  const std::vector<NominalSequence> sequences(64, NominalSequence{256, 256});
+  // Budget for ~40 blocks of 16 tokens: far less than 64 full sequences.
+  const double budget = 40.0 * 16.0 * perf.KvBytesPerTokenPerGpu(gen);
+  RolloutOptions options;
+  options.mode = RolloutMode::kContinuous;
+  const RolloutSimResult first =
+      SimulateContinuousGeneration(perf, gen, devices, sequences, budget, options);
+  const RolloutSimResult second =
+      SimulateContinuousGeneration(perf, gen, devices, sequences, budget, options);
+  EXPECT_GT(first.stats.preemptions, 0);
+  EXPECT_GT(first.stats.steps, 256);  // Waves: more steps than one pass.
+  EXPECT_GT(first.time.prefill_seconds, 0.0);
+  EXPECT_GT(first.time.decode_seconds, 0.0);
+  EXPECT_EQ(first.time.total(), second.time.total());
+  EXPECT_EQ(first.stats.steps, second.stats.steps);
+  EXPECT_EQ(first.stats.preemptions, second.stats.preemptions);
+  EXPECT_EQ(first.stats.kv_high_water_blocks, second.stats.kv_high_water_blocks);
+}
+
+TEST(RolloutTimingTest, SkewedResponseLengthsBeatStaticWaveModel) {
+  const PerfModel perf(ModelSpec::Llama7B(), ClusterSpec::WithGpus(8));
+  const GenParallelConfig gen{1, 2};
+  const std::vector<DeviceId> devices{0, 1};
+  // 80% short / 20% long responses. The static path pads everyone to the
+  // longest response; continuous batching retires short sequences early and
+  // backfills, so it must win on makespan.
+  std::vector<NominalSequence> sequences;
+  Rng rng(17);
+  for (int i = 0; i < 64; ++i) {
+    const int64_t response = rng.Uniform(0.0, 1.0) < 0.8 ? 64 : 512;
+    sequences.push_back(NominalSequence{256, response});
+  }
+  const double budget = 200.0 * 16.0 * perf.KvBytesPerTokenPerGpu(gen);
+  RolloutOptions options;
+  options.mode = RolloutMode::kContinuous;
+  const RolloutSimResult continuous =
+      SimulateContinuousGeneration(perf, gen, devices, sequences, budget, options);
+  const GenTimeBreakdown fixed =
+      perf.GenerateTime(gen, devices, /*batch=*/64, /*prompt_len=*/256,
+                        /*response_len=*/512, budget, /*use_kv_cache=*/true);
+  EXPECT_LT(continuous.time.total(), fixed.total());
+}
+
+TEST(RolloutTimingTest, ZeroLengthResponsesFinishInstantly) {
+  const PerfModel perf(ModelSpec::Llama7B(), ClusterSpec::WithGpus(8));
+  const GenParallelConfig gen{1, 1};
+  const std::vector<DeviceId> devices{0};
+  const std::vector<NominalSequence> sequences(4, NominalSequence{128, 0});
+  const RolloutSimResult result = SimulateContinuousGeneration(
+      perf, gen, devices, sequences, /*kv_budget_bytes=*/1e12, RolloutOptions{});
+  EXPECT_EQ(result.stats.steps, 0);
+  EXPECT_EQ(result.time.total(), 0.0);
+}
+
+// --- End-to-end trace determinism --------------------------------------------
+
+SystemBuildConfig ContinuousPpoConfig() {
+  SystemBuildConfig config;
+  config.system = RlhfSystem::kHybridFlow;
+  config.algorithm = RlhfAlgorithm::kPpo;
+  config.num_gpus = 8;
+  config.real_compute = true;
+  config.real_batch = 16;
+  config.seed = 91;
+  config.workload.global_batch = 128;
+  config.workload.prompt_len = 256;
+  config.workload.response_len = 256;
+  config.rollout.mode = RolloutMode::kContinuous;
+  return config;
+}
+
+TEST(RolloutTraceTest, ContinuousTimelineIsDeterministicAndClean) {
+  std::vector<TraceSpan> first_trace;
+  std::vector<TraceSpan> second_trace;
+  for (int run = 0; run < 2; ++run) {
+    RlhfSystemInstance system = BuildSystem(ContinuousPpoConfig());
+    ASSERT_TRUE(system.feasible);
+    for (int i = 0; i < 2; ++i) {
+      system.RunIteration();
+    }
+    EXPECT_GT(system.actor->last_rollout_sim_stats().steps, 0);
+    const ClusterState& cluster = system.controller->cluster();
+    (run == 0 ? first_trace : second_trace) = cluster.trace();
+    if (run == 0) {
+      TimelineChecker checker(system.controller->spec());
+      for (const auto& pool : system.controller->pools()) {
+        checker.RegisterGroup(pool->name(), pool->devices());
+      }
+      const std::vector<TimelineViolation> violations = checker.Check(cluster);
+      EXPECT_TRUE(violations.empty()) << FormatViolations(violations);
+    }
+  }
+  EXPECT_EQ(CompareTraces(first_trace, second_trace), "") << "schedules diverged";
+}
+
+}  // namespace
+}  // namespace hybridflow

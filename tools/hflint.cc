@@ -23,6 +23,12 @@
 //   thread-construction  std::thread is constructed only in
 //                        src/common/thread_pool.cc; everything else goes
 //                        through ThreadPool
+//   annotated-sync       src/rollout/ uses the capability-annotated
+//                        Mutex/MutexLock/CondVar from
+//                        src/common/annotations.h, never raw std::mutex /
+//                        std::lock_guard / std::condition_variable — the
+//                        subsystem runs under TSan and -Wthread-safety,
+//                        and unannotated primitives opt out silently
 //   raw-diagnostics      library code under src/ never writes diagnostics
 //                        with std::cerr / printf / fprintf; route them
 //                        through src/common/logging.h (HF_LOG) or the
@@ -451,6 +457,34 @@ void CheckThreadConstruction(const FileText& file, std::vector<Finding>& finding
   }
 }
 
+void CheckAnnotatedSync(const FileText& file, std::vector<Finding>& findings) {
+  if (file.path.rfind("src/rollout/", 0) != 0) {
+    return;
+  }
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    const std::string& line = file.code[i];
+    for (const char* type :
+         {"std::mutex", "std::recursive_mutex", "std::shared_mutex", "std::timed_mutex",
+          "std::lock_guard", "std::unique_lock", "std::scoped_lock", "std::shared_lock",
+          "std::condition_variable", "std::condition_variable_any"}) {
+      size_t pos = line.find(type);
+      while (pos != std::string::npos) {
+        const size_t after = pos + std::string(type).size();
+        // Skip longer identifiers (std::condition_variable_any has its own
+        // probe; std::mutex_* would be a different name entirely).
+        const bool ident_continue = after < line.size() && IsIdentChar(line[after]);
+        if (!ident_continue && !Allowed(file, i, "annotated-sync")) {
+          findings.push_back({file.path, static_cast<int>(i) + 1, "annotated-sync",
+                              std::string(type) +
+                                  " in src/rollout/; use the annotated Mutex / MutexLock / "
+                                  "CondVar from src/common/annotations.h"});
+        }
+        pos = line.find(type, after);
+      }
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -494,6 +528,7 @@ int main(int argc, char** argv) {
       CheckMutexGuards(file, findings);
       CheckRawDiagnostics(file, findings);
       CheckThreadConstruction(file, findings);
+      CheckAnnotatedSync(file, findings);
       ++files_checked;
     }
   }

@@ -106,6 +106,25 @@ int Run(const ConfigMap& config) {
   }
   build.real_batch = config.GetInt("run.real_batch", 32);
   build.seed = static_cast<uint64_t>(config.GetInt("run.seed", 1));
+  const std::string rollout_mode = config.GetString("rollout.mode", "static");
+  if (rollout_mode == "continuous") {
+    build.rollout.mode = RolloutMode::kContinuous;
+  } else if (rollout_mode != "static") {
+    std::cerr << "unknown rollout.mode: " << rollout_mode << "\n";
+    std::exit(2);
+  }
+  const std::string rollout_policy = config.GetString("rollout.policy", "fcfs");
+  if (rollout_policy == "longest_prefix") {
+    build.rollout.policy = RolloutPolicy::kLongestPrefixFirst;
+  } else if (rollout_policy != "fcfs") {
+    std::cerr << "unknown rollout.policy: " << rollout_policy << "\n";
+    std::exit(2);
+  }
+  build.rollout.block_tokens = config.GetInt("rollout.block_tokens", build.rollout.block_tokens);
+  build.rollout.num_blocks = config.GetInt("rollout.num_blocks", build.rollout.num_blocks);
+  build.rollout.reserve_tokens =
+      config.GetInt("rollout.reserve_tokens", build.rollout.reserve_tokens);
+  build.rollout.max_running = config.GetInt("rollout.max_running", build.rollout.max_running);
 
   std::cout << "system=" << RlhfSystemName(build.system)
             << " algorithm=" << RlhfAlgorithmName(build.algorithm) << " gpus=" << build.num_gpus
@@ -158,6 +177,16 @@ int Run(const ConfigMap& config) {
     std::cout << " " << category << "=" << HumanSeconds(seconds);
   }
   std::cout << " (GPU-seconds, last iteration)\n";
+
+  if (build.rollout.mode == RolloutMode::kContinuous) {
+    const RolloutStats& sim = instance.actor->last_rollout_sim_stats();
+    std::cout << StrFormat(
+        "rollout (sim plane): %lld steps, %lld admissions, %lld preemptions, peak batch %lld, "
+        "KV peak %.0f%%\n",
+        static_cast<long long>(sim.steps), static_cast<long long>(sim.admissions),
+        static_cast<long long>(sim.preemptions), static_cast<long long>(sim.max_running_batch),
+        100.0 * sim.kv_peak_utilization);
+  }
 
   const std::string trace_path = config.GetString("run.trace_path");
   if (!trace_path.empty()) {
