@@ -1,0 +1,156 @@
+// Synchronous vs one-step-off asynchronous PPO (docs/ASYNC_PIPELINE.md).
+//
+// Builds the same OpenRLHF-pattern system twice — dedicated rollout GPUs,
+// so generation and training occupy disjoint pools — and compares the
+// simulated per-iteration makespan of the synchronous order against the
+// async pipeline at staleness 1, across generation-heavy workloads. The
+// steady-state bound is
+//
+//     speedup = (G + T) / max(G, T)
+//
+// for generation time G and experience-prep + training time T, so the win
+// is largest when the stages are balanced and vanishes when one dominates.
+// Every async run is validated with TimelineChecker (no device overlap,
+// every span inside a registered pool) — the speedup must come from real
+// overlap on disjoint resources, not from dropped work.
+//
+// Emits BENCH_async.json with one row per workload.
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/analysis/timeline_checker.h"
+#include "src/baselines/system_builder.h"
+#include "src/common/strings.h"
+#include "src/obs/telemetry.h"
+
+namespace hybridflow {
+namespace {
+
+struct BenchCase {
+  const char* name;
+  int64_t global_batch = 512;
+  int64_t prompt_len = 1024;
+  int64_t response_len = 1024;
+  int updates = 8;
+};
+
+SystemBuildConfig MakeConfig(const BenchCase& bench_case, bool async) {
+  SystemBuildConfig config;
+  config.system = RlhfSystem::kOpenRlhf;
+  config.algorithm = RlhfAlgorithm::kPpo;
+  config.num_gpus = 16;
+  config.real_compute = false;
+  config.seed = 11;
+  config.workload.global_batch = bench_case.global_batch;
+  config.workload.prompt_len = bench_case.prompt_len;
+  config.workload.response_len = bench_case.response_len;
+  config.workload.updates_per_iteration = bench_case.updates;
+  config.rollout.mode = RolloutMode::kContinuous;
+  config.rollout.prefill_chunk_tokens = 512;
+  config.async_pipeline = async;
+  config.async_staleness = 1;
+  return config;
+}
+
+// Steady-state mean over `measured` iterations after `warmup` unmeasured
+// ones (the async queue primes during warmup).
+struct RunResult {
+  double iteration_seconds = 0.0;
+  double overlap_fraction = 0.0;
+  bool timeline_clean = true;
+};
+
+RunResult RunSteadyState(const SystemBuildConfig& config, int warmup, int measured) {
+  RlhfSystemInstance system = BuildSystem(config);
+  if (!system.feasible) {
+    std::cerr << "infeasible configuration\n";
+    std::exit(1);
+  }
+  for (int i = 0; i < warmup; ++i) {
+    system.RunIteration();
+  }
+  RunResult result;
+  for (int i = 0; i < measured; ++i) {
+    const IterationMetrics metrics = system.RunIteration();
+    result.iteration_seconds += metrics.iteration_seconds / measured;
+    result.overlap_fraction += metrics.overlap_fraction / measured;
+  }
+  TimelineChecker checker(system.controller->spec());
+  std::vector<DeviceId> weight_sync_devices;
+  for (const auto& pool : system.controller->pools()) {
+    checker.RegisterGroup(pool->name(), pool->devices());
+    if (pool->name() == "actor_train" || pool->name() == "actor_gen") {
+      weight_sync_devices.insert(weight_sync_devices.end(), pool->devices().begin(),
+                                 pool->devices().end());
+    }
+  }
+  checker.RegisterGroup("actor_weight_sync", weight_sync_devices);
+  const std::vector<TimelineViolation> violations =
+      checker.Check(system.controller->cluster());
+  if (!violations.empty()) {
+    std::cerr << FormatViolations(violations);
+    result.timeline_clean = false;
+  }
+  return result;
+}
+
+int Main() {
+  const std::vector<BenchCase> cases = {
+      {"gen_dominated", 512, 1024, 1024, 8},
+      {"balanced", 512, 1024, 1024, 16},
+      {"short_responses", 512, 1024, 256, 16},
+  };
+
+  BenchReport report("async");
+  std::cout << StrFormat("%-16s | %10s | %10s | %7s | %7s | %5s\n", "workload", "sync",
+                         "async", "speedup", "overlap", "clean");
+  bool all_clean = true;
+  double best_speedup = 0.0;
+  for (const BenchCase& bench_case : cases) {
+    const RunResult sync = RunSteadyState(MakeConfig(bench_case, false), 1, 3);
+    const RunResult async_run = RunSteadyState(MakeConfig(bench_case, true), 1, 3);
+    const double speedup = async_run.iteration_seconds > 0.0
+                               ? sync.iteration_seconds / async_run.iteration_seconds
+                               : 0.0;
+    const bool clean = sync.timeline_clean && async_run.timeline_clean;
+    all_clean = all_clean && clean;
+    best_speedup = std::max(best_speedup, speedup);
+    std::cout << StrFormat("%-16s | %10s | %10s | %6.2fx | %6.0f%% | %5s\n", bench_case.name,
+                           HumanSeconds(sync.iteration_seconds).c_str(),
+                           HumanSeconds(async_run.iteration_seconds).c_str(), speedup,
+                           100.0 * async_run.overlap_fraction, clean ? "yes" : "NO");
+    report.AddRow()
+        .Text("workload", bench_case.name)
+        .Number("global_batch", static_cast<double>(bench_case.global_batch))
+        .Number("prompt_len", static_cast<double>(bench_case.prompt_len))
+        .Number("response_len", static_cast<double>(bench_case.response_len))
+        .Number("updates_per_iteration", static_cast<double>(bench_case.updates))
+        .Number("sync_iteration_seconds", sync.iteration_seconds)
+        .Number("async_iteration_seconds", async_run.iteration_seconds)
+        .Number("speedup", speedup)
+        .Number("overlap_fraction", async_run.overlap_fraction)
+        .Number("timeline_clean", clean ? 1.0 : 0.0);
+  }
+  if (!report.WriteJson()) {
+    std::cerr << "failed to write " << report.FilePath() << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << report.FilePath() << " (" << report.size() << " rows)\n";
+  if (!all_clean) {
+    std::cerr << "timeline violations detected\n";
+    return 1;
+  }
+  if (best_speedup < 1.3) {
+    std::cerr << StrFormat("best speedup %.2fx below the 1.3x bar\n", best_speedup);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace hybridflow
+
+int main() { return hybridflow::Main(); }

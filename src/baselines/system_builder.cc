@@ -424,6 +424,9 @@ IterationMetrics RlhfSystemInstance::RunAveraged(int warmup, int measured) {
     total.wall_clock_seconds += metrics.wall_clock_seconds;
     total.transition_seconds += metrics.transition_seconds;
     total.generation_seconds += metrics.generation_seconds;
+    total.overlap_fraction += metrics.overlap_fraction;
+    total.async_staleness = metrics.async_staleness;
+    total.async_queue_depth = metrics.async_queue_depth;
     for (const auto& [category, seconds] : metrics.busy_by_category) {
       total.busy_by_category[category] += seconds;
     }
@@ -442,13 +445,28 @@ IterationMetrics RlhfSystemInstance::RunAveraged(int warmup, int measured) {
   total.wall_clock_seconds *= inv;
   total.transition_seconds *= inv;
   total.generation_seconds *= inv;
+  total.overlap_fraction *= inv;
   for (auto& [category, seconds] : total.busy_by_category) {
     seconds *= inv;
   }
   return total;
 }
 
+std::string ValidateSystemConfig(const SystemBuildConfig& config) {
+  if (config.async_pipeline && config.rollout.mode == RolloutMode::kStatic) {
+    return "async_pipeline=true requires the continuous rollout engine: the static "
+           "generation path has no admission/preemption scheduler to overlap with "
+           "training (set rollout.mode=continuous)";
+  }
+  if (config.async_staleness < 0) {
+    return "async_staleness must be >= 0";
+  }
+  return "";
+}
+
 RlhfSystemInstance BuildSystem(const SystemBuildConfig& config) {
+  const std::string config_error = ValidateSystemConfig(config);
+  HF_CHECK_MSG(config_error.empty(), config_error);
   RlhfSystemInstance instance;
   instance.controller = std::make_unique<Controller>(
       ClusterSpec::WithGpus(config.num_gpus, config.gpus_per_node));
@@ -487,6 +505,8 @@ RlhfSystemInstance BuildSystem(const SystemBuildConfig& config) {
   program_config.algorithm = config.algorithm;
   program_config.workload = config.workload;
   program_config.real_batch = config.real_batch;
+  program_config.async_pipeline = config.async_pipeline;
+  program_config.async_staleness = config.async_staleness;
   RlhfModels models;
   models.actor = instance.actor.get();
   models.critic = instance.critic.get();

@@ -57,6 +57,11 @@ struct SystemBuildConfig {
   PerfParams perf;
   // Generation-stage rollout engine (rollout.mode = static | continuous).
   RolloutOptions rollout;
+  // One-step-off asynchronous PPO (docs/ASYNC_PIPELINE.md). Requires the
+  // continuous rollout engine; ValidateSystemConfig rejects async with
+  // rollout.mode = static.
+  bool async_pipeline = false;
+  int64_t async_staleness = 1;
 };
 
 struct RlhfSystemInstance {
@@ -80,6 +85,13 @@ struct RlhfSystemInstance {
 // Builds a ready-to-run instance. When the models cannot fit (`feasible ==
 // false`), the instance has a null program and must not be run.
 RlhfSystemInstance BuildSystem(const SystemBuildConfig& config);
+
+// Checks cross-option consistency of a build config. Returns an empty
+// string when valid, otherwise a human-readable error (e.g. async_pipeline
+// with the static rollout engine). BuildSystem asserts on the same
+// conditions; callers that take user input (tools/hybridflow_run) should
+// validate first and report the message.
+std::string ValidateSystemConfig(const SystemBuildConfig& config);
 
 // The model descriptor list of an algorithm's dataflow (used by the
 // mapper and by tests).

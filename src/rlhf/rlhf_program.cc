@@ -1,12 +1,53 @@
 #include "src/rlhf/rlhf_program.h"
 
+#include <algorithm>
 #include <utility>
+#include <vector>
 
 #include "src/common/logging.h"
+#include "src/obs/metrics.h"
 #include "src/obs/telemetry.h"
 #include "src/obs/trace.h"
 
 namespace hybridflow {
+namespace {
+
+// Sorted union of [start, end) intervals.
+std::vector<std::pair<double, double>> MergeIntervals(
+    std::vector<std::pair<double, double>> intervals) {
+  std::sort(intervals.begin(), intervals.end());
+  std::vector<std::pair<double, double>> merged;
+  for (const auto& interval : intervals) {
+    if (!merged.empty() && interval.first <= merged.back().second) {
+      merged.back().second = std::max(merged.back().second, interval.second);
+    } else {
+      merged.push_back(interval);
+    }
+  }
+  return merged;
+}
+
+double IntersectionSeconds(const std::vector<std::pair<double, double>>& a,
+                           const std::vector<std::pair<double, double>>& b) {
+  double total = 0.0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    const double lo = std::max(a[i].first, b[j].first);
+    const double hi = std::min(a[i].second, b[j].second);
+    if (hi > lo) {
+      total += hi - lo;
+    }
+    if (a[i].second < b[j].second) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return total;
+}
+
+}  // namespace
 
 const char* RlhfAlgorithmName(RlhfAlgorithm algorithm) {
   switch (algorithm) {
@@ -30,6 +71,7 @@ RlhfProgram::RlhfProgram(RlhfProgramConfig config, RlhfModels models, Controller
       dataset_(dataset),
       kl_controller_(config_.adaptive_kl) {
   HF_CHECK(controller_ != nullptr);
+  HF_CHECK_GE(config_.async_staleness, 0);
   ValidateModels();
   if (config_.use_adaptive_kl) {
     config_.advantage.kl_coef = static_cast<float>(kl_controller_.coef());
@@ -77,14 +119,10 @@ void RlhfProgram::ValidateModels() const {
   }
 }
 
-IterationMetrics RlhfProgram::RunIteration() {
+RlhfProgram::StagedExperience RlhfProgram::GenerateExperience() {
   const RlhfWorkloadSpec& w = config_.workload;
   ActorWorkerGroup& actor = *models_.actor;
   const bool real = actor.real_enabled();
-  HF_TRACE_SCOPE("rlhf.iteration", "rlhf");
-  const double wall_start_us = WallclockTracer::NowMicros();
-  controller_->BeginIteration();
-  const size_t trace_begin = controller_->cluster().trace().size();
 
   // --- Stage 0: load prompts -------------------------------------------------
   DataBatch prompts_data;
@@ -108,19 +146,77 @@ IterationMetrics RlhfProgram::RunIteration() {
   BatchFuture prompts = BatchFuture::Immediate(std::move(prompts_data));
 
   // --- Stage 1: generation ----------------------------------------------------
-  BatchFuture batch;
-  BatchFuture greedy_rewards;
+  StagedExperience experience;
+  experience.policy_version = updates_applied_;
   {
     HF_TRACE_SCOPE("rlhf.stage.generation", "rlhf");
-    batch = actor.GenerateSequences(prompts, w, /*do_sample=*/true);
+    experience.batch = actor.GenerateSequences(prompts, w, /*do_sample=*/true);
 
     // ReMax: one extra greedy generation pass for the variance-reduction
     // baseline (Figure 6: do_sample=false).
     if (config_.algorithm == RlhfAlgorithm::kRemax) {
       BatchFuture greedy = actor.GenerateSequences(prompts, w, /*do_sample=*/false);
-      greedy_rewards = models_.reward->ComputeReward(greedy, w);
+      experience.greedy_rewards = models_.reward->ComputeReward(greedy, w);
+    }
+
+    // Behavior-policy log-prob snapshot: when log-probs are recomputed, the
+    // pass must run *here*, under the weights that generated the batch — in
+    // async mode the actor advances before this batch reaches training, and
+    // a late recompute would collapse the PPO importance ratio to 1.
+    if (config_.recompute_log_probs) {
+      experience.batch = actor.ComputeLogProb(experience.batch, w, "log_probs");
     }
   }
+  return experience;
+}
+
+IterationMetrics RlhfProgram::RunIteration() {
+  HF_TRACE_SCOPE("rlhf.iteration", "rlhf");
+  const double wall_start_us = WallclockTracer::NowMicros();
+  controller_->BeginIteration();
+  const size_t trace_begin = controller_->cluster().trace().size();
+
+  if (!config_.async_pipeline || config_.async_staleness == 0) {
+    // Synchronous order (async_staleness == 0 degenerates to it exactly:
+    // same op sequence, bitwise-identical data plane).
+    StagedExperience experience = GenerateExperience();
+    return TrainOnExperience(std::move(experience), trace_begin, wall_start_us);
+  }
+
+  // One-step-off pipeline: keep `async_staleness` rollouts staged. The next
+  // iteration's generation is issued *before* training on the oldest staged
+  // batch, so its spans land on the rollout/generation devices while the
+  // experience-prep and training spans land on theirs — disjoint pools
+  // genuinely overlap on the DES, colocated pools serialize as they must.
+  while (static_cast<int64_t>(staged_.size()) < config_.async_staleness) {
+    staged_.push_back(GenerateExperience());  // Prime the queue (first call).
+  }
+  StagedExperience current = std::move(staged_.front());
+  staged_.pop_front();
+  staged_.push_back(GenerateExperience());
+  return TrainOnExperience(std::move(current), trace_begin, wall_start_us);
+}
+
+IterationMetrics RlhfProgram::DrainIteration() {
+  HF_CHECK_MSG(config_.async_pipeline, "DrainIteration requires async_pipeline mode");
+  HF_CHECK_MSG(!staged_.empty(), "DrainIteration called with no staged experience");
+  HF_TRACE_SCOPE("rlhf.iteration.drain", "rlhf");
+  const double wall_start_us = WallclockTracer::NowMicros();
+  controller_->BeginIteration();
+  const size_t trace_begin = controller_->cluster().trace().size();
+  StagedExperience current = std::move(staged_.front());
+  staged_.pop_front();
+  MetricsRegistry::Global().GetCounter("rlhf.async_drains_total").Increment();
+  return TrainOnExperience(std::move(current), trace_begin, wall_start_us);
+}
+
+IterationMetrics RlhfProgram::TrainOnExperience(StagedExperience experience, size_t trace_begin,
+                                                double wall_start_us) {
+  const RlhfWorkloadSpec& w = config_.workload;
+  ActorWorkerGroup& actor = *models_.actor;
+  const bool real = actor.real_enabled();
+  BatchFuture batch = std::move(experience.batch);
+  const int64_t staleness = updates_applied_ - experience.policy_version;
 
   // --- Stage 2: experience preparation ---------------------------------------
   // Every preparation op depends only on the generation output (Figure 1);
@@ -131,9 +227,6 @@ IterationMetrics RlhfProgram::RunIteration() {
   IterationMetrics metrics;
   {
   HF_TRACE_SCOPE("rlhf.stage.experience", "rlhf");
-  if (config_.recompute_log_probs) {
-    batch = actor.ComputeLogProb(batch, w, "log_probs");
-  }
   const BatchFuture generated = batch;
   std::vector<BatchFuture> prepared;
   if (models_.critic != nullptr) {
@@ -154,9 +247,9 @@ IterationMetrics RlhfProgram::RunIteration() {
   if (real && !batch.data.empty()) {
     DataBatch data = batch.data;
     if (config_.algorithm == RlhfAlgorithm::kRemax) {
-      DataBatch::FloatColumn baselines = greedy_rewards.data.Float("rewards");
+      DataBatch::FloatColumn baselines = experience.greedy_rewards.data.Float("rewards");
       data.SetFloat("baseline_rewards", std::move(baselines));
-      batch.ready_time = std::max(batch.ready_time, greedy_rewards.ready_time);
+      batch.ready_time = std::max(batch.ready_time, experience.greedy_rewards.ready_time);
     }
     if (config_.algorithm == RlhfAlgorithm::kSafeRlhf) {
       // Cost value baseline: zeros (cost critic folded into the advantage).
@@ -222,6 +315,7 @@ IterationMetrics RlhfProgram::RunIteration() {
   }
   (void)total_updates;
   }
+  updates_applied_ += 1;
 
   // --- Metrics ---------------------------------------------------------------
   metrics.iteration_seconds = controller_->EndIteration();
@@ -230,10 +324,35 @@ IterationMetrics RlhfProgram::RunIteration() {
   }
   metrics.transition_seconds = actor.last_transition_seconds();
   metrics.generation_seconds = actor.last_gen_breakdown().total();
+  metrics.async_staleness = staleness;
+  metrics.async_queue_depth = static_cast<int64_t>(staged_.size());
   const std::vector<TraceSpan>& trace = controller_->cluster().trace();
+  std::vector<std::pair<double, double>> generate_spans;
+  std::vector<std::pair<double, double>> learn_spans;
   for (size_t i = trace_begin; i < trace.size(); ++i) {
     metrics.busy_by_category[trace[i].category] +=
         trace[i].duration() * static_cast<double>(trace[i].devices.size());
+    if (trace[i].category == "generate") {
+      generate_spans.emplace_back(trace[i].start, trace[i].end);
+    } else if (trace[i].category == "train" || trace[i].category == "infer") {
+      learn_spans.emplace_back(trace[i].start, trace[i].end);
+    }
+  }
+  // Overlap fraction: iteration time during which generation ran
+  // concurrently with experience-prep inference or training. Nonzero only
+  // when the pipeline genuinely overlaps (async mode, disjoint pools).
+  if (metrics.iteration_seconds > 0.0) {
+    const double overlap_seconds = IntersectionSeconds(MergeIntervals(std::move(generate_spans)),
+                                                       MergeIntervals(std::move(learn_spans)));
+    metrics.overlap_fraction =
+        std::min(1.0, overlap_seconds / metrics.iteration_seconds);
+  }
+  if (config_.async_pipeline) {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    registry.GetGauge("rlhf.async_queue_depth")
+        .Set(static_cast<double>(metrics.async_queue_depth));
+    registry.GetGauge("rlhf.async_staleness").Set(static_cast<double>(staleness));
+    registry.GetGauge("rlhf.async_overlap_fraction").Set(metrics.overlap_fraction);
   }
   if (real && !batch.data.empty()) {
     const DataBatch& data = batch.data;
@@ -286,6 +405,11 @@ IterationMetrics RlhfProgram::RunIteration() {
         .Number("sim_makespan_seconds", metrics.iteration_seconds)
         .Number("wall_clock_ms", metrics.wall_clock_seconds * 1e3)
         .Number("tokens_per_sec", metrics.throughput_tokens_per_sec);
+    if (config_.async_pipeline) {
+      record.Number("async_staleness", static_cast<double>(staleness))
+          .Number("async_queue_depth", static_cast<double>(metrics.async_queue_depth))
+          .Number("overlap_fraction", metrics.overlap_fraction);
+    }
     telemetry_->Append(record);
   }
   HF_LOG(kInfo) << RlhfAlgorithmName(config_.algorithm) << " iteration: "

@@ -16,6 +16,8 @@ void RolloutStats::Merge(const RolloutStats& other) {
   queue_wait_steps_max = std::max(queue_wait_steps_max, other.queue_wait_steps_max);
   kv_high_water_blocks = std::max(kv_high_water_blocks, other.kv_high_water_blocks);
   kv_peak_utilization = std::max(kv_peak_utilization, other.kv_peak_utilization);
+  prefill_chunks += other.prefill_chunks;
+  max_prefill_tokens_step = std::max(max_prefill_tokens_step, other.max_prefill_tokens_step);
 }
 
 void RolloutStatsCollector::Add(const RolloutStats& stats) {
@@ -88,6 +90,7 @@ RolloutShardResult RolloutEngine::Run(const std::vector<std::vector<int64_t>>& p
   scheduler_config.policy = options_.policy;
   scheduler_config.reserve_tokens = options_.reserve_tokens;
   scheduler_config.max_running = options_.max_running;
+  scheduler_config.prefill_chunk_tokens = options_.prefill_chunk_tokens;
   RolloutScheduler scheduler(scheduler_config, &kv, &sequences);
   for (size_t i = 0; i < batch; ++i) {
     RolloutSequence& sequence = sequences[i];
@@ -115,9 +118,15 @@ RolloutShardResult RolloutEngine::Run(const std::vector<std::vector<int64_t>>& p
     running_batch_.Observe(static_cast<double>(plan.rows()));
     kv_utilization_.Observe(utilization);
 
+    // Only rows that caught up with their full context run the LM head:
+    // partial prefill chunks (chunked prefill) do compute but emit nothing.
     std::vector<int64_t> rows;
     rows.reserve(static_cast<size_t>(plan.rows()));
-    rows.insert(rows.end(), plan.prefill.begin(), plan.prefill.end());
+    for (const PrefillChunk& chunk : plan.prefill) {
+      if (chunk.completes) {
+        rows.push_back(chunk.id);
+      }
+    }
     rows.insert(rows.end(), plan.decode.begin(), plan.decode.end());
     std::vector<std::vector<int64_t>> step_contexts;
     step_contexts.reserve(rows.size());
@@ -125,8 +134,8 @@ RolloutShardResult RolloutEngine::Run(const std::vector<std::vector<int64_t>>& p
       step_contexts.push_back(contexts_by_id[static_cast<size_t>(id)].tokens());
     }
 
-    const Tensor logits = net_.Forward(step_contexts);
     std::vector<int64_t> eos_finished;
+    const Tensor logits = rows.empty() ? Tensor() : net_.Forward(step_contexts);
     for (size_t a = 0; a < rows.size(); ++a) {
       const int64_t id = rows[a];
       float log_prob = 0.0f;
@@ -148,6 +157,8 @@ RolloutShardResult RolloutEngine::Run(const std::vector<std::vector<int64_t>>& p
   result.stats.admissions = scheduler_stats.admissions;
   result.stats.preemptions = scheduler_stats.preemptions;
   result.stats.max_running_batch = scheduler_stats.max_running;
+  result.stats.prefill_chunks = scheduler_stats.prefill_chunks;
+  result.stats.max_prefill_tokens_step = scheduler_stats.max_prefill_tokens_step;
   result.stats.kv_high_water_blocks = kv.high_water_blocks();
   for (const RolloutSequence& sequence : sequences) {
     HF_CHECK(sequence.state == SequenceState::kFinished);

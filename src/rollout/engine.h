@@ -39,6 +39,10 @@ struct RolloutOptions {
   int64_t num_blocks = 0;
   int64_t reserve_tokens = 1;
   int64_t max_running = 0;  // 0 = KV-capacity-bounded only.
+  // Per-step prefill token budget (chunked prefill); 0 = whole-context
+  // prefill in one step. Applies to both planes: the data-plane engine and
+  // the timing simulator chunk identically.
+  int64_t prefill_chunk_tokens = 0;
 };
 
 // Termination rules for one generation call (mirrors AlignmentTask's
@@ -60,6 +64,10 @@ struct RolloutStats {
   int64_t queue_wait_steps_max = 0;
   int64_t kv_high_water_blocks = 0;
   double kv_peak_utilization = 0.0;  // used/num_blocks peak (rank 0).
+  // Chunked prefill: partial (non-completing) chunks scheduled, and the
+  // largest per-step prefill token total.
+  int64_t prefill_chunks = 0;
+  int64_t max_prefill_tokens_step = 0;
 
   void Merge(const RolloutStats& other);
 };

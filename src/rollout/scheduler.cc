@@ -1,6 +1,7 @@
 #include "src/rollout/scheduler.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "src/common/check.h"
 
@@ -13,6 +14,7 @@ RolloutScheduler::RolloutScheduler(const RolloutSchedulerConfig& config, Distrib
   HF_CHECK(sequences_ != nullptr);
   HF_CHECK_GE(config_.reserve_tokens, 0);
   HF_CHECK_GE(config_.max_running, 0);
+  HF_CHECK_GE(config_.prefill_chunk_tokens, 0);
 }
 
 RolloutSequence& RolloutScheduler::seq(int64_t id) {
@@ -40,6 +42,7 @@ void RolloutScheduler::Preempt(int64_t id) {
            sequence.state == SequenceState::kDecode);
   kv_->FreeSequence(id);
   sequence.kv_tokens = 0;
+  sequence.prefill_computed = 0;
   sequence.state = SequenceState::kPreempted;
   sequence.preemptions += 1;
   stats_.preemptions += 1;
@@ -55,6 +58,11 @@ int64_t RolloutScheduler::BlocksNeededForDecode() const {
   int64_t needed = 0;
   for (int64_t id : running_) {
     const RolloutSequence& sequence = (*sequences_)[static_cast<size_t>(id)];
+    // Mid-prefill rows (chunked prefill) do not append until their chunks
+    // catch up; their completion appends preempt on demand in CommitStep.
+    if (sequence.state != SequenceState::kDecode) {
+      continue;
+    }
     if (sequence.kv_tokens % block_tokens == 0) {
       needed += 1;  // The next append crosses a block boundary.
     }
@@ -73,11 +81,31 @@ StepPlan RolloutScheduler::BeginStep() {
   }
 
   StepPlan plan;
-  plan.decode.assign(running_.begin(), running_.end());
+  int64_t budget = config_.prefill_chunk_tokens > 0 ? config_.prefill_chunk_tokens
+                                                    : std::numeric_limits<int64_t>::max();
 
-  // 2. Admission in policy order, gated by real block allocation. Strict
-  // priority: stop at the first candidate that does not fit, so the head of
-  // the queue is never starved by smaller requests behind it.
+  // 2. Continue the running set: decode rows emit a token; mid-prefill rows
+  // (chunked prefill) consume the step's prefill budget in admission order
+  // until they catch up with their full context.
+  for (int64_t id : running_) {
+    RolloutSequence& sequence = seq(id);
+    if (sequence.state == SequenceState::kDecode) {
+      plan.decode.push_back(id);
+      continue;
+    }
+    const int64_t pending = sequence.total_tokens() - sequence.prefill_computed;
+    const int64_t grant = std::min(budget, pending);
+    if (grant <= 0) {
+      continue;  // Budget exhausted: the row idles this step.
+    }
+    budget -= grant;
+    plan.prefill.push_back({id, grant, grant == pending});
+  }
+
+  // 3. Admission in policy order, gated by real block allocation (the full
+  // context's blocks are allocated up front; only the *compute* is chunked).
+  // Strict priority: stop at the first candidate that does not fit, so the
+  // head of the queue is never starved by smaller requests behind it.
   std::vector<int64_t> candidates(waiting_.begin(), waiting_.end());
   if (config_.policy == RolloutPolicy::kLongestPrefixFirst) {
     std::stable_sort(candidates.begin(), candidates.end(), [this](int64_t a, int64_t b) {
@@ -89,6 +117,9 @@ StepPlan RolloutScheduler::BeginStep() {
         static_cast<int64_t>(running_.size()) >= config_.max_running) {
       break;
     }
+    if (budget <= 0) {
+      break;  // No prefill compute left this step (chunked prefill).
+    }
     RolloutSequence& sequence = seq(id);
     const int64_t reserve =
         std::min(config_.reserve_tokens, std::max<int64_t>(sequence.remaining_tokens() - 1, 0));
@@ -97,74 +128,99 @@ StepPlan RolloutScheduler::BeginStep() {
     }
     HF_CHECK(kv_->AddSequence(id, sequence.total_tokens()));
     sequence.kv_tokens = sequence.total_tokens();
+    sequence.prefill_computed = 0;
     sequence.state = SequenceState::kPrefill;
     if (sequence.first_admit_step < 0) {
       sequence.first_admit_step = stats_.steps - 1;
     }
     stats_.admissions += 1;
     running_.push_back(id);
-    plan.prefill.push_back(id);
+    const int64_t grant = std::min(budget, sequence.total_tokens());
+    budget -= grant;
+    plan.prefill.push_back({id, grant, grant == sequence.total_tokens()});
     waiting_.erase(std::find(waiting_.begin(), waiting_.end(), id));
   }
 
   HF_CHECK_MSG(!plan.empty(),
                "scheduler made no progress: a sequence exceeds KV capacity at full length");
   stats_.max_running = std::max(stats_.max_running, plan.rows());
+  int64_t prefill_tokens = 0;
+  for (const PrefillChunk& chunk : plan.prefill) {
+    prefill_tokens += chunk.tokens;
+    if (!chunk.completes) {
+      stats_.prefill_chunks += 1;
+    }
+  }
+  stats_.max_prefill_tokens_step = std::max(stats_.max_prefill_tokens_step, prefill_tokens);
   return plan;
 }
 
 void RolloutScheduler::CommitStep(const StepPlan& plan, const std::vector<int64_t>& eos_finished) {
-  std::vector<int64_t> rows;
-  rows.reserve(static_cast<size_t>(plan.rows()));
-  rows.insert(rows.end(), plan.prefill.begin(), plan.prefill.end());
-  rows.insert(rows.end(), plan.decode.begin(), plan.decode.end());
-
-  for (int64_t id : rows) {
-    RolloutSequence& sequence = seq(id);
-    // A row preempted earlier in this commit (as someone's victim) still
-    // emitted its token; it just lost its KV residency.
+  for (const PrefillChunk& chunk : plan.prefill) {
+    RolloutSequence& sequence = seq(chunk.id);
     const bool resident = sequence.state == SequenceState::kPrefill ||
                           sequence.state == SequenceState::kDecode;
-    sequence.generated += 1;
-    const bool finished =
-        sequence.generated >= sequence.target_new_tokens ||
-        std::find(eos_finished.begin(), eos_finished.end(), id) != eos_finished.end();
-    if (finished) {
-      if (resident) {
-        kv_->FreeSequence(id);
-        RemoveFromRunning(id);
-      } else {
-        // Preempted mid-commit but its freshly emitted token ends it:
-        // drop it from the waiting queue it was just pushed onto.
-        waiting_.erase(std::find(waiting_.begin(), waiting_.end(), id));
+    if (resident) {
+      sequence.prefill_computed += chunk.tokens;
+    }
+    // Non-resident: preempted earlier in this commit as someone's victim;
+    // the chunk's compute is lost and recomputed on resume.
+    if (chunk.completes) {
+      CommitEmittedToken(chunk.id, eos_finished);
+    }
+  }
+  for (int64_t id : plan.decode) {
+    CommitEmittedToken(id, eos_finished);
+  }
+}
+
+void RolloutScheduler::CommitEmittedToken(int64_t id, const std::vector<int64_t>& eos_finished) {
+  RolloutSequence& sequence = seq(id);
+  // A row preempted earlier in this commit (as someone's victim) still
+  // emitted its token; it just lost its KV residency.
+  const bool resident = sequence.state == SequenceState::kPrefill ||
+                        sequence.state == SequenceState::kDecode;
+  sequence.generated += 1;
+  const bool finished =
+      sequence.generated >= sequence.target_new_tokens ||
+      std::find(eos_finished.begin(), eos_finished.end(), id) != eos_finished.end();
+  if (finished) {
+    if (resident) {
+      kv_->FreeSequence(id);
+      RemoveFromRunning(id);
+    } else {
+      // Preempted mid-commit but its freshly emitted token ends it:
+      // drop it from the waiting queue it was just pushed onto.
+      waiting_.erase(std::find(waiting_.begin(), waiting_.end(), id));
+    }
+    sequence.kv_tokens = 0;
+    sequence.prefill_computed = 0;
+    sequence.state = SequenceState::kFinished;
+    return;
+  }
+  if (!resident) {
+    return;  // Waits for re-admission; token kept, KV recomputed later.
+  }
+  // Append the new token's KV entry, evicting youngest-first on
+  // exhaustion (possibly this sequence itself, if it is the only one
+  // left — only possible when admission overcommitted shared headroom).
+  while (!kv_->AppendToken(id)) {
+    int64_t victim = -1;
+    for (auto it = running_.rbegin(); it != running_.rend(); ++it) {
+      if (*it != id) {
+        victim = *it;
+        break;
       }
-      sequence.kv_tokens = 0;
-      sequence.state = SequenceState::kFinished;
-      continue;
     }
-    if (!resident) {
-      continue;  // Waits for re-admission; token kept, KV recomputed later.
+    Preempt(victim >= 0 ? victim : id);
+    if (victim < 0) {
+      return;  // Preempted itself; the appended token is recomputed later.
     }
-    // Append the new token's KV entry, evicting youngest-first on
-    // exhaustion (possibly this sequence itself, if it is the only one
-    // left — only possible when admission overcommitted shared headroom).
-    while (!kv_->AppendToken(id)) {
-      int64_t victim = -1;
-      for (auto it = running_.rbegin(); it != running_.rend(); ++it) {
-        if (*it != id) {
-          victim = *it;
-          break;
-        }
-      }
-      Preempt(victim >= 0 ? victim : id);
-      if (victim < 0) {
-        break;  // Preempted itself; the appended token is recomputed later.
-      }
-    }
-    if (sequence.state == SequenceState::kPrefill || sequence.state == SequenceState::kDecode) {
-      sequence.kv_tokens += 1;
-      sequence.state = SequenceState::kDecode;
-    }
+  }
+  if (sequence.state == SequenceState::kPrefill || sequence.state == SequenceState::kDecode) {
+    sequence.kv_tokens += 1;
+    sequence.prefill_computed = 0;
+    sequence.state = SequenceState::kDecode;
   }
 }
 

@@ -37,18 +37,42 @@ struct RolloutSchedulerConfig {
   int64_t reserve_tokens = 1;
   // Cap on concurrently running sequences; 0 = bounded by KV capacity only.
   int64_t max_running = 0;
+  // Chunked prefill (vLLM-style): per-step token budget for prefill
+  // compute. Contexts longer than the remaining budget enter compute in
+  // chunks across consecutive steps, so a long prompt never stalls the
+  // decode batch for a whole step. 0 disables chunking (each admitted
+  // context prefills in one step, the pre-chunking behavior).
+  int64_t prefill_chunk_tokens = 0;
 };
 
-// One engine step's batch composition: newly admitted sequences (prefill
-// rows) plus continuing ones (decode rows). Every planned row emits exactly
-// one token this step.
+// One slice of prefill compute for one sequence this step. A sequence's
+// context enters compute chunk by chunk; only the chunk that reaches the
+// full context (`completes`) runs the LM head and emits a token.
+struct PrefillChunk {
+  int64_t id = 0;
+  int64_t tokens = 0;      // Context tokens entering compute this step.
+  bool completes = false;  // Caught up with the full context -> emits a token.
+};
+
+// One engine step's batch composition: prefill chunks (newly admitted or
+// still catching up) plus decode rows (already running). Decode rows and
+// *completing* prefill chunks emit exactly one token this step; partial
+// chunks emit nothing yet.
 struct StepPlan {
-  std::vector<int64_t> prefill;
+  std::vector<PrefillChunk> prefill;
   std::vector<int64_t> decode;
 
   bool empty() const { return prefill.empty() && decode.empty(); }
   int64_t rows() const {
     return static_cast<int64_t>(prefill.size() + decode.size());
+  }
+  // Rows that run the LM head and emit a token this step.
+  int64_t EmittingRows() const {
+    int64_t emitting = static_cast<int64_t>(decode.size());
+    for (const PrefillChunk& chunk : prefill) {
+      emitting += chunk.completes ? 1 : 0;
+    }
+    return emitting;
   }
 };
 
@@ -57,6 +81,11 @@ struct RolloutSchedulerStats {
   int64_t admissions = 0;   // Includes re-admissions after preemption.
   int64_t preemptions = 0;
   int64_t max_running = 0;  // Largest planned batch (rows) of any step.
+  // Chunked prefill: partial (non-completing) chunks planned, and the
+  // largest per-step prefill token total (bounded by prefill_chunk_tokens
+  // when chunking is on).
+  int64_t prefill_chunks = 0;
+  int64_t max_prefill_tokens_step = 0;
 };
 
 // Single-threaded by design: one scheduler drives one replica's engine
@@ -75,10 +104,12 @@ class RolloutScheduler {
   // possible while work remains (violated fit contract).
   StepPlan BeginStep();
 
-  // Completes a step: every planned row emitted one token. Sequences in
-  // `eos_finished` (plus any that reached target_new_tokens) release their
-  // blocks; the rest append their new token to the KV cache, preempting
-  // victims (youngest-first, possibly themselves) on exhaustion.
+  // Completes a step: every decode row and completing prefill chunk
+  // emitted one token; partial chunks only advance their prefill progress.
+  // Emitting sequences in `eos_finished` (plus any that reached
+  // target_new_tokens) release their blocks; the rest append their new
+  // token to the KV cache, preempting victims (youngest-first, possibly
+  // themselves) on exhaustion.
   void CommitStep(const StepPlan& plan, const std::vector<int64_t>& eos_finished);
 
   bool HasWork() const { return !waiting_.empty() || !running_.empty(); }
@@ -95,6 +126,8 @@ class RolloutScheduler {
   void RemoveFromRunning(int64_t id);
   // Blocks the running set needs for its next appends on one rank.
   int64_t BlocksNeededForDecode() const;
+  // Retires or appends one row that emitted a token this step.
+  void CommitEmittedToken(int64_t id, const std::vector<int64_t>& eos_finished);
 
   RolloutSchedulerConfig config_;
   DistributedKvManager* kv_;

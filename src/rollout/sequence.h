@@ -33,6 +33,11 @@ struct RolloutSequence {
   int64_t target_new_tokens = 0;  // Response-length cap.
   SequenceState state = SequenceState::kWaiting;
   int64_t kv_tokens = 0;  // Tokens currently resident in the KV cache.
+  // Context tokens whose prefill compute has run since (re)admission.
+  // Under chunked prefill a sequence stays in kPrefill across steps until
+  // this catches up with total_tokens(); preemption resets it to zero
+  // (recompute-on-resume covers the whole grown context).
+  int64_t prefill_computed = 0;
   int64_t enqueue_step = 0;
   int64_t first_admit_step = -1;  // -1 until first admitted.
   int64_t preemptions = 0;

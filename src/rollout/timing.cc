@@ -44,6 +44,7 @@ RolloutSimResult SimulateContinuousGeneration(const PerfModel& perf,
   scheduler_config.policy = options.policy;
   scheduler_config.reserve_tokens = options.reserve_tokens;
   scheduler_config.max_running = options.max_running;
+  scheduler_config.prefill_chunk_tokens = options.prefill_chunk_tokens;
   RolloutScheduler scheduler(scheduler_config, &kv, &states);
   for (size_t i = 0; i < sequences.size(); ++i) {
     RolloutSequence& state = states[i];
@@ -68,29 +69,43 @@ RolloutSimResult SimulateContinuousGeneration(const PerfModel& perf,
     result.stats.kv_peak_utilization =
         std::max(result.stats.kv_peak_utilization, utilization);
 
-    // Prefill: newly (re)admitted contexts are computed from scratch —
+    // Prefill: (re)admitted contexts are computed from scratch —
     // recompute-on-resume charges prompt + kept response tokens again.
+    // Under chunked prefill each chunk charges only its own tokens, so the
+    // per-step prefill cost is bounded by the chunk budget.
+    double step_seconds = 0.0;
     if (!plan.prefill.empty()) {
       std::vector<int64_t> prefill_tokens;
       prefill_tokens.reserve(plan.prefill.size());
-      for (int64_t id : plan.prefill) {
-        prefill_tokens.push_back(states[static_cast<size_t>(id)].total_tokens());
+      for (const PrefillChunk& chunk : plan.prefill) {
+        prefill_tokens.push_back(chunk.tokens);
       }
-      result.time.prefill_seconds +=
-          perf.PrefillStepTime(gen, replica_devices, prefill_tokens);
+      const double prefill_seconds = perf.PrefillStepTime(gen, replica_devices, prefill_tokens);
+      result.time.prefill_seconds += prefill_seconds;
+      step_seconds += prefill_seconds;
     }
 
-    // Decode: every planned row emits one token against its live context.
-    int64_t context_tokens = 0;
-    for (int64_t id : plan.prefill) {
-      context_tokens += states[static_cast<size_t>(id)].kv_tokens;
+    // Decode: rows that caught up with their context emit one token against
+    // its live KV; partial chunks do not run the decode step yet.
+    const int64_t emitting = plan.EmittingRows();
+    if (emitting > 0) {
+      int64_t context_tokens = 0;
+      for (const PrefillChunk& chunk : plan.prefill) {
+        if (chunk.completes) {
+          context_tokens += states[static_cast<size_t>(chunk.id)].kv_tokens;
+        }
+      }
+      for (int64_t id : plan.decode) {
+        context_tokens += states[static_cast<size_t>(id)].kv_tokens;
+      }
+      const double decode_seconds =
+          perf.DecodeStepTime(gen, replica_devices, emitting, context_tokens);
+      const double comm_seconds = perf.DecodeCommStepTime(gen, replica_devices, emitting);
+      result.time.decode_seconds += decode_seconds;
+      result.time.comm_seconds += comm_seconds;
+      step_seconds += decode_seconds + comm_seconds;
     }
-    for (int64_t id : plan.decode) {
-      context_tokens += states[static_cast<size_t>(id)].kv_tokens;
-    }
-    result.time.decode_seconds +=
-        perf.DecodeStepTime(gen, replica_devices, plan.rows(), context_tokens);
-    result.time.comm_seconds += perf.DecodeCommStepTime(gen, replica_devices, plan.rows());
+    result.max_step_seconds = std::max(result.max_step_seconds, step_seconds);
 
     scheduler.CommitStep(plan, /*eos_finished=*/{});
   }
@@ -100,6 +115,8 @@ RolloutSimResult SimulateContinuousGeneration(const PerfModel& perf,
   result.stats.admissions = scheduler_stats.admissions;
   result.stats.preemptions = scheduler_stats.preemptions;
   result.stats.max_running_batch = scheduler_stats.max_running;
+  result.stats.prefill_chunks = scheduler_stats.prefill_chunks;
+  result.stats.max_prefill_tokens_step = scheduler_stats.max_prefill_tokens_step;
   result.stats.kv_high_water_blocks = kv.high_water_blocks();
   for (const RolloutSequence& state : states) {
     if (state.target_new_tokens == 0) {

@@ -24,6 +24,10 @@ struct NominalSequence {
 struct RolloutSimResult {
   GenTimeBreakdown time;
   RolloutStats stats;
+  // Largest single engine-step latency (prefill + decode + comm). Chunked
+  // prefill bounds this: without it a long prompt's one-shot prefill spikes
+  // the step every decode row must wait behind.
+  double max_step_seconds = 0.0;
 };
 
 // Simulates continuous-batching generation of `sequences` on one model

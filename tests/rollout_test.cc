@@ -47,6 +47,15 @@ std::vector<RolloutSequence> MakeSequences(const std::vector<int64_t>& prompts,
   return sequences;
 }
 
+std::vector<int64_t> PrefillIds(const StepPlan& plan) {
+  std::vector<int64_t> ids;
+  ids.reserve(plan.prefill.size());
+  for (const PrefillChunk& chunk : plan.prefill) {
+    ids.push_back(chunk.id);
+  }
+  return ids;
+}
+
 // --- Scheduler ----------------------------------------------------------------
 
 TEST(RolloutSchedulerTest, FcfsAdmitsInArrivalOrder) {
@@ -57,7 +66,7 @@ TEST(RolloutSchedulerTest, FcfsAdmitsInArrivalOrder) {
     scheduler.Enqueue(id);
   }
   const StepPlan plan = scheduler.BeginStep();
-  EXPECT_EQ(plan.prefill, (std::vector<int64_t>{0, 1, 2}));
+  EXPECT_EQ(PrefillIds(plan), (std::vector<int64_t>{0, 1, 2}));
   EXPECT_TRUE(plan.decode.empty());
   EXPECT_TRUE(kv.TablesInLockstep());
 }
@@ -73,7 +82,7 @@ TEST(RolloutSchedulerTest, LongestPrefixFirstAdmitsLongestContext) {
   }
   // Longest first; equal lengths keep arrival order (stable sort).
   const StepPlan plan = scheduler.BeginStep();
-  EXPECT_EQ(plan.prefill, (std::vector<int64_t>{1, 3, 2, 0}));
+  EXPECT_EQ(PrefillIds(plan), (std::vector<int64_t>{1, 3, 2, 0}));
 }
 
 TEST(RolloutSchedulerTest, AdmissionGatedByKvCapacityWithoutBypass) {
@@ -87,7 +96,7 @@ TEST(RolloutSchedulerTest, AdmissionGatedByKvCapacityWithoutBypass) {
     scheduler.Enqueue(id);
   }
   const StepPlan plan = scheduler.BeginStep();
-  EXPECT_EQ(plan.prefill, (std::vector<int64_t>{0}));
+  EXPECT_EQ(PrefillIds(plan), (std::vector<int64_t>{0}));
   EXPECT_EQ(scheduler.waiting().size(), 2u);
   EXPECT_EQ(sequences[1].state, SequenceState::kWaiting);
   EXPECT_EQ(sequences[2].state, SequenceState::kWaiting);
@@ -199,63 +208,147 @@ ReferenceOutput StaticGreedyReference(const PolicyNet& net,
   return out;
 }
 
-// Property: for randomized EOS-truncated workloads and KV budgets tight
-// enough to force preemption, continuous batching is invisible in the
-// output — responses and log-probs match the static reference exactly.
+// Property: for randomized EOS-truncated workloads, KV budgets tight
+// enough to force preemption, and any prefill chunk size — including
+// chunks smaller than the shortest prompt (1) and at least the longest
+// context (1000) — continuous batching is invisible in the output:
+// responses and log-probs match the static reference exactly.
 TEST(RolloutEngineTest, GreedyMatchesStaticReferenceUnderPreemption) {
   int64_t total_preemptions = 0;
-  for (uint64_t seed = 1; seed <= 6; ++seed) {
-    Rng rng(seed * 977);
-    PolicyNetConfig net_config;
-    net_config.vocab_size = 16;
-    net_config.context_window = 3;
-    net_config.embed_dim = 8;
-    net_config.hidden_dim = 16;
-    Rng net_rng = rng.Fork(1);
-    const PolicyNet net(net_config, net_rng);
+  int64_t total_partial_chunks = 0;
+  const int64_t chunk_sizes[] = {0, 1, 2, 3, 5, 1000};
+  for (int64_t chunk : chunk_sizes) {
+    for (uint64_t seed = 1; seed <= 6; ++seed) {
+      Rng rng(seed * 977);
+      PolicyNetConfig net_config;
+      net_config.vocab_size = 16;
+      net_config.context_window = 3;
+      net_config.embed_dim = 8;
+      net_config.hidden_dim = 16;
+      Rng net_rng = rng.Fork(1);
+      const PolicyNet net(net_config, net_rng);
 
-    const int64_t batch = rng.UniformInt(3, 9);
-    std::vector<std::vector<int64_t>> prompts(static_cast<size_t>(batch));
-    for (std::vector<int64_t>& prompt : prompts) {
-      prompt.resize(static_cast<size_t>(rng.UniformInt(2, 6)));
-      for (int64_t& token : prompt) {
-        token = rng.UniformInt(0, net_config.vocab_size - 1);
+      const int64_t batch = rng.UniformInt(3, 9);
+      std::vector<std::vector<int64_t>> prompts(static_cast<size_t>(batch));
+      for (std::vector<int64_t>& prompt : prompts) {
+        prompt.resize(static_cast<size_t>(rng.UniformInt(2, 6)));
+        for (int64_t& token : prompt) {
+          token = rng.UniformInt(0, net_config.vocab_size - 1);
+        }
       }
-    }
 
-    RolloutLimits limits;
-    limits.max_new_tokens = 6;
-    limits.use_eos = true;
-    limits.eos_token = net_config.vocab_size - 2;
+      RolloutLimits limits;
+      limits.max_new_tokens = 6;
+      limits.use_eos = true;
+      limits.eos_token = net_config.vocab_size - 2;
 
-    RolloutOptions options;
-    options.policy = seed % 2 == 0 ? RolloutPolicy::kFcfs : RolloutPolicy::kLongestPrefixFirst;
-    options.block_tokens = 2;
-    options.num_blocks = 7;  // One full sequence (<= 12 tokens) barely fits.
+      RolloutOptions options;
+      options.policy = seed % 2 == 0 ? RolloutPolicy::kFcfs : RolloutPolicy::kLongestPrefixFirst;
+      options.block_tokens = 2;
+      options.num_blocks = 7;  // One full sequence (<= 12 tokens) barely fits.
+      options.prefill_chunk_tokens = chunk;
 
-    const RolloutEngine engine(net, limits, options, /*kv_ranks=*/2);
-    Rng engine_rng = rng.Fork(2);
-    const RolloutShardResult got =
-        engine.Run(prompts, /*do_sample=*/false, /*temperature=*/1.0, engine_rng);
-    const ReferenceOutput want = StaticGreedyReference(net, prompts, limits);
+      const RolloutEngine engine(net, limits, options, /*kv_ranks=*/2);
+      Rng engine_rng = rng.Fork(2);
+      const RolloutShardResult got =
+          engine.Run(prompts, /*do_sample=*/false, /*temperature=*/1.0, engine_rng);
+      const ReferenceOutput want = StaticGreedyReference(net, prompts, limits);
 
-    ASSERT_EQ(got.responses.size(), want.responses.size()) << "seed " << seed;
-    for (size_t i = 0; i < prompts.size(); ++i) {
-      EXPECT_EQ(got.responses[i], want.responses[i]) << "seed " << seed << " row " << i;
-      ASSERT_EQ(got.log_probs[i].size(), want.log_probs[i].size())
-          << "seed " << seed << " row " << i;
-      for (size_t k = 0; k < want.log_probs[i].size(); ++k) {
-        EXPECT_EQ(got.log_probs[i][k], want.log_probs[i][k])
-            << "seed " << seed << " row " << i << " token " << k;
+      ASSERT_EQ(got.responses.size(), want.responses.size())
+          << "seed " << seed << " chunk " << chunk;
+      for (size_t i = 0; i < prompts.size(); ++i) {
+        EXPECT_EQ(got.responses[i], want.responses[i])
+            << "seed " << seed << " chunk " << chunk << " row " << i;
+        ASSERT_EQ(got.log_probs[i].size(), want.log_probs[i].size())
+            << "seed " << seed << " chunk " << chunk << " row " << i;
+        for (size_t k = 0; k < want.log_probs[i].size(); ++k) {
+          EXPECT_EQ(got.log_probs[i][k], want.log_probs[i][k])
+              << "seed " << seed << " chunk " << chunk << " row " << i << " token " << k;
+        }
       }
+      total_preemptions += got.stats.preemptions;
+      if (chunk > 0 && chunk < 6) {
+        total_partial_chunks += got.stats.prefill_chunks;
+        EXPECT_LE(got.stats.max_prefill_tokens_step, chunk)
+            << "seed " << seed << " chunk " << chunk;
+      }
+      EXPECT_EQ(got.stats.sequences, batch);
+      EXPECT_GT(got.stats.steps, 0);
+      EXPECT_GE(got.stats.admissions, batch);
     }
-    total_preemptions += got.stats.preemptions;
-    EXPECT_EQ(got.stats.sequences, batch);
-    EXPECT_GT(got.stats.steps, 0);
-    EXPECT_GE(got.stats.admissions, batch);
   }
-  // The tight budgets must actually have exercised preempt/resume.
+  // The tight budgets must actually have exercised preempt/resume, and the
+  // small chunk sizes must actually have split prefills across steps.
   EXPECT_GT(total_preemptions, 0);
+  EXPECT_GT(total_partial_chunks, 0);
+}
+
+TEST(RolloutSchedulerTest, ChunkedPrefillRespectsBudgetAndDefersEmission) {
+  // Budget 4 tokens/step over a 10-token prompt: three chunks (4+4+2); the
+  // sequence must not emit a token until the last chunk completes.
+  DistributedKvManager kv(1, KvConfig(/*blocks=*/64));
+  std::vector<RolloutSequence> sequences = MakeSequences({10}, /*target_new=*/3);
+  RolloutSchedulerConfig config;
+  config.prefill_chunk_tokens = 4;
+  RolloutScheduler scheduler(config, &kv, &sequences);
+  scheduler.Enqueue(0);
+
+  StepPlan plan = scheduler.BeginStep();
+  ASSERT_EQ(plan.prefill.size(), 1u);
+  EXPECT_EQ(plan.prefill[0].tokens, 4);
+  EXPECT_FALSE(plan.prefill[0].completes);
+  EXPECT_EQ(plan.EmittingRows(), 0);
+  scheduler.CommitStep(plan, /*eos_finished=*/{});
+  EXPECT_EQ(sequences[0].generated, 0);
+  EXPECT_EQ(sequences[0].state, SequenceState::kPrefill);
+
+  plan = scheduler.BeginStep();
+  ASSERT_EQ(plan.prefill.size(), 1u);
+  EXPECT_EQ(plan.prefill[0].tokens, 4);
+  EXPECT_FALSE(plan.prefill[0].completes);
+  scheduler.CommitStep(plan, /*eos_finished=*/{});
+  EXPECT_EQ(sequences[0].generated, 0);
+
+  plan = scheduler.BeginStep();
+  ASSERT_EQ(plan.prefill.size(), 1u);
+  EXPECT_EQ(plan.prefill[0].tokens, 2);
+  EXPECT_TRUE(plan.prefill[0].completes);
+  EXPECT_EQ(plan.EmittingRows(), 1);
+  scheduler.CommitStep(plan, /*eos_finished=*/{});
+  EXPECT_EQ(sequences[0].generated, 1);
+  EXPECT_EQ(sequences[0].state, SequenceState::kDecode);
+  EXPECT_EQ(scheduler.stats().prefill_chunks, 2);
+  EXPECT_EQ(scheduler.stats().max_prefill_tokens_step, 4);
+}
+
+TEST(RolloutSchedulerTest, ChunkedPrefillSharesBudgetAcrossAdmissions) {
+  // Budget 6: the first prompt (4 tokens) completes within the step, the
+  // second (5 tokens) gets the remaining 2 and catches up next step while
+  // the first decodes alongside it.
+  DistributedKvManager kv(1, KvConfig(/*blocks=*/64));
+  std::vector<RolloutSequence> sequences = MakeSequences({4, 5}, /*target_new=*/4);
+  RolloutSchedulerConfig config;
+  config.prefill_chunk_tokens = 6;
+  RolloutScheduler scheduler(config, &kv, &sequences);
+  scheduler.Enqueue(0);
+  scheduler.Enqueue(1);
+
+  StepPlan plan = scheduler.BeginStep();
+  ASSERT_EQ(plan.prefill.size(), 2u);
+  EXPECT_TRUE(plan.prefill[0].completes);
+  EXPECT_EQ(plan.prefill[1].tokens, 2);
+  EXPECT_FALSE(plan.prefill[1].completes);
+  scheduler.CommitStep(plan, /*eos_finished=*/{});
+
+  plan = scheduler.BeginStep();
+  ASSERT_EQ(plan.prefill.size(), 1u);
+  EXPECT_EQ(plan.prefill[0].id, 1);
+  EXPECT_EQ(plan.prefill[0].tokens, 3);
+  EXPECT_TRUE(plan.prefill[0].completes);
+  EXPECT_EQ(plan.decode, (std::vector<int64_t>{0}));
+  scheduler.CommitStep(plan, /*eos_finished=*/{});
+  EXPECT_EQ(sequences[0].generated, 2);
+  EXPECT_EQ(sequences[1].generated, 1);
 }
 
 TEST(RolloutEngineTest, AutoSizedCacheRunsWithoutPreemption) {
@@ -451,6 +544,36 @@ TEST(RolloutTimingTest, SkewedResponseLengthsBeatStaticWaveModel) {
       perf.GenerateTime(gen, devices, /*batch=*/64, /*prompt_len=*/256,
                         /*response_len=*/512, budget, /*use_kv_cache=*/true);
   EXPECT_LT(continuous.time.total(), fixed.total());
+}
+
+TEST(RolloutTimingTest, ChunkedPrefillFlattensDecodeStepLatency) {
+  // One 4096-token prompt landing mid-run spikes the unchunked step every
+  // decode row waits behind; a 256-token chunk budget must flatten it.
+  const PerfModel perf(ModelSpec::Llama7B(), ClusterSpec::WithGpus(8));
+  const GenParallelConfig gen{1, 2};
+  const std::vector<DeviceId> devices{0, 1};
+  std::vector<NominalSequence> sequences(32, NominalSequence{128, 256});
+  sequences.push_back(NominalSequence{4096, 256});
+  const double budget = 1e12;  // Ample KV: isolate the prefill effect.
+
+  RolloutOptions unchunked;
+  unchunked.mode = RolloutMode::kContinuous;
+  RolloutOptions chunked = unchunked;
+  chunked.prefill_chunk_tokens = 256;
+
+  const RolloutSimResult spiky =
+      SimulateContinuousGeneration(perf, gen, devices, sequences, budget, unchunked);
+  const RolloutSimResult flat =
+      SimulateContinuousGeneration(perf, gen, devices, sequences, budget, chunked);
+
+  EXPECT_EQ(spiky.stats.prefill_chunks, 0);
+  EXPECT_GT(flat.stats.prefill_chunks, 0);
+  EXPECT_LE(flat.stats.max_prefill_tokens_step, 256);
+  // Per-step latency stays flat: the worst chunked step is a small multiple
+  // of a typical decode step, far below the unchunked prefill spike.
+  EXPECT_LT(flat.max_step_seconds, 0.5 * spiky.max_step_seconds);
+  // Every response still completes: same total tokens both ways.
+  EXPECT_EQ(flat.stats.sequences, spiky.stats.sequences);
 }
 
 TEST(RolloutTimingTest, ZeroLengthResponsesFinishInstantly) {

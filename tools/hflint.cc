@@ -34,6 +34,14 @@
 //                        through src/common/logging.h (HF_LOG) or the
 //                        src/obs/ sinks so output stays structured and
 //                        filterable
+//   doc-drift            backtick-quoted `src/...`-style paths and
+//                        `ClassName::Member` references in docs/*.md must
+//                        resolve against the tree: paths (and `*` globs,
+//                        and extension-less tool names) must exist, the
+//                        class must be declared somewhere under the walked
+//                        directories, and the member must occur in code.
+//                        `--docs-selftest` exercises the rule against a
+//                        synthetic tree with known-stale references.
 //
 // Suppress a finding on one line with: // hflint: allow(<rule>)
 //
@@ -485,16 +493,261 @@ void CheckAnnotatedSync(const FileText& file, std::vector<Finding>& findings) {
   }
 }
 
-}  // namespace
+// ---------------------------------------------------------------------------
+// doc-drift: documentation references must resolve against the tree.
+// ---------------------------------------------------------------------------
 
-int main(int argc, char** argv) {
-  const fs::path root = argc > 1 ? fs::path(argv[1]) : fs::path(".");
-  if (!fs::exists(root / "src")) {
-    std::cerr << "hflint: '" << root.string() << "' does not look like the repo root\n";
-    return 2;
+bool IsIdentifier(const std::string& s) {
+  if (s.empty() || (std::isalpha(static_cast<unsigned char>(s[0])) == 0 && s[0] != '_')) {
+    return false;
   }
+  for (char c : s) {
+    if (!IsIdentChar(c)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// One backtick-quoted span from a docs/*.md file (fenced ``` blocks are
+// code examples, not references, and are skipped).
+struct DocRef {
+  std::string doc;   // Repo-root-relative doc path.
+  int line = 0;      // 1-based line of the opening backtick.
+  std::string text;  // Span content, newlines collapsed to spaces.
+};
+
+std::vector<DocRef> ExtractDocRefs(const fs::path& doc_path, const std::string& rel_path) {
+  std::vector<DocRef> refs;
+  std::ifstream in(doc_path);
+  if (!in) {
+    return refs;
+  }
+  bool in_fence = false;
+  bool in_span = false;
+  DocRef current;
+  int line_number = 0;
+  for (std::string line; std::getline(in, line); ) {
+    ++line_number;
+    const size_t first = line.find_first_not_of(" \t");
+    if (first != std::string::npos && line.compare(first, 3, "```") == 0) {
+      in_fence = !in_fence;
+      in_span = false;  // A fence terminates any dangling inline span.
+      continue;
+    }
+    if (in_fence) {
+      continue;
+    }
+    for (char c : line) {
+      if (c == '`') {
+        if (in_span) {
+          refs.push_back(current);
+          current = DocRef();
+        } else {
+          current.doc = rel_path;
+          current.line = line_number;
+          current.text.clear();
+        }
+        in_span = !in_span;
+      } else if (in_span) {
+        current.text.push_back(c);
+      }
+    }
+    if (in_span) {
+      current.text.push_back(' ');  // Inline spans may wrap across lines.
+    }
+  }
+  return refs;
+}
+
+// A documentation path reference: rooted at one of the walked top-level
+// directories, made of path characters only. `src/...`-style ellipses and
+// spans with spaces are prose, not references.
+bool LooksLikePathRef(const std::string& text) {
+  bool rooted = false;
+  for (const char* top : {"src/", "tests/", "bench/", "tools/", "docs/", "configs/",
+                          "examples/"}) {
+    if (StartsWith(text, top) || text == std::string(top).substr(0, std::string(top).size() - 1)) {
+      rooted = true;
+      break;
+    }
+  }
+  if (!rooted || text.find("...") != std::string::npos) {
+    return false;
+  }
+  for (char c : text) {
+    if (!IsIdentChar(c) && c != '/' && c != '.' && c != '-' && c != '*') {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Resolves a path reference. Globs check the prefix before the first '*'
+// against the directory's entries; extension-less references (binary names
+// like `tools/hybridflow_run`) fall back to .cpp/.cc sources.
+bool PathRefResolves(const fs::path& root, const std::string& text) {
+  const size_t star = text.find('*');
+  if (star != std::string::npos) {
+    const std::string prefix = text.substr(0, star);
+    const size_t slash = prefix.rfind('/');
+    const fs::path dir = root / prefix.substr(0, slash == std::string::npos ? 0 : slash);
+    const std::string name_prefix = slash == std::string::npos ? prefix : prefix.substr(slash + 1);
+    if (!fs::is_directory(dir)) {
+      return false;
+    }
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      if (StartsWith(entry.path().filename().string(), name_prefix)) {
+        return true;
+      }
+    }
+    return false;
+  }
+  if (fs::exists(root / text)) {
+    return true;
+  }
+  for (const char* ext : {".cpp", ".cc", ".h"}) {
+    if (fs::exists(root / (text + ext))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Word-bounded search in the concatenated stripped-code corpus.
+bool CorpusHasWord(const std::string& corpus, const std::string& word) {
+  return FindToken(corpus, word) != std::string::npos;
+}
+
+// A type is "declared" when `class X` / `struct X` / `enum X` / `using X`
+// appears in code (enum class matches via its `class X` substring).
+// Attribute-decorated declarations (`class HF_CAPABILITY("mutex") Mutex`)
+// defeat the keyword pattern, so any word-bounded occurrence of the name in
+// code is accepted as weaker evidence — a renamed type still vanishes from
+// the corpus entirely, which is the drift this rule exists to catch.
+bool CorpusHasType(const std::string& corpus, const std::string& name) {
+  for (const char* keyword : {"class ", "struct ", "enum ", "using "}) {
+    const std::string needle = std::string(keyword) + name;
+    size_t pos = corpus.find(needle);
+    while (pos != std::string::npos) {
+      const bool left_ok = pos == 0 || !IsIdentChar(corpus[pos - 1]);
+      const size_t after = pos + needle.size();
+      const bool right_ok = after >= corpus.size() || !IsIdentChar(corpus[after]);
+      if (left_ok && right_ok) {
+        return true;
+      }
+      pos = corpus.find(needle, pos + 1);
+    }
+  }
+  return FindToken(corpus, name) != std::string::npos;
+}
+
+// Splits `head` ("ClassName::Member", "ClassName::{kA, kB}", possibly
+// hybridflow::-qualified) into the class token and the member tokens.
+// Returns false when the text is not a symbol reference (no `::`, a URL,
+// std::, or non-identifier components).
+bool ParseSymbolRef(const std::string& text, std::string* type_name,
+                    std::vector<std::string>* members) {
+  if (text.find("::") == std::string::npos || text.find("://") != std::string::npos) {
+    return false;
+  }
+  std::string head = text.substr(0, text.find('('));
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    const size_t sep = head.find("::", start);
+    parts.push_back(head.substr(start, sep == std::string::npos ? sep : sep - start));
+    if (sep == std::string::npos) {
+      break;
+    }
+    start = sep + 2;
+  }
+  if (parts.size() < 2 || parts[0] == "std") {
+    return false;
+  }
+  if (parts[0] == "hybridflow") {
+    parts.erase(parts.begin());
+  }
+  if (!IsIdentifier(parts[0])) {
+    return false;
+  }
+  *type_name = parts[0];
+  members->clear();
+  for (size_t i = 1; i < parts.size(); ++i) {
+    const std::string& part = parts[i];
+    if (part.empty()) {
+      continue;  // `Class::` with nothing usable after it.
+    }
+    if (part[0] == '{') {
+      // Brace list `Class::{kA, kB}`: every identifier inside is a member.
+      std::string ident;
+      for (char c : part) {
+        if (IsIdentChar(c)) {
+          ident.push_back(c);
+        } else if (!ident.empty()) {
+          members->push_back(ident);
+          ident.clear();
+        }
+      }
+      if (!ident.empty()) {
+        members->push_back(ident);
+      }
+    } else if (IsIdentifier(part)) {
+      members->push_back(part);
+    } else {
+      return false;  // Templates or operators: out of scope for the rule.
+    }
+  }
+  return true;
+}
+
+void CheckDocRefs(const fs::path& root, const std::string& corpus,
+                  std::vector<Finding>& findings, int* docs_checked) {
+  const fs::path docs_dir = root / "docs";
+  if (!fs::exists(docs_dir)) {
+    return;
+  }
+  for (const auto& entry : fs::directory_iterator(docs_dir)) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".md") {
+      continue;
+    }
+    const std::string rel = fs::relative(entry.path(), root).generic_string();
+    for (const DocRef& ref : ExtractDocRefs(entry.path(), rel)) {
+      if (LooksLikePathRef(ref.text)) {
+        if (!PathRefResolves(root, ref.text)) {
+          findings.push_back({ref.doc, ref.line, "doc-drift",
+                              "path reference `" + ref.text + "` does not resolve"});
+        }
+        continue;
+      }
+      std::string type_name;
+      std::vector<std::string> members;
+      if (!ParseSymbolRef(ref.text, &type_name, &members)) {
+        continue;
+      }
+      if (!CorpusHasType(corpus, type_name)) {
+        findings.push_back({ref.doc, ref.line, "doc-drift",
+                            "`" + ref.text + "`: type '" + type_name +
+                                "' is not declared anywhere in the tree"});
+        continue;
+      }
+      for (const std::string& member : members) {
+        if (!CorpusHasWord(corpus, member)) {
+          findings.push_back({ref.doc, ref.line, "doc-drift",
+                              "`" + ref.text + "`: member '" + member +
+                                  "' does not occur in the tree"});
+        }
+      }
+    }
+    ++*docs_checked;
+  }
+}
+
+// Full lint pass over one tree. Returns findings; `files_checked` counts
+// C++ sources, `docs_checked` counts docs/*.md files scanned for drift.
+std::vector<Finding> LintTree(const fs::path& root, int* files_checked, int* docs_checked) {
   std::vector<Finding> findings;
-  int files_checked = 0;
+  std::string corpus;
   for (const char* top : {"src", "tests", "bench", "tools"}) {
     const fs::path dir = root / top;
     if (!fs::exists(dir)) {
@@ -529,9 +782,115 @@ int main(int argc, char** argv) {
       CheckRawDiagnostics(file, findings);
       CheckThreadConstruction(file, findings);
       CheckAnnotatedSync(file, findings);
-      ++files_checked;
+      for (const std::string& line : file.code) {
+        corpus += line;
+        corpus += '\n';
+      }
+      ++*files_checked;
     }
   }
+  CheckDocRefs(root, corpus, findings, docs_checked);
+  return findings;
+}
+
+// --docs-selftest: the doc-drift rule must accept valid references and
+// flag each kind of stale one (missing path, missing member, missing
+// type) in a synthetic tree — a regression gate on the rule itself.
+int RunDocsSelftest() {
+  const fs::path tree = fs::path("hflint_docs_selftest_tree");
+  fs::remove_all(tree);
+  fs::create_directories(tree / "src/widget");
+  fs::create_directories(tree / "docs");
+  {
+    std::ofstream header(tree / "src/widget/widget.h");
+    header << "#ifndef SRC_WIDGET_WIDGET_H_\n"
+           << "#define SRC_WIDGET_WIDGET_H_\n"
+           << "namespace hybridflow {\n"
+           << "class Widget {\n"
+           << " public:\n"
+           << "  void Frobnicate();\n"
+           << "  int knob_count = 0;\n"
+           << "};\n"
+           << "enum class WidgetMode { kFast, kSlow };\n"
+           << "}  // namespace hybridflow\n"
+           << "#endif  // SRC_WIDGET_WIDGET_H_\n";
+  }
+  {
+    std::ofstream good(tree / "docs/GOOD.md");
+    good << "# Widgets\n\n"
+         << "See `src/widget/widget.h` (also `src/widget/widget.*`) for\n"
+         << "`Widget::Frobnicate`, `Widget::knob_count`, and\n"
+         << "`WidgetMode::{kFast, kSlow}`. `hybridflow::Widget` works too.\n\n"
+         << "```\nfenced blocks are ignored: `src/widget/nonexistent.h`\n```\n";
+  }
+  {
+    std::ofstream stale(tree / "docs/STALE.md");
+    stale << "# Stale\n\n"
+          << "A removed file `src/widget/gadget.h`, a renamed method\n"
+          << "`Widget::Defrobulate`, and a deleted type `Gizmo::Spin`.\n";
+  }
+  int files_checked = 0;
+  int docs_checked = 0;
+  const std::vector<Finding> findings = LintTree(tree, &files_checked, &docs_checked);
+  fs::remove_all(tree);
+  int failures = 0;
+  if (docs_checked != 2) {
+    std::cerr << "selftest: expected 2 docs scanned, got " << docs_checked << "\n";
+    ++failures;
+  }
+  std::vector<std::string> expected = {"src/widget/gadget.h", "Defrobulate", "Gizmo"};
+  for (const Finding& finding : findings) {
+    if (finding.rule != "doc-drift") {
+      std::cerr << "selftest: unexpected non-doc finding " << finding.file << ":"
+                << finding.line << " [" << finding.rule << "] " << finding.message << "\n";
+      ++failures;
+      continue;
+    }
+    if (finding.file != "docs/STALE.md") {
+      std::cerr << "selftest: false positive in " << finding.file << ": " << finding.message
+                << "\n";
+      ++failures;
+      continue;
+    }
+    bool matched = false;
+    for (auto it = expected.begin(); it != expected.end(); ++it) {
+      if (finding.message.find(*it) != std::string::npos) {
+        expected.erase(it);
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      std::cerr << "selftest: unexpected finding: " << finding.message << "\n";
+      ++failures;
+    }
+  }
+  for (const std::string& missing : expected) {
+    std::cerr << "selftest: stale reference '" << missing << "' was NOT flagged\n";
+    ++failures;
+  }
+  if (failures > 0) {
+    std::cerr << "hflint --docs-selftest: " << failures << " failure(s)\n";
+    return 1;
+  }
+  std::cout << "hflint --docs-selftest: ok (3 stale references flagged, 0 false positives)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "--docs-selftest") {
+    return RunDocsSelftest();
+  }
+  const fs::path root = argc > 1 ? fs::path(argv[1]) : fs::path(".");
+  if (!fs::exists(root / "src")) {
+    std::cerr << "hflint: '" << root.string() << "' does not look like the repo root\n";
+    return 2;
+  }
+  int files_checked = 0;
+  int docs_checked = 0;
+  const std::vector<Finding> findings = LintTree(root, &files_checked, &docs_checked);
   for (const Finding& finding : findings) {
     std::cerr << finding.file << ":" << finding.line << ": [" << finding.rule << "] "
               << finding.message << "\n";
@@ -541,6 +900,7 @@ int main(int argc, char** argv) {
               << " files\n";
     return 1;
   }
-  std::cout << "hflint: clean (" << files_checked << " files)\n";
+  std::cout << "hflint: clean (" << files_checked << " files, " << docs_checked
+            << " docs)\n";
   return 0;
 }

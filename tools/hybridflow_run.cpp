@@ -20,6 +20,11 @@
 //   run.arch          mlp | transformer (mlp) — toy policy architecture
 //   run.trace_path    write a Chrome trace JSON of the last iteration
 //   run.checkpoint_path  save a final checkpoint (real compute only)
+//   rollout.mode      static | continuous (static); rollout.policy,
+//   rollout.block_tokens, rollout.num_blocks, rollout.reserve_tokens,
+//   rollout.max_running, rollout.prefill_chunk_tokens (0 = off)
+//   async_pipeline    (false) one-step-off PPO; requires rollout.mode=continuous
+//   async_staleness   (1) staleness-queue depth; 0 degenerates to sync order
 
 #include <cstdlib>
 #include <iostream>
@@ -125,6 +130,16 @@ int Run(const ConfigMap& config) {
   build.rollout.reserve_tokens =
       config.GetInt("rollout.reserve_tokens", build.rollout.reserve_tokens);
   build.rollout.max_running = config.GetInt("rollout.max_running", build.rollout.max_running);
+  build.rollout.prefill_chunk_tokens =
+      config.GetInt("rollout.prefill_chunk_tokens", build.rollout.prefill_chunk_tokens);
+  build.async_pipeline = config.GetBool("async_pipeline", false);
+  build.async_staleness = config.GetInt("async_staleness", build.async_staleness);
+
+  const std::string config_error = ValidateSystemConfig(build);
+  if (!config_error.empty()) {
+    std::cerr << "config error: " << config_error << "\n";
+    std::exit(2);
+  }
 
   std::cout << "system=" << RlhfSystemName(build.system)
             << " algorithm=" << RlhfAlgorithmName(build.algorithm) << " gpus=" << build.num_gpus
@@ -167,7 +182,20 @@ int Run(const ConfigMap& config) {
       std::cout << StrFormat(", reward %.3f, toxicity %.3f", last.mean_reward,
                              last.toxicity_rate);
     }
+    if (build.async_pipeline) {
+      std::cout << StrFormat(", overlap %.0f%%, staleness %lld", 100.0 * last.overlap_fraction,
+                             static_cast<long long>(last.async_staleness));
+    }
     std::cout << "\n";
+  }
+  // Async pipeline: flush the staleness queue so every generated rollout is
+  // trained on (the final iterations run without issuing new generations).
+  while (instance.program->pending_experience() > 0) {
+    const IterationMetrics drained = instance.program->DrainIteration();
+    std::cout << StrFormat("drain:   %s, staleness %lld, %lld batch(es) left\n",
+                           HumanSeconds(drained.iteration_seconds).c_str(),
+                           static_cast<long long>(drained.async_staleness),
+                           static_cast<long long>(drained.async_queue_depth));
   }
   std::cout << StrFormat("RESULT: mean throughput %.0f tokens/sec, utilization %.0f%%\n",
                          throughput_sum / iterations,
@@ -186,6 +214,13 @@ int Run(const ConfigMap& config) {
         static_cast<long long>(sim.steps), static_cast<long long>(sim.admissions),
         static_cast<long long>(sim.preemptions), static_cast<long long>(sim.max_running_batch),
         100.0 * sim.kv_peak_utilization);
+    if (build.rollout.prefill_chunk_tokens > 0) {
+      std::cout << StrFormat(
+          "chunked prefill: %lld partial chunk(s), max %lld prefill tokens/step (budget %lld)\n",
+          static_cast<long long>(sim.prefill_chunks),
+          static_cast<long long>(sim.max_prefill_tokens_step),
+          static_cast<long long>(build.rollout.prefill_chunk_tokens));
+    }
   }
 
   const std::string trace_path = config.GetString("run.trace_path");
