@@ -1,0 +1,223 @@
+// Kernel-layer benchmark: times the deterministic parallel GEMM
+// forward+backward path across tensor.threads settings and verifies the
+// bitwise-determinism contract (docs/KERNELS.md) on every configuration.
+// Two reference rows keep the numbers honest:
+//
+//   * naive_serial      — a textbook triple-loop GEMM fwd+bwd, the shape of
+//                         the pre-refactor kernels, timed on one thread.
+//   * matmul_nt_composed — MatMul(a, Transpose(b)) with the transpose
+//                         materialized, against the fused MatMulNT.
+//
+// Target: >= 3x gemm_fwd_bwd speedup at 8 threads vs 1 on hardware with
+// >= 8 cores. Single-core containers will report ~1x (the runtime falls
+// back to serial chunk execution); the determinism column must hold
+// everywhere, and the bench exits nonzero if it does not.
+//
+// Emits BENCH_kernels.json with one row per (op, threads) configuration.
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/strings.h"
+#include "src/obs/telemetry.h"
+#include "src/tensor/ops.h"
+#include "src/tensor/parallel.h"
+
+namespace hybridflow {
+namespace {
+
+// Non-square so row/column indexing bugs cannot cancel out.
+constexpr int64_t kM = 256;
+constexpr int64_t kK = 192;
+constexpr int64_t kN = 224;
+constexpr int kReps = 8;
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct GemmRun {
+  double ms_per_iter = 0.0;
+  std::vector<float> out;
+  std::vector<float> da;
+  std::vector<float> db;
+};
+
+bool BitwiseEq(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+// One full training-style GEMM: C = A*B forward, then dA/dB via Backward.
+// Gradients accumulate across reps; that accumulation is itself part of
+// the determinism surface being checked.
+GemmRun RunGemmFwdBwd(int threads) {
+  SetTensorThreads(threads);
+  Rng rng(123);
+  Tensor a = Tensor::Randn({kM, kK}, rng, 0.5f);
+  Tensor b = Tensor::Randn({kK, kN}, rng, 0.5f);
+  GemmRun run;
+  const double start = NowMs();
+  for (int rep = 0; rep < kReps; ++rep) {
+    Tensor c = MatMul(a, b);
+    Sum(c).Backward();
+    if (rep == kReps - 1) {
+      run.out = c.data();
+    }
+  }
+  run.ms_per_iter = (NowMs() - start) / kReps;
+  run.da = a.grad();
+  run.db = b.grad();
+  SetTensorThreads(0);
+  return run;
+}
+
+// The pre-refactor kernel shape: serial triple loops, no tiling, no pool.
+// dC is all-ones (matches Sum(c).Backward()), so dA = rowsum-free dC*B^T
+// and dB = A^T*dC reduce to plain accumulations — still O(mkn) each.
+GemmRun RunNaiveSerial() {
+  Rng rng(123);
+  Tensor a = Tensor::Randn({kM, kK}, rng, 0.5f);
+  Tensor b = Tensor::Randn({kK, kN}, rng, 0.5f);
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  std::vector<float> c(static_cast<size_t>(kM * kN), 0.0f);
+  std::vector<float> da(static_cast<size_t>(kM * kK), 0.0f);
+  std::vector<float> db(static_cast<size_t>(kK * kN), 0.0f);
+  GemmRun run;
+  const double start = NowMs();
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (int64_t i = 0; i < kM; ++i) {
+      for (int64_t j = 0; j < kN; ++j) {
+        float acc = 0.0f;
+        for (int64_t p = 0; p < kK; ++p) {
+          acc += pa[i * kK + p] * pb[p * kN + j];
+        }
+        c[static_cast<size_t>(i * kN + j)] = acc;
+      }
+    }
+    for (int64_t i = 0; i < kM; ++i) {
+      for (int64_t p = 0; p < kK; ++p) {
+        float acc = 0.0f;
+        for (int64_t j = 0; j < kN; ++j) {
+          acc += pb[p * kN + j];  // dC == 1 everywhere.
+        }
+        da[static_cast<size_t>(i * kK + p)] += acc;
+      }
+    }
+    for (int64_t p = 0; p < kK; ++p) {
+      for (int64_t j = 0; j < kN; ++j) {
+        float acc = 0.0f;
+        for (int64_t i = 0; i < kM; ++i) {
+          acc += pa[i * kK + p];
+        }
+        db[static_cast<size_t>(p * kN + j)] += acc;
+      }
+    }
+  }
+  run.ms_per_iter = (NowMs() - start) / kReps;
+  run.out = std::move(c);
+  run.da = std::move(da);
+  run.db = std::move(db);
+  return run;
+}
+
+// Times `fn` (which must leave its result in `out`) and returns ms/iter.
+template <typename Fn>
+double TimeReps(Fn&& fn) {
+  const double start = NowMs();
+  for (int rep = 0; rep < kReps; ++rep) {
+    fn();
+  }
+  return (NowMs() - start) / kReps;
+}
+
+int Main() {
+  BenchReport report("kernels");
+  bool deterministic = true;
+
+  // --- GEMM fwd+bwd across thread counts ----------------------------------
+  std::cout << StrFormat("gemm fwd+bwd, A[%d,%d] * B[%d,%d], %d reps\n",
+                         static_cast<int>(kM), static_cast<int>(kK), static_cast<int>(kK),
+                         static_cast<int>(kN), kReps);
+  std::cout << "op              | threads | ms/iter | speedup | bitwise==1t\n";
+  const GemmRun baseline = RunGemmFwdBwd(1);
+  for (int threads : {1, 2, 4, 8}) {
+    const GemmRun run = threads == 1 ? baseline : RunGemmFwdBwd(threads);
+    const bool bitwise = BitwiseEq(run.out, baseline.out) && BitwiseEq(run.da, baseline.da) &&
+                         BitwiseEq(run.db, baseline.db);
+    deterministic = deterministic && bitwise;
+    const double speedup = run.ms_per_iter > 0.0 ? baseline.ms_per_iter / run.ms_per_iter : 0.0;
+    std::cout << StrFormat("%-15s | %7d | %7.2f | %6.2fx | %s\n", "gemm_fwd_bwd", threads,
+                           run.ms_per_iter, speedup, bitwise ? "yes" : "NO");
+    report.AddRow()
+        .Text("op", "gemm_fwd_bwd")
+        .Number("threads", threads)
+        .Number("m", static_cast<double>(kM))
+        .Number("k", static_cast<double>(kK))
+        .Number("n", static_cast<double>(kN))
+        .Number("ms_per_iter", run.ms_per_iter)
+        .Number("speedup_vs_1t", speedup)
+        .Number("bitwise_matches_1t", bitwise ? 1.0 : 0.0);
+  }
+
+  // --- Naive serial reference ---------------------------------------------
+  const GemmRun naive = RunNaiveSerial();
+  std::cout << StrFormat("%-15s | %7d | %7.2f | %6.2fx | %s\n", "naive_serial", 1,
+                         naive.ms_per_iter,
+                         naive.ms_per_iter > 0.0 ? baseline.ms_per_iter / naive.ms_per_iter : 0.0,
+                         "n/a");
+  report.AddRow()
+      .Text("op", "naive_serial")
+      .Number("threads", 1)
+      .Number("ms_per_iter", naive.ms_per_iter)
+      .Number("tiled_1t_speedup_vs_naive",
+              baseline.ms_per_iter > 0.0 ? naive.ms_per_iter / baseline.ms_per_iter : 0.0);
+
+  // --- Fused MatMulNT vs materialized transpose ---------------------------
+  {
+    SetTensorThreads(0);
+    Rng rng(321);
+    Tensor q = Tensor::Randn({kM, kK}, rng, 0.5f, /*requires_grad=*/false);
+    Tensor k = Tensor::Randn({kN, kK}, rng, 0.5f, /*requires_grad=*/false);
+    std::vector<float> fused_out;
+    const double fused_ms = TimeReps([&] { fused_out = MatMulNT(q, k).data(); });
+    std::vector<float> composed_out;
+    const double composed_ms =
+        TimeReps([&] { composed_out = MatMul(q, Transpose(k)).data(); });
+    const bool bitwise = BitwiseEq(fused_out, composed_out);
+    deterministic = deterministic && bitwise;
+    std::cout << StrFormat("%-15s | %7s | %7.2f | %6.2fx | %s  (vs composed %.2f ms)\n",
+                           "matmul_nt_fused", "auto", fused_ms,
+                           fused_ms > 0.0 ? composed_ms / fused_ms : 0.0, bitwise ? "yes" : "NO",
+                           composed_ms);
+    report.AddRow()
+        .Text("op", "matmul_nt_fused")
+        .Number("ms_per_iter", fused_ms)
+        .Number("composed_transpose_ms_per_iter", composed_ms)
+        .Number("speedup_vs_composed", fused_ms > 0.0 ? composed_ms / fused_ms : 0.0)
+        .Number("bitwise_matches_composed", bitwise ? 1.0 : 0.0);
+  }
+
+  if (!report.WriteJson()) {
+    std::cerr << "failed to write " << report.FilePath() << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << report.FilePath() << " (" << report.size() << " rows)\n";
+  if (!deterministic) {
+    std::cerr << "bitwise determinism violated across thread counts\n";
+    return 1;
+  }
+  std::cout << "determinism: all configurations bitwise-identical\n"
+               "target: >= 3x gemm_fwd_bwd at 8 threads vs 1 (requires >= 8 cores)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace hybridflow
+
+int main() { return hybridflow::Main(); }

@@ -26,12 +26,17 @@
 #include "src/obs/telemetry.h"
 #include "src/obs/trace.h"
 #include "src/rlhf/pretraining.h"
+#include "src/tensor/parallel.h"
 
 int main(int argc, char** argv) {
   using namespace hybridflow;
   const int rlhf_iterations = argc > 1 ? std::atoi(argv[1]) : 25;
   const AlignmentTask task;
   WallclockTracer::Global().SetEnabled(true);
+  // The data plane emits one span per GEMM; decimate the tensor category
+  // 16:1 so the dual-plane trace stays small while every other category
+  // (controller dispatch, worker compute, resharding) stays complete.
+  WallclockTracer::Global().SetCategorySampling("tensor", 16);
 
   // --- Stage A: SFT ---------------------------------------------------------
   PolicyNetConfig actor_config;
@@ -120,17 +125,42 @@ int main(int argc, char** argv) {
   program.SetTelemetrySink(telemetry.ok() ? &telemetry : nullptr);
 
   std::cout << "Stage C (RLHF):    PPO driven by the learned reward model\n";
-  std::cout << "iter | learned-RM reward | ground-truth toxicity | coherence\n";
+  std::cout << "iter | learned-RM reward | ground-truth toxicity | coherence | tokens/s\n";
+  double last_tokens_per_sec = 0.0;
   for (int i = 0; i < rlhf_iterations; ++i) {
     IterationMetrics metrics = program.RunIteration();
+    last_tokens_per_sec = metrics.throughput_tokens_per_sec;
     if (i % 5 == 0 || i == rlhf_iterations - 1) {
-      std::cout << StrFormat("%4d | %17.3f | %21.4f | %9.3f\n", i, metrics.mean_reward,
-                             metrics.toxicity_rate, metrics.coherence_rate);
+      std::cout << StrFormat("%4d | %17.3f | %21.4f | %9.3f | %8.0f\n", i, metrics.mean_reward,
+                             metrics.toxicity_rate, metrics.coherence_rate,
+                             metrics.throughput_tokens_per_sec);
     }
   }
   std::cout << "\nThe actor optimizes the *learned* reward; because the reward model\n"
                "ranks like the ground truth, toxicity falls and coherence rises even\n"
                "though the RL loop never sees the true task reward.\n";
+
+  // --- Kernel wall-time stats -------------------------------------------------
+  // The tensor kernels record one `tensor.kernel_us` histogram per op
+  // label (docs/KERNELS.md); summarize them next to the simulated
+  // throughput so kernel cost and tokens/s read side by side.
+  std::cout << StrFormat("\nKernel wall-time (data plane, %d kernel workers; final sim "
+                         "throughput %.0f tokens/s):\n",
+                         TensorThreads(), last_tokens_per_sec);
+  std::cout << "op             |    calls | total ms | mean us\n";
+  const std::vector<double> kernel_bounds = ExponentialBuckets(1.0, 4.0, 10);
+  for (const char* op : {"matmul", "matmul_nt", "matmul_bwd", "matmul_nt_bwd", "layernorm",
+                         "layernorm_bwd", "log_softmax", "log_softmax_bwd", "elementwise",
+                         "elementwise_bwd", "adam_step"}) {
+    const Histogram& h = MetricsRegistry::Global().GetHistogram("tensor.kernel_us",
+                                                                kernel_bounds, {{"op", op}});
+    if (h.TotalCount() == 0) {
+      continue;
+    }
+    std::cout << StrFormat("%-14s | %8d | %8.1f | %7.2f\n", op,
+                           static_cast<int>(h.TotalCount()), h.Sum() / 1000.0,
+                           h.Sum() / static_cast<double>(h.TotalCount()));
+  }
 
   // --- Observability artifacts ------------------------------------------------
   if (WriteDualPlaneTrace(controller.cluster(), "full_pipeline_trace.json")) {

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/tensor/parallel.h"
 
 namespace hybridflow {
 
@@ -461,12 +462,16 @@ std::string ValidateSystemConfig(const SystemBuildConfig& config) {
   if (config.async_staleness < 0) {
     return "async_staleness must be >= 0";
   }
+  if (config.tensor_threads < 0) {
+    return "tensor.threads must be >= 0 (0 = auto)";
+  }
   return "";
 }
 
 RlhfSystemInstance BuildSystem(const SystemBuildConfig& config) {
   const std::string config_error = ValidateSystemConfig(config);
   HF_CHECK_MSG(config_error.empty(), config_error);
+  SetTensorThreads(config.tensor_threads);
   RlhfSystemInstance instance;
   instance.controller = std::make_unique<Controller>(
       ClusterSpec::WithGpus(config.num_gpus, config.gpus_per_node));

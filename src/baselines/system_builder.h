@@ -62,6 +62,10 @@ struct SystemBuildConfig {
   // rollout.mode = static.
   bool async_pipeline = false;
   int64_t async_staleness = 1;
+  // Worker count for the data-plane tensor kernels (`tensor.threads`
+  // config key); 0 = auto (the shared pool size). Any value yields
+  // bitwise-identical numerics — see docs/KERNELS.md.
+  int tensor_threads = 0;
 };
 
 struct RlhfSystemInstance {

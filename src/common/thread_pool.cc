@@ -31,7 +31,13 @@ Counter& TasksCompletedCounter() {
   return counter;
 }
 
+// Set for the lifetime of every WorkerLoop; thread_local so it needs no
+// synchronization and covers workers of every pool instance.
+thread_local bool t_on_pool_thread = false;
+
 }  // namespace
+
+bool ThreadPool::OnPoolThread() { return t_on_pool_thread; }
 
 ThreadPool::ThreadPool(int num_threads) {
   HF_CHECK_GT(num_threads, 0);
@@ -53,6 +59,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::WorkerLoop() {
+  t_on_pool_thread = true;
   for (;;) {
     QueuedTask task;
     {

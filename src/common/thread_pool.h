@@ -43,6 +43,13 @@ class ThreadPool {
   // Process-wide pool sized to the hardware concurrency (at least 2).
   static ThreadPool& Shared();
 
+  // True when the calling thread is a worker of ANY ThreadPool. Library
+  // code that fans work out onto a pool (the tensor kernels) checks this
+  // and falls back to caller-runs execution, because a pool task that
+  // blocks waiting on tasks queued behind it would deadlock a saturated
+  // pool.
+  static bool OnPoolThread();
+
  private:
   void WorkerLoop() HF_EXCLUDES(mutex_);
 

@@ -4,7 +4,19 @@
 #include <cmath>
 #include <utility>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/tensor/parallel.h"
+
 namespace hybridflow {
+
+namespace {
+
+// Flops-equivalent estimate for one Adam element update (clip, two moment
+// EMAs, bias correction, rsqrt step).
+constexpr int64_t kAdamFlopsPerElem = 12;
+
+}  // namespace
 
 Adam::Adam(std::vector<Tensor> params, AdamConfig config)
     : params_(std::move(params)), config_(config) {
@@ -18,6 +30,12 @@ Adam::Adam(std::vector<Tensor> params, AdamConfig config)
 }
 
 void Adam::Step() {
+  static Histogram& step_us = MetricsRegistry::Global().GetHistogram(
+      "tensor.kernel_us", ExponentialBuckets(1.0, 4.0, 10), {{"op", "adam_step"}});
+  static Counter& step_flops =
+      MetricsRegistry::Global().GetCounter("tensor.flops_total", {{"op", "adam_step"}});
+  const double start_us = WallclockTracer::NowMicros();
+  int64_t total_elems = 0;
   steps_ += 1;
   const float bias1 = 1.0f - std::pow(config_.beta1, static_cast<float>(steps_));
   const float bias2 = 1.0f - std::pow(config_.beta2, static_cast<float>(steps_));
@@ -27,19 +45,29 @@ void Adam::Step() {
     node.EnsureGrad();
     std::vector<float>& m = m_[p];
     std::vector<float>& v = v_[p];
-    for (size_t i = 0; i < node.data.size(); ++i) {
-      float g = node.grad[i];
-      if (config_.grad_clip > 0.0f) {
-        g = std::clamp(g, -config_.grad_clip, config_.grad_clip);
-      }
-      m[i] = config_.beta1 * m[i] + (1.0f - config_.beta1) * g;
-      v[i] = config_.beta2 * v[i] + (1.0f - config_.beta2) * g * g;
-      const float m_hat = m[i] / bias1;
-      const float v_hat = v[i] / bias2;
-      node.data[i] -= config_.lr * m_hat / (std::sqrt(v_hat) + config_.epsilon);
-    }
+    const int64_t size = static_cast<int64_t>(node.data.size());
+    total_elems += size;
+    // Each element's update is independent, so chunks of the parameter
+    // are thread-count invariant by construction.
+    ParallelChunks(size, GetKernelTuning().elem_grain, size * kAdamFlopsPerElem,
+                   [&](int64_t begin, int64_t end) {
+                     for (int64_t i = begin; i < end; ++i) {
+                       const size_t s = static_cast<size_t>(i);
+                       float g = node.grad[s];
+                       if (config_.grad_clip > 0.0f) {
+                         g = std::clamp(g, -config_.grad_clip, config_.grad_clip);
+                       }
+                       m[s] = config_.beta1 * m[s] + (1.0f - config_.beta1) * g;
+                       v[s] = config_.beta2 * v[s] + (1.0f - config_.beta2) * g * g;
+                       const float m_hat = m[s] / bias1;
+                       const float v_hat = v[s] / bias2;
+                       node.data[s] -= config_.lr * m_hat / (std::sqrt(v_hat) + config_.epsilon);
+                     }
+                   });
   }
   ZeroGrad();
+  step_us.Observe(WallclockTracer::NowMicros() - start_us);
+  step_flops.Increment(static_cast<double>(total_elems * kAdamFlopsPerElem));
 }
 
 double Adam::GradNorm() const {

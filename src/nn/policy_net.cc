@@ -64,7 +64,9 @@ Tensor PolicyNet::TransformerSequence(const std::vector<int64_t>& tokens) const 
     Tensor q = MatMul(normed, block.wq);
     Tensor k = MatMul(normed, block.wk);
     Tensor v = MatMul(normed, block.wv);
-    Tensor scores = Scale(MatMul(q, Transpose(k)), attention_scale);
+    // Fused q*k^T: no materialized Transpose(k); forward values are
+    // bitwise identical to the composed form.
+    Tensor scores = Scale(MatMulNT(q, k), attention_scale);
     Tensor attention = MatMul(Softmax(scores), v);
     x = Add(x, MatMul(attention, block.wo));
     // Pre-norm MLP with a residual connection.

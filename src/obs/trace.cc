@@ -12,8 +12,31 @@ WallclockTracer& WallclockTracer::Global() {
   return *tracer;
 }
 
-void WallclockTracer::Record(WallSpan span) {
+void WallclockTracer::SetCategorySampling(const std::string& category, uint64_t every) {
   MutexLock lock(mutex_);
+  if (every <= 1 || category.empty()) {
+    sampled_category_.clear();
+    sample_every_ = 1;
+  } else {
+    sampled_category_ = category;
+    sample_every_ = every;
+  }
+  sample_seen_ = 0;
+}
+
+void WallclockTracer::Record(WallSpan span) {
+  // Threshold check is lock-free so decimated hot spans never touch the
+  // mutex.
+  if (span.duration_us < min_duration_us_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  MutexLock lock(mutex_);
+  if (sample_every_ > 1 && span.category == sampled_category_) {
+    // Keep the 1st, (every+1)th, ... span of the sampled category.
+    if ((sample_seen_++ % sample_every_) != 0) {
+      return;
+    }
+  }
   spans_.push_back(std::move(span));
 }
 

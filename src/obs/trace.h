@@ -45,8 +45,24 @@ class WallclockTracer {
   void SetEnabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
-  // Appends a completed span (thread-safe). Called by TraceScope; callers
-  // with externally measured intervals may also record directly.
+  // Decimation for hot spans (the tensor kernels fire one span per GEMM):
+  // spans shorter than `min_duration_us` are dropped at Record time.
+  // Checked lock-free; 0 (the default) keeps everything.
+  void SetMinDurationUs(double min_duration_us) {
+    min_duration_us_.store(min_duration_us, std::memory_order_relaxed);
+  }
+  double min_duration_us() const { return min_duration_us_.load(std::memory_order_relaxed); }
+
+  // Keeps 1 of every `every` spans whose category equals `category`
+  // (counted per category rule, in Record order); other categories are
+  // untouched. `every` <= 1 clears the rule. One rule at a time — enough
+  // to decimate the "tensor" category while the controller/worker spans
+  // stay complete.
+  void SetCategorySampling(const std::string& category, uint64_t every) HF_EXCLUDES(mutex_);
+
+  // Appends a completed span (thread-safe) unless a decimation rule drops
+  // it. Called by TraceScope; callers with externally measured intervals
+  // may also record directly.
   void Record(WallSpan span) HF_EXCLUDES(mutex_);
 
   std::vector<WallSpan> Snapshot() const HF_EXCLUDES(mutex_);
@@ -60,8 +76,13 @@ class WallclockTracer {
 
  private:
   std::atomic<bool> enabled_{false};
+  std::atomic<double> min_duration_us_{0.0};
   mutable Mutex mutex_;
   std::vector<WallSpan> spans_ HF_GUARDED_BY(mutex_);
+  // Category-sampling rule; empty category means no rule.
+  std::string sampled_category_ HF_GUARDED_BY(mutex_);
+  uint64_t sample_every_ HF_GUARDED_BY(mutex_) = 1;
+  uint64_t sample_seen_ HF_GUARDED_BY(mutex_) = 0;
 };
 
 // RAII span: measures construction-to-destruction on the global tracer.

@@ -3,48 +3,136 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/tensor/parallel.h"
 
 namespace hybridflow {
 
 namespace {
 
+// --- Kernel instrumentation ------------------------------------------------
+// One wall-time histogram plus a flops-equivalent counter per op label.
+// Registry handles are pointer-stable for the process lifetime, so each
+// kernel (including the backward lambdas) caches its series in a
+// function-local static.
+struct KernelSeries {
+  Histogram& time_us;
+  Counter& flops;
+};
+
+KernelSeries MakeKernelSeries(const char* op) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  return KernelSeries{
+      registry.GetHistogram("tensor.kernel_us", ExponentialBuckets(1.0, 4.0, 10), {{"op", op}}),
+      registry.GetCounter("tensor.flops_total", {{"op", op}})};
+}
+
+// RAII: records one kernel invocation's wall time and flops estimate.
+class KernelTimer {
+ public:
+  KernelTimer(const KernelSeries& series, int64_t flops)
+      : series_(series), flops_(flops), start_us_(WallclockTracer::NowMicros()) {}
+  ~KernelTimer() {
+    series_.time_us.Observe(WallclockTracer::NowMicros() - start_us_);
+    series_.flops.Increment(static_cast<double>(flops_));
+  }
+  KernelTimer(const KernelTimer&) = delete;
+  KernelTimer& operator=(const KernelTimer&) = delete;
+
+ private:
+  const KernelSeries& series_;
+  int64_t flops_;
+  double start_us_;
+};
+
+// Flops-equivalent per-element costs for the generic elementwise templates
+// and the row-wise kernels. Fixed estimates (a transcendental counts the
+// same as an add) so the counters stay input-independent.
+constexpr int64_t kUnaryFlopsPerElem = 4;
+constexpr int64_t kBinaryFlopsPerElem = 6;
+constexpr int64_t kLayerNormFwdFlopsPerElem = 8;
+constexpr int64_t kLayerNormBwdFlopsPerElem = 14;
+constexpr int64_t kSoftmaxFwdFlopsPerElem = 5;
+constexpr int64_t kSoftmaxBwdFlopsPerElem = 4;
+
+// Fixed (NON-tunable) row grain for cross-row reductions (LayerNorm
+// dgamma/dbeta). The tunable KernelTuning grains may change chunk shapes
+// freely because chunks own disjoint outputs; a cross-row reduction's
+// partial-sum association instead depends on its chunking, so it uses this
+// constant — keeping results bitwise invariant under tuning sweeps too.
+constexpr int64_t kReduceRowGrain = 32;
+
 // Wires a simple elementwise unary op: out[i] = fwd(a[i]); da[i] += dOut[i] * dfn(a[i], out[i]).
+// Chunks of elem_grain elements run in parallel; each element is owned by
+// exactly one chunk, so results are thread-count invariant.
 template <typename Fwd, typename Dfn>
 Tensor Unary(const Tensor& a, Fwd fwd, Dfn dfn) {
+  static const KernelSeries series = MakeKernelSeries("elementwise");
   const std::vector<float>& x = a.data();
+  const int64_t size = static_cast<int64_t>(x.size());
+  const int64_t flops = size * kUnaryFlopsPerElem;
   std::vector<float> y(x.size());
-  for (size_t i = 0; i < x.size(); ++i) {
-    y[i] = fwd(x[i]);
+  {
+    KernelTimer timer(series, flops);
+    ParallelChunks(size, GetKernelTuning().elem_grain, flops, [&](int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) {
+        y[static_cast<size_t>(i)] = fwd(x[static_cast<size_t>(i)]);
+      }
+    });
   }
   TensorNodePtr an = a.node();
   return MakeResult(a.shape(), std::move(y), {an}, [an, dfn](TensorNode& out) {
+    static const KernelSeries series_bwd = MakeKernelSeries("elementwise_bwd");
     an->EnsureGrad();
-    for (size_t i = 0; i < out.data.size(); ++i) {
-      an->grad[i] += out.grad[i] * dfn(an->data[i], out.data[i]);
-    }
+    const int64_t size = static_cast<int64_t>(out.data.size());
+    const int64_t flops = size * kUnaryFlopsPerElem;
+    KernelTimer timer(series_bwd, flops);
+    ParallelChunks(size, GetKernelTuning().elem_grain, flops, [&](int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) {
+        const size_t s = static_cast<size_t>(i);
+        an->grad[s] += out.grad[s] * dfn(an->data[s], out.data[s]);
+      }
+    });
   });
 }
 
-// Wires an elementwise binary op with equal shapes.
+// Wires an elementwise binary op with equal shapes. Same chunk-ownership
+// scheme as Unary; a chunk writes both parents' grads for its elements.
 template <typename Fwd, typename DA, typename DB>
 Tensor Binary(const Tensor& a, const Tensor& b, Fwd fwd, DA da_fn, DB db_fn) {
+  static const KernelSeries series = MakeKernelSeries("elementwise");
   HF_CHECK(a.shape() == b.shape());
   const std::vector<float>& x = a.data();
   const std::vector<float>& z = b.data();
+  const int64_t size = static_cast<int64_t>(x.size());
+  const int64_t flops = size * kBinaryFlopsPerElem;
   std::vector<float> y(x.size());
-  for (size_t i = 0; i < x.size(); ++i) {
-    y[i] = fwd(x[i], z[i]);
+  {
+    KernelTimer timer(series, flops);
+    ParallelChunks(size, GetKernelTuning().elem_grain, flops, [&](int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) {
+        const size_t s = static_cast<size_t>(i);
+        y[s] = fwd(x[s], z[s]);
+      }
+    });
   }
   TensorNodePtr an = a.node();
   TensorNodePtr bn = b.node();
   return MakeResult(a.shape(), std::move(y), {an, bn}, [an, bn, da_fn, db_fn](TensorNode& out) {
+    static const KernelSeries series_bwd = MakeKernelSeries("elementwise_bwd");
     an->EnsureGrad();
     bn->EnsureGrad();
-    for (size_t i = 0; i < out.data.size(); ++i) {
-      an->grad[i] += out.grad[i] * da_fn(an->data[i], bn->data[i]);
-      bn->grad[i] += out.grad[i] * db_fn(an->data[i], bn->data[i]);
-    }
+    const int64_t size = static_cast<int64_t>(out.data.size());
+    const int64_t flops = size * kBinaryFlopsPerElem;
+    KernelTimer timer(series_bwd, flops);
+    ParallelChunks(size, GetKernelTuning().elem_grain, flops, [&](int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) {
+        const size_t s = static_cast<size_t>(i);
+        an->grad[s] += out.grad[s] * da_fn(an->data[s], bn->data[s]);
+        bn->grad[s] += out.grad[s] * db_fn(an->data[s], bn->data[s]);
+      }
+    });
   });
 }
 
@@ -52,6 +140,7 @@ Tensor Binary(const Tensor& a, const Tensor& b, Fwd fwd, DA da_fn, DB db_fn) {
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   HF_TRACE_SCOPE("tensor.matmul", "tensor");
+  static const KernelSeries series = MakeKernelSeries("matmul");
   HF_CHECK_EQ(a.ndim(), 2);
   HF_CHECK_EQ(b.ndim(), 2);
   const int64_t m = a.dim(0);
@@ -61,48 +150,234 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   std::vector<float> y(static_cast<size_t>(m * n), 0.0f);
   const std::vector<float>& x = a.data();
   const std::vector<float>& w = b.data();
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t p = 0; p < k; ++p) {
-      const float xi = x[static_cast<size_t>(i * k + p)];
-      if (xi == 0.0f) {
-        continue;
+  const KernelTuning tuning = GetKernelTuning();
+  const int64_t fwd_flops = 2 * m * k * n;
+  {
+    KernelTimer timer(series, fwd_flops);
+    // Row-partitioned, k-blocked: a chunk owns output rows [i0, i1).
+    // k-blocks advance in order and p ascends within a block, so every
+    // y[i,j] accumulates over p in ascending order regardless of the row
+    // grain, the k block, or the thread count.
+    ParallelChunks(m, tuning.gemm_row_grain, fwd_flops, [&](int64_t i0, int64_t i1) {
+      for (int64_t p0 = 0; p0 < k; p0 += tuning.gemm_k_block) {
+        const int64_t p1 = std::min(k, p0 + tuning.gemm_k_block);
+        for (int64_t i = i0; i < i1; ++i) {
+          const float* x_row = x.data() + i * k;
+          float* y_row = y.data() + i * n;
+          for (int64_t p = p0; p < p1; ++p) {
+            const float xi = x_row[p];
+            const float* w_row = w.data() + p * n;
+            for (int64_t j = 0; j < n; ++j) {
+              y_row[j] += xi * w_row[j];
+            }
+          }
+        }
       }
-      const size_t w_row = static_cast<size_t>(p * n);
-      const size_t y_row = static_cast<size_t>(i * n);
-      for (int64_t j = 0; j < n; ++j) {
-        y[y_row + static_cast<size_t>(j)] += xi * w[w_row + static_cast<size_t>(j)];
-      }
-    }
+    });
   }
   TensorNodePtr an = a.node();
   TensorNodePtr bn = b.node();
   return MakeResult({m, n}, std::move(y), {an, bn}, [an, bn, m, k, n](TensorNode& out) {
+    static const KernelSeries series_bwd = MakeKernelSeries("matmul_bwd");
     an->EnsureGrad();
     bn->EnsureGrad();
-    // dA = dC * B^T.
-    for (int64_t i = 0; i < m; ++i) {
-      for (int64_t p = 0; p < k; ++p) {
-        float acc = 0.0f;
-        for (int64_t j = 0; j < n; ++j) {
-          acc += out.grad[static_cast<size_t>(i * n + j)] *
-                 bn->data[static_cast<size_t>(p * n + j)];
-        }
-        an->grad[static_cast<size_t>(i * k + p)] += acc;
-      }
-    }
-    // dB = A^T * dC.
-    for (int64_t p = 0; p < k; ++p) {
-      for (int64_t i = 0; i < m; ++i) {
-        const float xi = an->data[static_cast<size_t>(i * k + p)];
-        if (xi == 0.0f) {
-          continue;
-        }
-        for (int64_t j = 0; j < n; ++j) {
-          bn->grad[static_cast<size_t>(p * n + j)] +=
-              xi * out.grad[static_cast<size_t>(i * n + j)];
+    const KernelTuning tuning = GetKernelTuning();
+    const int64_t bwd_flops = 4 * m * k * n;
+    KernelTimer timer(series_bwd, bwd_flops);
+    // dA = dC * B^T: a chunk owns rows of A; each dA[i,p] is one dot
+    // product with the j-sum ascending.
+    ParallelChunks(m, tuning.gemm_row_grain, bwd_flops / 2, [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) {
+        const float* g_row = out.grad.data() + i * n;
+        float* da_row = an->grad.data() + i * k;
+        for (int64_t p = 0; p < k; ++p) {
+          const float* b_row = bn->data.data() + p * n;
+          float acc = 0.0f;
+          for (int64_t j = 0; j < n; ++j) {
+            acc += g_row[j] * b_row[j];
+          }
+          da_row[p] += acc;
         }
       }
-    }
+    });
+    // dB = A^T * dC: a chunk owns rows of B (the k dimension); each
+    // dB[p,j] accumulates over i ascending.
+    ParallelChunks(k, tuning.gemm_row_grain, bwd_flops / 2, [&](int64_t p0, int64_t p1) {
+      for (int64_t p = p0; p < p1; ++p) {
+        float* db_row = bn->grad.data() + p * n;
+        for (int64_t i = 0; i < m; ++i) {
+          const float xi = an->data[static_cast<size_t>(i * k + p)];
+          const float* g_row = out.grad.data() + i * n;
+          for (int64_t j = 0; j < n; ++j) {
+            db_row[j] += xi * g_row[j];
+          }
+        }
+      }
+    });
+  });
+}
+
+Tensor MatMulNT(const Tensor& a, const Tensor& b) {
+  HF_TRACE_SCOPE("tensor.matmul_nt", "tensor");
+  static const KernelSeries series = MakeKernelSeries("matmul_nt");
+  HF_CHECK_EQ(a.ndim(), 2);
+  HF_CHECK_EQ(b.ndim(), 2);
+  const int64_t m = a.dim(0);
+  const int64_t k = a.dim(1);
+  HF_CHECK_EQ(b.dim(1), k);
+  const int64_t n = b.dim(0);
+  std::vector<float> y(static_cast<size_t>(m * n));
+  const std::vector<float>& x = a.data();
+  const std::vector<float>& w = b.data();
+  const KernelTuning tuning = GetKernelTuning();
+  const int64_t fwd_flops = 2 * m * k * n;
+  {
+    KernelTimer timer(series, fwd_flops);
+    // Both operands are row-major along the shared dimension, so each
+    // output element is one contiguous dot product (p ascending — the
+    // same per-element order as MatMul(a, Transpose(b)), hence bitwise
+    // identical to it).
+    // Panel packing: small tiles of B are copied transposed into a stack
+    // buffer so the inner loop is a contiguous axpy over j (SIMD-friendly,
+    // unlike a scalar dot chain). For any fixed (i, j) the p index still
+    // ascends monotonically — tiles advance in order, p ascends within a
+    // tile — so values stay bitwise identical to the unpacked form. Tile
+    // dims are fixed (not tunable) and do not affect accumulation order.
+    constexpr int64_t kNtTileP = 128;
+    constexpr int64_t kNtTileJ = 64;
+    ParallelChunks(m, tuning.gemm_row_grain, fwd_flops, [&](int64_t i0, int64_t i1) {
+      float tile[kNtTileP * kNtTileJ];
+      for (int64_t j0 = 0; j0 < n; j0 += kNtTileJ) {
+        const int64_t jb = std::min(kNtTileJ, n - j0);
+        for (int64_t p0 = 0; p0 < k; p0 += kNtTileP) {
+          const int64_t pb = std::min(kNtTileP, k - p0);
+          for (int64_t j = 0; j < jb; ++j) {
+            const float* w_col = w.data() + (j0 + j) * k + p0;
+            for (int64_t p = 0; p < pb; ++p) {
+              tile[p * kNtTileJ + j] = w_col[p];
+            }
+          }
+          for (int64_t i = i0; i < i1; ++i) {
+            const float* x_row = x.data() + i * k + p0;
+            float* y_row = y.data() + i * n + j0;
+            for (int64_t p = 0; p < pb; ++p) {
+              const float xp = x_row[p];
+              const float* t_row = tile + p * kNtTileJ;
+              for (int64_t j = 0; j < jb; ++j) {
+                y_row[j] += xp * t_row[j];
+              }
+            }
+          }
+        }
+      }
+    });
+  }
+  TensorNodePtr an = a.node();
+  TensorNodePtr bn = b.node();
+  return MakeResult({m, n}, std::move(y), {an, bn}, [an, bn, m, k, n](TensorNode& out) {
+    static const KernelSeries series_bwd = MakeKernelSeries("matmul_nt_bwd");
+    an->EnsureGrad();
+    bn->EnsureGrad();
+    const KernelTuning tuning = GetKernelTuning();
+    const int64_t bwd_flops = 4 * m * k * n;
+    KernelTimer timer(series_bwd, bwd_flops);
+    // dA = dC * B: a chunk owns rows of A; each dA[i,p] accumulates over
+    // j ascending.
+    ParallelChunks(m, tuning.gemm_row_grain, bwd_flops / 2, [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) {
+        const float* g_row = out.grad.data() + i * n;
+        float* da_row = an->grad.data() + i * k;
+        for (int64_t j = 0; j < n; ++j) {
+          const float g = g_row[j];
+          const float* b_row = bn->data.data() + j * k;
+          for (int64_t p = 0; p < k; ++p) {
+            da_row[p] += g * b_row[p];
+          }
+        }
+      }
+    });
+    // dB = dC^T * A: a chunk owns rows of B; each dB[j,p] accumulates
+    // over i ascending.
+    ParallelChunks(n, tuning.gemm_row_grain, bwd_flops / 2, [&](int64_t j0, int64_t j1) {
+      for (int64_t j = j0; j < j1; ++j) {
+        float* db_row = bn->grad.data() + j * k;
+        for (int64_t i = 0; i < m; ++i) {
+          const float g = out.grad[static_cast<size_t>(i * n + j)];
+          const float* x_row = an->data.data() + i * k;
+          for (int64_t p = 0; p < k; ++p) {
+            db_row[p] += g * x_row[p];
+          }
+        }
+      }
+    });
+  });
+}
+
+Tensor MatMulTN(const Tensor& a, const Tensor& b) {
+  HF_TRACE_SCOPE("tensor.matmul_tn", "tensor");
+  static const KernelSeries series = MakeKernelSeries("matmul_tn");
+  HF_CHECK_EQ(a.ndim(), 2);
+  HF_CHECK_EQ(b.ndim(), 2);
+  const int64_t k = a.dim(0);
+  const int64_t m = a.dim(1);
+  HF_CHECK_EQ(b.dim(0), k);
+  const int64_t n = b.dim(1);
+  std::vector<float> y(static_cast<size_t>(m * n), 0.0f);
+  const std::vector<float>& x = a.data();
+  const std::vector<float>& w = b.data();
+  const KernelTuning tuning = GetKernelTuning();
+  const int64_t fwd_flops = 2 * m * k * n;
+  {
+    KernelTimer timer(series, fwd_flops);
+    // A chunk owns output rows [i0, i1); p ascends per element — the same
+    // per-element order as MatMul(Transpose(a), b), hence bitwise
+    // identical to it.
+    ParallelChunks(m, tuning.gemm_row_grain, fwd_flops, [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) {
+        float* y_row = y.data() + i * n;
+        for (int64_t p = 0; p < k; ++p) {
+          const float xi = x[static_cast<size_t>(p * m + i)];
+          const float* w_row = w.data() + p * n;
+          for (int64_t j = 0; j < n; ++j) {
+            y_row[j] += xi * w_row[j];
+          }
+        }
+      }
+    });
+  }
+  TensorNodePtr an = a.node();
+  TensorNodePtr bn = b.node();
+  return MakeResult({m, n}, std::move(y), {an, bn}, [an, bn, m, k, n](TensorNode& out) {
+    static const KernelSeries series_bwd = MakeKernelSeries("matmul_tn_bwd");
+    an->EnsureGrad();
+    bn->EnsureGrad();
+    const KernelTuning tuning = GetKernelTuning();
+    const int64_t bwd_flops = 4 * m * k * n;
+    KernelTimer timer(series_bwd, bwd_flops);
+    // dA = B * dC^T (shape [k, m]): a chunk owns rows of A (the k
+    // dimension); each dA[p,i] is one dot product with the j-sum
+    // ascending. dB = A * dC (shape [k, n]): the same chunk owns row p of
+    // B, accumulating over i ascending — one fused pass per p.
+    ParallelChunks(k, tuning.gemm_row_grain, bwd_flops, [&](int64_t p0, int64_t p1) {
+      for (int64_t p = p0; p < p1; ++p) {
+        const float* b_row = bn->data.data() + p * n;
+        float* da_row = an->grad.data() + p * m;
+        float* db_row = bn->grad.data() + p * n;
+        const float* a_row = an->data.data() + p * m;
+        for (int64_t i = 0; i < m; ++i) {
+          const float* g_row = out.grad.data() + i * n;
+          float acc = 0.0f;
+          for (int64_t j = 0; j < n; ++j) {
+            acc += b_row[j] * g_row[j];
+          }
+          da_row[i] += acc;
+          const float xi = a_row[i];
+          for (int64_t j = 0; j < n; ++j) {
+            db_row[j] += xi * g_row[j];
+          }
+        }
+      }
+    });
   });
 }
 
@@ -339,30 +614,43 @@ Tensor LayerNorm(const Tensor& a, const Tensor& gamma, const Tensor& beta, float
   HF_CHECK_EQ(gamma.ndim(), 1);
   HF_CHECK_EQ(gamma.dim(0), n);
   HF_CHECK_EQ(beta.dim(0), n);
+  static const KernelSeries series = MakeKernelSeries("layernorm");
   std::vector<float> y(static_cast<size_t>(m * n));
   std::vector<float> inv_std(static_cast<size_t>(m));
   std::vector<float> normalized(static_cast<size_t>(m * n));
-  for (int64_t i = 0; i < m; ++i) {
-    const size_t row = static_cast<size_t>(i * n);
-    float mean = 0.0f;
-    for (int64_t j = 0; j < n; ++j) {
-      mean += a.data()[row + static_cast<size_t>(j)];
-    }
-    mean /= static_cast<float>(n);
-    float var = 0.0f;
-    for (int64_t j = 0; j < n; ++j) {
-      const float diff = a.data()[row + static_cast<size_t>(j)] - mean;
-      var += diff * diff;
-    }
-    var /= static_cast<float>(n);
-    const float inv = 1.0f / std::sqrt(var + eps);
-    inv_std[static_cast<size_t>(i)] = inv;
-    for (int64_t j = 0; j < n; ++j) {
-      const float norm = (a.data()[row + static_cast<size_t>(j)] - mean) * inv;
-      normalized[row + static_cast<size_t>(j)] = norm;
-      y[row + static_cast<size_t>(j)] =
-          gamma.data()[static_cast<size_t>(j)] * norm + beta.data()[static_cast<size_t>(j)];
-    }
+  const std::vector<float>& x = a.data();
+  const std::vector<float>& g = gamma.data();
+  const std::vector<float>& c = beta.data();
+  {
+    KernelTimer timer(series, m * n * kLayerNormFwdFlopsPerElem);
+    // Rows are independent: a chunk owns rows [i0, i1) and each row's
+    // computation is the same as the serial kernel's.
+    ParallelChunks(m, GetKernelTuning().row_grain, m * n * kLayerNormFwdFlopsPerElem,
+                   [&](int64_t i0, int64_t i1) {
+                     for (int64_t i = i0; i < i1; ++i) {
+                       const float* x_row = x.data() + i * n;
+                       float mean = 0.0f;
+                       for (int64_t j = 0; j < n; ++j) {
+                         mean += x_row[j];
+                       }
+                       mean /= static_cast<float>(n);
+                       float var = 0.0f;
+                       for (int64_t j = 0; j < n; ++j) {
+                         const float diff = x_row[j] - mean;
+                         var += diff * diff;
+                       }
+                       var /= static_cast<float>(n);
+                       const float inv = 1.0f / std::sqrt(var + eps);
+                       inv_std[static_cast<size_t>(i)] = inv;
+                       float* norm_row = normalized.data() + i * n;
+                       float* y_row = y.data() + i * n;
+                       for (int64_t j = 0; j < n; ++j) {
+                         const float norm = (x_row[j] - mean) * inv;
+                         norm_row[j] = norm;
+                         y_row[j] = g[static_cast<size_t>(j)] * norm + c[static_cast<size_t>(j)];
+                       }
+                     }
+                   });
   }
   TensorNodePtr an = a.node();
   TensorNodePtr gn = gamma.node();
@@ -370,35 +658,56 @@ Tensor LayerNorm(const Tensor& a, const Tensor& gamma, const Tensor& beta, float
   return MakeResult(
       {m, n}, std::move(y), {an, gn, bn},
       [an, gn, bn, m, n, inv_std, normalized](TensorNode& out) {
+        static const KernelSeries series_bwd = MakeKernelSeries("layernorm_bwd");
         an->EnsureGrad();
         gn->EnsureGrad();
         bn->EnsureGrad();
-        for (int64_t i = 0; i < m; ++i) {
-          const size_t row = static_cast<size_t>(i * n);
-          // dgamma, dbeta.
-          for (int64_t j = 0; j < n; ++j) {
-            gn->grad[static_cast<size_t>(j)] +=
-                out.grad[row + static_cast<size_t>(j)] * normalized[row + static_cast<size_t>(j)];
-            bn->grad[static_cast<size_t>(j)] += out.grad[row + static_cast<size_t>(j)];
+        const int64_t flops = m * n * kLayerNormBwdFlopsPerElem;
+        KernelTimer timer(series_bwd, flops);
+        // dgamma/dbeta reduce ACROSS rows, so they go through per-chunk
+        // partial buffers keyed by the fixed kReduceRowGrain (not the
+        // tunable row grain) and are folded serially in chunk order below
+        // — no atomics, bitwise invariant to threads and tuning. dx is
+        // row-exclusive and computed in the same pass.
+        const int64_t chunks = tensor_internal::NumChunks(m, kReduceRowGrain);
+        std::vector<float> dgamma_partial(static_cast<size_t>(chunks * n), 0.0f);
+        std::vector<float> dbeta_partial(static_cast<size_t>(chunks * n), 0.0f);
+        ParallelChunks(m, kReduceRowGrain, flops, [&](int64_t i0, int64_t i1) {
+          const int64_t chunk = i0 / kReduceRowGrain;
+          float* dgamma = dgamma_partial.data() + chunk * n;
+          float* dbeta = dbeta_partial.data() + chunk * n;
+          for (int64_t i = i0; i < i1; ++i) {
+            const float* g_row = out.grad.data() + i * n;
+            const float* norm_row = normalized.data() + i * n;
+            for (int64_t j = 0; j < n; ++j) {
+              dgamma[j] += g_row[j] * norm_row[j];
+              dbeta[j] += g_row[j];
+            }
+            // dx via the standard layernorm backward:
+            // dx = inv_std/n * (n*dxhat - sum(dxhat) - xhat * sum(dxhat*xhat))
+            float sum_dxhat = 0.0f;
+            float sum_dxhat_xhat = 0.0f;
+            for (int64_t j = 0; j < n; ++j) {
+              const float dxhat = g_row[j] * gn->data[static_cast<size_t>(j)];
+              sum_dxhat += dxhat;
+              sum_dxhat_xhat += dxhat * norm_row[j];
+            }
+            const float inv = inv_std[static_cast<size_t>(i)];
+            float* dx_row = an->grad.data() + i * n;
+            for (int64_t j = 0; j < n; ++j) {
+              const float dxhat = g_row[j] * gn->data[static_cast<size_t>(j)];
+              dx_row[j] += inv / static_cast<float>(n) *
+                           (static_cast<float>(n) * dxhat - sum_dxhat -
+                            norm_row[j] * sum_dxhat_xhat);
+            }
           }
-          // dx via the standard layernorm backward:
-          // dx = inv_std/n * (n*dxhat - sum(dxhat) - xhat * sum(dxhat*xhat))
-          float sum_dxhat = 0.0f;
-          float sum_dxhat_xhat = 0.0f;
+        });
+        for (int64_t chunk = 0; chunk < chunks; ++chunk) {
+          const float* dgamma = dgamma_partial.data() + chunk * n;
+          const float* dbeta = dbeta_partial.data() + chunk * n;
           for (int64_t j = 0; j < n; ++j) {
-            const float dxhat = out.grad[row + static_cast<size_t>(j)] *
-                                gn->data[static_cast<size_t>(j)];
-            sum_dxhat += dxhat;
-            sum_dxhat_xhat += dxhat * normalized[row + static_cast<size_t>(j)];
-          }
-          const float inv = inv_std[static_cast<size_t>(i)];
-          for (int64_t j = 0; j < n; ++j) {
-            const float dxhat = out.grad[row + static_cast<size_t>(j)] *
-                                gn->data[static_cast<size_t>(j)];
-            an->grad[row + static_cast<size_t>(j)] +=
-                inv / static_cast<float>(n) *
-                (static_cast<float>(n) * dxhat - sum_dxhat -
-                 normalized[row + static_cast<size_t>(j)] * sum_dxhat_xhat);
+            gn->grad[static_cast<size_t>(j)] += dgamma[j];
+            bn->grad[static_cast<size_t>(j)] += dbeta[j];
           }
         }
       });
@@ -408,38 +717,55 @@ Tensor LogSoftmax(const Tensor& a) {
   HF_CHECK_EQ(a.ndim(), 2);
   const int64_t m = a.dim(0);
   const int64_t n = a.dim(1);
+  static const KernelSeries series = MakeKernelSeries("log_softmax");
   std::vector<float> y(a.data().size());
-  for (int64_t i = 0; i < m; ++i) {
-    const size_t row = static_cast<size_t>(i * n);
-    float max_val = a.data()[row];
-    for (int64_t j = 1; j < n; ++j) {
-      max_val = std::max(max_val, a.data()[row + static_cast<size_t>(j)]);
-    }
-    float denom = 0.0f;
-    for (int64_t j = 0; j < n; ++j) {
-      denom += std::exp(a.data()[row + static_cast<size_t>(j)] - max_val);
-    }
-    const float log_denom = std::log(denom) + max_val;
-    for (int64_t j = 0; j < n; ++j) {
-      y[row + static_cast<size_t>(j)] = a.data()[row + static_cast<size_t>(j)] - log_denom;
-    }
+  const std::vector<float>& x = a.data();
+  {
+    KernelTimer timer(series, m * n * kSoftmaxFwdFlopsPerElem);
+    // Rows are independent: a chunk owns rows [i0, i1).
+    ParallelChunks(m, GetKernelTuning().row_grain, m * n * kSoftmaxFwdFlopsPerElem,
+                   [&](int64_t i0, int64_t i1) {
+                     for (int64_t i = i0; i < i1; ++i) {
+                       const float* x_row = x.data() + i * n;
+                       float* y_row = y.data() + i * n;
+                       float max_val = x_row[0];
+                       for (int64_t j = 1; j < n; ++j) {
+                         max_val = std::max(max_val, x_row[j]);
+                       }
+                       float denom = 0.0f;
+                       for (int64_t j = 0; j < n; ++j) {
+                         denom += std::exp(x_row[j] - max_val);
+                       }
+                       const float log_denom = std::log(denom) + max_val;
+                       for (int64_t j = 0; j < n; ++j) {
+                         y_row[j] = x_row[j] - log_denom;
+                       }
+                     }
+                   });
   }
   TensorNodePtr an = a.node();
   return MakeResult({m, n}, std::move(y), {an}, [an, m, n](TensorNode& out) {
+    static const KernelSeries series_bwd = MakeKernelSeries("log_softmax_bwd");
     an->EnsureGrad();
-    // dx = dy - softmax(x) * sum(dy).
-    for (int64_t i = 0; i < m; ++i) {
-      const size_t row = static_cast<size_t>(i * n);
-      float grad_sum = 0.0f;
-      for (int64_t j = 0; j < n; ++j) {
-        grad_sum += out.grad[row + static_cast<size_t>(j)];
+    const int64_t flops = m * n * kSoftmaxBwdFlopsPerElem;
+    KernelTimer timer(series_bwd, flops);
+    // dx = dy - softmax(x) * sum(dy); the sum is within one row, so
+    // chunks of rows stay independent.
+    ParallelChunks(m, GetKernelTuning().row_grain, flops, [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) {
+        const float* g_row = out.grad.data() + i * n;
+        const float* y_row = out.data.data() + i * n;
+        float* dx_row = an->grad.data() + i * n;
+        float grad_sum = 0.0f;
+        for (int64_t j = 0; j < n; ++j) {
+          grad_sum += g_row[j];
+        }
+        for (int64_t j = 0; j < n; ++j) {
+          const float p = std::exp(y_row[j]);
+          dx_row[j] += g_row[j] - p * grad_sum;
+        }
       }
-      for (int64_t j = 0; j < n; ++j) {
-        const float p = std::exp(out.data[row + static_cast<size_t>(j)]);
-        an->grad[row + static_cast<size_t>(j)] +=
-            out.grad[row + static_cast<size_t>(j)] - p * grad_sum;
-      }
-    }
+    });
   });
 }
 

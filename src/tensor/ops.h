@@ -17,6 +17,15 @@ namespace hybridflow {
 // C[m,n] = A[m,k] * B[k,n].
 Tensor MatMul(const Tensor& a, const Tensor& b);
 
+// Fused transposed GEMMs (no transposed operand is materialized).
+// C[m,n] = A[m,k] * B[n,k]^T — forward values bitwise identical to
+// MatMul(a, Transpose(b)) (same per-element accumulation order). The
+// attention score path (scores = q * k^T) uses this.
+Tensor MatMulNT(const Tensor& a, const Tensor& b);
+// C[m,n] = A[k,m]^T * B[k,n] — forward values bitwise identical to
+// MatMul(Transpose(a), b).
+Tensor MatMulTN(const Tensor& a, const Tensor& b);
+
 // Elementwise a + b; if b is 1-D with b.size() == a.dim(1), broadcasts b
 // across the rows of a.
 Tensor Add(const Tensor& a, const Tensor& b);

@@ -1,0 +1,84 @@
+#include "src/tensor/parallel.h"
+
+#include <atomic>
+
+#include "src/common/check.h"
+
+namespace hybridflow {
+
+namespace {
+
+// 0 = auto (shared pool size). Relaxed: readers only need *a* recent
+// value, and any value yields bitwise-identical kernel results.
+std::atomic<int> g_tensor_threads{0};
+
+// One atomic per tuning field so Get/Set need no lock (annotated-sync
+// bans raw mutexes in src/tensor/; atomics are allowed and sufficient —
+// tuning is set once at startup or by tests between kernel calls).
+std::atomic<int64_t> g_gemm_row_grain{KernelTuning{}.gemm_row_grain};
+std::atomic<int64_t> g_gemm_k_block{KernelTuning{}.gemm_k_block};
+std::atomic<int64_t> g_row_grain{KernelTuning{}.row_grain};
+std::atomic<int64_t> g_elem_grain{KernelTuning{}.elem_grain};
+
+// Below this flops-equivalent estimate the pool dispatch overhead
+// (enqueue + futures + wakeups) dwarfs the compute; run inline.
+constexpr int64_t kParallelCutoffFlops = int64_t{1} << 15;
+
+}  // namespace
+
+void SetTensorThreads(int threads) {
+  HF_CHECK_GE(threads, 0);
+  g_tensor_threads.store(threads, std::memory_order_relaxed);
+}
+
+int TensorThreads() {
+  const int configured = g_tensor_threads.load(std::memory_order_relaxed);
+  if (configured > 0) {
+    return configured;
+  }
+  return ThreadPool::Shared().size();
+}
+
+KernelTuning GetKernelTuning() {
+  KernelTuning tuning;
+  tuning.gemm_row_grain = g_gemm_row_grain.load(std::memory_order_relaxed);
+  tuning.gemm_k_block = g_gemm_k_block.load(std::memory_order_relaxed);
+  tuning.row_grain = g_row_grain.load(std::memory_order_relaxed);
+  tuning.elem_grain = g_elem_grain.load(std::memory_order_relaxed);
+  return tuning;
+}
+
+void SetKernelTuning(const KernelTuning& tuning) {
+  HF_CHECK_GE(tuning.gemm_row_grain, 1);
+  HF_CHECK_GE(tuning.gemm_k_block, 1);
+  HF_CHECK_GE(tuning.row_grain, 1);
+  HF_CHECK_GE(tuning.elem_grain, 1);
+  g_gemm_row_grain.store(tuning.gemm_row_grain, std::memory_order_relaxed);
+  g_gemm_k_block.store(tuning.gemm_k_block, std::memory_order_relaxed);
+  g_row_grain.store(tuning.row_grain, std::memory_order_relaxed);
+  g_elem_grain.store(tuning.elem_grain, std::memory_order_relaxed);
+}
+
+namespace tensor_internal {
+
+int64_t NumChunks(int64_t count, int64_t grain) {
+  HF_CHECK_GE(grain, 1);
+  return (count + grain - 1) / grain;
+}
+
+bool BelowParallelCutoff(int64_t work) { return work < kParallelCutoffFlops; }
+
+void RunChunksOnPool(int64_t chunks, int workers, const std::function<void(int64_t)>& fn) {
+  // Strided ownership: worker w runs chunks w, w+W, w+2W... in ascending
+  // order. The assignment affects scheduling only — chunks touch disjoint
+  // outputs, so results do not depend on which worker runs which chunk.
+  ThreadPool::Shared().ParallelFor(workers, [&fn, chunks, workers](int w) {
+    for (int64_t c = w; c < chunks; c += workers) {
+      fn(c);
+    }
+  });
+}
+
+}  // namespace tensor_internal
+
+}  // namespace hybridflow

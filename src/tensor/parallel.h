@@ -1,0 +1,103 @@
+// Deterministic chunked parallelism for the tensor kernels.
+//
+// Every parallel kernel in src/tensor/ops.cc (and the Adam update in
+// src/nn/adam.cc) partitions its output into fixed-size chunks via
+// ParallelChunks. The determinism contract (docs/KERNELS.md):
+//
+//   * Chunk boundaries depend only on the problem size and the kernel
+//     tuning constants — never on the thread count. Each output element
+//     belongs to exactly one chunk, so exactly one worker writes it.
+//   * Within a chunk, every float accumulation runs in a fixed index
+//     order. There are no atomic float reductions anywhere.
+//
+// Together these make kernel results bitwise identical for every
+// `tensor.threads` setting, which is what keeps the repo's
+// bitwise-equivalence suites (greedy static == continuous, async
+// staleness-0, checkpoint round-trip) valid at any parallelism level.
+//
+// Caller-runs rule: ModelWorkerGroup already fans per-rank work out on
+// ThreadPool::Shared(); a kernel invoked from one of those pool tasks
+// must not submit to the pool and block (a saturated pool would
+// deadlock). ParallelChunks detects pool threads via
+// ThreadPool::OnPoolThread() and runs the chunks serially inline.
+#ifndef SRC_TENSOR_PARALLEL_H_
+#define SRC_TENSOR_PARALLEL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "src/common/thread_pool.h"
+
+namespace hybridflow {
+
+// Worker count used by the tensor kernels. 0 (the default) means "use the
+// shared pool's size". Plumbed from the `tensor.threads` config key by
+// BuildSystem; settable any time (relaxed atomic).
+void SetTensorThreads(int threads);
+// The resolved worker count (>= 1): the configured value, or the shared
+// pool size when unset.
+int TensorThreads();
+
+// Tuning constants for the kernel partitioning. Changing a grain changes
+// chunk shapes but NOT results: chunks own disjoint outputs and in-chunk
+// accumulation order per element is invariant (GEMM k-blocking keeps the
+// inner-dimension walk ascending per output element; cross-row reductions
+// use the fixed internal grain in ops.cc, not these).
+struct KernelTuning {
+  int64_t gemm_row_grain = 16;  // Output rows per chunk, GEMM family.
+  int64_t gemm_k_block = 256;   // Inner-dimension cache block, GEMM family.
+  int64_t row_grain = 32;       // Rows per chunk, row-wise kernels.
+  int64_t elem_grain = 8192;    // Elements per chunk, elementwise kernels.
+};
+KernelTuning GetKernelTuning();
+void SetKernelTuning(const KernelTuning& tuning);
+
+namespace tensor_internal {
+
+// ceil(count / grain); grain must be >= 1.
+int64_t NumChunks(int64_t count, int64_t grain);
+
+// True when `work` (a flops-equivalent estimate) is too small for the
+// pool dispatch overhead to pay off.
+bool BelowParallelCutoff(int64_t work);
+
+// Runs fn(chunk) for every chunk in [0, chunks) on the shared pool using
+// `workers` tasks; worker w owns chunks {w, w + workers, ...}. Blocks
+// until all chunks finish.
+void RunChunksOnPool(int64_t chunks, int workers, const std::function<void(int64_t)>& fn);
+
+}  // namespace tensor_internal
+
+// Splits [0, count) into chunks of `grain` and invokes fn(begin, end) for
+// each, in parallel when it pays off. `work` is a flops-equivalent
+// estimate of the total call; small calls, single-chunk calls,
+// tensor.threads == 1, and calls from pool threads all run serially
+// inline (identical results either way — see the contract above).
+template <typename Fn>
+void ParallelChunks(int64_t count, int64_t grain, int64_t work, Fn&& fn) {
+  if (count <= 0) {
+    return;
+  }
+  const int64_t chunks = tensor_internal::NumChunks(count, grain);
+  const int workers = static_cast<int>(
+      std::min<int64_t>(TensorThreads(), chunks));
+  if (workers <= 1 || tensor_internal::BelowParallelCutoff(work) ||
+      ThreadPool::OnPoolThread()) {
+    for (int64_t c = 0; c < chunks; ++c) {
+      const int64_t begin = c * grain;
+      fn(begin, std::min(count, begin + grain));
+    }
+    return;
+  }
+  const std::function<void(int64_t)> run_chunk = [&fn, count, grain](int64_t c) {
+    const int64_t begin = c * grain;
+    fn(begin, std::min(count, begin + grain));
+  };
+  tensor_internal::RunChunksOnPool(chunks, workers, run_chunk);
+}
+
+}  // namespace hybridflow
+
+#endif  // SRC_TENSOR_PARALLEL_H_

@@ -5,10 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <functional>
 
 #include "src/common/rng.h"
 #include "src/tensor/ops.h"
+#include "src/tensor/parallel.h"
 
 namespace hybridflow {
 namespace {
@@ -134,6 +136,53 @@ TEST(AutogradFuzzTest, MatrixPipelinesMatchNumericalGradients) {
       const float minus = fn(x).item();
       x.data()[i] = saved;
       EXPECT_NEAR(analytic[i], (plus - minus) / (2 * eps), 6e-2f) << trial;
+    }
+  }
+}
+
+// Fuzzed determinism sweep: random matrix pipelines (GEMM family +
+// row-wise + elementwise kernels) must produce bitwise-identical values
+// and gradients at every tensor.threads setting.
+TEST(AutogradKernelFuzzTest, RandomPipelinesBitwiseInvariantAcrossThreads) {
+  for (int trial = 0; trial < 6; ++trial) {
+    std::vector<std::vector<float>> outputs;
+    std::vector<std::vector<float>> grads_x;
+    std::vector<std::vector<float>> grads_w;
+    for (int threads : {1, 2, 8}) {
+      SetTensorThreads(threads);
+      // Re-seed per run so every thread count sees identical inputs.
+      Rng rng(9000 + static_cast<uint64_t>(trial));
+      const int64_t m = 32 + rng.UniformInt(0, 64);
+      const int64_t k = 16 + rng.UniformInt(0, 48);
+      const int64_t n = 16 + rng.UniformInt(0, 48);
+      Tensor x = Tensor::Randn({m, k}, rng, 0.6f);
+      Tensor w = Tensor::Randn({n, k}, rng, 0.6f);
+      Tensor scores = MatMulNT(x, w);                      // [m, n]
+      Tensor probs = Softmax(scores);
+      Tensor h = Gelu(MatMulTN(probs, x));                 // [n, k]
+      Tensor loss = Add(Sum(Square(h)), Sum(LogSoftmax(scores)));
+      loss.Backward();
+      outputs.push_back(loss.data());
+      grads_x.push_back(x.grad());
+      grads_w.push_back(w.grad());
+    }
+    SetTensorThreads(0);
+    for (size_t run = 1; run < outputs.size(); ++run) {
+      ASSERT_EQ(outputs[0].size(), outputs[run].size()) << trial;
+      EXPECT_EQ(std::memcmp(outputs[0].data(), outputs[run].data(),
+                            outputs[0].size() * sizeof(float)),
+                0)
+          << "loss diverged, trial " << trial << " run " << run;
+      ASSERT_EQ(grads_x[0].size(), grads_x[run].size()) << trial;
+      EXPECT_EQ(std::memcmp(grads_x[0].data(), grads_x[run].data(),
+                            grads_x[0].size() * sizeof(float)),
+                0)
+          << "dx diverged, trial " << trial << " run " << run;
+      ASSERT_EQ(grads_w[0].size(), grads_w[run].size()) << trial;
+      EXPECT_EQ(std::memcmp(grads_w[0].data(), grads_w[run].data(),
+                            grads_w[0].size() * sizeof(float)),
+                0)
+          << "dw diverged, trial " << trial << " run " << run;
     }
   }
 }

@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
 #include "src/nn/adam.h"
 #include "src/nn/policy_net.h"
 #include "src/tensor/ops.h"
+#include "src/tensor/parallel.h"
 
 namespace hybridflow {
 namespace {
@@ -136,6 +138,32 @@ TEST(AdamTest, StepZeroesGradients) {
   Sum(Square(x)).Backward();
   adam.Step();
   EXPECT_FLOAT_EQ(x.grad()[0], 0.0f);
+}
+
+// The parallel Adam update must be bitwise invariant to tensor.threads
+// (each element is owned by exactly one chunk — docs/KERNELS.md).
+TEST(AdamKernelDeterminismTest, UpdatesBitwiseInvariantAcrossThreads) {
+  std::vector<std::vector<float>> runs;
+  for (int threads : {1, 2, 8}) {
+    SetTensorThreads(threads);
+    Rng rng(31);
+    Tensor x = Tensor::Randn({64, 200}, rng, 1.0f);
+    Tensor target = Tensor::Randn({64, 200}, rng, 1.0f, /*requires_grad=*/false);
+    AdamConfig config;
+    config.lr = 0.05f;
+    Adam adam({x}, config);
+    for (int step = 0; step < 5; ++step) {
+      Sum(Square(Sub(x, target))).Backward();
+      adam.Step();
+    }
+    runs.push_back(x.data());
+  }
+  SetTensorThreads(0);
+  for (size_t run = 1; run < runs.size(); ++run) {
+    ASSERT_EQ(runs[0].size(), runs[run].size());
+    EXPECT_EQ(std::memcmp(runs[0].data(), runs[run].data(), runs[0].size() * sizeof(float)), 0)
+        << "run " << run;
+  }
 }
 
 TEST(PolicyNetTest, LearnsSupervisedNextToken) {

@@ -205,6 +205,48 @@ TEST(ObsTraceTest, EnabledTracerRecordsScopedSpans) {
   EXPECT_LE(spans[1].start_us, spans[0].start_us);
 }
 
+TEST(ObsTraceTest, MinDurationThresholdDropsShortSpans) {
+  WallclockTracer& tracer = WallclockTracer::Global();
+  tracer.Clear();
+  tracer.SetEnabled(true);
+  tracer.SetMinDurationUs(1e6);  // Nothing in this test runs for a second.
+  { HF_TRACE_SCOPE("short", "test"); }
+  tracer.Record(WallSpan{"long", "test", 0, 0.0, 2e6});
+  tracer.SetMinDurationUs(0.0);
+  tracer.SetEnabled(false);
+  const std::vector<WallSpan> spans = tracer.Snapshot();
+  tracer.Clear();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "long");
+}
+
+TEST(ObsTraceTest, CategorySamplingKeepsOneInEvery) {
+  WallclockTracer& tracer = WallclockTracer::Global();
+  tracer.Clear();
+  tracer.SetEnabled(true);
+  tracer.SetCategorySampling("tensor", 4);
+  for (int i = 0; i < 8; ++i) {
+    tracer.Record(WallSpan{"gemm", "tensor", 0, static_cast<double>(i), 1.0});
+  }
+  tracer.Record(WallSpan{"dispatch", "controller", 0, 100.0, 1.0});
+  tracer.SetCategorySampling("", 1);
+  tracer.SetEnabled(false);
+  const std::vector<WallSpan> spans = tracer.Snapshot();
+  tracer.Clear();
+  // 8 tensor spans decimated 4:1 -> 2 kept; the other category is intact.
+  int tensor_spans = 0;
+  int other_spans = 0;
+  for (const WallSpan& span : spans) {
+    if (span.category == "tensor") {
+      ++tensor_spans;
+    } else {
+      ++other_spans;
+    }
+  }
+  EXPECT_EQ(tensor_spans, 2);
+  EXPECT_EQ(other_spans, 1);
+}
+
 TEST(ObsTraceTest, ConcurrentRecordingIsSafeAndComplete) {
   WallclockTracer& tracer = WallclockTracer::Global();
   tracer.Clear();

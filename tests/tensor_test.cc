@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <functional>
 
 #include "src/common/rng.h"
+#include "src/common/thread_pool.h"
 #include "src/tensor/ops.h"
+#include "src/tensor/parallel.h"
 #include "src/tensor/tensor.h"
 
 namespace hybridflow {
@@ -217,6 +220,206 @@ TEST(AutogradTest, DiamondGraphGradIsCorrect) {
   Tensor y = Sum(Mul(a, b));  // 3x^3 -> dy/dx = 9x^2 = 36.
   y.Backward();
   EXPECT_FLOAT_EQ(x.grad()[0], 36.0f);
+}
+
+// ---------------------------------------------------------------------------
+// Fused transposed GEMMs
+// ---------------------------------------------------------------------------
+
+// Bitwise comparison: float == treats -0.0 == 0.0 and NaN != NaN, so
+// compare the raw bit patterns.
+void ExpectBitwiseEq(const std::vector<float>& a, const std::vector<float>& b,
+                     const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  ASSERT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(float)), 0) << what;
+}
+
+TEST(MatMulNTTest, MatchesComposedTransposeBitwise) {
+  Rng rng(5);
+  Tensor a = Tensor::Randn({7, 9}, rng, 1.0f);
+  Tensor b = Tensor::Randn({6, 9}, rng, 1.0f);
+  Tensor a2 = Tensor::FromData(a.shape(), a.data(), /*requires_grad=*/true);
+  Tensor b2 = Tensor::FromData(b.shape(), b.data(), /*requires_grad=*/true);
+  Tensor fused = MatMulNT(a, b);
+  Tensor composed = MatMul(a2, Transpose(b2));
+  ExpectBitwiseEq(fused.data(), composed.data(), "forward");
+  Sum(fused).Backward();
+  Sum(composed).Backward();
+  ExpectBitwiseEq(a.grad(), a2.grad(), "dA");
+  ExpectBitwiseEq(b.grad(), b2.grad(), "dB");
+}
+
+TEST(MatMulNTTest, GradientCheck) {
+  Rng rng(6);
+  Tensor b = Tensor::Randn({4, 5}, rng, 1.0f, /*requires_grad=*/false);
+  CheckGradient([&](const Tensor& a) { return Sum(MatMulNT(a, b)); },
+                Tensor::Randn({3, 5}, rng, 1.0f));
+  Tensor a = Tensor::Randn({3, 5}, rng, 1.0f, /*requires_grad=*/false);
+  CheckGradient([&](const Tensor& w) { return Sum(MatMulNT(a, w)); },
+                Tensor::Randn({4, 5}, rng, 1.0f));
+}
+
+TEST(MatMulTNTest, MatchesComposedTransposeBitwise) {
+  Rng rng(7);
+  Tensor a = Tensor::Randn({9, 6}, rng, 1.0f);
+  Tensor b = Tensor::Randn({9, 4}, rng, 1.0f);
+  Tensor a2 = Tensor::FromData(a.shape(), a.data(), /*requires_grad=*/true);
+  Tensor b2 = Tensor::FromData(b.shape(), b.data(), /*requires_grad=*/true);
+  Tensor fused = MatMulTN(a, b);
+  Tensor composed = MatMul(Transpose(a2), b2);
+  ExpectBitwiseEq(fused.data(), composed.data(), "forward");
+  Sum(fused).Backward();
+  Sum(composed).Backward();
+  ExpectBitwiseEq(a.grad(), a2.grad(), "dA");
+  ExpectBitwiseEq(b.grad(), b2.grad(), "dB");
+}
+
+TEST(MatMulTNTest, GradientCheck) {
+  Rng rng(8);
+  Tensor b = Tensor::Randn({5, 4}, rng, 1.0f, /*requires_grad=*/false);
+  CheckGradient([&](const Tensor& a) { return Sum(MatMulTN(a, b)); },
+                Tensor::Randn({5, 3}, rng, 1.0f));
+  Tensor a = Tensor::Randn({5, 3}, rng, 1.0f, /*requires_grad=*/false);
+  CheckGradient([&](const Tensor& w) { return Sum(MatMulTN(a, w)); },
+                Tensor::Randn({5, 4}, rng, 1.0f));
+}
+
+// The zero short-circuit in the old MatMul made the flop count
+// data-dependent; its removal must not change values or gradients for
+// inputs containing exact zeros.
+TEST(MatMulTest, ZeroEntriesForwardAndGradient) {
+  Tensor a = Tensor::FromData({2, 3}, {0.0f, 2.0f, 0.0f, 4.0f, 0.0f, 6.0f});
+  Tensor b = Tensor::FromData({3, 2}, {7, 8, 0, 10, 11, 0});
+  Tensor c = MatMul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 20.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 94.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 32.0f);
+  Tensor sparse = Tensor::FromData({2, 3}, {0.0f, 1.0f, 0.0f, 0.0f, -2.0f, 3.0f});
+  CheckGradient([&](const Tensor& w) { return Sum(MatMul(sparse, w)); },
+                Tensor::FromData({3, 2}, {0.0f, 0.5f, -1.0f, 0.0f, 2.0f, 0.0f},
+                                 /*requires_grad=*/true));
+}
+
+// ---------------------------------------------------------------------------
+// Kernel determinism: forward + backward results must be bitwise identical
+// for every tensor.threads setting and every tile-size tuning
+// (docs/KERNELS.md).
+// ---------------------------------------------------------------------------
+
+struct KernelStackResult {
+  std::vector<float> loss;
+  std::vector<float> dx;
+  std::vector<float> dw;
+  std::vector<float> dk;
+  std::vector<float> dgamma;
+  std::vector<float> dbeta;
+};
+
+// One compound forward+backward pass that drives every parallel kernel
+// past the serial-work cutoff: plain/NT/TN GEMMs, LayerNorm, Softmax,
+// LogSoftmax, Gelu, and the elementwise templates.
+KernelStackResult RunKernelStack(int threads, const KernelTuning& tuning) {
+  SetTensorThreads(threads);
+  SetKernelTuning(tuning);
+  Rng rng(77);
+  Tensor x = Tensor::Randn({128, 80}, rng, 0.5f);
+  Tensor w = Tensor::Randn({80, 48}, rng, 0.5f);
+  Tensor k = Tensor::Randn({128, 80}, rng, 0.5f);
+  Tensor gamma = Tensor::Randn({48}, rng, 0.2f);
+  Tensor beta = Tensor::Randn({48}, rng, 0.2f);
+
+  Tensor h = LayerNorm(MatMul(x, w), gamma, beta);        // [128, 48]
+  Tensor scores = MatMulNT(x, k);                         // [128, 128]
+  Tensor mixed = MatMul(Softmax(scores), x);              // [128, 80]
+  Tensor gram = MatMulTN(x, Gelu(mixed));                 // [80, 80]
+  Tensor loss = Add(Add(Sum(Square(h)), Sum(LogSoftmax(gram))), Sum(Gelu(mixed)));
+  loss.Backward();
+
+  KernelStackResult result;
+  result.loss = loss.data();
+  result.dx = x.grad();
+  result.dw = w.grad();
+  result.dk = k.grad();
+  result.dgamma = gamma.grad();
+  result.dbeta = beta.grad();
+  // Restore process defaults for the other tests.
+  SetTensorThreads(0);
+  SetKernelTuning(KernelTuning{});
+  return result;
+}
+
+TEST(KernelDeterminismTest, BitwiseInvariantAcrossThreadCounts) {
+  const KernelStackResult reference = RunKernelStack(1, KernelTuning{});
+  EXPECT_TRUE(std::isfinite(reference.loss[0]));
+  for (int threads : {2, 3, 8}) {
+    const KernelStackResult run = RunKernelStack(threads, KernelTuning{});
+    ExpectBitwiseEq(reference.loss, run.loss, "loss");
+    ExpectBitwiseEq(reference.dx, run.dx, "dx");
+    ExpectBitwiseEq(reference.dw, run.dw, "dw");
+    ExpectBitwiseEq(reference.dk, run.dk, "dk");
+    ExpectBitwiseEq(reference.dgamma, run.dgamma, "dgamma");
+    ExpectBitwiseEq(reference.dbeta, run.dbeta, "dbeta");
+  }
+}
+
+TEST(KernelDeterminismTest, BitwiseInvariantAcrossTileSizes) {
+  const KernelStackResult reference = RunKernelStack(1, KernelTuning{});
+  std::vector<KernelTuning> tunings;
+  {
+    KernelTuning tiny;  // Degenerate one-row / tiny-block chunks.
+    tiny.gemm_row_grain = 1;
+    tiny.gemm_k_block = 3;
+    tiny.row_grain = 1;
+    tiny.elem_grain = 7;
+    tunings.push_back(tiny);
+    KernelTuning odd;
+    odd.gemm_row_grain = 5;
+    odd.gemm_k_block = 64;
+    odd.row_grain = 9;
+    odd.elem_grain = 1000;
+    tunings.push_back(odd);
+    KernelTuning huge;  // Single chunk for everything.
+    huge.gemm_row_grain = 1 << 20;
+    huge.gemm_k_block = 1 << 20;
+    huge.row_grain = 1 << 20;
+    huge.elem_grain = 1 << 20;
+    tunings.push_back(huge);
+  }
+  for (const KernelTuning& tuning : tunings) {
+    for (int threads : {1, 2, 8}) {
+      const KernelStackResult run = RunKernelStack(threads, tuning);
+      ExpectBitwiseEq(reference.loss, run.loss, "loss");
+      ExpectBitwiseEq(reference.dx, run.dx, "dx");
+      ExpectBitwiseEq(reference.dw, run.dw, "dw");
+      ExpectBitwiseEq(reference.dk, run.dk, "dk");
+      ExpectBitwiseEq(reference.dgamma, run.dgamma, "dgamma");
+      ExpectBitwiseEq(reference.dbeta, run.dbeta, "dbeta");
+    }
+  }
+}
+
+// Kernels invoked from pool tasks (the ModelWorkerGroup dispatch path)
+// must fall back to caller-runs instead of submitting to the pool and
+// blocking — saturating the shared pool with kernel calls must neither
+// deadlock nor change results.
+TEST(KernelDeterminismTest, CallerRunsOnPoolThreadsMatchesMainThread) {
+  SetTensorThreads(8);
+  Rng rng(21);
+  const Tensor a = Tensor::Randn({96, 64}, rng, 1.0f, /*requires_grad=*/false);
+  const Tensor b = Tensor::Randn({64, 96}, rng, 1.0f, /*requires_grad=*/false);
+  const std::vector<float> expected = MatMul(a, b).data();
+  const int tasks = 2 * ThreadPool::Shared().size();
+  std::vector<std::vector<float>> results(static_cast<size_t>(tasks));
+  ThreadPool::Shared().ParallelFor(tasks, [&](int t) {
+    EXPECT_TRUE(ThreadPool::OnPoolThread());
+    results[static_cast<size_t>(t)] = MatMul(a, b).data();
+  });
+  SetTensorThreads(0);
+  EXPECT_FALSE(ThreadPool::OnPoolThread());
+  for (const std::vector<float>& result : results) {
+    ExpectBitwiseEq(expected, result, "pool-thread matmul");
+  }
 }
 
 }  // namespace

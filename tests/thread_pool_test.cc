@@ -28,6 +28,19 @@ TEST(ThreadPoolTest, RunsSubmittedTasks) {
   EXPECT_EQ(counter.load(), 100);
 }
 
+TEST(ThreadPoolTest, OnPoolThreadDetectsWorkers) {
+  EXPECT_FALSE(ThreadPool::OnPoolThread());
+  ThreadPool pool(2);
+  std::atomic<int> on_pool{0};
+  pool.ParallelFor(8, [&](int) {
+    if (ThreadPool::OnPoolThread()) {
+      on_pool.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(on_pool.load(), 8);
+  EXPECT_FALSE(ThreadPool::OnPoolThread());
+}
+
 TEST(ThreadPoolTest, ParallelForCoversAllIndicesOnce) {
   ThreadPool pool(4);
   std::vector<std::atomic<int>> hits(64);

@@ -19,7 +19,7 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 
 # Tests exercising the concurrency surface; the default TSan phase runs
 # these (the full suite under TSan is --full-tsan).
-TSAN_TESTS='ThreadPool|ParallelDispatch|Determinism|Obs|Rollout|Async'
+TSAN_TESTS='ThreadPool|ParallelDispatch|Determinism|Obs|Rollout|Async|Kernel'
 
 SANITIZE=1
 FULL_TSAN=0

@@ -23,12 +23,14 @@
 //   thread-construction  std::thread is constructed only in
 //                        src/common/thread_pool.cc; everything else goes
 //                        through ThreadPool
-//   annotated-sync       src/rollout/ uses the capability-annotated
-//                        Mutex/MutexLock/CondVar from
+//   annotated-sync       src/rollout/, src/tensor/, and src/nn/ use the
+//                        capability-annotated Mutex/MutexLock/CondVar from
 //                        src/common/annotations.h, never raw std::mutex /
-//                        std::lock_guard / std::condition_variable — the
-//                        subsystem runs under TSan and -Wthread-safety,
-//                        and unannotated primitives opt out silently
+//                        std::lock_guard / std::condition_variable — these
+//                        subsystems run under TSan and -Wthread-safety,
+//                        and unannotated primitives opt out silently (the
+//                        tensor/nn kernels share mutable state with the
+//                        pool via atomics and chunk ownership only)
 //   raw-diagnostics      library code under src/ never writes diagnostics
 //                        with std::cerr / printf / fprintf; route them
 //                        through src/common/logging.h (HF_LOG) or the
@@ -466,7 +468,11 @@ void CheckThreadConstruction(const FileText& file, std::vector<Finding>& finding
 }
 
 void CheckAnnotatedSync(const FileText& file, std::vector<Finding>& findings) {
-  if (file.path.rfind("src/rollout/", 0) != 0) {
+  bool covered = false;
+  for (const char* prefix : {"src/rollout/", "src/tensor/", "src/nn/"}) {
+    covered = covered || file.path.rfind(prefix, 0) == 0;
+  }
+  if (!covered) {
     return;
   }
   for (size_t i = 0; i < file.code.size(); ++i) {
@@ -484,8 +490,9 @@ void CheckAnnotatedSync(const FileText& file, std::vector<Finding>& findings) {
         if (!ident_continue && !Allowed(file, i, "annotated-sync")) {
           findings.push_back({file.path, static_cast<int>(i) + 1, "annotated-sync",
                               std::string(type) +
-                                  " in src/rollout/; use the annotated Mutex / MutexLock / "
-                                  "CondVar from src/common/annotations.h"});
+                                  " in an annotated-sync subsystem (src/rollout/, src/tensor/, "
+                                  "src/nn/); use the annotated Mutex / MutexLock / CondVar from "
+                                  "src/common/annotations.h"});
         }
         pos = line.find(type, after);
       }

@@ -25,6 +25,8 @@
 //   rollout.max_running, rollout.prefill_chunk_tokens (0 = off)
 //   async_pipeline    (false) one-step-off PPO; requires rollout.mode=continuous
 //   async_staleness   (1) staleness-queue depth; 0 degenerates to sync order
+//   tensor.threads    (0 = auto) data-plane kernel workers; any value is
+//                     bitwise-equivalent (docs/KERNELS.md)
 
 #include <cstdlib>
 #include <iostream>
@@ -134,6 +136,7 @@ int Run(const ConfigMap& config) {
       config.GetInt("rollout.prefill_chunk_tokens", build.rollout.prefill_chunk_tokens);
   build.async_pipeline = config.GetBool("async_pipeline", false);
   build.async_staleness = config.GetInt("async_staleness", build.async_staleness);
+  build.tensor_threads = static_cast<int>(config.GetInt("tensor.threads", 0));
 
   const std::string config_error = ValidateSystemConfig(build);
   if (!config_error.empty()) {
