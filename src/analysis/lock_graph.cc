@@ -1,0 +1,350 @@
+#include "src/analysis/lock_graph.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <unordered_set>
+#include <utility>
+
+#if defined(__has_include)
+#if __has_include(<execinfo.h>)
+#include <execinfo.h>
+#define HF_LOCK_GRAPH_HAVE_BACKTRACE 1
+#endif
+#endif
+
+namespace hybridflow {
+
+namespace {
+
+constexpr int kMaxStackFrames = 24;
+
+// Acquisition stack of the first observation of an edge.
+struct EdgeInfo {
+  std::vector<void*> frames;
+  size_t thread_hash = 0;
+};
+
+struct Node {
+  std::string name;
+  std::map<const void*, EdgeInfo> out;
+};
+
+// All cross-thread state, behind one internal mutex. The graph must not
+// use hybridflow::Mutex underneath itself (its Lock would re-enter the
+// hooks), so this is one of the two sanctioned raw-std spots; the
+// thread-local reentrancy flag below is a second line of defense.
+struct GraphState {
+  std::mutex mu;  // guards: nodes, reports, stderr_reports.
+  std::map<const void*, Node> nodes;
+  std::vector<LockCycleReport> reports;
+  bool stderr_reports = true;
+  // Bumped by Reset()/OnDestroy() to invalidate thread-local edge caches.
+  std::atomic<uint64_t> epoch{1};
+};
+
+GraphState& State() {
+  // Intentionally leaked: hooks may run during static destruction.
+  static GraphState* state = new GraphState();  // hflint: allow(naked-new)
+  return *state;
+}
+
+struct HeldLock {
+  const void* mutex;
+  const char* name;  // May be null.
+};
+
+// Per-thread hook state. `seen_edges` makes the steady state lock-free:
+// an ordering this thread has already recorded never touches GraphState.
+struct ThreadLocalState {
+  bool in_hook = false;
+  uint64_t epoch = 0;  // 0 = never synced (global epoch starts at 1).
+  std::vector<HeldLock> held;
+  std::unordered_set<uint64_t> seen_edges;
+};
+
+ThreadLocalState& Tls() {
+  thread_local ThreadLocalState tls;
+  return tls;
+}
+
+uint64_t EdgeKey(const void* from, const void* to) {
+  const uint64_t a = reinterpret_cast<uintptr_t>(from);
+  const uint64_t b = reinterpret_cast<uintptr_t>(to);
+  return (a * 0x9e3779b97f4a7c15ULL) ^ b;
+}
+
+size_t CurrentThreadHash() {
+  return std::hash<std::thread::id>()(std::this_thread::get_id());
+}
+
+std::vector<void*> CaptureStack() {
+  std::vector<void*> frames;
+#ifdef HF_LOCK_GRAPH_HAVE_BACKTRACE
+  void* buffer[kMaxStackFrames];
+  const int depth = backtrace(buffer, kMaxStackFrames);
+  // Skip the two innermost frames (CaptureStack + the hook itself).
+  for (int i = 2; i < depth; ++i) {
+    frames.push_back(buffer[i]);
+  }
+#endif
+  return frames;
+}
+
+void AppendStack(const std::vector<void*>& frames, std::ostringstream& out) {
+  if (frames.empty()) {
+    out << "    (stack capture unavailable)\n";
+    return;
+  }
+#ifdef HF_LOCK_GRAPH_HAVE_BACKTRACE
+  char** symbols = backtrace_symbols(const_cast<void* const*>(frames.data()),
+                                     static_cast<int>(frames.size()));
+  for (size_t i = 0; i < frames.size(); ++i) {
+    out << "    #" << i << " ";
+    if (symbols != nullptr && symbols[i] != nullptr) {
+      out << symbols[i];
+    } else {
+      out << frames[i];
+    }
+    out << "\n";
+  }
+  std::free(symbols);
+#else
+  for (size_t i = 0; i < frames.size(); ++i) {
+    out << "    #" << i << " " << frames[i] << "\n";
+  }
+#endif
+}
+
+std::string NodeName(const GraphState& g, const void* mutex, const char* fallback) {
+  const auto it = g.nodes.find(mutex);
+  if (it != g.nodes.end() && !it->second.name.empty()) {
+    return it->second.name;
+  }
+  if (fallback != nullptr && fallback[0] != '\0') {
+    return fallback;
+  }
+  std::ostringstream address;
+  address << "Mutex@" << mutex;
+  return address.str();
+}
+
+// DFS for a path from -> ... -> to over the recorded edges. Fills `path`
+// with the node keys from `from` to `to` inclusive when one exists.
+bool FindPath(const GraphState& g, const void* from, const void* to,
+              std::vector<const void*>* path) {
+  std::map<const void*, const void*> parent;
+  std::vector<const void*> stack = {from};
+  parent[from] = nullptr;
+  while (!stack.empty()) {
+    const void* node = stack.back();
+    stack.pop_back();
+    if (node == to) {
+      for (const void* walk = to; walk != nullptr; walk = parent[walk]) {
+        path->push_back(walk);
+      }
+      std::reverse(path->begin(), path->end());
+      return true;
+    }
+    const auto it = g.nodes.find(node);
+    if (it == g.nodes.end()) {
+      continue;
+    }
+    for (const auto& [next, info] : it->second.out) {
+      (void)info;
+      if (parent.emplace(next, node).second) {
+        stack.push_back(next);
+      }
+    }
+  }
+  return false;
+}
+
+// Builds and records the potential-deadlock report for the cycle
+// path[0] -> ... -> path[n-1] -> path[0], where the final edge
+// (holding -> acquiring, i.e. path[n-1] -> path[0]) is the acquisition
+// that closed it. Caller holds g.mu.
+void RecordCycle(GraphState& g, const std::vector<const void*>& path,
+                 const char* acquiring_name, const std::vector<void*>& closing_stack) {
+  LockCycleReport report;
+  for (const void* node : path) {
+    report.cycle.push_back(NodeName(g, node, node == path.front() ? acquiring_name : nullptr));
+  }
+  report.cycle.push_back(report.cycle.front());
+
+  std::ostringstream out;
+  out << "POTENTIAL DEADLOCK: lock-order cycle ";
+  for (size_t i = 0; i < report.cycle.size(); ++i) {
+    out << (i == 0 ? "" : " -> ") << report.cycle[i];
+  }
+  out << "\n";
+  // Stored stack for every edge already in the graph along the path.
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    const EdgeInfo& info = g.nodes.at(path[i]).out.at(path[i + 1]);
+    out << "  edge " << report.cycle[i] << " -> " << report.cycle[i + 1]
+        << ": '" << report.cycle[i + 1] << "' first acquired while holding '"
+        << report.cycle[i] << "' (thread " << info.thread_hash << ") at:\n";
+    AppendStack(info.frames, out);
+  }
+  // The acquisition closing the cycle (about to happen on this thread).
+  out << "  edge " << report.cycle[path.size() - 1] << " -> " << report.cycle.back()
+      << ": acquiring '" << report.cycle.back() << "' while holding '"
+      << report.cycle[path.size() - 1] << "' (thread " << CurrentThreadHash()
+      << ") at:\n";
+  AppendStack(closing_stack, out);
+  report.message = out.str();
+
+  if (g.stderr_reports) {
+    // The graph sits below src/common/logging.h in the layer stack (and
+    // must not re-enter an instrumented mutex), so this is a sanctioned
+    // raw writer, like the logger itself.
+    std::cerr << report.message;  // hflint: allow(raw-diagnostics)
+  }
+  g.reports.push_back(std::move(report));
+}
+
+}  // namespace
+
+LockGraph& LockGraph::Global() {
+  // Intentionally leaked, same rationale as State().
+  static LockGraph* graph = new LockGraph();  // hflint: allow(naked-new)
+  return *graph;
+}
+
+void LockGraph::OnAcquire(const void* mutex, const char* name) {
+  ThreadLocalState& tls = Tls();
+  if (tls.in_hook) {
+    return;
+  }
+  tls.in_hook = true;
+  GraphState& g = State();
+  const uint64_t epoch = g.epoch.load(std::memory_order_acquire);
+  if (tls.epoch != epoch) {
+    tls.seen_edges.clear();
+    tls.epoch = epoch;
+  }
+  for (const HeldLock& held : tls.held) {
+    const uint64_t key = EdgeKey(held.mutex, mutex);
+    if (!tls.seen_edges.insert(key).second) {
+      continue;  // Ordering already recorded by this thread: lock-free path.
+    }
+    const std::vector<void*> stack = CaptureStack();
+    std::lock_guard<std::mutex> lock(g.mu);
+    Node& from = g.nodes[held.mutex];
+    if (from.name.empty() && held.name != nullptr) {
+      from.name = held.name;
+    }
+    Node& to = g.nodes[mutex];
+    if (to.name.empty() && name != nullptr) {
+      to.name = name;
+    }
+    if (held.mutex == mutex) {
+      // Re-acquiring a lock this thread already holds: a guaranteed
+      // self-deadlock for a non-recursive mutex.
+      RecordCycle(g, {mutex}, name, stack);
+      continue;
+    }
+    if (from.out.find(mutex) != from.out.end()) {
+      continue;  // Another thread recorded this edge first.
+    }
+    // Adding held -> mutex closes a cycle iff mutex already reaches held.
+    std::vector<const void*> path;
+    if (FindPath(g, mutex, held.mutex, &path)) {
+      RecordCycle(g, path, name, stack);
+    }
+    from.out.emplace(mutex, EdgeInfo{stack, CurrentThreadHash()});
+  }
+  tls.held.push_back({mutex, name});
+  tls.in_hook = false;
+}
+
+void LockGraph::OnRelease(const void* mutex) {
+  ThreadLocalState& tls = Tls();
+  if (tls.in_hook) {
+    return;
+  }
+  // Erase the most recent matching entry; out-of-order release is legal.
+  for (auto it = tls.held.rbegin(); it != tls.held.rend(); ++it) {
+    if (it->mutex == mutex) {
+      tls.held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+void LockGraph::OnDestroy(const void* mutex) {
+  ThreadLocalState& tls = Tls();
+  if (tls.in_hook) {
+    return;
+  }
+  tls.in_hook = true;
+  GraphState& g = State();
+  {
+    std::lock_guard<std::mutex> lock(g.mu);
+    bool erased = g.nodes.erase(mutex) > 0;
+    for (auto& [key, node] : g.nodes) {
+      (void)key;
+      erased = node.out.erase(mutex) > 0 || erased;
+    }
+    if (erased) {
+      // The address may be recycled for an unrelated mutex: flush every
+      // thread's edge cache so stale (from, to) pairs cannot suppress a
+      // fresh edge (or report) involving the new occupant.
+      g.epoch.fetch_add(1, std::memory_order_release);
+    }
+  }
+  tls.in_hook = false;
+}
+
+std::vector<LockCycleReport> LockGraph::Reports() const {
+  GraphState& g = State();
+  std::lock_guard<std::mutex> lock(g.mu);
+  return g.reports;
+}
+
+size_t LockGraph::ReportCount() const {
+  GraphState& g = State();
+  std::lock_guard<std::mutex> lock(g.mu);
+  return g.reports.size();
+}
+
+size_t LockGraph::NodeCount() const {
+  GraphState& g = State();
+  std::lock_guard<std::mutex> lock(g.mu);
+  return g.nodes.size();
+}
+
+size_t LockGraph::EdgeCount() const {
+  GraphState& g = State();
+  std::lock_guard<std::mutex> lock(g.mu);
+  size_t edges = 0;
+  for (const auto& [key, node] : g.nodes) {
+    (void)key;
+    edges += node.out.size();
+  }
+  return edges;
+}
+
+void LockGraph::SetStderrReports(bool enabled) {
+  GraphState& g = State();
+  std::lock_guard<std::mutex> lock(g.mu);
+  g.stderr_reports = enabled;
+}
+
+void LockGraph::Reset() {
+  GraphState& g = State();
+  std::lock_guard<std::mutex> lock(g.mu);
+  g.nodes.clear();
+  g.reports.clear();
+  g.epoch.fetch_add(1, std::memory_order_release);
+}
+
+}  // namespace hybridflow

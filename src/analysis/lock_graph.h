@@ -1,0 +1,83 @@
+// Process-wide lock-acquisition-order graph for potential-deadlock
+// detection (absl DeadlockCheck style).
+//
+// In contract-checked builds (HF_SYNC_CONTRACTS_ENABLED, the default for
+// every build type except Release), the annotated Mutex from
+// src/common/annotations.h reports every acquisition and release here.
+// Each thread keeps a thread-local held-lock stack; acquiring mutex B
+// while holding mutex A records the directed edge A -> B into one global
+// graph. A cycle in that graph is a *potential* deadlock: two code paths
+// acquire the same mutexes in opposite orders, so some interleaving can
+// deadlock — even if this run never did. The report names every mutex on
+// the cycle and carries the acquisition stack of each edge (the stack
+// recorded when the edge was first seen, plus the stack of the
+// acquisition that closed the cycle).
+//
+// Cost model: the held stack and an edge-seen cache are thread-local, so
+// the steady state (edge already recorded) takes no lock and performs no
+// allocation; only the first observation of an ordering per thread takes
+// the internal graph mutex. That also bounds how much happens-before the
+// checker itself injects under TSan. In Release (or -DHF_SYNC_CONTRACTS=OFF)
+// the hooks are compiled out of the primitives entirely; this library
+// still builds, it just never gets called (zero-overhead contract,
+// asserted by tests/sync_contracts_release_test.cc).
+//
+// The graph deliberately does not know about hybridflow::Mutex — it keys
+// nodes by opaque pointers — so it sits below src/common/ in the layer
+// stack (annotations.h includes this header) and uses raw std primitives
+// internally, which also keeps its own locks out of the graph.
+#ifndef SRC_ANALYSIS_LOCK_GRAPH_H_
+#define SRC_ANALYSIS_LOCK_GRAPH_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hybridflow {
+
+// One potential-deadlock finding. Reports are recorded once per edge that
+// closes a cycle (re-running the same inversion does not re-report).
+struct LockCycleReport {
+  // Mutex names around the cycle, in acquisition-order direction, with the
+  // first name repeated at the end: {"a", "b", "a"} for an ABBA inversion.
+  std::vector<std::string> cycle;
+  // Human-readable report: the cycle plus one acquisition stack per edge.
+  std::string message;
+};
+
+class LockGraph {
+ public:
+  // Process-lifetime singleton (leaked, safe during static destruction).
+  static LockGraph& Global();
+
+  // Hooks, called by the annotated primitives. `mutex` is an opaque node
+  // key; `name` may be null (the report falls back to the address).
+  // OnAcquire must be called before the underlying lock is taken so a
+  // cycle is reported even when the acquisition then deadlocks for real.
+  void OnAcquire(const void* mutex, const char* name);
+  void OnRelease(const void* mutex);
+  // Removes the node and every incident edge; a destroyed mutex's address
+  // may be reused by an unrelated one.
+  void OnDestroy(const void* mutex);
+
+  std::vector<LockCycleReport> Reports() const;
+  size_t ReportCount() const;
+  size_t NodeCount() const;  // Mutexes seen in at least one nested order.
+  size_t EdgeCount() const;
+
+  // Reports are additionally printed to stderr as they are found (so a
+  // cycle surfaces even when nothing polls Reports()); negative tests
+  // silence that.
+  void SetStderrReports(bool enabled);
+
+  // Test helper: clears the graph, the reports, and (via an epoch bump)
+  // every thread's edge-seen cache. Held-lock stacks are untouched.
+  void Reset();
+
+ private:
+  LockGraph() = default;
+};
+
+}  // namespace hybridflow
+
+#endif  // SRC_ANALYSIS_LOCK_GRAPH_H_

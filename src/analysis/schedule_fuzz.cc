@@ -1,0 +1,129 @@
+#include "src/analysis/schedule_fuzz.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+
+namespace hybridflow {
+
+namespace {
+
+// SplitMix64: tiny, stateless-seedable, and not libc rand() — every
+// decision is a pure function of (seed, ordinal, step).
+uint64_t SplitMix64Next(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+struct FuzzThreadState {
+  uint64_t epoch = 0;  // 0 = never seeded (global epoch starts at 1).
+  uint64_t rng = 0;
+  bool capturing = false;
+  std::vector<ScheduleFuzzer::Injection> trace;
+};
+
+FuzzThreadState& Tls() {
+  thread_local FuzzThreadState tls;
+  return tls;
+}
+
+}  // namespace
+
+ScheduleFuzzer& ScheduleFuzzer::Global() {
+  // Intentionally leaked: injection sites may run during static destruction.
+  static ScheduleFuzzer* fuzzer = new ScheduleFuzzer();  // hflint: allow(naked-new)
+  return *fuzzer;
+}
+
+ScheduleFuzzer::ScheduleFuzzer() {
+  uint64_t seed = 0;
+  if (ParseSeed(std::getenv("HF_SCHEDULE_FUZZ"), &seed)) {
+    EnableWithSeed(seed);
+  }
+}
+
+bool ScheduleFuzzer::ParseSeed(const char* text, uint64_t* seed) {
+  if (text == nullptr || text[0] == '\0') {
+    return false;
+  }
+  // strtoull tolerates leading whitespace and a sign ("-1" wraps to
+  // ULLONG_MAX); a seed must be digits only, so reject those up front.
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') {
+      return false;
+    }
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0') {
+    return false;  // Not a plain non-negative decimal: treated as unset.
+  }
+  *seed = static_cast<uint64_t>(value);
+  return true;
+}
+
+void ScheduleFuzzer::EnableWithSeed(uint64_t seed) {
+  seed_.store(seed, std::memory_order_relaxed);
+  next_ordinal_.store(0, std::memory_order_relaxed);
+  epoch_.fetch_add(1, std::memory_order_release);
+  enabled_.store(true, std::memory_order_release);
+}
+
+void ScheduleFuzzer::Disable() { enabled_.store(false, std::memory_order_release); }
+
+void ScheduleFuzzer::Inject(Site site) {
+  FuzzThreadState& tls = Tls();
+  const uint64_t epoch = epoch_.load(std::memory_order_acquire);
+  if (tls.epoch != epoch) {
+    tls.epoch = epoch;
+    const uint64_t ordinal = next_ordinal_.fetch_add(1, std::memory_order_relaxed);
+    // Decorrelate per-thread streams: golden-ratio spacing in seed space.
+    tls.rng = seed_.load(std::memory_order_relaxed) ^
+              ((ordinal + 1) * 0x9e3779b97f4a7c15ULL);
+  }
+  const uint64_t draw = SplitMix64Next(tls.rng);
+  Injection injection{site, Action::kNone, 0};
+  switch (draw & 15) {
+    case 12:
+    case 13:
+      injection.action = Action::kYield;
+      break;
+    case 14:
+    case 15:
+      injection.action = Action::kSleep;
+      // 1..50us: long enough to reorder wakeups, short enough that the
+      // 3-seed gate phase stays minutes, not hours, under TSan.
+      injection.sleep_us = static_cast<uint32_t>(1 + ((draw >> 8) % 50));
+      break;
+    default:
+      break;  // 12/16: no perturbation at this site.
+  }
+  if (tls.capturing) {
+    tls.trace.push_back(injection);
+  }
+  if (injection.action == Action::kYield) {
+    std::this_thread::yield();
+  } else if (injection.action == Action::kSleep) {
+    std::this_thread::sleep_for(std::chrono::microseconds(injection.sleep_us));
+  }
+}
+
+void ScheduleFuzzer::StartCaptureForCurrentThread() {
+  FuzzThreadState& tls = Tls();
+  tls.capturing = true;
+  tls.trace.clear();
+}
+
+std::vector<ScheduleFuzzer::Injection> ScheduleFuzzer::StopCaptureForCurrentThread() {
+  FuzzThreadState& tls = Tls();
+  tls.capturing = false;
+  return std::move(tls.trace);
+}
+
+}  // namespace hybridflow

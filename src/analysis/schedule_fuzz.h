@@ -1,0 +1,92 @@
+// Seeded schedule perturbation at annotated synchronization points.
+//
+// TSan only sees the interleavings that actually happen, and a quiet CI
+// box settles into very few of them. When HF_SCHEDULE_FUZZ=<seed> is set
+// (or a test calls EnableWithSeed), the annotated primitives inject
+// deterministic, seed-derived yields and short sleeps at three sites —
+// Mutex::Lock (before acquisition), CondVar::Wait wakeups, and ThreadPool
+// task pickup — so a sanitizer run explores many more schedules.
+//
+// Determinism contract: every thread draws from its own SplitMix64 stream
+// seeded by (seed, thread ordinal), where ordinals are handed out in
+// first-injection order. A thread's decision sequence is therefore a pure
+// function of the seed and its ordinal — same seed, same per-thread
+// injection trace — so a finding from `tools/check.sh --schedule-fuzz`
+// reproduces by exporting the same HF_SCHEDULE_FUZZ value. (Across
+// threads, *which* thread gets which ordinal can vary with the very
+// schedule being fuzzed; single-threaded traces are bit-identical,
+// which is what tests/schedule_fuzz_test.cc pins down.)
+//
+// Like the lock graph, the fuzzer is compiled out of the primitives when
+// HF_SYNC_CONTRACTS_ENABLED is 0 (Release); when compiled in but not
+// enabled, MaybeInject is one relaxed atomic load.
+#ifndef SRC_ANALYSIS_SCHEDULE_FUZZ_H_
+#define SRC_ANALYSIS_SCHEDULE_FUZZ_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace hybridflow {
+
+class ScheduleFuzzer {
+ public:
+  enum class Site : uint8_t {
+    kMutexLock = 0,      // Mutex::Lock, before the underlying acquisition.
+    kCondVarWakeup = 1,  // CondVar::Wait, after the wait returns.
+    kPoolTaskPickup = 2, // ThreadPool worker, between dequeue and run.
+  };
+  enum class Action : uint8_t { kNone = 0, kYield = 1, kSleep = 2 };
+
+  // One decision, recorded (capture mode) even when the action is kNone so
+  // a trace is the complete per-thread decision sequence.
+  struct Injection {
+    Site site;
+    Action action;
+    uint32_t sleep_us;  // Nonzero only for kSleep.
+  };
+
+  // Process-lifetime singleton; reads HF_SCHEDULE_FUZZ once at creation.
+  static ScheduleFuzzer& Global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Hot path: called by the sync primitives at every site.
+  void MaybeInject(Site site) {
+    if (enabled()) {
+      Inject(site);
+    }
+  }
+
+  // (Re)seeds the fuzzer: resets thread ordinals and invalidates every
+  // thread's stream so per-thread sequences restart from the new seed.
+  void EnableWithSeed(uint64_t seed);
+  void Disable();
+  uint64_t seed() const { return seed_.load(std::memory_order_relaxed); }
+
+  // Parses an HF_SCHEDULE_FUZZ value (non-negative decimal integer).
+  static bool ParseSeed(const char* text, uint64_t* seed);
+
+  // Trace capture for the calling thread only (determinism tests).
+  void StartCaptureForCurrentThread();
+  std::vector<Injection> StopCaptureForCurrentThread();
+
+ private:
+  ScheduleFuzzer();
+  void Inject(Site site);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> seed_{0};
+  // Bumped by EnableWithSeed; threads reseed their stream lazily.
+  std::atomic<uint64_t> epoch_{1};
+  std::atomic<uint64_t> next_ordinal_{0};
+};
+
+inline bool operator==(const ScheduleFuzzer::Injection& a,
+                       const ScheduleFuzzer::Injection& b) {
+  return a.site == b.site && a.action == b.action && a.sleep_us == b.sleep_us;
+}
+
+}  // namespace hybridflow
+
+#endif  // SRC_ANALYSIS_SCHEDULE_FUZZ_H_

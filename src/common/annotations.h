@@ -11,9 +11,21 @@
 // On GCC (and any compiler without the capability attributes) every macro
 // expands to nothing and the wrappers behave identically.
 //
+// Beyond the static annotations, the wrappers carry the *dynamic*
+// concurrency-contract hooks (docs/STATIC_ANALYSIS.md §4): in
+// contract-checked builds (HF_SYNC_CONTRACTS_ENABLED, on for every build
+// type except Release) each Lock/Unlock reports to the process-wide
+// lock-order graph (src/analysis/lock_graph.h) for potential-deadlock
+// detection, and Lock / CondVar wakeups are seeded schedule-perturbation
+// points (src/analysis/schedule_fuzz.h, HF_SCHEDULE_FUZZ). With the gate
+// off, the hooks — including the per-mutex name slot — compile out
+// entirely and Mutex is layout-identical to std::mutex
+// (tests/sync_contracts_release_test.cc asserts both).
+//
 // Conventions (enforced by tools/hflint.cc, see docs/STATIC_ANALYSIS.md):
 //   * every mutex member names what it protects, either structurally via
 //     HF_GUARDED_BY on the protected members or with a `// guards:` comment;
+//   * CondVar::Wait sits inside a while (predicate) loop;
 //   * std::thread is constructed only inside src/common/thread_pool.cc —
 //     all other code parallelizes through ThreadPool.
 #ifndef SRC_COMMON_ANNOTATIONS_H_
@@ -21,6 +33,23 @@
 
 #include <condition_variable>
 #include <mutex>
+
+// Contract-checked builds default ON; the top-level CMakeLists defines
+// HF_SYNC_CONTRACTS_OFF for Release / -DHF_SYNC_CONTRACTS=OFF. A TU may
+// also predefine HF_SYNC_CONTRACTS_ENABLED itself (the release-mode
+// no-op test does, and builds without the lock-graph library).
+#ifndef HF_SYNC_CONTRACTS_ENABLED
+#ifdef HF_SYNC_CONTRACTS_OFF
+#define HF_SYNC_CONTRACTS_ENABLED 0
+#else
+#define HF_SYNC_CONTRACTS_ENABLED 1
+#endif
+#endif
+
+#if HF_SYNC_CONTRACTS_ENABLED
+#include "src/analysis/lock_graph.h"
+#include "src/analysis/schedule_fuzz.h"
+#endif
 
 #if defined(__clang__) && defined(__has_attribute)
 #if __has_attribute(capability)
@@ -53,21 +82,61 @@ namespace hybridflow {
 // CondVar can re-acquire it inside Wait.
 class HF_CAPABILITY("mutex") Mutex {
  public:
+  // True when this build carries the lock-graph / schedule-fuzz hooks.
+  static constexpr bool kSyncContractsEnabled = HF_SYNC_CONTRACTS_ENABLED != 0;
+
   Mutex() = default;
+  // The name appears in potential-deadlock reports (otherwise the report
+  // falls back to the mutex address). Ignored in release builds.
+#if HF_SYNC_CONTRACTS_ENABLED
+  explicit Mutex(const char* name) : name_(name) {}
+  ~Mutex() { LockGraph::Global().OnDestroy(this); }
+#else
+  explicit Mutex(const char* /*name*/) {}
+#endif
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() HF_ACQUIRE() { mu_.lock(); }
-  void Unlock() HF_RELEASE() { mu_.unlock(); }
+  void Lock() HF_ACQUIRE() {
+    AcquireHooks();
+    mu_.lock();
+  }
+  void Unlock() HF_RELEASE() {
+    ReleaseHooks();
+    mu_.unlock();
+  }
 
   // BasicLockable interface for std::condition_variable_any; annotated the
-  // same way so direct use is also analysis-visible.
-  void lock() HF_ACQUIRE() { mu_.lock(); }
-  void unlock() HF_RELEASE() { mu_.unlock(); }
+  // same way so direct use is also analysis-visible. CondVar::Wait calls
+  // these around its internal release/re-acquire, so waits keep the
+  // held-lock bookkeeping exact and wakeup re-acquisition is a fuzz point.
+  void lock() HF_ACQUIRE() {
+    AcquireHooks();
+    mu_.lock();
+  }
+  void unlock() HF_RELEASE() {
+    ReleaseHooks();
+    mu_.unlock();
+  }
 
  private:
+#if HF_SYNC_CONTRACTS_ENABLED
+  // OnAcquire runs before the underlying lock so a cycle is reported even
+  // when this acquisition then deadlocks for real.
+  void AcquireHooks() {
+    ScheduleFuzzer::Global().MaybeInject(ScheduleFuzzer::Site::kMutexLock);
+    LockGraph::Global().OnAcquire(this, name_);
+  }
+  void ReleaseHooks() { LockGraph::Global().OnRelease(this); }
+  const char* name_ = nullptr;
+#else
+  static void AcquireHooks() {}
+  static void ReleaseHooks() {}
+#endif
+  // The capability primitive itself — there is nothing for HF_GUARDED_BY
+  // to reference, so the unreferenced-guard audit is waived here.
   // guards: whatever the owning class marks HF_GUARDED_BY(<this Mutex>).
-  std::mutex mu_;
+  std::mutex mu_;  // hflint: allow(unreferenced-guard)
 };
 
 // RAII lock; release is implicit at scope exit.
@@ -86,9 +155,19 @@ class HF_SCOPED_CAPABILITY MutexLock {
 // Condition variable paired with Mutex. Wait atomically releases and
 // re-acquires the mutex; the analysis treats the capability as held
 // throughout, which matches how callers reason about their predicates.
+// Wait must sit inside a while (predicate) loop (spurious wakeups are
+// real, and the schedule fuzzer's post-wakeup perturbation makes stolen
+// wakeups likelier); hflint's condvar-wait rule enforces the shape.
 class CondVar {
  public:
-  void Wait(Mutex& mutex) HF_REQUIRES(mutex) HF_NO_THREAD_SAFETY_ANALYSIS { cv_.wait(mutex); }
+  void Wait(Mutex& mutex) HF_REQUIRES(mutex) HF_NO_THREAD_SAFETY_ANALYSIS {
+    cv_.wait(mutex);
+#if HF_SYNC_CONTRACTS_ENABLED
+    // Perturb post-wakeup: widens the window in which another thread can
+    // steal the predicate between the notify and the waiter's re-check.
+    ScheduleFuzzer::Global().MaybeInject(ScheduleFuzzer::Site::kCondVarWakeup);
+#endif
+  }
   void NotifyOne() { cv_.notify_one(); }
   void NotifyAll() { cv_.notify_all(); }
 

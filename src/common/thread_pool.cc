@@ -73,6 +73,11 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+#if HF_SYNC_CONTRACTS_ENABLED
+    // Schedule-fuzz point: perturbing between dequeue and run reorders
+    // task completion relative to concurrent submitters and other workers.
+    ScheduleFuzzer::Global().MaybeInject(ScheduleFuzzer::Site::kPoolTaskPickup);
+#endif
     const double start_us = WallclockTracer::NowMicros();
     QueueLatencyHistogram().Observe(start_us - task.enqueue_us);
     {

@@ -63,7 +63,7 @@ class ThreadPool {
     double enqueue_us = 0.0;
   };
 
-  Mutex mutex_;
+  Mutex mutex_{"ThreadPool.mutex_"};
   std::deque<QueuedTask> queue_ HF_GUARDED_BY(mutex_);
   CondVar wake_;  // Signaled under mutex_ when queue_ grows or stopping_ flips.
   bool stopping_ HF_GUARDED_BY(mutex_) = false;

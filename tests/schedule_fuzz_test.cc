@@ -1,0 +1,110 @@
+// Determinism contract of the seeded schedule fuzzer
+// (src/analysis/schedule_fuzz.h): for a fixed seed, a thread's decision
+// sequence is a pure function of (seed, thread ordinal), so two
+// single-threaded runs with the same seed capture bit-identical traces.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/analysis/schedule_fuzz.h"
+#include "src/common/annotations.h"
+
+namespace hybridflow {
+namespace {
+
+using Injection = ScheduleFuzzer::Injection;
+
+#if HF_SYNC_CONTRACTS_ENABLED
+
+// Drives kDraws lock/unlock rounds through the annotated Mutex (each Lock
+// is an injection site) and returns the captured decision trace.
+std::vector<Injection> CaptureTrace(uint64_t seed, int draws) {
+  ScheduleFuzzer& fuzzer = ScheduleFuzzer::Global();
+  fuzzer.EnableWithSeed(seed);
+  fuzzer.StartCaptureForCurrentThread();
+  Mutex mutex("fuzz_probe");
+  for (int i = 0; i < draws; ++i) {
+    MutexLock lock(mutex);
+  }
+  std::vector<Injection> trace = fuzzer.StopCaptureForCurrentThread();
+  fuzzer.Disable();
+  return trace;
+}
+
+TEST(ScheduleFuzzTest, SameSeedSameTrace) {
+  const std::vector<Injection> first = CaptureTrace(42, 256);
+  const std::vector<Injection> second = CaptureTrace(42, 256);
+  ASSERT_EQ(first.size(), 256u) << "every decision (including kNone) is recorded";
+  EXPECT_TRUE(first == second) << "same seed must reproduce the exact trace";
+}
+
+TEST(ScheduleFuzzTest, DifferentSeedDifferentTrace) {
+  const std::vector<Injection> a = CaptureTrace(42, 256);
+  const std::vector<Injection> b = CaptureTrace(1337, 256);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_FALSE(a == b) << "distinct seeds should explore distinct schedules";
+}
+
+TEST(ScheduleFuzzTest, TraceContainsRealInjections) {
+  // With 2/16 yield + 2/16 sleep odds, 256 draws yield ~64 injections;
+  // zero would mean the perturbation is wired up but inert.
+  const std::vector<Injection> trace = CaptureTrace(7, 256);
+  int injected = 0;
+  for (const Injection& decision : trace) {
+    EXPECT_EQ(decision.site, ScheduleFuzzer::Site::kMutexLock);
+    if (decision.action != ScheduleFuzzer::Action::kNone) {
+      ++injected;
+    }
+    if (decision.action == ScheduleFuzzer::Action::kSleep) {
+      EXPECT_GE(decision.sleep_us, 1u);
+      EXPECT_LE(decision.sleep_us, 50u);
+    } else {
+      EXPECT_EQ(decision.sleep_us, 0u);
+    }
+  }
+  EXPECT_GT(injected, 0);
+  EXPECT_LT(injected, 256);
+}
+
+TEST(ScheduleFuzzTest, DisabledMeansNoDecisions) {
+  ScheduleFuzzer& fuzzer = ScheduleFuzzer::Global();
+  fuzzer.Disable();
+  fuzzer.StartCaptureForCurrentThread();
+  Mutex mutex("fuzz_off_probe");
+  for (int i = 0; i < 16; ++i) {
+    MutexLock lock(mutex);
+  }
+  EXPECT_TRUE(fuzzer.StopCaptureForCurrentThread().empty());
+}
+
+#else  // !HF_SYNC_CONTRACTS_ENABLED
+
+TEST(ScheduleFuzzTest, SkippedWhenContractsCompiledOut) {
+  GTEST_SKIP() << "HF_SYNC_CONTRACTS disabled in this build";
+}
+
+#endif  // HF_SYNC_CONTRACTS_ENABLED
+
+TEST(ScheduleFuzzTest, ParseSeedAcceptsDecimal) {
+  uint64_t seed = 0;
+  EXPECT_TRUE(ScheduleFuzzer::ParseSeed("0", &seed));
+  EXPECT_EQ(seed, 0u);
+  EXPECT_TRUE(ScheduleFuzzer::ParseSeed("1337", &seed));
+  EXPECT_EQ(seed, 1337u);
+  EXPECT_TRUE(ScheduleFuzzer::ParseSeed("18446744073709551615", &seed));
+  EXPECT_EQ(seed, 18446744073709551615ull);
+}
+
+TEST(ScheduleFuzzTest, ParseSeedRejectsGarbage) {
+  uint64_t seed = 0;
+  EXPECT_FALSE(ScheduleFuzzer::ParseSeed(nullptr, &seed));
+  EXPECT_FALSE(ScheduleFuzzer::ParseSeed("", &seed));
+  EXPECT_FALSE(ScheduleFuzzer::ParseSeed("abc", &seed));
+  EXPECT_FALSE(ScheduleFuzzer::ParseSeed("12x", &seed));
+  EXPECT_FALSE(ScheduleFuzzer::ParseSeed("-1", &seed));
+  EXPECT_FALSE(ScheduleFuzzer::ParseSeed(" 7", &seed));
+}
+
+}  // namespace
+}  // namespace hybridflow

@@ -1,16 +1,22 @@
 #!/usr/bin/env bash
 # One-shot pre-PR gate: configure, build (warnings-as-errors), lint, test,
-# then rebuild and re-test the concurrency surface under ThreadSanitizer.
+# then rebuild and re-test the concurrency surface under ThreadSanitizer —
+# including a seeded schedule-fuzz pass (HF_SCHEDULE_FUZZ) that perturbs
+# thread interleavings so TSan sees more than the quiet-box schedule.
 # See docs/STATIC_ANALYSIS.md.
 #
 # Usage:
-#   tools/check.sh                 # full gate (normal + TSan phases)
-#   tools/check.sh --no-sanitize   # skip the sanitizer phase
-#   tools/check.sh --full-tsan     # run the ENTIRE test suite under TSan
-#   tools/check.sh --asan          # add an ASan+UBSan phase as well
+#   tools/check.sh                    # full gate (normal + TSan + fuzz phases)
+#   tools/check.sh --no-sanitize      # skip the TSan phase (and its fuzz pass)
+#   tools/check.sh --full-tsan        # run the ENTIRE test suite under TSan
+#   tools/check.sh --asan             # add an ASan+UBSan phase as well
+#   tools/check.sh --ubsan            # add a standalone UBSan phase
+#                                     #   (-fno-sanitize-recover: first hit fails)
+#   tools/check.sh --no-schedule-fuzz # skip the seeded schedule-fuzz pass
 #
-# Build trees: build-check/ (normal), build-tsan/, build-asan/ — kept apart
-# from the developer's build/ so the gate never clobbers incremental state.
+# Build trees: build-check/ (normal), build-tsan/, build-asan/, build-ubsan/
+# — kept apart from the developer's build/ so the gate never clobbers
+# incremental state.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -19,16 +25,27 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 
 # Tests exercising the concurrency surface; the default TSan phase runs
 # these (the full suite under TSan is --full-tsan).
-TSAN_TESTS='ThreadPool|ParallelDispatch|Determinism|Obs|Rollout|Async|Kernel'
+TSAN_TESTS='ThreadPool|ParallelDispatch|Determinism|Obs|Rollout|Async|Kernel|LockGraph|ScheduleFuzz'
+# Subset re-run under seeded schedule perturbation: the tests that
+# actually race threads (lock-graph/fuzz unit tests pin their own seeds).
+FUZZ_TESTS='ThreadPool|Rollout|Async|Kernel'
+# Fixed seeds, not $RANDOM: a gate failure must reproduce by exporting
+# the printed HF_SCHEDULE_FUZZ value.
+FUZZ_SEEDS="1 7 1337"
 
 SANITIZE=1
 FULL_TSAN=0
 ASAN=0
+UBSAN=0
+SCHEDULE_FUZZ=1
 for arg in "$@"; do
   case "$arg" in
     --no-sanitize) SANITIZE=0 ;;
     --full-tsan) FULL_TSAN=1 ;;
     --asan) ASAN=1 ;;
+    --ubsan) UBSAN=1 ;;
+    --schedule-fuzz) SCHEDULE_FUZZ=1 ;;
+    --no-schedule-fuzz) SCHEDULE_FUZZ=0 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -57,6 +74,14 @@ if [ "$SANITIZE" -eq 1 ]; then
   else
     ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -R "$TSAN_TESTS"
   fi
+
+  if [ "$SCHEDULE_FUZZ" -eq 1 ]; then
+    for seed in $FUZZ_SEEDS; do
+      step "ctest under TSan + schedule fuzz (HF_SCHEDULE_FUZZ=$seed)"
+      HF_SCHEDULE_FUZZ="$seed" \
+        ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -R "$FUZZ_TESTS"
+    done
+  fi
   unset TSAN_OPTIONS
 fi
 
@@ -70,6 +95,17 @@ if [ "$ASAN" -eq 1 ]; then
   export UBSAN_OPTIONS="suppressions=$ROOT/tools/sanitizers/ubsan.supp print_stacktrace=1"
   ctest --test-dir build-asan --output-on-failure -j "$JOBS"
   unset LSAN_OPTIONS UBSAN_OPTIONS
+fi
+
+if [ "$UBSAN" -eq 1 ]; then
+  step "configure + build (HF_SANITIZE=undefined)"
+  cmake -B build-ubsan -S . -DHF_WERROR=ON -DHF_SANITIZE=undefined >/dev/null
+  cmake --build build-ubsan -j "$JOBS"
+
+  step "ctest under UBSan (-fno-sanitize-recover)"
+  export UBSAN_OPTIONS="suppressions=$ROOT/tools/sanitizers/ubsan.supp print_stacktrace=1"
+  ctest --test-dir build-ubsan --output-on-failure -j "$JOBS"
+  unset UBSAN_OPTIONS
 fi
 
 step "all checks passed"

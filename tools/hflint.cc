@@ -20,6 +20,16 @@
 //   mutex-guards         every mutex member documents what it protects,
 //                        via HF_GUARDED_BY on the protected members or a
 //                        `// guards:` comment at the declaration
+//   condvar-wait         CondVar::Wait (any member `.Wait(arg)` call) sits
+//                        inside a while (predicate) loop — never if-guarded
+//                        or naked. Spurious wakeups are real and the
+//                        schedule fuzzer widens the stolen-wakeup window,
+//                        so the predicate must be re-checked on wake
+//   unreferenced-guard   (src/ only) a mutex member with zero
+//                        HF_GUARDED_BY(<name>) references in its file is
+//                        a comment-only guard: nothing ties it to its data
+//                        for -Wthread-safety, so the contract can rot
+//                        silently. Annotate the protected members instead
 //   thread-construction  std::thread is constructed only in
 //                        src/common/thread_pool.cc; everything else goes
 //                        through ThreadPool
@@ -44,6 +54,11 @@
 //                        directories, and the member must occur in code.
 //                        `--docs-selftest` exercises the rule against a
 //                        synthetic tree with known-stale references.
+//
+// `--rules-selftest` is the same style of negative gate for the
+// concurrency rules (condvar-wait, unreferenced-guard): a synthetic tree
+// with known-bad waits and comment-only guards must produce exactly the
+// expected findings, and the allow() hatches must suppress them.
 //
 // Suppress a finding on one line with: // hflint: allow(<rule>)
 //
@@ -352,6 +367,52 @@ void CheckBannedCalls(const FileText& file, std::vector<Finding>& findings) {
   }
 }
 
+// Parses `line` as a mutex *member* declaration (`Mutex foo_;`,
+// `mutable std::mutex foo_{...};`) and returns the member name, or "" when
+// the line is not one. The repo's naming convention marks members with a
+// trailing underscore, which is what separates them from locals and
+// parameters. When `skip_references`, reference members (`Mutex& foo_;`)
+// return "" — they alias a mutex owned (and documented) elsewhere.
+std::string MutexMemberName(const std::string& line, bool skip_references) {
+  size_t pos = std::string::npos;
+  for (const char* type : {"std::mutex", "std::recursive_mutex", "std::shared_mutex"}) {
+    pos = FindToken(line, type);
+    if (pos != std::string::npos) {
+      pos += std::string(type).size();
+      break;
+    }
+  }
+  if (pos == std::string::npos) {
+    const size_t mu = FindToken(line, "Mutex");
+    if (mu != std::string::npos && (mu < 2 || line.compare(mu - 2, 2, "::") != 0)) {
+      pos = mu + 5;
+    }
+  }
+  if (pos == std::string::npos) {
+    return "";
+  }
+  const size_t name_begin = line.find_first_not_of(" \t&*", pos);
+  if (name_begin == std::string::npos || !IsIdentChar(line[name_begin])) {
+    return "";
+  }
+  if (skip_references && line.find_first_of("&*", pos) < name_begin) {
+    return "";
+  }
+  size_t name_end = name_begin;
+  while (name_end < line.size() && IsIdentChar(line[name_end])) {
+    ++name_end;
+  }
+  const std::string name = line.substr(name_begin, name_end - name_begin);
+  if (name.empty() || name.back() != '_') {
+    return "";  // Local or parameter, not a member.
+  }
+  const size_t rest = line.find_first_not_of(" \t", name_end);
+  if (rest == std::string::npos || (line[rest] != ';' && line[rest] != '{')) {
+    return "";  // Not a plain declaration (e.g. a function taking Mutex&).
+  }
+  return name;
+}
+
 void CheckMutexGuards(const FileText& file, std::vector<Finding>& findings) {
   // Collect the whole file once to look for HF_GUARDED_BY(<mutex>) uses.
   std::string joined;
@@ -360,41 +421,9 @@ void CheckMutexGuards(const FileText& file, std::vector<Finding>& findings) {
     joined += '\n';
   }
   for (size_t i = 0; i < file.code.size(); ++i) {
-    const std::string& line = file.code[i];
-    size_t pos = std::string::npos;
-    for (const char* type : {"std::mutex", "std::recursive_mutex", "std::shared_mutex"}) {
-      pos = FindToken(line, type);
-      if (pos != std::string::npos) {
-        pos += std::string(type).size();
-        break;
-      }
-    }
-    if (pos == std::string::npos) {
-      const size_t mu = FindToken(line, "Mutex");
-      if (mu != std::string::npos && (mu < 2 || line.compare(mu - 2, 2, "::") != 0)) {
-        pos = mu + 5;
-      }
-    }
-    if (pos == std::string::npos) {
+    const std::string name = MutexMemberName(file.code[i], /*skip_references=*/false);
+    if (name.empty()) {
       continue;
-    }
-    // Member declarations only: `<type> name_;` where the repo's naming
-    // convention marks members with a trailing underscore.
-    const size_t name_begin = line.find_first_not_of(" \t&*", pos);
-    if (name_begin == std::string::npos || !IsIdentChar(line[name_begin])) {
-      continue;
-    }
-    size_t name_end = name_begin;
-    while (name_end < line.size() && IsIdentChar(line[name_end])) {
-      ++name_end;
-    }
-    const std::string name = line.substr(name_begin, name_end - name_begin);
-    if (name.empty() || name.back() != '_') {
-      continue;  // Local or parameter, not a member.
-    }
-    const size_t rest = line.find_first_not_of(" \t", name_end);
-    if (rest == std::string::npos || (line[rest] != ';' && line[rest] != '{')) {
-      continue;  // Not a plain declaration (e.g. a function taking Mutex&).
     }
     const bool has_comment =
         file.raw[i].find("guards:") != std::string::npos ||
@@ -405,6 +434,89 @@ void CheckMutexGuards(const FileText& file, std::vector<Finding>& findings) {
                           "mutex member '" + name +
                               "' must document what it protects (HF_GUARDED_BY on the "
                               "data or a `// guards:` comment)"});
+    }
+  }
+}
+
+// unreferenced-guard: in library code, a `// guards:` comment alone is not
+// machine-checked — if no member is HF_GUARDED_BY(<mutex>), -Wthread-safety
+// verifies nothing and the documented contract can rot silently.
+void CheckUnreferencedGuard(const FileText& file, std::vector<Finding>& findings) {
+  if (!StartsWith(file.path, "src/")) {
+    return;  // Tests/benches/tools may use ad-hoc locals and fixtures.
+  }
+  std::string joined;
+  for (const std::string& line : file.code) {
+    joined += line;
+    joined += '\n';
+  }
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    const std::string name = MutexMemberName(file.code[i], /*skip_references=*/true);
+    if (name.empty()) {
+      continue;
+    }
+    if (joined.find("HF_GUARDED_BY(" + name + ")") == std::string::npos &&
+        !Allowed(file, i, "unreferenced-guard")) {
+      findings.push_back({file.path, static_cast<int>(i) + 1, "unreferenced-guard",
+                          "mutex member '" + name + "' has zero HF_GUARDED_BY(" + name +
+                              ") references in this file; annotate the protected members "
+                              "(a `// guards:` comment alone is not machine-checked)"});
+    }
+  }
+}
+
+// condvar-wait: a condition wait must re-check its predicate in a loop.
+// Textual heuristic: a member call `x.Wait(arg)` / `x->Wait(arg)` with a
+// non-empty argument list (CondVar::Wait takes the mutex; zero-arg Wait()
+// methods on futures etc. stay out of scope) is loop-shaped iff the
+// nearest preceding control keyword — same line before the call, else up
+// to two previous lines — is `while` or `do`.
+void CheckCondVarWait(const FileText& file, std::vector<Finding>& findings) {
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    const std::string& line = file.code[i];
+    size_t pos = FindToken(line, "Wait");
+    for (; pos != std::string::npos; pos = FindToken(line, "Wait", pos + 4)) {
+      const size_t after = pos + 4;
+      if (after >= line.size() || line[after] != '(') {
+        continue;
+      }
+      const bool member_call =
+          (pos > 0 && line[pos - 1] == '.') ||
+          (pos > 1 && line[pos - 2] == '-' && line[pos - 1] == '>');
+      const size_t arg = line.find_first_not_of(" \t", after + 1);
+      const bool has_arg = arg != std::string::npos && line[arg] != ')';
+      if (!member_call || !has_arg || Allowed(file, i, "condvar-wait")) {
+        continue;
+      }
+      std::string context;
+      for (size_t back = i >= 2 ? i - 2 : 0; back < i; ++back) {
+        context += file.code[back];
+        context += '\n';
+      }
+      context += line.substr(0, pos);
+      std::string nearest;
+      size_t nearest_pos = 0;
+      for (const char* keyword : {"while", "do", "if", "for", "switch"}) {
+        size_t k = FindToken(context, keyword);
+        for (; k != std::string::npos; k = FindToken(context, keyword, k + 1)) {
+          if (nearest.empty() || k >= nearest_pos) {
+            nearest = keyword;
+            nearest_pos = k;
+          }
+        }
+      }
+      if (nearest == "while" || nearest == "do") {
+        continue;
+      }
+      if (nearest == "if") {
+        findings.push_back({file.path, static_cast<int>(i) + 1, "condvar-wait",
+                            "CondVar::Wait guarded by 'if'; spurious/stolen wakeups "
+                            "require re-checking the predicate: while (pred) { Wait; }"});
+      } else {
+        findings.push_back({file.path, static_cast<int>(i) + 1, "condvar-wait",
+                            "CondVar::Wait outside a while (predicate) loop; naked waits "
+                            "miss spurious/stolen wakeups"});
+      }
     }
   }
 }
@@ -786,6 +898,8 @@ std::vector<Finding> LintTree(const fs::path& root, int* files_checked, int* doc
       CheckIncludes(file, root, findings);
       CheckBannedCalls(file, findings);
       CheckMutexGuards(file, findings);
+      CheckUnreferencedGuard(file, findings);
+      CheckCondVarWait(file, findings);
       CheckRawDiagnostics(file, findings);
       CheckThreadConstruction(file, findings);
       CheckAnnotatedSync(file, findings);
@@ -884,11 +998,107 @@ int RunDocsSelftest() {
   return 0;
 }
 
+// --rules-selftest: the concurrency rules must flag each known-bad shape
+// (if-guarded wait, naked wait, comment-only guard) and accept the good
+// ones (while-looped wait, HF_GUARDED_BY-referenced mutex, both allow()
+// hatches) in a synthetic tree — a regression gate on the rules.
+int RunRulesSelftest() {
+  const fs::path tree = fs::path("hflint_rules_selftest_tree");
+  fs::remove_all(tree);
+  fs::create_directories(tree / "src/gadget");
+  {
+    std::ofstream header(tree / "src/gadget/gadget.h");
+    header << "#ifndef SRC_GADGET_GADGET_H_\n"
+           << "#define SRC_GADGET_GADGET_H_\n"
+           << "namespace hybridflow {\n"
+           << "class Gadget {\n"
+           << " public:\n"
+           << "  void IfGuardedWait() {\n"
+           << "    if (!ready_) {\n"
+           << "      cv_.Wait(mu_);\n"
+           << "    }\n"
+           << "  }\n"
+           << "  void NakedWait() {\n"
+           << "    cv_.Wait(mu_);\n"
+           << "  }\n"
+           << "  void LoopedWait() {\n"
+           << "    while (!ready_) {\n"
+           << "      cv_.Wait(mu_);\n"
+           << "    }\n"
+           << "  }\n"
+           << "  void SameLineLoopedWait() {\n"
+           << "    while (!ready_) cv_.Wait(mu_);\n"
+           << "  }\n"
+           << "  void AllowedWait() {\n"
+           << "    cv_.Wait(mu_);  // hflint: allow(condvar-wait)\n"
+           << "  }\n"
+           << " private:\n"
+           << "  Mutex lonely_mu_;  // guards: ready_ (comment only: unreferenced)\n"
+           << "  CondVar cv_;\n"
+           << "  bool ready_ = false;\n"
+           << "};\n"
+           << "class Widget {\n"
+           << " private:\n"
+           << "  Mutex mu_;\n"
+           << "  bool spinning_ HF_GUARDED_BY(mu_) = false;\n"
+           << "};\n"
+           << "class Escape {\n"
+           << " private:\n"
+           << "  // guards: a cross-object invariant the analysis cannot express.\n"
+           << "  Mutex mu_;  // hflint: allow(unreferenced-guard)\n"
+           << "};\n"
+           << "}  // namespace hybridflow\n"
+           << "#endif  // SRC_GADGET_GADGET_H_\n";
+  }
+  int files_checked = 0;
+  int docs_checked = 0;
+  const std::vector<Finding> findings = LintTree(tree, &files_checked, &docs_checked);
+  fs::remove_all(tree);
+  int failures = 0;
+  // Expected findings, identified by (rule, message needle).
+  std::vector<std::pair<std::string, std::string>> expected = {
+      {"condvar-wait", "guarded by 'if'"},
+      {"condvar-wait", "outside a while"},
+      {"unreferenced-guard", "zero HF_GUARDED_BY(lonely_mu_)"},
+  };
+  for (const Finding& finding : findings) {
+    bool matched = false;
+    for (auto it = expected.begin(); it != expected.end(); ++it) {
+      if (finding.rule == it->first &&
+          finding.message.find(it->second) != std::string::npos) {
+        expected.erase(it);
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      std::cerr << "selftest: unexpected finding " << finding.file << ":" << finding.line
+                << " [" << finding.rule << "] " << finding.message << "\n";
+      ++failures;
+    }
+  }
+  for (const auto& [rule, needle] : expected) {
+    std::cerr << "selftest: expected [" << rule << "] finding matching '" << needle
+              << "' was NOT flagged\n";
+    ++failures;
+  }
+  if (failures > 0) {
+    std::cerr << "hflint --rules-selftest: " << failures << " failure(s)\n";
+    return 1;
+  }
+  std::cout << "hflint --rules-selftest: ok (3 bad shapes flagged, allow() hatches and "
+               "loop-shaped waits accepted)\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc > 1 && std::string(argv[1]) == "--docs-selftest") {
     return RunDocsSelftest();
+  }
+  if (argc > 1 && std::string(argv[1]) == "--rules-selftest") {
+    return RunRulesSelftest();
   }
   const fs::path root = argc > 1 ? fs::path(argv[1]) : fs::path(".");
   if (!fs::exists(root / "src")) {
