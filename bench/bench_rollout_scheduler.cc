@@ -71,8 +71,9 @@ int Main() {
   const double full_demand = static_cast<double>(batch) * (prompt + 512) * token_bytes;
 
   BenchReport report("rollout");
-  std::cout << StrFormat("%-14s | %6s | %10s | %10s | %7s | %6s | %6s\n", "workload", "budget",
-                         "static", "continuous", "speedup", "steps", "preempt");
+  std::cout << StrFormat("%-14s | %6s | %10s | %10s | %7s | %6s | %7s | %9s | %9s\n", "workload",
+                         "budget", "static", "continuous", "speedup", "steps", "preempt",
+                         "ttft p99", "tpot p99");
   for (const Workload& workload : workloads) {
     for (const double fraction : {1.0, 0.5, 0.25, 0.125}) {
       const double budget = fraction * full_demand;
@@ -86,12 +87,15 @@ int Main() {
       const double speedup = continuous.time.total() > 0.0
                                  ? fixed.total() / continuous.time.total()
                                  : 0.0;
-      std::cout << StrFormat("%-14s | %5.0f%% | %10s | %10s | %6.2fx | %6lld | %6lld\n",
+      const SeqLatencySummary& latency = continuous.latency;
+      std::cout << StrFormat("%-14s | %5.0f%% | %10s | %10s | %6.2fx | %6lld | %7lld | %9s | %9s\n",
                              workload.name, 100.0 * fraction,
                              HumanSeconds(fixed.total()).c_str(),
                              HumanSeconds(continuous.time.total()).c_str(), speedup,
                              static_cast<long long>(continuous.stats.steps),
-                             static_cast<long long>(continuous.stats.preemptions));
+                             static_cast<long long>(continuous.stats.preemptions),
+                             HumanSeconds(latency.ttft.p99).c_str(),
+                             HumanSeconds(latency.tpot.p99).c_str());
       report.AddRow()
           .Text("workload", workload.name)
           .Number("kv_budget_fraction", fraction)
@@ -113,7 +117,17 @@ int Main() {
                   static_cast<double>(continuous.stats.queue_wait_steps_max))
           .Number("kv_high_water_blocks",
                   static_cast<double>(continuous.stats.kv_high_water_blocks))
-          .Number("kv_peak_utilization", continuous.stats.kv_peak_utilization);
+          .Number("kv_peak_utilization", continuous.stats.kv_peak_utilization)
+          .Number("resumes", static_cast<double>(continuous.stats.resumes))
+          .Number("recomputed_tokens", static_cast<double>(continuous.stats.recomputed_tokens))
+          .Number("ttft_p50_s", latency.ttft.p50)
+          .Number("ttft_p90_s", latency.ttft.p90)
+          .Number("ttft_p99_s", latency.ttft.p99)
+          .Number("tpot_p50_s", latency.tpot.p50)
+          .Number("tpot_p90_s", latency.tpot.p90)
+          .Number("tpot_p99_s", latency.tpot.p99)
+          .Number("queue_delay_p99_s", latency.queue_delay.p99)
+          .Number("preemption_stall_p99_s", latency.preemption_stall.p99);
     }
   }
   if (!report.WriteJson()) {

@@ -13,8 +13,13 @@
 // Observability artifacts written to the working directory
 // (docs/OBSERVABILITY.md):
 //   full_pipeline_trace.json      — merged dual-plane Chrome trace
+//                                   (incl. per-sequence rollout spans)
 //   full_pipeline_telemetry.jsonl — one JSONL record per RLHF iteration
 //   full_pipeline_metrics.jsonl   — final metrics-registry dump
+//   full_pipeline_seq_events.jsonl — data-plane rollout lifecycle events
+//
+// Analyze them offline with tools/hfstat.cc:
+//   hfstat full_pipeline_metrics.jsonl full_pipeline_seq_events.jsonl
 
 #include <cstdlib>
 #include <iostream>
@@ -23,6 +28,7 @@
 #include "src/common/strings.h"
 #include "src/obs/dual_trace.h"
 #include "src/obs/metrics.h"
+#include "src/obs/seq_events.h"
 #include "src/obs/telemetry.h"
 #include "src/obs/trace.h"
 #include "src/rlhf/pretraining.h"
@@ -84,6 +90,12 @@ int main(int argc, char** argv) {
   actor_options.train_cfg = {1, 4, 2};
   ActorOptions actor_engine;
   actor_engine.gen = GenParallelConfig{1, 2};
+  // Continuous-batching rollout with per-sequence lifecycle recording: the
+  // event log feeds the TTFT/TPOT quantile metrics, the per-sequence spans
+  // in the merged trace, and the seq-events JSONL artifact hfstat reads.
+  SeqEventLog seq_events;
+  actor_engine.rollout.mode = RolloutMode::kContinuous;
+  actor_engine.rollout.event_log = &seq_events;
   ActorWorkerGroup actor(actor_options, pool, &controller, real, actor_engine);
   actor.net().CopyFrom(sft_net);  // RLHF starts from the SFT policy.
 
@@ -162,12 +174,23 @@ int main(int argc, char** argv) {
                            h.Sum() / static_cast<double>(h.TotalCount()));
   }
 
+  // --- Sequence latency (data plane) -----------------------------------------
+  const SeqLatencySummary seq_latency =
+      SummarizeSeqLatencies(DeriveSeqLatencies(seq_events.Snapshot(), /*wall=*/true));
+  std::cout << StrFormat("\nRollout sequence latency (data plane, %lld sequences, "
+                         "%lld preemptions):\n",
+                         static_cast<long long>(seq_latency.sequences),
+                         static_cast<long long>(seq_latency.preemptions));
+  std::cout << StrFormat("  TTFT  p50 %.0f us, p99 %.0f us | TPOT p50 %.1f us, p99 %.1f us\n",
+                         seq_latency.ttft.p50, seq_latency.ttft.p99, seq_latency.tpot.p50,
+                         seq_latency.tpot.p99);
+
   // --- Observability artifacts ------------------------------------------------
-  if (WriteDualPlaneTrace(controller.cluster(), "full_pipeline_trace.json")) {
+  if (WriteDualPlaneTrace(controller.cluster(), "full_pipeline_trace.json", &seq_events)) {
     std::cout << "\nwrote full_pipeline_trace.json ("
               << controller.cluster().trace().size() << " sim spans, "
-              << WallclockTracer::Global().size()
-              << " wall spans; open in chrome://tracing or Perfetto)\n";
+              << WallclockTracer::Global().size() << " wall spans, " << seq_events.size()
+              << " seq events; open in chrome://tracing or Perfetto)\n";
   }
   if (telemetry.ok()) {
     std::cout << "wrote " << telemetry.path() << " (" << telemetry.records_written()
@@ -176,6 +199,9 @@ int main(int argc, char** argv) {
   if (MetricsRegistry::Global().WriteJsonLines("full_pipeline_metrics.jsonl")) {
     std::cout << "wrote full_pipeline_metrics.jsonl (" << MetricsRegistry::Global().size()
               << " metrics)\n";
+  }
+  if (seq_events.WriteJsonl("full_pipeline_seq_events.jsonl")) {
+    std::cout << "wrote full_pipeline_seq_events.jsonl (" << seq_events.size() << " events)\n";
   }
   return 0;
 }

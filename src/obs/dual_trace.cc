@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cstdint>
 #include <fstream>
+#include <map>
 #include <sstream>
+#include <utility>
 
 #include "src/obs/json_util.h"
 #include "src/sim/trace_export.h"
@@ -51,10 +53,77 @@ void AppendWallSpans(const std::vector<WallSpan>& spans, int pid, bool* first,
   }
 }
 
+// Per-sequence async spans from the rollout lifecycle event log. One
+// Chrome async track per (run, seq): "b"/"e" bracket the sequence's
+// lifetime, lifecycle moments in between are "n" instants on the same id.
+// Each run gets its own tid because runs have independent clocks (every
+// sim run restarts at t=0) — stacking them on one track would imply a
+// shared timeline that does not exist.
+void AppendSeqEventSpans(const std::vector<SeqEvent>& events, int pid, bool* first,
+                         std::ostream& out) {
+  if (events.empty()) {
+    return;
+  }
+  AppendProcessName(pid, "rollout sequences (per-seq lifecycle)", first, out);
+  // A run is on the sim clock if any of its events carries sim time; the
+  // data plane leaves sim_seconds at 0 and is rendered on wall time.
+  std::map<int64_t, bool> run_uses_sim;
+  for (const SeqEvent& event : events) {
+    if (event.sim_seconds > 0.0) {
+      run_uses_sim[event.run] = true;
+    } else {
+      run_uses_sim.emplace(event.run, false);
+    }
+  }
+  for (const auto& [run, uses_sim] : run_uses_sim) {
+    if (!*first) {
+      out << ",\n";
+    }
+    *first = false;
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << run
+        << ",\"args\":{\"name\":\"run " << run << " (" << (uses_sim ? "sim" : "wall")
+        << ")\"}}";
+  }
+  // First/last timestamp per (run, seq) bracket the async span.
+  std::map<std::pair<int64_t, int64_t>, std::pair<double, double>> extents;
+  const auto ts_of = [&run_uses_sim](const SeqEvent& event) {
+    return run_uses_sim[event.run] ? event.sim_seconds * 1e6 : event.wall_us;
+  };
+  for (const SeqEvent& event : events) {
+    const double ts = ts_of(event);
+    auto [it, inserted] = extents.emplace(std::make_pair(event.run, event.seq),
+                                          std::make_pair(ts, ts));
+    if (!inserted) {
+      it->second.first = std::min(it->second.first, ts);
+      it->second.second = std::max(it->second.second, ts);
+    }
+  }
+  const auto emit = [&](const char* ph, const std::string& name, int64_t run, int64_t seq,
+                        double ts) {
+    if (!*first) {
+      out << ",\n";
+    }
+    *first = false;
+    out << "{\"name\":\"" << JsonEscape(name) << "\",\"cat\":\"rollout_seq\",\"ph\":\"" << ph
+        << "\",\"id\":\"" << run << ":" << seq << "\",\"pid\":" << pid << ",\"tid\":" << run
+        << ",\"ts\":" << JsonNumber(ts) << "}";
+  };
+  for (const auto& [key, extent] : extents) {
+    emit("b", "seq " + std::to_string(key.second), key.first, key.second, extent.first);
+  }
+  for (const SeqEvent& event : events) {
+    emit("n", SeqEventKindName(event.kind), event.run, event.seq, ts_of(event));
+  }
+  for (const auto& [key, extent] : extents) {
+    emit("e", "seq " + std::to_string(key.second), key.first, key.second, extent.second);
+  }
+}
+
 }  // namespace
 
 std::string DualPlaneChromeJson(const ClusterState& state,
-                                const std::vector<WallSpan>& wall_spans) {
+                                const std::vector<WallSpan>& wall_spans,
+                                const std::vector<SeqEvent>& seq_events) {
   std::ostringstream out;
   out << "{\"traceEvents\":[\n";
   bool first = true;
@@ -62,16 +131,20 @@ std::string DualPlaneChromeJson(const ClusterState& state,
   AppendProcessName(1, "framework (wall-clock)", &first, out);
   AppendSimTraceEvents(state.trace(), state.world_size(), /*pid=*/0, &first, out);
   AppendWallSpans(wall_spans, /*pid=*/1, &first, out);
+  AppendSeqEventSpans(seq_events, /*pid=*/2, &first, out);
   out << "\n]}\n";
   return out.str();
 }
 
-bool WriteDualPlaneTrace(const ClusterState& state, const std::string& path) {
+bool WriteDualPlaneTrace(const ClusterState& state, const std::string& path,
+                         const SeqEventLog* seq_events) {
   std::ofstream file(path);
   if (!file) {
     return false;
   }
-  file << DualPlaneChromeJson(state, WallclockTracer::Global().Snapshot());
+  file << DualPlaneChromeJson(state, WallclockTracer::Global().Snapshot(),
+                              seq_events == nullptr ? std::vector<SeqEvent>{}
+                                                    : seq_events->Snapshot());
   return static_cast<bool>(file);
 }
 

@@ -6,9 +6,14 @@
 //   pid 0 — "simulated cluster (sim-time)", one tid per GPU, timestamps
 //           in simulated microseconds;
 //   pid 1 — "framework (wall-clock)", one tid per traced thread,
-//           timestamps in real microseconds since the trace epoch.
+//           timestamps in real microseconds since the trace epoch;
+//   pid 2 — "rollout sequences", one async span per (run, seq) from the
+//           per-sequence lifecycle event log (src/obs/seq_events.h), with
+//           lifecycle moments (admit, first-token, preempt, resume) as
+//           async instants. One tid per generation run. Timestamps use the
+//           run's sim clock when it has one, else wall-clock.
 //
-// chrome://tracing and Perfetto render the two groups stacked, so a run's
+// chrome://tracing and Perfetto render the groups stacked, so a run's
 // real controller/worker/reshard activity can be read side by side with
 // the cluster time it was charged on the simulated timeline.
 #ifndef SRC_OBS_DUAL_TRACE_H_
@@ -17,18 +22,23 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/seq_events.h"
 #include "src/obs/trace.h"
 #include "src/sim/timeline.h"
 
 namespace hybridflow {
 
-// Serializes both planes into one Chrome trace-event JSON document.
+// Serializes both planes into one Chrome trace-event JSON document;
+// `seq_events` (may be empty) adds the pid 2 per-sequence span group.
 std::string DualPlaneChromeJson(const ClusterState& state,
-                                const std::vector<WallSpan>& wall_spans);
+                                const std::vector<WallSpan>& wall_spans,
+                                const std::vector<SeqEvent>& seq_events = {});
 
-// Convenience: snapshots WallclockTracer::Global() and writes the merged
-// trace to `path`. Returns false on I/O failure.
-bool WriteDualPlaneTrace(const ClusterState& state, const std::string& path);
+// Convenience: snapshots WallclockTracer::Global() (and `seq_events` when
+// non-null) and writes the merged trace to `path`. Returns false on I/O
+// failure.
+bool WriteDualPlaneTrace(const ClusterState& state, const std::string& path,
+                         const SeqEventLog* seq_events = nullptr);
 
 }  // namespace hybridflow
 

@@ -1,6 +1,7 @@
 #include "src/obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -92,6 +93,41 @@ std::vector<uint64_t> Histogram::BucketCounts() const {
   return counts;
 }
 
+double Histogram::SnapshotQuantile(double q) const {
+  if (bounds_.empty()) {
+    return 0.0;
+  }
+  const std::vector<uint64_t> counts = BucketCounts();
+  uint64_t total = 0;
+  for (uint64_t bucket_count : counts) {
+    total += bucket_count;
+  }
+  if (total == 0) {
+    return 0.0;
+  }
+  const double clamped_q = std::min(1.0, std::max(0.0, q));
+  uint64_t rank = static_cast<uint64_t>(std::ceil(clamped_q * static_cast<double>(total)));
+  rank = std::max<uint64_t>(1, std::min(rank, total));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const uint64_t below = cumulative;
+    cumulative += counts[i];
+    if (cumulative < rank) {
+      continue;
+    }
+    if (i >= bounds_.size()) {
+      // Overflow bucket: no finite upper edge to interpolate toward.
+      return bounds_.back();
+    }
+    const double upper = bounds_[i];
+    const double lower = i == 0 ? std::min(0.0, upper) : bounds_[i - 1];
+    const double fraction =
+        static_cast<double>(rank - below) / static_cast<double>(counts[i]);
+    return lower + (upper - lower) * fraction;
+  }
+  return bounds_.back();
+}
+
 std::vector<double> ExponentialBuckets(double start, double factor, int count) {
   HF_CHECK_GT(start, 0.0);
   HF_CHECK_GT(factor, 1.0);
@@ -126,7 +162,8 @@ MetricsRegistry& MetricsRegistry::Global() {
 
 MetricsRegistry::Entry& MetricsRegistry::FindOrCreate(const std::string& name,
                                                       const MetricLabels& labels, Kind kind,
-                                                      const std::vector<double>* histogram_bounds) {
+                                                      const std::vector<double>* histogram_bounds,
+                                                      double quantile_error) {
   const MetricLabels canonical = Canonical(labels);
   const std::string key = KeyOf(name, canonical);
   MutexLock lock(mutex_);
@@ -137,6 +174,10 @@ MetricsRegistry::Entry& MetricsRegistry::FindOrCreate(const std::string& name,
     if (kind == Kind::kHistogram) {
       HF_CHECK_MSG(entry.histogram->bounds() == *histogram_bounds,
                    "histogram '" << name << "' re-registered with different bounds");
+    }
+    if (kind == Kind::kQuantile) {
+      HF_CHECK_MSG(entry.quantile->relative_error() == quantile_error,
+                   "quantile '" << name << "' re-registered with different relative error");
     }
     return entry;
   }
@@ -158,6 +199,9 @@ MetricsRegistry::Entry& MetricsRegistry::FindOrCreate(const std::string& name,
       entry->histogram =
           std::unique_ptr<Histogram>(new Histogram(*histogram_bounds));  // hflint: allow(naked-new)
       break;
+    case Kind::kQuantile:
+      entry->quantile = std::make_unique<QuantileHistogram>(quantile_error);
+      break;
   }
   index_[key] = entries_.size();
   entries_.push_back(std::move(entry));
@@ -165,16 +209,22 @@ MetricsRegistry::Entry& MetricsRegistry::FindOrCreate(const std::string& name,
 }
 
 Counter& MetricsRegistry::GetCounter(const std::string& name, const MetricLabels& labels) {
-  return *FindOrCreate(name, labels, Kind::kCounter, nullptr).counter;
+  return *FindOrCreate(name, labels, Kind::kCounter, nullptr, 0.0).counter;
 }
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name, const MetricLabels& labels) {
-  return *FindOrCreate(name, labels, Kind::kGauge, nullptr).gauge;
+  return *FindOrCreate(name, labels, Kind::kGauge, nullptr, 0.0).gauge;
 }
 
 Histogram& MetricsRegistry::GetHistogram(const std::string& name, const std::vector<double>& bounds,
                                          const MetricLabels& labels) {
-  return *FindOrCreate(name, labels, Kind::kHistogram, &bounds).histogram;
+  return *FindOrCreate(name, labels, Kind::kHistogram, &bounds, 0.0).histogram;
+}
+
+QuantileHistogram& MetricsRegistry::GetQuantileHistogram(const std::string& name,
+                                                         double relative_error,
+                                                         const MetricLabels& labels) {
+  return *FindOrCreate(name, labels, Kind::kQuantile, nullptr, relative_error).quantile;
 }
 
 size_t MetricsRegistry::size() const {
@@ -233,6 +283,17 @@ std::string MetricsRegistry::ToJsonLines() const {
         out << "]";
         break;
       }
+      case Kind::kQuantile: {
+        const QuantileSnapshot snapshot = entry->quantile->Snapshot();
+        out << "\"type\":\"quantile\",\"labels\":" << LabelsJson(entry->labels)
+            << ",\"relative_error\":" << JsonNumber(snapshot.relative_error)
+            << ",\"count\":" << snapshot.count << ",\"sum\":" << JsonNumber(snapshot.sum)
+            << ",\"min\":" << JsonNumber(snapshot.min) << ",\"max\":" << JsonNumber(snapshot.max)
+            << ",\"p50\":" << JsonNumber(snapshot.Quantile(0.5))
+            << ",\"p90\":" << JsonNumber(snapshot.Quantile(0.9))
+            << ",\"p99\":" << JsonNumber(snapshot.Quantile(0.99));
+        break;
+      }
     }
     out << "}\n";
   }
@@ -255,9 +316,25 @@ std::string MetricsRegistry::ToText() const {
         const uint64_t count = histogram.TotalCount();
         out << "count=" << count << " sum=" << JsonNumber(histogram.Sum());
         if (count > 0) {
-          out << " mean=" << JsonNumber(histogram.Sum() / static_cast<double>(count));
+          out << " mean=" << JsonNumber(histogram.Sum() / static_cast<double>(count))
+              << " p50=" << JsonNumber(histogram.SnapshotQuantile(0.5))
+              << " p90=" << JsonNumber(histogram.SnapshotQuantile(0.9))
+              << " p99=" << JsonNumber(histogram.SnapshotQuantile(0.99));
         }
         out << " (histogram)";
+        break;
+      }
+      case Kind::kQuantile: {
+        const QuantileSnapshot snapshot = entry->quantile->Snapshot();
+        out << "count=" << snapshot.count << " sum=" << JsonNumber(snapshot.sum);
+        if (snapshot.count > 0) {
+          out << " min=" << JsonNumber(snapshot.min)
+              << " p50=" << JsonNumber(snapshot.Quantile(0.5))
+              << " p90=" << JsonNumber(snapshot.Quantile(0.9))
+              << " p99=" << JsonNumber(snapshot.Quantile(0.99))
+              << " max=" << JsonNumber(snapshot.max);
+        }
+        out << " (quantile e=" << JsonNumber(snapshot.relative_error) << ")";
         break;
       }
     }

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/common/annotations.h"
+#include "src/obs/quantile.h"
 
 namespace hybridflow {
 
@@ -81,6 +82,14 @@ class Histogram {
   const std::vector<double>& bounds() const { return bounds_; }
   // Length bounds().size() + 1; the last entry is the overflow bucket.
   std::vector<uint64_t> BucketCounts() const;
+  // Bucket-interpolated quantile estimate over a point-in-time snapshot of
+  // the bucket counts (Prometheus histogram_quantile style): linear
+  // interpolation inside the covering bucket, the lower edge of the first
+  // bucket taken as min(0, bounds[0]), and any rank landing in the overflow
+  // bucket reported as bounds().back() (the largest finite edge). Accuracy
+  // is therefore bounded by bucket width — use QuantileHistogram when a
+  // relative-error guarantee is needed. Returns 0 when empty.
+  double SnapshotQuantile(double q) const;
 
  private:
   friend class MetricsRegistry;
@@ -116,6 +125,12 @@ class MetricsRegistry {
   Gauge& GetGauge(const std::string& name, const MetricLabels& labels = {});
   Histogram& GetHistogram(const std::string& name, const std::vector<double>& bounds,
                           const MetricLabels& labels = {});
+  // Log-bucketed percentile histogram (src/obs/quantile.h). Re-registering
+  // with a different relative error aborts, like mismatched histogram
+  // bounds.
+  QuantileHistogram& GetQuantileHistogram(
+      const std::string& name, double relative_error = QuantileHistogram::kDefaultRelativeError,
+      const MetricLabels& labels = {});
 
   // One JSON object per line, sorted by (name, labels) for stable output:
   //   {"name":"x.y","type":"counter","labels":{...},"value":3}
@@ -131,7 +146,7 @@ class MetricsRegistry {
   size_t size() const;
 
  private:
-  enum class Kind { kCounter, kGauge, kHistogram };
+  enum class Kind { kCounter, kGauge, kHistogram, kQuantile };
 
   struct Entry {
     std::string name;
@@ -140,14 +155,17 @@ class MetricsRegistry {
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
+    std::unique_ptr<QuantileHistogram> quantile;
   };
 
   // Creates the kind-specific instrument under mutex_ on first lookup (and
-  // validates histogram bounds there), so concurrent first-time Get* calls
-  // for the same series cannot race. `histogram_bounds` must be non-null
-  // iff `kind` is kHistogram.
+  // validates histogram bounds / quantile error there), so concurrent
+  // first-time Get* calls for the same series cannot race.
+  // `histogram_bounds` must be non-null iff `kind` is kHistogram;
+  // `quantile_error` is read iff `kind` is kQuantile.
   Entry& FindOrCreate(const std::string& name, const MetricLabels& labels, Kind kind,
-                      const std::vector<double>* histogram_bounds) HF_EXCLUDES(mutex_);
+                      const std::vector<double>* histogram_bounds, double quantile_error)
+      HF_EXCLUDES(mutex_);
   // Snapshots entry pointers for export; entries are append-only so the
   // pointed-to instruments remain valid after the mutex is released.
   std::vector<const Entry*> SortedEntries() const HF_EXCLUDES(mutex_);

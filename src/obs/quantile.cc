@@ -1,0 +1,157 @@
+#include "src/obs/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/check.h"
+
+namespace hybridflow {
+
+namespace {
+
+// Relaxed CAS add/min/max on atomic<double> (fetch_add on atomic<double>
+// is not guaranteed lock-free everywhere; same rationale as
+// obs_internal::AtomicDouble, not reused to keep this header cycle-free
+// with metrics.h).
+void AtomicAdd(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value < current &&
+         !target.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value > current &&
+         !target.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+  }
+}
+
+// Midpoint-free DDSketch estimate for bucket key k: every v in
+// (gamma^(k-1), gamma^k] satisfies |estimate - v| / v <= e.
+double BucketEstimate(double gamma, int64_t key) {
+  return 2.0 * std::pow(gamma, static_cast<double>(key)) / (gamma + 1.0);
+}
+
+}  // namespace
+
+double QuantileSnapshot::Quantile(double q) const {
+  if (count == 0) {
+    return 0.0;
+  }
+  const double clamped_q = std::min(1.0, std::max(0.0, q));
+  // Nearest-rank: the smallest value with at least ceil(q * count)
+  // observations at or below it.
+  uint64_t rank = static_cast<uint64_t>(std::ceil(clamped_q * static_cast<double>(count)));
+  rank = std::max<uint64_t>(1, std::min(rank, count));
+  // The extreme ranks are the observed extrema, which are kept exactly.
+  if (rank == 1) {
+    return min;
+  }
+  if (rank == count) {
+    return max;
+  }
+  double estimate = 0.0;
+  if (rank > zero_count) {
+    uint64_t cumulative = zero_count;
+    estimate = max;  // Fallback if relaxed per-bucket reads undercount.
+    for (size_t i = 0; i < buckets.size(); ++i) {
+      cumulative += buckets[i];
+      if (cumulative >= rank) {
+        estimate = BucketEstimate(gamma, min_key + static_cast<int64_t>(i));
+        break;
+      }
+    }
+  }
+  // The observed extrema are exact; clamping can only reduce error.
+  return std::min(max, std::max(min, estimate));
+}
+
+void QuantileSnapshot::Merge(const QuantileSnapshot& other) {
+  if (other.count == 0) {
+    return;
+  }
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  HF_CHECK_MSG(relative_error == other.relative_error && buckets.size() == other.buckets.size() &&
+                   min_key == other.min_key,
+               "QuantileSnapshot::Merge requires identical bucket geometry");
+  zero_count += other.zero_count;
+  count += other.count;
+  sum += other.sum;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    buckets[i] += other.buckets[i];
+  }
+}
+
+QuantileHistogram::QuantileHistogram(double relative_error) : relative_error_(relative_error) {
+  HF_CHECK_MSG(relative_error > 0.0 && relative_error < 0.5,
+               "quantile relative error must be in (0, 0.5)");
+  gamma_ = (1.0 + relative_error) / (1.0 - relative_error);
+  inv_log_gamma_ = 1.0 / std::log(gamma_);
+  min_key_ = KeyFor(kMinTrackedValue);
+  const int64_t max_key = KeyFor(kMaxTrackedValue);
+  buckets_ = std::vector<std::atomic<uint64_t>>(static_cast<size_t>(max_key - min_key_ + 1));
+  min_.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+}
+
+int64_t QuantileHistogram::KeyFor(double value) const {
+  return static_cast<int64_t>(std::ceil(std::log(value) * inv_log_gamma_));
+}
+
+void QuantileHistogram::Observe(double value) {
+  if (!std::isfinite(value)) {
+    return;
+  }
+  if (value <= 0.0) {
+    zero_count_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    const double clamped = std::min(kMaxTrackedValue, std::max(kMinTrackedValue, value));
+    const size_t index = static_cast<size_t>(
+        std::min<int64_t>(static_cast<int64_t>(buckets_.size()) - 1,
+                          std::max<int64_t>(0, KeyFor(clamped) - min_key_)));
+    buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  }
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(sum_, value);
+  AtomicMin(min_, value);
+  AtomicMax(max_, value);
+}
+
+double QuantileHistogram::Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+QuantileSnapshot QuantileHistogram::Snapshot() const {
+  QuantileSnapshot snapshot;
+  snapshot.relative_error = relative_error_;
+  snapshot.gamma = gamma_;
+  snapshot.min_key = min_key_;
+  snapshot.zero_count = zero_count_.load(std::memory_order_relaxed);
+  snapshot.count = count_.load(std::memory_order_relaxed);
+  snapshot.sum = sum_.load(std::memory_order_relaxed);
+  snapshot.buckets.reserve(buckets_.size());
+  for (const std::atomic<uint64_t>& bucket : buckets_) {
+    snapshot.buckets.push_back(bucket.load(std::memory_order_relaxed));
+  }
+  if (snapshot.count == 0) {
+    snapshot.min = 0.0;
+    snapshot.max = 0.0;
+  } else {
+    snapshot.min = min_.load(std::memory_order_relaxed);
+    snapshot.max = max_.load(std::memory_order_relaxed);
+  }
+  return snapshot;
+}
+
+}  // namespace hybridflow

@@ -1,0 +1,99 @@
+// Mergeable, lock-free log-bucketed percentile histogram (DDSketch-style).
+//
+// Values are mapped to geometric buckets: bucket k covers
+// (gamma^(k-1), gamma^k] with gamma = (1 + e) / (1 - e) for a configured
+// relative error e, and the bucket estimate 2 * gamma^k / (gamma + 1) is
+// within a factor (1 ± e) of every value in the bucket. Quantile queries
+// therefore carry a *relative* error bound of e (default 1%) regardless of
+// the value range — unlike the fixed-bucket Histogram, whose accuracy dies
+// outside its configured bounds. The tradeoff: only the distribution shape
+// is kept (counts per geometric bucket), no exact sum of squares etc.
+//
+// Observe() is lock-free (relaxed atomic bucket increments + CAS min/max),
+// matching the Counter/Gauge/Histogram hot-path contract so it is safe from
+// pool threads and ThreadPool internals. Snapshot() gives a consistent-
+// enough point-in-time copy (per-bucket atomic reads; exactness under
+// concurrent writers is tested the same way as the fixed histogram).
+// Snapshots from histograms with the same relative error Merge() by bucket
+// addition, which is how per-rank engine instances combine into one
+// distribution.
+//
+// Supported value range: [kMinTrackedValue, kMaxTrackedValue]; values <= 0
+// land in an exact zero bucket (estimate 0), values below the range clamp
+// to the first bucket, values above clamp to the last (both outside the
+// error bound, both far outside any latency this repo measures).
+#ifndef SRC_OBS_QUANTILE_H_
+#define SRC_OBS_QUANTILE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace hybridflow {
+
+// Point-in-time copy of a QuantileHistogram, cheap to pass around and the
+// unit of cross-instance aggregation.
+struct QuantileSnapshot {
+  double relative_error = 0.0;
+  double gamma = 0.0;
+  int64_t min_key = 0;            // Bucket key of buckets[0].
+  uint64_t zero_count = 0;        // Values <= 0 (estimate 0, exact).
+  uint64_t count = 0;             // Total observations incl. zero_count.
+  double sum = 0.0;
+  double min = 0.0;               // Exact observed extrema (0 when empty).
+  double max = 0.0;
+  std::vector<uint64_t> buckets;  // Geometric bucket counts.
+
+  // Nearest-rank quantile estimate for q in [0, 1]; relative error is
+  // bounded by `relative_error` for in-range values. The extreme ranks
+  // return the exact observed min / max, and every estimate is clamped
+  // into that range. Returns 0 for an empty snapshot.
+  double Quantile(double q) const;
+
+  // Adds `other` into this snapshot. Both must come from histograms with
+  // the same relative error (checked).
+  void Merge(const QuantileSnapshot& other);
+};
+
+class QuantileHistogram {
+ public:
+  static constexpr double kDefaultRelativeError = 0.01;
+  // Smallest / largest positive value tracked with the error guarantee.
+  // 1e-9 .. 1e15 spans sub-nanosecond to ~31 years in seconds and every
+  // token-count / byte-size this repo observes.
+  static constexpr double kMinTrackedValue = 1e-9;
+  static constexpr double kMaxTrackedValue = 1e15;
+
+  explicit QuantileHistogram(double relative_error = kDefaultRelativeError);
+
+  // Lock-free; safe from any thread.
+  void Observe(double value);
+
+  QuantileSnapshot Snapshot() const;
+  // Convenience: Snapshot().Quantile(q).
+  double Quantile(double q) const { return Snapshot().Quantile(q); }
+
+  uint64_t TotalCount() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const;
+  double relative_error() const { return relative_error_; }
+
+ private:
+  // Bucket key for a positive in-range value: ceil(log_gamma(value)).
+  int64_t KeyFor(double value) const;
+
+  double relative_error_;
+  double gamma_;
+  double inv_log_gamma_;
+  int64_t min_key_;  // Key of buckets_[0] == KeyFor(kMinTrackedValue).
+
+  std::vector<std::atomic<uint64_t>> buckets_;
+  std::atomic<uint64_t> zero_count_{0};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};  // Valid only when count_ > 0.
+  std::atomic<double> max_{0.0};
+};
+
+}  // namespace hybridflow
+
+#endif  // SRC_OBS_QUANTILE_H_

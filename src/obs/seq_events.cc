@@ -1,0 +1,246 @@
+#include "src/obs/seq_events.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "src/obs/json_util.h"
+#include "src/obs/trace.h"
+
+namespace hybridflow {
+
+const char* SeqEventKindName(SeqEventKind kind) {
+  switch (kind) {
+    case SeqEventKind::kEnqueue:
+      return "enqueue";
+    case SeqEventKind::kAdmit:
+      return "admit";
+    case SeqEventKind::kPrefillChunk:
+      return "prefill-chunk";
+    case SeqEventKind::kFirstToken:
+      return "first-token";
+    case SeqEventKind::kDecodeStep:
+      return "decode-step";
+    case SeqEventKind::kPreempt:
+      return "preempt";
+    case SeqEventKind::kResume:
+      return "resume";
+    case SeqEventKind::kFinish:
+      return "finish";
+  }
+  return "unknown";
+}
+
+bool ParseSeqEventKind(const std::string& name, SeqEventKind* kind) {
+  static constexpr SeqEventKind kAll[] = {
+      SeqEventKind::kEnqueue,    SeqEventKind::kAdmit,   SeqEventKind::kPrefillChunk,
+      SeqEventKind::kFirstToken, SeqEventKind::kDecodeStep, SeqEventKind::kPreempt,
+      SeqEventKind::kResume,     SeqEventKind::kFinish,
+  };
+  for (SeqEventKind candidate : kAll) {
+    if (name == SeqEventKindName(candidate)) {
+      *kind = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+void SeqEventLog::Record(const SeqEvent& event) {
+  MutexLock lock(mutex_);
+  events_.push_back(event);
+}
+
+void SeqEventLog::RecordNow(SeqEvent event) {
+  event.wall_us = WallclockTracer::NowMicros();
+  Record(event);
+}
+
+std::vector<SeqEvent> SeqEventLog::Snapshot() const {
+  MutexLock lock(mutex_);
+  return events_;
+}
+
+std::vector<SeqEvent> SeqEventLog::SnapshotRun(int64_t run) const {
+  MutexLock lock(mutex_);
+  std::vector<SeqEvent> out;
+  for (const SeqEvent& event : events_) {
+    if (event.run == run) {
+      out.push_back(event);
+    }
+  }
+  return out;
+}
+
+size_t SeqEventLog::size() const {
+  MutexLock lock(mutex_);
+  return events_.size();
+}
+
+void SeqEventLog::Clear() {
+  MutexLock lock(mutex_);
+  events_.clear();
+}
+
+std::string SeqEventLog::ToJsonl(const std::vector<SeqEvent>& events) {
+  std::ostringstream out;
+  for (const SeqEvent& event : events) {
+    out << "{\"run\":" << event.run << ",\"seq\":" << event.seq << ",\"kind\":\""
+        << SeqEventKindName(event.kind) << "\",\"step\":" << event.step
+        << ",\"tokens\":" << event.tokens << ",\"sim_s\":" << JsonNumber(event.sim_seconds)
+        << ",\"wall_us\":" << JsonNumber(event.wall_us) << "}\n";
+  }
+  return out.str();
+}
+
+bool SeqEventLog::WriteJsonl(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) {
+    return false;
+  }
+  file << ToJsonl(Snapshot());
+  return static_cast<bool>(file);
+}
+
+std::vector<SeqLatency> DeriveSeqLatencies(const std::vector<SeqEvent>& events, bool wall) {
+  struct Accum {
+    SeqLatency latency;
+    double enqueue_t = 0.0;
+    double first_token_t = 0.0;
+    double last_emit_t = 0.0;
+    double last_t = 0.0;
+    double pending_preempt_t = 0.0;
+    bool saw_enqueue = false;
+    bool admitted = false;
+    bool first_token = false;
+    bool preempt_pending = false;
+  };
+  // std::map keys sort by (run, seq), giving deterministic output order.
+  std::map<std::pair<int64_t, int64_t>, Accum> groups;
+  for (const SeqEvent& event : events) {
+    Accum& acc = groups[{event.run, event.seq}];
+    const double t = wall ? event.wall_us : event.sim_seconds;
+    if (!acc.saw_enqueue) {
+      // First event of the group anchors t=0 even if (unusually) it is not
+      // an explicit enqueue.
+      acc.enqueue_t = t;
+      acc.saw_enqueue = true;
+    }
+    acc.last_t = t;
+    switch (event.kind) {
+      case SeqEventKind::kEnqueue:
+        acc.enqueue_t = t;
+        break;
+      case SeqEventKind::kAdmit:
+        if (!acc.admitted) {
+          acc.admitted = true;
+          acc.latency.queue_delay = t - acc.enqueue_t;
+        }
+        break;
+      case SeqEventKind::kPrefillChunk:
+        break;
+      case SeqEventKind::kFirstToken:
+        if (!acc.first_token) {
+          acc.first_token = true;
+          acc.first_token_t = t;
+          acc.latency.ttft = t - acc.enqueue_t;
+        }
+        acc.last_emit_t = t;
+        ++acc.latency.tokens;
+        break;
+      case SeqEventKind::kDecodeStep:
+        acc.last_emit_t = t;
+        ++acc.latency.tokens;
+        break;
+      case SeqEventKind::kPreempt:
+        ++acc.latency.preemptions;
+        acc.pending_preempt_t = t;
+        acc.preempt_pending = true;
+        break;
+      case SeqEventKind::kResume:
+        if (acc.preempt_pending) {
+          acc.latency.preemption_stall += t - acc.pending_preempt_t;
+          acc.preempt_pending = false;
+        }
+        acc.latency.recomputed_tokens += event.tokens;
+        break;
+      case SeqEventKind::kFinish:
+        acc.latency.finished = true;
+        break;
+    }
+  }
+  std::vector<SeqLatency> latencies;
+  latencies.reserve(groups.size());
+  for (auto& [key, acc] : groups) {
+    acc.latency.run = key.first;
+    acc.latency.seq = key.second;
+    acc.latency.total = acc.last_t - acc.enqueue_t;
+    if (acc.latency.tokens >= 2) {
+      acc.latency.tpot = (acc.last_emit_t - acc.first_token_t) /
+                         static_cast<double>(acc.latency.tokens - 1);
+    }
+    latencies.push_back(acc.latency);
+  }
+  return latencies;
+}
+
+LatencyDigest DigestValues(std::vector<double> values) {
+  LatencyDigest digest;
+  digest.count = values.size();
+  if (values.empty()) {
+    return digest;
+  }
+  std::sort(values.begin(), values.end());
+  double sum = 0.0;
+  for (double value : values) {
+    sum += value;
+  }
+  digest.mean = sum / static_cast<double>(values.size());
+  const auto at = [&values](double q) {
+    const double n = static_cast<double>(values.size());
+    size_t rank = static_cast<size_t>(std::ceil(q * n));
+    rank = std::max<size_t>(1, std::min(rank, values.size()));
+    return values[rank - 1];
+  };
+  digest.p50 = at(0.5);
+  digest.p90 = at(0.9);
+  digest.p99 = at(0.99);
+  digest.max = values.back();
+  return digest;
+}
+
+SeqLatencySummary SummarizeSeqLatencies(const std::vector<SeqLatency>& latencies) {
+  SeqLatencySummary summary;
+  std::vector<double> ttft;
+  std::vector<double> tpot;
+  std::vector<double> queue_delay;
+  std::vector<double> stall;
+  for (const SeqLatency& latency : latencies) {
+    ++summary.sequences;
+    if (latency.finished) {
+      ++summary.finished;
+    }
+    summary.preemptions += latency.preemptions;
+    summary.recomputed_tokens += latency.recomputed_tokens;
+    if (latency.tokens >= 1) {
+      ttft.push_back(latency.ttft);
+      queue_delay.push_back(latency.queue_delay);
+    }
+    if (latency.tokens >= 2) {
+      tpot.push_back(latency.tpot);
+    }
+    if (latency.preemptions > 0) {
+      stall.push_back(latency.preemption_stall);
+    }
+  }
+  summary.ttft = DigestValues(std::move(ttft));
+  summary.tpot = DigestValues(std::move(tpot));
+  summary.queue_delay = DigestValues(std::move(queue_delay));
+  summary.preemption_stall = DigestValues(std::move(stall));
+  return summary;
+}
+
+}  // namespace hybridflow

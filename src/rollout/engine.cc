@@ -18,6 +18,8 @@ void RolloutStats::Merge(const RolloutStats& other) {
   kv_peak_utilization = std::max(kv_peak_utilization, other.kv_peak_utilization);
   prefill_chunks += other.prefill_chunks;
   max_prefill_tokens_step = std::max(max_prefill_tokens_step, other.max_prefill_tokens_step);
+  resumes += other.resumes;
+  recomputed_tokens += other.recomputed_tokens;
 }
 
 void RolloutStatsCollector::Add(const RolloutStats& stats) {
@@ -47,7 +49,11 @@ RolloutEngine::RolloutEngine(const PolicyNet& net, const RolloutLimits& limits,
       running_batch_(MetricsRegistry::Global().GetHistogram(
           "rollout.running_batch", ExponentialBuckets(1, 2, 10), {{"plane", "data"}})),
       kv_utilization_(MetricsRegistry::Global().GetHistogram(
-          "rollout.kv_utilization", LinearBuckets(0.1, 0.1, 10), {{"plane", "data"}})) {
+          "rollout.kv_utilization", LinearBuckets(0.1, 0.1, 10), {{"plane", "data"}})),
+      ttft_us_(MetricsRegistry::Global().GetQuantileHistogram(
+          "rollout.ttft_us", QuantileHistogram::kDefaultRelativeError, {{"plane", "data"}})),
+      tpot_us_(MetricsRegistry::Global().GetQuantileHistogram(
+          "rollout.tpot_us", QuantileHistogram::kDefaultRelativeError, {{"plane", "data"}})) {
   HF_CHECK_GT(kv_ranks_, 0);
   HF_CHECK_GT(options_.block_tokens, 0);
   HF_CHECK_GE(limits_.max_new_tokens, 0);
@@ -92,6 +98,11 @@ RolloutShardResult RolloutEngine::Run(const std::vector<std::vector<int64_t>>& p
   scheduler_config.max_running = options_.max_running;
   scheduler_config.prefill_chunk_tokens = options_.prefill_chunk_tokens;
   RolloutScheduler scheduler(scheduler_config, &kv, &sequences);
+  // Opt-in lifecycle recording: a distinct run id per engine call keeps
+  // concurrent per-rank shards apart in the shared log.
+  const int64_t event_run =
+      options_.event_log != nullptr ? options_.event_log->BeginRun() : 0;
+  scheduler.SetEventLog(options_.event_log, event_run);
   for (size_t i = 0; i < batch; ++i) {
     RolloutSequence& sequence = sequences[i];
     sequence.id = static_cast<int64_t>(i);
@@ -159,7 +170,21 @@ RolloutShardResult RolloutEngine::Run(const std::vector<std::vector<int64_t>>& p
   result.stats.max_running_batch = scheduler_stats.max_running;
   result.stats.prefill_chunks = scheduler_stats.prefill_chunks;
   result.stats.max_prefill_tokens_step = scheduler_stats.max_prefill_tokens_step;
+  result.stats.resumes = scheduler_stats.resumes;
+  result.stats.recomputed_tokens = scheduler_stats.recomputed_tokens;
   result.stats.kv_high_water_blocks = kv.high_water_blocks();
+  if (options_.event_log != nullptr) {
+    // Wall-clock per-sequence latency distributions for this shard's run.
+    for (const SeqLatency& latency :
+         DeriveSeqLatencies(options_.event_log->SnapshotRun(event_run), /*wall=*/true)) {
+      if (latency.tokens >= 1) {
+        ttft_us_.Observe(latency.ttft);
+      }
+      if (latency.tokens >= 2) {
+        tpot_us_.Observe(latency.tpot);
+      }
+    }
+  }
   for (const RolloutSequence& sequence : sequences) {
     HF_CHECK(sequence.state == SequenceState::kFinished);
     const int64_t wait = std::max<int64_t>(sequence.first_admit_step - sequence.enqueue_step, 0);

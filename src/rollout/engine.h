@@ -43,6 +43,19 @@ struct RolloutOptions {
   // prefill in one step. Applies to both planes: the data-plane engine and
   // the timing simulator chunk identically.
   int64_t prefill_chunk_tokens = 0;
+  // Optional per-sequence lifecycle event sink (src/obs/seq_events.h),
+  // borrowed, shared safely by concurrent per-rank engines. Null (the
+  // default) disables data-plane recording entirely: the scheduler hooks
+  // no-op and no latency derivation runs. When set, the engine also
+  // observes per-sequence wall-clock TTFT/TPOT into the
+  // `rollout.ttft_us`/`rollout.tpot_us` quantile instruments.
+  SeqEventLog* event_log = nullptr;
+  // Same, for the timing simulator's sim-plane events. Kept separate from
+  // `event_log` because sim-plane volume scales with the *simulated*
+  // workload (full-scale batches), not the toy data plane. The simulator
+  // derives RolloutSimResult::latency from an internal log either way;
+  // this sink only controls whether the raw events outlive the call.
+  SeqEventLog* sim_event_log = nullptr;
 };
 
 // Termination rules for one generation call (mirrors AlignmentTask's
@@ -68,6 +81,10 @@ struct RolloutStats {
   // largest per-step prefill token total.
   int64_t prefill_chunks = 0;
   int64_t max_prefill_tokens_step = 0;
+  // Recompute-on-resume overhead: re-admissions after preemption and the
+  // context tokens they re-prefilled.
+  int64_t resumes = 0;
+  int64_t recomputed_tokens = 0;
 
   void Merge(const RolloutStats& other);
 };
@@ -115,6 +132,8 @@ class RolloutEngine {
   Histogram& queue_wait_steps_;
   Histogram& running_batch_;
   Histogram& kv_utilization_;
+  QuantileHistogram& ttft_us_;
+  QuantileHistogram& tpot_us_;
 };
 
 }  // namespace hybridflow

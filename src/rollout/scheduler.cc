@@ -23,11 +23,31 @@ RolloutSequence& RolloutScheduler::seq(int64_t id) {
   return (*sequences_)[static_cast<size_t>(id)];
 }
 
+void RolloutScheduler::SetEventLog(SeqEventLog* log, int64_t run) {
+  event_log_ = log;
+  event_run_ = run;
+}
+
+void RolloutScheduler::RecordEvent(SeqEventKind kind, int64_t id, int64_t tokens, int64_t step) {
+  if (event_log_ == nullptr) {
+    return;  // Recording disabled: the hook costs one pointer compare.
+  }
+  SeqEvent event;
+  event.run = event_run_;
+  event.seq = id;
+  event.kind = kind;
+  event.step = step;
+  event.tokens = tokens;
+  event.sim_seconds = sim_now_;
+  event_log_->RecordNow(event);
+}
+
 void RolloutScheduler::Enqueue(int64_t id) {
   RolloutSequence& sequence = seq(id);
   HF_CHECK(sequence.state == SequenceState::kWaiting);
   sequence.enqueue_step = stats_.steps;
   waiting_.push_back(id);
+  RecordEvent(SeqEventKind::kEnqueue, id, sequence.total_tokens(), stats_.steps);
 }
 
 void RolloutScheduler::RemoveFromRunning(int64_t id) {
@@ -40,6 +60,7 @@ void RolloutScheduler::Preempt(int64_t id) {
   RolloutSequence& sequence = seq(id);
   HF_CHECK(sequence.state == SequenceState::kPrefill ||
            sequence.state == SequenceState::kDecode);
+  RecordEvent(SeqEventKind::kPreempt, id, sequence.kv_tokens, stats_.steps - 1);
   kv_->FreeSequence(id);
   sequence.kv_tokens = 0;
   sequence.prefill_computed = 0;
@@ -132,6 +153,12 @@ StepPlan RolloutScheduler::BeginStep() {
     sequence.state = SequenceState::kPrefill;
     if (sequence.first_admit_step < 0) {
       sequence.first_admit_step = stats_.steps - 1;
+      RecordEvent(SeqEventKind::kAdmit, id, sequence.total_tokens(), stats_.steps - 1);
+    } else {
+      // Recompute-on-resume: the whole current context re-enters prefill.
+      stats_.resumes += 1;
+      stats_.recomputed_tokens += sequence.total_tokens();
+      RecordEvent(SeqEventKind::kResume, id, sequence.total_tokens(), stats_.steps - 1);
     }
     stats_.admissions += 1;
     running_.push_back(id);
@@ -152,6 +179,11 @@ StepPlan RolloutScheduler::BeginStep() {
     }
   }
   stats_.max_prefill_tokens_step = std::max(stats_.max_prefill_tokens_step, prefill_tokens);
+  if (event_log_ != nullptr) {
+    for (const PrefillChunk& chunk : plan.prefill) {
+      RecordEvent(SeqEventKind::kPrefillChunk, chunk.id, chunk.tokens, stats_.steps - 1);
+    }
+  }
   return plan;
 }
 
@@ -181,6 +213,8 @@ void RolloutScheduler::CommitEmittedToken(int64_t id, const std::vector<int64_t>
   const bool resident = sequence.state == SequenceState::kPrefill ||
                         sequence.state == SequenceState::kDecode;
   sequence.generated += 1;
+  RecordEvent(sequence.generated == 1 ? SeqEventKind::kFirstToken : SeqEventKind::kDecodeStep, id,
+              sequence.generated, stats_.steps - 1);
   const bool finished =
       sequence.generated >= sequence.target_new_tokens ||
       std::find(eos_finished.begin(), eos_finished.end(), id) != eos_finished.end();
@@ -196,6 +230,7 @@ void RolloutScheduler::CommitEmittedToken(int64_t id, const std::vector<int64_t>
     sequence.kv_tokens = 0;
     sequence.prefill_computed = 0;
     sequence.state = SequenceState::kFinished;
+    RecordEvent(SeqEventKind::kFinish, id, sequence.generated, stats_.steps - 1);
     return;
   }
   if (!resident) {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/kvcache/block_manager.h"
+#include "src/obs/seq_events.h"
 #include "src/rollout/sequence.h"
 
 namespace hybridflow {
@@ -86,6 +87,11 @@ struct RolloutSchedulerStats {
   // when chunking is on).
   int64_t prefill_chunks = 0;
   int64_t max_prefill_tokens_step = 0;
+  // Re-admissions after preemption, and the context tokens those resumes
+  // re-prefilled (the recompute-on-resume overhead; disjoint from first
+  // admissions' prefill work).
+  int64_t resumes = 0;
+  int64_t recomputed_tokens = 0;
 };
 
 // Single-threaded by design: one scheduler drives one replica's engine
@@ -118,6 +124,17 @@ class RolloutScheduler {
   const RolloutSchedulerStats& stats() const { return stats_; }
   int64_t current_step() const { return stats_.steps; }
 
+  // Attaches a per-sequence lifecycle event sink (src/obs/seq_events.h);
+  // events are tagged with `run` (from SeqEventLog::BeginRun). A null log
+  // (the default) makes every recording hook a single pointer compare, so
+  // the scheduler's behavior and hot-path cost are unchanged when nobody
+  // is listening — the same no-op contract as the sync-contract hooks.
+  void SetEventLog(SeqEventLog* log, int64_t run);
+  // Advances the sim-time stamp on subsequent events. The timing simulator
+  // calls this as its DES clock moves; data-plane callers leave it at 0
+  // (events then carry wall-clock only).
+  void SetSimNow(double sim_seconds) { sim_now_ = sim_seconds; }
+
  private:
   RolloutSequence& seq(int64_t id);
   // Frees the victim's KV and requeues it at the front of the waiting
@@ -128,6 +145,9 @@ class RolloutScheduler {
   int64_t BlocksNeededForDecode() const;
   // Retires or appends one row that emitted a token this step.
   void CommitEmittedToken(int64_t id, const std::vector<int64_t>& eos_finished);
+  // No-op unless an event log is attached. `step` is the 0-based step
+  // index the event belongs to.
+  void RecordEvent(SeqEventKind kind, int64_t id, int64_t tokens, int64_t step);
 
   RolloutSchedulerConfig config_;
   DistributedKvManager* kv_;
@@ -135,6 +155,9 @@ class RolloutScheduler {
   std::deque<int64_t> waiting_;
   std::vector<int64_t> running_;  // Admission order: oldest first.
   RolloutSchedulerStats stats_;
+  SeqEventLog* event_log_ = nullptr;
+  int64_t event_run_ = 0;
+  double sim_now_ = 0.0;
 };
 
 }  // namespace hybridflow

@@ -46,6 +46,12 @@ RolloutSimResult SimulateContinuousGeneration(const PerfModel& perf,
   scheduler_config.max_running = options.max_running;
   scheduler_config.prefill_chunk_tokens = options.prefill_chunk_tokens;
   RolloutScheduler scheduler(scheduler_config, &kv, &states);
+  // Lifecycle events always feed the latency digests; they only outlive
+  // this call when the caller provides a sink.
+  SeqEventLog local_events;
+  SeqEventLog* events = options.sim_event_log != nullptr ? options.sim_event_log : &local_events;
+  const int64_t event_run = events->BeginRun();
+  scheduler.SetEventLog(events, event_run);
   for (size_t i = 0; i < sequences.size(); ++i) {
     RolloutSequence& state = states[i];
     state.id = static_cast<int64_t>(i);
@@ -58,7 +64,11 @@ RolloutSimResult SimulateContinuousGeneration(const PerfModel& perf,
     }
   }
 
+  double sim_now = 0.0;
   while (scheduler.HasWork()) {
+    // Admission/preemption events carry the step-start clock; the commit's
+    // token events carry the step-end clock (after this step's cost).
+    scheduler.SetSimNow(sim_now);
     const StepPlan plan = scheduler.BeginStep();
 
     const KvBlockManager& rank0 = kv.rank(0);
@@ -107,6 +117,8 @@ RolloutSimResult SimulateContinuousGeneration(const PerfModel& perf,
     }
     result.max_step_seconds = std::max(result.max_step_seconds, step_seconds);
 
+    sim_now += step_seconds;
+    scheduler.SetSimNow(sim_now);
     scheduler.CommitStep(plan, /*eos_finished=*/{});
   }
 
@@ -117,7 +129,13 @@ RolloutSimResult SimulateContinuousGeneration(const PerfModel& perf,
   result.stats.max_running_batch = scheduler_stats.max_running;
   result.stats.prefill_chunks = scheduler_stats.prefill_chunks;
   result.stats.max_prefill_tokens_step = scheduler_stats.max_prefill_tokens_step;
+  result.stats.resumes = scheduler_stats.resumes;
+  result.stats.recomputed_tokens = scheduler_stats.recomputed_tokens;
   result.stats.kv_high_water_blocks = kv.high_water_blocks();
+  result.latency = SummarizeSeqLatencies(
+      DeriveSeqLatencies(events == &local_events ? local_events.Snapshot()
+                                                 : events->SnapshotRun(event_run),
+                         /*wall=*/false));
   for (const RolloutSequence& state : states) {
     if (state.target_new_tokens == 0) {
       continue;

@@ -28,6 +28,12 @@ struct RolloutSimResult {
   // prefill bounds this: without it a long prompt's one-shot prefill spikes
   // the step every decode row must wait behind.
   double max_step_seconds = 0.0;
+  // Sim-plane per-sequence latency digests (TTFT / TPOT / queue delay /
+  // preemption stall, all in sim-seconds), derived from the lifecycle
+  // event stream the scheduler records against the advancing step clock.
+  // Always populated; the raw events additionally outlive the call when
+  // RolloutOptions::sim_event_log is set.
+  SeqLatencySummary latency;
 };
 
 // Simulates continuous-batching generation of `sequences` on one model

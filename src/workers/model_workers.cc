@@ -167,6 +167,7 @@ double ActorWorkerGroup::GenerationSeconds(const RlhfWorkloadSpec& workload,
         perf(), gen, replica_devices, nominal, kv_budget, actor_.rollout);
     result = sim.time;
     last_rollout_sim_ = sim.stats;
+    last_rollout_latency_ = sim.latency;
     // Sim-plane scheduler gauges; GenerationSeconds runs only on the
     // single controller thread, so last-write-wins is well defined.
     MetricsRegistry& registry = MetricsRegistry::Global();
@@ -181,6 +182,16 @@ double ActorWorkerGroup::GenerationSeconds(const RlhfWorkloadSpec& workload,
         .Set(static_cast<double>(sim.stats.kv_high_water_blocks));
     registry.GetGauge("rollout.sim_kv_peak_utilization", plane)
         .Set(sim.stats.kv_peak_utilization);
+    registry.GetGauge("rollout.sim_resumes", plane)
+        .Set(static_cast<double>(sim.stats.resumes));
+    registry.GetGauge("rollout.sim_recomputed_tokens", plane)
+        .Set(static_cast<double>(sim.stats.recomputed_tokens));
+    registry.GetGauge("rollout.sim_ttft_p50_s", plane).Set(sim.latency.ttft.p50);
+    registry.GetGauge("rollout.sim_ttft_p90_s", plane).Set(sim.latency.ttft.p90);
+    registry.GetGauge("rollout.sim_ttft_p99_s", plane).Set(sim.latency.ttft.p99);
+    registry.GetGauge("rollout.sim_tpot_p50_s", plane).Set(sim.latency.tpot.p50);
+    registry.GetGauge("rollout.sim_tpot_p90_s", plane).Set(sim.latency.tpot.p90);
+    registry.GetGauge("rollout.sim_tpot_p99_s", plane).Set(sim.latency.tpot.p99);
   } else {
     result = perf().GenerateTime(gen, replica_devices, per_replica, workload.prompt_len,
                                  workload.response_len, kv_budget, actor_.use_kv_cache);

@@ -88,6 +88,10 @@ class ActorWorkerGroup : public ModelWorkerGroup {
   // Performance-plane scheduler stats of the most recent GenerateSequences
   // (continuous mode only).
   const RolloutStats& last_rollout_sim_stats() const { return last_rollout_sim_; }
+  // Performance-plane per-sequence latency digests (TTFT/TPOT/queue delay
+  // in sim-seconds) of the most recent GenerateSequences (continuous mode
+  // only).
+  const SeqLatencySummary& last_rollout_sim_latency() const { return last_rollout_latency_; }
 
   // Global L2 gradient norm captured by the most recent UpdateActor, before
   // the optimizer step zeroed the gradients (telemetry).
@@ -110,6 +114,7 @@ class ActorWorkerGroup : public ModelWorkerGroup {
   // mutable because generation compute closures are const.
   mutable RolloutStatsCollector rollout_stats_;
   mutable RolloutStats last_rollout_sim_;
+  mutable SeqLatencySummary last_rollout_latency_;
   uint64_t generation_calls_ = 0;
   double last_grad_norm_ = 0.0;
   double last_transition_seconds_ = 0.0;

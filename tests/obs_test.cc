@@ -165,7 +165,10 @@ TEST(ObsMetricsTest, TextExportIsHumanReadable) {
   registry.GetHistogram("y.hist", {10.0}).Observe(4.0);
   const std::string text = registry.ToText();
   EXPECT_NE(text.find("x.count{op=gen} = 4 (counter)"), std::string::npos);
-  EXPECT_NE(text.find("y.hist = count=1 sum=4 mean=4 (histogram)"), std::string::npos);
+  // p50/p90/p99 come from SnapshotQuantile's bucket interpolation: the one
+  // observation fills the [0, 10] bucket, whose upper edge every rank hits.
+  EXPECT_NE(text.find("y.hist = count=1 sum=4 mean=4 p50=10 p90=10 p99=10 (histogram)"),
+            std::string::npos);
 }
 
 TEST(ObsMetricsTest, GlobalRegistryIsASingleton) {

@@ -1,0 +1,650 @@
+// hfstat: offline analyzer for the observability artifacts this repo's
+// binaries write (docs/OBSERVABILITY.md) — metrics-registry JSONL dumps,
+// per-iteration telemetry JSONL, per-sequence rollout event logs, and
+// BENCH_*.json reports.
+//
+// Usage:
+//   hfstat [--top N] <artifact> [<artifact> ...]
+//
+// Each file's format is sniffed from its content, so any mix of artifacts
+// can be passed in one invocation:
+//   * metrics JSONL   ({"name":..,"type":..})   -> percentile tables for
+//     quantile/histogram instruments, compact counter/gauge listing;
+//   * telemetry JSONL ({"iteration":..})        -> per-iteration table and
+//     means over the run;
+//   * seq-events JSONL ({"kind":..,"seq":..})   -> TTFT / TPOT / queue /
+//     stall percentile table, per-stage latency breakdown, and the top-N
+//     slowest sequences with their event timelines;
+//   * BENCH_*.json    ({"bench":..,"rows":..})  -> row table.
+//
+// Exit status: 0 on success, 2 if any file is unreadable or malformed.
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/strings.h"
+#include "src/obs/seq_events.h"
+
+namespace hybridflow {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON reader (tools-local; src/obs/json_util.h
+// deliberately validates without building a DOM). Handles exactly the
+// subset the repo's emitters produce.
+
+struct JValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+  std::vector<JValue> items;                             // kArray
+  std::vector<std::pair<std::string, JValue>> fields;    // kObject (ordered)
+
+  const JValue* Find(const std::string& key) const {
+    for (const auto& [name, value] : fields) {
+      if (name == key) {
+        return &value;
+      }
+    }
+    return nullptr;
+  }
+  double Num(const std::string& key, double fallback = 0.0) const {
+    const JValue* value = Find(key);
+    return value != nullptr && value->kind == Kind::kNumber ? value->number : fallback;
+  }
+  std::string Str(const std::string& key) const {
+    const JValue* value = Find(key);
+    return value != nullptr && value->kind == Kind::kString ? value->text : std::string();
+  }
+};
+
+class JParser {
+ public:
+  explicit JParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JValue* out) {
+    SkipWs();
+    if (!ParseValue(out)) {
+      return false;
+    }
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool Literal(const char* word) {
+    const size_t len = std::string(word).size();
+    if (text_.compare(pos_, len, word) != 0) {
+      return false;
+    }
+    pos_ += len;
+    return true;
+  }
+  bool ParseValue(JValue* out) {
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->kind = JValue::Kind::kString;
+        return ParseString(&out->text);
+      case 't':
+        out->kind = JValue::Kind::kBool;
+        out->boolean = true;
+        return Literal("true");
+      case 'f':
+        out->kind = JValue::Kind::kBool;
+        out->boolean = false;
+        return Literal("false");
+      case 'n':
+        out->kind = JValue::Kind::kNull;
+        return Literal("null");
+      default:
+        return ParseNumber(out);
+    }
+  }
+  bool ParseObject(JValue* out) {
+    out->kind = JValue::Kind::kObject;
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"' || !ParseString(&key)) {
+        return false;
+      }
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return false;
+      }
+      ++pos_;
+      SkipWs();
+      JValue value;
+      if (!ParseValue(&value)) {
+        return false;
+      }
+      out->fields.emplace_back(std::move(key), std::move(value));
+      SkipWs();
+      if (pos_ >= text_.size()) {
+        return false;
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+  bool ParseArray(JValue* out) {
+    out->kind = JValue::Kind::kArray;
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      JValue value;
+      if (!ParseValue(&value)) {
+        return false;
+      }
+      out->items.push_back(std::move(value));
+      SkipWs();
+      if (pos_ >= text_.size()) {
+        return false;
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+  bool ParseString(std::string* out) {
+    ++pos_;  // '"'
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        if (pos_ + 1 >= text_.size()) {
+          return false;
+        }
+        const char escape = text_[pos_ + 1];
+        pos_ += 2;
+        switch (escape) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'n': *out += '\n'; break;
+          case 't': *out += '\t'; break;
+          case 'r': *out += '\r'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              return false;
+            }
+            // \u00XX only (the emitters never write astral escapes).
+            const std::string hex = text_.substr(pos_, 4);
+            pos_ += 4;
+            *out += static_cast<char>(std::stoi(hex, nullptr, 16));
+            break;
+          }
+          default:
+            return false;
+        }
+        continue;
+      }
+      *out += c;
+      ++pos_;
+    }
+    return false;
+  }
+  bool ParseNumber(JValue* out) {
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '-' ||
+            text_[pos_] == '+' || text_[pos_] == '.' || text_[pos_] == 'e' ||
+            text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return false;
+    }
+    out->kind = JValue::Kind::kNumber;
+    out->number = std::stod(text_.substr(start, pos_ - start));
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+
+std::string FormatValue(double value) {
+  if (value == static_cast<int64_t>(value) && std::abs(value) < 1e15) {
+    return StrFormat("%lld", static_cast<long long>(value));
+  }
+  return StrFormat("%.4g", value);
+}
+
+std::string LabelSuffix(const JValue& record) {
+  const JValue* labels = record.Find("labels");
+  if (labels == nullptr || labels->fields.empty()) {
+    return "";
+  }
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels->fields) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += key + "=" + value.text;
+  }
+  return out + "}";
+}
+
+// Interpolated percentile over a metrics-dump fixed-bucket histogram row
+// (same convention as Histogram::SnapshotQuantile).
+double HistogramQuantile(const JValue& record, double q) {
+  const JValue* buckets = record.Find("buckets");
+  if (buckets == nullptr || buckets->items.empty()) {
+    return 0.0;
+  }
+  uint64_t total = 0;
+  for (const JValue& bucket : buckets->items) {
+    total += static_cast<uint64_t>(bucket.Num("count"));
+  }
+  if (total == 0) {
+    return 0.0;
+  }
+  uint64_t rank = static_cast<uint64_t>(
+      std::max(1.0, std::ceil(std::min(1.0, std::max(0.0, q)) * static_cast<double>(total))));
+  uint64_t cumulative = 0;
+  double previous_edge = 0.0;
+  double last_finite_edge = 0.0;
+  for (const JValue& bucket : buckets->items) {
+    const uint64_t count = static_cast<uint64_t>(bucket.Num("count"));
+    const JValue* le = bucket.Find("le");
+    const bool overflow = le == nullptr || le->kind != JValue::Kind::kNumber;
+    const double edge = overflow ? last_finite_edge : le->number;
+    if (!overflow) {
+      last_finite_edge = edge;
+    }
+    if (cumulative + count >= rank) {
+      if (overflow || count == 0) {
+        return edge;
+      }
+      const double lower = cumulative == 0 && previous_edge == 0.0 && edge > 0.0
+                               ? std::min(0.0, edge)
+                               : previous_edge;
+      const double fraction =
+          static_cast<double>(rank - cumulative) / static_cast<double>(count);
+      return lower + (edge - lower) * fraction;
+    }
+    cumulative += count;
+    previous_edge = edge;
+  }
+  return last_finite_edge;
+}
+
+void PrintMetrics(const std::vector<JValue>& records) {
+  std::cout << "\n-- distributions --\n";
+  std::cout << StrFormat("%-44s | %8s | %10s | %10s | %10s | %10s\n", "metric", "count", "p50",
+                         "p90", "p99", "max");
+  for (const JValue& record : records) {
+    const std::string type = record.Str("type");
+    const std::string name = record.Str("name") + LabelSuffix(record);
+    if (type == "quantile") {
+      std::cout << StrFormat("%-44s | %8lld | %10s | %10s | %10s | %10s\n", name.c_str(),
+                             static_cast<long long>(record.Num("count")),
+                             FormatValue(record.Num("p50")).c_str(),
+                             FormatValue(record.Num("p90")).c_str(),
+                             FormatValue(record.Num("p99")).c_str(),
+                             FormatValue(record.Num("max")).c_str());
+    } else if (type == "histogram") {
+      std::cout << StrFormat("%-44s | %8lld | %10s | %10s | %10s | %10s\n", name.c_str(),
+                             static_cast<long long>(record.Num("count")),
+                             FormatValue(HistogramQuantile(record, 0.5)).c_str(),
+                             FormatValue(HistogramQuantile(record, 0.9)).c_str(),
+                             FormatValue(HistogramQuantile(record, 0.99)).c_str(), "-");
+    }
+  }
+  std::cout << "\n-- counters / gauges --\n";
+  for (const JValue& record : records) {
+    const std::string type = record.Str("type");
+    if (type == "counter" || type == "gauge") {
+      std::cout << StrFormat("%-52s = %s (%s)\n",
+                             (record.Str("name") + LabelSuffix(record)).c_str(),
+                             FormatValue(record.Num("value")).c_str(), type.c_str());
+    }
+  }
+}
+
+void PrintTelemetry(const std::vector<JValue>& records) {
+  // Union of numeric keys in insertion order across the run.
+  std::vector<std::string> keys;
+  std::set<std::string> seen;
+  for (const JValue& record : records) {
+    for (const auto& [key, value] : record.fields) {
+      if (value.kind == JValue::Kind::kNumber && seen.insert(key).second) {
+        keys.push_back(key);
+      }
+    }
+  }
+  std::cout << StrFormat("\n%zu iteration records; per-field mean / last:\n", records.size());
+  for (const std::string& key : keys) {
+    double sum = 0.0;
+    size_t count = 0;
+    double last = 0.0;
+    for (const JValue& record : records) {
+      const JValue* value = record.Find(key);
+      if (value != nullptr && value->kind == JValue::Kind::kNumber) {
+        sum += value->number;
+        last = value->number;
+        ++count;
+      }
+    }
+    if (count > 0) {
+      std::cout << StrFormat("  %-28s mean %-12s last %s\n", key.c_str(),
+                             FormatValue(sum / static_cast<double>(count)).c_str(),
+                             FormatValue(last).c_str());
+    }
+  }
+}
+
+void PrintDigestRow(const char* name, const LatencyDigest& digest, const char* unit) {
+  std::cout << StrFormat("%-18s | %8llu | %10s | %10s | %10s | %10s | %s\n", name,
+                         static_cast<unsigned long long>(digest.count),
+                         FormatValue(digest.p50).c_str(), FormatValue(digest.p90).c_str(),
+                         FormatValue(digest.p99).c_str(), FormatValue(digest.max).c_str(), unit);
+}
+
+bool SeqEventFromRecord(const JValue& record, SeqEvent* event) {
+  SeqEventKind kind;
+  if (!ParseSeqEventKind(record.Str("kind"), &kind)) {
+    return false;
+  }
+  event->run = static_cast<int64_t>(record.Num("run"));
+  event->seq = static_cast<int64_t>(record.Num("seq"));
+  event->kind = kind;
+  event->step = static_cast<int64_t>(record.Num("step"));
+  event->tokens = static_cast<int64_t>(record.Num("tokens"));
+  event->sim_seconds = record.Num("sim_s");
+  event->wall_us = record.Num("wall_us");
+  return true;
+}
+
+void PrintSeqEvents(const std::vector<JValue>& records, int top_n) {
+  std::vector<SeqEvent> events;
+  events.reserve(records.size());
+  for (const JValue& record : records) {
+    SeqEvent event;
+    if (SeqEventFromRecord(record, &event)) {
+      events.push_back(event);
+    }
+  }
+  // Sim-plane logs carry DES timestamps; data-plane logs leave them at 0
+  // and are analyzed on the wall clock.
+  bool any_sim = false;
+  for (const SeqEvent& event : events) {
+    any_sim = any_sim || event.sim_seconds > 0.0;
+  }
+  const bool wall = !any_sim;
+  const char* unit = wall ? "wall us" : "sim s";
+  std::vector<SeqLatency> latencies = DeriveSeqLatencies(events, wall);
+  const SeqLatencySummary summary = SummarizeSeqLatencies(latencies);
+
+  std::cout << StrFormat("\n%zu events, %lld sequences (%lld finished), %lld preemptions, "
+                         "%lld tokens recomputed [%s plane]\n",
+                         events.size(), static_cast<long long>(summary.sequences),
+                         static_cast<long long>(summary.finished),
+                         static_cast<long long>(summary.preemptions),
+                         static_cast<long long>(summary.recomputed_tokens),
+                         wall ? "wall" : "sim");
+  std::cout << StrFormat("%-18s | %8s | %10s | %10s | %10s | %10s |\n", "dimension", "count",
+                         "p50", "p90", "p99", "max");
+  PrintDigestRow("ttft", summary.ttft, unit);
+  PrintDigestRow("tpot", summary.tpot, unit);
+  PrintDigestRow("queue_delay", summary.queue_delay, unit);
+  PrintDigestRow("preemption_stall", summary.preemption_stall, unit);
+
+  // Per-stage breakdown of mean end-to-end latency: queue wait, prefill
+  // (first admit -> first token, includes recompute), decode tail, and
+  // preemption stall (which overlaps the decode/prefill stages but is
+  // reported separately as lost time).
+  double queue_sum = 0.0;
+  double prefill_sum = 0.0;
+  double decode_sum = 0.0;
+  double stall_sum = 0.0;
+  double total_sum = 0.0;
+  size_t emitted = 0;
+  for (const SeqLatency& latency : latencies) {
+    if (latency.tokens < 1) {
+      continue;
+    }
+    ++emitted;
+    queue_sum += latency.queue_delay;
+    prefill_sum += latency.ttft - latency.queue_delay;
+    decode_sum += latency.total - latency.ttft;
+    stall_sum += latency.preemption_stall;
+    total_sum += latency.total;
+  }
+  if (emitted > 0) {
+    const double n = static_cast<double>(emitted);
+    std::cout << StrFormat("\nper-stage means (%s): queue %s + prefill %s + decode %s "
+                           "= total %s (preemption stall %s of that)\n",
+                           unit, FormatValue(queue_sum / n).c_str(),
+                           FormatValue(prefill_sum / n).c_str(),
+                           FormatValue(decode_sum / n).c_str(),
+                           FormatValue(total_sum / n).c_str(),
+                           FormatValue(stall_sum / n).c_str());
+  }
+
+  // Top-N slowest sequences, with their full event timelines.
+  std::sort(latencies.begin(), latencies.end(),
+            [](const SeqLatency& a, const SeqLatency& b) { return a.total > b.total; });
+  const size_t show = std::min(latencies.size(), static_cast<size_t>(top_n));
+  std::cout << StrFormat("\ntop %zu slowest sequences:\n", show);
+  for (size_t i = 0; i < show; ++i) {
+    const SeqLatency& latency = latencies[i];
+    std::cout << StrFormat(
+        "  run %lld seq %lld: total %s, ttft %s, %lld tokens, %lld preemptions%s\n",
+        static_cast<long long>(latency.run), static_cast<long long>(latency.seq),
+        FormatValue(latency.total).c_str(), FormatValue(latency.ttft).c_str(),
+        static_cast<long long>(latency.tokens), static_cast<long long>(latency.preemptions),
+        latency.finished ? "" : " [unfinished]");
+    // Compress decode-step runs so long timelines stay readable; report
+    // timestamps relative to the sequence's first event.
+    int64_t decode_run = 0;
+    double base = 0.0;
+    bool have_base = false;
+    for (const SeqEvent& event : events) {
+      if (event.run != latency.run || event.seq != latency.seq) {
+        continue;
+      }
+      const double absolute = wall ? event.wall_us : event.sim_seconds;
+      if (!have_base) {
+        base = absolute;
+        have_base = true;
+      }
+      const double t = absolute - base;
+      if (event.kind == SeqEventKind::kDecodeStep) {
+        ++decode_run;
+        continue;
+      }
+      if (decode_run > 0) {
+        std::cout << StrFormat("    ... %lld decode steps ...\n",
+                               static_cast<long long>(decode_run));
+        decode_run = 0;
+      }
+      std::cout << StrFormat("    %12s  step %-5lld %-13s tokens=%lld\n",
+                             FormatValue(t).c_str(), static_cast<long long>(event.step),
+                             SeqEventKindName(event.kind),
+                             static_cast<long long>(event.tokens));
+    }
+    if (decode_run > 0) {
+      std::cout << StrFormat("    ... %lld decode steps ...\n",
+                             static_cast<long long>(decode_run));
+    }
+  }
+}
+
+void PrintBench(const JValue& report) {
+  const JValue* rows = report.Find("rows");
+  std::cout << StrFormat("\nbench \"%s\": %zu rows\n", report.Str("bench").c_str(),
+                         rows != nullptr ? rows->items.size() : 0);
+  if (rows == nullptr) {
+    return;
+  }
+  for (const JValue& row : rows->items) {
+    std::string line;
+    for (const auto& [key, value] : row.fields) {
+      if (!line.empty()) {
+        line += "  ";
+      }
+      line += key + "=";
+      line += value.kind == JValue::Kind::kNumber ? FormatValue(value.number) : value.text;
+    }
+    std::cout << "  " << line << "\n";
+  }
+}
+
+int AnalyzeFile(const std::string& path, int top_n) {
+  std::ifstream file(path);
+  if (!file) {
+    std::cerr << "hfstat: cannot open " << path << "\n";
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  const std::string content = buffer.str();
+
+  std::cout << "==== " << path << " ====\n";
+
+  // Whole-file JSON document (BENCH_*.json, Chrome traces)?
+  {
+    JValue document;
+    JParser parser(content);
+    if (parser.Parse(&document) && document.kind == JValue::Kind::kObject) {
+      if (document.Find("bench") != nullptr) {
+        PrintBench(document);
+        return 0;
+      }
+      if (document.Find("traceEvents") != nullptr) {
+        const JValue* trace_events = document.Find("traceEvents");
+        std::cout << StrFormat("\nChrome trace with %zu events (open in chrome://tracing); "
+                               "not analyzed further\n",
+                               trace_events->items.size());
+        return 0;
+      }
+    }
+  }
+
+  // JSONL: parse every non-empty line.
+  std::vector<JValue> records;
+  std::istringstream lines(content);
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(lines, line)) {
+    ++line_number;
+    if (line.empty()) {
+      continue;
+    }
+    JValue record;
+    JParser parser(line);
+    if (!parser.Parse(&record) || record.kind != JValue::Kind::kObject) {
+      std::cerr << "hfstat: " << path << ":" << line_number << ": malformed JSON line\n";
+      return 2;
+    }
+    records.push_back(std::move(record));
+  }
+  if (records.empty()) {
+    std::cout << "(empty)\n";
+    return 0;
+  }
+
+  const JValue& head = records.front();
+  if (head.Find("kind") != nullptr && head.Find("seq") != nullptr) {
+    PrintSeqEvents(records, top_n);
+  } else if (head.Find("name") != nullptr && head.Find("type") != nullptr) {
+    PrintMetrics(records);
+  } else if (head.Find("iteration") != nullptr) {
+    PrintTelemetry(records);
+  } else {
+    std::cerr << "hfstat: " << path << ": unrecognized JSONL schema\n";
+    return 2;
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  int top_n = 5;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--top" && i + 1 < argc) {
+      top_n = std::max(0, std::atoi(argv[++i]));
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: hfstat [--top N] <artifact.jsonl|BENCH_*.json> ...\n";
+      return 0;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::cerr << "usage: hfstat [--top N] <artifact.jsonl|BENCH_*.json> ...\n";
+    return 2;
+  }
+  int status = 0;
+  for (const std::string& path : paths) {
+    status = std::max(status, AnalyzeFile(path, top_n));
+  }
+  return status;
+}
+
+}  // namespace
+}  // namespace hybridflow
+
+int main(int argc, char** argv) { return hybridflow::Main(argc, argv); }
