@@ -1,0 +1,145 @@
+#include "src/data/arrival_trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+
+namespace hybridflow {
+
+const char* TraceShapeName(TraceShape shape) {
+  switch (shape) {
+    case TraceShape::kPoisson:
+      return "poisson";
+    case TraceShape::kBursty:
+      return "bursty";
+    case TraceShape::kDiurnal:
+      return "diurnal";
+  }
+  return "unknown";
+}
+
+bool ParseTraceShape(const std::string& name, TraceShape* shape) {
+  static constexpr TraceShape kAll[] = {TraceShape::kPoisson, TraceShape::kBursty,
+                                        TraceShape::kDiurnal};
+  for (TraceShape candidate : kAll) {
+    if (name == TraceShapeName(candidate)) {
+      *shape = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+double TraceRateAt(const ArrivalTraceConfig& config, double t) {
+  switch (config.shape) {
+    case TraceShape::kPoisson:
+      return config.rate;
+    case TraceShape::kBursty: {
+      const double cycle = config.burst_on + config.burst_off;
+      const double phase = std::fmod(t, cycle);
+      return phase < config.burst_on ? config.rate * config.burst_factor : config.rate;
+    }
+    case TraceShape::kDiurnal: {
+      const double omega = 2.0 * M_PI / config.diurnal_period;
+      return config.rate * (1.0 + config.diurnal_depth * std::sin(omega * t));
+    }
+  }
+  return config.rate;
+}
+
+namespace {
+
+// Peak rate of the shape: the Lewis-Shedler thinning envelope.
+double PeakRate(const ArrivalTraceConfig& config) {
+  switch (config.shape) {
+    case TraceShape::kPoisson:
+      return config.rate;
+    case TraceShape::kBursty:
+      return config.rate * std::max(config.burst_factor, 1.0);
+    case TraceShape::kDiurnal:
+      return config.rate * (1.0 + config.diurnal_depth);
+  }
+  return config.rate;
+}
+
+// Exponential(rate) draw; Uniform is [0, 1) so 1-u is (0, 1] and the log
+// is finite.
+double Exponential(Rng& rng, double rate) {
+  return -std::log(1.0 - rng.Uniform(0.0, 1.0)) / rate;
+}
+
+}  // namespace
+
+std::vector<ArrivalRecord> GenerateArrivalTrace(const ArrivalTraceConfig& config, uint64_t seed) {
+  HF_CHECK_GT(config.rate, 0.0);
+  HF_CHECK_GT(config.duration, 0.0);
+  if (config.shape == TraceShape::kBursty) {
+    HF_CHECK_GT(config.burst_on + config.burst_off, 0.0);
+    HF_CHECK_GT(config.burst_factor, 0.0);
+  }
+  if (config.shape == TraceShape::kDiurnal) {
+    HF_CHECK_GT(config.diurnal_period, 0.0);
+    HF_CHECK_GE(config.diurnal_depth, 0.0);
+    HF_CHECK_LE(config.diurnal_depth, 1.0);
+  }
+  std::vector<TenantSpec> tenants = config.tenants;
+  if (tenants.empty()) {
+    tenants.push_back(TenantSpec{});
+  }
+  std::vector<double> shares;
+  shares.reserve(tenants.size());
+  for (const TenantSpec& spec : tenants) {
+    HF_CHECK_GT(spec.share, 0.0);
+    HF_CHECK_GT(spec.prompt_min, 0);
+    HF_CHECK_GE(spec.prompt_max, spec.prompt_min);
+    HF_CHECK_GT(spec.new_tokens_min, 0);
+    HF_CHECK_GE(spec.new_tokens_max, spec.new_tokens_min);
+    shares.push_back(spec.share);
+  }
+
+  // Stream split (see header): arrivals, tenant picks, and per-tenant
+  // request shapes are independent so edits to one knob do not cascade.
+  Rng root(seed);
+  Rng arrivals = root.Fork(0);
+  Rng mix = root.Fork(1);
+  std::map<int64_t, Rng> shape_rngs;
+  for (size_t i = 0; i < tenants.size(); ++i) {
+    shape_rngs.emplace(tenants[i].tenant, root.Fork(2 + tenants[i].tenant));
+  }
+
+  const double peak = PeakRate(config);
+  std::vector<ArrivalRecord> trace;
+  double t = 0.0;
+  while (true) {
+    t += Exponential(arrivals, peak);
+    if (t >= config.duration) {
+      break;
+    }
+    // Thinning: keep the candidate with probability lambda(t)/peak.
+    if (arrivals.Uniform(0.0, peak) >= TraceRateAt(config, t)) {
+      continue;
+    }
+    const TenantSpec& spec = tenants[static_cast<size_t>(mix.Categorical(shares))];
+    Rng& shape_rng = shape_rngs.at(spec.tenant);
+    ArrivalRecord record;
+    record.index = static_cast<int64_t>(trace.size());
+    record.arrival = t;
+    record.tenant = spec.tenant;
+    record.priority = spec.priority;
+    record.prompt_tokens = shape_rng.UniformInt(spec.prompt_min, spec.prompt_max);
+    record.target_new_tokens = shape_rng.UniformInt(spec.new_tokens_min, spec.new_tokens_max);
+    record.ttft_deadline = spec.ttft_slo > 0.0 ? t + spec.ttft_slo : 0.0;
+    record.tpot_slo = spec.tpot_slo > 0.0 ? spec.tpot_slo : 0.0;
+    trace.push_back(record);
+    if (config.max_requests > 0 &&
+        static_cast<int64_t>(trace.size()) >= config.max_requests) {
+      break;
+    }
+  }
+  return trace;
+}
+
+}  // namespace hybridflow

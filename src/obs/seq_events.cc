@@ -30,6 +30,10 @@ const char* SeqEventKindName(SeqEventKind kind) {
       return "resume";
     case SeqEventKind::kFinish:
       return "finish";
+    case SeqEventKind::kCancel:
+      return "cancel";
+    case SeqEventKind::kExpire:
+      return "expire";
   }
   return "unknown";
 }
@@ -38,7 +42,8 @@ bool ParseSeqEventKind(const std::string& name, SeqEventKind* kind) {
   static constexpr SeqEventKind kAll[] = {
       SeqEventKind::kEnqueue,    SeqEventKind::kAdmit,   SeqEventKind::kPrefillChunk,
       SeqEventKind::kFirstToken, SeqEventKind::kDecodeStep, SeqEventKind::kPreempt,
-      SeqEventKind::kResume,     SeqEventKind::kFinish,
+      SeqEventKind::kResume,     SeqEventKind::kFinish,  SeqEventKind::kCancel,
+      SeqEventKind::kExpire,
   };
   for (SeqEventKind candidate : kAll) {
     if (name == SeqEventKindName(candidate)) {
@@ -169,6 +174,11 @@ std::vector<SeqLatency> DeriveSeqLatencies(const std::vector<SeqEvent>& events, 
         break;
       case SeqEventKind::kFinish:
         acc.latency.finished = true;
+        break;
+      case SeqEventKind::kCancel:
+      case SeqEventKind::kExpire:
+        // Terminal but not finished; the row keeps whatever tokens it
+        // streamed before the cut (TTFT/TPOT stay meaningful for them).
         break;
     }
   }

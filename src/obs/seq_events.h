@@ -38,6 +38,8 @@ enum class SeqEventKind {
   kPreempt,       // Preempted: KV freed, requeued (tokens = resident tokens lost).
   kResume,        // Re-admitted after preemption (tokens = tokens to re-prefill).
   kFinish,        // Reached target length / EOS; KV released.
+  kCancel,        // Client-side cancellation; KV released (tokens = resident lost).
+  kExpire,        // TTFT deadline passed before the first token; KV released.
 };
 
 // Stable lowercase-dash name used in JSONL ("prefill-chunk", ...).

@@ -15,6 +15,7 @@ RolloutScheduler::RolloutScheduler(const RolloutSchedulerConfig& config, Distrib
   HF_CHECK_GE(config_.reserve_tokens, 0);
   HF_CHECK_GE(config_.max_running, 0);
   HF_CHECK_GE(config_.prefill_chunk_tokens, 0);
+  HF_CHECK_GT(config_.fair_quantum_tokens, 0);
 }
 
 RolloutSequence& RolloutScheduler::seq(int64_t id) {
@@ -74,6 +75,56 @@ void RolloutScheduler::Preempt(int64_t id) {
   sequence.state = SequenceState::kWaiting;
 }
 
+void RolloutScheduler::Cancel(int64_t id, bool expired) {
+  RolloutSequence& sequence = seq(id);
+  HF_CHECK_MSG(sequence.state == SequenceState::kWaiting ||
+                   sequence.state == SequenceState::kPrefill ||
+                   sequence.state == SequenceState::kDecode,
+               "Cancel on a sequence that is not waiting or running");
+  const bool resident = sequence.state == SequenceState::kPrefill ||
+                        sequence.state == SequenceState::kDecode;
+  RecordEvent(expired ? SeqEventKind::kExpire : SeqEventKind::kCancel, id, sequence.kv_tokens,
+              std::max<int64_t>(stats_.steps - 1, 0));
+  if (resident) {
+    kv_->FreeSequence(id);
+    RemoveFromRunning(id);
+  } else {
+    auto it = std::find(waiting_.begin(), waiting_.end(), id);
+    HF_CHECK(it != waiting_.end());
+    waiting_.erase(it);
+  }
+  sequence.kv_tokens = 0;
+  sequence.prefill_computed = 0;
+  sequence.state = expired ? SequenceState::kExpired : SequenceState::kCancelled;
+  if (expired) {
+    stats_.expired += 1;
+  } else {
+    stats_.cancelled += 1;
+  }
+}
+
+void RolloutScheduler::ExpireOverdue() {
+  if (!config_.expire_overdue) {
+    return;
+  }
+  // A sequence is overdue when its first token has not been emitted by its
+  // TTFT deadline; rows already streaming (generated > 0, including ones
+  // sitting preempted in the waiting queue) met their deadline and run on.
+  std::vector<int64_t> overdue;
+  for (const auto& queue : {waiting_, std::deque<int64_t>(running_.begin(), running_.end())}) {
+    for (int64_t id : queue) {
+      const RolloutSequence& sequence = (*sequences_)[static_cast<size_t>(id)];
+      if (sequence.ttft_deadline > 0.0 && sequence.generated == 0 &&
+          sim_now_ > sequence.ttft_deadline) {
+        overdue.push_back(id);
+      }
+    }
+  }
+  for (int64_t id : overdue) {
+    Cancel(id, /*expired=*/true);
+  }
+}
+
 int64_t RolloutScheduler::BlocksNeededForDecode() const {
   const int64_t block_tokens = kv_->rank(0).config().block_tokens;
   int64_t needed = 0;
@@ -91,9 +142,164 @@ int64_t RolloutScheduler::BlocksNeededForDecode() const {
   return needed;
 }
 
+std::vector<int64_t> RolloutScheduler::AdmissionOrder() const {
+  std::vector<int64_t> candidates(waiting_.begin(), waiting_.end());
+  const auto total = [this](int64_t id) {
+    return (*sequences_)[static_cast<size_t>(id)].total_tokens();
+  };
+  if (config_.policy == RolloutPolicy::kLongestPrefixFirst) {
+    // Stable: equal-length pending sequences keep their waiting-queue
+    // (arrival) order — the determinism contract the tie-break test pins.
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [&total](int64_t a, int64_t b) { return total(a) > total(b); });
+  }
+  switch (config_.admission) {
+    case AdmissionPolicy::kQueueOrder:
+    case AdmissionPolicy::kWeightedFair:  // Handled by AdmitWeightedFair.
+      break;
+    case AdmissionPolicy::kPriority: {
+      std::stable_sort(candidates.begin(), candidates.end(), [this](int64_t a, int64_t b) {
+        return (*sequences_)[static_cast<size_t>(a)].priority >
+               (*sequences_)[static_cast<size_t>(b)].priority;
+      });
+      break;
+    }
+    case AdmissionPolicy::kDeadline: {
+      // EDF over TTFT deadlines; deadline-free sequences sort last in
+      // queue order.
+      std::stable_sort(candidates.begin(), candidates.end(), [this](int64_t a, int64_t b) {
+        const double da = (*sequences_)[static_cast<size_t>(a)].ttft_deadline;
+        const double db = (*sequences_)[static_cast<size_t>(b)].ttft_deadline;
+        if ((da > 0.0) != (db > 0.0)) {
+          return da > 0.0;
+        }
+        return da > 0.0 && da < db;
+      });
+      break;
+    }
+  }
+  return candidates;
+}
+
+bool RolloutScheduler::TryAdmit(int64_t id, StepPlan* plan, int64_t* budget) {
+  if (config_.max_running > 0 &&
+      static_cast<int64_t>(running_.size()) >= config_.max_running) {
+    return false;
+  }
+  if (*budget <= 0) {
+    return false;  // No prefill compute left this step (chunked prefill).
+  }
+  RolloutSequence& sequence = seq(id);
+  const int64_t reserve =
+      std::min(config_.reserve_tokens, std::max<int64_t>(sequence.remaining_tokens() - 1, 0));
+  if (!kv_->CanAdmit(sequence.total_tokens(), reserve)) {
+    return false;
+  }
+  HF_CHECK(kv_->AddSequence(id, sequence.total_tokens()));
+  sequence.kv_tokens = sequence.total_tokens();
+  sequence.prefill_computed = 0;
+  sequence.state = SequenceState::kPrefill;
+  if (sequence.first_admit_step < 0) {
+    sequence.first_admit_step = stats_.steps - 1;
+    RecordEvent(SeqEventKind::kAdmit, id, sequence.total_tokens(), stats_.steps - 1);
+  } else {
+    // Recompute-on-resume: the whole current context re-enters prefill.
+    stats_.resumes += 1;
+    stats_.recomputed_tokens += sequence.total_tokens();
+    RecordEvent(SeqEventKind::kResume, id, sequence.total_tokens(), stats_.steps - 1);
+  }
+  stats_.admissions += 1;
+  running_.push_back(id);
+  const int64_t grant = std::min(*budget, sequence.total_tokens());
+  *budget -= grant;
+  plan->prefill.push_back({id, grant, grant == sequence.total_tokens()});
+  waiting_.erase(std::find(waiting_.begin(), waiting_.end(), id));
+  return true;
+}
+
+void RolloutScheduler::AdmitWeightedFair(StepPlan* plan, int64_t* budget) {
+  // Per-tenant FIFOs in waiting-queue order (preempted resumes stay at
+  // their tenant's head).
+  std::map<int64_t, std::deque<int64_t>> queues;
+  for (int64_t id : waiting_) {
+    queues[(*sequences_)[static_cast<size_t>(id)].tenant].push_back(id);
+  }
+  if (queues.empty()) {
+    return;
+  }
+  std::vector<int64_t> tenants;
+  tenants.reserve(queues.size());
+  for (const auto& [tenant, queue] : queues) {
+    tenants.push_back(tenant);
+  }
+  // Round-robin sweep order: ascending tenant id, starting from the tenant
+  // the previous step stopped at (wrapping).
+  size_t start = 0;
+  for (size_t i = 0; i < tenants.size(); ++i) {
+    if (tenants[i] >= fair_cursor_) {
+      start = i;
+      break;
+    }
+  }
+  // Work-conserving DRR rounds: accrue one quantum of credit per pending
+  // tenant, then sweep from the cursor admitting while credit and capacity
+  // allow. A tenant whose head is blocked (TryAdmit false: KV, prefill
+  // budget, or max_running) yields to the *next* tenant — cross-tenant
+  // isolation, the point of fair queueing; its FIFO order is untouched and
+  // the first blocked tenant takes the cursor, giving it first claim on
+  // capacity freed by the next step. Rounds repeat while they admit
+  // anything, so ample capacity is never left idle by the quantum.
+  bool blocked_seen = false;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (const auto& [tenant, queue] : queues) {
+      if (!queue.empty()) {
+        const auto weight_it = config_.tenant_weights.find(tenant);
+        const double weight = weight_it == config_.tenant_weights.end() ? 1.0 : weight_it->second;
+        fair_deficit_[tenant] += static_cast<double>(config_.fair_quantum_tokens) * weight;
+      }
+    }
+    for (size_t k = 0; k < tenants.size(); ++k) {
+      const int64_t tenant = tenants[(start + k) % tenants.size()];
+      std::deque<int64_t>& queue = queues[tenant];
+      double& deficit = fair_deficit_[tenant];
+      while (!queue.empty()) {
+        const int64_t id = queue.front();
+        const double cost =
+            static_cast<double>((*sequences_)[static_cast<size_t>(id)].total_tokens());
+        if (deficit < cost) {
+          break;  // Out of credit; earns more next round.
+        }
+        if (!TryAdmit(id, plan, budget)) {
+          if (!blocked_seen) {
+            fair_cursor_ = tenant;
+            blocked_seen = true;
+          }
+          break;
+        }
+        deficit -= cost;
+        queue.pop_front();
+        progress = true;
+      }
+      if (queue.empty()) {
+        deficit = 0.0;  // Classic DRR: an idle tenant hoards no credit.
+      }
+    }
+  }
+}
+
 StepPlan RolloutScheduler::BeginStep() {
   HF_CHECK_MSG(HasWork(), "BeginStep called with no waiting or running sequences");
   stats_.steps += 1;
+
+  // 0. Deadline enforcement: reject overdue sequences instead of serving
+  // them late (no KV or compute is spent on them this step).
+  ExpireOverdue();
+  StepPlan plan;
+  if (!HasWork()) {
+    return plan;  // Expiry drained every remaining sequence.
+  }
 
   // 1. Reserve the running set's next-token blocks before admitting anyone;
   // evict the youngest until the incumbents fit (free-and-requeue).
@@ -101,7 +307,6 @@ StepPlan RolloutScheduler::BeginStep() {
     Preempt(running_.back());
   }
 
-  StepPlan plan;
   int64_t budget = config_.prefill_chunk_tokens > 0 ? config_.prefill_chunk_tokens
                                                     : std::numeric_limits<int64_t>::max();
 
@@ -126,46 +331,15 @@ StepPlan RolloutScheduler::BeginStep() {
   // 3. Admission in policy order, gated by real block allocation (the full
   // context's blocks are allocated up front; only the *compute* is chunked).
   // Strict priority: stop at the first candidate that does not fit, so the
-  // head of the queue is never starved by smaller requests behind it.
-  std::vector<int64_t> candidates(waiting_.begin(), waiting_.end());
-  if (config_.policy == RolloutPolicy::kLongestPrefixFirst) {
-    std::stable_sort(candidates.begin(), candidates.end(), [this](int64_t a, int64_t b) {
-      return seq(a).total_tokens() > seq(b).total_tokens();
-    });
-  }
-  for (int64_t id : candidates) {
-    if (config_.max_running > 0 &&
-        static_cast<int64_t>(running_.size()) >= config_.max_running) {
-      break;
+  // head of the order is never starved by smaller requests behind it.
+  if (config_.admission == AdmissionPolicy::kWeightedFair) {
+    AdmitWeightedFair(&plan, &budget);
+  } else {
+    for (int64_t id : AdmissionOrder()) {
+      if (!TryAdmit(id, &plan, &budget)) {
+        break;
+      }
     }
-    if (budget <= 0) {
-      break;  // No prefill compute left this step (chunked prefill).
-    }
-    RolloutSequence& sequence = seq(id);
-    const int64_t reserve =
-        std::min(config_.reserve_tokens, std::max<int64_t>(sequence.remaining_tokens() - 1, 0));
-    if (!kv_->CanAdmit(sequence.total_tokens(), reserve)) {
-      break;
-    }
-    HF_CHECK(kv_->AddSequence(id, sequence.total_tokens()));
-    sequence.kv_tokens = sequence.total_tokens();
-    sequence.prefill_computed = 0;
-    sequence.state = SequenceState::kPrefill;
-    if (sequence.first_admit_step < 0) {
-      sequence.first_admit_step = stats_.steps - 1;
-      RecordEvent(SeqEventKind::kAdmit, id, sequence.total_tokens(), stats_.steps - 1);
-    } else {
-      // Recompute-on-resume: the whole current context re-enters prefill.
-      stats_.resumes += 1;
-      stats_.recomputed_tokens += sequence.total_tokens();
-      RecordEvent(SeqEventKind::kResume, id, sequence.total_tokens(), stats_.steps - 1);
-    }
-    stats_.admissions += 1;
-    running_.push_back(id);
-    const int64_t grant = std::min(budget, sequence.total_tokens());
-    budget -= grant;
-    plan.prefill.push_back({id, grant, grant == sequence.total_tokens()});
-    waiting_.erase(std::find(waiting_.begin(), waiting_.end(), id));
   }
 
   HF_CHECK_MSG(!plan.empty(),

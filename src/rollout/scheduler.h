@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <vector>
 
 #include "src/kvcache/block_manager.h"
@@ -29,6 +30,19 @@ namespace hybridflow {
 enum class RolloutPolicy {
   kFcfs,               // Admit in arrival order.
   kLongestPrefixFirst, // Admit the longest pending context first.
+};
+
+// Serving-surface admission orderings (src/serving/) layered over the base
+// RolloutPolicy. kQueueOrder preserves the plain RLHF behavior exactly; the
+// other three reorder only *which* waiting sequence is admitted next, never
+// what an admitted sequence computes — greedy outputs per sequence are
+// schedule-invariant, so every policy keeps the bitwise-equivalence
+// contract (docs/ROLLOUT.md).
+enum class AdmissionPolicy {
+  kQueueOrder,    // RolloutPolicy over the waiting queue (legacy default).
+  kPriority,      // Higher RolloutSequence::priority first; queue-order ties.
+  kDeadline,      // Earliest ttft_deadline first (EDF); no deadline sorts last.
+  kWeightedFair,  // Weighted deficit round-robin across tenants.
 };
 
 struct RolloutSchedulerConfig {
@@ -44,6 +58,19 @@ struct RolloutSchedulerConfig {
   // decode batch for a whole step. 0 disables chunking (each admitted
   // context prefills in one step, the pre-chunking behavior).
   int64_t prefill_chunk_tokens = 0;
+  // SLO-aware admission (serving front end). kQueueOrder leaves the plain
+  // RLHF path untouched.
+  AdmissionPolicy admission = AdmissionPolicy::kQueueOrder;
+  // kWeightedFair: context tokens of credit granted per tenant visit; a
+  // tenant admits its queue head only while its accumulated deficit covers
+  // the head's full context, so admitted tokens track weights over time.
+  int64_t fair_quantum_tokens = 256;
+  // kWeightedFair: per-tenant service weights (missing tenants weigh 1.0).
+  std::map<int64_t, double> tenant_weights;
+  // Expire un-started sequences whose ttft_deadline is behind the SetSimNow
+  // clock at the top of BeginStep — rejected rather than served late. Off by
+  // default (deadlines are inert on the plain RLHF path).
+  bool expire_overdue = false;
 };
 
 // One slice of prefill compute for one sequence this step. A sequence's
@@ -92,6 +119,9 @@ struct RolloutSchedulerStats {
   // admissions' prefill work).
   int64_t resumes = 0;
   int64_t recomputed_tokens = 0;
+  // Serving exits: client cancellations and TTFT-deadline expiries.
+  int64_t cancelled = 0;
+  int64_t expired = 0;
 };
 
 // Single-threaded by design: one scheduler drives one replica's engine
@@ -105,10 +135,20 @@ class RolloutScheduler {
   // Adds a waiting sequence (state must be kWaiting).
   void Enqueue(int64_t id);
 
-  // Reserves decode headroom (preempting if needed), admits waiting
+  // Reserves decode headroom (preempting if needed), expires overdue
+  // waiting/prefilling sequences (when configured), admits waiting
   // sequences, and returns the step's batch. Aborts if no progress is
-  // possible while work remains (violated fit contract).
+  // possible while work remains (violated fit contract) — except when
+  // expiry drained all remaining work, which returns an empty plan.
   StepPlan BeginStep();
+
+  // Terminates a non-terminal sequence from the outside: removes it from
+  // the waiting queue or running set, releases its KV blocks, and marks it
+  // kCancelled (or kExpired when `expired` is set). Legal in any
+  // non-terminal state — waiting, mid-prefill-chunk, decoding, or requeued
+  // after preemption. Must not be called between BeginStep and the matching
+  // CommitStep (the plan would hold a dangling row).
+  void Cancel(int64_t id, bool expired = false);
 
   // Completes a step: every decode row and completing prefill chunk
   // emitted one token; partial chunks only advance their prefill progress.
@@ -141,6 +181,16 @@ class RolloutScheduler {
   // queue (its context is recomputed on resume).
   void Preempt(int64_t id);
   void RemoveFromRunning(int64_t id);
+  // Expires every waiting or still-prefilling sequence whose ttft_deadline
+  // is strictly behind sim_now_ (first token not yet emitted).
+  void ExpireOverdue();
+  // Admits one waiting candidate if the KV, prefill-budget, and max_running
+  // gates allow; returns false when admission must stop for this step.
+  bool TryAdmit(int64_t id, StepPlan* plan, int64_t* budget);
+  // Waiting queue reordered per config_.admission (all but kWeightedFair).
+  std::vector<int64_t> AdmissionOrder() const;
+  // Weighted deficit round-robin admission over per-tenant FIFOs.
+  void AdmitWeightedFair(StepPlan* plan, int64_t* budget);
   // Blocks the running set needs for its next appends on one rank.
   int64_t BlocksNeededForDecode() const;
   // Retires or appends one row that emitted a token this step.
@@ -158,6 +208,11 @@ class RolloutScheduler {
   SeqEventLog* event_log_ = nullptr;
   int64_t event_run_ = 0;
   double sim_now_ = 0.0;
+  // kWeightedFair state: unspent per-tenant credit (context tokens) and the
+  // tenant the next round-robin sweep starts from, both persisted across
+  // steps so service converges on the weight ratios.
+  std::map<int64_t, double> fair_deficit_;
+  int64_t fair_cursor_ = 0;
 };
 
 }  // namespace hybridflow

@@ -14,13 +14,18 @@
 namespace hybridflow {
 
 // waiting -> prefill -> decode -> finished, with preempted -> waiting on
-// capacity exhaustion (free-and-requeue; recompute on resume).
+// capacity exhaustion (free-and-requeue; recompute on resume). The serving
+// front end (src/serving/) adds two terminal exits reachable from any
+// non-terminal state: cancelled (client-side) and expired (TTFT deadline
+// passed before the first token); both release KV residency immediately.
 enum class SequenceState {
   kWaiting,
   kPrefill,
   kDecode,
   kFinished,
   kPreempted,
+  kCancelled,
+  kExpired,
 };
 
 struct RolloutSequence {
@@ -41,6 +46,15 @@ struct RolloutSequence {
   int64_t enqueue_step = 0;
   int64_t first_admit_step = -1;  // -1 until first admitted.
   int64_t preemptions = 0;
+
+  // Serving metadata (src/serving/); inert on the plain RLHF rollout path.
+  // `tenant` keys weighted fair queueing, `priority` orders admission under
+  // AdmissionPolicy::kPriority (higher first), and `ttft_deadline` is an
+  // absolute scheduler-clock instant (SetSimNow units) after which an
+  // un-started sequence is expired rather than served late; <= 0 disables.
+  int64_t tenant = 0;
+  int64_t priority = 0;
+  double ttft_deadline = 0.0;
 
   // Context length a (re)admission must cover.
   int64_t total_tokens() const { return prompt_tokens + generated; }

@@ -85,6 +85,23 @@ TEST(RolloutSchedulerTest, LongestPrefixFirstAdmitsLongestContext) {
   EXPECT_EQ(PrefillIds(plan), (std::vector<int64_t>{1, 3, 2, 0}));
 }
 
+TEST(RolloutSchedulerTest, LongestPrefixFirstBreaksTiesInArrivalOrder) {
+  // All-equal contexts: the LPF comparator is indifferent for every pair,
+  // so admission must be *exactly* the enqueue order — the stable-sort
+  // tie-break contract the serving surface relies on for determinism.
+  DistributedKvManager kv(1, KvConfig(/*blocks=*/64));
+  std::vector<RolloutSequence> sequences = MakeSequences({4, 4, 4, 4, 4}, /*target_new=*/4);
+  RolloutSchedulerConfig config;
+  config.policy = RolloutPolicy::kLongestPrefixFirst;
+  RolloutScheduler scheduler(config, &kv, &sequences);
+  // Enqueue in a scrambled id order; arrival order is what must stick.
+  for (int64_t id : {3, 0, 4, 1, 2}) {
+    scheduler.Enqueue(id);
+  }
+  const StepPlan plan = scheduler.BeginStep();
+  EXPECT_EQ(PrefillIds(plan), (std::vector<int64_t>{3, 0, 4, 1, 2}));
+}
+
 TEST(RolloutSchedulerTest, AdmissionGatedByKvCapacityWithoutBypass) {
   // 4 blocks of 4 tokens. Seq 0 (4 prompt + 1 reserve -> 2 blocks) fits;
   // seq 1 (12 prompt + 1 reserve -> 4 blocks > 3 free) does not. Seq 2

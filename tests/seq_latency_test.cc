@@ -50,7 +50,8 @@ TEST(SeqLatencyTest, EventKindNamesRoundTrip) {
   for (const SeqEventKind kind :
        {SeqEventKind::kEnqueue, SeqEventKind::kAdmit, SeqEventKind::kPrefillChunk,
         SeqEventKind::kFirstToken, SeqEventKind::kDecodeStep, SeqEventKind::kPreempt,
-        SeqEventKind::kResume, SeqEventKind::kFinish}) {
+        SeqEventKind::kResume, SeqEventKind::kFinish, SeqEventKind::kCancel,
+        SeqEventKind::kExpire}) {
     SeqEventKind parsed;
     ASSERT_TRUE(ParseSeqEventKind(SeqEventKindName(kind), &parsed)) << SeqEventKindName(kind);
     EXPECT_EQ(parsed, kind);

@@ -15,6 +15,8 @@
 //   * seq-events JSONL ({"kind":..,"seq":..})   -> TTFT / TPOT / queue /
 //     stall percentile table, per-stage latency breakdown, and the top-N
 //     slowest sequences with their event timelines;
+//   * serving JSONL   ({"req":..,"outcome":..}) -> per-tenant SLO-attainment
+//     table (requests / outcomes / goodput / TTFT & TPOT p99);
 //   * BENCH_*.json    ({"bench":..,"rows":..})  -> row table.
 //
 // Exit status: 0 on success, 2 if any file is unreadable or malformed.
@@ -531,6 +533,67 @@ void PrintSeqEvents(const std::vector<JValue>& records, int top_n) {
   }
 }
 
+void PrintServingRequests(const std::vector<JValue>& records) {
+  // Per-request serving JSONL (src/serving/request.h): fold into the same
+  // per-tenant SLO-attainment table BuildServingReport computes, so the
+  // offline view of an artifact matches the live report.
+  struct TenantRow {
+    int64_t requests = 0;
+    int64_t finished = 0;
+    int64_t cancelled = 0;
+    int64_t expired = 0;
+    int64_t slo_attained = 0;
+    int64_t goodput_tokens = 0;
+    std::vector<double> ttft;
+    std::vector<double> tpot;
+  };
+  std::map<int64_t, TenantRow> tenants;
+  for (const JValue& record : records) {
+    TenantRow& row = tenants[static_cast<int64_t>(record.Num("tenant"))];
+    ++row.requests;
+    const std::string outcome = record.Str("outcome");
+    const int64_t tokens = static_cast<int64_t>(record.Num("tokens"));
+    if (outcome == "finished") {
+      ++row.finished;
+    } else if (outcome == "cancelled") {
+      ++row.cancelled;
+    } else if (outcome == "expired") {
+      ++row.expired;
+    }
+    const JValue* slo_ok = record.Find("slo_ok");
+    if (slo_ok != nullptr && slo_ok->kind == JValue::Kind::kBool && slo_ok->boolean) {
+      ++row.slo_attained;
+      row.goodput_tokens += tokens;
+    }
+    if (tokens >= 1) {
+      row.ttft.push_back(record.Num("ttft"));
+    }
+    if (tokens >= 2) {
+      row.tpot.push_back(record.Num("tpot"));
+    }
+  }
+  std::cout << StrFormat("\n%zu serving requests across %zu tenants:\n", records.size(),
+                         tenants.size());
+  std::cout << StrFormat("%-7s | %5s | %5s | %5s | %5s | %8s | %8s | %9s | %10s | %10s |\n",
+                         "tenant", "reqs", "fin", "canc", "exp", "slo_ok", "slo_rate",
+                         "good_tok", "ttft_p99_s", "tpot_p99_s");
+  for (auto& [tenant, row] : tenants) {
+    const LatencyDigest ttft = DigestValues(std::move(row.ttft));
+    const LatencyDigest tpot = DigestValues(std::move(row.tpot));
+    const double rate =
+        row.requests > 0
+            ? static_cast<double>(row.slo_attained) / static_cast<double>(row.requests)
+            : 0.0;
+    std::cout << StrFormat(
+        "%-7lld | %5lld | %5lld | %5lld | %5lld | %8lld | %8s | %9lld | %10s | %10s |\n",
+        static_cast<long long>(tenant), static_cast<long long>(row.requests),
+        static_cast<long long>(row.finished), static_cast<long long>(row.cancelled),
+        static_cast<long long>(row.expired), static_cast<long long>(row.slo_attained),
+        FormatValue(rate).c_str(), static_cast<long long>(row.goodput_tokens),
+        FormatValue(ttft.p99).c_str(), FormatValue(tpot.p99).c_str());
+  }
+}
+
 void PrintBench(const JValue& report) {
   const JValue* rows = report.Find("rows");
   std::cout << StrFormat("\nbench \"%s\": %zu rows\n", report.Str("bench").c_str(),
@@ -608,6 +671,8 @@ int AnalyzeFile(const std::string& path, int top_n) {
   const JValue& head = records.front();
   if (head.Find("kind") != nullptr && head.Find("seq") != nullptr) {
     PrintSeqEvents(records, top_n);
+  } else if (head.Find("req") != nullptr && head.Find("outcome") != nullptr) {
+    PrintServingRequests(records);
   } else if (head.Find("name") != nullptr && head.Find("type") != nullptr) {
     PrintMetrics(records);
   } else if (head.Find("iteration") != nullptr) {

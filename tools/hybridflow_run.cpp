@@ -27,15 +27,31 @@
 //   async_staleness   (1) staleness-queue depth; 0 degenerates to sync order
 //   tensor.threads    (0 = auto) data-plane kernel workers; any value is
 //                     bitwise-equivalent (docs/KERNELS.md)
+//
+// Serving mode (docs/SERVING.md) — selected when `serving.trace` is set;
+// replays a synthetic multi-tenant arrival trace through SimulateServing
+// instead of running RLHF iterations:
+//   serving.trace     poisson | bursty | diurnal — arrival-trace shape
+//   serving.rate (6)  serving.duration (30)  serving.max_requests (256)
+//   serving.seed (7)  serving.tp (2)         serving.kv_tokens (4096)
+//   serving.admission queue | priority | deadline | weighted_fair (queue)
+//   serving.expire_overdue (true)  serving.fair_quantum_tokens (256)
+//   serving.interactive_share (0.3)  serving.interactive_weight (4.0)
+//   serving.ttft_slo (2.0)  serving.tpot_slo (0.5)  — interactive tenant 0
+//   serving.requests_path  write the per-request JSONL artifact (hfstat)
 
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "src/baselines/system_builder.h"
 #include "src/ckpt/checkpoint.h"
 #include "src/common/config.h"
 #include "src/common/strings.h"
+#include "src/data/arrival_trace.h"
+#include "src/serving/sim.h"
+#include "src/sim/topology.h"
 #include "src/sim/trace_export.h"
 
 namespace hybridflow {
@@ -92,7 +108,119 @@ PlacementKind ParsePlacement(const std::string& name) {
   std::exit(2);
 }
 
+AdmissionPolicy ParseAdmission(const std::string& name) {
+  if (name == "queue") {
+    return AdmissionPolicy::kQueueOrder;
+  }
+  if (name == "priority") {
+    return AdmissionPolicy::kPriority;
+  }
+  if (name == "deadline") {
+    return AdmissionPolicy::kDeadline;
+  }
+  if (name == "weighted_fair") {
+    return AdmissionPolicy::kWeightedFair;
+  }
+  std::cerr << "unknown serving.admission: " << name << "\n";
+  std::exit(2);
+}
+
+int RunServing(const ConfigMap& config) {
+  TraceShape shape;
+  const std::string shape_name = config.GetString("serving.trace");
+  if (!ParseTraceShape(shape_name, &shape)) {
+    std::cerr << "unknown serving.trace: " << shape_name << "\n";
+    std::exit(2);
+  }
+  ArrivalTraceConfig trace_config;
+  trace_config.shape = shape;
+  trace_config.rate = config.GetDouble("serving.rate", 6.0);
+  trace_config.duration = config.GetDouble("serving.duration", 30.0);
+  trace_config.max_requests = config.GetInt("serving.max_requests", 256);
+  // Two-tenant mix: tenant 0 is the interactive, SLO-carrying class;
+  // tenant 1 is best-effort batch with longer prompts and responses.
+  TenantSpec interactive;
+  interactive.tenant = 0;
+  interactive.share = config.GetDouble("serving.interactive_share", 0.3);
+  interactive.priority = 10;
+  interactive.ttft_slo = config.GetDouble("serving.ttft_slo", 2.0);
+  interactive.tpot_slo = config.GetDouble("serving.tpot_slo", 0.5);
+  interactive.prompt_min = 64;
+  interactive.prompt_max = 256;
+  interactive.new_tokens_min = 16;
+  interactive.new_tokens_max = 64;
+  TenantSpec batch;
+  batch.tenant = 1;
+  batch.share = 1.0 - interactive.share;
+  batch.prompt_min = 256;
+  batch.prompt_max = 1024;
+  batch.new_tokens_min = 64;
+  batch.new_tokens_max = 256;
+  trace_config.tenants = {interactive, batch};
+  const uint64_t seed = static_cast<uint64_t>(config.GetInt("serving.seed", 7));
+  const std::vector<ArrivalRecord> trace = GenerateArrivalTrace(trace_config, seed);
+
+  ServingPolicyConfig policy;
+  policy.admission = ParseAdmission(config.GetString("serving.admission", "queue"));
+  policy.expire_overdue = config.GetBool("serving.expire_overdue", true);
+  policy.fair_quantum_tokens = config.GetInt("serving.fair_quantum_tokens", 256);
+  policy.tenant_weights = {{0, config.GetDouble("serving.interactive_weight", 4.0)}, {1, 1.0}};
+
+  const ModelSpec model = ModelSpec::ByName(config.GetString("model.actor", "7B"));
+  const int num_gpus = static_cast<int>(config.GetInt("cluster.gpus", 16));
+  const PerfModel perf(model, ClusterSpec::WithGpus(num_gpus));
+  const int tp = static_cast<int>(config.GetInt("serving.tp", 2));
+  const GenParallelConfig gen{1, tp};
+  std::vector<DeviceId> devices;
+  for (int d = 0; d < tp; ++d) {
+    devices.push_back(d);
+  }
+  const double kv_budget = static_cast<double>(config.GetInt("serving.kv_tokens", 4096)) *
+                           perf.KvBytesPerTokenPerGpu(gen);
+
+  std::cout << StrFormat("serving: %zu requests, trace=%s rate=%.1f/s admission=%s model=%s\n",
+                         trace.size(), TraceShapeName(shape), trace_config.rate,
+                         config.GetString("serving.admission", "queue").c_str(),
+                         model.name.c_str());
+  const ServingSimResult result =
+      SimulateServing(perf, gen, devices, trace, kv_budget, policy);
+  std::cout << StrFormat(
+      "RESULT: %lld finished, %lld cancelled, %lld expired in %s; "
+      "SLO attainment %lld/%lld, goodput %.0f tok/s\n",
+      static_cast<long long>(result.report.finished),
+      static_cast<long long>(result.report.cancelled),
+      static_cast<long long>(result.report.expired), HumanSeconds(result.sim_seconds).c_str(),
+      static_cast<long long>(result.report.slo_attained),
+      static_cast<long long>(result.report.requests), result.report.goodput);
+  for (const TenantServingStats& tenant : result.report.tenants) {
+    std::cout << StrFormat(
+        "  tenant %lld: %lld reqs, slo %lld, ttft p50 %s p99 %s, tpot p99 %s, "
+        "goodput %.0f tok/s\n",
+        static_cast<long long>(tenant.tenant), static_cast<long long>(tenant.requests),
+        static_cast<long long>(tenant.slo_attained), HumanSeconds(tenant.ttft.p50).c_str(),
+        HumanSeconds(tenant.ttft.p99).c_str(), HumanSeconds(tenant.tpot.p99).c_str(),
+        tenant.goodput);
+  }
+  if (result.kv_leaked_blocks != 0) {
+    std::cerr << "KV LEAK: " << result.kv_leaked_blocks << " blocks still resident\n";
+    return 1;
+  }
+  const std::string requests_path = config.GetString("serving.requests_path");
+  if (!requests_path.empty()) {
+    if (WriteRequestRecordsJsonl(requests_path, result.records)) {
+      std::cout << "per-request JSONL written to " << requests_path << " (analyze with hfstat)\n";
+    } else {
+      std::cerr << "failed to write " << requests_path << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}
+
 int Run(const ConfigMap& config) {
+  if (config.Has("serving.trace")) {
+    return RunServing(config);
+  }
   SystemBuildConfig build;
   build.system = ParseSystem(config.GetString("system", "hybridflow"));
   build.algorithm = ParseAlgorithm(config.GetString("algorithm", "ppo"));
