@@ -4,15 +4,24 @@
 // response-length distributions on one 7B replica (p_g=1, t_g=2). The
 // static path pads every sequence to the longest response and batches in
 // capacity-sized waves (PerfModel::GenerateTime); the continuous engine
-// (SimulateContinuousGeneration) retires short sequences early, backfills
-// from the waiting queue, and preempts under pressure. Expected shape:
-//   * uniform lengths, ample KV  — the two roughly agree (same work);
+// (SimulateContinuousGeneration) runs chunked prefill with incremental KV
+// residency and the prefix-sharing cache enabled, retires short sequences
+// early, backfills from the waiting queue, and preempts under pressure.
+// Expected shape:
+//   * uniform lengths — continuous must not lose (gate: speedup >= 1.0 at
+//     every budget; incremental residency keeps admission flowing where
+//     full-at-admission used to stall behind whole-context reservations);
 //   * skewed lengths (80% short / 20% long) — continuous wins big, the
 //     static path burns whole waves on padded short sequences;
+//   * group sampling (n=4 per prompt) — the prefix cache shares prompt
+//     blocks across a group, skipping n-1 of every n prompt prefills;
 //   * tight budgets — continuous degrades gracefully via preemption.
 //
-// Emits BENCH_rollout.json with one row per (skew, budget) cell.
+// Emits BENCH_rollout.json with one row per (workload, budget) cell and
+// exits non-zero if the uniform gate fails — registered as a ctest
+// (bench_rollout_gate) so the regression trips CI, not just the report.
 
+#include <cstdlib>
 #include <iostream>
 #include <vector>
 
@@ -53,6 +62,22 @@ Workload SkewedWorkload(int64_t batch, int64_t prompt, int64_t short_len, int64_
   return workload;
 }
 
+// Group sampling: n responses per prompt (PPO-style candidate sets). All n
+// members of a group carry the same prompt_group, so the prefix cache
+// shares their full prompt blocks and skips n-1 of every n prompt
+// prefills; the static baseline pays all of them.
+Workload GroupSampledWorkload(int64_t groups, int64_t n, int64_t prompt, int64_t response) {
+  Workload workload;
+  workload.name = "group_n4";
+  for (int64_t g = 0; g < groups; ++g) {
+    for (int64_t i = 0; i < n; ++i) {
+      workload.sequences.push_back(NominalSequence{prompt, response, /*prompt_group=*/g});
+    }
+  }
+  workload.max_response = response;
+  return workload;
+}
+
 int Main() {
   const ClusterSpec cluster = ClusterSpec::WithGpus(16);
   const PerfModel perf(ModelSpec::Llama7B(), cluster);
@@ -65,15 +90,17 @@ int Main() {
   std::vector<Workload> workloads;
   workloads.push_back(UniformWorkload(batch, prompt, /*response=*/512));
   workloads.push_back(SkewedWorkload(batch, prompt, /*short_len=*/64, /*long_len=*/512, rng));
+  workloads.push_back(GroupSampledWorkload(/*groups=*/32, /*n=*/4, prompt, /*response=*/512));
 
   // Full demand: every sequence resident at its final length.
   const double token_bytes = perf.KvBytesPerTokenPerGpu(gen);
   const double full_demand = static_cast<double>(batch) * (prompt + 512) * token_bytes;
 
   BenchReport report("rollout");
-  std::cout << StrFormat("%-14s | %6s | %10s | %10s | %7s | %6s | %7s | %9s | %9s\n", "workload",
-                         "budget", "static", "continuous", "speedup", "steps", "preempt",
-                         "ttft p99", "tpot p99");
+  int gate_failures = 0;
+  std::cout << StrFormat("%-14s | %6s | %10s | %10s | %7s | %6s | %7s | %9s | %9s\n",
+                         "workload", "budget", "static", "continuous", "speedup", "steps",
+                         "preempt", "pfx skip", "ttft p99");
   for (const Workload& workload : workloads) {
     for (const double fraction : {1.0, 0.5, 0.25, 0.125}) {
       const double budget = fraction * full_demand;
@@ -82,20 +109,39 @@ int Main() {
                             /*use_kv_cache=*/true);
       RolloutOptions options;
       options.mode = RolloutMode::kContinuous;
+      // The shipping RLHF rollout configuration the gate below holds to
+      // "never lose to static": prefix-sharing cache on (shares group
+      // prompts, retains victims' prompt blocks across preemption) and
+      // full-length admission reservations on (targets are the simulated
+      // lengths, so admission never over-commits and decode-time preemption
+      // churn disappears — the scheduler degrades into exact capacity waves
+      // on lockstep-uniform workloads instead of thrashing below them).
+      options.enable_prefix_cache = true;
+      options.reserve_full_length = true;
       const RolloutSimResult continuous =
           SimulateContinuousGeneration(perf, gen, devices, workload.sequences, budget, options);
       const double speedup = continuous.time.total() > 0.0
                                  ? fixed.total() / continuous.time.total()
                                  : 0.0;
       const SeqLatencySummary& latency = continuous.latency;
-      std::cout << StrFormat("%-14s | %5.0f%% | %10s | %10s | %6.2fx | %6lld | %7lld | %9s | %9s\n",
-                             workload.name, 100.0 * fraction,
-                             HumanSeconds(fixed.total()).c_str(),
-                             HumanSeconds(continuous.time.total()).c_str(), speedup,
-                             static_cast<long long>(continuous.stats.steps),
-                             static_cast<long long>(continuous.stats.preemptions),
-                             HumanSeconds(latency.ttft.p99).c_str(),
-                             HumanSeconds(latency.tpot.p99).c_str());
+      std::cout << StrFormat(
+          "%-14s | %5.0f%% | %10s | %10s | %6.2fx | %6lld | %7lld | %9lld | %9s\n",
+          workload.name, 100.0 * fraction, HumanSeconds(fixed.total()).c_str(),
+          HumanSeconds(continuous.time.total()).c_str(), speedup,
+          static_cast<long long>(continuous.stats.steps),
+          static_cast<long long>(continuous.stats.preemptions),
+          static_cast<long long>(continuous.stats.prefix_skipped_tokens),
+          HumanSeconds(latency.ttft.p99).c_str());
+      // Bench-enforced regression gate: with incremental residency the
+      // continuous engine must never lose to the static wave model on the
+      // uniform workload (identical work, no early-exit advantage).
+      if (std::string(workload.name) == "uniform" && speedup < 1.0) {
+        std::cerr << StrFormat(
+            "GATE FAILURE: uniform continuous lost to static at budget %.1f%% "
+            "(speedup %.3fx < 1.0)\n",
+            100.0 * fraction, speedup);
+        ++gate_failures;
+      }
       report.AddRow()
           .Text("workload", workload.name)
           .Number("kv_budget_fraction", fraction)
@@ -120,6 +166,11 @@ int Main() {
           .Number("kv_peak_utilization", continuous.stats.kv_peak_utilization)
           .Number("resumes", static_cast<double>(continuous.stats.resumes))
           .Number("recomputed_tokens", static_cast<double>(continuous.stats.recomputed_tokens))
+          .Number("prefix_skipped_tokens",
+                  static_cast<double>(continuous.stats.prefix_skipped_tokens))
+          .Number("cow_splits", static_cast<double>(continuous.stats.cow_splits))
+          .Number("shared_blocks_high_water",
+                  static_cast<double>(continuous.stats.shared_blocks_high_water))
           .Number("ttft_p50_s", latency.ttft.p50)
           .Number("ttft_p90_s", latency.ttft.p90)
           .Number("ttft_p99_s", latency.ttft.p99)
@@ -130,11 +181,55 @@ int Main() {
           .Number("preemption_stall_p99_s", latency.preemption_stall.p99);
     }
   }
+  // Shared-prefill speedup: the same group-sampled workload (n=4 per
+  // prompt) with and without the prefix cache, at full budget. Isolates
+  // the win from skipping n-1 of every n prompt prefills.
+  {
+    const Workload group = GroupSampledWorkload(/*groups=*/32, /*n=*/4, prompt, /*response=*/512);
+    RolloutOptions cached;
+    cached.mode = RolloutMode::kContinuous;
+    cached.enable_prefix_cache = true;
+    cached.reserve_full_length = true;
+    RolloutOptions uncached = cached;
+    uncached.enable_prefix_cache = false;
+    uncached.reserve_full_length = true;
+    const RolloutSimResult with_cache =
+        SimulateContinuousGeneration(perf, gen, devices, group.sequences, full_demand, cached);
+    const RolloutSimResult without_cache =
+        SimulateContinuousGeneration(perf, gen, devices, group.sequences, full_demand, uncached);
+    const double shared_prefill_speedup =
+        with_cache.time.total() > 0.0 ? without_cache.time.total() / with_cache.time.total() : 0.0;
+    std::cout << StrFormat(
+        "group_n4 shared-prefill speedup (prefix cache on vs off, 100%% budget): %.2fx "
+        "(prefill %s -> %s, %lld prompt tokens skipped)\n",
+        shared_prefill_speedup, HumanSeconds(without_cache.time.prefill_seconds).c_str(),
+        HumanSeconds(with_cache.time.prefill_seconds).c_str(),
+        static_cast<long long>(with_cache.stats.prefix_skipped_tokens));
+    report.AddRow()
+        .Text("workload", "group_n4_shared_prefill")
+        .Number("kv_budget_fraction", 1.0)
+        .Number("batch", static_cast<double>(batch))
+        .Number("prompt_len", static_cast<double>(prompt))
+        .Number("max_response_len", static_cast<double>(group.max_response))
+        .Number("uncached_seconds", without_cache.time.total())
+        .Number("uncached_prefill_seconds", without_cache.time.prefill_seconds)
+        .Number("cached_seconds", with_cache.time.total())
+        .Number("cached_prefill_seconds", with_cache.time.prefill_seconds)
+        .Number("shared_prefill_speedup", shared_prefill_speedup)
+        .Number("prefix_skipped_tokens",
+                static_cast<double>(with_cache.stats.prefix_skipped_tokens))
+        .Number("shared_blocks_high_water",
+                static_cast<double>(with_cache.stats.shared_blocks_high_water));
+  }
   if (!report.WriteJson()) {
     std::cerr << "failed to write " << report.FilePath() << "\n";
     return 1;
   }
   std::cout << "wrote " << report.FilePath() << " (" << report.size() << " rows)\n";
+  if (gate_failures > 0) {
+    std::cerr << gate_failures << " gate failure(s): uniform continuous < static\n";
+    return 1;
+  }
   return 0;
 }
 

@@ -72,6 +72,10 @@ struct ArrivalRecord {
   int64_t target_new_tokens = 0;
   double ttft_deadline = 0.0;  // Absolute (arrival + ttft_slo); 0 = none.
   double tpot_slo = 0.0;       // Relative per-token budget; 0 = none.
+  // Count-based prompt identity for the prefix-sharing KV cache: records
+  // with the same non-negative group carry an identical prompt (shared
+  // when ServingPolicyConfig::prefix_cache is on); -1 = unique prompt.
+  int64_t prompt_group = -1;
 };
 
 // Instantaneous arrival rate lambda(t) of `config`'s shape (exposed for

@@ -5,10 +5,54 @@
 #include "src/common/check.h"
 
 namespace hybridflow {
+namespace {
+
+// splitmix64 finalizer — the standard cheap 64-bit mixer. Chained hashing
+// only needs collision resistance good enough that distinct prefixes never
+// alias in practice (64-bit keyspace, thousands of blocks).
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t NonZero(uint64_t h) { return h == 0 ? 0x9e3779b97f4a7c15ULL : h; }
+
+}  // namespace
+
+std::vector<uint64_t> PromptBlockHashes(const std::vector<int64_t>& tokens,
+                                        int64_t block_tokens) {
+  HF_CHECK_GT(block_tokens, 0);
+  std::vector<uint64_t> hashes;
+  const int64_t full_blocks = static_cast<int64_t>(tokens.size()) / block_tokens;
+  hashes.reserve(static_cast<size_t>(full_blocks));
+  uint64_t h = 0x243f6a8885a308d3ULL;  // Arbitrary fixed seed (pi digits).
+  for (int64_t block = 0; block < full_blocks; ++block) {
+    for (int64_t i = 0; i < block_tokens; ++i) {
+      h = Mix64(h ^ static_cast<uint64_t>(tokens[static_cast<size_t>(block * block_tokens + i)]));
+    }
+    hashes.push_back(NonZero(h));
+  }
+  return hashes;
+}
+
+std::vector<uint64_t> GroupBlockHashes(int64_t group, int64_t full_blocks) {
+  HF_CHECK_GE(full_blocks, 0);
+  std::vector<uint64_t> hashes;
+  hashes.reserve(static_cast<size_t>(full_blocks));
+  uint64_t h = Mix64(0x452821e638d01377ULL ^ static_cast<uint64_t>(group));
+  for (int64_t block = 0; block < full_blocks; ++block) {
+    h = Mix64(h ^ static_cast<uint64_t>(block + 1));
+    hashes.push_back(NonZero(h));
+  }
+  return hashes;
+}
 
 KvBlockManager::KvBlockManager(const KvBlockConfig& config) : config_(config) {
   HF_CHECK_GT(config_.block_tokens, 0);
   HF_CHECK_GE(config_.num_blocks, 0);
+  blocks_.resize(static_cast<size_t>(config_.num_blocks));
   free_list_.reserve(static_cast<size_t>(config_.num_blocks));
   // Blocks handed out from the back: highest ids first (order is an
   // implementation detail; tests only rely on set semantics).
@@ -21,58 +65,343 @@ int64_t KvBlockManager::BlocksFor(int64_t tokens) const {
   return (tokens + config_.block_tokens - 1) / config_.block_tokens;
 }
 
+KvBlockManager::SequenceState& KvBlockManager::State(int64_t sequence_id) {
+  auto it = tables_.find(sequence_id);
+  HF_CHECK_MSG(it != tables_.end(), "unknown sequence " << sequence_id);
+  return it->second;
+}
+
+const KvBlockManager::SequenceState& KvBlockManager::State(int64_t sequence_id) const {
+  auto it = tables_.find(sequence_id);
+  HF_CHECK_MSG(it != tables_.end(), "unknown sequence " << sequence_id);
+  return it->second;
+}
+
+int64_t KvBlockManager::AllocateBlock() {
+  if (!free_list_.empty()) {
+    const int64_t block = free_list_.back();
+    free_list_.pop_back();
+    return block;
+  }
+  if (evictable_lru_.empty()) {
+    return -1;
+  }
+  // Evict the least recently used cached block; its prefix-index entry is
+  // pruned so later probes can't hit a block that no longer holds the
+  // content.
+  const int64_t block = evictable_lru_.front();
+  evictable_lru_.pop_front();
+  Block& b = blocks_[static_cast<size_t>(block)];
+  HF_CHECK_EQ(b.refs, 0);
+  auto indexed = prefix_index_.find(b.hash);
+  if (indexed != prefix_index_.end() && indexed->second == block) {
+    prefix_index_.erase(indexed);
+  }
+  b = Block{};
+  ++evictions_total_;
+  return block;
+}
+
+void KvBlockManager::Ref(int64_t block) {
+  Block& b = blocks_[static_cast<size_t>(block)];
+  if (b.evictable) {
+    HF_CHECK_EQ(b.refs, 0);
+    evictable_lru_.erase(b.lru);
+    b.evictable = false;
+  }
+  if (b.refs == 0) {
+    ++used_blocks_;
+  }
+  b.refs += 1;
+  if (b.refs == 2) {
+    ++shared_blocks_;
+    NoteSharing();
+  }
+}
+
+void KvBlockManager::Unref(int64_t block) {
+  Block& b = blocks_[static_cast<size_t>(block)];
+  HF_CHECK_GT(b.refs, 0);
+  b.refs -= 1;
+  if (b.refs == 1) {
+    --shared_blocks_;
+  }
+  if (b.refs > 0) {
+    return;
+  }
+  --used_blocks_;
+  auto indexed = b.hash == 0 ? prefix_index_.end() : prefix_index_.find(b.hash);
+  if (config_.enable_prefix_cache && indexed != prefix_index_.end() && indexed->second == block) {
+    // Retain for future prefix hits: unreferenced but still materialized,
+    // reclaimable by AllocateBlock's LRU eviction.
+    evictable_lru_.push_back(block);
+    b.evictable = true;
+    b.lru = std::prev(evictable_lru_.end());
+    return;
+  }
+  if (indexed != prefix_index_.end() && indexed->second == block) {
+    prefix_index_.erase(indexed);
+  }
+  b = Block{};
+  free_list_.push_back(block);
+}
+
+void KvBlockManager::IndexFullBlocks(SequenceState& state) {
+  if (!config_.enable_prefix_cache) {
+    return;
+  }
+  const int64_t hashed = std::min<int64_t>(static_cast<int64_t>(state.hashes.size()),
+                                           state.tokens / config_.block_tokens);
+  for (int64_t i = 0; i < hashed; ++i) {
+    Block& b = blocks_[static_cast<size_t>(state.blocks[static_cast<size_t>(i)])];
+    if (b.hash != 0) {
+      continue;  // Already stamped (shared hit or earlier pass).
+    }
+    b.hash = state.hashes[static_cast<size_t>(i)];
+    // First writer wins: if another block already serves this hash, this
+    // one simply stays un-indexed (and frees normally on last unref).
+    prefix_index_.emplace(b.hash, state.blocks[static_cast<size_t>(i)]);
+  }
+}
+
 bool KvBlockManager::AddSequence(int64_t sequence_id, int64_t prompt_tokens) {
-  HF_CHECK_GE(prompt_tokens, 0);
+  return AddSequenceShared(sequence_id, prompt_tokens, {});
+}
+
+bool KvBlockManager::AddSequenceShared(int64_t sequence_id, int64_t resident_tokens,
+                                       const std::vector<uint64_t>& block_hashes) {
+  HF_CHECK_GE(resident_tokens, 0);
   HF_CHECK_MSG(tables_.count(sequence_id) == 0, "sequence " << sequence_id << " already exists");
-  const int64_t needed = BlocksFor(prompt_tokens);
-  if (needed > free_blocks()) {
+  const int64_t hit_tokens =
+      config_.enable_prefix_cache ? PrefixHitTokens(block_hashes) : 0;
+  const int64_t hit_count = hit_tokens / config_.block_tokens;
+  // Sharing is free, so residency covers at least every hit block even if
+  // the caller asked for less.
+  const int64_t tokens = std::max(resident_tokens, hit_tokens);
+  const int64_t needed = BlocksFor(tokens) - hit_count;
+  // Evictable hit blocks are inside available_blocks() but stop being
+  // available the moment we re-reference them below.
+  if (needed > available_blocks() - EvictableHitBlocks(block_hashes, hit_count)) {
     return false;
   }
   SequenceState state;
-  state.tokens = prompt_tokens;
-  state.blocks.reserve(static_cast<size_t>(needed));
-  for (int64_t i = 0; i < needed; ++i) {
-    state.blocks.push_back(free_list_.back());
-    free_list_.pop_back();
+  state.tokens = tokens;
+  if (config_.enable_prefix_cache) {
+    state.hashes = block_hashes;
   }
-  tables_.emplace(sequence_id, std::move(state));
+  state.blocks.reserve(static_cast<size_t>(BlocksFor(tokens)));
+  // Reference the shared prefix first so eviction (inside AllocateBlock)
+  // can never reclaim a block we are about to share.
+  for (int64_t i = 0; i < hit_count; ++i) {
+    const int64_t block = prefix_index_.at(block_hashes[static_cast<size_t>(i)]);
+    Ref(block);
+    state.blocks.push_back(block);
+  }
+  for (int64_t i = hit_count; i < BlocksFor(tokens); ++i) {
+    const int64_t block = AllocateBlock();
+    HF_CHECK_GE(block, 0);  // Guaranteed by the available_blocks() probe.
+    Block& b = blocks_[static_cast<size_t>(block)];
+    b.refs = 1;
+    b.tokens = std::min<int64_t>(config_.block_tokens, tokens - i * config_.block_tokens);
+    ++used_blocks_;
+    state.blocks.push_back(block);
+  }
+  prefix_hit_tokens_total_ += hit_tokens;
+  auto [it, inserted] = tables_.emplace(sequence_id, std::move(state));
+  HF_CHECK(inserted);
+  IndexFullBlocks(it->second);
   NoteAllocation();
   return true;
+}
+
+int64_t KvBlockManager::EvictableHitBlocks(const std::vector<uint64_t>& block_hashes,
+                                           int64_t hit_count) const {
+  int64_t evictable = 0;
+  for (int64_t i = 0; i < hit_count; ++i) {
+    const int64_t block = prefix_index_.at(block_hashes[static_cast<size_t>(i)]);
+    if (blocks_[static_cast<size_t>(block)].evictable) {
+      ++evictable;
+    }
+  }
+  return evictable;
+}
+
+int64_t KvBlockManager::PrefixHitTokens(const std::vector<uint64_t>& block_hashes) const {
+  if (!config_.enable_prefix_cache) {
+    return 0;
+  }
+  int64_t hits = 0;
+  for (uint64_t hash : block_hashes) {
+    if (prefix_index_.count(hash) == 0) {
+      break;
+    }
+    ++hits;
+  }
+  return hits * config_.block_tokens;
+}
+
+int64_t KvBlockManager::PrefixHitBlocksReferenced(
+    const std::vector<uint64_t>& block_hashes) const {
+  if (!config_.enable_prefix_cache) {
+    return 0;
+  }
+  int64_t referenced = 0;
+  for (uint64_t hash : block_hashes) {
+    auto it = prefix_index_.find(hash);
+    if (it == prefix_index_.end()) {
+      break;  // Contiguous leading run only, mirroring PrefixHitTokens.
+    }
+    if (blocks_[static_cast<size_t>(it->second)].refs > 0) {
+      ++referenced;
+    }
+  }
+  return referenced;
+}
+
+bool KvBlockManager::CanExtendSequence(int64_t sequence_id, int64_t resident_tokens) const {
+  const SequenceState& state = State(sequence_id);
+  const int64_t needed =
+      BlocksFor(std::max(resident_tokens, state.tokens)) -
+      static_cast<int64_t>(state.blocks.size());
+  return needed <= available_blocks();
+}
+
+bool KvBlockManager::ExtendSequence(int64_t sequence_id, int64_t resident_tokens) {
+  SequenceState& state = State(sequence_id);
+  if (resident_tokens <= state.tokens) {
+    return true;
+  }
+  const int64_t needed = BlocksFor(resident_tokens) - static_cast<int64_t>(state.blocks.size());
+  if (needed > available_blocks()) {
+    return false;
+  }
+  // The existing tail block (if partial) simply fills further; only whole
+  // new blocks are allocated. Residency growth never shares: prefix hits
+  // are taken once, at admission, so compute-skip accounting stays simple.
+  for (int64_t i = 0; i < needed; ++i) {
+    const int64_t block = AllocateBlock();
+    HF_CHECK_GE(block, 0);
+    Block& b = blocks_[static_cast<size_t>(block)];
+    b.refs = 1;
+    ++used_blocks_;
+    state.blocks.push_back(block);
+  }
+  state.tokens = resident_tokens;
+  // Recompute per-block fill for this sequence's own (unshared) blocks.
+  for (size_t i = 0; i < state.blocks.size(); ++i) {
+    Block& b = blocks_[state.blocks[i]];
+    if (b.refs == 1) {
+      b.tokens = std::min<int64_t>(config_.block_tokens,
+                                   state.tokens - static_cast<int64_t>(i) * config_.block_tokens);
+    }
+  }
+  IndexFullBlocks(state);
+  NoteAllocation();
+  return true;
+}
+
+void KvBlockManager::Fork(int64_t parent_id, int64_t child_id) {
+  HF_CHECK_MSG(tables_.count(child_id) == 0, "sequence " << child_id << " already exists");
+  const SequenceState& parent = State(parent_id);
+  SequenceState child;
+  child.tokens = parent.tokens;
+  child.hashes = parent.hashes;
+  child.blocks = parent.blocks;
+  for (int64_t block : child.blocks) {
+    Ref(block);
+  }
+  tables_.emplace(child_id, std::move(child));
+  NoteAllocation();
 }
 
 bool KvBlockManager::CanAdmit(int64_t prompt_tokens, int64_t reserve_tokens) const {
   HF_CHECK_GE(prompt_tokens, 0);
   HF_CHECK_GE(reserve_tokens, 0);
-  return BlocksFor(prompt_tokens + reserve_tokens) <= free_blocks();
+  return BlocksFor(prompt_tokens + reserve_tokens) <= available_blocks();
 }
 
-bool KvBlockManager::AppendToken(int64_t sequence_id) {
-  auto it = tables_.find(sequence_id);
-  HF_CHECK_MSG(it != tables_.end(), "unknown sequence " << sequence_id);
-  SequenceState& state = it->second;
+bool KvBlockManager::CanAdmitShared(int64_t resident_tokens, int64_t reserve_tokens,
+                                    const std::vector<uint64_t>& block_hashes) const {
+  HF_CHECK_GE(resident_tokens, 0);
+  HF_CHECK_GE(reserve_tokens, 0);
+  const int64_t hit_tokens = PrefixHitTokens(block_hashes);
+  const int64_t hit_count = hit_tokens / config_.block_tokens;
+  const int64_t tokens = std::max(resident_tokens, hit_tokens);
+  return BlocksFor(tokens + reserve_tokens) - hit_count <=
+         available_blocks() - EvictableHitBlocks(block_hashes, hit_count);
+}
+
+bool KvBlockManager::CanAppendToken(int64_t sequence_id) const {
+  const SequenceState& state = State(sequence_id);
   const bool needs_block = state.tokens % config_.block_tokens == 0 &&
                            BlocksFor(state.tokens + 1) > static_cast<int64_t>(state.blocks.size());
   if (needs_block) {
-    if (free_list_.empty()) {
+    return available_blocks() > 0;
+  }
+  // Writing into the tail block: a shared tail must copy-on-write split,
+  // which also needs one block.
+  const Block& tail = blocks_[state.blocks.back()];
+  return tail.refs == 1 || available_blocks() > 0;
+}
+
+bool KvBlockManager::AppendToken(int64_t sequence_id) {
+  SequenceState& state = State(sequence_id);
+  const bool needs_block = state.tokens % config_.block_tokens == 0 &&
+                           BlocksFor(state.tokens + 1) > static_cast<int64_t>(state.blocks.size());
+  if (needs_block) {
+    const int64_t block = AllocateBlock();
+    if (block < 0) {
       return false;
     }
-    state.blocks.push_back(free_list_.back());
-    free_list_.pop_back();
+    Block& b = blocks_[static_cast<size_t>(block)];
+    b.refs = 1;
+    b.tokens = 1;
+    ++used_blocks_;
+    state.blocks.push_back(block);
+    state.tokens += 1;
     NoteAllocation();
+    return true;
   }
+  Block& tail = blocks_[state.blocks.back()];
+  if (tail.refs > 1) {
+    // First divergent write into a shared tail: copy-on-write split. The
+    // writer gets a private copy holding the same tokens; readers keep the
+    // original untouched. Full shared blocks are never written (appends at
+    // a boundary allocate fresh), so COW only ever hits the partial tail.
+    const int64_t block = AllocateBlock();
+    if (block < 0) {
+      return false;
+    }
+    Block& copy = blocks_[static_cast<size_t>(block)];
+    copy.refs = 1;
+    copy.tokens = tail.tokens;
+    ++used_blocks_;
+    Unref(state.blocks.back());
+    state.blocks.back() = block;
+    ++cow_splits_total_;
+    blocks_[static_cast<size_t>(block)].tokens += 1;
+    state.tokens += 1;
+    NoteAllocation();
+    return true;
+  }
+  tail.tokens += 1;
   state.tokens += 1;
   return true;
 }
 
 void KvBlockManager::NoteAllocation() {
-  high_water_blocks_ = std::max(high_water_blocks_, used_blocks());
+  high_water_blocks_ = std::max(high_water_blocks_, used_blocks_);
+}
+
+void KvBlockManager::NoteSharing() {
+  shared_blocks_high_water_ = std::max(shared_blocks_high_water_, shared_blocks_);
 }
 
 void KvBlockManager::FreeSequence(int64_t sequence_id) {
   auto it = tables_.find(sequence_id);
   HF_CHECK_MSG(it != tables_.end(), "unknown sequence " << sequence_id);
   for (int64_t block : it->second.blocks) {
-    free_list_.push_back(block);
+    Unref(block);
   }
   tables_.erase(it);
 }
@@ -84,15 +413,11 @@ void KvBlockManager::FreeSequences(const std::vector<int64_t>& sequence_ids) {
 }
 
 int64_t KvBlockManager::SequenceTokens(int64_t sequence_id) const {
-  auto it = tables_.find(sequence_id);
-  HF_CHECK_MSG(it != tables_.end(), "unknown sequence " << sequence_id);
-  return it->second.tokens;
+  return State(sequence_id).tokens;
 }
 
 const std::vector<int64_t>& KvBlockManager::BlockTable(int64_t sequence_id) const {
-  auto it = tables_.find(sequence_id);
-  HF_CHECK_MSG(it != tables_.end(), "unknown sequence " << sequence_id);
-  return it->second.blocks;
+  return State(sequence_id).blocks;
 }
 
 double KvBlockManager::used_bytes() const {
@@ -101,13 +426,18 @@ double KvBlockManager::used_bytes() const {
 }
 
 double KvBlockManager::Occupancy() const {
-  const int64_t allocated_tokens = used_blocks() * config_.block_tokens;
+  // Physical accounting: a block shared by n sequences contributes its
+  // capacity and its fill exactly once (summing per-sequence token counts
+  // would overstate fill n-fold under sharing).
+  const int64_t allocated_tokens = used_blocks_ * config_.block_tokens;
   if (allocated_tokens == 0) {
     return 1.0;
   }
   int64_t live_tokens = 0;
-  for (const auto& [id, state] : tables_) {
-    live_tokens += state.tokens;
+  for (const Block& block : blocks_) {
+    if (block.refs > 0) {
+      live_tokens += block.tokens;
+    }
   }
   return static_cast<double>(live_tokens) / static_cast<double>(allocated_tokens);
 }
@@ -115,7 +445,66 @@ double KvBlockManager::Occupancy() const {
 int64_t KvBlockManager::CapacitySequences(int64_t tokens_per_sequence) const {
   HF_CHECK_GT(tokens_per_sequence, 0);
   const int64_t blocks_each = BlocksFor(tokens_per_sequence);
-  return blocks_each == 0 ? 0 : free_blocks() / blocks_each;
+  return blocks_each == 0 ? 0 : available_blocks() / blocks_each;
+}
+
+bool KvBlockManager::RefcountsConsistent() const {
+  // Recount references from the tables and compare with the per-block
+  // refcounts and the cached aggregates.
+  std::vector<int64_t> counted(blocks_.size(), 0);
+  for (const auto& [id, state] : tables_) {
+    for (int64_t block : state.blocks) {
+      counted[static_cast<size_t>(block)] += 1;
+    }
+  }
+  int64_t used = 0;
+  int64_t shared = 0;
+  for (size_t i = 0; i < blocks_.size(); ++i) {
+    if (blocks_[i].refs != counted[i]) {
+      return false;
+    }
+    if (blocks_[i].refs > 0) {
+      ++used;
+    }
+    if (blocks_[i].refs > 1) {
+      ++shared;
+    }
+    if (blocks_[i].evictable && blocks_[i].refs != 0) {
+      return false;
+    }
+  }
+  if (used != used_blocks_ || shared != shared_blocks_) {
+    return false;
+  }
+  // Free + evictable + referenced must partition the block space.
+  std::vector<int> where(blocks_.size(), 0);
+  for (int64_t block : free_list_) {
+    where[static_cast<size_t>(block)] += 1;
+    if (blocks_[static_cast<size_t>(block)].refs != 0 ||
+        blocks_[static_cast<size_t>(block)].evictable) {
+      return false;
+    }
+  }
+  for (int64_t block : evictable_lru_) {
+    where[static_cast<size_t>(block)] += 1;
+    if (!blocks_[static_cast<size_t>(block)].evictable) {
+      return false;
+    }
+  }
+  for (size_t i = 0; i < blocks_.size(); ++i) {
+    const int expected = blocks_[i].refs > 0 ? 0 : 1;
+    if (where[i] != expected) {
+      return false;
+    }
+  }
+  // Every index entry must name a materialized block carrying that hash.
+  for (const auto& [hash, block] : prefix_index_) {
+    const Block& b = blocks_[static_cast<size_t>(block)];
+    if (b.hash != hash || (b.refs == 0 && !b.evictable)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 DistributedKvManager::DistributedKvManager(int num_ranks, const KvBlockConfig& per_rank_config) {
@@ -132,28 +521,56 @@ KvBlockManager& DistributedKvManager::rank(int index) {
   return ranks_[static_cast<size_t>(index)];
 }
 
+const KvBlockManager& DistributedKvManager::rank(int index) const {
+  HF_CHECK_GE(index, 0);
+  HF_CHECK_LT(static_cast<size_t>(index), ranks_.size());
+  return ranks_[static_cast<size_t>(index)];
+}
+
 bool DistributedKvManager::AddSequence(int64_t sequence_id, int64_t prompt_tokens) {
-  // All-or-nothing: probe rank 0's capacity first (ranks are symmetric).
-  for (KvBlockManager& manager : ranks_) {
-    if (manager.CapacitySequences(std::max<int64_t>(prompt_tokens, 1)) == 0 &&
-        prompt_tokens > 0) {
+  return AddSequenceShared(sequence_id, prompt_tokens, {});
+}
+
+bool DistributedKvManager::AddSequenceShared(int64_t sequence_id, int64_t resident_tokens,
+                                             const std::vector<uint64_t>& block_hashes) {
+  // All-or-nothing: ranks are symmetric and in lockstep, so either every
+  // rank can place the sequence or none can.
+  for (const KvBlockManager& manager : ranks_) {
+    if (!manager.CanAdmitShared(resident_tokens, 0, block_hashes)) {
       return false;
     }
   }
-  bool ok = true;
   for (KvBlockManager& manager : ranks_) {
-    ok = manager.AddSequence(sequence_id, prompt_tokens) && ok;
+    HF_CHECK_MSG(manager.AddSequenceShared(sequence_id, resident_tokens, block_hashes),
+                 "symmetric ranks diverged while adding a sequence");
   }
-  HF_CHECK_MSG(ok, "symmetric ranks diverged while adding a sequence");
   return true;
 }
 
-bool DistributedKvManager::AppendToken(int64_t sequence_id) {
-  // Symmetric geometry: either every rank can append or none can.
+bool DistributedKvManager::ExtendSequence(int64_t sequence_id, int64_t resident_tokens) {
+  for (const KvBlockManager& manager : ranks_) {
+    if (!manager.CanExtendSequence(sequence_id, resident_tokens)) {
+      return false;
+    }
+  }
   for (KvBlockManager& manager : ranks_) {
-    const bool at_boundary =
-        manager.SequenceTokens(sequence_id) % manager.config().block_tokens == 0;
-    if (at_boundary && manager.free_blocks() == 0) {
+    HF_CHECK_MSG(manager.ExtendSequence(sequence_id, resident_tokens),
+                 "symmetric ranks diverged while extending a sequence");
+  }
+  return true;
+}
+
+void DistributedKvManager::Fork(int64_t parent_id, int64_t child_id) {
+  for (KvBlockManager& manager : ranks_) {
+    manager.Fork(parent_id, child_id);
+  }
+}
+
+bool DistributedKvManager::AppendToken(int64_t sequence_id) {
+  // Either every rank can append (allocating or COW-splitting as needed)
+  // or none does.
+  for (const KvBlockManager& manager : ranks_) {
+    if (!manager.CanAppendToken(sequence_id)) {
       return false;
     }
   }
@@ -184,6 +601,21 @@ bool DistributedKvManager::CanAdmit(int64_t prompt_tokens, int64_t reserve_token
   return true;
 }
 
+bool DistributedKvManager::CanAdmitShared(int64_t resident_tokens, int64_t reserve_tokens,
+                                          const std::vector<uint64_t>& block_hashes) const {
+  for (const KvBlockManager& manager : ranks_) {
+    if (!manager.CanAdmitShared(resident_tokens, reserve_tokens, block_hashes)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int64_t DistributedKvManager::PrefixHitTokens(const std::vector<uint64_t>& block_hashes) const {
+  // Lockstep makes rank 0 authoritative for index contents.
+  return ranks_[0].PrefixHitTokens(block_hashes);
+}
+
 int64_t DistributedKvManager::high_water_blocks() const {
   int64_t high_water = 0;
   for (const KvBlockManager& manager : ranks_) {
@@ -195,7 +627,9 @@ int64_t DistributedKvManager::high_water_blocks() const {
 bool DistributedKvManager::TablesInLockstep() const {
   for (size_t rank = 1; rank < ranks_.size(); ++rank) {
     if (ranks_[rank].num_sequences() != ranks_[0].num_sequences() ||
-        ranks_[rank].used_blocks() != ranks_[0].used_blocks()) {
+        ranks_[rank].used_blocks() != ranks_[0].used_blocks() ||
+        ranks_[rank].shared_blocks() != ranks_[0].shared_blocks() ||
+        ranks_[rank].cached_blocks() != ranks_[0].cached_blocks()) {
       return false;
     }
   }

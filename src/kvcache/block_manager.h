@@ -1,14 +1,33 @@
-// Paged KVCache block manager (§7).
+// Paged KVCache block manager (§7) with prefix sharing.
 //
 // vLLM manages the KV cache as fixed-size blocks with per-sequence block
 // tables (PagedAttention); the paper replaces its *centralized* manager
 // with a *distributed* one so each worker manages its own shard under the
-// multi-controller paradigm. This module implements both pieces:
+// multi-controller paradigm. On top of the paged allocator this module
+// layers the proven sharing shape of production engines (LLMInfer's
+// block_manager, SGLang-style RadixAttention prefix caching):
 //
-//   * KvBlockManager — one rank's allocator: a free list of fixed-size
-//     blocks, per-sequence block tables, append-token/free operations, and
-//     occupancy statistics. Capacity exhaustion is reported, not fatal —
-//     the generation loop reacts by scheduling sequences in waves.
+//   * Ref-counted blocks — a physical block may appear in many sequences'
+//     block tables; it returns to circulation only when its last reference
+//     drops.
+//   * Hash-keyed prefix cache — full prompt blocks carry a content hash
+//     (chained over the token prefix, so equal hash => equal prefix) and
+//     are indexed; a new sequence whose leading blocks hit the index
+//     shares them instead of re-allocating and re-prefilling.
+//   * Copy-on-write forking — Fork() gives a child all of its parent's
+//     blocks by reference; the first divergent AppendToken into a shared
+//     block splits it (allocate + logical copy) so writers never perturb
+//     readers.
+//   * Cached-block retention — when prefix caching is enabled, a hashed
+//     block whose refcount drops to zero is *retained* in an LRU list
+//     instead of freed, so a later identical prompt still hits; retained
+//     blocks are evicted (LRU, index pruned) when allocation runs dry.
+//
+// Block lifecycle, refcount invariants, and the greedy-equivalence
+// contract under sharing are documented in docs/KVCACHE.md.
+//
+// Two managers:
+//   * KvBlockManager — one rank's allocator.
 //   * DistributedKvManager — the per-TP-group view: one KvBlockManager per
 //     participating rank, kept in lockstep because KV tensors are sharded
 //     (every rank holds 1/t_g of each token's KV, so block tables are
@@ -17,7 +36,9 @@
 #define SRC_KVCACHE_BLOCK_MANAGER_H_
 
 #include <cstdint>
+#include <list>
 #include <map>
+#include <unordered_map>
 #include <vector>
 
 namespace hybridflow {
@@ -26,7 +47,23 @@ struct KvBlockConfig {
   int64_t block_tokens = 16;       // Tokens per block (vLLM default 16).
   int64_t num_blocks = 1024;       // Blocks available on this rank.
   double bytes_per_token = 1024.0; // KV bytes per token on this rank's shard.
+  // Prefix cache switch. Off (the default), hashes are ignored, blocks are
+  // never shared or retained, and the manager behaves exactly like the
+  // pre-sharing allocator.
+  bool enable_prefix_cache = false;
 };
+
+// Chained content hashes for the *full* blocks of a token prefix: entry i
+// covers tokens [0, (i+1) * block_tokens) — hashing is cumulative, so two
+// sequences share entry i only if their entire prefixes up to that point
+// are identical. Partial tail blocks are never hashed (they are mutable).
+// Hashes are never zero (zero is the "unhashed" sentinel).
+std::vector<uint64_t> PromptBlockHashes(const std::vector<int64_t>& tokens,
+                                        int64_t block_tokens);
+// Same keying for count-based planes that lack token content: one chained
+// hash per full block of a `group`-identified prompt (equal group =>
+// identical simulated prompt). `full_blocks` = prompt_tokens / block_tokens.
+std::vector<uint64_t> GroupBlockHashes(int64_t group, int64_t full_blocks);
 
 class KvBlockManager {
  public:
@@ -34,20 +71,66 @@ class KvBlockManager {
 
   const KvBlockConfig& config() const { return config_; }
 
-  // Registers a new sequence with `prompt_tokens` of initial context.
-  // Returns false (allocating nothing) if the blocks don't fit.
+  // Registers a new sequence with `prompt_tokens` of initial context,
+  // allocated privately (no sharing). Returns false (allocating nothing)
+  // if the blocks don't fit.
   bool AddSequence(int64_t sequence_id, int64_t prompt_tokens);
+
+  // Registers a new sequence resident to `resident_tokens`, sharing the
+  // leading full blocks whose content hashes hit the prefix index and
+  // allocating the rest fresh. Freshly allocated full blocks that carry a
+  // hash are registered in the index. All-or-nothing; returns false on
+  // capacity exhaustion. `block_hashes` may be shorter than the full-block
+  // count of `resident_tokens` (trailing blocks are simply unhashed) and is
+  // ignored entirely when the prefix cache is disabled.
+  bool AddSequenceShared(int64_t sequence_id, int64_t resident_tokens,
+                         const std::vector<uint64_t>& block_hashes);
+
+  // Longest run of leading hashed blocks currently materialized in the
+  // cache, in tokens. Pure probe — allocates and touches nothing.
+  int64_t PrefixHitTokens(const std::vector<uint64_t>& block_hashes) const;
+
+  // Of that same leading hit run, how many blocks are currently *referenced*
+  // (refs > 0) by live sequences. Sharing those consumes no extra capacity,
+  // unlike evictable hits, which leave the reclaimable pool when re-refed.
+  // Admission planners use this to discount genuinely-free sharing only.
+  int64_t PrefixHitBlocksReferenced(const std::vector<uint64_t>& block_hashes) const;
+
+  // Grows a sequence's residency to cover `resident_tokens` (no-op if it
+  // already does). All-or-nothing; returns false on exhaustion. The
+  // incremental-residency path: chunked prefill acquires blocks chunk by
+  // chunk instead of all at admission.
+  bool ExtendSequence(int64_t sequence_id, int64_t resident_tokens);
+
+  // Registers `child_id` sharing every one of `parent_id`'s blocks by
+  // reference (group sampling: n responses over one prompt prefill).
+  // Allocates nothing; the first divergent AppendToken copy-on-write
+  // splits the shared tail.
+  void Fork(int64_t parent_id, int64_t child_id);
 
   // Admission probe for schedulers: would a new sequence of
   // `prompt_tokens` fit right now with `reserve_tokens` of decode headroom
   // on top? Pure capacity check — allocates nothing.
   bool CanAdmit(int64_t prompt_tokens, int64_t reserve_tokens) const;
+  // Sharing-aware probe: like CanAdmit but discounts the leading blocks
+  // `block_hashes` would share instead of allocate.
+  bool CanAdmitShared(int64_t resident_tokens, int64_t reserve_tokens,
+                      const std::vector<uint64_t>& block_hashes) const;
 
-  // Appends one generated token; may allocate one block. Returns false on
-  // capacity exhaustion (sequence state unchanged).
+  // Appends one generated token. May allocate one block (at a block
+  // boundary) or copy-on-write split a shared tail block (first divergent
+  // write after Fork). Returns false on capacity exhaustion (sequence
+  // state unchanged).
   bool AppendToken(int64_t sequence_id);
+  // Would AppendToken succeed right now? Pure probe (used by the
+  // distributed manager to keep ranks all-or-nothing).
+  bool CanAppendToken(int64_t sequence_id) const;
+  // Would ExtendSequence succeed right now? Pure probe.
+  bool CanExtendSequence(int64_t sequence_id, int64_t resident_tokens) const;
 
-  // Releases all blocks of a finished sequence.
+  // Drops all of a finished sequence's references. A block returns to the
+  // free list when its last reference drops — unless it is hashed and the
+  // prefix cache is on, in which case it is retained (evictable, LRU).
   void FreeSequence(int64_t sequence_id);
 
   // Bulk release (preemption path): frees every listed sequence in one
@@ -59,16 +142,27 @@ class KvBlockManager {
   // The block table (physical block ids, in order) of a sequence.
   const std::vector<int64_t>& BlockTable(int64_t sequence_id) const;
 
+  // Never-written blocks on the free list.
   int64_t free_blocks() const { return static_cast<int64_t>(free_list_.size()); }
-  int64_t used_blocks() const { return config_.num_blocks - free_blocks(); }
+  // Blocks referenced by at least one live sequence. Shared blocks count
+  // once — this is physical usage, and the leak invariant: it must return
+  // to zero once every sequence is freed, cached retention notwithstanding.
+  int64_t used_blocks() const { return used_blocks_; }
+  // Unreferenced hashed blocks retained for future prefix hits (evictable).
+  int64_t cached_blocks() const { return static_cast<int64_t>(evictable_lru_.size()); }
+  // Blocks an allocation could draw on right now: free + evictable.
+  int64_t available_blocks() const { return free_blocks() + cached_blocks(); }
+  // Blocks currently referenced by two or more sequences.
+  int64_t shared_blocks() const { return shared_blocks_; }
   int64_t num_sequences() const { return static_cast<int64_t>(tables_.size()); }
   double used_bytes() const;
   // Fraction of allocated block capacity actually holding tokens (1 -
-  // internal fragmentation).
+  // internal fragmentation). Physical: a block shared by n sequences
+  // counts its capacity and its tokens once, not n times.
   double Occupancy() const;
   // Tail waste of partially filled blocks: 1 - Occupancy().
   double InternalFragmentation() const { return 1.0 - Occupancy(); }
-  // Most blocks ever simultaneously allocated over this manager's
+  // Most blocks ever simultaneously referenced over this manager's
   // lifetime (high-water mark; never decreases).
   int64_t high_water_blocks() const { return high_water_blocks_; }
   // Sequences that fit if each needs `tokens_per_sequence` in total.
@@ -76,18 +170,69 @@ class KvBlockManager {
   // Blocks needed to hold `tokens` (ceiling division).
   int64_t BlocksFor(int64_t tokens) const;
 
+  // Lifetime counters (docs/KVCACHE.md; surfaced as kvcache.* metrics).
+  int64_t prefix_hit_tokens_total() const { return prefix_hit_tokens_total_; }
+  int64_t cow_splits_total() const { return cow_splits_total_; }
+  int64_t evictions_total() const { return evictions_total_; }
+  int64_t shared_blocks_high_water() const { return shared_blocks_high_water_; }
+
+  // Invariant audit (test hook): per-block refcounts equal the number of
+  // block-table entries naming the block, every block is in exactly one of
+  // {free, evictable, referenced}, and the three partitions sum to
+  // num_blocks. Cheap enough to call after every test scenario.
+  bool RefcountsConsistent() const;
+
  private:
+  struct Block {
+    int64_t refs = 0;
+    int64_t tokens = 0;    // Tokens written into this block.
+    uint64_t hash = 0;     // Content key; 0 = unhashed (never indexed).
+    bool evictable = false;
+    std::list<int64_t>::iterator lru;  // Valid iff evictable.
+  };
   struct SequenceState {
     std::vector<int64_t> blocks;
     int64_t tokens = 0;
+    // Content hashes for this sequence's prompt blocks (AddSequenceShared
+    // keeps them so later ExtendSequence calls can index blocks once they
+    // fill). Empty on the private AddSequence path.
+    std::vector<uint64_t> hashes;
   };
 
+  SequenceState& State(int64_t sequence_id);
+  const SequenceState& State(int64_t sequence_id) const;
+  // Takes a block from the free list, or evicts the LRU cached block
+  // (pruning its index entry). Returns -1 when neither is possible.
+  int64_t AllocateBlock();
+  // Adds one reference; a previously evictable block leaves the LRU.
+  void Ref(int64_t block);
+  // Drops one reference; on zero, retain (hashed + indexed) or free.
+  void Unref(int64_t block);
+  // Stamps + indexes any of `state`'s own blocks that are now completely
+  // filled and have a known content hash (first writer wins per hash).
+  void IndexFullBlocks(SequenceState& state);
+  // How many of the first `hit_count` prefix hits currently sit in the
+  // evictable cache (refs == 0). Those blocks are counted by
+  // available_blocks() but leave the pool the moment admission re-refs
+  // them, so admission probes must discount them.
+  int64_t EvictableHitBlocks(const std::vector<uint64_t>& block_hashes, int64_t hit_count) const;
   void NoteAllocation();
+  void NoteSharing();
 
   KvBlockConfig config_;
+  std::vector<Block> blocks_;
   std::vector<int64_t> free_list_;
+  // Unreferenced-but-retained blocks, least recently used at the front.
+  std::list<int64_t> evictable_lru_;
+  std::unordered_map<uint64_t, int64_t> prefix_index_;  // hash -> block id.
   std::map<int64_t, SequenceState> tables_;
+  int64_t used_blocks_ = 0;
+  int64_t shared_blocks_ = 0;
   int64_t high_water_blocks_ = 0;
+  int64_t shared_blocks_high_water_ = 0;
+  int64_t prefix_hit_tokens_total_ = 0;
+  int64_t cow_splits_total_ = 0;
+  int64_t evictions_total_ = 0;
 };
 
 // The TP-group view: block tables replicated across ranks, bytes sharded.
@@ -99,10 +244,15 @@ class DistributedKvManager {
 
   int num_ranks() const { return static_cast<int>(ranks_.size()); }
   KvBlockManager& rank(int index);
+  const KvBlockManager& rank(int index) const;
 
   // Group-level operations keep every rank's tables in lockstep; they
   // succeed only if every rank can allocate (all-or-nothing).
   bool AddSequence(int64_t sequence_id, int64_t prompt_tokens);
+  bool AddSequenceShared(int64_t sequence_id, int64_t resident_tokens,
+                         const std::vector<uint64_t>& block_hashes);
+  bool ExtendSequence(int64_t sequence_id, int64_t resident_tokens);
+  void Fork(int64_t parent_id, int64_t child_id);
   bool AppendToken(int64_t sequence_id);
   void FreeSequence(int64_t sequence_id);
   void FreeSequences(const std::vector<int64_t>& sequence_ids);
@@ -110,6 +260,10 @@ class DistributedKvManager {
   // True iff every rank can admit (symmetric geometry makes rank 0
   // authoritative, but all ranks are probed to preserve the invariant).
   bool CanAdmit(int64_t prompt_tokens, int64_t reserve_tokens) const;
+  bool CanAdmitShared(int64_t resident_tokens, int64_t reserve_tokens,
+                      const std::vector<uint64_t>& block_hashes) const;
+  // Ranks are in lockstep, so rank 0's prefix index is authoritative.
+  int64_t PrefixHitTokens(const std::vector<uint64_t>& block_hashes) const;
   // Group high-water mark (max over ranks; ranks move in lockstep).
   int64_t high_water_blocks() const;
 

@@ -18,6 +18,8 @@ const char* SeqEventKindName(SeqEventKind kind) {
       return "enqueue";
     case SeqEventKind::kAdmit:
       return "admit";
+    case SeqEventKind::kPrefixHit:
+      return "prefix-hit";
     case SeqEventKind::kPrefillChunk:
       return "prefill-chunk";
     case SeqEventKind::kFirstToken:
@@ -40,10 +42,10 @@ const char* SeqEventKindName(SeqEventKind kind) {
 
 bool ParseSeqEventKind(const std::string& name, SeqEventKind* kind) {
   static constexpr SeqEventKind kAll[] = {
-      SeqEventKind::kEnqueue,    SeqEventKind::kAdmit,   SeqEventKind::kPrefillChunk,
-      SeqEventKind::kFirstToken, SeqEventKind::kDecodeStep, SeqEventKind::kPreempt,
-      SeqEventKind::kResume,     SeqEventKind::kFinish,  SeqEventKind::kCancel,
-      SeqEventKind::kExpire,
+      SeqEventKind::kEnqueue,    SeqEventKind::kAdmit,   SeqEventKind::kPrefixHit,
+      SeqEventKind::kPrefillChunk, SeqEventKind::kFirstToken, SeqEventKind::kDecodeStep,
+      SeqEventKind::kPreempt,    SeqEventKind::kResume,  SeqEventKind::kFinish,
+      SeqEventKind::kCancel,     SeqEventKind::kExpire,
   };
   for (SeqEventKind candidate : kAll) {
     if (name == SeqEventKindName(candidate)) {
@@ -145,6 +147,7 @@ std::vector<SeqLatency> DeriveSeqLatencies(const std::vector<SeqEvent>& events, 
           acc.latency.queue_delay = t - acc.enqueue_t;
         }
         break;
+      case SeqEventKind::kPrefixHit:
       case SeqEventKind::kPrefillChunk:
         break;
       case SeqEventKind::kFirstToken:

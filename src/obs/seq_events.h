@@ -32,6 +32,8 @@ namespace hybridflow {
 enum class SeqEventKind {
   kEnqueue,       // Sequence handed to the scheduler (waiting queue).
   kAdmit,         // First admission: KV blocks allocated, prefill begins.
+  kPrefixHit,     // (Re)admission shared cached prompt blocks (tokens =
+                  // prefill compute skipped); precedes kAdmit/kResume.
   kPrefillChunk,  // One prefill chunk planned this step (tokens = chunk size).
   kFirstToken,    // First generated token committed (TTFT endpoint).
   kDecodeStep,    // A subsequent token committed (TPOT numerator).

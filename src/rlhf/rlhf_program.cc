@@ -332,6 +332,9 @@ IterationMetrics RlhfProgram::TrainOnExperience(StagedExperience experience, siz
     metrics.rollout_preemptions = sim.preemptions;
     metrics.rollout_resumes = sim.resumes;
     metrics.rollout_recomputed_tokens = sim.recomputed_tokens;
+    metrics.kvcache_prefix_skipped_tokens = sim.prefix_skipped_tokens;
+    metrics.kvcache_cow_splits = sim.cow_splits;
+    metrics.kvcache_shared_blocks = sim.shared_blocks_high_water;
     const SeqLatencySummary& latency = actor.last_rollout_sim_latency();
     metrics.rollout_ttft_p50_s = latency.ttft.p50;
     metrics.rollout_ttft_p90_s = latency.ttft.p90;
@@ -431,6 +434,10 @@ IterationMetrics RlhfProgram::TrainOnExperience(StagedExperience experience, siz
           .Number("rollout_resumes", static_cast<double>(metrics.rollout_resumes))
           .Number("rollout_recomputed_tokens",
                   static_cast<double>(metrics.rollout_recomputed_tokens))
+          .Number("kvcache_prefix_skipped_tokens",
+                  static_cast<double>(metrics.kvcache_prefix_skipped_tokens))
+          .Number("kvcache_cow_splits", static_cast<double>(metrics.kvcache_cow_splits))
+          .Number("kvcache_shared_blocks", static_cast<double>(metrics.kvcache_shared_blocks))
           .Number("rollout_ttft_p50_s", metrics.rollout_ttft_p50_s)
           .Number("rollout_ttft_p90_s", metrics.rollout_ttft_p90_s)
           .Number("rollout_ttft_p99_s", metrics.rollout_ttft_p99_s)

@@ -20,6 +20,9 @@ void RolloutStats::Merge(const RolloutStats& other) {
   max_prefill_tokens_step = std::max(max_prefill_tokens_step, other.max_prefill_tokens_step);
   resumes += other.resumes;
   recomputed_tokens += other.recomputed_tokens;
+  prefix_skipped_tokens += other.prefix_skipped_tokens;
+  cow_splits += other.cow_splits;
+  shared_blocks_high_water = std::max(shared_blocks_high_water, other.shared_blocks_high_water);
 }
 
 void RolloutStatsCollector::Add(const RolloutStats& stats) {
@@ -53,7 +56,13 @@ RolloutEngine::RolloutEngine(const PolicyNet& net, const RolloutLimits& limits,
       ttft_us_(MetricsRegistry::Global().GetQuantileHistogram(
           "rollout.ttft_us", QuantileHistogram::kDefaultRelativeError, {{"plane", "data"}})),
       tpot_us_(MetricsRegistry::Global().GetQuantileHistogram(
-          "rollout.tpot_us", QuantileHistogram::kDefaultRelativeError, {{"plane", "data"}})) {
+          "rollout.tpot_us", QuantileHistogram::kDefaultRelativeError, {{"plane", "data"}})),
+      prefix_hits_total_(MetricsRegistry::Global().GetCounter("kvcache.prefix_hits_total",
+                                                              {{"plane", "data"}})),
+      cow_splits_total_(MetricsRegistry::Global().GetCounter("kvcache.cow_splits_total",
+                                                             {{"plane", "data"}})),
+      shared_blocks_(MetricsRegistry::Global().GetGauge("kvcache.shared_blocks",
+                                                        {{"plane", "data"}})) {
   HF_CHECK_GT(kv_ranks_, 0);
   HF_CHECK_GT(options_.block_tokens, 0);
   HF_CHECK_GE(limits_.max_new_tokens, 0);
@@ -75,6 +84,7 @@ RolloutShardResult RolloutEngine::Run(const std::vector<std::vector<int64_t>>& p
   // largest single sequence (the scheduler's progress contract).
   KvBlockConfig kv_config;
   kv_config.block_tokens = options_.block_tokens;
+  kv_config.enable_prefix_cache = options_.enable_prefix_cache;
   int64_t fit_all = 0;
   int64_t fit_largest = 0;
   for (const std::vector<int64_t>& prompt : prompts) {
@@ -97,6 +107,7 @@ RolloutShardResult RolloutEngine::Run(const std::vector<std::vector<int64_t>>& p
   scheduler_config.reserve_tokens = options_.reserve_tokens;
   scheduler_config.max_running = options_.max_running;
   scheduler_config.prefill_chunk_tokens = options_.prefill_chunk_tokens;
+  scheduler_config.reserve_full_length = options_.reserve_full_length;
   RolloutScheduler scheduler(scheduler_config, &kv, &sequences);
   // Opt-in lifecycle recording: a distinct run id per engine call keeps
   // concurrent per-rank shards apart in the shared log.
@@ -108,6 +119,11 @@ RolloutShardResult RolloutEngine::Run(const std::vector<std::vector<int64_t>>& p
     sequence.id = static_cast<int64_t>(i);
     sequence.prompt_tokens = static_cast<int64_t>(prompts[i].size());
     sequence.target_new_tokens = limits_.max_new_tokens;
+    if (options_.enable_prefix_cache) {
+      // Content identity for the prefix cache: identical prompt prefixes
+      // (e.g. group sampling's n copies of one prompt) share blocks.
+      sequence.block_hashes = PromptBlockHashes(prompts[i], kv_config.block_tokens);
+    }
     contexts_by_id.emplace_back(prompts[i], net_.config().context_window);
     sequence_rngs.push_back(rng.Fork(static_cast<uint64_t>(i)));
     result.responses[i].reserve(static_cast<size_t>(limits_.max_new_tokens));
@@ -173,6 +189,12 @@ RolloutShardResult RolloutEngine::Run(const std::vector<std::vector<int64_t>>& p
   result.stats.resumes = scheduler_stats.resumes;
   result.stats.recomputed_tokens = scheduler_stats.recomputed_tokens;
   result.stats.kv_high_water_blocks = kv.high_water_blocks();
+  result.stats.prefix_skipped_tokens = scheduler_stats.prefix_skipped_tokens;
+  result.stats.cow_splits = kv.rank(0).cow_splits_total();
+  result.stats.shared_blocks_high_water = kv.rank(0).shared_blocks_high_water();
+  prefix_hits_total_.Increment(static_cast<double>(kv.rank(0).prefix_hit_tokens_total()));
+  cow_splits_total_.Increment(static_cast<double>(result.stats.cow_splits));
+  shared_blocks_.Set(static_cast<double>(result.stats.shared_blocks_high_water));
   if (options_.event_log != nullptr) {
     // Wall-clock per-sequence latency distributions for this shard's run.
     for (const SeqLatency& latency :

@@ -41,8 +41,22 @@ struct RolloutOptions {
   int64_t max_running = 0;  // 0 = KV-capacity-bounded only.
   // Per-step prefill token budget (chunked prefill); 0 = whole-context
   // prefill in one step. Applies to both planes: the data-plane engine and
-  // the timing simulator chunk identically.
+  // the timing simulator chunk identically. When > 0, KV residency is also
+  // acquired incrementally per chunk instead of in full at admission
+  // (docs/ROLLOUT.md, docs/KVCACHE.md).
   int64_t prefill_chunk_tokens = 0;
+  // Prefix-sharing KV cache (docs/KVCACHE.md): ref-counted blocks with a
+  // content-hash index over full prompt blocks. Identical prompt prefixes
+  // share blocks and skip the shared tokens' prefill compute; blocks of
+  // finished sequences are retained (evictable) for later hits. Greedy
+  // outputs stay bitwise-identical — sharing changes residency and
+  // scheduling, never per-row compute. Applies to both planes.
+  bool enable_prefix_cache = false;
+  // Full-length admission reservations (RolloutSchedulerConfig::
+  // reserve_full_length): admission charges each sequence's block demand at
+  // prompt + target length against capacity, eliminating decode-time
+  // preemption churn when targets are accurate. Off = optimistic admission.
+  bool reserve_full_length = false;
   // Optional per-sequence lifecycle event sink (src/obs/seq_events.h),
   // borrowed, shared safely by concurrent per-rank engines. Null (the
   // default) disables data-plane recording entirely: the scheduler hooks
@@ -85,6 +99,12 @@ struct RolloutStats {
   // context tokens they re-prefilled.
   int64_t resumes = 0;
   int64_t recomputed_tokens = 0;
+  // Prefix-sharing KV cache: prefill compute skipped over cached prompt
+  // prefixes, copy-on-write splits of shared tail blocks, and the peak
+  // number of physically shared blocks (rank 0).
+  int64_t prefix_skipped_tokens = 0;
+  int64_t cow_splits = 0;
+  int64_t shared_blocks_high_water = 0;
 
   void Merge(const RolloutStats& other);
 };
@@ -134,6 +154,9 @@ class RolloutEngine {
   Histogram& kv_utilization_;
   QuantileHistogram& ttft_us_;
   QuantileHistogram& tpot_us_;
+  Counter& prefix_hits_total_;
+  Counter& cow_splits_total_;
+  Gauge& shared_blocks_;
 };
 
 }  // namespace hybridflow

@@ -57,11 +57,18 @@ void RolloutScheduler::RemoveFromRunning(int64_t id) {
   running_.erase(it);
 }
 
+void RolloutScheduler::ReleaseReservation(RolloutSequence& sequence) {
+  reserved_blocks_total_ -= sequence.reserved_blocks;
+  HF_CHECK_GE(reserved_blocks_total_, 0);
+  sequence.reserved_blocks = 0;
+}
+
 void RolloutScheduler::Preempt(int64_t id) {
   RolloutSequence& sequence = seq(id);
   HF_CHECK(sequence.state == SequenceState::kPrefill ||
            sequence.state == SequenceState::kDecode);
   RecordEvent(SeqEventKind::kPreempt, id, sequence.kv_tokens, stats_.steps - 1);
+  ReleaseReservation(sequence);
   kv_->FreeSequence(id);
   sequence.kv_tokens = 0;
   sequence.prefill_computed = 0;
@@ -86,6 +93,7 @@ void RolloutScheduler::Cancel(int64_t id, bool expired) {
   RecordEvent(expired ? SeqEventKind::kExpire : SeqEventKind::kCancel, id, sequence.kv_tokens,
               std::max<int64_t>(stats_.steps - 1, 0));
   if (resident) {
+    ReleaseReservation(sequence);
     kv_->FreeSequence(id);
     RemoveFromRunning(id);
   } else {
@@ -125,19 +133,34 @@ void RolloutScheduler::ExpireOverdue() {
   }
 }
 
-int64_t RolloutScheduler::BlocksNeededForDecode() const {
-  const int64_t block_tokens = kv_->rank(0).config().block_tokens;
+int64_t RolloutScheduler::BlocksNeededForRunning() const {
+  const KvBlockManager& rank0 = kv_->rank(0);
+  const int64_t block_tokens = rank0.config().block_tokens;
+  // Mirrors BeginStep's plan-building loop: same running order, same
+  // budget accounting, so the preemption pass reserves exactly the blocks
+  // the plan will then take.
+  int64_t budget = config_.prefill_chunk_tokens > 0 ? config_.prefill_chunk_tokens
+                                                    : std::numeric_limits<int64_t>::max();
   int64_t needed = 0;
   for (int64_t id : running_) {
     const RolloutSequence& sequence = (*sequences_)[static_cast<size_t>(id)];
-    // Mid-prefill rows (chunked prefill) do not append until their chunks
-    // catch up; their completion appends preempt on demand in CommitStep.
-    if (sequence.state != SequenceState::kDecode) {
+    if (sequence.state == SequenceState::kDecode) {
+      if (sequence.kv_tokens % block_tokens == 0) {
+        needed += 1;  // The next append crosses a block boundary.
+      }
       continue;
     }
-    if (sequence.kv_tokens % block_tokens == 0) {
-      needed += 1;  // The next append crosses a block boundary.
+    // Mid-prefill row (chunked prefill): its next chunk must extend KV
+    // residency to cover the tokens it computes (incremental residency).
+    const int64_t pending = sequence.total_tokens() - sequence.prefill_computed;
+    const int64_t grant = std::min(budget, pending);
+    if (grant <= 0) {
+      continue;  // Budget exhausted: the row idles this step, needs nothing.
     }
+    budget -= grant;
+    const int64_t resident_target =
+        std::max(sequence.kv_tokens, sequence.prefill_computed + grant);
+    needed += rank0.BlocksFor(resident_target) - rank0.BlocksFor(sequence.kv_tokens);
   }
   return needed;
 }
@@ -190,29 +213,68 @@ bool RolloutScheduler::TryAdmit(int64_t id, StepPlan* plan, int64_t* budget) {
     return false;  // No prefill compute left this step (chunked prefill).
   }
   RolloutSequence& sequence = seq(id);
+  const int64_t total = sequence.total_tokens();
   const int64_t reserve =
       std::min(config_.reserve_tokens, std::max<int64_t>(sequence.remaining_tokens() - 1, 0));
-  if (!kv_->CanAdmit(sequence.total_tokens(), reserve)) {
+  // Prefix-cache probe: leading prompt blocks already materialized are
+  // shared instead of allocated, and their prefill compute is skipped —
+  // capped at total-1 so the completing chunk always computes at least the
+  // last context token (its logits emit the first response token).
+  const int64_t hit_tokens = std::min(kv_->PrefixHitTokens(sequence.block_hashes), total);
+  const int64_t skip = std::min(hit_tokens, std::max<int64_t>(total - 1, 0));
+  const int64_t grant = std::min(*budget, total - skip);
+  // Full-length reservation gate: never commit the running set to more
+  // blocks than the rank holds, counting every member at its final length.
+  // Prefix blocks already referenced by live sequences are shared for free
+  // and discounted; evictable hits are not (re-refing them drains the
+  // reclaimable pool). An empty running set admits unconditionally — the
+  // fit-alone-at-full-length contract guarantees progress.
+  int64_t reservation = 0;
+  if (config_.reserve_full_length) {
+    const KvBlockManager& rank0 = kv_->rank(0);
+    const int64_t full_tokens = total + sequence.remaining_tokens();
+    reservation = std::max<int64_t>(
+        rank0.BlocksFor(full_tokens) - rank0.PrefixHitBlocksReferenced(sequence.block_hashes), 0);
+    if (!running_.empty() &&
+        reserved_blocks_total_ + reservation > rank0.config().num_blocks) {
+      return false;
+    }
+  }
+  // Incremental residency (chunked prefill only): admit with blocks for
+  // the first chunk, not the full context; later chunks extend in
+  // BeginStep phase 2. Without chunking, residency is the full context at
+  // admission, exactly as before.
+  const int64_t resident_target =
+      config_.prefill_chunk_tokens > 0 ? std::max(hit_tokens, skip + grant) : total;
+  if (!kv_->CanAdmitShared(resident_target, reserve, sequence.block_hashes)) {
     return false;
   }
-  HF_CHECK(kv_->AddSequence(id, sequence.total_tokens()));
-  sequence.kv_tokens = sequence.total_tokens();
-  sequence.prefill_computed = 0;
+  HF_CHECK(kv_->AddSequenceShared(id, resident_target, sequence.block_hashes));
+  sequence.reserved_blocks = reservation;
+  reserved_blocks_total_ += reservation;
+  sequence.kv_tokens = kv_->rank(0).SequenceTokens(id);
+  sequence.prefill_computed = skip;
+  sequence.prefix_skipped_tokens = skip;
   sequence.state = SequenceState::kPrefill;
+  stats_.prefix_skipped_tokens += skip;
+  if (skip > 0) {
+    RecordEvent(SeqEventKind::kPrefixHit, id, skip, stats_.steps - 1);
+  }
   if (sequence.first_admit_step < 0) {
     sequence.first_admit_step = stats_.steps - 1;
-    RecordEvent(SeqEventKind::kAdmit, id, sequence.total_tokens(), stats_.steps - 1);
+    RecordEvent(SeqEventKind::kAdmit, id, total, stats_.steps - 1);
   } else {
-    // Recompute-on-resume: the whole current context re-enters prefill.
+    // Recompute-on-resume: the current context re-enters prefill, minus
+    // any prompt prefix still held by the cache (the victim's own freed
+    // blocks are retained evictable, so resumes often hit their prompt).
     stats_.resumes += 1;
-    stats_.recomputed_tokens += sequence.total_tokens();
-    RecordEvent(SeqEventKind::kResume, id, sequence.total_tokens(), stats_.steps - 1);
+    stats_.recomputed_tokens += total - skip;
+    RecordEvent(SeqEventKind::kResume, id, total - skip, stats_.steps - 1);
   }
   stats_.admissions += 1;
   running_.push_back(id);
-  const int64_t grant = std::min(*budget, sequence.total_tokens());
   *budget -= grant;
-  plan->prefill.push_back({id, grant, grant == sequence.total_tokens()});
+  plan->prefill.push_back({id, grant, skip + grant == total});
   waiting_.erase(std::find(waiting_.begin(), waiting_.end(), id));
   return true;
 }
@@ -301,9 +363,13 @@ StepPlan RolloutScheduler::BeginStep() {
     return plan;  // Expiry drained every remaining sequence.
   }
 
-  // 1. Reserve the running set's next-token blocks before admitting anyone;
-  // evict the youngest until the incumbents fit (free-and-requeue).
-  while (!running_.empty() && BlocksNeededForDecode() > kv_->rank(0).free_blocks()) {
+  // 1. Reserve the running set's blocks for this step — decode rows' next-
+  // token appends plus mid-prefill rows' residency extensions (incremental
+  // residency) — before admitting anyone; evict the youngest until the
+  // incumbents fit (free-and-requeue). Recomputed after every eviction: a
+  // preempted mid-prefill victim returns its chunk grant to the budget.
+  while (!running_.empty() &&
+         BlocksNeededForRunning() > kv_->rank(0).available_blocks()) {
     Preempt(running_.back());
   }
 
@@ -312,7 +378,10 @@ StepPlan RolloutScheduler::BeginStep() {
 
   // 2. Continue the running set: decode rows emit a token; mid-prefill rows
   // (chunked prefill) consume the step's prefill budget in admission order
-  // until they catch up with their full context.
+  // until they catch up with their full context, growing their KV residency
+  // to cover each chunk as it enters compute. The extensions cannot fail:
+  // phase 1 preempted until exactly these needs fit, and nothing else has
+  // allocated since.
   for (int64_t id : running_) {
     RolloutSequence& sequence = seq(id);
     if (sequence.state == SequenceState::kDecode) {
@@ -325,11 +394,20 @@ StepPlan RolloutScheduler::BeginStep() {
       continue;  // Budget exhausted: the row idles this step.
     }
     budget -= grant;
+    const int64_t resident_target =
+        std::max(sequence.kv_tokens, sequence.prefill_computed + grant);
+    if (resident_target > sequence.kv_tokens) {
+      HF_CHECK_MSG(kv_->ExtendSequence(id, resident_target),
+                   "residency extension failed after the preemption pass reserved it");
+      sequence.kv_tokens = resident_target;
+    }
     plan.prefill.push_back({id, grant, grant == pending});
   }
 
-  // 3. Admission in policy order, gated by real block allocation (the full
-  // context's blocks are allocated up front; only the *compute* is chunked).
+  // 3. Admission in policy order, gated by real block allocation. Without
+  // chunking the full context's blocks are allocated up front; with it,
+  // admission gates on the first chunk's need only (incremental residency),
+  // discounting prefix-cache hits either way.
   // Strict priority: stop at the first candidate that does not fit, so the
   // head of the order is never starved by smaller requests behind it.
   if (config_.admission == AdmissionPolicy::kWeightedFair) {
@@ -394,6 +472,7 @@ void RolloutScheduler::CommitEmittedToken(int64_t id, const std::vector<int64_t>
       std::find(eos_finished.begin(), eos_finished.end(), id) != eos_finished.end();
   if (finished) {
     if (resident) {
+      ReleaseReservation(sequence);
       kv_->FreeSequence(id);
       RemoveFromRunning(id);
     } else {

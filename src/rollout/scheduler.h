@@ -57,7 +57,28 @@ struct RolloutSchedulerConfig {
   // chunks across consecutive steps, so a long prompt never stalls the
   // decode batch for a whole step. 0 disables chunking (each admitted
   // context prefills in one step, the pre-chunking behavior).
+  //
+  // Chunking also switches KV residency to *incremental*: a sequence is
+  // admitted with blocks for its first chunk only (plus any prefix-cache
+  // hits) and acquires the rest chunk by chunk as its prefill progresses,
+  // so admission gates on the next chunk's need — not the full context —
+  // raising effective admission under tight budgets. The fit-alone-at-
+  // full-length progress contract is unchanged.
   int64_t prefill_chunk_tokens = 0;
+  // Full-length admission reservations. When on, admission additionally
+  // charges each candidate its block demand at full length (prompt +
+  // target_new_tokens), discounted by prefix blocks already referenced by
+  // live sequences, against the rank's total block count; a candidate whose
+  // reservation does not fit next to the running set's reservations waits.
+  // Physical blocks are still acquired incrementally (chunked prefill), but
+  // the scheduler never over-commits beyond what the running set will need
+  // at completion, so decode-time preemption churn disappears whenever
+  // targets are accurate (RLHF rollouts with a known response cap, and the
+  // perf plane, where targets are the simulated lengths). Off by default:
+  // optimistic vLLM-style admission, which bets on early finishes and
+  // preempts when the bet loses — better when targets are loose caps.
+  // An empty running set always admits (the progress contract).
+  bool reserve_full_length = false;
   // SLO-aware admission (serving front end). kQueueOrder leaves the plain
   // RLHF path untouched.
   AdmissionPolicy admission = AdmissionPolicy::kQueueOrder;
@@ -122,6 +143,10 @@ struct RolloutSchedulerStats {
   // Serving exits: client cancellations and TTFT-deadline expiries.
   int64_t cancelled = 0;
   int64_t expired = 0;
+  // Prefill compute skipped over prefix-cache hits at (re)admission
+  // (docs/KVCACHE.md): the structural win of sharing — group sampling
+  // skips n-1 prompt prefills, resumes skip their still-cached prompt.
+  int64_t prefix_skipped_tokens = 0;
 };
 
 // Single-threaded by design: one scheduler drives one replica's engine
@@ -191,10 +216,15 @@ class RolloutScheduler {
   std::vector<int64_t> AdmissionOrder() const;
   // Weighted deficit round-robin admission over per-tenant FIFOs.
   void AdmitWeightedFair(StepPlan* plan, int64_t* budget);
-  // Blocks the running set needs for its next appends on one rank.
-  int64_t BlocksNeededForDecode() const;
+  // Blocks the running set needs this step on one rank: decode rows'
+  // boundary appends plus mid-prefill rows' residency extensions under
+  // this step's prefill budget (incremental residency).
+  int64_t BlocksNeededForRunning() const;
   // Retires or appends one row that emitted a token this step.
   void CommitEmittedToken(int64_t id, const std::vector<int64_t>& eos_finished);
+  // Returns the sequence's full-length reservation to the pool (no-op if it
+  // holds none). Called wherever a sequence leaves the running set.
+  void ReleaseReservation(RolloutSequence& sequence);
   // No-op unless an event log is attached. `step` is the 0-based step
   // index the event belongs to.
   void RecordEvent(SeqEventKind kind, int64_t id, int64_t tokens, int64_t step);
@@ -208,6 +238,8 @@ class RolloutScheduler {
   SeqEventLog* event_log_ = nullptr;
   int64_t event_run_ = 0;
   double sim_now_ = 0.0;
+  // Sum of running sequences' reserved_blocks (reserve_full_length only).
+  int64_t reserved_blocks_total_ = 0;
   // kWeightedFair state: unspent per-tenant credit (context tokens) and the
   // tenant the next round-robin sweep starts from, both persisted across
   // steps so service converges on the weight ratios.

@@ -47,6 +47,21 @@ struct RolloutSequence {
   int64_t first_admit_step = -1;  // -1 until first admitted.
   int64_t preemptions = 0;
 
+  // Prefix-sharing metadata (src/kvcache/ prefix cache): chained content
+  // hashes of the full prompt blocks, from PromptBlockHashes (data plane)
+  // or GroupBlockHashes (sim plane). Empty disables sharing for this
+  // sequence; ignored entirely when the KV manager's prefix cache is off.
+  std::vector<uint64_t> block_hashes;
+  // Prompt-prefix tokens whose prefill compute was skipped at the last
+  // (re)admission because their blocks were served from the prefix cache.
+  int64_t prefix_skipped_tokens = 0;
+  // Full-length block reservation held while running (scheduler-side
+  // accounting, RolloutSchedulerConfig::reserve_full_length): blocks this
+  // sequence will occupy at prompt + target length, minus prefix blocks
+  // already referenced by live sequences at admission. Zero while not
+  // running or when reservations are disabled.
+  int64_t reserved_blocks = 0;
+
   // Serving metadata (src/serving/); inert on the plain RLHF rollout path.
   // `tenant` keys weighted fair queueing, `priority` orders admission under
   // AdmissionPolicy::kPriority (higher first), and `ttft_deadline` is an

@@ -24,6 +24,7 @@ RolloutSimResult SimulateContinuousGeneration(const PerfModel& perf,
   KvBlockConfig kv_config;
   kv_config.block_tokens = 16;
   kv_config.bytes_per_token = perf.KvBytesPerTokenPerGpu(gen);
+  kv_config.enable_prefix_cache = options.enable_prefix_cache;
   int64_t fit_largest = 0;
   for (const NominalSequence& sequence : sequences) {
     HF_CHECK_GT(sequence.prompt_tokens, 0);
@@ -45,6 +46,7 @@ RolloutSimResult SimulateContinuousGeneration(const PerfModel& perf,
   scheduler_config.reserve_tokens = options.reserve_tokens;
   scheduler_config.max_running = options.max_running;
   scheduler_config.prefill_chunk_tokens = options.prefill_chunk_tokens;
+  scheduler_config.reserve_full_length = options.reserve_full_length;
   RolloutScheduler scheduler(scheduler_config, &kv, &states);
   // Lifecycle events always feed the latency digests; they only outlive
   // this call when the caller provides a sink.
@@ -57,6 +59,20 @@ RolloutSimResult SimulateContinuousGeneration(const PerfModel& perf,
     state.id = static_cast<int64_t>(i);
     state.prompt_tokens = sequences[i].prompt_tokens;
     state.target_new_tokens = sequences[i].response_tokens;
+    if (options.enable_prefix_cache) {
+      // Count-based content identity: equal groups hash equal, so the sim
+      // plane shares (and skips prefill over) the same prompt blocks the
+      // data plane would. Unique prompts (group < 0) still get hashes — in
+      // their own per-sequence namespace, disjoint from the non-negative
+      // group ids — because the data plane hashes every prompt's actual
+      // tokens: a preempted victim's retained prompt blocks are prefix
+      // hits on resume, so recompute covers only the response tail.
+      const int64_t group = sequences[i].prompt_group >= 0
+                                ? sequences[i].prompt_group
+                                : -static_cast<int64_t>(i) - 1;
+      state.block_hashes =
+          GroupBlockHashes(group, sequences[i].prompt_tokens / kv_config.block_tokens);
+    }
     if (state.target_new_tokens > 0) {
       scheduler.Enqueue(state.id);
     } else {
@@ -132,6 +148,9 @@ RolloutSimResult SimulateContinuousGeneration(const PerfModel& perf,
   result.stats.resumes = scheduler_stats.resumes;
   result.stats.recomputed_tokens = scheduler_stats.recomputed_tokens;
   result.stats.kv_high_water_blocks = kv.high_water_blocks();
+  result.stats.prefix_skipped_tokens = scheduler_stats.prefix_skipped_tokens;
+  result.stats.cow_splits = kv.rank(0).cow_splits_total();
+  result.stats.shared_blocks_high_water = kv.rank(0).shared_blocks_high_water();
   result.latency = SummarizeSeqLatencies(
       DeriveSeqLatencies(events == &local_events ? local_events.Snapshot()
                                                  : events->SnapshotRun(event_run),

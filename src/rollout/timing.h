@@ -19,6 +19,11 @@ namespace hybridflow {
 struct NominalSequence {
   int64_t prompt_tokens = 0;
   int64_t response_tokens = 0;
+  // Content identity for the prefix cache (count-based plane): sequences
+  // with the same non-negative group are declared to share an identical
+  // prompt (group sampling: n responses per prompt), so their full prompt
+  // blocks hash equal and share. -1 = unique prompt, never shared.
+  int64_t prompt_group = -1;
 };
 
 struct RolloutSimResult {

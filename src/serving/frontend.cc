@@ -43,6 +43,7 @@ ServingResult ServingFrontend::Serve(const std::vector<ServingRequest>& requests
   // unset, else honor the budget but fit the largest request alone.
   KvBlockConfig kv_config;
   kv_config.block_tokens = config_.block_tokens;
+  kv_config.enable_prefix_cache = config_.prefix_cache;
   int64_t fit_all = 0;
   int64_t fit_largest = 0;
   for (const ServingRequest& request : requests) {
@@ -88,6 +89,9 @@ ServingResult ServingFrontend::Serve(const std::vector<ServingRequest>& requests
     sequence.tenant = request.tenant;
     sequence.priority = request.priority;
     sequence.ttft_deadline = request.ttft_deadline;
+    if (config_.prefix_cache) {
+      sequence.block_hashes = PromptBlockHashes(request.prompt, kv_config.block_tokens);
+    }
     contexts.emplace_back(request.prompt, net_.config().context_window);
     request_rngs.push_back(rng.Fork(static_cast<uint64_t>(i)));
     RequestRecord& record = result.records[i];

@@ -33,6 +33,11 @@ struct ServingFrontendConfig {
   // every request at full length (no capacity pressure).
   int64_t block_tokens = 4;
   int64_t num_blocks = 0;
+  // Prefix-sharing KV cache (docs/KVCACHE.md): requests with identical
+  // prompt prefixes — concurrent or arriving after an identical request
+  // finished (cross-request reuse; finished requests' prompt blocks are
+  // retained evictable) — share blocks and skip the shared prefill.
+  bool prefix_cache = false;
   // Virtual seconds one engine step advances the serving clock by.
   double seconds_per_step = 0.1;
   // Optional lifecycle sink (src/obs/seq_events.h); null disables, same

@@ -40,6 +40,10 @@ struct ServingPolicyConfig {
   // Serving default: reject TTFT-overdue requests instead of serving them
   // late. Turn off to measure how late a policy would have served them.
   bool expire_overdue = true;
+  // Prefix-sharing KV cache across requests (docs/KVCACHE.md). Data plane:
+  // prompts hash by content. Sim plane: ArrivalRecord::prompt_group
+  // supplies count-based content identity.
+  bool prefix_cache = false;
 };
 
 RolloutSchedulerConfig ToSchedulerConfig(const ServingPolicyConfig& config);

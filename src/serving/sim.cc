@@ -22,6 +22,7 @@ ServingSimResult SimulateServing(const PerfModel& perf, const GenParallelConfig&
   KvBlockConfig kv_config;
   kv_config.block_tokens = 16;
   kv_config.bytes_per_token = perf.KvBytesPerTokenPerGpu(gen);
+  kv_config.enable_prefix_cache = config.prefix_cache;
   int64_t fit_largest = 0;
   for (const ArrivalRecord& record : trace) {
     HF_CHECK_GT(record.prompt_tokens, 0);
@@ -51,6 +52,10 @@ ServingSimResult SimulateServing(const PerfModel& perf, const GenParallelConfig&
     state.tenant = record.tenant;
     state.priority = record.priority;
     state.ttft_deadline = record.ttft_deadline;
+    if (config.prefix_cache && record.prompt_group >= 0) {
+      state.block_hashes = GroupBlockHashes(record.prompt_group,
+                                            record.prompt_tokens / kv_config.block_tokens);
+    }
     RequestRecord& row = result.records[i];
     row.id = record.index;
     row.tenant = record.tenant;

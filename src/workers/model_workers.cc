@@ -186,6 +186,12 @@ double ActorWorkerGroup::GenerationSeconds(const RlhfWorkloadSpec& workload,
         .Set(static_cast<double>(sim.stats.resumes));
     registry.GetGauge("rollout.sim_recomputed_tokens", plane)
         .Set(static_cast<double>(sim.stats.recomputed_tokens));
+    registry.GetGauge("kvcache.prefix_hits_total", plane)
+        .Set(static_cast<double>(sim.stats.prefix_skipped_tokens));
+    registry.GetGauge("kvcache.cow_splits_total", plane)
+        .Set(static_cast<double>(sim.stats.cow_splits));
+    registry.GetGauge("kvcache.shared_blocks", plane)
+        .Set(static_cast<double>(sim.stats.shared_blocks_high_water));
     registry.GetGauge("rollout.sim_ttft_p50_s", plane).Set(sim.latency.ttft.p50);
     registry.GetGauge("rollout.sim_ttft_p90_s", plane).Set(sim.latency.ttft.p90);
     registry.GetGauge("rollout.sim_ttft_p99_s", plane).Set(sim.latency.ttft.p99);

@@ -240,5 +240,274 @@ TEST(DistributedKvManagerTest, WaveSchedulingDrainsEverything) {
   EXPECT_TRUE(manager.TablesInLockstep());
 }
 
+// --- Prefix-sharing cache (docs/KVCACHE.md) -----------------------------------
+// Suites named KvCache* run under check.sh's TSan and schedule-fuzz ctest
+// subsets in addition to the plain suite.
+
+KvBlockConfig PrefixConfig(int64_t blocks, int64_t block_tokens = 4) {
+  KvBlockConfig config = SmallConfig(blocks, block_tokens);
+  config.enable_prefix_cache = true;
+  return config;
+}
+
+TEST(KvCachePrefixTest, HashChainingSeparatesDivergentPrefixes) {
+  const std::vector<uint64_t> a = PromptBlockHashes({1, 2, 3, 4, 5, 6, 7, 8}, 4);
+  const std::vector<uint64_t> b = PromptBlockHashes({1, 2, 3, 4, 9, 9, 9, 9}, 4);
+  ASSERT_EQ(a.size(), 2u);
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(a[0], b[0]);  // Identical first block.
+  EXPECT_NE(a[1], b[1]);  // Chained: divergence poisons every later hash.
+  EXPECT_NE(a[0], 0u);
+  EXPECT_NE(a[1], 0u);  // Zero is the unhashed sentinel, never produced.
+  // Partial tail blocks are never hashed.
+  EXPECT_EQ(PromptBlockHashes({1, 2, 3, 4, 5}, 4).size(), 1u);
+}
+
+TEST(KvCachePrefixTest, GroupHashNamespacesAreDisjoint) {
+  // Count-based identity for the sim plane: equal groups hash equal;
+  // distinct groups — including the negative per-sequence namespace the
+  // timing simulator uses for unique prompts — never collide.
+  EXPECT_EQ(GroupBlockHashes(3, 4), GroupBlockHashes(3, 4));
+  EXPECT_NE(GroupBlockHashes(3, 4), GroupBlockHashes(4, 4));
+  EXPECT_NE(GroupBlockHashes(-1, 4), GroupBlockHashes(0, 4));
+  EXPECT_NE(GroupBlockHashes(-1, 4), GroupBlockHashes(-2, 4));
+}
+
+TEST(KvCachePrefixTest, IdenticalPromptsShareBlocksPhysically) {
+  KvBlockManager manager(PrefixConfig(/*blocks=*/8));
+  const std::vector<uint64_t> hashes = PromptBlockHashes({1, 2, 3, 4, 5, 6, 7, 8}, 4);
+  ASSERT_TRUE(manager.AddSequenceShared(1, 8, hashes));
+  EXPECT_EQ(manager.used_blocks(), 2);
+  ASSERT_TRUE(manager.AddSequenceShared(2, 8, hashes));
+  EXPECT_EQ(manager.used_blocks(), 2);  // Shared, not re-allocated.
+  EXPECT_EQ(manager.shared_blocks(), 2);
+  EXPECT_EQ(manager.BlockTable(1), manager.BlockTable(2));
+  EXPECT_EQ(manager.prefix_hit_tokens_total(), 8);
+  // Physical occupancy counts a shared block's capacity and fill once.
+  EXPECT_DOUBLE_EQ(manager.Occupancy(), 1.0);
+  EXPECT_DOUBLE_EQ(manager.used_bytes(), 2 * 4 * 100.0);
+  EXPECT_TRUE(manager.RefcountsConsistent());
+}
+
+TEST(KvCachePrefixTest, RetentionServesLaterIdenticalPrompt) {
+  KvBlockManager manager(PrefixConfig(/*blocks=*/4));
+  const std::vector<uint64_t> hashes = PromptBlockHashes({1, 2, 3, 4, 5, 6, 7, 8}, 4);
+  ASSERT_TRUE(manager.AddSequenceShared(1, 8, hashes));
+  manager.FreeSequence(1);
+  // Unreferenced but retained: evictable, still indexed, still probe-able.
+  EXPECT_EQ(manager.used_blocks(), 0);
+  EXPECT_EQ(manager.cached_blocks(), 2);
+  EXPECT_EQ(manager.free_blocks(), 2);
+  EXPECT_EQ(manager.PrefixHitTokens(hashes), 8);
+  EXPECT_EQ(manager.PrefixHitBlocksReferenced(hashes), 0);  // No live refs.
+  // A later identical prompt revives both blocks instead of allocating.
+  ASSERT_TRUE(manager.AddSequenceShared(2, 8, hashes));
+  EXPECT_EQ(manager.used_blocks(), 2);
+  EXPECT_EQ(manager.cached_blocks(), 0);
+  EXPECT_EQ(manager.free_blocks(), 2);
+  EXPECT_EQ(manager.prefix_hit_tokens_total(), 8);  // The revival's hits.
+  EXPECT_EQ(manager.PrefixHitBlocksReferenced(hashes), 2);
+  EXPECT_TRUE(manager.RefcountsConsistent());
+}
+
+TEST(KvCachePrefixTest, LruEvictionReclaimsColdestAndPrunesIndex) {
+  KvBlockManager manager(PrefixConfig(/*blocks=*/2));
+  const std::vector<uint64_t> cold = PromptBlockHashes({1, 2, 3, 4}, 4);
+  const std::vector<uint64_t> warm = PromptBlockHashes({5, 6, 7, 8}, 4);
+  ASSERT_TRUE(manager.AddSequenceShared(1, 4, cold));
+  manager.FreeSequence(1);
+  ASSERT_TRUE(manager.AddSequenceShared(2, 4, warm));
+  manager.FreeSequence(2);
+  EXPECT_EQ(manager.cached_blocks(), 2);
+  // A private allocation runs the pool dry: the LRU (cold) block is
+  // evicted and its index entry pruned; the warm block survives.
+  ASSERT_TRUE(manager.AddSequence(3, 4));
+  EXPECT_EQ(manager.evictions_total(), 1);
+  EXPECT_EQ(manager.PrefixHitTokens(cold), 0);
+  EXPECT_EQ(manager.PrefixHitTokens(warm), 4);
+  EXPECT_TRUE(manager.RefcountsConsistent());
+}
+
+TEST(KvCachePrefixTest, EvictableHitsAreNotSpareCapacity) {
+  // Regression: admission used to count evictable hit blocks as available
+  // while also planning to re-reference them, so the fresh-block loop ran
+  // the pool dry mid-admission (fatal) instead of returning false.
+  KvBlockManager manager(PrefixConfig(/*blocks=*/4));
+  const std::vector<int64_t> prompt = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16};
+  const std::vector<uint64_t> hashes = PromptBlockHashes(prompt, 4);
+  ASSERT_TRUE(manager.AddSequenceShared(1, 16, hashes));
+  manager.FreeSequence(1);
+  ASSERT_EQ(manager.free_blocks(), 0);
+  ASSERT_EQ(manager.cached_blocks(), 4);
+  // All four hits are evictable, so re-refing them leaves zero blocks for
+  // the one fresh block 17..20 needs: the probe and the apply path must
+  // both refuse, leaving the cache untouched.
+  EXPECT_FALSE(manager.CanAdmitShared(/*resident_tokens=*/16, /*reserve_tokens=*/4, hashes));
+  EXPECT_FALSE(manager.AddSequenceShared(2, 20, hashes));
+  EXPECT_EQ(manager.used_blocks(), 0);
+  EXPECT_EQ(manager.cached_blocks(), 4);
+  // Without the extra fresh block the revival fits exactly.
+  EXPECT_TRUE(manager.CanAdmitShared(/*resident_tokens=*/16, /*reserve_tokens=*/0, hashes));
+  ASSERT_TRUE(manager.AddSequenceShared(3, 16, hashes));
+  EXPECT_EQ(manager.used_blocks(), 4);
+  EXPECT_TRUE(manager.RefcountsConsistent());
+}
+
+TEST(KvCachePrefixTest, ReferencedHitsDoNotConsumeCapacity) {
+  // Contrast with the evictable case: hits on blocks live sequences still
+  // reference are genuinely free, so the same admission fits.
+  KvBlockManager manager(PrefixConfig(/*blocks=*/5));
+  const std::vector<int64_t> prompt = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16};
+  const std::vector<uint64_t> hashes = PromptBlockHashes(prompt, 4);
+  ASSERT_TRUE(manager.AddSequenceShared(1, 16, hashes));  // 4 blocks, live.
+  EXPECT_EQ(manager.PrefixHitBlocksReferenced(hashes), 4);
+  EXPECT_TRUE(manager.CanAdmitShared(/*resident_tokens=*/16, /*reserve_tokens=*/4, hashes));
+  ASSERT_TRUE(manager.AddSequenceShared(2, 20, hashes));
+  EXPECT_EQ(manager.used_blocks(), 5);
+  EXPECT_EQ(manager.shared_blocks(), 4);
+  EXPECT_TRUE(manager.RefcountsConsistent());
+}
+
+TEST(KvCacheCowTest, ForkSharesEverythingAndSplitsOnFirstDivergentWrite) {
+  KvBlockManager manager(PrefixConfig(/*blocks=*/8));
+  ASSERT_TRUE(manager.AddSequence(1, 6));  // 2 blocks; tail holds 2 of 4.
+  manager.Fork(1, 2);
+  EXPECT_EQ(manager.used_blocks(), 2);  // The fork allocated nothing.
+  EXPECT_EQ(manager.shared_blocks(), 2);
+  EXPECT_EQ(manager.BlockTable(1), manager.BlockTable(2));
+  EXPECT_EQ(manager.SequenceTokens(2), 6);
+  // The child's first append writes into the shared partial tail: COW.
+  ASSERT_TRUE(manager.AppendToken(2));
+  EXPECT_EQ(manager.cow_splits_total(), 1);
+  EXPECT_EQ(manager.used_blocks(), 3);
+  EXPECT_EQ(manager.BlockTable(1)[0], manager.BlockTable(2)[0]);  // Prefix intact.
+  EXPECT_NE(manager.BlockTable(1)[1], manager.BlockTable(2)[1]);  // Tail split.
+  EXPECT_EQ(manager.SequenceTokens(1), 6);  // Reader undisturbed.
+  EXPECT_EQ(manager.SequenceTokens(2), 7);
+  // The parent's tail is exclusively owned again: no further split.
+  ASSERT_TRUE(manager.AppendToken(1));
+  EXPECT_EQ(manager.cow_splits_total(), 1);
+  EXPECT_EQ(manager.used_blocks(), 3);
+  EXPECT_EQ(manager.shared_blocks(), 1);
+  EXPECT_TRUE(manager.RefcountsConsistent());
+  manager.FreeSequence(1);
+  manager.FreeSequence(2);
+  EXPECT_EQ(manager.used_blocks(), 0);
+  EXPECT_TRUE(manager.RefcountsConsistent());
+}
+
+TEST(KvCacheCowTest, CowSplitFailsCleanlyWhenPoolIsDry) {
+  KvBlockManager manager(PrefixConfig(/*blocks=*/2, /*block_tokens=*/4));
+  ASSERT_TRUE(manager.AddSequence(1, 6));  // Both blocks taken.
+  manager.Fork(1, 2);
+  // The split needs a block and none is free or evictable.
+  EXPECT_FALSE(manager.CanAppendToken(2));
+  EXPECT_FALSE(manager.AppendToken(2));
+  EXPECT_EQ(manager.SequenceTokens(2), 6);  // Unchanged on failure.
+  EXPECT_EQ(manager.cow_splits_total(), 0);
+  EXPECT_TRUE(manager.RefcountsConsistent());
+}
+
+TEST(KvCacheLeakTest, SharedLifecyclesReturnEveryBlock) {
+  // Interleaved shared admissions, forks, divergent appends, and frees in
+  // varying orders: physical usage must return to zero and the refcount
+  // audit must hold at every quiescent point.
+  KvBlockManager manager(PrefixConfig(/*blocks=*/16, /*block_tokens=*/2));
+  const std::vector<uint64_t> hashes = PromptBlockHashes({1, 2, 3, 4, 5, 6}, 2);
+  ASSERT_TRUE(manager.AddSequenceShared(1, 6, hashes));
+  ASSERT_TRUE(manager.AddSequenceShared(2, 6, hashes));
+  manager.Fork(2, 3);
+  ASSERT_TRUE(manager.AppendToken(1));  // New block (boundary).
+  ASSERT_TRUE(manager.AppendToken(3));  // New block: 3 diverges from 2.
+  ASSERT_TRUE(manager.RefcountsConsistent());
+  manager.FreeSequence(2);  // Middle owner first: shared blocks survive.
+  ASSERT_TRUE(manager.RefcountsConsistent());
+  EXPECT_EQ(manager.SequenceTokens(1), 7);
+  EXPECT_EQ(manager.SequenceTokens(3), 7);
+  manager.FreeSequences({1, 3});
+  EXPECT_EQ(manager.used_blocks(), 0);
+  EXPECT_GT(manager.cached_blocks(), 0);  // Hashed blocks retained.
+  EXPECT_TRUE(manager.RefcountsConsistent());
+}
+
+TEST(KvCacheLeakTest, RandomizedOpSoakHoldsInvariants) {
+  // Property soak across seeds: random admits (shared and private), forks,
+  // appends, and frees against a tiny pool. After every operation the
+  // refcount/partition audit must hold; after the final drain nothing may
+  // remain referenced.
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    KvBlockManager manager(PrefixConfig(/*blocks=*/6, /*block_tokens=*/2));
+    uint64_t state = seed * 2654435761ULL;
+    const auto next = [&state]() {
+      state ^= state << 13;
+      state ^= state >> 7;
+      state ^= state << 17;
+      return state;
+    };
+    std::vector<int64_t> live;
+    int64_t next_id = 0;
+    for (int op = 0; op < 200; ++op) {
+      switch (next() % 4) {
+        case 0: {  // Shared admit of one of two recurring prompts.
+          const bool first = next() % 2 == 0;
+          const std::vector<uint64_t> hashes =
+              PromptBlockHashes(first ? std::vector<int64_t>{1, 2, 3, 4}
+                                      : std::vector<int64_t>{9, 8, 7, 6},
+                                2);
+          if (manager.AddSequenceShared(next_id, 4, hashes)) {
+            live.push_back(next_id++);
+          }
+          break;
+        }
+        case 1: {  // Fork a random live sequence.
+          if (!live.empty()) {
+            manager.Fork(live[next() % live.size()], next_id);
+            live.push_back(next_id++);
+          }
+          break;
+        }
+        case 2: {  // Append (may COW-split or fail on exhaustion).
+          if (!live.empty()) {
+            manager.AppendToken(live[next() % live.size()]);
+          }
+          break;
+        }
+        default: {  // Free a random live sequence.
+          if (!live.empty()) {
+            const size_t victim = next() % live.size();
+            manager.FreeSequence(live[victim]);
+            live.erase(live.begin() + static_cast<int64_t>(victim));
+          }
+          break;
+        }
+      }
+      ASSERT_TRUE(manager.RefcountsConsistent()) << "seed " << seed << " op " << op;
+    }
+    for (int64_t id : live) {
+      manager.FreeSequence(id);
+    }
+    EXPECT_EQ(manager.used_blocks(), 0) << "seed " << seed;
+    EXPECT_TRUE(manager.RefcountsConsistent()) << "seed " << seed;
+  }
+}
+
+TEST(KvCacheDistributedTest, SharedAdmissionAndForkStayInLockstep) {
+  DistributedKvManager manager(2, PrefixConfig(/*blocks=*/8));
+  const std::vector<uint64_t> hashes = PromptBlockHashes({1, 2, 3, 4, 5, 6, 7, 8}, 4);
+  ASSERT_TRUE(manager.AddSequenceShared(1, 8, hashes));
+  ASSERT_TRUE(manager.AddSequenceShared(2, 8, hashes));
+  manager.Fork(2, 3);
+  ASSERT_TRUE(manager.AppendToken(3));  // Boundary append, all ranks.
+  EXPECT_TRUE(manager.TablesInLockstep());
+  EXPECT_EQ(manager.rank(0).shared_blocks(), manager.rank(1).shared_blocks());
+  manager.FreeSequences({1, 2, 3});
+  EXPECT_TRUE(manager.TablesInLockstep());
+  EXPECT_EQ(manager.rank(0).used_blocks(), 0);
+  EXPECT_EQ(manager.rank(1).used_blocks(), 0);
+  EXPECT_EQ(manager.rank(0).cached_blocks(), manager.rank(1).cached_blocks());
+  EXPECT_TRUE(manager.rank(0).RefcountsConsistent());
+  EXPECT_TRUE(manager.rank(1).RefcountsConsistent());
+}
+
 }  // namespace
 }  // namespace hybridflow

@@ -300,6 +300,265 @@ TEST(RolloutEngineTest, GreedyMatchesStaticReferenceUnderPreemption) {
   EXPECT_GT(total_partial_chunks, 0);
 }
 
+// Property: the prefix-sharing cache (docs/KVCACHE.md) is invisible in the
+// output. Prompts drawn from a small pool force sharing between live
+// sequences and hits on retained blocks of finished/preempted ones; tight
+// KV budgets force preemption on top. Greedy responses and log-probs must
+// still match the static reference bitwise — with and without full-length
+// admission reservations.
+TEST(RolloutEngineTest, GreedyMatchesStaticReferenceWithPrefixSharing) {
+  int64_t total_preemptions = 0;
+  int64_t total_skipped = 0;
+  const int64_t chunk_sizes[] = {0, 1, 3, 1000};
+  for (int64_t chunk : chunk_sizes) {
+    for (uint64_t seed = 1; seed <= 6; ++seed) {
+      Rng rng(seed * 1409);
+      PolicyNetConfig net_config;
+      net_config.vocab_size = 16;
+      net_config.context_window = 3;
+      net_config.embed_dim = 8;
+      net_config.hidden_dim = 16;
+      Rng net_rng = rng.Fork(1);
+      const PolicyNet net(net_config, net_rng);
+
+      // Two recurring prompts plus unique ones: recurrences share prompt
+      // blocks (group-sampling shape), unique prompts exercise retention
+      // hits only on their own resumes.
+      const std::vector<std::vector<int64_t>> pool = {{1, 2, 3, 4}, {5, 6, 7, 8, 9}};
+      const int64_t batch = rng.UniformInt(4, 9);
+      std::vector<std::vector<int64_t>> prompts(static_cast<size_t>(batch));
+      for (std::vector<int64_t>& prompt : prompts) {
+        const int64_t pick = rng.UniformInt(0, 3);
+        if (pick < 2) {
+          prompt = pool[static_cast<size_t>(pick)];
+        } else {
+          prompt.resize(static_cast<size_t>(rng.UniformInt(2, 6)));
+          for (int64_t& token : prompt) {
+            token = rng.UniformInt(0, net_config.vocab_size - 1);
+          }
+        }
+      }
+
+      RolloutLimits limits;
+      limits.max_new_tokens = 6;
+      limits.use_eos = true;
+      limits.eos_token = net_config.vocab_size - 2;
+
+      RolloutOptions options;
+      options.policy = seed % 2 == 0 ? RolloutPolicy::kFcfs : RolloutPolicy::kLongestPrefixFirst;
+      options.block_tokens = 2;
+      options.num_blocks = 7;  // One full sequence (<= 12 tokens) barely fits.
+      options.prefill_chunk_tokens = chunk;
+      options.enable_prefix_cache = true;
+      options.reserve_full_length = seed % 3 == 0;
+
+      const RolloutEngine engine(net, limits, options, /*kv_ranks=*/2);
+      Rng engine_rng = rng.Fork(2);
+      const RolloutShardResult got =
+          engine.Run(prompts, /*do_sample=*/false, /*temperature=*/1.0, engine_rng);
+      const ReferenceOutput want = StaticGreedyReference(net, prompts, limits);
+
+      for (size_t i = 0; i < prompts.size(); ++i) {
+        EXPECT_EQ(got.responses[i], want.responses[i])
+            << "seed " << seed << " chunk " << chunk << " row " << i;
+        ASSERT_EQ(got.log_probs[i].size(), want.log_probs[i].size())
+            << "seed " << seed << " chunk " << chunk << " row " << i;
+        for (size_t k = 0; k < want.log_probs[i].size(); ++k) {
+          EXPECT_EQ(got.log_probs[i][k], want.log_probs[i][k])
+              << "seed " << seed << " chunk " << chunk << " row " << i << " token " << k;
+        }
+      }
+      total_preemptions += got.stats.preemptions;
+      total_skipped += got.stats.prefix_skipped_tokens;
+    }
+  }
+  // The sweep must actually have exercised both mechanisms whose
+  // interaction the property protects.
+  EXPECT_GT(total_preemptions, 0);
+  EXPECT_GT(total_skipped, 0);
+}
+
+// Group sampling (n responses per prompt): the leader's prompt blocks are
+// indexed at admission, so every follower shares them and skips all but
+// the last prompt token's prefill — n-1 of n prompt prefills disappear.
+TEST(RolloutEngineTest, GroupSamplingSkipsFollowerPromptPrefills) {
+  Rng rng(53);
+  PolicyNetConfig net_config;
+  net_config.vocab_size = 16;
+  net_config.context_window = 3;
+  net_config.embed_dim = 8;
+  net_config.hidden_dim = 16;
+  const PolicyNet net(net_config, rng);
+  RolloutLimits limits;
+  limits.max_new_tokens = 4;
+  RolloutOptions options;
+  options.block_tokens = 2;
+  options.enable_prefix_cache = true;  // Auto-sized KV: no preemption noise.
+  const RolloutEngine engine(net, limits, options, /*kv_ranks=*/2);
+  const int64_t n = 4;
+  const std::vector<int64_t> prompt = {3, 1, 4, 1};
+  const std::vector<std::vector<int64_t>> prompts(static_cast<size_t>(n), prompt);
+  Rng engine_rng(54);
+  const RolloutShardResult result =
+      engine.Run(prompts, /*do_sample=*/false, /*temperature=*/1.0, engine_rng);
+  // Each of the n-1 followers skips its full prompt except the final token
+  // (whose logits emit the first response token).
+  const int64_t prompt_len = static_cast<int64_t>(prompt.size());
+  EXPECT_EQ(result.stats.prefix_skipped_tokens, (n - 1) * (prompt_len - 1));
+  EXPECT_EQ(result.stats.preemptions, 0);
+  EXPECT_EQ(result.stats.shared_blocks_high_water, prompt_len / options.block_tokens);
+  // Sharing is invisible: all group members decode greedily to the same
+  // response, and it matches the static reference.
+  const ReferenceOutput want = StaticGreedyReference(net, prompts, limits);
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(result.responses[static_cast<size_t>(i)], want.responses[static_cast<size_t>(i)]);
+    EXPECT_EQ(result.responses[static_cast<size_t>(i)], result.responses[0]);
+  }
+}
+
+TEST(RolloutSchedulerTest, PrefixSharingSurvivesPreemptionWithoutLeaks) {
+  // Group-sampled sequences under a KV budget tight enough to preempt:
+  // the drain must complete, retained prompt blocks must serve resumes,
+  // and the refcount audit must hold with zero physical usage at the end.
+  KvBlockConfig config = KvConfig(/*blocks=*/7, /*block_tokens=*/2);
+  config.enable_prefix_cache = true;
+  DistributedKvManager kv(2, config);
+  std::vector<RolloutSequence> sequences = MakeSequences({4, 4, 4, 4}, /*target_new=*/4);
+  for (RolloutSequence& sequence : sequences) {
+    sequence.block_hashes = GroupBlockHashes(/*group=*/7, /*full_blocks=*/2);
+  }
+  RolloutScheduler scheduler({}, &kv, &sequences);
+  for (int64_t id = 0; id < 4; ++id) {
+    scheduler.Enqueue(id);
+  }
+  int64_t guard = 0;
+  while (scheduler.HasWork()) {
+    ASSERT_LT(guard++, 1000) << "scheduler failed to drain";
+    const StepPlan plan = scheduler.BeginStep();
+    ASSERT_FALSE(plan.empty());
+    scheduler.CommitStep(plan, /*eos_finished=*/{});
+  }
+  for (const RolloutSequence& sequence : sequences) {
+    EXPECT_EQ(sequence.state, SequenceState::kFinished);
+    EXPECT_EQ(sequence.generated, 4);
+  }
+  EXPECT_GT(scheduler.stats().prefix_skipped_tokens, 0);
+  EXPECT_EQ(kv.rank(0).used_blocks(), 0);
+  EXPECT_TRUE(kv.rank(0).RefcountsConsistent());
+  EXPECT_TRUE(kv.rank(1).RefcountsConsistent());
+  EXPECT_TRUE(kv.TablesInLockstep());
+}
+
+TEST(RolloutSchedulerTest, ReserveFullLengthEliminatesDecodePreemption) {
+  // Same tight-cache setup whose optimistic admission preempts (see
+  // PreemptsYoungestAndDrainsEverything): full-length reservations instead
+  // admit only what can finish, so the drain completes with zero
+  // preemptions and zero recompute.
+  DistributedKvManager kv(2, KvConfig(/*blocks=*/6, /*block_tokens=*/2));
+  std::vector<RolloutSequence> sequences = MakeSequences({2, 2, 2, 2}, /*target_new=*/6);
+  RolloutSchedulerConfig config;
+  config.reserve_full_length = true;
+  RolloutScheduler scheduler(config, &kv, &sequences);
+  for (int64_t id = 0; id < 4; ++id) {
+    scheduler.Enqueue(id);
+  }
+  int64_t guard = 0;
+  while (scheduler.HasWork()) {
+    ASSERT_LT(guard++, 1000) << "scheduler failed to drain";
+    const StepPlan plan = scheduler.BeginStep();
+    ASSERT_FALSE(plan.empty());
+    scheduler.CommitStep(plan, /*eos_finished=*/{});
+  }
+  for (const RolloutSequence& sequence : sequences) {
+    EXPECT_EQ(sequence.state, SequenceState::kFinished);
+    EXPECT_EQ(sequence.generated, 6);
+    EXPECT_EQ(sequence.reserved_blocks, 0);  // Returned on finish.
+  }
+  EXPECT_EQ(scheduler.stats().preemptions, 0);
+  EXPECT_EQ(scheduler.stats().resumes, 0);
+  EXPECT_EQ(scheduler.stats().admissions, 4);  // First admissions only.
+  EXPECT_EQ(kv.rank(0).used_blocks(), 0);
+}
+
+TEST(RolloutSchedulerTest, CancelReleasesReservationAndRetainsPrompt) {
+  KvBlockConfig kv_config = KvConfig(/*blocks=*/10, /*block_tokens=*/2);
+  kv_config.enable_prefix_cache = true;
+  DistributedKvManager kv(1, kv_config);
+  std::vector<RolloutSequence> sequences = MakeSequences({4, 4}, /*target_new=*/8);
+  for (RolloutSequence& sequence : sequences) {
+    sequence.block_hashes = GroupBlockHashes(/*group=*/11, /*full_blocks=*/2);
+  }
+  RolloutSchedulerConfig config;
+  config.reserve_full_length = true;
+  RolloutScheduler scheduler(config, &kv, &sequences);
+  scheduler.Enqueue(0);
+  scheduler.Enqueue(1);
+  // Full length = 12 tokens = 6 blocks each: seq 1's reservation (6 - 2
+  // referenced prefix blocks = 4) fits next to seq 0's, both run.
+  StepPlan plan = scheduler.BeginStep();
+  scheduler.CommitStep(plan, /*eos_finished=*/{});
+  ASSERT_EQ(sequences[0].state, SequenceState::kDecode);
+  // Mid-decode cancel: residency and the reservation must both return.
+  scheduler.Cancel(0);
+  EXPECT_EQ(sequences[0].state, SequenceState::kCancelled);
+  EXPECT_EQ(sequences[0].reserved_blocks, 0);
+  EXPECT_EQ(scheduler.stats().cancelled, 1);
+  // Seq 0's private tail freed; the shared prompt blocks stay referenced
+  // by seq 1 (nothing evictable yet, nothing leaked).
+  EXPECT_TRUE(kv.rank(0).RefcountsConsistent());
+  int64_t guard = 0;
+  while (scheduler.HasWork()) {
+    ASSERT_LT(guard++, 1000);
+    const StepPlan next = scheduler.BeginStep();
+    ASSERT_FALSE(next.empty());
+    scheduler.CommitStep(next, /*eos_finished=*/{});
+  }
+  EXPECT_EQ(sequences[1].state, SequenceState::kFinished);
+  EXPECT_EQ(kv.rank(0).used_blocks(), 0);
+  EXPECT_GT(kv.rank(0).cached_blocks(), 0);  // Prompt retained for hits.
+  EXPECT_TRUE(kv.rank(0).RefcountsConsistent());
+}
+
+TEST(RolloutSchedulerTest, ExpiryMidPrefillReleasesResidencyWithoutLeaks) {
+  // A TTFT-overdue sequence expiring mid-chunked-prefill must release its
+  // partial residency; its already-hashed full blocks are retained.
+  KvBlockConfig kv_config = KvConfig(/*blocks=*/16, /*block_tokens=*/2);
+  kv_config.enable_prefix_cache = true;
+  DistributedKvManager kv(1, kv_config);
+  std::vector<RolloutSequence> sequences = MakeSequences({6, 2}, /*target_new=*/2);
+  sequences[0].block_hashes = GroupBlockHashes(/*group=*/3, /*full_blocks=*/3);
+  sequences[0].ttft_deadline = 0.5;
+  RolloutSchedulerConfig config;
+  config.prefill_chunk_tokens = 2;
+  config.expire_overdue = true;
+  RolloutScheduler scheduler(config, &kv, &sequences);
+  scheduler.Enqueue(0);
+  scheduler.Enqueue(1);
+  // Step 1: seq 0 takes the whole chunk budget (2 of 6 tokens resident).
+  StepPlan plan = scheduler.BeginStep();
+  ASSERT_EQ(plan.prefill.size(), 1u);
+  ASSERT_FALSE(plan.prefill[0].completes);
+  scheduler.CommitStep(plan, /*eos_finished=*/{});
+  ASSERT_EQ(sequences[0].state, SequenceState::kPrefill);
+  ASSERT_GT(kv.rank(0).used_blocks(), 0);
+  // The clock passes the deadline before its first token: expired.
+  scheduler.SetSimNow(1.0);
+  plan = scheduler.BeginStep();
+  EXPECT_EQ(sequences[0].state, SequenceState::kExpired);
+  EXPECT_EQ(scheduler.stats().expired, 1);
+  scheduler.CommitStep(plan, /*eos_finished=*/{});
+  int64_t guard = 0;
+  while (scheduler.HasWork()) {
+    ASSERT_LT(guard++, 1000);
+    const StepPlan next = scheduler.BeginStep();
+    scheduler.CommitStep(next, /*eos_finished=*/{});
+  }
+  EXPECT_EQ(sequences[1].state, SequenceState::kFinished);
+  EXPECT_EQ(kv.rank(0).used_blocks(), 0);
+  EXPECT_GT(kv.rank(0).cached_blocks(), 0);  // The expired row's full block.
+  EXPECT_TRUE(kv.rank(0).RefcountsConsistent());
+}
+
 TEST(RolloutSchedulerTest, ChunkedPrefillRespectsBudgetAndDefersEmission) {
   // Budget 4 tokens/step over a 10-token prompt: three chunks (4+4+2); the
   // sequence must not emit a token until the last chunk completes.
@@ -591,6 +850,38 @@ TEST(RolloutTimingTest, ChunkedPrefillFlattensDecodeStepLatency) {
   EXPECT_LT(flat.max_step_seconds, 0.5 * spiky.max_step_seconds);
   // Every response still completes: same total tokens both ways.
   EXPECT_EQ(flat.stats.sequences, spiky.stats.sequences);
+}
+
+TEST(RolloutTimingTest, PrefixCacheSkipsGroupPromptPrefillsInSimPlane) {
+  // Perf-plane mirror of the data-plane group-sampling test: equal
+  // prompt_group ids hash equal, so the simulator skips n-1 of every n
+  // prompt prefills and charges less prefill time for the same schedule.
+  const PerfModel perf(ModelSpec::Llama7B(), ClusterSpec::WithGpus(8));
+  const GenParallelConfig gen{1, 2};
+  const std::vector<DeviceId> devices{0, 1};
+  const int64_t groups = 8;
+  const int64_t n = 4;
+  const int64_t prompt = 64;  // 4 full 16-token blocks in the sim geometry.
+  std::vector<NominalSequence> sequences;
+  for (int64_t g = 0; g < groups; ++g) {
+    for (int64_t i = 0; i < n; ++i) {
+      sequences.push_back(NominalSequence{prompt, /*response_tokens=*/32, /*prompt_group=*/g});
+    }
+  }
+  RolloutOptions cached;
+  cached.mode = RolloutMode::kContinuous;
+  cached.enable_prefix_cache = true;
+  RolloutOptions uncached = cached;
+  uncached.enable_prefix_cache = false;
+  const double budget = 1e12;  // Ample KV: isolate the sharing effect.
+  const RolloutSimResult with_cache =
+      SimulateContinuousGeneration(perf, gen, devices, sequences, budget, cached);
+  const RolloutSimResult without_cache =
+      SimulateContinuousGeneration(perf, gen, devices, sequences, budget, uncached);
+  EXPECT_EQ(with_cache.stats.prefix_skipped_tokens, groups * (n - 1) * (prompt - 1));
+  EXPECT_EQ(without_cache.stats.prefix_skipped_tokens, 0);
+  EXPECT_LT(with_cache.time.prefill_seconds, without_cache.time.prefill_seconds);
+  EXPECT_GT(with_cache.stats.shared_blocks_high_water, 0);
 }
 
 TEST(RolloutTimingTest, ZeroLengthResponsesFinishInstantly) {

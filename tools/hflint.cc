@@ -33,7 +33,8 @@
 //   thread-construction  std::thread is constructed only in
 //                        src/common/thread_pool.cc; everything else goes
 //                        through ThreadPool
-//   annotated-sync       src/rollout/, src/tensor/, src/nn/, and src/serving/ use the
+//   annotated-sync       src/rollout/, src/tensor/, src/nn/, src/serving/,
+//                        and src/kvcache/ use the
 //                        capability-annotated Mutex/MutexLock/CondVar from
 //                        src/common/annotations.h, never raw std::mutex /
 //                        std::lock_guard / std::condition_variable — these
@@ -581,7 +582,8 @@ void CheckThreadConstruction(const FileText& file, std::vector<Finding>& finding
 
 void CheckAnnotatedSync(const FileText& file, std::vector<Finding>& findings) {
   bool covered = false;
-  for (const char* prefix : {"src/rollout/", "src/tensor/", "src/nn/", "src/serving/"}) {
+  for (const char* prefix :
+       {"src/rollout/", "src/tensor/", "src/nn/", "src/serving/", "src/kvcache/"}) {
     covered = covered || file.path.rfind(prefix, 0) == 0;
   }
   if (!covered) {
@@ -603,8 +605,8 @@ void CheckAnnotatedSync(const FileText& file, std::vector<Finding>& findings) {
           findings.push_back({file.path, static_cast<int>(i) + 1, "annotated-sync",
                               std::string(type) +
                                   " in an annotated-sync subsystem (src/rollout/, src/tensor/, "
-                                  "src/nn/, src/serving/); use the annotated Mutex / MutexLock / "
-                                  "CondVar from src/common/annotations.h"});
+                                  "src/nn/, src/serving/, src/kvcache/); use the annotated "
+                                  "Mutex / MutexLock / CondVar from src/common/annotations.h"});
         }
         pos = line.find(type, after);
       }

@@ -262,6 +262,10 @@ int Run(const ConfigMap& config) {
   build.rollout.max_running = config.GetInt("rollout.max_running", build.rollout.max_running);
   build.rollout.prefill_chunk_tokens =
       config.GetInt("rollout.prefill_chunk_tokens", build.rollout.prefill_chunk_tokens);
+  build.rollout.enable_prefix_cache =
+      config.GetBool("kvcache.prefix_cache", build.rollout.enable_prefix_cache);
+  build.rollout.reserve_full_length =
+      config.GetBool("rollout.reserve_full_length", build.rollout.reserve_full_length);
   build.async_pipeline = config.GetBool("async_pipeline", false);
   build.async_staleness = config.GetInt("async_staleness", build.async_staleness);
   build.tensor_threads = static_cast<int>(config.GetInt("tensor.threads", 0));
