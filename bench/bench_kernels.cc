@@ -24,6 +24,7 @@
 #include "src/obs/telemetry.h"
 #include "src/tensor/ops.h"
 #include "src/tensor/parallel.h"
+#include "src/tensor/simd.h"
 
 namespace hybridflow {
 namespace {
@@ -136,9 +137,20 @@ double TimeReps(Fn&& fn) {
   return (NowMs() - start) / kReps;
 }
 
+// One op fwd+bwd timed under the currently active SIMD tier. A case
+// builds its own fresh inputs (untimed), times kReps fwd+bwd iterations,
+// and returns every value the determinism contract covers (outputs ++
+// accumulated grads) concatenated, for bitwise comparison across tiers.
+struct SimdRun {
+  double ms_per_iter = 0.0;
+  std::vector<float> values;
+};
+
 int Main() {
   BenchReport report("kernels");
+  const char* simd = SimdLevelName(ActiveSimdLevel());
   bool deterministic = true;
+  int gate_failures = 0;
 
   // --- GEMM fwd+bwd across thread counts ----------------------------------
   std::cout << StrFormat("gemm fwd+bwd, A[%d,%d] * B[%d,%d], %d reps\n",
@@ -156,6 +168,7 @@ int Main() {
                            run.ms_per_iter, speedup, bitwise ? "yes" : "NO");
     report.AddRow()
         .Text("op", "gemm_fwd_bwd")
+        .Text("simd", simd)
         .Number("threads", threads)
         .Number("m", static_cast<double>(kM))
         .Number("k", static_cast<double>(kK))
@@ -173,34 +186,170 @@ int Main() {
                          "n/a");
   report.AddRow()
       .Text("op", "naive_serial")
+      .Text("simd", simd)
       .Number("threads", 1)
       .Number("ms_per_iter", naive.ms_per_iter)
       .Number("tiled_1t_speedup_vs_naive",
               baseline.ms_per_iter > 0.0 ? naive.ms_per_iter / baseline.ms_per_iter : 0.0);
 
-  // --- Fused MatMulNT vs materialized transpose ---------------------------
+  // --- Fused MatMulNT vs materialized transpose (fwd + bwd) ---------------
+  // Forward work is identical by construction (one B^T pack + the same
+  // GEMM); the fusion's win is the backward, where the composed form pays
+  // the Transpose node's zero-initialized grad buffer and a second
+  // transpose-accumulate pass. Values AND grads must stay bitwise equal.
   {
     SetTensorThreads(0);
-    Rng rng(321);
-    Tensor q = Tensor::Randn({kM, kK}, rng, 0.5f, /*requires_grad=*/false);
-    Tensor k = Tensor::Randn({kN, kK}, rng, 0.5f, /*requires_grad=*/false);
-    std::vector<float> fused_out;
-    const double fused_ms = TimeReps([&] { fused_out = MatMulNT(q, k).data(); });
-    std::vector<float> composed_out;
-    const double composed_ms =
-        TimeReps([&] { composed_out = MatMul(q, Transpose(k)).data(); });
-    const bool bitwise = BitwiseEq(fused_out, composed_out);
+    // Each side gets its own identically-seeded inputs.
+    const auto make_inputs = [](Tensor& q, Tensor& k) {
+      Rng rng(321);
+      q = Tensor::Randn({kM, kK}, rng, 0.5f);
+      k = Tensor::Randn({kN, kK}, rng, 0.5f);
+    };
+    Tensor qf, kf, qc, kc;
+    make_inputs(qf, kf);
+    make_inputs(qc, kc);
+    // Best-of-3 rounds per side, interleaved, so a stray scheduling blip
+    // on either side cannot decide the gate.
+    double fused_ms = 0.0;
+    double composed_ms = 0.0;
+    for (int round = 0; round < 3; ++round) {
+      const double f = TimeReps([&] {
+        Tensor c = MatMulNT(qf, kf);
+        Sum(c).Backward();
+      });
+      const double c = TimeReps([&] {
+        Tensor c2 = MatMul(qc, Transpose(kc));
+        Sum(c2).Backward();
+      });
+      fused_ms = round == 0 ? f : std::min(fused_ms, f);
+      composed_ms = round == 0 ? c : std::min(composed_ms, c);
+    }
+    // Bitwise capture on a single fwd+bwd from zeroed grads: the composed
+    // form's dB detours through the transpose node's fresh zero buffer
+    // each iteration (chain from zero, then one add into k.grad) while
+    // the fused kernel accumulates in place — identical from zero, but
+    // differently rounded once grads are already nonzero.
+    qf.ZeroGrad();
+    kf.ZeroGrad();
+    qc.ZeroGrad();
+    kc.ZeroGrad();
+    Tensor fused = MatMulNT(qf, kf);
+    Sum(fused).Backward();
+    Tensor composed = MatMul(qc, Transpose(kc));
+    Sum(composed).Backward();
+    const std::vector<float>& fused_out = fused.data();
+    const std::vector<float>& composed_out = composed.data();
+    const bool bitwise = BitwiseEq(fused_out, composed_out) &&
+                         BitwiseEq(qf.grad(), qc.grad()) &&
+                         BitwiseEq(kf.grad(), kc.grad());
     deterministic = deterministic && bitwise;
+    const double speedup = fused_ms > 0.0 ? composed_ms / fused_ms : 0.0;
     std::cout << StrFormat("%-15s | %7s | %7.2f | %6.2fx | %s  (vs composed %.2f ms)\n",
-                           "matmul_nt_fused", "auto", fused_ms,
-                           fused_ms > 0.0 ? composed_ms / fused_ms : 0.0, bitwise ? "yes" : "NO",
+                           "matmul_nt_fused", "auto", fused_ms, speedup, bitwise ? "yes" : "NO",
                            composed_ms);
     report.AddRow()
         .Text("op", "matmul_nt_fused")
+        .Text("simd", simd)
         .Number("ms_per_iter", fused_ms)
         .Number("composed_transpose_ms_per_iter", composed_ms)
-        .Number("speedup_vs_composed", fused_ms > 0.0 ? composed_ms / fused_ms : 0.0)
+        .Number("speedup_vs_composed", speedup)
         .Number("bitwise_matches_composed", bitwise ? 1.0 : 0.0);
+    // Bench-enforced regression gate (same idiom as the rollout
+    // scheduler's uniform gate): the fused path exists to beat the
+    // composed MatMul∘Transpose it replaced, so < 1.0x is a regression.
+    if (speedup < 1.0) {
+      ++gate_failures;
+    }
+  }
+
+  // --- SIMD tier vs forced-scalar fallback at 1 thread --------------------
+  // The same op fwd+bwd under the active tier and under
+  // SetSimdOverride(kScalar); values and grads must be bitwise identical
+  // (the canonical-order contract), and on AVX2 hardware the active tier
+  // should be well clear of 1x.
+  {
+    SetTensorThreads(1);
+    const auto matmul_case = [] {
+      Rng rng(77);
+      Tensor a = Tensor::Randn({kM, kK}, rng, 0.5f);
+      Tensor b = Tensor::Randn({kK, kN}, rng, 0.5f);
+      SimdRun run;
+      const double start = NowMs();
+      for (int rep = 0; rep < kReps; ++rep) {
+        Tensor c = MatMul(a, b);
+        Sum(c).Backward();
+        if (rep == kReps - 1) {
+          run.values = c.data();
+        }
+      }
+      run.ms_per_iter = (NowMs() - start) / kReps;
+      run.values.insert(run.values.end(), a.grad().begin(), a.grad().end());
+      run.values.insert(run.values.end(), b.grad().begin(), b.grad().end());
+      return run;
+    };
+    const auto layernorm_case = [] {
+      Rng rng(78);
+      Tensor x = Tensor::Randn({kM, kN}, rng, 0.5f);
+      Tensor gamma = Tensor::Randn({kN}, rng, 0.5f);
+      Tensor beta = Tensor::Randn({kN}, rng, 0.5f);
+      SimdRun run;
+      const double start = NowMs();
+      for (int rep = 0; rep < kReps; ++rep) {
+        Tensor y = LayerNorm(x, gamma, beta);
+        Sum(Square(y)).Backward();
+        if (rep == kReps - 1) {
+          run.values = y.data();
+        }
+      }
+      run.ms_per_iter = (NowMs() - start) / kReps;
+      run.values.insert(run.values.end(), x.grad().begin(), x.grad().end());
+      run.values.insert(run.values.end(), gamma.grad().begin(), gamma.grad().end());
+      run.values.insert(run.values.end(), beta.grad().begin(), beta.grad().end());
+      return run;
+    };
+    const auto softmax_case = [] {
+      Rng rng(79);
+      Tensor x = Tensor::Randn({kM, kN}, rng, 0.5f);
+      SimdRun run;
+      const double start = NowMs();
+      for (int rep = 0; rep < kReps; ++rep) {
+        Tensor y = LogSoftmax(x);
+        Sum(Square(y)).Backward();
+        if (rep == kReps - 1) {
+          run.values = y.data();
+        }
+      }
+      run.ms_per_iter = (NowMs() - start) / kReps;
+      run.values.insert(run.values.end(), x.grad().begin(), x.grad().end());
+      return run;
+    };
+    const auto compare = [&](const char* op, const auto& fn) {
+      ClearSimdOverride();
+      const SimdRun active = fn();
+      SetSimdOverride(SimdLevel::kScalar);
+      const SimdRun scalar = fn();
+      ClearSimdOverride();
+      const bool bitwise = BitwiseEq(active.values, scalar.values);
+      deterministic = deterministic && bitwise;
+      const double speedup =
+          active.ms_per_iter > 0.0 ? scalar.ms_per_iter / active.ms_per_iter : 0.0;
+      std::cout << StrFormat("%-15s | %7d | %7.2f | %6.2fx | %s  (scalar %.2f ms)\n", op, 1,
+                             active.ms_per_iter, speedup, bitwise ? "yes" : "NO",
+                             scalar.ms_per_iter);
+      report.AddRow()
+          .Text("op", op)
+          .Text("simd", simd)
+          .Number("threads", 1)
+          .Number("ms_per_iter", active.ms_per_iter)
+          .Number("scalar_ms_per_iter", scalar.ms_per_iter)
+          .Number("speedup_vs_scalar", speedup)
+          .Number("bitwise_matches_scalar", bitwise ? 1.0 : 0.0);
+    };
+    std::cout << "simd tier (" << simd << ") vs forced-scalar fallback, 1 thread, fwd+bwd\n";
+    compare("matmul", matmul_case);
+    compare("layernorm", layernorm_case);
+    compare("log_softmax", softmax_case);
+    SetTensorThreads(0);
   }
 
   if (!report.WriteJson()) {
@@ -209,10 +358,16 @@ int Main() {
   }
   std::cout << "wrote " << report.FilePath() << " (" << report.size() << " rows)\n";
   if (!deterministic) {
-    std::cerr << "bitwise determinism violated across thread counts\n";
+    std::cerr << "bitwise determinism violated across thread counts / SIMD tiers\n";
+    return 1;
+  }
+  if (gate_failures > 0) {
+    std::cerr << gate_failures
+              << " gate failure(s): fused matmul_nt speedup_vs_composed < 1.0\n";
     return 1;
   }
   std::cout << "determinism: all configurations bitwise-identical\n"
+               "gate: fused matmul_nt >= 1.0x composed\n"
                "target: >= 3x gemm_fwd_bwd at 8 threads vs 1 (requires >= 8 cores)\n";
   return 0;
 }

@@ -7,6 +7,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/tensor/parallel.h"
+#include "src/tensor/simd.h"
 
 namespace hybridflow {
 
@@ -48,21 +49,16 @@ void Adam::Step() {
     const int64_t size = static_cast<int64_t>(node.data.size());
     total_elems += size;
     // Each element's update is independent, so chunks of the parameter
-    // are thread-count invariant by construction.
+    // are thread-count invariant by construction; the simd kernel runs
+    // the seed's exact per-element sequence (all ops exactly rounded).
     ParallelChunks(size, GetKernelTuning().elem_grain, size * kAdamFlopsPerElem,
                    [&](int64_t begin, int64_t end) {
-                     for (int64_t i = begin; i < end; ++i) {
-                       const size_t s = static_cast<size_t>(i);
-                       float g = node.grad[s];
-                       if (config_.grad_clip > 0.0f) {
-                         g = std::clamp(g, -config_.grad_clip, config_.grad_clip);
-                       }
-                       m[s] = config_.beta1 * m[s] + (1.0f - config_.beta1) * g;
-                       v[s] = config_.beta2 * v[s] + (1.0f - config_.beta2) * g * g;
-                       const float m_hat = m[s] / bias1;
-                       const float v_hat = v[s] / bias2;
-                       node.data[s] -= config_.lr * m_hat / (std::sqrt(v_hat) + config_.epsilon);
-                     }
+                     simd::AdamUpdate(end - begin, node.data.data() + begin,
+                                      node.grad.data() + begin,
+                                      m.data() + begin, v.data() + begin,
+                                      config_.lr, config_.beta1, config_.beta2,
+                                      config_.epsilon, config_.grad_clip,
+                                      bias1, bias2);
                    });
   }
   ZeroGrad();

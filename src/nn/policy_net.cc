@@ -69,9 +69,11 @@ Tensor PolicyNet::TransformerSequence(const std::vector<int64_t>& tokens) const 
     Tensor scores = Scale(MatMulNT(q, k), attention_scale);
     Tensor attention = MatMul(Softmax(scores), v);
     x = Add(x, MatMul(attention, block.wo));
-    // Pre-norm MLP with a residual connection.
-    Tensor mlp_in = LayerNorm(x, block.ln2_gamma, block.ln2_beta);
-    Tensor hidden = Gelu(Add(MatMul(mlp_in, block.ff1), block.ff1_bias));
+    // Pre-norm MLP with a residual connection. ln2 feeds only ff1, so
+    // the fused LayerNormMatMul applies (ln1 above is shared by q/k/v
+    // and stays composed).
+    Tensor mlp_pre = LayerNormMatMul(x, block.ln2_gamma, block.ln2_beta, block.ff1);
+    Tensor hidden = Gelu(Add(mlp_pre, block.ff1_bias));
     x = Add(x, Add(MatMul(hidden, block.ff2), block.ff2_bias));
   }
   return LayerNorm(x, final_gamma_, final_beta_);

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <memory>
 
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/tensor/parallel.h"
+#include "src/tensor/simd.h"
 
 namespace hybridflow {
 
@@ -57,11 +60,37 @@ constexpr int64_t kSoftmaxFwdFlopsPerElem = 5;
 constexpr int64_t kSoftmaxBwdFlopsPerElem = 4;
 
 // Fixed (NON-tunable) row grain for cross-row reductions (LayerNorm
-// dgamma/dbeta). The tunable KernelTuning grains may change chunk shapes
-// freely because chunks own disjoint outputs; a cross-row reduction's
-// partial-sum association instead depends on its chunking, so it uses this
-// constant — keeping results bitwise invariant under tuning sweeps too.
+// dgamma/dbeta, broadcast-Add dbias). The tunable KernelTuning grains may
+// change chunk shapes freely because chunks own disjoint outputs; a
+// cross-row reduction's partial-sum association instead depends on its
+// chunking, so it uses this constant — keeping results bitwise invariant
+// under tuning sweeps too.
 constexpr int64_t kReduceRowGrain = 32;
+// Same idea for flat element reductions (Sum / Mean): chunk partials are
+// keyed by this fixed grain and folded serially in chunk order.
+constexpr int64_t kReduceElemGrain = 4096;
+
+// Blocked out-of-place transpose: yt[j * m + i] = x[i * n + j]. Pure data
+// movement (no float arithmetic), parallel over row blocks; square tiles
+// keep both access streams cache-resident.
+constexpr int64_t kTransposeTile = 32;
+void TransposeInto(int64_t m, int64_t n, const float* x, float* yt,
+                   int64_t work) {
+  ParallelChunks(m, GetKernelTuning().row_grain, work,
+                 [&](int64_t i0, int64_t i1) {
+                   for (int64_t ib = i0; ib < i1; ib += kTransposeTile) {
+                     const int64_t ie = std::min(i1, ib + kTransposeTile);
+                     for (int64_t j0 = 0; j0 < n; j0 += kTransposeTile) {
+                       const int64_t je = std::min(n, j0 + kTransposeTile);
+                       for (int64_t i = ib; i < ie; ++i) {
+                         for (int64_t j = j0; j < je; ++j) {
+                           yt[j * m + i] = x[i * n + j];
+                         }
+                       }
+                     }
+                   }
+                 });
+}
 
 // Wires a simple elementwise unary op: out[i] = fwd(a[i]); da[i] += dOut[i] * dfn(a[i], out[i]).
 // Chunks of elem_grain elements run in parallel; each element is owned by
@@ -155,22 +184,16 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   {
     KernelTimer timer(series, fwd_flops);
     // Row-partitioned, k-blocked: a chunk owns output rows [i0, i1).
-    // k-blocks advance in order and p ascends within a block, so every
-    // y[i,j] accumulates over p in ascending order regardless of the row
-    // grain, the k block, or the thread count.
+    // k-blocks advance in order and the simd::GemmKBlock micro-kernel
+    // walks p ascending per output element, so every y[i,j] accumulates
+    // over p in ascending fma order regardless of the row grain, the k
+    // block, the thread count, or the SIMD level.
     ParallelChunks(m, tuning.gemm_row_grain, fwd_flops, [&](int64_t i0, int64_t i1) {
       for (int64_t p0 = 0; p0 < k; p0 += tuning.gemm_k_block) {
         const int64_t p1 = std::min(k, p0 + tuning.gemm_k_block);
         for (int64_t i = i0; i < i1; ++i) {
-          const float* x_row = x.data() + i * k;
-          float* y_row = y.data() + i * n;
-          for (int64_t p = p0; p < p1; ++p) {
-            const float xi = x_row[p];
-            const float* w_row = w.data() + p * n;
-            for (int64_t j = 0; j < n; ++j) {
-              y_row[j] += xi * w_row[j];
-            }
-          }
+          simd::GemmKBlock(p1 - p0, n, x.data() + i * k + p0,
+                           w.data() + p0 * n, n, y.data() + i * n);
         }
       }
     });
@@ -184,34 +207,25 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
     const KernelTuning tuning = GetKernelTuning();
     const int64_t bwd_flops = 4 * m * k * n;
     KernelTimer timer(series_bwd, bwd_flops);
-    // dA = dC * B^T: a chunk owns rows of A; each dA[i,p] is one dot
-    // product with the j-sum ascending.
+    // dA = dC * B^T: a chunk owns rows of A; each dA[i,p] is one
+    // lane-partial dot product over j (simd::Dot order).
     ParallelChunks(m, tuning.gemm_row_grain, bwd_flops / 2, [&](int64_t i0, int64_t i1) {
       for (int64_t i = i0; i < i1; ++i) {
         const float* g_row = out.grad.data() + i * n;
         float* da_row = an->grad.data() + i * k;
         for (int64_t p = 0; p < k; ++p) {
-          const float* b_row = bn->data.data() + p * n;
-          float acc = 0.0f;
-          for (int64_t j = 0; j < n; ++j) {
-            acc += g_row[j] * b_row[j];
-          }
-          da_row[p] += acc;
+          da_row[p] += simd::Dot(n, g_row, bn->data.data() + p * n);
         }
       }
     });
     // dB = A^T * dC: a chunk owns rows of B (the k dimension); each
-    // dB[p,j] accumulates over i ascending.
+    // dB[p,j] accumulates over i ascending (strided-x micro-kernel: the
+    // i-th input is A[i,p], a column walk).
     ParallelChunks(k, tuning.gemm_row_grain, bwd_flops / 2, [&](int64_t p0, int64_t p1) {
       for (int64_t p = p0; p < p1; ++p) {
-        float* db_row = bn->grad.data() + p * n;
-        for (int64_t i = 0; i < m; ++i) {
-          const float xi = an->data[static_cast<size_t>(i * k + p)];
-          const float* g_row = out.grad.data() + i * n;
-          for (int64_t j = 0; j < n; ++j) {
-            db_row[j] += xi * g_row[j];
-          }
-        }
+        simd::GemmKBlockStridedX(m, n, an->data.data() + p, k,
+                                 out.grad.data(), n,
+                                 bn->grad.data() + p * n);
       }
     });
   });
@@ -233,41 +247,23 @@ Tensor MatMulNT(const Tensor& a, const Tensor& b) {
   const int64_t fwd_flops = 2 * m * k * n;
   {
     KernelTimer timer(series, fwd_flops);
-    // Both operands are row-major along the shared dimension, so each
-    // output element is one contiguous dot product (p ascending — the
-    // same per-element order as MatMul(a, Transpose(b)), hence bitwise
-    // identical to it).
-    // Panel packing: small tiles of B are copied transposed into a stack
-    // buffer so the inner loop is a contiguous axpy over j (SIMD-friendly,
-    // unlike a scalar dot chain). For any fixed (i, j) the p index still
-    // ascends monotonically — tiles advance in order, p ascends within a
-    // tile — so values stay bitwise identical to the unpacked form. Tile
-    // dims are fixed (not tunable) and do not affect accumulation order.
-    constexpr int64_t kNtTileP = 128;
-    constexpr int64_t kNtTileJ = 64;
+    // Panel packing, re-tuned: B^T is packed ONCE up front (a parallel
+    // blocked transpose — pure data movement, one pass over B, amortized
+    // across every row chunk; per-chunk tile packing repeated that pass
+    // per chunk and lost to the composed form). The inner kernel is then
+    // the exact register-blocked simd::GemmKBlock sequence MatMul runs
+    // on a materialized Transpose(b), so values are bitwise identical to
+    // MatMul(a, Transpose(b)) — the fused form just skips the transpose
+    // autograd node and its extra buffer hand-off.
+    // (Uninitialized scratch: TransposeInto overwrites every element.)
+    std::unique_ptr<float[]> bt(new float[static_cast<size_t>(k * n)]);
+    TransposeInto(n, k, w.data(), bt.get(), fwd_flops / 8);
     ParallelChunks(m, tuning.gemm_row_grain, fwd_flops, [&](int64_t i0, int64_t i1) {
-      float tile[kNtTileP * kNtTileJ];
-      for (int64_t j0 = 0; j0 < n; j0 += kNtTileJ) {
-        const int64_t jb = std::min(kNtTileJ, n - j0);
-        for (int64_t p0 = 0; p0 < k; p0 += kNtTileP) {
-          const int64_t pb = std::min(kNtTileP, k - p0);
-          for (int64_t j = 0; j < jb; ++j) {
-            const float* w_col = w.data() + (j0 + j) * k + p0;
-            for (int64_t p = 0; p < pb; ++p) {
-              tile[p * kNtTileJ + j] = w_col[p];
-            }
-          }
-          for (int64_t i = i0; i < i1; ++i) {
-            const float* x_row = x.data() + i * k + p0;
-            float* y_row = y.data() + i * n + j0;
-            for (int64_t p = 0; p < pb; ++p) {
-              const float xp = x_row[p];
-              const float* t_row = tile + p * kNtTileJ;
-              for (int64_t j = 0; j < jb; ++j) {
-                y_row[j] += xp * t_row[j];
-              }
-            }
-          }
+      for (int64_t p0 = 0; p0 < k; p0 += tuning.gemm_k_block) {
+        const int64_t p1 = std::min(k, p0 + tuning.gemm_k_block);
+        for (int64_t i = i0; i < i1; ++i) {
+          simd::GemmKBlock(p1 - p0, n, x.data() + i * k + p0,
+                           bt.get() + p0 * n, n, y.data() + i * n);
         }
       }
     });
@@ -281,33 +277,28 @@ Tensor MatMulNT(const Tensor& a, const Tensor& b) {
     const KernelTuning tuning = GetKernelTuning();
     const int64_t bwd_flops = 4 * m * k * n;
     KernelTimer timer(series_bwd, bwd_flops);
-    // dA = dC * B: a chunk owns rows of A; each dA[i,p] accumulates over
-    // j ascending.
+    // dA = dC * B: each dA[i,p] is the same lane-partial dot over j that
+    // MatMul's backward computes on a materialized Transpose(b), so the
+    // grads stay bitwise identical to the composed form. B^T is packed
+    // once (pure data movement) so the dot reads contiguously.
+    std::unique_ptr<float[]> bt(new float[static_cast<size_t>(k * n)]);
+    TransposeInto(n, k, bn->data.data(), bt.get(), bwd_flops / 8);
     ParallelChunks(m, tuning.gemm_row_grain, bwd_flops / 2, [&](int64_t i0, int64_t i1) {
       for (int64_t i = i0; i < i1; ++i) {
         const float* g_row = out.grad.data() + i * n;
         float* da_row = an->grad.data() + i * k;
-        for (int64_t j = 0; j < n; ++j) {
-          const float g = g_row[j];
-          const float* b_row = bn->data.data() + j * k;
-          for (int64_t p = 0; p < k; ++p) {
-            da_row[p] += g * b_row[p];
-          }
+        for (int64_t p = 0; p < k; ++p) {
+          da_row[p] += simd::Dot(n, g_row, bt.get() + p * n);
         }
       }
     });
     // dB = dC^T * A: a chunk owns rows of B; each dB[j,p] accumulates
-    // over i ascending.
+    // over i ascending (strided-x walk down dC's column j).
     ParallelChunks(n, tuning.gemm_row_grain, bwd_flops / 2, [&](int64_t j0, int64_t j1) {
       for (int64_t j = j0; j < j1; ++j) {
-        float* db_row = bn->grad.data() + j * k;
-        for (int64_t i = 0; i < m; ++i) {
-          const float g = out.grad[static_cast<size_t>(i * n + j)];
-          const float* x_row = an->data.data() + i * k;
-          for (int64_t p = 0; p < k; ++p) {
-            db_row[p] += g * x_row[p];
-          }
-        }
+        simd::GemmKBlockStridedX(m, k, out.grad.data() + j, n,
+                                 an->data.data(), k,
+                                 bn->grad.data() + j * k);
       }
     });
   });
@@ -329,18 +320,16 @@ Tensor MatMulTN(const Tensor& a, const Tensor& b) {
   const int64_t fwd_flops = 2 * m * k * n;
   {
     KernelTimer timer(series, fwd_flops);
-    // A chunk owns output rows [i0, i1); p ascends per element — the same
-    // per-element order as MatMul(Transpose(a), b), hence bitwise
+    // A chunk owns output rows [i0, i1); p ascends per element (the
+    // strided-x micro-kernel walks column i of A downward) — the same
+    // per-element fma order as MatMul(Transpose(a), b), hence bitwise
     // identical to it.
     ParallelChunks(m, tuning.gemm_row_grain, fwd_flops, [&](int64_t i0, int64_t i1) {
-      for (int64_t i = i0; i < i1; ++i) {
-        float* y_row = y.data() + i * n;
-        for (int64_t p = 0; p < k; ++p) {
-          const float xi = x[static_cast<size_t>(p * m + i)];
-          const float* w_row = w.data() + p * n;
-          for (int64_t j = 0; j < n; ++j) {
-            y_row[j] += xi * w_row[j];
-          }
+      for (int64_t p0 = 0; p0 < k; p0 += tuning.gemm_k_block) {
+        const int64_t p1 = std::min(k, p0 + tuning.gemm_k_block);
+        for (int64_t i = i0; i < i1; ++i) {
+          simd::GemmKBlockStridedX(p1 - p0, n, x.data() + p0 * m + i, m,
+                                   w.data() + p0 * n, n, y.data() + i * n);
         }
       }
     });
@@ -366,15 +355,8 @@ Tensor MatMulTN(const Tensor& a, const Tensor& b) {
         const float* a_row = an->data.data() + p * m;
         for (int64_t i = 0; i < m; ++i) {
           const float* g_row = out.grad.data() + i * n;
-          float acc = 0.0f;
-          for (int64_t j = 0; j < n; ++j) {
-            acc += b_row[j] * g_row[j];
-          }
-          da_row[i] += acc;
-          const float xi = a_row[i];
-          for (int64_t j = 0; j < n; ++j) {
-            db_row[j] += xi * g_row[j];
-          }
+          da_row[i] += simd::Dot(n, b_row, g_row);
+          simd::Axpy(n, a_row[i], g_row, db_row);
         }
       }
     });
@@ -382,65 +364,219 @@ Tensor MatMulTN(const Tensor& a, const Tensor& b) {
 }
 
 Tensor Add(const Tensor& a, const Tensor& b) {
+  static const KernelSeries series = MakeKernelSeries("elementwise");
   if (a.shape() == b.shape()) {
-    return Binary(
-        a, b, [](float x, float z) { return x + z; }, [](float, float) { return 1.0f; },
-        [](float, float) { return 1.0f; });
+    const int64_t size = static_cast<int64_t>(a.data().size());
+    const int64_t flops = size * kBinaryFlopsPerElem;
+    std::vector<float> y(a.data().size());
+    {
+      KernelTimer timer(series, flops);
+      ParallelChunks(size, GetKernelTuning().elem_grain, flops,
+                     [&](int64_t begin, int64_t end) {
+                       simd::Add(end - begin, a.data().data() + begin,
+                                 b.data().data() + begin, y.data() + begin);
+                     });
+    }
+    TensorNodePtr an = a.node();
+    TensorNodePtr bn = b.node();
+    return MakeResult(a.shape(), std::move(y), {an, bn}, [an, bn](TensorNode& out) {
+      static const KernelSeries series_bwd = MakeKernelSeries("elementwise_bwd");
+      an->EnsureGrad();
+      bn->EnsureGrad();
+      const int64_t size = static_cast<int64_t>(out.data.size());
+      const int64_t flops = size * kBinaryFlopsPerElem;
+      KernelTimer timer(series_bwd, flops);
+      ParallelChunks(size, GetKernelTuning().elem_grain, flops,
+                     [&](int64_t begin, int64_t end) {
+                       simd::AddAcc(end - begin, out.grad.data() + begin,
+                                    an->grad.data() + begin);
+                       simd::AddAcc(end - begin, out.grad.data() + begin,
+                                    bn->grad.data() + begin);
+                     });
+    });
   }
-  // Bias broadcast: a[m,n] + b[n].
+  // Bias broadcast: a[m,n] + b[n]. Rows are independent in the forward;
+  // the bias gradient reduces ACROSS rows, so it goes through per-chunk
+  // partials keyed by the fixed kReduceRowGrain, folded in chunk order.
   HF_CHECK_EQ(a.ndim(), 2);
   HF_CHECK_EQ(b.ndim(), 1);
   const int64_t m = a.dim(0);
   const int64_t n = a.dim(1);
   HF_CHECK_EQ(b.dim(0), n);
-  std::vector<float> y(a.data());
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t j = 0; j < n; ++j) {
-      y[static_cast<size_t>(i * n + j)] += b.data()[static_cast<size_t>(j)];
-    }
+  const int64_t flops = m * n * kBinaryFlopsPerElem;
+  std::vector<float> y(static_cast<size_t>(m * n));
+  {
+    KernelTimer timer(series, flops);
+    ParallelChunks(m, GetKernelTuning().row_grain, flops,
+                   [&](int64_t i0, int64_t i1) {
+                     for (int64_t i = i0; i < i1; ++i) {
+                       simd::Add(n, a.data().data() + i * n, b.data().data(),
+                                 y.data() + i * n);
+                     }
+                   });
   }
   TensorNodePtr an = a.node();
   TensorNodePtr bn = b.node();
   return MakeResult({m, n}, std::move(y), {an, bn}, [an, bn, m, n](TensorNode& out) {
+    static const KernelSeries series_bwd = MakeKernelSeries("elementwise_bwd");
     an->EnsureGrad();
     bn->EnsureGrad();
-    for (int64_t i = 0; i < m; ++i) {
-      for (int64_t j = 0; j < n; ++j) {
-        const float g = out.grad[static_cast<size_t>(i * n + j)];
-        an->grad[static_cast<size_t>(i * n + j)] += g;
-        bn->grad[static_cast<size_t>(j)] += g;
+    const int64_t flops = m * n * kBinaryFlopsPerElem;
+    KernelTimer timer(series_bwd, flops);
+    const int64_t size = m * n;
+    ParallelChunks(size, GetKernelTuning().elem_grain, flops / 2,
+                   [&](int64_t begin, int64_t end) {
+                     simd::AddAcc(end - begin, out.grad.data() + begin,
+                                  an->grad.data() + begin);
+                   });
+    const int64_t chunks = tensor_internal::NumChunks(m, kReduceRowGrain);
+    std::vector<float> dbias_partial(static_cast<size_t>(chunks * n), 0.0f);
+    ParallelChunks(m, kReduceRowGrain, flops / 2, [&](int64_t i0, int64_t i1) {
+      float* dbias = dbias_partial.data() + (i0 / kReduceRowGrain) * n;
+      for (int64_t i = i0; i < i1; ++i) {
+        simd::AddAcc(n, out.grad.data() + i * n, dbias);
       }
+    });
+    for (int64_t chunk = 0; chunk < chunks; ++chunk) {
+      simd::AddAcc(n, dbias_partial.data() + chunk * n, bn->grad.data());
     }
   });
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
-  return Binary(
-      a, b, [](float x, float z) { return x - z; }, [](float, float) { return 1.0f; },
-      [](float, float) { return -1.0f; });
+  static const KernelSeries series = MakeKernelSeries("elementwise");
+  HF_CHECK(a.shape() == b.shape());
+  const int64_t size = static_cast<int64_t>(a.data().size());
+  const int64_t flops = size * kBinaryFlopsPerElem;
+  std::vector<float> y(a.data().size());
+  {
+    KernelTimer timer(series, flops);
+    ParallelChunks(size, GetKernelTuning().elem_grain, flops,
+                   [&](int64_t begin, int64_t end) {
+                     simd::Sub(end - begin, a.data().data() + begin,
+                               b.data().data() + begin, y.data() + begin);
+                   });
+  }
+  TensorNodePtr an = a.node();
+  TensorNodePtr bn = b.node();
+  return MakeResult(a.shape(), std::move(y), {an, bn}, [an, bn](TensorNode& out) {
+    static const KernelSeries series_bwd = MakeKernelSeries("elementwise_bwd");
+    an->EnsureGrad();
+    bn->EnsureGrad();
+    const int64_t size = static_cast<int64_t>(out.data.size());
+    const int64_t flops = size * kBinaryFlopsPerElem;
+    KernelTimer timer(series_bwd, flops);
+    ParallelChunks(size, GetKernelTuning().elem_grain, flops,
+                   [&](int64_t begin, int64_t end) {
+                     simd::AddAcc(end - begin, out.grad.data() + begin,
+                                  an->grad.data() + begin);
+                     simd::ScaleAcc(end - begin, out.grad.data() + begin,
+                                    -1.0f, bn->grad.data() + begin);
+                   });
+  });
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
-  return Binary(
-      a, b, [](float x, float z) { return x * z; }, [](float, float z) { return z; },
-      [](float x, float) { return x; });
+  static const KernelSeries series = MakeKernelSeries("elementwise");
+  HF_CHECK(a.shape() == b.shape());
+  const int64_t size = static_cast<int64_t>(a.data().size());
+  const int64_t flops = size * kBinaryFlopsPerElem;
+  std::vector<float> y(a.data().size());
+  {
+    KernelTimer timer(series, flops);
+    ParallelChunks(size, GetKernelTuning().elem_grain, flops,
+                   [&](int64_t begin, int64_t end) {
+                     simd::Mul(end - begin, a.data().data() + begin,
+                               b.data().data() + begin, y.data() + begin);
+                   });
+  }
+  TensorNodePtr an = a.node();
+  TensorNodePtr bn = b.node();
+  return MakeResult(a.shape(), std::move(y), {an, bn}, [an, bn](TensorNode& out) {
+    static const KernelSeries series_bwd = MakeKernelSeries("elementwise_bwd");
+    an->EnsureGrad();
+    bn->EnsureGrad();
+    const int64_t size = static_cast<int64_t>(out.data.size());
+    const int64_t flops = size * kBinaryFlopsPerElem;
+    KernelTimer timer(series_bwd, flops);
+    ParallelChunks(size, GetKernelTuning().elem_grain, flops,
+                   [&](int64_t begin, int64_t end) {
+                     simd::MulAcc(end - begin, out.grad.data() + begin,
+                                  bn->data.data() + begin,
+                                  an->grad.data() + begin);
+                     simd::MulAcc(end - begin, out.grad.data() + begin,
+                                  an->data.data() + begin,
+                                  bn->grad.data() + begin);
+                   });
+  });
 }
 
+namespace {
+
+// Shared wiring for the vectorized unary ops below: fwd fills y from x
+// over elem_grain chunks; bwd accumulates into the parent's grad.
+template <typename FwdKernel, typename BwdKernel>
+Tensor SimdUnary(const Tensor& a, FwdKernel fwd, BwdKernel bwd) {
+  static const KernelSeries series = MakeKernelSeries("elementwise");
+  const int64_t size = static_cast<int64_t>(a.data().size());
+  const int64_t flops = size * kUnaryFlopsPerElem;
+  std::vector<float> y(a.data().size());
+  {
+    KernelTimer timer(series, flops);
+    ParallelChunks(size, GetKernelTuning().elem_grain, flops,
+                   [&](int64_t begin, int64_t end) {
+                     fwd(end - begin, a.data().data() + begin,
+                         y.data() + begin);
+                   });
+  }
+  TensorNodePtr an = a.node();
+  return MakeResult(a.shape(), std::move(y), {an}, [an, bwd](TensorNode& out) {
+    static const KernelSeries series_bwd = MakeKernelSeries("elementwise_bwd");
+    an->EnsureGrad();
+    const int64_t size = static_cast<int64_t>(out.data.size());
+    const int64_t flops = size * kUnaryFlopsPerElem;
+    KernelTimer timer(series_bwd, flops);
+    ParallelChunks(size, GetKernelTuning().elem_grain, flops,
+                   [&](int64_t begin, int64_t end) {
+                     bwd(end - begin, begin, *an, out);
+                   });
+  });
+}
+
+}  // namespace
+
 Tensor Scale(const Tensor& a, float s) {
-  return Unary(
-      a, [s](float x) { return x * s; }, [s](float, float) { return s; });
+  return SimdUnary(
+      a,
+      [s](int64_t c, const float* x, float* y) { simd::Scale(c, x, s, y); },
+      [s](int64_t c, int64_t begin, TensorNode& an, TensorNode& out) {
+        simd::ScaleAcc(c, out.grad.data() + begin, s, an.grad.data() + begin);
+      });
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
-  return Unary(
-      a, [s](float x) { return x + s; }, [](float, float) { return 1.0f; });
+  return SimdUnary(
+      a,
+      [s](int64_t c, const float* x, float* y) { simd::AddScalar(c, x, s, y); },
+      [](int64_t c, int64_t begin, TensorNode& an, TensorNode& out) {
+        simd::AddAcc(c, out.grad.data() + begin, an.grad.data() + begin);
+      });
 }
 
 Tensor Neg(const Tensor& a) { return Scale(a, -1.0f); }
 
+// exp via HfExpf (simd.h): bitwise identical at every SIMD level, about
+// 1 ulp off std::expf. Inputs in [~88.38, 88.72] round up to +inf (the
+// documented scale-overflow band) — softmax paths always shift by the
+// row max first, so they never enter it.
 Tensor Exp(const Tensor& a) {
-  return Unary(
-      a, [](float x) { return std::exp(x); }, [](float, float y) { return y; });
+  return SimdUnary(
+      a, [](int64_t c, const float* x, float* y) { simd::Exp(c, x, y); },
+      [](int64_t c, int64_t begin, TensorNode& an, TensorNode& out) {
+        // d/dx exp = exp(x) = out.data.
+        simd::MulAcc(c, out.grad.data() + begin, out.data.data() + begin,
+                     an.grad.data() + begin);
+      });
 }
 
 Tensor Log(const Tensor& a) {
@@ -470,8 +606,16 @@ Tensor Softplus(const Tensor& a) {
 }
 
 Tensor Square(const Tensor& a) {
-  return Unary(
-      a, [](float x) { return x * x; }, [](float x, float) { return 2.0f * x; });
+  return SimdUnary(
+      a, [](int64_t c, const float* x, float* y) { simd::Mul(c, x, x, y); },
+      [](int64_t c, int64_t begin, TensorNode& an, TensorNode& out) {
+        // d/dx x^2 = 2x, accumulated as two identical fma(g, x, ·) steps
+        // so both tiers run the same exactly-rounded sequence.
+        simd::MulAcc(c, out.grad.data() + begin, an.data.data() + begin,
+                     an.grad.data() + begin);
+        simd::MulAcc(c, out.grad.data() + begin, an.data.data() + begin,
+                     an.grad.data() + begin);
+      });
 }
 
 Tensor Tanh(const Tensor& a) {
@@ -517,75 +661,149 @@ Tensor Clamp(const Tensor& a, float lo, float hi) {
       [lo, hi](float x, float) { return (x >= lo && x <= hi) ? 1.0f : 0.0f; });
 }
 
-Tensor Sum(const Tensor& a) {
+namespace {
+
+// Shared reduction core for Sum/Mean: per-chunk lane-partial sums keyed
+// by the fixed kReduceElemGrain, folded serially in chunk order. The
+// chunk grain AND the per-chunk lane-partial order are both fixed, so
+// the total is bitwise invariant to threads, tuning, and SIMD level.
+float ChunkedTotal(const std::vector<float>& x, int64_t flops) {
+  const int64_t size = static_cast<int64_t>(x.size());
+  const int64_t chunks = tensor_internal::NumChunks(size, kReduceElemGrain);
+  std::vector<float> partial(static_cast<size_t>(chunks), 0.0f);
+  ParallelChunks(size, kReduceElemGrain, flops, [&](int64_t begin, int64_t end) {
+    partial[static_cast<size_t>(begin / kReduceElemGrain)] =
+        simd::Sum(end - begin, x.data() + begin);
+  });
   float total = 0.0f;
-  for (float x : a.data()) {
-    total += x;
+  for (float p : partial) {
+    total += p;
+  }
+  return total;
+}
+
+}  // namespace
+
+Tensor Sum(const Tensor& a) {
+  static const KernelSeries series = MakeKernelSeries("reduce");
+  const int64_t size = static_cast<int64_t>(a.data().size());
+  float total;
+  {
+    KernelTimer timer(series, size);
+    total = ChunkedTotal(a.data(), size);
   }
   TensorNodePtr an = a.node();
   return MakeResult({1}, {total}, {an}, [an](TensorNode& out) {
+    static const KernelSeries series_bwd = MakeKernelSeries("reduce_bwd");
     an->EnsureGrad();
-    for (float& g : an->grad) {
-      g += out.grad[0];
-    }
+    const int64_t size = static_cast<int64_t>(an->grad.size());
+    KernelTimer timer(series_bwd, size);
+    const float g0 = out.grad[0];
+    ParallelChunks(size, GetKernelTuning().elem_grain, size,
+                   [&](int64_t begin, int64_t end) {
+                     float* dx = an->grad.data();
+                     for (int64_t i = begin; i < end; ++i) {
+                       dx[i] += g0;
+                     }
+                   });
   });
 }
 
 Tensor Mean(const Tensor& a) {
   HF_CHECK_GT(a.size(), 0);
+  static const KernelSeries series = MakeKernelSeries("reduce");
   const float inv = 1.0f / static_cast<float>(a.size());
-  float total = 0.0f;
-  for (float x : a.data()) {
-    total += x;
+  const int64_t size = static_cast<int64_t>(a.data().size());
+  float total;
+  {
+    KernelTimer timer(series, size);
+    total = ChunkedTotal(a.data(), size);
   }
   TensorNodePtr an = a.node();
   return MakeResult({1}, {total * inv}, {an}, [an, inv](TensorNode& out) {
+    static const KernelSeries series_bwd = MakeKernelSeries("reduce_bwd");
     an->EnsureGrad();
-    for (float& g : an->grad) {
-      g += out.grad[0] * inv;
-    }
+    const int64_t size = static_cast<int64_t>(an->grad.size());
+    KernelTimer timer(series_bwd, size);
+    const float g0 = out.grad[0] * inv;
+    ParallelChunks(size, GetKernelTuning().elem_grain, size,
+                   [&](int64_t begin, int64_t end) {
+                     float* dx = an->grad.data();
+                     for (int64_t i = begin; i < end; ++i) {
+                       dx[i] += g0;
+                     }
+                   });
   });
 }
 
 Tensor RowSum(const Tensor& a) {
   HF_CHECK_EQ(a.ndim(), 2);
+  static const KernelSeries series = MakeKernelSeries("reduce");
   const int64_t m = a.dim(0);
   const int64_t n = a.dim(1);
-  std::vector<float> y(static_cast<size_t>(m), 0.0f);
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t j = 0; j < n; ++j) {
-      y[static_cast<size_t>(i)] += a.data()[static_cast<size_t>(i * n + j)];
-    }
+  std::vector<float> y(static_cast<size_t>(m));
+  {
+    KernelTimer timer(series, m * n);
+    // Each output element is one row's lane-partial sum; rows partition
+    // across chunks.
+    ParallelChunks(m, GetKernelTuning().row_grain, m * n,
+                   [&](int64_t i0, int64_t i1) {
+                     for (int64_t i = i0; i < i1; ++i) {
+                       y[static_cast<size_t>(i)] =
+                           simd::Sum(n, a.data().data() + i * n);
+                     }
+                   });
   }
   TensorNodePtr an = a.node();
   return MakeResult({m}, std::move(y), {an}, [an, m, n](TensorNode& out) {
+    static const KernelSeries series_bwd = MakeKernelSeries("reduce_bwd");
     an->EnsureGrad();
-    for (int64_t i = 0; i < m; ++i) {
-      for (int64_t j = 0; j < n; ++j) {
-        an->grad[static_cast<size_t>(i * n + j)] += out.grad[static_cast<size_t>(i)];
-      }
-    }
+    KernelTimer timer(series_bwd, m * n);
+    ParallelChunks(m, GetKernelTuning().row_grain, m * n,
+                   [&](int64_t i0, int64_t i1) {
+                     for (int64_t i = i0; i < i1; ++i) {
+                       const float g = out.grad[static_cast<size_t>(i)];
+                       float* dx_row = an->grad.data() + i * n;
+                       for (int64_t j = 0; j < n; ++j) {
+                         dx_row[j] += g;
+                       }
+                     }
+                   });
   });
 }
 
 Tensor Transpose(const Tensor& a) {
   HF_CHECK_EQ(a.ndim(), 2);
+  static const KernelSeries series = MakeKernelSeries("transpose");
   const int64_t m = a.dim(0);
   const int64_t n = a.dim(1);
   std::vector<float> y(static_cast<size_t>(m * n));
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t j = 0; j < n; ++j) {
-      y[static_cast<size_t>(j * m + i)] = a.data()[static_cast<size_t>(i * n + j)];
-    }
+  {
+    KernelTimer timer(series, m * n);
+    TransposeInto(m, n, a.data().data(), y.data(), m * n);
   }
   TensorNodePtr an = a.node();
   return MakeResult({n, m}, std::move(y), {an}, [an, m, n](TensorNode& out) {
+    static const KernelSeries series_bwd = MakeKernelSeries("transpose_bwd");
     an->EnsureGrad();
-    for (int64_t i = 0; i < m; ++i) {
-      for (int64_t j = 0; j < n; ++j) {
-        an->grad[static_cast<size_t>(i * n + j)] += out.grad[static_cast<size_t>(j * m + i)];
-      }
-    }
+    KernelTimer timer(series_bwd, m * n);
+    // Chunks own row blocks of dA (exclusive writes); the same square
+    // tiling as TransposeInto keeps the strided read stream resident.
+    ParallelChunks(m, GetKernelTuning().row_grain, m * n,
+                   [&](int64_t i0, int64_t i1) {
+                     for (int64_t ib = i0; ib < i1; ib += kTransposeTile) {
+                       const int64_t ie = std::min(i1, ib + kTransposeTile);
+                       for (int64_t j0 = 0; j0 < n; j0 += kTransposeTile) {
+                         const int64_t je = std::min(n, j0 + kTransposeTile);
+                         for (int64_t i = ib; i < ie; ++i) {
+                           for (int64_t j = j0; j < je; ++j) {
+                             an->grad[static_cast<size_t>(i * n + j)] +=
+                                 out.grad[static_cast<size_t>(j * m + i)];
+                           }
+                         }
+                       }
+                     }
+                   });
   });
 }
 
@@ -600,10 +818,13 @@ Tensor SliceRows(const Tensor& a, int64_t begin, int64_t end) {
   TensorNodePtr an = a.node();
   return MakeResult({rows, n}, std::move(y), {an}, [an, begin, n](TensorNode& out) {
     an->EnsureGrad();
-    const size_t offset = static_cast<size_t>(begin * n);
-    for (size_t i = 0; i < out.grad.size(); ++i) {
-      an->grad[offset + i] += out.grad[i];
-    }
+    const int64_t offset = begin * n;
+    const int64_t size = static_cast<int64_t>(out.grad.size());
+    ParallelChunks(size, GetKernelTuning().elem_grain, size,
+                   [&](int64_t b, int64_t e) {
+                     simd::AddAcc(e - b, out.grad.data() + b,
+                                  an->grad.data() + offset + b);
+                   });
   });
 }
 
@@ -623,32 +844,22 @@ Tensor LayerNorm(const Tensor& a, const Tensor& gamma, const Tensor& beta, float
   const std::vector<float>& c = beta.data();
   {
     KernelTimer timer(series, m * n * kLayerNormFwdFlopsPerElem);
-    // Rows are independent: a chunk owns rows [i0, i1) and each row's
-    // computation is the same as the serial kernel's.
+    // Rows are independent: a chunk owns rows [i0, i1) and each row runs
+    // the canonical simd row sequence (lane-partial mean/variance, then
+    // the fused normalize+affine row kernel).
     ParallelChunks(m, GetKernelTuning().row_grain, m * n * kLayerNormFwdFlopsPerElem,
                    [&](int64_t i0, int64_t i1) {
                      for (int64_t i = i0; i < i1; ++i) {
                        const float* x_row = x.data() + i * n;
-                       float mean = 0.0f;
-                       for (int64_t j = 0; j < n; ++j) {
-                         mean += x_row[j];
-                       }
-                       mean /= static_cast<float>(n);
-                       float var = 0.0f;
-                       for (int64_t j = 0; j < n; ++j) {
-                         const float diff = x_row[j] - mean;
-                         var += diff * diff;
-                       }
-                       var /= static_cast<float>(n);
+                       const float mean =
+                           simd::Sum(n, x_row) / static_cast<float>(n);
+                       const float var = simd::SumSqDiff(n, x_row, mean) /
+                                         static_cast<float>(n);
                        const float inv = 1.0f / std::sqrt(var + eps);
                        inv_std[static_cast<size_t>(i)] = inv;
-                       float* norm_row = normalized.data() + i * n;
-                       float* y_row = y.data() + i * n;
-                       for (int64_t j = 0; j < n; ++j) {
-                         const float norm = (x_row[j] - mean) * inv;
-                         norm_row[j] = norm;
-                         y_row[j] = g[static_cast<size_t>(j)] * norm + c[static_cast<size_t>(j)];
-                       }
+                       simd::LayerNormRow(n, x_row, mean, inv, g.data(),
+                                          c.data(), normalized.data() + i * n,
+                                          y.data() + i * n);
                      }
                    });
   }
@@ -676,39 +887,152 @@ Tensor LayerNorm(const Tensor& a, const Tensor& gamma, const Tensor& beta, float
           const int64_t chunk = i0 / kReduceRowGrain;
           float* dgamma = dgamma_partial.data() + chunk * n;
           float* dbeta = dbeta_partial.data() + chunk * n;
+          std::vector<float> dxhat(static_cast<size_t>(n));
           for (int64_t i = i0; i < i1; ++i) {
             const float* g_row = out.grad.data() + i * n;
             const float* norm_row = normalized.data() + i * n;
-            for (int64_t j = 0; j < n; ++j) {
-              dgamma[j] += g_row[j] * norm_row[j];
-              dbeta[j] += g_row[j];
-            }
+            simd::MulAcc(n, g_row, norm_row, dgamma);
+            simd::AddAcc(n, g_row, dbeta);
             // dx via the standard layernorm backward:
             // dx = inv_std/n * (n*dxhat - sum(dxhat) - xhat * sum(dxhat*xhat))
-            float sum_dxhat = 0.0f;
-            float sum_dxhat_xhat = 0.0f;
-            for (int64_t j = 0; j < n; ++j) {
-              const float dxhat = g_row[j] * gn->data[static_cast<size_t>(j)];
-              sum_dxhat += dxhat;
-              sum_dxhat_xhat += dxhat * norm_row[j];
-            }
-            const float inv = inv_std[static_cast<size_t>(i)];
-            float* dx_row = an->grad.data() + i * n;
-            for (int64_t j = 0; j < n; ++j) {
-              const float dxhat = g_row[j] * gn->data[static_cast<size_t>(j)];
-              dx_row[j] += inv / static_cast<float>(n) *
-                           (static_cast<float>(n) * dxhat - sum_dxhat -
-                            norm_row[j] * sum_dxhat_xhat);
-            }
+            // with dxhat = dy * gamma materialized once per row so the two
+            // row sums are plain lane-partial reductions.
+            simd::Mul(n, g_row, gn->data.data(), dxhat.data());
+            const float sum_dxhat = simd::Sum(n, dxhat.data());
+            const float sum_dxhat_xhat = simd::Dot(n, dxhat.data(), norm_row);
+            simd::LayerNormBackwardRow(n, norm_row, dxhat.data(),
+                                       inv_std[static_cast<size_t>(i)],
+                                       sum_dxhat, sum_dxhat_xhat,
+                                       an->grad.data() + i * n);
           }
         });
         for (int64_t chunk = 0; chunk < chunks; ++chunk) {
-          const float* dgamma = dgamma_partial.data() + chunk * n;
-          const float* dbeta = dbeta_partial.data() + chunk * n;
-          for (int64_t j = 0; j < n; ++j) {
-            gn->grad[static_cast<size_t>(j)] += dgamma[j];
-            bn->grad[static_cast<size_t>(j)] += dbeta[j];
-          }
+          simd::AddAcc(n, dgamma_partial.data() + chunk * n, gn->grad.data());
+          simd::AddAcc(n, dbeta_partial.data() + chunk * n, bn->grad.data());
+        }
+      });
+}
+
+Tensor LayerNormMatMul(const Tensor& a, const Tensor& gamma, const Tensor& beta,
+                       const Tensor& w, float eps) {
+  HF_TRACE_SCOPE("tensor.layernorm_matmul", "tensor");
+  static const KernelSeries series = MakeKernelSeries("layernorm_matmul");
+  HF_CHECK_EQ(a.ndim(), 2);
+  const int64_t m = a.dim(0);
+  const int64_t k = a.dim(1);
+  HF_CHECK_EQ(gamma.ndim(), 1);
+  HF_CHECK_EQ(gamma.dim(0), k);
+  HF_CHECK_EQ(beta.dim(0), k);
+  HF_CHECK_EQ(w.ndim(), 2);
+  HF_CHECK_EQ(w.dim(0), k);
+  const int64_t n = w.dim(1);
+  std::vector<float> y(static_cast<size_t>(m * n), 0.0f);
+  std::vector<float> inv_std(static_cast<size_t>(m));
+  std::vector<float> normalized(static_cast<size_t>(m * k));
+  std::vector<float> ln_out(static_cast<size_t>(m * k));
+  const std::vector<float>& x = a.data();
+  const std::vector<float>& g = gamma.data();
+  const std::vector<float>& c = beta.data();
+  const std::vector<float>& wd = w.data();
+  const KernelTuning tuning = GetKernelTuning();
+  const int64_t fwd_flops = m * k * kLayerNormFwdFlopsPerElem + 2 * m * k * n;
+  {
+    KernelTimer timer(series, fwd_flops);
+    // One pass per row: the LayerNorm row sequence is exactly LayerNorm's
+    // and the GEMM k-blocks are exactly MatMul's, so values are bitwise
+    // identical to MatMul(LayerNorm(a, gamma, beta, eps), w). The fusion
+    // only changes WHEN the normalized row feeds the GEMM — immediately,
+    // while it is still cache-hot — and skips the intermediate autograd
+    // node.
+    ParallelChunks(m, tuning.gemm_row_grain, fwd_flops, [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) {
+        const float* x_row = x.data() + i * k;
+        const float mean = simd::Sum(k, x_row) / static_cast<float>(k);
+        const float var =
+            simd::SumSqDiff(k, x_row, mean) / static_cast<float>(k);
+        const float inv = 1.0f / std::sqrt(var + eps);
+        inv_std[static_cast<size_t>(i)] = inv;
+        float* ln_row = ln_out.data() + i * k;
+        simd::LayerNormRow(k, x_row, mean, inv, g.data(), c.data(),
+                           normalized.data() + i * k, ln_row);
+        for (int64_t p0 = 0; p0 < k; p0 += tuning.gemm_k_block) {
+          const int64_t p1 = std::min(k, p0 + tuning.gemm_k_block);
+          simd::GemmKBlock(p1 - p0, n, ln_row + p0, wd.data() + p0 * n, n,
+                           y.data() + i * n);
+        }
+      }
+    });
+  }
+  TensorNodePtr an = a.node();
+  TensorNodePtr gn = gamma.node();
+  TensorNodePtr bn = beta.node();
+  TensorNodePtr wn = w.node();
+  return MakeResult(
+      {m, n}, std::move(y), {an, gn, bn, wn},
+      [an, gn, bn, wn, m, k, n, inv_std, normalized, ln_out](TensorNode& out) {
+        static const KernelSeries series_bwd =
+            MakeKernelSeries("layernorm_matmul_bwd");
+        an->EnsureGrad();
+        gn->EnsureGrad();
+        bn->EnsureGrad();
+        wn->EnsureGrad();
+        const KernelTuning tuning = GetKernelTuning();
+        const int64_t flops = 4 * m * k * n + m * k * kLayerNormBwdFlopsPerElem;
+        KernelTimer timer(series_bwd, flops);
+        // Stage 1: MatMul's backward, with d(ln_out) landing in a
+        // zero-initialized scratch. The `+=` onto zero runs the exact
+        // sequence the composed form runs against the LN node's fresh
+        // grad buffer (including the 0 + x edge cases), keeping grads
+        // bitwise identical to the composed form.
+        std::vector<float> d_ln(static_cast<size_t>(m * k), 0.0f);
+        ParallelChunks(m, tuning.gemm_row_grain, 2 * m * k * n,
+                       [&](int64_t i0, int64_t i1) {
+                         for (int64_t i = i0; i < i1; ++i) {
+                           const float* g_row = out.grad.data() + i * n;
+                           float* d_ln_row = d_ln.data() + i * k;
+                           for (int64_t p = 0; p < k; ++p) {
+                             d_ln_row[p] +=
+                                 simd::Dot(n, g_row, wn->data.data() + p * n);
+                           }
+                         }
+                       });
+        ParallelChunks(k, tuning.gemm_row_grain, 2 * m * k * n,
+                       [&](int64_t p0, int64_t p1) {
+                         for (int64_t p = p0; p < p1; ++p) {
+                           simd::GemmKBlockStridedX(m, n, ln_out.data() + p, k,
+                                                    out.grad.data(), n,
+                                                    wn->grad.data() + p * n);
+                         }
+                       });
+        // Stage 2: LayerNorm's backward, fed by d_ln — identical to the
+        // standalone op's backward with out.grad := d_ln.
+        const int64_t chunks = tensor_internal::NumChunks(m, kReduceRowGrain);
+        std::vector<float> dgamma_partial(static_cast<size_t>(chunks * k), 0.0f);
+        std::vector<float> dbeta_partial(static_cast<size_t>(chunks * k), 0.0f);
+        ParallelChunks(
+            m, kReduceRowGrain, m * k * kLayerNormBwdFlopsPerElem,
+            [&](int64_t i0, int64_t i1) {
+              const int64_t chunk = i0 / kReduceRowGrain;
+              float* dgamma = dgamma_partial.data() + chunk * k;
+              float* dbeta = dbeta_partial.data() + chunk * k;
+              std::vector<float> dxhat(static_cast<size_t>(k));
+              for (int64_t i = i0; i < i1; ++i) {
+                const float* g_row = d_ln.data() + i * k;
+                const float* norm_row = normalized.data() + i * k;
+                simd::MulAcc(k, g_row, norm_row, dgamma);
+                simd::AddAcc(k, g_row, dbeta);
+                simd::Mul(k, g_row, gn->data.data(), dxhat.data());
+                const float sum_dxhat = simd::Sum(k, dxhat.data());
+                const float sum_dxhat_xhat = simd::Dot(k, dxhat.data(), norm_row);
+                simd::LayerNormBackwardRow(k, norm_row, dxhat.data(),
+                                           inv_std[static_cast<size_t>(i)],
+                                           sum_dxhat, sum_dxhat_xhat,
+                                           an->grad.data() + i * k);
+              }
+            });
+        for (int64_t chunk = 0; chunk < chunks; ++chunk) {
+          simd::AddAcc(k, dgamma_partial.data() + chunk * k, gn->grad.data());
+          simd::AddAcc(k, dbeta_partial.data() + chunk * k, bn->grad.data());
         }
       });
 }
@@ -722,24 +1046,18 @@ Tensor LogSoftmax(const Tensor& a) {
   const std::vector<float>& x = a.data();
   {
     KernelTimer timer(series, m * n * kSoftmaxFwdFlopsPerElem);
-    // Rows are independent: a chunk owns rows [i0, i1).
+    // Rows are independent: a chunk owns rows [i0, i1). Per row: lane-
+    // partial max, lane-partial sum of HfExpf(x - max) (so the shifted
+    // exponentials never overflow), one scalar log, then a vector shift.
     ParallelChunks(m, GetKernelTuning().row_grain, m * n * kSoftmaxFwdFlopsPerElem,
                    [&](int64_t i0, int64_t i1) {
                      for (int64_t i = i0; i < i1; ++i) {
                        const float* x_row = x.data() + i * n;
-                       float* y_row = y.data() + i * n;
-                       float max_val = x_row[0];
-                       for (int64_t j = 1; j < n; ++j) {
-                         max_val = std::max(max_val, x_row[j]);
-                       }
-                       float denom = 0.0f;
-                       for (int64_t j = 0; j < n; ++j) {
-                         denom += std::exp(x_row[j] - max_val);
-                       }
+                       const float max_val = simd::Max(n, x_row);
+                       const float denom =
+                           simd::SumExpShifted(n, x_row, -max_val);
                        const float log_denom = std::log(denom) + max_val;
-                       for (int64_t j = 0; j < n; ++j) {
-                         y_row[j] = x_row[j] - log_denom;
-                       }
+                       simd::AddScalar(n, x_row, -log_denom, y.data() + i * n);
                      }
                    });
   }
@@ -754,16 +1072,9 @@ Tensor LogSoftmax(const Tensor& a) {
     ParallelChunks(m, GetKernelTuning().row_grain, flops, [&](int64_t i0, int64_t i1) {
       for (int64_t i = i0; i < i1; ++i) {
         const float* g_row = out.grad.data() + i * n;
-        const float* y_row = out.data.data() + i * n;
-        float* dx_row = an->grad.data() + i * n;
-        float grad_sum = 0.0f;
-        for (int64_t j = 0; j < n; ++j) {
-          grad_sum += g_row[j];
-        }
-        for (int64_t j = 0; j < n; ++j) {
-          const float p = std::exp(y_row[j]);
-          dx_row[j] += g_row[j] - p * grad_sum;
-        }
+        const float grad_sum = simd::Sum(n, g_row);
+        simd::LogSoftmaxBackwardRow(n, out.data.data() + i * n, g_row,
+                                    grad_sum, an->grad.data() + i * n);
       }
     });
   });
@@ -779,23 +1090,33 @@ Tensor GatherRows(const Tensor& table, const std::vector<int64_t>& indices) {
   const int64_t v = table.dim(0);
   const int64_t e = table.dim(1);
   const int64_t n = static_cast<int64_t>(indices.size());
-  std::vector<float> y(static_cast<size_t>(n * e));
+  // Bounds-check serially (HF_CHECK must not fire on a pool thread), then
+  // copy rows in parallel — each output row is owned by one chunk.
   for (int64_t i = 0; i < n; ++i) {
     HF_CHECK_GE(indices[static_cast<size_t>(i)], 0);
     HF_CHECK_LT(indices[static_cast<size_t>(i)], v);
-    const size_t src = static_cast<size_t>(indices[static_cast<size_t>(i)] * e);
-    std::copy_n(table.data().begin() + src, e, y.begin() + static_cast<size_t>(i * e));
   }
+  std::vector<float> y(static_cast<size_t>(n * e));
+  ParallelChunks(n, GetKernelTuning().row_grain, n * e,
+                 [&](int64_t i0, int64_t i1) {
+                   for (int64_t i = i0; i < i1; ++i) {
+                     std::memcpy(y.data() + i * e,
+                                 table.data().data() +
+                                     indices[static_cast<size_t>(i)] * e,
+                                 static_cast<size_t>(e) * sizeof(float));
+                   }
+                 });
   TensorNodePtr tn = table.node();
   std::vector<int64_t> idx = indices;
   return MakeResult({n, e}, std::move(y), {tn}, [tn, idx, e](TensorNode& out) {
     tn->EnsureGrad();
+    // The scatter stays serial: duplicate indices make table rows shared
+    // between output rows, so a row partition would race (and any
+    // reordering would change the accumulation order).
     for (size_t i = 0; i < idx.size(); ++i) {
-      const size_t dst = static_cast<size_t>(idx[i]) * static_cast<size_t>(e);
-      const size_t src = i * static_cast<size_t>(e);
-      for (int64_t j = 0; j < e; ++j) {
-        tn->grad[dst + static_cast<size_t>(j)] += out.grad[src + static_cast<size_t>(j)];
-      }
+      simd::AddAcc(e, out.grad.data() + i * static_cast<size_t>(e),
+                   tn->grad.data() + static_cast<size_t>(idx[i]) *
+                                         static_cast<size_t>(e));
     }
   });
 }
@@ -805,20 +1126,33 @@ Tensor PickPerRow(const Tensor& a, const std::vector<int64_t>& indices) {
   const int64_t m = a.dim(0);
   const int64_t n = a.dim(1);
   HF_CHECK_EQ(static_cast<int64_t>(indices.size()), m);
-  std::vector<float> y(static_cast<size_t>(m));
   for (int64_t i = 0; i < m; ++i) {
     HF_CHECK_GE(indices[static_cast<size_t>(i)], 0);
     HF_CHECK_LT(indices[static_cast<size_t>(i)], n);
-    y[static_cast<size_t>(i)] =
-        a.data()[static_cast<size_t>(i * n + indices[static_cast<size_t>(i)])];
   }
+  std::vector<float> y(static_cast<size_t>(m));
+  ParallelChunks(m, GetKernelTuning().elem_grain, m,
+                 [&](int64_t i0, int64_t i1) {
+                   for (int64_t i = i0; i < i1; ++i) {
+                     y[static_cast<size_t>(i)] = a.data()[static_cast<size_t>(
+                         i * n + indices[static_cast<size_t>(i)])];
+                   }
+                 });
   TensorNodePtr an = a.node();
   std::vector<int64_t> idx = indices;
   return MakeResult({m}, std::move(y), {an}, [an, idx, n](TensorNode& out) {
     an->EnsureGrad();
-    for (size_t i = 0; i < idx.size(); ++i) {
-      an->grad[i * static_cast<size_t>(n) + static_cast<size_t>(idx[i])] += out.grad[i];
-    }
+    // Row i's pick is the only write into grad row i, so chunks of rows
+    // are write-disjoint.
+    const int64_t m = static_cast<int64_t>(idx.size());
+    ParallelChunks(m, GetKernelTuning().elem_grain, m,
+                   [&](int64_t i0, int64_t i1) {
+                     for (int64_t i = i0; i < i1; ++i) {
+                       an->grad[static_cast<size_t>(
+                           i * n + idx[static_cast<size_t>(i)])] +=
+                           out.grad[static_cast<size_t>(i)];
+                     }
+                   });
   });
 }
 
@@ -831,9 +1165,12 @@ Tensor Reshape(const Tensor& a, std::vector<int64_t> shape) {
   TensorNodePtr an = a.node();
   return MakeResult(std::move(shape), a.data(), {an}, [an](TensorNode& out) {
     an->EnsureGrad();
-    for (size_t i = 0; i < out.grad.size(); ++i) {
-      an->grad[i] += out.grad[i];
-    }
+    const int64_t size = static_cast<int64_t>(out.grad.size());
+    ParallelChunks(size, GetKernelTuning().elem_grain, size,
+                   [&](int64_t b, int64_t e) {
+                     simd::AddAcc(e - b, out.grad.data() + b,
+                                  an->grad.data() + b);
+                   });
   });
 }
 
@@ -850,24 +1187,34 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
     HF_CHECK_EQ(part.dim(1), n);
     rows += part.dim(0);
   }
-  std::vector<float> y;
-  y.reserve(static_cast<size_t>(rows * n));
+  std::vector<float> y(static_cast<size_t>(rows * n));
   std::vector<TensorNodePtr> parents;
   std::vector<int64_t> row_counts;
+  int64_t offset = 0;
   for (const Tensor& part : parts) {
-    y.insert(y.end(), part.data().begin(), part.data().end());
+    const int64_t count = static_cast<int64_t>(part.data().size());
+    const float* src = part.data().data();
+    float* dst = y.data() + offset;
+    ParallelChunks(count, GetKernelTuning().elem_grain, count,
+                   [&](int64_t b, int64_t e) {
+                     std::memcpy(dst + b, src + b,
+                                 static_cast<size_t>(e - b) * sizeof(float));
+                   });
+    offset += count;
     parents.push_back(part.node());
     row_counts.push_back(part.dim(0));
   }
   return MakeResult({rows, n}, std::move(y), parents, [row_counts, n](TensorNode& out) {
-    size_t offset = 0;
+    int64_t offset = 0;
     for (size_t k = 0; k < out.parents.size(); ++k) {
       TensorNode& parent = *out.parents[k];
       parent.EnsureGrad();
-      const size_t count = static_cast<size_t>(row_counts[k] * n);
-      for (size_t i = 0; i < count; ++i) {
-        parent.grad[i] += out.grad[offset + i];
-      }
+      const int64_t count = row_counts[k] * n;
+      ParallelChunks(count, GetKernelTuning().elem_grain, count,
+                     [&](int64_t b, int64_t e) {
+                       simd::AddAcc(e - b, out.grad.data() + offset + b,
+                                    parent.grad.data() + b);
+                     });
       offset += count;
     }
   });

@@ -66,6 +66,15 @@ Tensor SliceRows(const Tensor& a, int64_t begin, int64_t end);
 Tensor LayerNorm(const Tensor& a, const Tensor& gamma, const Tensor& beta,
                  float eps = 1e-5f);
 
+// Fused LayerNorm + MatMul: MatMul(LayerNorm(a, gamma, beta, eps), w),
+// computed in one pass per row chunk (the normalized row feeds the GEMM
+// while still cache-hot, and no intermediate autograd node is built).
+// Values and gradients are bitwise identical to the composed form.
+// PolicyNet's MLP path (ln2 -> ff1) uses this.
+Tensor LayerNormMatMul(const Tensor& a, const Tensor& gamma,
+                       const Tensor& beta, const Tensor& w,
+                       float eps = 1e-5f);
+
 // Row-wise log-softmax / softmax over the last dimension of a 2-D tensor.
 Tensor LogSoftmax(const Tensor& a);
 Tensor Softmax(const Tensor& a);

@@ -3,11 +3,13 @@
 #include <cmath>
 #include <cstring>
 #include <functional>
+#include <string>
 
 #include "src/common/rng.h"
 #include "src/common/thread_pool.h"
 #include "src/tensor/ops.h"
 #include "src/tensor/parallel.h"
+#include "src/tensor/simd.h"
 #include "src/tensor/tensor.h"
 
 namespace hybridflow {
@@ -284,6 +286,50 @@ TEST(MatMulTNTest, GradientCheck) {
                 Tensor::Randn({5, 4}, rng, 1.0f));
 }
 
+// The fused LayerNorm+MatMul replays the composed ops' exact canonical
+// sequences, so values AND gradients are bitwise identical to
+// MatMul(LayerNorm(x, gamma, beta), w) from freshly zeroed gradients.
+TEST(LayerNormMatMulTest, MatchesComposedBitwise) {
+  Rng rng(9);
+  Tensor x = Tensor::Randn({7, 13}, rng, 1.0f);
+  Tensor gamma = Tensor::Randn({13}, rng, 0.3f);
+  Tensor beta = Tensor::Randn({13}, rng, 0.3f);
+  Tensor w = Tensor::Randn({13, 11}, rng, 0.5f);
+  Tensor x2 = Tensor::FromData(x.shape(), x.data(), /*requires_grad=*/true);
+  Tensor gamma2 = Tensor::FromData(gamma.shape(), gamma.data(), /*requires_grad=*/true);
+  Tensor beta2 = Tensor::FromData(beta.shape(), beta.data(), /*requires_grad=*/true);
+  Tensor w2 = Tensor::FromData(w.shape(), w.data(), /*requires_grad=*/true);
+  Tensor fused = LayerNormMatMul(x, gamma, beta, w);
+  Tensor composed = MatMul(LayerNorm(x2, gamma2, beta2), w2);
+  ExpectBitwiseEq(fused.data(), composed.data(), "forward");
+  Sum(Square(fused)).Backward();
+  Sum(Square(composed)).Backward();
+  ExpectBitwiseEq(x.grad(), x2.grad(), "dx");
+  ExpectBitwiseEq(gamma.grad(), gamma2.grad(), "dgamma");
+  ExpectBitwiseEq(beta.grad(), beta2.grad(), "dbeta");
+  ExpectBitwiseEq(w.grad(), w2.grad(), "dW");
+}
+
+TEST(LayerNormMatMulTest, GradientCheck) {
+  Rng rng(10);
+  Tensor x = Tensor::Randn({4, 6}, rng, 1.0f, /*requires_grad=*/false);
+  Tensor gamma = Tensor::Randn({6}, rng, 0.3f, /*requires_grad=*/false);
+  Tensor beta = Tensor::Randn({6}, rng, 0.3f, /*requires_grad=*/false);
+  Tensor w = Tensor::Randn({6, 5}, rng, 0.5f, /*requires_grad=*/false);
+  CheckGradient(
+      [&](const Tensor& a) { return Sum(Square(LayerNormMatMul(a, gamma, beta, w))); },
+      Tensor::Randn({4, 6}, rng, 1.0f));
+  CheckGradient(
+      [&](const Tensor& g) { return Sum(Square(LayerNormMatMul(x, g, beta, w))); },
+      Tensor::Randn({6}, rng, 0.3f));
+  CheckGradient(
+      [&](const Tensor& b) { return Sum(Square(LayerNormMatMul(x, gamma, b, w))); },
+      Tensor::Randn({6}, rng, 0.3f));
+  CheckGradient(
+      [&](const Tensor& ww) { return Sum(Square(LayerNormMatMul(x, gamma, beta, ww))); },
+      Tensor::Randn({6, 5}, rng, 0.5f));
+}
+
 // The zero short-circuit in the old MatMul made the flop count
 // data-dependent; its removal must not change values or gradients for
 // inputs containing exact zeros.
@@ -314,11 +360,15 @@ struct KernelStackResult {
   std::vector<float> dk;
   std::vector<float> dgamma;
   std::vector<float> dbeta;
+  std::vector<float> dgamma2;
+  std::vector<float> dbeta2;
 };
 
 // One compound forward+backward pass that drives every parallel kernel
-// past the serial-work cutoff: plain/NT/TN GEMMs, LayerNorm, Softmax,
-// LogSoftmax, Gelu, and the elementwise templates.
+// past the serial-work cutoff: plain/NT/TN GEMMs, the fused
+// LayerNorm+MatMul, LayerNorm, Softmax, LogSoftmax, Gelu, Transpose,
+// GatherRows (with duplicate indices), PickPerRow, ConcatRows, RowSum,
+// Mean, and the elementwise kernels.
 KernelStackResult RunKernelStack(int threads, const KernelTuning& tuning) {
   SetTensorThreads(threads);
   SetKernelTuning(tuning);
@@ -328,12 +378,31 @@ KernelStackResult RunKernelStack(int threads, const KernelTuning& tuning) {
   Tensor k = Tensor::Randn({128, 80}, rng, 0.5f);
   Tensor gamma = Tensor::Randn({48}, rng, 0.2f);
   Tensor beta = Tensor::Randn({48}, rng, 0.2f);
+  Tensor gamma2 = Tensor::Randn({80}, rng, 0.2f);
+  Tensor beta2 = Tensor::Randn({80}, rng, 0.2f);
 
   Tensor h = LayerNorm(MatMul(x, w), gamma, beta);        // [128, 48]
   Tensor scores = MatMulNT(x, k);                         // [128, 128]
   Tensor mixed = MatMul(Softmax(scores), x);              // [128, 80]
   Tensor gram = MatMulTN(x, Gelu(mixed));                 // [80, 80]
-  Tensor loss = Add(Add(Sum(Square(h)), Sum(LogSoftmax(gram))), Sum(Gelu(mixed)));
+  Tensor fused = LayerNormMatMul(mixed, gamma2, beta2, w);  // [128, 48]
+  Tensor cat = Add(ConcatRows({h, fused}), beta);         // [256, 48] + bias
+  std::vector<int64_t> picks(256);
+  for (size_t i = 0; i < picks.size(); ++i) {
+    picks[i] = static_cast<int64_t>((i * 7) % 48);
+  }
+  Tensor picked = PickPerRow(cat, picks);                 // [256]
+  std::vector<int64_t> gidx(60);
+  for (size_t i = 0; i < gidx.size(); ++i) {
+    gidx[i] = static_cast<int64_t>((i * 13) % 128);  // Duplicates included.
+  }
+  Tensor rows = Transpose(GatherRows(mixed, gidx));       // [80, 60]
+  Tensor rs = RowSum(rows);                               // [80]
+  Tensor extras =
+      Add(Add(Sum(Mul(rs, AddScalar(rs, 0.5f))), Mean(Exp(Scale(picked, 0.01f)))),
+          Sum(Sub(h, fused)));
+  Tensor loss = Add(
+      Add(Add(Sum(Square(h)), Sum(LogSoftmax(gram))), Sum(Gelu(mixed))), extras);
   loss.Backward();
 
   KernelStackResult result;
@@ -343,23 +412,30 @@ KernelStackResult RunKernelStack(int threads, const KernelTuning& tuning) {
   result.dk = k.grad();
   result.dgamma = gamma.grad();
   result.dbeta = beta.grad();
+  result.dgamma2 = gamma2.grad();
+  result.dbeta2 = beta2.grad();
   // Restore process defaults for the other tests.
   SetTensorThreads(0);
   SetKernelTuning(KernelTuning{});
   return result;
 }
 
+void ExpectStackEq(const KernelStackResult& a, const KernelStackResult& b) {
+  ExpectBitwiseEq(a.loss, b.loss, "loss");
+  ExpectBitwiseEq(a.dx, b.dx, "dx");
+  ExpectBitwiseEq(a.dw, b.dw, "dw");
+  ExpectBitwiseEq(a.dk, b.dk, "dk");
+  ExpectBitwiseEq(a.dgamma, b.dgamma, "dgamma");
+  ExpectBitwiseEq(a.dbeta, b.dbeta, "dbeta");
+  ExpectBitwiseEq(a.dgamma2, b.dgamma2, "dgamma2");
+  ExpectBitwiseEq(a.dbeta2, b.dbeta2, "dbeta2");
+}
+
 TEST(KernelDeterminismTest, BitwiseInvariantAcrossThreadCounts) {
   const KernelStackResult reference = RunKernelStack(1, KernelTuning{});
   EXPECT_TRUE(std::isfinite(reference.loss[0]));
   for (int threads : {2, 3, 8}) {
-    const KernelStackResult run = RunKernelStack(threads, KernelTuning{});
-    ExpectBitwiseEq(reference.loss, run.loss, "loss");
-    ExpectBitwiseEq(reference.dx, run.dx, "dx");
-    ExpectBitwiseEq(reference.dw, run.dw, "dw");
-    ExpectBitwiseEq(reference.dk, run.dk, "dk");
-    ExpectBitwiseEq(reference.dgamma, run.dgamma, "dgamma");
-    ExpectBitwiseEq(reference.dbeta, run.dbeta, "dbeta");
+    ExpectStackEq(reference, RunKernelStack(threads, KernelTuning{}));
   }
 }
 
@@ -388,14 +464,86 @@ TEST(KernelDeterminismTest, BitwiseInvariantAcrossTileSizes) {
   }
   for (const KernelTuning& tuning : tunings) {
     for (int threads : {1, 2, 8}) {
-      const KernelStackResult run = RunKernelStack(threads, tuning);
-      ExpectBitwiseEq(reference.loss, run.loss, "loss");
-      ExpectBitwiseEq(reference.dx, run.dx, "dx");
-      ExpectBitwiseEq(reference.dw, run.dw, "dw");
-      ExpectBitwiseEq(reference.dk, run.dk, "dk");
-      ExpectBitwiseEq(reference.dgamma, run.dgamma, "dgamma");
-      ExpectBitwiseEq(reference.dbeta, run.dbeta, "dbeta");
+      ExpectStackEq(reference, RunKernelStack(threads, tuning));
     }
+  }
+}
+
+// The SIMD tier must be bitwise-invisible: forcing the scalar fallback
+// (the same path `HF_SIMD=off` selects) across the full thread x tile
+// cross-product must reproduce the default tier exactly, values and
+// gradients alike. On hardware without AVX2 the override is a no-op and
+// this degenerates to scalar-vs-scalar, which is trivially green.
+TEST(KernelDeterminismTest, BitwiseInvariantAcrossSimdLevels) {
+  const KernelStackResult reference = RunKernelStack(1, KernelTuning{});
+  KernelTuning odd;
+  odd.gemm_row_grain = 5;
+  odd.gemm_k_block = 64;
+  odd.row_grain = 9;
+  odd.elem_grain = 1000;
+  for (const KernelTuning& tuning : {KernelTuning{}, odd}) {
+    for (int threads : {1, 3, 8}) {
+      SetSimdOverride(SimdLevel::kScalar);
+      const KernelStackResult scalar_run = RunKernelStack(threads, tuning);
+      ClearSimdOverride();
+      ExpectStackEq(reference, scalar_run);
+    }
+  }
+}
+
+// Per-op SIMD<->scalar sweep over odd / unaligned widths: every width
+// exercises the 8-lane vector tails (n % 8 in 0..7) plus the sub-width
+// (n < 8) degenerate case. Each vectorized op appears in the loss so its
+// forward AND backward kernels are compared bitwise across tiers.
+TEST(KernelDeterminismTest, SimdScalarBitwisePerOpTailSweep) {
+  auto run_all = [](int64_t n) {
+    Rng rng(1000 + n);
+    Tensor a = Tensor::Randn({3, n}, rng, 0.8f);
+    Tensor b = Tensor::Randn({3, n}, rng, 0.8f);
+    Tensor bias = Tensor::Randn({n}, rng, 0.5f);
+    Tensor gamma = Tensor::Randn({n}, rng, 0.3f);
+    Tensor beta = Tensor::Randn({n}, rng, 0.3f);
+    Tensor w = Tensor::Randn({n, 5}, rng, 0.5f);
+
+    Tensor t1 = Sum(Square(MatMul(a, w)));
+    Tensor t2 = Sum(Gelu(MatMulNT(a, b)));
+    Tensor t3 = Sum(Square(MatMulTN(a, b)));
+    Tensor t4 = Sum(Mul(LayerNorm(a, gamma, beta), b));
+    Tensor t5 = Sum(LayerNormMatMul(a, gamma, beta, w));
+    Tensor t6 = Sum(Mul(LogSoftmax(a), Softmax(b)));
+    Tensor t7 = Sum(Exp(Scale(a, 0.1f)));
+    Tensor t8 = Sum(Sub(Add(a, bias), Mul(a, b)));
+    Tensor t9 = Sum(AddScalar(Scale(Add(a, b), -0.5f), 0.25f));
+    Tensor t10 = Mean(Square(a));
+    Tensor t11 = Sum(Square(RowSum(Transpose(a))));
+    Tensor t12 = Sum(SliceRows(ConcatRows({a, b}), 1, 5));
+    const std::vector<int64_t> gather_idx = {0, 2, 1, 2, 0};  // Duplicates.
+    Tensor t13 = Sum(Square(GatherRows(b, gather_idx)));
+    std::vector<int64_t> pick_idx(3);
+    for (size_t i = 0; i < pick_idx.size(); ++i) {
+      pick_idx[i] = static_cast<int64_t>((i * 5) % n);
+    }
+    Tensor t14 = Sum(PickPerRow(a, pick_idx));
+    Tensor loss = t1;
+    for (const Tensor& t : {t2, t3, t4, t5, t6, t7, t8, t9, t10, t11, t12, t13, t14}) {
+      loss = Add(loss, t);
+    }
+    loss.Backward();
+
+    std::vector<float> out = loss.data();
+    for (const Tensor* t : {&a, &b, &bias, &gamma, &beta, &w}) {
+      out.insert(out.end(), t->grad().begin(), t->grad().end());
+    }
+    return out;
+  };
+  for (int64_t n : {1, 2, 3, 5, 7, 8, 9, 15, 16, 17, 31, 33, 63, 65, 129}) {
+    SetSimdOverride(SimdLevel::kScalar);
+    const std::vector<float> scalar = run_all(n);
+    SetSimdOverride(SimdLevel::kAvx2Fma);  // Clamped to scalar without AVX2.
+    const std::vector<float> vectorized = run_all(n);
+    ClearSimdOverride();
+    const std::string label = "n=" + std::to_string(n);
+    ExpectBitwiseEq(scalar, vectorized, label.c_str());
   }
 }
 

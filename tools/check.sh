@@ -62,6 +62,15 @@ step "hflint"
 step "ctest (normal build)"
 ctest --test-dir build-check --output-on-failure -j "$JOBS"
 
+# Scalar-fallback phase: HF_SIMD=off forces the scalar kernel tier, so
+# the SIMD<->scalar bitwise-equivalence suite re-runs on the exact path a
+# non-AVX2 host would take (the in-process SetSimdOverride sweeps cover
+# the same comparison, but only this catches an env-plumbing regression).
+step "ctest kernel suite with HF_SIMD=off (scalar fallback)"
+HF_SIMD=off \
+  ctest --test-dir build-check --output-on-failure -j "$JOBS" \
+  -R 'Kernel|MatMul|LayerNorm|Tensor|Autograd|Adam|bench_kernels_gate'
+
 if [ "$SANITIZE" -eq 1 ]; then
   step "configure + build (HF_SANITIZE=thread)"
   cmake -B build-tsan -S . -DHF_WERROR=ON -DHF_SANITIZE=thread >/dev/null

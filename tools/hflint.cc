@@ -42,6 +42,12 @@
 //                        and unannotated primitives opt out silently (the
 //                        tensor/nn kernels share mutable state with the
 //                        pool via atomics and chunk ownership only)
+//   simd-intrinsics      x86 vector intrinsics (immintrin.h and friends,
+//                        _mm*/__m* tokens) are confined to
+//                        src/tensor/simd.h and src/tensor/simd.cc; every
+//                        other file calls the runtime-dispatched simd::
+//                        kernels so the scalar<->AVX2 bitwise contract in
+//                        docs/KERNELS.md has a single enforcement point
 //   raw-diagnostics      library code under src/ never writes diagnostics
 //                        with std::cerr / printf / fprintf; route them
 //                        through src/common/logging.h (HF_LOG) or the
@@ -614,6 +620,51 @@ void CheckAnnotatedSync(const FileText& file, std::vector<Finding>& findings) {
   }
 }
 
+// SIMD intrinsics stay behind the dispatch layer: only src/tensor/simd.h
+// and src/tensor/simd.cc may include intrinsics headers or spell
+// _mm*/__m* tokens. Everything else calls the simd:: kernels, which pair
+// each AVX2 path with the scalar sequence it must match bitwise — an
+// intrinsic elsewhere would dodge that contract.
+void CheckSimdIntrinsics(const FileText& file, std::vector<Finding>& findings) {
+  if (file.path == "src/tensor/simd.h" || file.path == "src/tensor/simd.cc") {
+    return;
+  }
+  for (size_t i = 0; i < file.raw.size(); ++i) {
+    // Include check runs on the raw line (includes never hide in strings
+    // that matter, and the directive must start the line).
+    const std::string& raw = file.raw[i];
+    const size_t first = raw.find_first_not_of(" \t");
+    if (first != std::string::npos && raw[first] == '#' &&
+        raw.find("include", first) != std::string::npos &&
+        raw.find("intrin.h") != std::string::npos) {
+      if (!Allowed(file, i, "simd-intrinsics")) {
+        findings.push_back({file.path, static_cast<int>(i) + 1, "simd-intrinsics",
+                            "intrinsics header include outside src/tensor/simd.{h,cc}; "
+                            "use the dispatched simd:: kernels"});
+      }
+      continue;
+    }
+    const std::string& line = file.code[i];
+    for (const char* needle : {"_mm_", "_mm256_", "_mm512_", "__m128", "__m256", "__m512"}) {
+      const size_t pos = line.find(needle);
+      if (pos == std::string::npos) {
+        continue;
+      }
+      // `x_mm_...` is some other identifier, not an intrinsic.
+      if (pos > 0 && IsIdentChar(line[pos - 1])) {
+        continue;
+      }
+      if (!Allowed(file, i, "simd-intrinsics")) {
+        findings.push_back({file.path, static_cast<int>(i) + 1, "simd-intrinsics",
+                            std::string(needle) +
+                                " intrinsic outside src/tensor/simd.{h,cc}; use the "
+                                "dispatched simd:: kernels"});
+      }
+      break;  // One finding per line is enough.
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // doc-drift: documentation references must resolve against the tree.
 // ---------------------------------------------------------------------------
@@ -905,6 +956,7 @@ std::vector<Finding> LintTree(const fs::path& root, int* files_checked, int* doc
       CheckRawDiagnostics(file, findings);
       CheckThreadConstruction(file, findings);
       CheckAnnotatedSync(file, findings);
+      CheckSimdIntrinsics(file, findings);
       for (const std::string& line : file.code) {
         corpus += line;
         corpus += '\n';
@@ -1000,14 +1052,17 @@ int RunDocsSelftest() {
   return 0;
 }
 
-// --rules-selftest: the concurrency rules must flag each known-bad shape
-// (if-guarded wait, naked wait, comment-only guard) and accept the good
-// ones (while-looped wait, HF_GUARDED_BY-referenced mutex, both allow()
-// hatches) in a synthetic tree — a regression gate on the rules.
+// --rules-selftest: the concurrency and confinement rules must flag each
+// known-bad shape (if-guarded wait, naked wait, comment-only guard,
+// intrinsics outside src/tensor/simd.*) and accept the good ones
+// (while-looped wait, HF_GUARDED_BY-referenced mutex, intrinsics inside
+// simd.h, the allow() hatches) in a synthetic tree — a regression gate
+// on the rules.
 int RunRulesSelftest() {
   const fs::path tree = fs::path("hflint_rules_selftest_tree");
   fs::remove_all(tree);
   fs::create_directories(tree / "src/gadget");
+  fs::create_directories(tree / "src/tensor");
   {
     std::ofstream header(tree / "src/gadget/gadget.h");
     header << "#ifndef SRC_GADGET_GADGET_H_\n"
@@ -1052,6 +1107,31 @@ int RunRulesSelftest() {
            << "}  // namespace hybridflow\n"
            << "#endif  // SRC_GADGET_GADGET_H_\n";
   }
+  {
+    // Intrinsics in the confined home are fine; anywhere else both the
+    // header include and the token forms must be flagged, and the
+    // allow() hatch must suppress.
+    std::ofstream simd(tree / "src/tensor/simd.h");
+    simd << "#ifndef SRC_TENSOR_SIMD_H_\n"
+         << "#define SRC_TENSOR_SIMD_H_\n"
+         << "#include <immintrin.h>\n"
+         << "namespace hybridflow {\n"
+         << "inline __m256 LaneZero() { return _mm256_setzero_ps(); }\n"
+         << "}  // namespace hybridflow\n"
+         << "#endif  // SRC_TENSOR_SIMD_H_\n";
+    std::ofstream vec(tree / "src/gadget/vec.cc");
+    vec << "#include <immintrin.h>\n"
+        << "namespace hybridflow {\n"
+        << "float Escaped() {\n"
+        << "  __m256 v = _mm256_setzero_ps();\n"
+        << "  return v[0];\n"
+        << "}\n"
+        << "float Hatched() {\n"
+        << "  __m256 z = _mm256_setzero_ps();  // hflint: allow(simd-intrinsics)\n"
+        << "  return z[0];\n"
+        << "}\n"
+        << "}  // namespace hybridflow\n";
+  }
   int files_checked = 0;
   int docs_checked = 0;
   const std::vector<Finding> findings = LintTree(tree, &files_checked, &docs_checked);
@@ -1062,6 +1142,8 @@ int RunRulesSelftest() {
       {"condvar-wait", "guarded by 'if'"},
       {"condvar-wait", "outside a while"},
       {"unreferenced-guard", "zero HF_GUARDED_BY(lonely_mu_)"},
+      {"simd-intrinsics", "intrinsics header include"},
+      {"simd-intrinsics", "_mm256_ intrinsic outside"},
   };
   for (const Finding& finding : findings) {
     bool matched = false;
@@ -1088,8 +1170,8 @@ int RunRulesSelftest() {
     std::cerr << "hflint --rules-selftest: " << failures << " failure(s)\n";
     return 1;
   }
-  std::cout << "hflint --rules-selftest: ok (3 bad shapes flagged, allow() hatches and "
-               "loop-shaped waits accepted)\n";
+  std::cout << "hflint --rules-selftest: ok (5 bad shapes flagged, allow() hatches, "
+               "loop-shaped waits, and confined intrinsics accepted)\n";
   return 0;
 }
 
